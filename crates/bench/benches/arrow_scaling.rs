@@ -1,0 +1,44 @@
+//! Criterion: arrow protocol scaling — wall time of full one-shot
+//! executions on the paper's main topologies. The simulated total delay
+//! grows linearly on Hamilton-path trees (Theorem 4.5); wall time tracks
+//! total message-hops, so it should scale near-linearly too.
+
+use ccq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_arrow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arrow");
+    g.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let s = Scenario::build(TopoSpec::List { n }, RequestPattern::All);
+        g.bench_with_input(BenchmarkId::new("list_all", n), &s, |b, s| {
+            b.iter(|| {
+                let out = run_queuing(s, QueuingAlg::Arrow, ModelMode::Expanded).expect("ok");
+                black_box(out.report.total_delay())
+            })
+        });
+    }
+    for n in [256usize, 1024] {
+        let s = Scenario::build(TopoSpec::Complete { n }, RequestPattern::All);
+        g.bench_with_input(BenchmarkId::new("complete_hamilton", n), &s, |b, s| {
+            b.iter(|| {
+                let out = run_queuing(s, QueuingAlg::Arrow, ModelMode::Expanded).expect("ok");
+                black_box(out.report.total_delay())
+            })
+        });
+    }
+    for side in [8usize, 16, 32] {
+        let s = Scenario::build(TopoSpec::Mesh2D { side }, RequestPattern::All);
+        g.bench_with_input(BenchmarkId::new("mesh2d_snake", side), &s, |b, s| {
+            b.iter(|| {
+                let out = run_queuing(s, QueuingAlg::Arrow, ModelMode::Expanded).expect("ok");
+                black_box(out.report.total_delay())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_arrow);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: counting algorithm scaling — wall time of full one-shot
+//! executions. The central counter's simulated delay is quadratic (its wall
+//! time is dominated by simulated rounds); combining stays near-linear.
+
+use ccq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        let s = Scenario::build(TopoSpec::Complete { n }, RequestPattern::All);
+        for (label, alg) in [
+            ("central", CountingAlg::Central),
+            ("combining", CountingAlg::CombiningTree),
+            ("network", CountingAlg::CountingNetwork { width: None }),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("complete_{label}"), n),
+                &s,
+                |b, s| {
+                    b.iter(|| {
+                        let out = run_counting(s, alg, ModelMode::Strict).expect("ok");
+                        black_box(out.report.total_delay())
+                    })
+                },
+            );
+        }
+    }
+    for n in [256usize, 1024] {
+        let s = Scenario::build(TopoSpec::List { n }, RequestPattern::All);
+        g.bench_with_input(BenchmarkId::new("list_combining", n), &s, |b, s| {
+            b.iter(|| {
+                let out = run_counting(s, CountingAlg::CombiningTree, ModelMode::Strict)
+                    .expect("ok");
+                black_box(out.report.total_delay())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: the full queuing-vs-counting comparison (the t4 experiment's
+//! inner loop) on representative topologies — the end-to-end cost of one
+//! "who wins" data point.
+
+use ccq_core::prelude::*;
+use ccq_core::run::run_best_counting;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossover");
+    g.sample_size(10);
+    let specs = [
+        TopoSpec::Complete { n: 256 },
+        TopoSpec::Mesh2D { side: 16 },
+        TopoSpec::Hypercube { dim: 8 },
+        TopoSpec::Star { n: 256 },
+    ];
+    for spec in specs {
+        let s = Scenario::build(spec.clone(), RequestPattern::All);
+        g.bench_with_input(BenchmarkId::new("q_vs_c", spec.name()), &s, |b, s| {
+            b.iter(|| {
+                let q = run_queuing(s, QueuingAlg::Arrow, ModelMode::Expanded).expect("ok");
+                let c = run_best_counting(s, ModelMode::Strict).expect("ok");
+                black_box((q.report.total_delay(), c.report.total_delay()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

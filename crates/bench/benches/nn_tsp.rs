@@ -1,0 +1,44 @@
+//! Criterion: nearest-neighbour TSP construction cost on the trees the
+//! paper analyses (list, perfect binary tree), plus the runs decomposition.
+
+use ccq_graph::{spanning, NodeId};
+use ccq_tsp::{decompose_runs, nn_tour};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_tsp");
+    g.sample_size(10);
+    for n in [1024usize, 4096, 16384] {
+        let tree = spanning::path_tree_from_order(&(0..n).collect::<Vec<_>>());
+        let all: Vec<NodeId> = (0..n).collect();
+        g.bench_with_input(BenchmarkId::new("list_all", n), &n, |b, _| {
+            b.iter(|| black_box(nn_tour(&tree, 0, &all).cost()))
+        });
+        let sparse: Vec<NodeId> = (0..n).step_by(16).collect();
+        g.bench_with_input(BenchmarkId::new("list_sparse", n), &n, |b, _| {
+            b.iter(|| black_box(nn_tour(&tree, n / 2, &sparse).cost()))
+        });
+    }
+    for depth in [8usize, 10, 12] {
+        let tree = spanning::perfect_mary_tree(2, depth);
+        let n = tree.n();
+        let all: Vec<NodeId> = (0..n).collect();
+        g.bench_with_input(BenchmarkId::new("perfect_binary_all", n), &n, |b, _| {
+            b.iter(|| black_box(nn_tour(&tree, 0, &all).cost()))
+        });
+    }
+    {
+        let n = 16384usize;
+        let tree = spanning::path_tree_from_order(&(0..n).collect::<Vec<_>>());
+        let targets: Vec<NodeId> = (0..n).step_by(3).collect();
+        let tour = nn_tour(&tree, n / 2, &targets);
+        g.bench_function("runs_decomposition_16k", |b| {
+            b.iter(|| black_box(decompose_runs(n / 2, &tour.order).x_sum()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion: raw engine throughput — how fast the simulator executes
+//! rounds under the strict budget model.
+
+use ccq_graph::{topology, NodeId};
+use ccq_sim::{run_protocol, Protocol, SimApi, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A token walks the whole list — n rounds, n messages.
+struct Walk {
+    n: usize,
+}
+
+impl Protocol for Walk {
+    type Msg = ();
+    fn on_start(&mut self, api: &mut SimApi<()>) {
+        if self.n > 1 {
+            api.send(0, 1, ());
+        }
+    }
+    fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, _: NodeId, _: ()) {
+        if node + 1 < self.n {
+            api.send(node, node + 1, ());
+        } else {
+            api.complete(node, 0);
+        }
+    }
+}
+
+/// Every node floods its neighbours once — heavy per-round fan-in.
+struct FloodOnce {
+    seen: Vec<bool>,
+}
+
+impl Protocol for FloodOnce {
+    type Msg = ();
+    fn on_start(&mut self, api: &mut SimApi<()>) {
+        // Ring neighbours: each node pings its successor.
+        let n = self.seen.len();
+        for v in 0..n {
+            api.send(v, (v + 1) % n, ());
+        }
+    }
+    fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, _: NodeId, _: ()) {
+        if !self.seen[node] {
+            self.seen[node] = true;
+            api.complete(node, 0);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(10);
+    for n in [1024usize, 4096, 16384] {
+        let graph = topology::path(n);
+        g.bench_with_input(BenchmarkId::new("token_walk", n), &n, |b, &n| {
+            b.iter(|| {
+                let rep =
+                    run_protocol(&graph, Walk { n }, SimConfig::strict()).expect("runs");
+                black_box(rep.rounds)
+            })
+        });
+    }
+    for n in [1024usize, 4096] {
+        let graph = topology::cycle(n);
+        g.bench_with_input(BenchmarkId::new("ring_flood", n), &n, |b, &n| {
+            b.iter(|| {
+                let rep = run_protocol(
+                    &graph,
+                    FloodOnce { seen: vec![false; n] },
+                    SimConfig::strict(),
+                )
+                .expect("runs");
+                black_box(rep.messages_sent)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Closed-form complexity bounds from Busch & Tirthapura.
+//!
+//! * [`tower`] — the `tow(j)` tower function and `log*` (Definition 3.4),
+//!   with saturating arithmetic (`tow(5)` already exceeds every machine
+//!   integer);
+//! * [`recurrence`] — the information-spread recurrences of Lemmas 3.2/3.3
+//!   (`a(t+1) ≤ a + a²b`, `b(t+1) ≤ b(1 + 2^a)`) and the Lemma 3.4 audit
+//!   `a(τ), b(τ) ≤ tow(2τ)`;
+//! * [`counting_lb`] — lower bounds on concurrent counting: the general
+//!   `Ω(n log* n)` (Theorem 3.5), the diameter bound `Ω(α²)`
+//!   (Theorem 3.6) and the star's `Θ(n²)` serialization (§5);
+//! * [`queuing_ub`] — upper bounds on concurrent queuing via the arrow
+//!   protocol: `2 × NN-TSP` (Theorem 4.1), `3n` on lists (Lemma 4.3),
+//!   `2d(d+1) + 8n` on perfect binary trees (Theorem 4.7) and the
+//!   Rosenkrantz `O(n log k)` general bound (Corollary 4.2);
+//! * [`compare`] — per-topology verdicts (`C_Q = o(C_C)` or tie) matching
+//!   Theorems 4.5, 4.12, 4.13 and the §5 star exception.
+
+//! ```
+//! use ccq_bounds::{tow, log_star, counting_lb_general};
+//!
+//! assert_eq!(tow(4), 65_536);
+//! assert_eq!(log_star(65_536), 4);
+//! // Theorem 3.5's exact floor at n = 8: counts 4..=8 each need ≥ 2 rounds
+//! // except count 4 (1 round): 1 + 2·4 = 9.
+//! assert_eq!(counting_lb_general(8), 9);
+//! ```
+
+pub mod compare;
+pub mod counting_lb;
+pub mod queuing_ub;
+pub mod recurrence;
+pub mod tower;
+
+pub use compare::{verdict, Topology, Verdict};
+pub use counting_lb::{counting_lb_diameter, counting_lb_general, star_serialization_lb};
+pub use queuing_ub::{arrow_ub_from_tsp, nn_tsp_ub_general, nn_tsp_ub_list, nn_tsp_ub_perfect_binary};
+pub use recurrence::{spread_evolution, SpreadState};
+pub use tower::{log_star, tow};

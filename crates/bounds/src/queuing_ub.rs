@@ -1,0 +1,84 @@
+//! Upper bounds on concurrent queuing via the arrow protocol (paper §4).
+
+/// Theorem 4.1 (Herlihy–Tirthapura–Wattenhofer): on a constant-degree
+/// spanning tree, the arrow protocol's one-shot total delay is at most
+/// twice the nearest-neighbour TSP cost over the request set.
+pub fn arrow_ub_from_tsp(nn_tsp_cost: u64) -> u64 {
+    2 * nn_tsp_cost
+}
+
+/// Lemma 4.3: the NN-TSP on a list of `n` vertices costs at most `3n`,
+/// for any request set and start.
+pub fn nn_tsp_ub_list(n: usize) -> u64 {
+    3 * n as u64
+}
+
+/// Theorem 4.7 (explicit constants from its proof): on a perfect binary
+/// tree of `n` vertices and depth `d`, the NN-TSP costs at most
+/// `2d(d+1) + 8n`.
+pub fn nn_tsp_ub_perfect_binary(n: usize, depth: u32) -> u64 {
+    let d = depth as u64;
+    2 * d * (d + 1) + 8 * n as u64
+}
+
+/// Corollary 4.2 via Rosenkrantz–Stearns–Lewis: the NN heuristic is a
+/// `(⌈log₂ k⌉ + 1)/2`-approximation on any metric; the optimal tour of `k`
+/// requests on an `n`-vertex tree costs < `2n`, so
+/// `NN ≤ (⌈log₂ k⌉ + 1) · n`.
+pub fn nn_tsp_ub_general(n: usize, k: usize) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let lg = (usize::BITS - (k.max(1)).next_power_of_two().leading_zeros() - 1) as u64;
+    (lg + 1) * n as u64
+}
+
+/// Corollary 4.2 as stated: constant-degree spanning tree ⇒
+/// `C_Q(G) = O(n log n)`; explicit form `2 · (⌈log₂ k⌉ + 1) · n`.
+pub fn queuing_ub_general(n: usize, k: usize) -> u64 {
+    2 * nn_tsp_ub_general(n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrow_doubles_tsp() {
+        assert_eq!(arrow_ub_from_tsp(0), 0);
+        assert_eq!(arrow_ub_from_tsp(21), 42);
+    }
+
+    #[test]
+    fn list_bound_linear() {
+        assert_eq!(nn_tsp_ub_list(100), 300);
+    }
+
+    #[test]
+    fn perfect_binary_bound() {
+        // n = 15, d = 3: 2·3·4 + 120 = 144.
+        assert_eq!(nn_tsp_ub_perfect_binary(15, 3), 144);
+    }
+
+    #[test]
+    fn general_bound_log_factor() {
+        assert_eq!(nn_tsp_ub_general(100, 0), 0);
+        assert_eq!(nn_tsp_ub_general(100, 1), 100); // ⌈lg 1⌉ = 0
+        assert_eq!(nn_tsp_ub_general(100, 2), 200); // ⌈lg 2⌉ = 1
+        assert_eq!(nn_tsp_ub_general(100, 5), 400); // ⌈lg 5⌉ = 3
+        assert_eq!(nn_tsp_ub_general(100, 1024), 1100);
+    }
+
+    #[test]
+    fn general_queuing_bound_doubles() {
+        assert_eq!(queuing_ub_general(100, 1024), 2200);
+    }
+
+    #[test]
+    fn general_bound_is_n_log_n_shaped() {
+        let f = |n: usize| nn_tsp_ub_general(n, n) as f64;
+        // Doubling n roughly doubles-and-a-bit the bound (n log n shape).
+        let r = f(2048) / f(1024);
+        assert!(r > 2.0 && r < 2.3, "ratio {r}");
+    }
+}

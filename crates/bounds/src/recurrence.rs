@@ -1,0 +1,125 @@
+//! The information-spread recurrences of Lemmas 3.2 and 3.3.
+//!
+//! `a(t)` bounds how many processors can *affect* any given processor's
+//! state by round `t`; `b(t)` bounds how many processors one processor can
+//! affect. Starting from `a(0) = b(0) = 1`:
+//!
+//! * Lemma 3.2: `a(t+1) ≤ a(t) + a(t)² · b(t)` — a receiver gains at most
+//!   `a·b` candidate senders, each contributing at most `a` processors;
+//! * Lemma 3.3: `b(t+1) ≤ b(t) · (1 + 2^a(t))` — a sender can address at
+//!   most `2^a` distinct destinations across its possible states.
+//!
+//! Lemma 3.4 then shows `a(τ), b(τ) ≤ tow(2τ)`: information spreads at most
+//! tower-fast even with send-free signalling, which is what caps a count-`k`
+//! processor's latency below by `≈ log*(k)/2` and yields Theorem 3.5.
+//!
+//! Values explode immediately (`b(4)` already needs `2^2954`), so the
+//! evolution uses saturating `u128` arithmetic, with `u128::MAX` read as
+//! "effectively infinite"; the `≤ tow(2τ)` comparison remains valid under
+//! saturation because both sides clamp to the same maximum.
+
+use crate::tower::tow;
+
+/// State of the spread recurrences after `t` rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpreadState {
+    /// Round index `t`.
+    pub t: u32,
+    /// `a(t)`: max |A(alg, i, t)| — processors affecting one processor.
+    pub a: u128,
+    /// `b(t)`: max |B(alg, i, t)| — processors one processor affects.
+    pub b: u128,
+}
+
+impl SpreadState {
+    /// `a(0) = b(0) = 1` (Fact 1: only the processor itself).
+    pub fn initial() -> Self {
+        SpreadState { t: 0, a: 1, b: 1 }
+    }
+
+    /// Apply Lemmas 3.2/3.3 once (saturating).
+    pub fn step(self) -> Self {
+        let a2b = sat_mul(sat_mul(self.a, self.a), self.b);
+        let a_next = sat_add(self.a, a2b);
+        let pow = sat_pow2(self.a);
+        let b_next = sat_mul(self.b, sat_add(1, pow));
+        SpreadState { t: self.t + 1, a: a_next, b: b_next }
+    }
+
+    /// The Lemma 3.4 invariant: `a(t) ≤ tow(2t)` and `b(t) ≤ tow(2t)`.
+    pub fn within_tower_bound(&self) -> bool {
+        let bound = tow(2 * self.t);
+        self.a <= bound && self.b <= bound
+    }
+}
+
+/// Evolve the recurrences for `rounds` steps, returning all states
+/// `t = 0 ..= rounds`.
+pub fn spread_evolution(rounds: u32) -> Vec<SpreadState> {
+    let mut states = Vec::with_capacity(rounds as usize + 1);
+    let mut s = SpreadState::initial();
+    states.push(s);
+    for _ in 0..rounds {
+        s = s.step();
+        states.push(s);
+    }
+    states
+}
+
+fn sat_add(x: u128, y: u128) -> u128 {
+    x.saturating_add(y)
+}
+
+fn sat_mul(x: u128, y: u128) -> u128 {
+    x.saturating_mul(y)
+}
+
+/// `2^x`, saturating at `u128::MAX` for `x ≥ 128`.
+fn sat_pow2(x: u128) -> u128 {
+    if x >= 127 {
+        u128::MAX
+    } else {
+        1u128 << x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        let states = spread_evolution(3);
+        assert_eq!(states[0], SpreadState { t: 0, a: 1, b: 1 });
+        // a(1) = 1 + 1·1·1 = 2; b(1) = 1·(1+2) = 3.
+        assert_eq!(states[1], SpreadState { t: 1, a: 2, b: 3 });
+        // a(2) = 2 + 4·3 = 14; b(2) = 3·(1+4) = 15.
+        assert_eq!(states[2], SpreadState { t: 2, a: 14, b: 15 });
+        // a(3) = 14 + 196·15 = 2954; b(3) = 15·(1+2^14) = 245775.
+        assert_eq!(states[3], SpreadState { t: 3, a: 2954, b: 245_775 });
+    }
+
+    #[test]
+    fn saturation_kicks_in_at_t4() {
+        let s4 = spread_evolution(4)[4];
+        // b(4) = 245775·(1+2^2954): saturated.
+        assert_eq!(s4.b, u128::MAX);
+        // a(4) = 2954 + 2954²·245775 is still exact.
+        assert_eq!(s4.a, 2954 + 2954u128 * 2954 * 245_775);
+    }
+
+    #[test]
+    fn lemma_3_4_invariant_holds() {
+        for s in spread_evolution(10) {
+            assert!(s.within_tower_bound(), "violated at t={}", s.t);
+        }
+    }
+
+    #[test]
+    fn growth_is_tower_like_not_faster() {
+        // a(t) should dwarf exponential growth but respect tow(2t):
+        let states = spread_evolution(3);
+        assert!(states[3].a > 1u128 << 11); // ≫ 2^t
+        assert!(states[3].a <= tow(6));
+    }
+}

@@ -1,0 +1,102 @@
+//! The tower function `tow(j)` and iterated logarithm `log*` of
+//! Definition 3.4.
+//!
+//! `tow(j) = 2^(2^(…)) (j twos)`, `tow(0) = 1`.
+//! `log*(k) = min { i ≥ 0 : log₂^(i)(k) ≤ 1 }` — the inverse of `tow`.
+//!
+//! `tow(5) = 2^65536` overflows every machine integer, so [`tow`] saturates
+//! at `u128::MAX`, which this crate treats as "effectively infinite". The
+//! saturation point is far beyond any simulated system size.
+
+/// Saturating tower function: `tow(0) = 1`, `tow(j) = 2^tow(j−1)`.
+pub fn tow(j: u32) -> u128 {
+    let mut v: u128 = 1;
+    for _ in 0..j {
+        if v >= 128 {
+            return u128::MAX;
+        }
+        v = 1u128 << v;
+    }
+    v
+}
+
+/// Iterated logarithm (base 2): `log*(k) = min { i : log₂^(i)(k) ≤ 1 }`.
+///
+/// `log*(1) = 0`, `log*(2) = 1`, `log*(4) = 2`, `log*(16) = 3`,
+/// `log*(65536) = 4`, and `log*(k) = 5` for every larger representable `k`.
+pub fn log_star(k: u128) -> u32 {
+    let mut i = 0;
+    let mut v = k.max(1) as f64;
+    while v > 1.0 {
+        v = v.log2();
+        i += 1;
+    }
+    i
+}
+
+/// Smallest `t ≥ 0` with `tow(2t) ≥ k` — the per-operation latency lower
+/// bound extracted from Lemmas 3.1 + 3.4: a processor outputting count `k`
+/// has latency at least this many rounds.
+pub fn latency_lb_for_count(k: u128) -> u32 {
+    let mut t = 0;
+    while tow(2 * t) < k {
+        t += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tow_values() {
+        assert_eq!(tow(0), 1);
+        assert_eq!(tow(1), 2);
+        assert_eq!(tow(2), 4);
+        assert_eq!(tow(3), 16);
+        assert_eq!(tow(4), 65536);
+        assert_eq!(tow(5), u128::MAX); // saturated: 2^65536
+        assert_eq!(tow(50), u128::MAX);
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(3), 2);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(5), 3);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(17), 4);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(65537), 5);
+        assert_eq!(log_star(u128::MAX), 5);
+    }
+
+    #[test]
+    fn log_star_inverts_tow() {
+        for j in 0..=4u32 {
+            assert_eq!(log_star(tow(j)), j, "log*(tow({j}))");
+        }
+    }
+
+    #[test]
+    fn latency_lb_values() {
+        assert_eq!(latency_lb_for_count(1), 0);
+        assert_eq!(latency_lb_for_count(2), 1);
+        assert_eq!(latency_lb_for_count(4), 1);
+        assert_eq!(latency_lb_for_count(5), 2);
+        assert_eq!(latency_lb_for_count(65536), 2);
+        assert_eq!(latency_lb_for_count(65537), 3);
+    }
+
+    #[test]
+    fn latency_lb_is_half_log_star_rounded() {
+        // t = ⌈log*(k)/2⌉ for k in the exactly-representable range.
+        for k in 1..100u128 {
+            assert_eq!(latency_lb_for_count(k), log_star(k).div_ceil(2), "k={k}");
+        }
+    }
+}

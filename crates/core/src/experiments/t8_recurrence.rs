@@ -1,0 +1,76 @@
+//! Lemmas 3.2–3.4 — the information-spread recurrences and the tower
+//! bound, evaluated numerically.
+//!
+//! Table 1 evolves `a(t), b(t)` (with `u128::MAX` read as "≫ representable")
+//! and checks `≤ tow(2t)` at every step. Table 2 tabulates `tow`/`log*`
+//! and the per-count latency floor they induce (the engine of Theorem 3.5).
+
+use crate::experiments::Scale;
+use crate::prelude::*;
+use ccq_bounds::{log_star, spread_evolution, tow, tower::latency_lb_for_count};
+
+fn big(v: u128) -> String {
+    if v == u128::MAX {
+        "≫ 2^127".into()
+    } else {
+        crate::table::fmt_util::int(v.min(u64::MAX as u128) as u64)
+    }
+}
+
+/// Run the recurrence audits.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let rounds = scale.pick(5, 8);
+    let mut t1 = Table::new(
+        "t8a — spread recurrences a(t), b(t) vs tow(2t) (Lemmas 3.2-3.4)",
+        &["t", "a(t)", "b(t)", "tow(2t)", "a,b ≤ tow(2t)"],
+    );
+    for s in spread_evolution(rounds) {
+        t1.push_row(vec![
+            s.t.to_string(),
+            big(s.a),
+            big(s.b),
+            big(tow(2 * s.t)),
+            crate::table::fmt_util::tick(s.within_tower_bound()),
+        ]);
+    }
+    t1.note("a(t+1) = a + a²b, b(t+1) = b(1 + 2^a) — the exact recurrence bodies of Lemmas 3.2/3.3");
+
+    let mut t2 = Table::new(
+        "t8b — tow / log* / latency floor (Definition 3.4, Theorem 3.5 engine)",
+        &["k", "log*(k)", "latency floor min{t: tow(2t) ≥ k}"],
+    );
+    for k in [1u128, 2, 4, 5, 16, 17, 65_536, 65_537, 1 << 100] {
+        t2.push_row(vec![
+            big(k),
+            log_star(k).to_string(),
+            latency_lb_for_count(k).to_string(),
+        ]);
+    }
+    t2.note("a processor outputting count k has delay ≥ the latency floor (Lemmas 3.1 + 3.4)");
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tower_bound_never_violated() {
+        let tables = run(Scale::Quick);
+        for row in &tables[0].rows {
+            assert_eq!(row.last().unwrap(), "yes", "Lemma 3.4 violated at {row:?}");
+        }
+    }
+
+    #[test]
+    fn two_tables_produced() {
+        assert_eq!(run(Scale::Quick).len(), 2);
+    }
+
+    #[test]
+    fn latency_floor_monotone() {
+        let t2 = &run(Scale::Quick)[1];
+        let floors: Vec<u32> = t2.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(floors.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,41 @@
+//! Public API of the counting-vs-queuing reproduction.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`scenario`] — named topologies with their paper-preferred spanning
+//!   trees, and request-set generators (the sets `R ⊆ V` of §2.2);
+//! * [`run`] — executable protocol selection ([`run::QueuingAlg`],
+//!   [`run::CountingAlg`]) with automatic output verification (total-order /
+//!   rank-set checks) and delay accounting;
+//! * [`report`] — per-run summaries and queuing-vs-counting comparisons;
+//! * [`table`] — plain-text/markdown table rendering for the harness;
+//! * [`experiments`] — one driver per paper table/figure/theorem (see
+//!   DESIGN.md §4 for the experiment index).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ccq_core::prelude::*;
+//!
+//! // A 4×4 mesh where every processor counts / queues.
+//! let scenario = Scenario::build(TopoSpec::Mesh2D { side: 4 }, RequestPattern::All);
+//! let q = run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded).unwrap();
+//! let c = run_counting(&scenario, CountingAlg::CombiningTree, ModelMode::Strict).unwrap();
+//! assert!(q.report.total_delay() < c.report.total_delay());
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod run;
+pub mod scenario;
+pub mod table;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use crate::report::{delay_percentile, ComparisonRow, DelayReport};
+    pub use crate::run::{run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome};
+    pub use crate::scenario::{RequestPattern, Scenario, TopoSpec};
+    pub use crate::table::Table;
+}
+
+pub use prelude::*;

@@ -1,0 +1,153 @@
+//! Run summaries and queuing-vs-counting comparison rows.
+
+use ccq_sim::SimReport;
+
+/// Flattened per-run metrics.
+#[derive(Clone, Debug)]
+pub struct DelayReport {
+    /// Algorithm display name.
+    pub alg: String,
+    /// Number of completed operations (`|R|`).
+    pub ops: usize,
+    /// Σ per-operation delays (scaled) — the paper's metric.
+    pub total_delay: u64,
+    /// Σ per-operation delays in raw rounds.
+    pub total_delay_unscaled: u64,
+    /// Largest single-operation delay (scaled).
+    pub max_delay: u64,
+    /// Mean per-operation delay (scaled).
+    pub mean_delay: f64,
+    /// Rounds until quiescence (unscaled).
+    pub rounds: u64,
+    /// Messages transmitted.
+    pub messages: u64,
+    /// Σ rounds messages spent queued at receivers (contention measure).
+    pub queue_wait: u64,
+    /// Deepest receive queue observed.
+    pub max_queue: usize,
+}
+
+impl DelayReport {
+    /// Extract from a simulator report.
+    pub fn from_sim(alg: impl Into<String>, rep: &SimReport) -> Self {
+        DelayReport {
+            alg: alg.into(),
+            ops: rep.ops(),
+            total_delay: rep.total_delay(),
+            total_delay_unscaled: rep.total_delay_unscaled(),
+            max_delay: rep.max_delay(),
+            mean_delay: rep.mean_delay(),
+            rounds: rep.rounds,
+            messages: rep.messages_sent,
+            queue_wait: rep.queue_wait_rounds,
+            max_queue: rep.max_inport_depth,
+        }
+    }
+}
+
+/// Percentiles of per-operation (scaled) delays — the latency distribution
+/// behind the totals. `q` in `[0, 1]`; nearest-rank method.
+pub fn delay_percentile(rep: &SimReport, q: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if rep.completions.is_empty() {
+        return 0;
+    }
+    let mut d: Vec<u64> =
+        rep.completions.iter().map(|c| c.round * rep.delay_scale).collect();
+    d.sort_unstable();
+    let rank = ((q * d.len() as f64).ceil() as usize).clamp(1, d.len());
+    d[rank - 1]
+}
+
+/// One row of a queuing-vs-counting comparison.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Topology display name.
+    pub topology: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Number of requesters.
+    pub k: usize,
+    /// Queuing run.
+    pub queuing: DelayReport,
+    /// Counting run (typically the best of all counting algorithms).
+    pub counting: DelayReport,
+}
+
+impl ComparisonRow {
+    /// `counting total delay / queuing total delay` — the measured gap; the
+    /// paper predicts this grows without bound except on the star.
+    pub fn gap(&self) -> f64 {
+        self.counting.total_delay as f64 / self.queuing.total_delay.max(1) as f64
+    }
+
+    /// Whether queuing won this size.
+    pub fn queuing_won(&self) -> bool {
+        self.queuing.total_delay < self.counting.total_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_sim::Completion;
+
+    fn dummy(total: u64) -> DelayReport {
+        let rep = SimReport {
+            delay_scale: 1,
+            completions: vec![Completion { node: 0, value: 1, round: total }],
+            ..Default::default()
+        };
+        DelayReport::from_sim("x", &rep)
+    }
+
+    #[test]
+    fn from_sim_flattens() {
+        let d = dummy(7);
+        assert_eq!(d.total_delay, 7);
+        assert_eq!(d.ops, 1);
+        assert_eq!(d.mean_delay, 7.0);
+    }
+
+    #[test]
+    fn gap_and_winner() {
+        let row = ComparisonRow {
+            topology: "t".into(),
+            n: 4,
+            k: 4,
+            queuing: dummy(10),
+            counting: dummy(30),
+        };
+        assert_eq!(row.gap(), 3.0);
+        assert!(row.queuing_won());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let rep = SimReport {
+            delay_scale: 1,
+            completions: (1..=10u64)
+                .map(|r| Completion { node: r as usize, value: r, round: r })
+                .collect(),
+            ..Default::default()
+        };
+        assert_eq!(delay_percentile(&rep, 0.5), 5);
+        assert_eq!(delay_percentile(&rep, 0.95), 10);
+        assert_eq!(delay_percentile(&rep, 1.0), 10);
+        assert_eq!(delay_percentile(&rep, 0.0), 1);
+        let empty = SimReport { delay_scale: 1, ..Default::default() };
+        assert_eq!(delay_percentile(&empty, 0.5), 0);
+    }
+
+    #[test]
+    fn gap_handles_zero_queuing() {
+        let row = ComparisonRow {
+            topology: "t".into(),
+            n: 1,
+            k: 1,
+            queuing: dummy(0),
+            counting: dummy(5),
+        };
+        assert_eq!(row.gap(), 5.0);
+    }
+}

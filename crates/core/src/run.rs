@@ -1,0 +1,350 @@
+//! Protocol runners with automatic output verification.
+
+use crate::scenario::Scenario;
+use ccq_counting::{
+    verify_ranks, CentralCounterProtocol, CombiningTreeProtocol, CountingNetworkProtocol,
+    ToggleTreeProtocol,
+};
+use ccq_graph::NodeId;
+use ccq_queuing::{verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol};
+use ccq_sim::{run_protocol, SimConfig, SimError, SimReport};
+
+/// Queuing algorithm selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuingAlg {
+    /// The arrow protocol on the scenario's queuing tree.
+    Arrow,
+    /// Arrow with the predecessor identity routed back to the origin.
+    ArrowNotify,
+    /// Centralized home-node queue (baseline).
+    CentralHome,
+    /// Combining-tree queue (tree-aggregation baseline).
+    CombiningQueue,
+}
+
+impl QueuingAlg {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueuingAlg::Arrow => "arrow",
+            QueuingAlg::ArrowNotify => "arrow+notify",
+            QueuingAlg::CentralHome => "central-queue",
+            QueuingAlg::CombiningQueue => "combining-queue",
+        }
+    }
+}
+
+/// Counting algorithm selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountingAlg {
+    /// Centralized counter at the counting tree's root.
+    Central,
+    /// Software combining tree on the counting tree.
+    CombiningTree,
+    /// Bitonic counting network; `width` of `None` picks
+    /// `clamp(2^⌈lg √n⌉, 2, 32)`.
+    CountingNetwork { width: Option<usize> },
+    /// Periodic counting network (same width rule as the bitonic one).
+    PeriodicNetwork { width: Option<usize> },
+    /// Toggle-tree counter (diffracting-tree skeleton); `leaves` of `None`
+    /// follows the same width rule.
+    ToggleTree { leaves: Option<usize> },
+}
+
+impl CountingAlg {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CountingAlg::Central => "central-counter",
+            CountingAlg::CombiningTree => "combining-tree",
+            CountingAlg::CountingNetwork { .. } => "counting-network",
+            CountingAlg::PeriodicNetwork { .. } => "periodic-network",
+            CountingAlg::ToggleTree { .. } => "toggle-tree",
+        }
+    }
+
+    /// The default-width rule.
+    pub fn effective_width(self, n: usize) -> usize {
+        let default = || {
+            let target = (n as f64).sqrt().ceil() as usize;
+            target.next_power_of_two().clamp(2, 32)
+        };
+        match self {
+            CountingAlg::CountingNetwork { width: Some(w) }
+            | CountingAlg::PeriodicNetwork { width: Some(w) }
+            | CountingAlg::ToggleTree { leaves: Some(w) } => w,
+            CountingAlg::CountingNetwork { width: None }
+            | CountingAlg::PeriodicNetwork { width: None }
+            | CountingAlg::ToggleTree { leaves: None } => default(),
+            _ => 0,
+        }
+    }
+}
+
+/// Execution model for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelMode {
+    /// 1 send + 1 receive per round (paper's base model §2.1).
+    Strict,
+    /// Expanded steps sized to the protocol's tree degree (paper §4):
+    /// budgets = max degree + 1, delays scaled by the same constant.
+    Expanded,
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulator aborted.
+    Sim(SimError),
+    /// The protocol produced an invalid total order.
+    Order(ccq_queuing::OrderError),
+    /// The protocol produced an invalid rank set.
+    Ranks(ccq_counting::RankError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Order(e) => write!(f, "invalid total order: {e}"),
+            RunError::Ranks(e) => write!(f, "invalid ranks: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A verified run.
+pub struct RunOutcome {
+    /// Algorithm display name.
+    pub alg: String,
+    /// The simulator's report (delays, messages, contention).
+    pub report: SimReport,
+    /// For queuing: requesters in queue order. For counting: requesters in
+    /// rank order.
+    pub order: Vec<NodeId>,
+}
+
+fn expanded_config(max_degree: usize) -> SimConfig {
+    SimConfig::expanded(max_degree.max(1) + 1)
+}
+
+fn config_for(mode: ModelMode, max_degree: usize) -> SimConfig {
+    match mode {
+        ModelMode::Strict => SimConfig::strict(),
+        ModelMode::Expanded => expanded_config(max_degree),
+    }
+}
+
+/// Run a queuing algorithm on `scenario` and verify the total order.
+pub fn run_queuing(
+    scenario: &Scenario,
+    alg: QueuingAlg,
+    mode: ModelMode,
+) -> Result<RunOutcome, RunError> {
+    let tree = &scenario.queuing_tree;
+    let cfg = config_for(mode, tree.max_degree());
+    let report = match alg {
+        QueuingAlg::Arrow => run_protocol(
+            &scenario.graph,
+            ArrowProtocol::new(tree, scenario.tail, &scenario.requests),
+            cfg,
+        ),
+        QueuingAlg::ArrowNotify => run_protocol(
+            &scenario.graph,
+            ArrowProtocol::new(tree, scenario.tail, &scenario.requests).with_notify_origin(),
+            cfg,
+        ),
+        QueuingAlg::CentralHome => run_protocol(
+            &scenario.graph,
+            CentralQueueProtocol::new(tree, scenario.tail, &scenario.requests),
+            cfg,
+        ),
+        QueuingAlg::CombiningQueue => run_protocol(
+            &scenario.graph,
+            CombiningQueueProtocol::new(tree, &scenario.requests),
+            cfg,
+        ),
+    }
+    .map_err(RunError::Sim)?;
+    let pred_of: Vec<(NodeId, u64)> =
+        report.completions.iter().map(|c| (c.node, c.value)).collect();
+    let order = verify_total_order(&scenario.requests, &pred_of).map_err(RunError::Order)?;
+    Ok(RunOutcome { alg: alg.name().to_string(), report, order })
+}
+
+/// Run a counting algorithm on `scenario` and verify the rank set.
+pub fn run_counting(
+    scenario: &Scenario,
+    alg: CountingAlg,
+    mode: ModelMode,
+) -> Result<RunOutcome, RunError> {
+    let tree = &scenario.counting_tree;
+    let report = match alg {
+        CountingAlg::Central => {
+            let cfg = config_for(mode, tree.max_degree());
+            run_protocol(
+                &scenario.graph,
+                CentralCounterProtocol::new(tree, tree.root(), &scenario.requests),
+                cfg,
+            )
+        }
+        CountingAlg::CombiningTree => {
+            let cfg = config_for(mode, tree.max_degree());
+            run_protocol(
+                &scenario.graph,
+                CombiningTreeProtocol::new(tree, &scenario.requests),
+                cfg,
+            )
+        }
+        CountingAlg::CountingNetwork { .. } => {
+            let w = alg.effective_width(scenario.n());
+            let cfg = config_for(mode, tree.max_degree());
+            run_protocol(
+                &scenario.graph,
+                CountingNetworkProtocol::new(&scenario.graph, tree, &scenario.requests, w),
+                cfg,
+            )
+        }
+        CountingAlg::PeriodicNetwork { .. } => {
+            let w = alg.effective_width(scenario.n());
+            let cfg = config_for(mode, tree.max_degree());
+            run_protocol(
+                &scenario.graph,
+                CountingNetworkProtocol::with_network(
+                    &scenario.graph,
+                    tree,
+                    &scenario.requests,
+                    ccq_counting::network::periodic(w),
+                ),
+                cfg,
+            )
+        }
+        CountingAlg::ToggleTree { .. } => {
+            let w = alg.effective_width(scenario.n());
+            let cfg = config_for(mode, tree.max_degree());
+            run_protocol(
+                &scenario.graph,
+                ToggleTreeProtocol::new(&scenario.graph, tree, &scenario.requests, w),
+                cfg,
+            )
+        }
+    }
+    .map_err(RunError::Sim)?;
+    let ranks: Vec<(NodeId, u64)> =
+        report.completions.iter().map(|c| (c.node, c.value)).collect();
+    let order = verify_ranks(&scenario.requests, &ranks).map_err(RunError::Ranks)?;
+    Ok(RunOutcome { alg: alg.name().to_string(), report, order })
+}
+
+/// Run every counting algorithm and return the outcome with the smallest
+/// total delay — the honest competitor against the `Ω` lower bounds.
+pub fn run_best_counting(scenario: &Scenario, mode: ModelMode) -> Result<RunOutcome, RunError> {
+    let algs = [
+        CountingAlg::Central,
+        CountingAlg::CombiningTree,
+        CountingAlg::CountingNetwork { width: None },
+        CountingAlg::PeriodicNetwork { width: None },
+        CountingAlg::ToggleTree { leaves: None },
+    ];
+    let mut best: Option<RunOutcome> = None;
+    for alg in algs {
+        let out = run_counting(scenario, alg, mode)?;
+        let better = match &best {
+            None => true,
+            Some(b) => out.report.total_delay() < b.report.total_delay(),
+        };
+        if better {
+            best = Some(out);
+        }
+    }
+    Ok(best.expect("at least one algorithm ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{RequestPattern, TopoSpec};
+
+    fn mesh_scenario() -> Scenario {
+        Scenario::build(TopoSpec::Mesh2D { side: 4 }, RequestPattern::All)
+    }
+
+    #[test]
+    fn arrow_on_mesh_verifies() {
+        let s = mesh_scenario();
+        let out = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).unwrap();
+        assert_eq!(out.order.len(), 16);
+        assert_eq!(out.alg, "arrow");
+    }
+
+    #[test]
+    fn all_queuing_algs_agree_on_validity() {
+        let s = mesh_scenario();
+        for alg in [QueuingAlg::Arrow, QueuingAlg::ArrowNotify, QueuingAlg::CentralHome] {
+            let out = run_queuing(&s, alg, ModelMode::Strict).unwrap();
+            assert_eq!(out.order.len(), 16, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn all_counting_algs_verify() {
+        let s = mesh_scenario();
+        for alg in [
+            CountingAlg::Central,
+            CountingAlg::CombiningTree,
+            CountingAlg::CountingNetwork { width: Some(4) },
+        ] {
+            let out = run_counting(&s, alg, ModelMode::Strict).unwrap();
+            assert_eq!(out.order.len(), 16, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn best_counting_picks_minimum() {
+        let s = mesh_scenario();
+        let best = run_best_counting(&s, ModelMode::Strict).unwrap();
+        for alg in [CountingAlg::Central, CountingAlg::CombiningTree] {
+            let out = run_counting(&s, alg, ModelMode::Strict).unwrap();
+            assert!(best.report.total_delay() <= out.report.total_delay());
+        }
+    }
+
+    #[test]
+    fn default_width_rule() {
+        let alg = CountingAlg::CountingNetwork { width: None };
+        assert_eq!(alg.effective_width(16), 4);
+        assert_eq!(alg.effective_width(64), 8);
+        assert_eq!(alg.effective_width(100), 16);
+        assert_eq!(alg.effective_width(2), 2);
+        assert_eq!(alg.effective_width(100_000), 32);
+        let fixed = CountingAlg::CountingNetwork { width: Some(8) };
+        assert_eq!(fixed.effective_width(100_000), 8);
+    }
+
+    #[test]
+    fn queuing_beats_counting_on_the_mesh() {
+        // The headline claim, in miniature.
+        let s = mesh_scenario();
+        let q = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).unwrap();
+        let c = run_best_counting(&s, ModelMode::Strict).unwrap();
+        assert!(
+            q.report.total_delay() < c.report.total_delay(),
+            "arrow {} vs counting {}",
+            q.report.total_delay(),
+            c.report.total_delay()
+        );
+    }
+
+    #[test]
+    fn subset_requests_ok() {
+        let s = Scenario::build(
+            TopoSpec::Complete { n: 12 },
+            RequestPattern::Random { density: 0.5, seed: 8 },
+        );
+        let q = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).unwrap();
+        let c = run_counting(&s, CountingAlg::CombiningTree, ModelMode::Strict).unwrap();
+        assert_eq!(q.order.len(), s.k());
+        assert_eq!(c.order.len(), s.k());
+    }
+}

@@ -1,0 +1,280 @@
+//! Scenarios: topology + spanning tree + request set.
+
+use ccq_graph::{spanning, topology, Graph, NodeId, Tree};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A named interconnection topology with concrete size parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// Complete graph `K_n`.
+    Complete { n: usize },
+    /// The list (path) on `n` vertices.
+    List { n: usize },
+    /// 2-D `side × side` mesh.
+    Mesh2D { side: usize },
+    /// 3-D `side × side × side` mesh.
+    Mesh3D { side: usize },
+    /// Hypercube of dimension `dim` (`n = 2^dim`).
+    Hypercube { dim: usize },
+    /// Perfect m-ary tree of the given depth.
+    PerfectTree { m: usize, depth: usize },
+    /// Star on `n` vertices (hub = 0).
+    Star { n: usize },
+    /// Caterpillar: spine of `spine` vertices, `legs` leaves each —
+    /// a constant-degree, high-diameter family for Theorem 4.13.
+    Caterpillar { spine: usize, legs: usize },
+    /// The six-node example graph of the paper's Figure 1.
+    Figure1,
+    /// 2-D `side × side` torus (wraparound mesh) — beyond the paper's list;
+    /// contains the mesh's Hamilton path, so Theorem 4.5 applies.
+    Torus2D { side: usize },
+    /// Random d-regular connected graph — beyond the paper's list; no
+    /// Hamilton-path guarantee, so the arrow runs on a BFS tree and the
+    /// Corollary 4.2 bound is the operative ceiling.
+    RandomRegular { n: usize, d: usize, seed: u64 },
+}
+
+impl TopoSpec {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            TopoSpec::Complete { n } => format!("complete(n={n})"),
+            TopoSpec::List { n } => format!("list(n={n})"),
+            TopoSpec::Mesh2D { side } => format!("mesh2d({side}x{side})"),
+            TopoSpec::Mesh3D { side } => format!("mesh3d({side}^3)"),
+            TopoSpec::Hypercube { dim } => format!("hypercube(d={dim})"),
+            TopoSpec::PerfectTree { m, depth } => format!("perfect-{m}ary(depth={depth})"),
+            TopoSpec::Star { n } => format!("star(n={n})"),
+            TopoSpec::Caterpillar { spine, legs } => format!("caterpillar({spine}x{legs})"),
+            TopoSpec::Figure1 => "figure1(n=6)".into(),
+            TopoSpec::Torus2D { side } => format!("torus2d({side}x{side})"),
+            TopoSpec::RandomRegular { n, d, .. } => format!("random-{d}regular(n={n})"),
+        }
+    }
+
+    /// Build the graph.
+    pub fn graph(&self) -> Graph {
+        match *self {
+            TopoSpec::Complete { n } => topology::complete(n),
+            TopoSpec::List { n } => topology::path(n),
+            TopoSpec::Mesh2D { side } => topology::mesh(&[side, side]),
+            TopoSpec::Mesh3D { side } => topology::mesh(&[side, side, side]),
+            TopoSpec::Hypercube { dim } => topology::hypercube(dim),
+            TopoSpec::PerfectTree { m, depth } => topology::perfect_mary_tree(m, depth),
+            TopoSpec::Star { n } => topology::star(n),
+            TopoSpec::Caterpillar { spine, legs } => topology::caterpillar(spine, legs),
+            TopoSpec::Figure1 => topology::figure1(),
+            TopoSpec::Torus2D { side } => topology::torus(&[side, side]),
+            TopoSpec::RandomRegular { n, d, seed } => topology::random_regular(n, d, seed),
+        }
+    }
+
+    /// The paper's preferred spanning tree for this topology:
+    /// a Hamilton path where one is constructible (Lemma 4.6), the identity
+    /// tree for tree topologies, the hub tree for the star, and a BFS tree
+    /// otherwise.
+    pub fn preferred_tree(&self, graph: &Graph) -> Tree {
+        match *self {
+            TopoSpec::Complete { n } => {
+                spanning::path_tree_from_order(&spanning::hamilton_path_complete(n))
+            }
+            TopoSpec::List { .. } => spanning::bfs_tree(graph, 0),
+            TopoSpec::Mesh2D { side } => {
+                spanning::path_tree_from_order(&spanning::hamilton_path_mesh(&[side, side]))
+            }
+            TopoSpec::Mesh3D { side } => {
+                spanning::path_tree_from_order(&spanning::hamilton_path_mesh(&[side, side, side]))
+            }
+            TopoSpec::Hypercube { dim } => {
+                spanning::path_tree_from_order(&spanning::hamilton_path_hypercube(dim))
+            }
+            TopoSpec::PerfectTree { .. } | TopoSpec::Caterpillar { .. } | TopoSpec::Figure1 => {
+                spanning::bfs_tree(graph, 0)
+            }
+            TopoSpec::Star { n } => spanning::star_tree(n, 0),
+            // The torus contains every mesh edge, so the mesh snake is a
+            // Hamilton path of the torus too.
+            TopoSpec::Torus2D { side } => {
+                spanning::path_tree_from_order(&spanning::hamilton_path_mesh(&[side, side]))
+            }
+            TopoSpec::RandomRegular { .. } => spanning::bfs_tree(graph, 0),
+        }
+    }
+
+    /// A spanning tree suited to *counting* algorithms (low depth, constant
+    /// degree where the topology allows): balanced binary on the complete
+    /// graph, BFS from an approximate center elsewhere.
+    pub fn counting_tree(&self, graph: &Graph) -> Tree {
+        match *self {
+            TopoSpec::Complete { n } => spanning::balanced_binary_tree(n),
+            _ => {
+                let c = ccq_graph::bfs::approx_center(graph, 0);
+                spanning::bfs_tree(graph, c)
+            }
+        }
+    }
+}
+
+/// Which subset of processors issues operations at time 0.
+#[derive(Clone, Debug)]
+pub enum RequestPattern {
+    /// Every processor requests (`R = V`, the lower-bound worst case).
+    All,
+    /// Each processor requests independently with probability `density`.
+    Random { density: f64, seed: u64 },
+    /// The `count` processors with the largest indices (a far-away cluster).
+    TailCluster { count: usize },
+    /// An explicit set.
+    Custom(Vec<NodeId>),
+}
+
+impl RequestPattern {
+    /// Materialize the request set for an `n`-vertex graph (sorted).
+    pub fn materialize(&self, n: usize) -> Vec<NodeId> {
+        match self {
+            RequestPattern::All => (0..n).collect(),
+            RequestPattern::Random { density, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut r: Vec<NodeId> =
+                    (0..n).filter(|_| rng.random::<f64>() < *density).collect();
+                if r.is_empty() && n > 0 {
+                    // Keep scenarios non-degenerate.
+                    r.push(rng.random_range(0..n));
+                }
+                r
+            }
+            RequestPattern::TailCluster { count } => {
+                let c = (*count).min(n);
+                (n - c..n).collect()
+            }
+            RequestPattern::Custom(v) => {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+}
+
+/// A fully-materialized experiment input.
+pub struct Scenario {
+    /// Topology descriptor (for reporting).
+    pub spec: TopoSpec,
+    /// The interconnection graph `G`.
+    pub graph: Graph,
+    /// Spanning tree used by queuing (the paper-preferred tree).
+    pub queuing_tree: Tree,
+    /// Spanning tree used by tree-based counting algorithms.
+    pub counting_tree: Tree,
+    /// The request set `R`, sorted.
+    pub requests: Vec<NodeId>,
+    /// Initial token / counter-root placement.
+    pub tail: NodeId,
+}
+
+impl Scenario {
+    /// Build a scenario with the paper-preferred trees and the tail at the
+    /// queuing tree's root.
+    pub fn build(spec: TopoSpec, pattern: RequestPattern) -> Scenario {
+        let graph = spec.graph();
+        let queuing_tree = spec.preferred_tree(&graph);
+        let counting_tree = spec.counting_tree(&graph);
+        let requests = pattern.materialize(graph.n());
+        let tail = queuing_tree.root();
+        Scenario { spec, graph, queuing_tree, counting_tree, requests, tail }
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of requesters `|R|`.
+    pub fn k(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build_valid_scenarios() {
+        let specs = [
+            TopoSpec::Complete { n: 9 },
+            TopoSpec::List { n: 9 },
+            TopoSpec::Mesh2D { side: 3 },
+            TopoSpec::Mesh3D { side: 2 },
+            TopoSpec::Hypercube { dim: 3 },
+            TopoSpec::PerfectTree { m: 2, depth: 3 },
+            TopoSpec::Star { n: 9 },
+            TopoSpec::Caterpillar { spine: 4, legs: 2 },
+        ];
+        for spec in specs {
+            let s = Scenario::build(spec.clone(), RequestPattern::All);
+            assert!(s.graph.is_connected(), "{}", spec.name());
+            assert!(s.queuing_tree.is_spanning_tree_of(&s.graph), "{}", spec.name());
+            assert!(s.counting_tree.is_spanning_tree_of(&s.graph), "{}", spec.name());
+            assert_eq!(s.k(), s.n());
+        }
+    }
+
+    #[test]
+    fn hamilton_trees_have_degree_two() {
+        for spec in [
+            TopoSpec::Complete { n: 16 },
+            TopoSpec::Mesh2D { side: 4 },
+            TopoSpec::Hypercube { dim: 4 },
+            TopoSpec::Torus2D { side: 4 },
+        ] {
+            let s = Scenario::build(spec, RequestPattern::All);
+            assert!(s.queuing_tree.max_degree() <= 2);
+        }
+    }
+
+    #[test]
+    fn extended_specs_build_valid_scenarios() {
+        for spec in [
+            TopoSpec::Torus2D { side: 4 },
+            TopoSpec::RandomRegular { n: 20, d: 3, seed: 5 },
+            TopoSpec::Figure1,
+        ] {
+            let s = Scenario::build(spec.clone(), RequestPattern::All);
+            assert!(s.graph.is_connected(), "{}", spec.name());
+            assert!(s.queuing_tree.is_spanning_tree_of(&s.graph), "{}", spec.name());
+            assert!(s.counting_tree.is_spanning_tree_of(&s.graph), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn random_pattern_is_seeded() {
+        let a = RequestPattern::Random { density: 0.4, seed: 3 }.materialize(100);
+        let b = RequestPattern::Random { density: 0.4, seed: 3 }.materialize(100);
+        assert_eq!(a, b);
+        let c = RequestPattern::Random { density: 0.4, seed: 4 }.materialize(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_pattern_never_empty() {
+        let r = RequestPattern::Random { density: 0.0, seed: 1 }.materialize(10);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn tail_cluster() {
+        let r = RequestPattern::TailCluster { count: 3 }.materialize(10);
+        assert_eq!(r, vec![7, 8, 9]);
+        let r = RequestPattern::TailCluster { count: 99 }.materialize(4);
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn custom_dedups_and_sorts() {
+        let r = RequestPattern::Custom(vec![5, 1, 5, 3]).materialize(10);
+        assert_eq!(r, vec![1, 3, 5]);
+    }
+}

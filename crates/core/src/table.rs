@@ -1,0 +1,140 @@
+//! Minimal markdown-style table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A titled table of strings.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + paper item).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Column widths for alignment.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let w = self.widths();
+        let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(&self.headers, f)?;
+        write!(f, "|")?;
+        for wi in &w {
+            write!(f, "{:-<width$}|", "", width = wi + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(row, f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format helpers shared by the experiment drivers.
+pub mod fmt_util {
+    /// Thousands-separated integer.
+    pub fn int(v: u64) -> String {
+        let s = v.to_string();
+        let mut out = String::with_capacity(s.len() + s.len() / 3);
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i) % 3 == 0 {
+                out.push('_');
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Fixed two-decimal float.
+    pub fn f2(v: f64) -> String {
+        format!("{v:.2}")
+    }
+
+    /// Check-mark / cross for booleans.
+    pub fn tick(b: bool) -> String {
+        if b { "yes".into() } else { "NO".into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_basic() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("| 1 | 2  |"));
+        assert!(s.contains("> hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_util::int(1234567), "1_234_567");
+        assert_eq!(fmt_util::int(42), "42");
+        assert_eq!(fmt_util::f2(1.234), "1.23");
+        assert_eq!(fmt_util::tick(true), "yes");
+        assert_eq!(fmt_util::tick(false), "NO");
+    }
+}

@@ -1,0 +1,191 @@
+//! The centralized counter: every increment routes to one root processor.
+//!
+//! The root assigns ranks in arrival order and routes each rank back to its
+//! requester. Under the one-send/one-receive model the root handles one
+//! message per round, so `k` concurrent requests serialize into `Θ(k²)`
+//! total delay (plus routing distance) — the behaviour paper §5 proves is
+//! *unavoidable* on the star graph, and the straw-man that combining trees
+//! and counting networks improve upon elsewhere.
+
+use ccq_graph::{path::RouteTable, NodeId, Tree};
+use ccq_sim::{Protocol, SimApi};
+
+/// Messages: increment request towards the root, rank reply back.
+#[derive(Clone, Debug)]
+pub enum CentralCounterMsg {
+    /// Increment from `origin`, source-routed to the root.
+    Inc { origin: NodeId, route: usize, idx: usize },
+    /// Rank reply, source-routed back to the origin.
+    Rank { rank: u64, route: usize, idx: usize },
+}
+
+/// Centralized counter protocol state.
+pub struct CentralCounterProtocol {
+    root: NodeId,
+    next_rank: u64,
+    routes: RouteTable,
+    to_root: Vec<usize>,
+    from_root: Vec<usize>,
+    requests: Vec<NodeId>,
+}
+
+impl CentralCounterProtocol {
+    /// Set up with the counter hosted at `root`, routing along `tree`.
+    pub fn new(tree: &Tree, root: NodeId, requests: &[NodeId]) -> Self {
+        let n = tree.n();
+        assert!(root < n);
+        let mut routes = RouteTable::new();
+        let mut to_root = vec![usize::MAX; n];
+        let mut from_root = vec![usize::MAX; n];
+        let mut requests = requests.to_vec();
+        requests.sort_unstable();
+        for &v in &requests {
+            let p = tree.path(v, root);
+            let mut rp = p.clone();
+            rp.reverse();
+            to_root[v] = routes.push(p);
+            from_root[v] = routes.push(rp);
+        }
+        CentralCounterProtocol { root, next_rank: 1, routes, to_root, from_root, requests }
+    }
+
+    fn hop(&self, api: &mut SimApi<CentralCounterMsg>, at: NodeId, msg: CentralCounterMsg) {
+        let (route, idx) = match &msg {
+            CentralCounterMsg::Inc { route, idx, .. } => (*route, *idx),
+            CentralCounterMsg::Rank { route, idx, .. } => (*route, *idx),
+        };
+        let path = self.routes.get(route);
+        debug_assert_eq!(path[idx], at);
+        let next = path[idx + 1];
+        let bumped = match msg {
+            CentralCounterMsg::Inc { origin, route, .. } => {
+                CentralCounterMsg::Inc { origin, route, idx: idx + 1 }
+            }
+            CentralCounterMsg::Rank { rank, route, .. } => {
+                CentralCounterMsg::Rank { rank, route, idx: idx + 1 }
+            }
+        };
+        api.send(at, next, bumped);
+    }
+}
+
+impl Protocol for CentralCounterProtocol {
+    type Msg = CentralCounterMsg;
+
+    fn on_start(&mut self, api: &mut SimApi<CentralCounterMsg>) {
+        let requests = self.requests.clone();
+        for v in requests {
+            if v == self.root {
+                let rank = self.next_rank;
+                self.next_rank += 1;
+                api.complete(v, rank);
+            } else {
+                let route = self.to_root[v];
+                self.hop(api, v, CentralCounterMsg::Inc { origin: v, route, idx: 0 });
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<CentralCounterMsg>,
+        node: NodeId,
+        _from: NodeId,
+        msg: CentralCounterMsg,
+    ) {
+        match msg {
+            CentralCounterMsg::Inc { origin, route, idx } => {
+                let path_len = self.routes.get(route).len();
+                if idx + 1 == path_len {
+                    debug_assert_eq!(node, self.root);
+                    let rank = self.next_rank;
+                    self.next_rank += 1;
+                    self.hop(api, node, CentralCounterMsg::Rank {
+                        rank,
+                        route: self.from_root[origin],
+                        idx: 0,
+                    });
+                } else {
+                    self.hop(api, node, CentralCounterMsg::Inc { origin, route, idx });
+                }
+            }
+            CentralCounterMsg::Rank { rank, route, idx } => {
+                let path_len = self.routes.get(route).len();
+                if idx + 1 == path_len {
+                    api.complete(node, rank);
+                } else {
+                    self.hop(api, node, CentralCounterMsg::Rank { rank, route, idx });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranks::verify_ranks;
+    use ccq_graph::spanning;
+    use ccq_sim::{run_protocol, SimConfig};
+
+    fn run_central(tree: &Tree, root: NodeId, requests: &[NodeId]) -> ccq_sim::SimReport {
+        let g = tree.to_graph();
+        let proto = CentralCounterProtocol::new(tree, root, requests);
+        let rep = run_protocol(&g, proto, SimConfig::strict()).unwrap();
+        let ranks: Vec<(NodeId, u64)> =
+            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        verify_ranks(requests, &ranks).unwrap();
+        rep
+    }
+
+    #[test]
+    fn counts_on_star() {
+        let n = 10;
+        let t = spanning::star_tree(n, 0);
+        let rep = run_central(&t, 0, &(0..n).collect::<Vec<_>>());
+        assert_eq!(rep.ops(), n);
+    }
+
+    #[test]
+    fn counts_on_list_root_center() {
+        let t = spanning::path_tree_from_order(&(0..9).collect::<Vec<_>>());
+        let rep = run_central(&t, 4, &(0..9).collect::<Vec<_>>());
+        assert_eq!(rep.ops(), 9);
+    }
+
+    #[test]
+    fn counts_on_binary_tree_subset() {
+        let t = spanning::balanced_binary_tree(31);
+        let rep = run_central(&t, 0, &[1, 5, 9, 17, 30]);
+        assert_eq!(rep.ops(), 5);
+    }
+
+    #[test]
+    fn single_remote_request_round_trip() {
+        let t = spanning::path_tree_from_order(&(0..7).collect::<Vec<_>>());
+        let rep = run_central(&t, 6, &[0]);
+        assert_eq!(rep.completions[0].round, 12); // 6 out + 6 back
+        assert_eq!(rep.completions[0].value, 1);
+    }
+
+    #[test]
+    fn quadratic_on_star() {
+        let cost = |n: usize| {
+            let t = spanning::star_tree(n, 0);
+            run_central(&t, 0, &(0..n).collect::<Vec<_>>()).total_delay()
+        };
+        let (c16, c32) = (cost(16), cost(32));
+        assert!(c32 as f64 / c16 as f64 > 3.0, "c16={c16} c32={c32}");
+    }
+
+    #[test]
+    fn ranks_follow_arrival_order_determinism() {
+        // Deterministic engine ⇒ same ranks across runs.
+        let t = spanning::balanced_binary_tree(15);
+        let r1 = run_central(&t, 0, &(0..15).collect::<Vec<_>>());
+        let r2 = run_central(&t, 0, &(0..15).collect::<Vec<_>>());
+        let v1: Vec<_> = r1.completions.iter().map(|c| (c.node, c.value)).collect();
+        let v2: Vec<_> = r2.completions.iter().map(|c| (c.node, c.value)).collect();
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,243 @@
+//! The software-combining tree counter.
+//!
+//! One-shot combining on a rooted spanning tree:
+//!
+//! 1. **Up phase** — every leaf immediately reports the number of requests
+//!    in its subtree (0 or 1) to its parent; an internal node waits for all
+//!    children, adds its own request, and reports the sum upward.
+//! 2. **Down phase** — the root, knowing every subtree's request count,
+//!    assigns rank intervals in preorder (its own request first, then each
+//!    child's subtree in ascending order) and sends each child the base of
+//!    its interval; nodes recursively split their interval the same way.
+//!
+//! Every requester's rank is its preorder position among requesters, so the
+//! ranks are exactly `{1, …, |R|}`. Per-operation delay is `O(depth)` on a
+//! constant-degree tree, hence `O(n log n)` total on a balanced binary
+//! spanning tree — a strong practical counting algorithm, yet still
+//! asymptotically above both the `Ω(n log* n)` floor and the arrow
+//! protocol's `O(n)` on Hamilton-path topologies.
+
+use ccq_graph::{NodeId, Tree};
+use ccq_sim::{Protocol, SimApi};
+
+/// Messages of the combining protocol.
+#[derive(Clone, Copy, Debug)]
+pub enum CombiningMsg {
+    /// Subtree request count, child → parent.
+    Up { count: u64 },
+    /// Base rank for the receiver's subtree interval, parent → child.
+    Down { base: u64 },
+}
+
+struct NodeState {
+    /// Children still expected to report in the up phase.
+    waiting: usize,
+    /// Request counts reported by children (indexed like `tree.children`).
+    child_counts: Vec<u64>,
+    /// Whether this node itself requested.
+    requesting: bool,
+}
+
+/// Combining-tree counter protocol state.
+pub struct CombiningTreeProtocol {
+    parent: Vec<NodeId>,
+    children: Vec<Vec<NodeId>>,
+    root: NodeId,
+    nodes: Vec<NodeState>,
+}
+
+impl CombiningTreeProtocol {
+    /// Set up on `tree` with the given request set.
+    pub fn new(tree: &Tree, requests: &[NodeId]) -> Self {
+        let n = tree.n();
+        let mut requesting = vec![false; n];
+        for &r in requests {
+            assert!(r < n, "request out of range");
+            requesting[r] = true;
+        }
+        let nodes = (0..n)
+            .map(|v| NodeState {
+                waiting: tree.children(v).len(),
+                child_counts: vec![0; tree.children(v).len()],
+                requesting: requesting[v],
+            })
+            .collect();
+        CombiningTreeProtocol {
+            parent: (0..n).map(|v| tree.parent(v)).collect(),
+            children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
+            root: tree.root(),
+            nodes,
+        }
+    }
+
+    fn subtree_count(&self, v: NodeId) -> u64 {
+        self.nodes[v].child_counts.iter().sum::<u64>() + u64::from(self.nodes[v].requesting)
+    }
+
+    /// Node `v` learned its interval base: take own rank (if requesting) and
+    /// forward sub-interval bases to children with non-empty counts.
+    fn distribute(&mut self, api: &mut SimApi<CombiningMsg>, v: NodeId, base: u64) {
+        let mut next = base;
+        if self.nodes[v].requesting {
+            api.complete(v, next);
+            next += 1;
+        }
+        let children = self.children[v].clone();
+        for (i, c) in children.iter().enumerate() {
+            let cnt = self.nodes[v].child_counts[i];
+            if cnt > 0 {
+                api.send(v, *c, CombiningMsg::Down { base: next });
+                next += cnt;
+            }
+        }
+    }
+
+    /// `v`'s subtree is fully aggregated: report up, or start distribution
+    /// if `v` is the root.
+    fn aggregated(&mut self, api: &mut SimApi<CombiningMsg>, v: NodeId) {
+        let total = self.subtree_count(v);
+        if v == self.root {
+            self.distribute(api, v, 1);
+        } else {
+            api.send(v, self.parent[v], CombiningMsg::Up { count: total });
+        }
+    }
+}
+
+impl Protocol for CombiningTreeProtocol {
+    type Msg = CombiningMsg;
+
+    fn on_start(&mut self, api: &mut SimApi<CombiningMsg>) {
+        // Leaves (and a childless root) aggregate immediately.
+        for v in 0..self.parent.len() {
+            if self.nodes[v].waiting == 0 {
+                self.aggregated(api, v);
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<CombiningMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: CombiningMsg,
+    ) {
+        match msg {
+            CombiningMsg::Up { count } => {
+                let slot = self.children[node]
+                    .iter()
+                    .position(|&c| c == from)
+                    .expect("Up message from a non-child");
+                self.nodes[node].child_counts[slot] = count;
+                self.nodes[node].waiting -= 1;
+                if self.nodes[node].waiting == 0 {
+                    self.aggregated(api, node);
+                }
+            }
+            CombiningMsg::Down { base } => {
+                self.distribute(api, node, base);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranks::verify_ranks;
+    use ccq_graph::spanning;
+    use ccq_sim::{run_protocol, SimConfig};
+
+    fn run_combining(
+        tree: &Tree,
+        requests: &[NodeId],
+        cfg: SimConfig,
+    ) -> (ccq_sim::SimReport, Vec<NodeId>) {
+        let g = tree.to_graph();
+        let proto = CombiningTreeProtocol::new(tree, requests);
+        let rep = run_protocol(&g, proto, cfg).unwrap();
+        let ranks: Vec<(NodeId, u64)> =
+            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let order = verify_ranks(requests, &ranks).unwrap();
+        (rep, order)
+    }
+
+    #[test]
+    fn all_request_on_binary_tree() {
+        let t = spanning::balanced_binary_tree(31);
+        let requests: Vec<NodeId> = (0..31).collect();
+        let (rep, order) = run_combining(&t, &requests, SimConfig::expanded(3));
+        assert_eq!(order.len(), 31);
+        // Ranks are preorder positions: root gets rank 1.
+        assert_eq!(order[0], 0);
+        assert!(rep.rounds > 0);
+    }
+
+    #[test]
+    fn subset_requests() {
+        let t = spanning::balanced_binary_tree(15);
+        let (_, order) = run_combining(&t, &[3, 6, 14], SimConfig::strict());
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn no_requests() {
+        let t = spanning::balanced_binary_tree(7);
+        let (rep, order) = run_combining(&t, &[], SimConfig::strict());
+        assert!(order.is_empty());
+        // Up phase still runs (counts of zero), but no completions.
+        assert!(rep.messages_sent > 0);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::from_parents(0, vec![0]);
+        let (rep, order) = run_combining(&t, &[0], SimConfig::strict());
+        assert_eq!(order, vec![0]);
+        assert_eq!(rep.completions[0].round, 0);
+    }
+
+    #[test]
+    fn root_only_request() {
+        let t = spanning::balanced_binary_tree(7);
+        let (_, order) = run_combining(&t, &[0], SimConfig::strict());
+        assert_eq!(order, vec![0]);
+    }
+
+    #[test]
+    fn on_list_costs_quadraticish() {
+        // Combining on a list has depth Θ(n): up+down phases take Θ(n) per
+        // op for half the ops ⇒ total Θ(n²)-ish. Check growth factor.
+        let cost = |n: usize| {
+            let t = spanning::path_tree_from_order(&(0..n).collect::<Vec<_>>());
+            let requests: Vec<NodeId> = (0..n).collect();
+            run_combining(&t, &requests, SimConfig::expanded(2)).0.total_delay()
+        };
+        let (c16, c32) = (cost(16), cost(32));
+        assert!(c32 as f64 / c16 as f64 > 3.0, "c16={c16} c32={c32}");
+    }
+
+    #[test]
+    fn on_balanced_tree_costs_n_log_n_ish() {
+        // Total delay / n should grow like depth (log n), not n.
+        let per_op = |n: usize| {
+            let t = spanning::balanced_binary_tree(n);
+            let requests: Vec<NodeId> = (0..n).collect();
+            run_combining(&t, &requests, SimConfig::expanded(3)).0.total_delay() as f64 / n as f64
+        };
+        let (p63, p1023) = (per_op(63), per_op(1023));
+        // Depth grows 5 → 9; per-op cost should grow sublinearly (< 4×).
+        assert!(p1023 / p63 < 4.0, "p63={p63} p1023={p1023}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = spanning::balanced_binary_tree(31);
+        let requests: Vec<NodeId> = (0..31).step_by(2).collect();
+        let (r1, o1) = run_combining(&t, &requests, SimConfig::strict());
+        let (r2, o2) = run_combining(&t, &requests, SimConfig::strict());
+        assert_eq!(o1, o2);
+        assert_eq!(r1.total_delay(), r2.total_delay());
+    }
+}

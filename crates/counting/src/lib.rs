@@ -1,0 +1,34 @@
+//! Distributed counting protocols (paper §1, §3).
+//!
+//! In distributed counting, processors increment a conceptually-shared
+//! counter; each requester receives the **rank** of its operation — the
+//! counts handed out over request set `R` must be exactly `{1, …, |R|}`.
+//! Theorem 3.5 proves *every* counting algorithm costs `Ω(n log* n)` total
+//! delay; this crate provides the strongest practical algorithms to measure
+//! against that floor (and against the arrow protocol's queuing cost):
+//!
+//! * [`central`] — the naive centralized counter: requests route to a root
+//!   which serializes them (the `Θ(n²)` straw-man; on the star graph §5
+//!   this is also asymptotically optimal);
+//! * [`combining`] — the software-combining tree: request counts aggregate
+//!   up a spanning tree, rank intervals split back down — `O(depth)` per
+//!   operation, `O(n·depth)` total;
+//! * [`network`] — **counting networks** (Aspnes–Herlihy–Shavit '94, the
+//!   paper's reference [1]): bitonic and periodic balancing networks
+//!   embedded onto the processors, tokens acquiring ranks at output wires;
+//! * [`toggle`] — the toggle-tree counter (diffracting-tree skeleton): an
+//!   exact distributed sequencer with a measured root bottleneck;
+//! * [`ranks`] — verification that an execution handed out exactly
+//!   `{1, …, |R|}`.
+
+pub mod central;
+pub mod combining;
+pub mod network;
+pub mod ranks;
+pub mod toggle;
+
+pub use central::CentralCounterProtocol;
+pub use combining::CombiningTreeProtocol;
+pub use network::{BalancingNetwork, BitonicNetwork, CountingNetworkProtocol};
+pub use ranks::{verify_ranks, RankError};
+pub use toggle::ToggleTreeProtocol;

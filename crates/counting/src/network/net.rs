@@ -1,0 +1,226 @@
+//! The balancing-network representation shared by all constructions, plus
+//! sequential execution semantics and the step-property checker.
+
+/// One balancer: consumes `in_a`/`in_b`, produces `out_top`/`out_bot`.
+#[derive(Clone, Copy, Debug)]
+pub struct Balancer {
+    /// First input wire id.
+    pub in_a: usize,
+    /// Second input wire id.
+    pub in_b: usize,
+    /// Output wire for the 1st, 3rd, … tokens.
+    pub out_top: usize,
+    /// Output wire for the 2nd, 4th, … tokens.
+    pub out_bot: usize,
+}
+
+/// Where a wire segment leads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireDest {
+    /// Into balancer `b` (index into [`BalancingNetwork::balancers`]).
+    Balancer(usize),
+    /// Out of the network at output position `j`.
+    Output(usize),
+}
+
+/// An immutable balancing network: a DAG of balancers between `width`
+/// input wires and `width` output wires (in step-property order).
+///
+/// Wires are immutable segments: each balancer consumes two wire ids and
+/// produces two fresh ones. Constructions live in [`super::bitonic`] and
+/// [`super::periodic`].
+#[derive(Clone, Debug)]
+pub struct BalancingNetwork {
+    pub(crate) width: usize,
+    pub(crate) balancers: Vec<Balancer>,
+    pub(crate) inputs: Vec<usize>,
+    pub(crate) outputs: Vec<usize>,
+    pub(crate) wire_dest: Vec<WireDest>,
+    pub(crate) depth: usize,
+    pub(crate) name: &'static str,
+}
+
+/// Incremental builder used by the constructions.
+pub(crate) struct Builder {
+    pub(crate) balancers: Vec<Balancer>,
+    pub(crate) wire_count: usize,
+}
+
+impl Builder {
+    pub(crate) fn new(width: usize) -> Self {
+        Builder { balancers: Vec::new(), wire_count: width }
+    }
+
+    /// Add a balancer on wires `(in_a, in_b)`; returns its output wires.
+    pub(crate) fn balancer(&mut self, in_a: usize, in_b: usize) -> (usize, usize) {
+        let out_top = self.wire_count;
+        let out_bot = self.wire_count + 1;
+        self.wire_count += 2;
+        self.balancers.push(Balancer { in_a, in_b, out_top, out_bot });
+        (out_top, out_bot)
+    }
+
+    /// Finalize with the given output wire order.
+    pub(crate) fn finish(
+        self,
+        width: usize,
+        outputs: Vec<usize>,
+        name: &'static str,
+    ) -> BalancingNetwork {
+        let Builder { balancers, wire_count } = self;
+        let mut wire_dest = vec![WireDest::Output(usize::MAX); wire_count];
+        for (bi, bal) in balancers.iter().enumerate() {
+            wire_dest[bal.in_a] = WireDest::Balancer(bi);
+            wire_dest[bal.in_b] = WireDest::Balancer(bi);
+        }
+        for (j, &w) in outputs.iter().enumerate() {
+            wire_dest[w] = WireDest::Output(j);
+        }
+        let mut wire_depth = vec![0usize; wire_count];
+        let mut depth = 0;
+        for bal in &balancers {
+            let d = wire_depth[bal.in_a].max(wire_depth[bal.in_b]) + 1;
+            wire_depth[bal.out_top] = d;
+            wire_depth[bal.out_bot] = d;
+            depth = depth.max(d);
+        }
+        BalancingNetwork {
+            width,
+            balancers,
+            inputs: (0..width).collect(),
+            outputs,
+            wire_dest,
+            depth,
+            name,
+        }
+    }
+}
+
+impl BalancingNetwork {
+    /// Network width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Construction name (`"bitonic"` / `"periodic"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// All balancers, topologically ordered.
+    pub fn balancers(&self) -> &[Balancer] {
+        &self.balancers
+    }
+
+    /// Wire id of input position `i`.
+    pub fn input_wire(&self, i: usize) -> usize {
+        self.inputs[i]
+    }
+
+    /// Wire id of output position `j`.
+    pub fn output_wire(&self, j: usize) -> usize {
+        self.outputs[j]
+    }
+
+    /// Destination of a wire id.
+    pub fn wire_dest(&self, wire: usize) -> WireDest {
+        self.wire_dest[wire]
+    }
+
+    /// Longest balancer chain.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The balancer producing each output wire (used to host exit counters
+    /// next to the final balancer column).
+    pub fn output_producer(&self, j: usize) -> usize {
+        let w = self.outputs[j];
+        self.balancers
+            .iter()
+            .position(|b| b.out_top == w || b.out_bot == w)
+            .expect("every output wire of a width ≥ 2 network leaves a balancer")
+    }
+}
+
+/// Sequential executor: feeds whole tokens one at a time (used to validate
+/// constructions independently of the simulator).
+pub struct SeqNetwork<'n> {
+    net: &'n BalancingNetwork,
+    toggles: Vec<bool>,
+    exit_counts: Vec<u64>,
+}
+
+impl<'n> SeqNetwork<'n> {
+    /// Fresh executor with all balancers pointing at their top outputs.
+    pub fn new(net: &'n BalancingNetwork) -> Self {
+        SeqNetwork {
+            net,
+            toggles: vec![false; net.balancers.len()],
+            exit_counts: vec![0; net.width],
+        }
+    }
+
+    /// Push one token into input position `i`; returns its output position.
+    pub fn feed(&mut self, i: usize) -> usize {
+        let mut wire = self.net.inputs[i];
+        loop {
+            match self.net.wire_dest[wire] {
+                WireDest::Balancer(b) => {
+                    let bal = &self.net.balancers[b];
+                    wire = if self.toggles[b] { bal.out_bot } else { bal.out_top };
+                    self.toggles[b] = !self.toggles[b];
+                }
+                WireDest::Output(j) => {
+                    self.exit_counts[j] += 1;
+                    return j;
+                }
+            }
+        }
+    }
+
+    /// Push one token and return the **count** it acquires
+    /// (`j + 1 + (c−1)·w` for the `c`-th token on output `j`).
+    pub fn next_count(&mut self, i: usize) -> u64 {
+        let j = self.feed(i);
+        (j as u64 + 1) + (self.exit_counts[j] - 1) * self.net.width as u64
+    }
+
+    /// Tokens seen so far per output wire.
+    pub fn exit_counts(&self) -> &[u64] {
+        &self.exit_counts
+    }
+}
+
+/// The step property: `0 ≤ yᵢ − yⱼ ≤ 1` for every `i < j`.
+pub fn has_step_property(counts: &[u64]) -> bool {
+    counts.windows(2).all(|w| w[0] >= w[1])
+        && counts.first().copied().unwrap_or(0) <= counts.last().copied().unwrap_or(0) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_property_checker() {
+        assert!(has_step_property(&[2, 2, 1, 1]));
+        assert!(has_step_property(&[3, 3, 3, 3]));
+        assert!(has_step_property(&[1, 0, 0, 0]));
+        assert!(!has_step_property(&[2, 0, 0, 0]));
+        assert!(!has_step_property(&[1, 2, 1, 1]));
+        assert!(has_step_property(&[]));
+    }
+
+    #[test]
+    fn builder_wires_are_unique() {
+        let mut b = Builder::new(2);
+        let (t, bt) = b.balancer(0, 1);
+        assert_eq!((t, bt), (2, 3));
+        let net = b.finish(2, vec![t, bt], "test");
+        assert_eq!(net.depth(), 1);
+        assert_eq!(net.balancers().len(), 1);
+        assert_eq!(net.wire_dest(0), WireDest::Balancer(0));
+        assert_eq!(net.wire_dest(2), WireDest::Output(0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Verification that a counting execution handed out exactly `{1, …, |R|}`.
+
+use ccq_graph::NodeId;
+
+/// Why a counting execution's output is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankError {
+    /// A requester finished without a rank, or a non-requester got one.
+    WrongParticipants { missing: Vec<NodeId>, unexpected: Vec<NodeId> },
+    /// A requester completed more than once.
+    DuplicateCompletion { node: NodeId },
+    /// Two requesters received the same rank.
+    DuplicateRank { rank: u64, a: NodeId, b: NodeId },
+    /// A rank outside `1..=|R|` was handed out.
+    RankOutOfRange { node: NodeId, rank: u64, expected_max: u64 },
+}
+
+impl std::fmt::Display for RankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankError::WrongParticipants { missing, unexpected } => {
+                write!(f, "wrong participants: missing {missing:?}, unexpected {unexpected:?}")
+            }
+            RankError::DuplicateCompletion { node } => write!(f, "node {node} completed twice"),
+            RankError::DuplicateRank { rank, a, b } => {
+                write!(f, "nodes {a} and {b} both received rank {rank}")
+            }
+            RankError::RankOutOfRange { node, rank, expected_max } => {
+                write!(f, "node {node} received rank {rank} outside 1..={expected_max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
+
+/// Verify counting output: `ranks` holds `(requester, rank)` pairs.
+///
+/// On success returns the requesters in rank order (rank 1 first).
+pub fn verify_ranks(
+    requests: &[NodeId],
+    ranks: &[(NodeId, u64)],
+) -> Result<Vec<NodeId>, RankError> {
+    use std::collections::{HashMap, HashSet};
+    let req_set: HashSet<NodeId> = requests.iter().copied().collect();
+    let k = requests.len() as u64;
+
+    let mut by_node: HashMap<NodeId, u64> = HashMap::with_capacity(ranks.len());
+    let mut unexpected = Vec::new();
+    for &(node, r) in ranks {
+        if !req_set.contains(&node) {
+            unexpected.push(node);
+            continue;
+        }
+        if by_node.insert(node, r).is_some() {
+            return Err(RankError::DuplicateCompletion { node });
+        }
+    }
+    let missing: Vec<NodeId> =
+        requests.iter().copied().filter(|v| !by_node.contains_key(v)).collect();
+    if !missing.is_empty() || !unexpected.is_empty() {
+        return Err(RankError::WrongParticipants { missing, unexpected });
+    }
+
+    let mut owner: HashMap<u64, NodeId> = HashMap::with_capacity(by_node.len());
+    for (&node, &r) in &by_node {
+        if r < 1 || r > k {
+            return Err(RankError::RankOutOfRange { node, rank: r, expected_max: k });
+        }
+        if let Some(&other) = owner.get(&r) {
+            let (a, b) = (other.min(node), other.max(node));
+            return Err(RankError::DuplicateRank { rank: r, a, b });
+        }
+        owner.insert(r, node);
+    }
+    // k distinct ranks in 1..=k ⇒ exactly {1..k}.
+    Ok((1..=k).map(|r| owner[&r]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_permutation_accepted() {
+        let order = verify_ranks(&[3, 5, 9], &[(5, 1), (9, 2), (3, 3)]).unwrap();
+        assert_eq!(order, vec![5, 9, 3]);
+    }
+
+    #[test]
+    fn empty_ok() {
+        assert!(verify_ranks(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_rejected() {
+        let err = verify_ranks(&[1, 2], &[(1, 1)]).unwrap_err();
+        assert!(matches!(err, RankError::WrongParticipants { .. }));
+    }
+
+    #[test]
+    fn duplicate_rank_rejected() {
+        let err = verify_ranks(&[1, 2], &[(1, 1), (2, 1)]).unwrap_err();
+        assert_eq!(err, RankError::DuplicateRank { rank: 1, a: 1, b: 2 });
+    }
+
+    #[test]
+    fn zero_rank_rejected() {
+        let err = verify_ranks(&[1], &[(1, 0)]).unwrap_err();
+        assert!(matches!(err, RankError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn gap_detected_via_range() {
+        // Ranks {1, 3} for two requesters: 3 > k = 2.
+        let err = verify_ranks(&[1, 2], &[(1, 1), (2, 3)]).unwrap_err();
+        assert!(matches!(err, RankError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn double_completion_rejected() {
+        let err = verify_ranks(&[1, 2], &[(1, 1), (1, 2), (2, 2)]).unwrap_err();
+        assert_eq!(err, RankError::DuplicateCompletion { node: 1 });
+    }
+
+    #[test]
+    fn non_requester_rejected() {
+        let err = verify_ranks(&[1], &[(1, 1), (4, 2)]).unwrap_err();
+        assert!(matches!(err, RankError::WrongParticipants { .. }));
+    }
+}

@@ -1,0 +1,132 @@
+//! Binary-lifting lowest common ancestor and O(log n) tree distances.
+//!
+//! The nearest-neighbour TSP analysis (paper §4) measures distances "along
+//! the tree T"; [`Lca::dist`] is that metric.
+
+use crate::{NodeId, Tree};
+
+/// Lowest-common-ancestor index over a [`Tree`], built in `O(n log n)`.
+pub struct Lca {
+    depth: Vec<u32>,
+    /// `up[k][v]` = the 2^k-th ancestor of `v` (clamped at the root).
+    up: Vec<Vec<NodeId>>,
+}
+
+impl Lca {
+    /// Build the lifting table for `tree`.
+    pub fn new(tree: &Tree) -> Lca {
+        let n = tree.n();
+        let levels = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+        let mut up = Vec::with_capacity(levels.max(1));
+        up.push((0..n).map(|v| tree.parent(v)).collect::<Vec<_>>());
+        for k in 1..levels.max(1) {
+            let prev = &up[k - 1];
+            let next: Vec<NodeId> = (0..n).map(|v| prev[prev[v]]).collect();
+            up.push(next);
+        }
+        Lca { depth: (0..n).map(|v| tree.depth(v)).collect(), up }
+    }
+
+    /// Depth of `v` in the underlying tree.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v]
+    }
+
+    /// The ancestor of `v` that is `steps` levels above it (clamped at root).
+    pub fn ancestor(&self, mut v: NodeId, steps: u32) -> NodeId {
+        let mut steps = steps.min(self.depth[v]);
+        let mut k = 0usize;
+        while steps > 0 && k < self.up.len() {
+            if steps & 1 == 1 {
+                v = self.up[k][v];
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        v
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, mut u: NodeId, mut v: NodeId) -> NodeId {
+        if self.depth[u] < self.depth[v] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        u = self.ancestor(u, self.depth[u] - self.depth[v]);
+        if u == v {
+            return u;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][u] != self.up[k][v] {
+                u = self.up[k][u];
+                v = self.up[k][v];
+            }
+        }
+        self.up[0][u]
+    }
+
+    /// Distance between `u` and `v` along the tree.
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u32 {
+        let a = self.lca(u, v);
+        self.depth[u] + self.depth[v] - 2 * self.depth[a]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spanning;
+    use crate::topology;
+    use crate::tree::Tree;
+
+    #[test]
+    fn lca_on_small_tree() {
+        let t = Tree::from_parents(0, vec![0, 0, 0, 1, 1, 4]);
+        let l = Lca::new(&t);
+        assert_eq!(l.lca(3, 5), 1);
+        assert_eq!(l.lca(3, 2), 0);
+        assert_eq!(l.lca(4, 5), 4);
+        assert_eq!(l.lca(0, 5), 0);
+        assert_eq!(l.lca(3, 3), 3);
+    }
+
+    #[test]
+    fn dist_matches_naive_walk() {
+        let g = topology::perfect_mary_tree(3, 3);
+        let t = spanning::bfs_tree(&g, 0);
+        let l = Lca::new(&t);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(l.dist(u, v), t.dist(u, v), "dist({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_on_path_is_index_difference() {
+        let t = spanning::path_tree_from_order(&(0..20).collect::<Vec<_>>());
+        let l = Lca::new(&t);
+        for u in 0..20usize {
+            for v in 0..20usize {
+                assert_eq!(l.dist(u, v) as usize, u.abs_diff(v));
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_clamps_at_root() {
+        let t = Tree::from_parents(0, vec![0, 0, 1, 2]);
+        let l = Lca::new(&t);
+        assert_eq!(l.ancestor(3, 1), 2);
+        assert_eq!(l.ancestor(3, 3), 0);
+        assert_eq!(l.ancestor(3, 100), 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = Tree::from_parents(0, vec![0]);
+        let l = Lca::new(&t);
+        assert_eq!(l.lca(0, 0), 0);
+        assert_eq!(l.dist(0, 0), 0);
+    }
+}

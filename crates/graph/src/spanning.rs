@@ -1,0 +1,294 @@
+//! Spanning-tree constructions.
+//!
+//! The arrow protocol's upper bound (Theorem 4.1) holds on any
+//! constant-degree spanning tree; the paper's strongest results pick
+//! particular trees:
+//! * a **Hamilton path** of `G` (Lemma 4.3 then gives a 3n NN-TSP bound) —
+//!   constructed here for the complete graph, d-dimensional meshes (snake
+//!   order) and hypercubes (Gray-code order), proving Lemma 4.6's families;
+//! * a **perfect m-ary tree** (Theorem 4.7/4.12) — the identity tree of
+//!   [`crate::topology::perfect_mary_tree`];
+//! * any constant-degree tree for Theorem 4.13 — e.g. BFS trees of meshes.
+
+use crate::bfs::bfs_tree_arrays;
+use crate::tree::{tree_from_pred, Tree};
+use crate::{topology, Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// BFS spanning tree of `g` rooted at `root`.
+///
+/// # Panics
+/// Panics if `g` is disconnected.
+pub fn bfs_tree(g: &Graph, root: NodeId) -> Tree {
+    let (_, pred) = bfs_tree_arrays(g, root);
+    tree_from_pred(root, &pred)
+}
+
+/// DFS spanning tree of `g` rooted at `root` (iterative, deterministic:
+/// neighbours explored in ascending order).
+pub fn dfs_tree(g: &Graph, root: NodeId) -> Tree {
+    let n = g.n();
+    let mut parent = vec![crate::NO_NODE; n];
+    // Late binding: a vertex's parent is fixed when it is *popped*, so the
+    // tree follows genuine depth-first discovery order.
+    let mut stack = vec![(root, root)];
+    while let Some((u, p)) = stack.pop() {
+        if parent[u] != crate::NO_NODE {
+            continue;
+        }
+        parent[u] = p;
+        for &v in g.neighbors(u).iter().rev() {
+            if parent[v] == crate::NO_NODE {
+                stack.push((v, u));
+            }
+        }
+    }
+    assert!(parent.iter().all(|&p| p != crate::NO_NODE), "graph disconnected");
+    Tree::from_parents(root, parent)
+}
+
+/// Random-walk flavoured spanning tree: BFS from `root` but with each
+/// frontier shuffled, giving varied tree shapes for ablations.
+pub fn random_bfs_tree(g: &Graph, root: NodeId, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.n();
+    let mut parent = vec![crate::NO_NODE; n];
+    parent[root] = root;
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        frontier.shuffle(&mut rng);
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let mut nbs: Vec<NodeId> = g.neighbors(u).to_vec();
+            nbs.shuffle(&mut rng);
+            for v in nbs {
+                if parent[v] == crate::NO_NODE {
+                    parent[v] = u;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    assert!(parent.iter().all(|&p| p != crate::NO_NODE), "graph disconnected");
+    Tree::from_parents(root, parent)
+}
+
+/// Turn an ordering of all vertices into a path-shaped tree rooted at
+/// `order[0]` (each vertex's parent is its predecessor in the order).
+pub fn path_tree_from_order(order: &[NodeId]) -> Tree {
+    let n = order.len();
+    assert!(n > 0, "empty order");
+    let mut parent = vec![crate::NO_NODE; n];
+    parent[order[0]] = order[0];
+    for w in order.windows(2) {
+        assert!(parent[w[1]] == crate::NO_NODE, "duplicate vertex in order");
+        parent[w[1]] = w[0];
+    }
+    Tree::from_parents(order[0], parent)
+}
+
+/// Hamilton path of the complete graph `K_n`: the identity order.
+pub fn hamilton_path_complete(n: usize) -> Vec<NodeId> {
+    (0..n).collect()
+}
+
+/// Hamilton path of the d-dimensional mesh by boustrophedon ("snake") order:
+/// sweep the last axis back and forth, carrying over to earlier axes.
+///
+/// This is the constructive version of Lemma 4.6's induction (a d-dim mesh
+/// is a stack of (d−1)-dim meshes traversed alternately forwards/backwards).
+pub fn hamilton_path_mesh(dims: &[usize]) -> Vec<NodeId> {
+    let n: usize = dims.iter().product();
+    let mut order = Vec::with_capacity(n);
+    // Recursive snake: for the first axis index i, traverse the sub-mesh in
+    // forward order when i is even and reversed when odd.
+    fn rec(dims: &[usize], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if dims.len() == prefix.len() {
+            out.push(prefix.clone());
+            return;
+        }
+        let axis = prefix.len();
+        let side = dims[axis];
+        // Alternate direction based on the sum of earlier coordinates so that
+        // consecutive sub-mesh traversals join at adjacent cells.
+        let backwards = prefix.iter().sum::<usize>() % 2 == 1;
+        for i in 0..side {
+            let c = if backwards { side - 1 - i } else { i };
+            prefix.push(c);
+            rec(dims, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut coords = Vec::with_capacity(n);
+    rec(dims, &mut Vec::new(), &mut coords);
+    for c in coords {
+        order.push(topology::mesh_index(dims, &c));
+    }
+    order
+}
+
+/// Hamilton path of the d-dimensional hypercube via the binary reflected
+/// Gray code: consecutive codewords differ in exactly one bit.
+pub fn hamilton_path_hypercube(d: usize) -> Vec<NodeId> {
+    let n = 1usize << d;
+    (0..n).map(|i| i ^ (i >> 1)).collect()
+}
+
+/// Verify that `order` is a Hamilton path of `g`: a permutation of the
+/// vertices with every consecutive pair adjacent.
+pub fn is_hamilton_path(g: &Graph, order: &[NodeId]) -> bool {
+    if order.len() != g.n() {
+        return false;
+    }
+    let mut seen = vec![false; g.n()];
+    for &v in order {
+        if v >= g.n() || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    order.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// Balanced (heap-shaped) binary spanning tree on `0..n` — a valid spanning
+/// tree of `K_n`, giving the combining counter a depth of `⌊log₂ n⌋`.
+pub fn balanced_binary_tree(n: usize) -> Tree {
+    assert!(n > 0);
+    let parent: Vec<NodeId> = (0..n).map(|v| if v == 0 { 0 } else { (v - 1) / 2 }).collect();
+    Tree::from_parents(0, parent)
+}
+
+/// Star spanning tree: every vertex hangs off `center`. Valid in `K_n` and
+/// the star graph itself; maximum degree `n − 1` (the contention worst case
+/// of paper §5).
+pub fn star_tree(n: usize, center: NodeId) -> Tree {
+    assert!(center < n);
+    let parent: Vec<NodeId> = (0..n).map(|v| if v == center { center } else { center }).collect();
+    Tree::from_parents(center, parent)
+}
+
+/// The perfect m-ary tree *as a tree* (root 0, level indexing); the spanning
+/// tree used by Theorems 4.7/4.12.
+pub fn perfect_mary_tree(m: usize, depth: usize) -> Tree {
+    let n = topology::perfect_mary_size(m, depth);
+    let parent: Vec<NodeId> = (0..n).map(|v| if v == 0 { 0 } else { (v - 1) / m }).collect();
+    Tree::from_parents(0, parent)
+}
+
+/// Choose the paper's preferred spanning tree for a named topology:
+/// a Hamilton path when one is constructible, otherwise a BFS tree.
+pub fn hamilton_or_bfs(g: &Graph, hamilton: Option<Vec<NodeId>>) -> Tree {
+    match hamilton {
+        Some(order) => {
+            debug_assert!(is_hamilton_path(g, &order));
+            path_tree_from_order(&order)
+        }
+        None => bfs_tree(g, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn bfs_tree_of_mesh_is_spanning() {
+        let g = topology::mesh(&[4, 4]);
+        let t = bfs_tree(&g, 0);
+        assert!(t.is_spanning_tree_of(&g));
+        assert_eq!(t.n(), 16);
+        assert!(t.max_degree() <= 4);
+    }
+
+    #[test]
+    fn dfs_tree_of_cycle_is_path() {
+        let g = topology::cycle(8);
+        let t = dfs_tree(&g, 0);
+        assert!(t.is_spanning_tree_of(&g));
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.height(), 7);
+    }
+
+    #[test]
+    fn random_bfs_tree_is_spanning() {
+        let g = topology::complete(20);
+        for seed in 0..4 {
+            let t = random_bfs_tree(&g, 3, seed);
+            assert!(t.is_spanning_tree_of(&g));
+            assert_eq!(t.root(), 3);
+        }
+    }
+
+    #[test]
+    fn mesh_snake_is_hamilton() {
+        for dims in [&[7][..], &[3, 5][..], &[2, 3, 4][..], &[3, 3, 3][..], &[2, 2, 2, 2][..]] {
+            let g = topology::mesh(dims);
+            let order = hamilton_path_mesh(dims);
+            assert!(is_hamilton_path(&g, &order), "snake fails on {dims:?}");
+        }
+    }
+
+    #[test]
+    fn gray_code_is_hamilton_on_hypercube() {
+        for d in 1..=8 {
+            let g = topology::hypercube(d);
+            let order = hamilton_path_hypercube(d);
+            assert!(is_hamilton_path(&g, &order), "gray code fails at d={d}");
+        }
+    }
+
+    #[test]
+    fn complete_identity_is_hamilton() {
+        let g = topology::complete(9);
+        assert!(is_hamilton_path(&g, &hamilton_path_complete(9)));
+    }
+
+    #[test]
+    fn hamilton_check_rejects_bad_orders() {
+        let g = topology::path(4);
+        assert!(is_hamilton_path(&g, &[0, 1, 2, 3]));
+        assert!(!is_hamilton_path(&g, &[0, 2, 1, 3])); // 0-2 not an edge
+        assert!(!is_hamilton_path(&g, &[0, 1, 2])); // not all vertices
+        assert!(!is_hamilton_path(&g, &[0, 1, 1, 3])); // duplicate
+    }
+
+    #[test]
+    fn path_tree_shape() {
+        let t = path_tree_from_order(&[2, 0, 1, 3]);
+        assert_eq!(t.root(), 2);
+        assert_eq!(t.parent(0), 2);
+        assert_eq!(t.parent(1), 0);
+        assert_eq!(t.parent(3), 1);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn balanced_binary_tree_depth() {
+        let t = balanced_binary_tree(15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.max_degree(), 3);
+        let g = topology::complete(15);
+        assert!(t.is_spanning_tree_of(&g));
+    }
+
+    #[test]
+    fn star_tree_degree() {
+        let t = star_tree(10, 0);
+        assert_eq!(t.max_degree(), 9);
+        assert!(t.is_spanning_tree_of(&topology::star(10)));
+        assert!(t.is_spanning_tree_of(&topology::complete(10)));
+    }
+
+    #[test]
+    fn perfect_tree_as_tree_matches_graph() {
+        let t = perfect_mary_tree(3, 2);
+        let g = topology::perfect_mary_tree(3, 2);
+        assert!(t.is_spanning_tree_of(&g));
+        assert_eq!(t.max_degree(), 4); // internal node: parent + 3 children
+        assert_eq!(t.height(), 2);
+    }
+}

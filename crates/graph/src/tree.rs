@@ -1,0 +1,315 @@
+//! Rooted trees: the arrow protocol, the combining counter and the TSP
+//! analysis all operate on a spanning tree `T` of the network `G`.
+
+use crate::{Graph, NodeId, NO_NODE};
+
+/// A rooted tree on vertices `0..n`, stored as a validated parent array.
+///
+/// Invariants (checked by [`Tree::from_parents`]):
+/// * `parent[root] == root` and no other self-parent;
+/// * following parents from any vertex reaches the root (no cycles, one
+///   component).
+#[derive(Clone, Debug)]
+pub struct Tree {
+    root: NodeId,
+    parent: Vec<NodeId>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    /// Vertices in BFS order from the root (root first).
+    bfs_order: Vec<NodeId>,
+}
+
+impl Tree {
+    /// Build from a parent array; `parent[root]` must equal `root`.
+    ///
+    /// # Panics
+    /// Panics if the array does not describe a single rooted tree.
+    pub fn from_parents(root: NodeId, parent: Vec<NodeId>) -> Tree {
+        let n = parent.len();
+        assert!(root < n, "root out of range");
+        assert_eq!(parent[root], root, "parent[root] must be root");
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            assert!(parent[v] < n, "parent[{v}] out of range");
+            if v != root {
+                assert_ne!(parent[v], v, "vertex {v} is a second root");
+                children[parent[v]].push(v);
+            }
+        }
+        // BFS from the root computes depths and detects unreachable vertices
+        // (which would imply a cycle among non-root vertices).
+        let mut depth = vec![u32::MAX; n];
+        let mut bfs_order = Vec::with_capacity(n);
+        let mut q = std::collections::VecDeque::new();
+        depth[root] = 0;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            bfs_order.push(u);
+            for &c in &children[u] {
+                depth[c] = depth[u] + 1;
+                q.push_back(c);
+            }
+        }
+        assert_eq!(bfs_order.len(), n, "parent array contains a cycle");
+        Tree { root, parent, children, depth, bfs_order }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v` (the root is its own parent).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v]
+    }
+
+    /// Height of the tree: maximum depth.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether `v` is a leaf (no children; a single-vertex tree's root is a leaf).
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// Vertices in BFS order from the root.
+    #[inline]
+    pub fn bfs_order(&self) -> &[NodeId] {
+        &self.bfs_order
+    }
+
+    /// Degree of `v` in the tree seen as an undirected graph.
+    pub fn tree_degree(&self, v: NodeId) -> usize {
+        self.children[v].len() + usize::from(v != self.root)
+    }
+
+    /// Maximum undirected degree — Theorem 4.1 requires this to be constant.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.tree_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Tree neighbours of `v` (parent, then children).
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut nb = Vec::with_capacity(self.tree_degree(v));
+        if v != self.root {
+            nb.push(self.parent[v]);
+        }
+        nb.extend_from_slice(&self.children[v]);
+        nb
+    }
+
+    /// The tree as an undirected [`Graph`] (for running protocols *on* `T`).
+    pub fn to_graph(&self) -> Graph {
+        let mut b = crate::GraphBuilder::new(self.n());
+        for v in 0..self.n() {
+            if v != self.root {
+                b.add_edge(v, self.parent[v]);
+            }
+        }
+        b.build()
+    }
+
+    /// Whether every tree edge is an edge of `g` (i.e. `T` is a spanning
+    /// tree / subgraph of `g` on the same vertex set).
+    pub fn is_spanning_tree_of(&self, g: &Graph) -> bool {
+        self.n() == g.n()
+            && (0..self.n()).all(|v| v == self.root || g.has_edge(v, self.parent[v]))
+    }
+
+    /// Distance between `u` and `v` in the tree, walking up by depth —
+    /// `O(depth)`. For repeated queries prefer [`crate::Lca`].
+    pub fn dist(&self, mut u: NodeId, mut v: NodeId) -> u32 {
+        let mut d = 0;
+        while self.depth[u] > self.depth[v] {
+            u = self.parent[u];
+            d += 1;
+        }
+        while self.depth[v] > self.depth[u] {
+            v = self.parent[v];
+            d += 1;
+        }
+        while u != v {
+            u = self.parent[u];
+            v = self.parent[v];
+            d += 2;
+        }
+        d
+    }
+
+    /// The path from `u` to `v` inclusive, via their lowest common ancestor.
+    pub fn path(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        let (mut a, mut b) = (u, v);
+        while self.depth[a] > self.depth[b] {
+            up.push(a);
+            a = self.parent[a];
+        }
+        while self.depth[b] > self.depth[a] {
+            down.push(b);
+            b = self.parent[b];
+        }
+        while a != b {
+            up.push(a);
+            a = self.parent[a];
+            down.push(b);
+            b = self.parent[b];
+        }
+        up.push(a);
+        up.extend(down.into_iter().rev());
+        up
+    }
+
+    /// Size of each vertex's subtree (computed on demand).
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.n()];
+        for &v in self.bfs_order.iter().rev() {
+            if v != self.root {
+                size[self.parent[v]] += size[v];
+            }
+        }
+        size
+    }
+
+    /// Vertices at each depth level (`result[d]` = vertices of depth `d`).
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let h = self.height() as usize;
+        let mut lv = vec![Vec::new(); h + 1];
+        for v in 0..self.n() {
+            lv[self.depth[v] as usize].push(v);
+        }
+        lv
+    }
+}
+
+/// Build a [`Tree`] from a BFS predecessor array (as produced by
+/// [`crate::bfs::bfs_tree_arrays`]).
+pub fn tree_from_pred(root: NodeId, pred: &[NodeId]) -> Tree {
+    let parent: Vec<NodeId> = pred
+        .iter()
+        .enumerate()
+        .map(|(v, &p)| {
+            assert!(p != NO_NODE, "vertex {v} unreachable from root {root}");
+            p
+        })
+        .collect();
+    Tree::from_parents(root, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Tree {
+        // 0 is root; 1,2 children of 0; 3,4 children of 1; 5 child of 4.
+        Tree::from_parents(0, vec![0, 0, 0, 1, 1, 4])
+    }
+
+    #[test]
+    fn structure() {
+        let t = sample_tree();
+        assert_eq!(t.n(), 6);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.depth(5), 3);
+        assert_eq!(t.height(), 3);
+        assert!(t.is_leaf(3));
+        assert!(!t.is_leaf(4));
+        assert_eq!(t.tree_degree(1), 3);
+        assert_eq!(t.max_degree(), 3);
+    }
+
+    #[test]
+    fn distances_and_paths() {
+        let t = sample_tree();
+        assert_eq!(t.dist(3, 5), 3); // 3-1-4-5
+        assert_eq!(t.path(3, 5), vec![3, 1, 4, 5]);
+        assert_eq!(t.dist(2, 5), 4); // 2-0-1-4-5
+        assert_eq!(t.path(2, 5), vec![2, 0, 1, 4, 5]);
+        assert_eq!(t.dist(0, 0), 0);
+        assert_eq!(t.path(4, 4), vec![4]);
+        assert_eq!(t.path(5, 2), vec![5, 4, 1, 0, 2]);
+    }
+
+    #[test]
+    fn subtree_sizes_sum() {
+        let t = sample_tree();
+        let s = t.subtree_sizes();
+        assert_eq!(s[0], 6);
+        assert_eq!(s[1], 4);
+        assert_eq!(s[4], 2);
+        assert_eq!(s[3], 1);
+    }
+
+    #[test]
+    fn levels_partition() {
+        let t = sample_tree();
+        let lv = t.levels();
+        assert_eq!(lv.len(), 4);
+        assert_eq!(lv[0], vec![0]);
+        assert_eq!(lv[1], vec![1, 2]);
+        assert_eq!(lv[3], vec![5]);
+        assert_eq!(lv.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn to_graph_roundtrip() {
+        let t = sample_tree();
+        let g = t.to_graph();
+        assert_eq!(g.m(), 5);
+        assert!(t.is_spanning_tree_of(&g));
+        assert!(g.has_edge(4, 5));
+    }
+
+    #[test]
+    fn spanning_tree_check_rejects_non_subgraph() {
+        let t = sample_tree();
+        let p = crate::topology::path(6);
+        assert!(!t.is_spanning_tree_of(&p)); // edge (0,2) is not a path edge
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        // 1 and 2 point at each other.
+        Tree::from_parents(0, vec![0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "second root")]
+    fn two_roots_detected() {
+        Tree::from_parents(0, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = Tree::from_parents(0, vec![0]);
+        assert_eq!(t.n(), 1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.max_degree(), 0);
+        assert_eq!(t.dist(0, 0), 0);
+    }
+}

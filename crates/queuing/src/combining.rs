@@ -1,0 +1,224 @@
+//! Combining-tree queuing baseline.
+//!
+//! The natural tree-based alternative to the arrow protocol: requester ids
+//! aggregate up a rooted spanning tree in preorder lists, the root
+//! concatenates them into a total order, and predecessor assignments
+//! distribute back down. Correct and `O(depth)` per operation — but unlike
+//! the arrow protocol it always pays the full up/down traversal and gains
+//! nothing from locality between requesters, which is exactly the
+//! comparison the t9 ablations quantify.
+
+use crate::order::INITIAL_TOKEN;
+use ccq_graph::{NodeId, Tree};
+use ccq_sim::{Protocol, SimApi};
+
+/// Messages of the combining queue.
+#[derive(Clone, Debug)]
+pub enum CombiningQueueMsg {
+    /// Requesters of the sender's subtree, in preorder.
+    Up(Vec<NodeId>),
+    /// `(requester, predecessor)` assignments for the receiver's subtree.
+    Down(Vec<(NodeId, u64)>),
+}
+
+struct NodeState {
+    waiting: usize,
+    /// Preorder requester lists reported by children, by child slot.
+    child_lists: Vec<Vec<NodeId>>,
+    requesting: bool,
+}
+
+/// Combining-queue protocol state.
+pub struct CombiningQueueProtocol {
+    parent: Vec<NodeId>,
+    children: Vec<Vec<NodeId>>,
+    root: NodeId,
+    nodes: Vec<NodeState>,
+}
+
+impl CombiningQueueProtocol {
+    /// Set up on `tree` with the given request set.
+    pub fn new(tree: &Tree, requests: &[NodeId]) -> Self {
+        let n = tree.n();
+        let mut requesting = vec![false; n];
+        for &r in requests {
+            assert!(r < n, "request out of range");
+            requesting[r] = true;
+        }
+        let nodes = (0..n)
+            .map(|v| NodeState {
+                waiting: tree.children(v).len(),
+                child_lists: vec![Vec::new(); tree.children(v).len()],
+                requesting: requesting[v],
+            })
+            .collect();
+        CombiningQueueProtocol {
+            parent: (0..n).map(|v| tree.parent(v)).collect(),
+            children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
+            root: tree.root(),
+            nodes,
+        }
+    }
+
+    /// Preorder requester list of `v`'s subtree (own request first).
+    fn subtree_list(&self, v: NodeId) -> Vec<NodeId> {
+        let mut list = Vec::new();
+        if self.nodes[v].requesting {
+            list.push(v);
+        }
+        for cl in &self.nodes[v].child_lists {
+            list.extend_from_slice(cl);
+        }
+        list
+    }
+
+    fn aggregated(&mut self, api: &mut SimApi<CombiningQueueMsg>, v: NodeId) {
+        let list = self.subtree_list(v);
+        if v == self.root {
+            // Form the total order: initial token, then preorder.
+            let assignments: Vec<(NodeId, u64)> = list
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| {
+                    let pred = if i == 0 { INITIAL_TOKEN } else { list[i - 1] as u64 };
+                    (node, pred)
+                })
+                .collect();
+            self.distribute(api, v, assignments);
+        } else {
+            api.send(v, self.parent[v], CombiningQueueMsg::Up(list));
+        }
+    }
+
+    fn distribute(
+        &mut self,
+        api: &mut SimApi<CombiningQueueMsg>,
+        v: NodeId,
+        assignments: Vec<(NodeId, u64)>,
+    ) {
+        use std::collections::HashMap;
+        let by_node: HashMap<NodeId, u64> = assignments.iter().copied().collect();
+        if self.nodes[v].requesting {
+            let pred = by_node[&v];
+            api.complete(v, pred);
+        }
+        // Split the remaining assignments by child subtree (child lists are
+        // exactly the subtree memberships recorded on the way up).
+        let children = self.children[v].clone();
+        for (slot, c) in children.iter().enumerate() {
+            let subtree: Vec<(NodeId, u64)> = self.nodes[v].child_lists[slot]
+                .iter()
+                .map(|&node| (node, by_node[&node]))
+                .collect();
+            if !subtree.is_empty() {
+                api.send(v, *c, CombiningQueueMsg::Down(subtree));
+            }
+        }
+    }
+}
+
+impl Protocol for CombiningQueueProtocol {
+    type Msg = CombiningQueueMsg;
+
+    fn on_start(&mut self, api: &mut SimApi<CombiningQueueMsg>) {
+        for v in 0..self.parent.len() {
+            if self.nodes[v].waiting == 0 {
+                self.aggregated(api, v);
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<CombiningQueueMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: CombiningQueueMsg,
+    ) {
+        match msg {
+            CombiningQueueMsg::Up(list) => {
+                let slot = self.children[node]
+                    .iter()
+                    .position(|&c| c == from)
+                    .expect("Up from a non-child");
+                self.nodes[node].child_lists[slot] = list;
+                self.nodes[node].waiting -= 1;
+                if self.nodes[node].waiting == 0 {
+                    self.aggregated(api, node);
+                }
+            }
+            CombiningQueueMsg::Down(assignments) => {
+                self.distribute(api, node, assignments);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::verify_total_order;
+    use ccq_graph::spanning;
+    use ccq_sim::{run_protocol, SimConfig};
+
+    fn run_cq(tree: &Tree, requests: &[NodeId]) -> (ccq_sim::SimReport, Vec<NodeId>) {
+        let g = tree.to_graph();
+        let proto = CombiningQueueProtocol::new(tree, requests);
+        let rep = run_protocol(&g, proto, SimConfig::strict()).unwrap();
+        let pred_of: Vec<(NodeId, u64)> =
+            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let order = verify_total_order(requests, &pred_of).unwrap();
+        (rep, order)
+    }
+
+    #[test]
+    fn all_request_on_binary_tree() {
+        let t = spanning::balanced_binary_tree(15);
+        let (_, order) = run_cq(&t, &(0..15).collect::<Vec<_>>());
+        assert_eq!(order.len(), 15);
+        // Preorder: root first.
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn subset_on_list() {
+        let t = spanning::path_tree_from_order(&(0..12).collect::<Vec<_>>());
+        let (_, order) = run_cq(&t, &[2, 7, 11]);
+        assert_eq!(order, vec![2, 7, 11]); // preorder on a rooted path
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = spanning::balanced_binary_tree(7);
+        let (_, order) = run_cq(&t, &[]);
+        assert!(order.is_empty());
+        let (rep, order) = run_cq(&t, &[4]);
+        assert_eq!(order, vec![4]);
+        assert_eq!(rep.completions[0].value, INITIAL_TOKEN);
+    }
+
+    #[test]
+    fn agrees_with_combining_counter_order() {
+        // The combining queue's chain equals the combining counter's rank
+        // order (both are preorder).
+        let t = spanning::balanced_binary_tree(31);
+        let requests: Vec<NodeId> = (0..31).step_by(2).collect();
+        let (_, qorder) = run_cq(&t, &requests);
+        // Direct preorder computation:
+        let mut pre = Vec::new();
+        fn preorder(t: &Tree, v: NodeId, req: &[bool], out: &mut Vec<NodeId>) {
+            if req[v] {
+                out.push(v);
+            }
+            for &c in t.children(v) {
+                preorder(t, c, req, out);
+            }
+        }
+        let mut req = vec![false; 31];
+        for &r in &requests {
+            req[r] = true;
+        }
+        preorder(&t, 0, &req, &mut pre);
+        assert_eq!(qorder, pre);
+    }
+}

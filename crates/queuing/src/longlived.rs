@@ -1,0 +1,189 @@
+//! Long-lived arrow: queuing requests arriving over time.
+//!
+//! The paper analyses the one-shot scenario and cites Kuhn–Wattenhofer
+//! (SPAA '04) for the long-lived case, where not all requests are issued
+//! concurrently. This extension executes the arrow protocol under an
+//! arbitrary **arrival schedule**: node `v` issues its operation at a
+//! prescribed round (at most one operation per node, keeping operation
+//! identifiers = node ids). Between arrival bursts the network may go
+//! fully quiescent; the simulator fast-forwards to the next scheduled
+//! arrival via [`ccq_sim::Protocol::next_wakeup`].
+//!
+//! Per-operation delay in this setting is `completion round − issue
+//! round`; [`LongLivedArrow::issue_rounds`] exposes the schedule so
+//! harnesses can compute it.
+
+use crate::arrow::{ArrowMsg, ArrowProtocol};
+use ccq_graph::{NodeId, Tree};
+use ccq_sim::{Protocol, Round, SimApi};
+
+/// Arrow protocol under an arrival schedule.
+pub struct LongLivedArrow {
+    arrow: ArrowProtocol,
+    /// `(round, node)` sorted by round; one entry per node.
+    schedule: Vec<(Round, NodeId)>,
+    next: usize,
+    issue_round: Vec<Round>,
+}
+
+impl LongLivedArrow {
+    /// Set up on `tree` with the initial token at `tail` and the given
+    /// arrival `schedule` (any order; at most one entry per node).
+    ///
+    /// # Panics
+    /// Panics on duplicate nodes or out-of-range ids.
+    pub fn new(tree: &Tree, tail: NodeId, schedule: &[(Round, NodeId)]) -> Self {
+        let n = tree.n();
+        let mut sched = schedule.to_vec();
+        sched.sort_unstable();
+        let mut issue_round = vec![Round::MAX; n];
+        for &(r, v) in &sched {
+            assert!(v < n, "scheduled node {v} out of range");
+            assert_eq!(issue_round[v], Round::MAX, "node {v} scheduled twice");
+            issue_round[v] = r;
+        }
+        // The inner arrow starts with an empty request set; we drive issues.
+        let arrow = ArrowProtocol::new(tree, tail, &[]);
+        LongLivedArrow { arrow, schedule: sched, next: 0, issue_round }
+    }
+
+    /// Issue round per node (`Round::MAX` = never requests).
+    pub fn issue_rounds(&self) -> &[Round] {
+        &self.issue_round
+    }
+
+    /// The scheduled requesters, sorted by node id.
+    pub fn requesters(&self) -> Vec<NodeId> {
+        let mut r: Vec<NodeId> = self.schedule.iter().map(|&(_, v)| v).collect();
+        r.sort_unstable();
+        r
+    }
+
+    fn issue_due(&mut self, api: &mut SimApi<ArrowMsg>, now: Round) {
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= now {
+            let (_, v) = self.schedule[self.next];
+            self.next += 1;
+            self.arrow.issue(api, v);
+        }
+    }
+}
+
+impl Protocol for LongLivedArrow {
+    type Msg = ArrowMsg;
+
+    fn on_start(&mut self, api: &mut SimApi<ArrowMsg>) {
+        self.issue_due(api, 0);
+    }
+
+    fn on_message(&mut self, api: &mut SimApi<ArrowMsg>, node: NodeId, from: NodeId, msg: ArrowMsg) {
+        self.arrow.on_message(api, node, from, msg);
+    }
+
+    fn on_round(&mut self, api: &mut SimApi<ArrowMsg>, round: Round) {
+        self.issue_due(api, round);
+    }
+
+    fn next_wakeup(&self) -> Option<Round> {
+        self.schedule.get(self.next).map(|&(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::verify_total_order;
+    use ccq_graph::spanning;
+    use ccq_sim::{run_protocol, SimConfig, Simulator};
+
+    fn run_schedule(
+        tree: &Tree,
+        tail: NodeId,
+        schedule: &[(Round, NodeId)],
+    ) -> (ccq_sim::SimReport, Vec<NodeId>) {
+        let g = tree.to_graph();
+        let proto = LongLivedArrow::new(tree, tail, schedule);
+        let requesters = proto.requesters();
+        let rep = run_protocol(&g, proto, SimConfig::expanded(3)).unwrap();
+        let pred_of: Vec<(NodeId, u64)> =
+            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let order = verify_total_order(&requesters, &pred_of).unwrap();
+        (rep, order)
+    }
+
+    #[test]
+    fn all_at_zero_matches_one_shot() {
+        let t = spanning::path_tree_from_order(&(0..10).collect::<Vec<_>>());
+        let schedule: Vec<(Round, NodeId)> = (0..10).map(|v| (0, v)).collect();
+        let (rep, order) = run_schedule(&t, 0, &schedule);
+        assert_eq!(order.len(), 10);
+        assert_eq!(rep.ops(), 10);
+    }
+
+    #[test]
+    fn staggered_arrivals_chain_correctly() {
+        let t = spanning::path_tree_from_order(&(0..8).collect::<Vec<_>>());
+        // Widely separated arrivals: each op should find a settled tail.
+        let schedule = vec![(0u64, 7usize), (50, 0), (100, 4)];
+        let (rep, order) = run_schedule(&t, 0, &schedule);
+        assert_eq!(order, vec![7, 0, 4]);
+        // The third op (node 4) issues at round 100 and travels d(4, 0) = 4.
+        let c4 = rep.completions.iter().find(|c| c.node == 4).unwrap();
+        assert_eq!(c4.round, 104);
+    }
+
+    #[test]
+    fn quiescent_gaps_are_fast_forwarded() {
+        let t = spanning::path_tree_from_order(&(0..4).collect::<Vec<_>>());
+        let schedule = vec![(0u64, 3usize), (1_000_000, 1)];
+        let g = t.to_graph();
+        let proto = LongLivedArrow::new(&t, 0, &schedule);
+        let rep = run_protocol(&g, proto, SimConfig::strict()).unwrap();
+        assert_eq!(rep.ops(), 2);
+        // Rounds reflect the schedule's horizon but the run is instant
+        // (the engine skips the dead million rounds).
+        assert!(rep.rounds >= 1_000_000);
+    }
+
+    #[test]
+    fn overlapping_bursts_still_valid() {
+        let t = spanning::balanced_binary_tree(15);
+        let schedule: Vec<(Round, NodeId)> =
+            (0..15).map(|v| ((v % 4) as Round * 2, v)).collect();
+        let (_, order) = run_schedule(&t, 0, &schedule);
+        assert_eq!(order.len(), 15);
+    }
+
+    #[test]
+    fn issue_rounds_exposed() {
+        let t = spanning::path_tree_from_order(&(0..5).collect::<Vec<_>>());
+        let proto = LongLivedArrow::new(&t, 0, &[(3, 2), (7, 4)]);
+        assert_eq!(proto.issue_rounds()[2], 3);
+        assert_eq!(proto.issue_rounds()[4], 7);
+        assert_eq!(proto.issue_rounds()[0], Round::MAX);
+        assert_eq!(proto.requesters(), vec![2, 4]);
+    }
+
+    #[test]
+    fn sequential_spacing_gives_distance_delays() {
+        // With arrivals spaced far apart, each delay is exactly the tree
+        // distance to the previous requester (sequential semantics).
+        let t = spanning::path_tree_from_order(&(0..20).collect::<Vec<_>>());
+        let schedule = vec![(0u64, 10usize), (100, 15), (200, 5)];
+        let g = t.to_graph();
+        let proto = LongLivedArrow::new(&t, 0, &schedule);
+        let (rep, _) = Simulator::new(&g, proto, SimConfig::strict()).run_with_state().unwrap();
+        let delay = |v: NodeId, issue: u64| {
+            rep.completions.iter().find(|c| c.node == v).unwrap().round - issue
+        };
+        assert_eq!(delay(10, 0), 10); // 10 → tail 0
+        assert_eq!(delay(15, 100), 5); // 15 → 10
+        assert_eq!(delay(5, 200), 10); // 5 → 15
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled twice")]
+    fn duplicate_schedule_rejected() {
+        let t = spanning::path_tree_from_order(&(0..4).collect::<Vec<_>>());
+        LongLivedArrow::new(&t, 0, &[(0, 1), (5, 1)]);
+    }
+}

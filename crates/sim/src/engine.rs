@@ -1,0 +1,550 @@
+//! The round-based simulation engine.
+//!
+//! Execution of one round `t`:
+//! 1. **deliver** — each processor (in ascending id order) dequeues up to
+//!    `recv_budget` messages whose arrival round is ≤ `t` from its FIFO
+//!    in-port and hands each to [`Protocol::on_message`]; handlers may stage
+//!    new sends (into the processor's outbox) and completions;
+//! 2. **transmit** — each processor dequeues up to `send_budget` staged
+//!    messages from its outbox; each is placed on the wire and arrives at
+//!    the destination's in-port at round `t + 1`.
+//!
+//! A message handled at round `t` can therefore be answered by a message
+//! that arrives at round `t + 1`: information travels at one hop per round,
+//! matching the paper's unit-delay links (Theorem 3.6's latency argument).
+//! Messages exceeding a budget wait in FIFO order — that waiting is the
+//! measured contention.
+
+use crate::protocol::{Protocol, SimApi};
+use crate::report::{SimConfig, SimReport};
+use crate::trace::{TraceEvent, TraceKind};
+use crate::Round;
+use ccq_graph::{Graph, NodeId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Simulation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A protocol staged a message between non-adjacent processors.
+    InvalidSend { from: NodeId, to: NodeId, round: Round },
+    /// Quiescence was not reached within [`SimConfig::max_rounds`].
+    MaxRoundsExceeded { limit: Round },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidSend { from, to, round } => {
+                write!(f, "round {round}: send {from} → {to} is not a graph edge")
+            }
+            SimError::MaxRoundsExceeded { limit } => {
+                write!(f, "no quiescence within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// An executable simulation: graph + protocol + configuration.
+pub struct Simulator<'g, P: Protocol> {
+    graph: &'g Graph,
+    protocol: P,
+    config: SimConfig,
+}
+
+struct Wire<M> {
+    src: NodeId,
+    dst: NodeId,
+    arrival: Round,
+    msg: M,
+}
+
+/// Deterministic per-message hash (splitmix64) used for link jitter.
+fn jitter_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl<'g, P: Protocol> Simulator<'g, P> {
+    /// Create a simulator. `config.send_budget`/`recv_budget` must be ≥ 1.
+    pub fn new(graph: &'g Graph, protocol: P, config: SimConfig) -> Self {
+        assert!(config.send_budget >= 1 && config.recv_budget >= 1);
+        Simulator { graph, protocol, config }
+    }
+
+    /// Run to quiescence (no queued or in-flight messages), returning the
+    /// report and the final protocol state.
+    pub fn run_with_state(mut self) -> Result<(SimReport, P), SimError> {
+        let n = self.graph.n();
+        let cfg = self.config;
+        let mut report = SimReport {
+            delay_scale: cfg.delay_scale,
+            received_by_node: vec![0; n],
+            ..Default::default()
+        };
+        let mut outbox: Vec<VecDeque<(NodeId, P::Msg)>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut inport: Vec<VecDeque<Wire<P::Msg>>> = (0..n).map(|_| VecDeque::new()).collect();
+        // Timing wheel: messages in flight, keyed by arrival round.
+        let mut inflight: BTreeMap<Round, Vec<Wire<P::Msg>>> = BTreeMap::new();
+        // Per-directed-link last scheduled arrival (FIFO clamp under jitter).
+        let mut link_last: HashMap<(NodeId, NodeId), Round> = HashMap::new();
+        let mut api: SimApi<P::Msg> = SimApi::new();
+
+        // Time 0: every requester issues its operation.
+        self.protocol.on_start(&mut api);
+        Self::drain(self.graph, &mut api, &mut outbox, &mut report, 0, cfg.trace)?;
+
+        let mut round: Round = 0;
+        loop {
+            if round > 0 {
+                api.set_round(round);
+                self.protocol.on_round(&mut api, round);
+                Self::drain(self.graph, &mut api, &mut outbox, &mut report, round, cfg.trace)?;
+
+                // Maturity phase: messages whose arrival round is due move
+                // from the wheel into their destination's FIFO port queue.
+                while let Some((&r, _)) = inflight.first_key_value() {
+                    if r > round {
+                        break;
+                    }
+                    let batch = inflight.remove(&r).expect("checked key");
+                    for w in batch {
+                        let dst = w.dst;
+                        inport[dst].push_back(w);
+                        report.max_inport_depth = report.max_inport_depth.max(inport[dst].len());
+                    }
+                }
+
+                // Deliver phase.
+                for v in 0..n {
+                    for _ in 0..cfg.recv_budget {
+                        let Some(w) = inport[v].pop_front() else { break };
+                        report.queue_wait_rounds += round - w.arrival;
+                        report.received_by_node[v] += 1;
+                        if cfg.trace {
+                            report.trace.push(TraceEvent {
+                                round,
+                                kind: TraceKind::Deliver,
+                                node: v,
+                                peer: w.src,
+                            });
+                        }
+                        self.protocol.on_message(&mut api, v, w.src, w.msg);
+                        Self::drain(self.graph, &mut api, &mut outbox, &mut report, round, cfg.trace)?;
+                    }
+                }
+            }
+
+            // Transmit phase.
+            for v in 0..n {
+                for _ in 0..cfg.send_budget {
+                    let Some((dst, msg)) = outbox[v].pop_front() else { break };
+                    report.messages_sent += 1;
+                    if cfg.trace {
+                        report.trace.push(TraceEvent {
+                            round,
+                            kind: TraceKind::Transmit,
+                            node: v,
+                            peer: dst,
+                        });
+                    }
+                    let mut arrival = round + 1;
+                    if cfg.jitter_max > 0 {
+                        let extra = jitter_hash(
+                            cfg.jitter_seed,
+                            v as u64,
+                            dst as u64,
+                            report.messages_sent,
+                        ) % (cfg.jitter_max + 1);
+                        arrival += extra;
+                        // FIFO per directed link: never overtake an earlier
+                        // message on the same link.
+                        let slot = link_last.entry((v, dst)).or_insert(0);
+                        arrival = arrival.max(*slot);
+                        *slot = arrival;
+                    }
+                    inflight.entry(arrival).or_default().push(Wire {
+                        src: v,
+                        dst,
+                        arrival,
+                        msg,
+                    });
+                }
+            }
+
+            let quiescent = outbox.iter().all(VecDeque::is_empty)
+                && inport.iter().all(VecDeque::is_empty)
+                && inflight.is_empty();
+            if quiescent {
+                // Long-lived protocols may have future scheduled work:
+                // fast-forward to their next wakeup instead of terminating.
+                match self.protocol.next_wakeup() {
+                    Some(r) if r > round => {
+                        round = r;
+                        if round > cfg.max_rounds {
+                            return Err(SimError::MaxRoundsExceeded { limit: cfg.max_rounds });
+                        }
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            round += 1;
+            if round > cfg.max_rounds {
+                return Err(SimError::MaxRoundsExceeded { limit: cfg.max_rounds });
+            }
+        }
+        report.rounds = round;
+        Ok((report, self.protocol))
+    }
+
+    /// Run to quiescence, returning only the report.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_with_state().map(|(r, _)| r)
+    }
+
+    /// Move staged sends/completions from the API buffers into the engine.
+    fn drain(
+        graph: &Graph,
+        api: &mut SimApi<P::Msg>,
+        outbox: &mut [VecDeque<(NodeId, P::Msg)>],
+        report: &mut SimReport,
+        round: Round,
+        trace: bool,
+    ) -> Result<(), SimError> {
+        for (from, to, msg) in api.outgoing.drain(..) {
+            if from >= graph.n() || to >= graph.n() || !graph.has_edge(from, to) {
+                return Err(SimError::InvalidSend { from, to, round });
+            }
+            outbox[from].push_back((to, msg));
+            report.max_outbox_depth = report.max_outbox_depth.max(outbox[from].len());
+        }
+        for c in api.completed.drain(..) {
+            debug_assert_eq!(c.round, round, "completion round mismatch");
+            report.completions.push(c);
+            if trace {
+                report.trace.push(TraceEvent {
+                    round,
+                    kind: TraceKind::Complete,
+                    node: c.node,
+                    peer: c.node,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SimConfig;
+    use ccq_graph::topology;
+
+    /// Flood protocol: node 0 starts a token that walks the path 0→1→…→n−1;
+    /// each node completes when it sees the token.
+    struct Walk {
+        n: usize,
+    }
+
+    impl Protocol for Walk {
+        type Msg = ();
+
+        fn on_start(&mut self, api: &mut SimApi<()>) {
+            api.complete(0, 0);
+            if self.n > 1 {
+                api.send(0, 1, ());
+            }
+        }
+
+        fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, _from: NodeId, _msg: ()) {
+            api.complete(node, node as u64);
+            if node + 1 < self.n {
+                api.send(node, node + 1, ());
+            }
+        }
+    }
+
+    #[test]
+    fn token_walk_delays_equal_distance() {
+        let g = topology::path(6);
+        let rep = crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict()).unwrap();
+        assert_eq!(rep.ops(), 6);
+        let d = rep.delay_by_node(6);
+        for v in 0..6 {
+            assert_eq!(d[v], Some(v as u64), "node {v}");
+        }
+        assert_eq!(rep.rounds, 5);
+        assert_eq!(rep.messages_sent, 5);
+        assert_eq!(rep.queue_wait_rounds, 0);
+        assert_eq!(rep.total_delay(), 15);
+    }
+
+    /// All leaves of a star send to the hub simultaneously; the hub can
+    /// receive only one message per round → serialization.
+    struct Converge {
+        n: usize,
+        received: u64,
+    }
+
+    impl Protocol for Converge {
+        type Msg = ();
+
+        fn on_start(&mut self, api: &mut SimApi<()>) {
+            for v in 1..self.n {
+                api.send(v, 0, ());
+            }
+        }
+
+        fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, from: NodeId, _msg: ()) {
+            assert_eq!(node, 0);
+            self.received += 1;
+            api.complete(from, self.received);
+        }
+    }
+
+    #[test]
+    fn star_contention_serializes() {
+        let n = 10;
+        let g = topology::star(n);
+        let rep = crate::run_protocol(&g, Converge { n, received: 0 }, SimConfig::strict()).unwrap();
+        assert_eq!(rep.ops(), n - 1);
+        // The hub receives one message per round: completions at rounds 1..=9.
+        let mut rounds: Vec<u64> = rep.completions.iter().map(|c| c.round).collect();
+        rounds.sort_unstable();
+        assert_eq!(rounds, (1..=9).collect::<Vec<u64>>());
+        // Σ 1..9 = 45 — the quadratic star behaviour in miniature.
+        assert_eq!(rep.total_delay(), 45);
+        assert!(rep.queue_wait_rounds > 0);
+        assert!(rep.max_inport_depth >= 8);
+    }
+
+    #[test]
+    fn expanded_budget_removes_contention() {
+        let n = 10;
+        let g = topology::star(n);
+        let rep =
+            crate::run_protocol(&g, Converge { n, received: 0 }, SimConfig::expanded(n)).unwrap();
+        // All 9 messages delivered in round 1; delays scaled by n.
+        assert!(rep.completions.iter().all(|c| c.round == 1));
+        assert_eq!(rep.total_delay(), 9 * n as u64);
+    }
+
+    #[test]
+    fn invalid_send_detected() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut SimApi<()>) {
+                api.send(0, 2, ()); // not adjacent in a path of 3
+            }
+            fn on_message(&mut self, _: &mut SimApi<()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        let g = topology::path(3);
+        let err = crate::run_protocol(&g, Bad, SimConfig::strict()).unwrap_err();
+        assert_eq!(err, SimError::InvalidSend { from: 0, to: 2, round: 0 });
+    }
+
+    #[test]
+    fn max_rounds_detected() {
+        /// Two nodes ping-pong forever.
+        struct PingPong;
+        impl Protocol for PingPong {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut SimApi<()>) {
+                api.send(0, 1, ());
+            }
+            fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, from: NodeId, _: ()) {
+                api.send(node, from, ());
+            }
+        }
+        let g = topology::path(2);
+        let cfg = SimConfig::strict().with_max_rounds(50);
+        let err = crate::run_protocol(&g, PingPong, cfg).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn empty_protocol_quiesces_immediately() {
+        struct Idle;
+        impl Protocol for Idle {
+            type Msg = ();
+            fn on_start(&mut self, _: &mut SimApi<()>) {}
+            fn on_message(&mut self, _: &mut SimApi<()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        let g = topology::complete(4);
+        let rep = crate::run_protocol(&g, Idle, SimConfig::strict()).unwrap();
+        assert_eq!(rep.rounds, 0);
+        assert_eq!(rep.messages_sent, 0);
+    }
+
+    #[test]
+    fn send_budget_serializes_sender() {
+        /// Node 0 stages n−1 messages to distinct neighbours at time 0.
+        struct Fanout {
+            n: usize,
+        }
+        impl Protocol for Fanout {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut SimApi<()>) {
+                for v in 1..self.n {
+                    api.send(0, v, ());
+                }
+            }
+            fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, _: NodeId, _: ()) {
+                api.complete(node, 0);
+            }
+        }
+        let n = 8;
+        let g = topology::star(n);
+        let rep = crate::run_protocol(&g, Fanout { n }, SimConfig::strict()).unwrap();
+        // One transmission per round: arrivals at rounds 1..=7.
+        let mut rounds: Vec<u64> = rep.completions.iter().map(|c| c.round).collect();
+        rounds.sort_unstable();
+        assert_eq!(rounds, (1..=7).collect::<Vec<u64>>());
+        assert!(rep.max_outbox_depth >= 7);
+    }
+
+    #[test]
+    fn fifo_links_preserve_order() {
+        /// 0 sends two numbered messages to 1; 1 records arrival order.
+        struct Fifo {
+            seen: Vec<u64>,
+        }
+        impl Protocol for Fifo {
+            type Msg = u64;
+            fn on_start(&mut self, api: &mut SimApi<u64>) {
+                api.send(0, 1, 1);
+                api.send(0, 1, 2);
+            }
+            fn on_message(&mut self, api: &mut SimApi<u64>, node: NodeId, _: NodeId, m: u64) {
+                self.seen.push(m);
+                api.complete(node, m);
+            }
+        }
+        let g = topology::path(2);
+        let (rep, p) = Simulator::new(&g, Fifo { seen: vec![] }, SimConfig::strict())
+            .run_with_state()
+            .unwrap();
+        assert_eq!(p.seen, vec![1, 2]);
+        assert_eq!(rep.completions.len(), 2);
+        // Second message transmitted one round later.
+        assert_eq!(rep.completions[0].round, 1);
+        assert_eq!(rep.completions[1].round, 2);
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let g = topology::path(3);
+        let cfg = SimConfig::strict().with_trace();
+        let rep = crate::run_protocol(&g, Walk { n: 3 }, cfg).unwrap();
+        assert!(rep.trace.iter().any(|e| e.kind == TraceKind::Transmit));
+        assert!(rep.trace.iter().any(|e| e.kind == TraceKind::Deliver));
+        assert!(rep.trace.iter().any(|e| e.kind == TraceKind::Complete));
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+    use crate::report::SimConfig;
+    use crate::protocol::{Protocol, SimApi};
+    use ccq_graph::topology;
+
+    /// Token walks the path; completion per hop.
+    struct Walk {
+        n: usize,
+    }
+
+    impl Protocol for Walk {
+        type Msg = ();
+        fn on_start(&mut self, api: &mut SimApi<()>) {
+            api.complete(0, 0);
+            if self.n > 1 {
+                api.send(0, 1, ());
+            }
+        }
+        fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, _: NodeId, _: ()) {
+            api.complete(node, node as u64);
+            if node + 1 < self.n {
+                api.send(node, node + 1, ());
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_zero_matches_synchronous_model() {
+        let g = topology::path(6);
+        let a = crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict()).unwrap();
+        let b = crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict().with_jitter(0, 9))
+            .unwrap();
+        assert_eq!(a.total_delay(), b.total_delay());
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn jitter_only_slows_things_down() {
+        let g = topology::path(12);
+        let base = crate::run_protocol(&g, Walk { n: 12 }, SimConfig::strict()).unwrap();
+        for seed in 0..5 {
+            let j = crate::run_protocol(
+                &g,
+                Walk { n: 12 },
+                SimConfig::strict().with_jitter(3, seed),
+            )
+            .unwrap();
+            assert!(j.total_delay() >= base.total_delay(), "seed {seed}");
+            assert_eq!(j.ops(), base.ops());
+        }
+    }
+
+    #[test]
+    fn per_link_fifo_preserved_under_jitter() {
+        /// 0 fires five numbered messages at 1; arrival order must stay 1..5.
+        struct Burst {
+            seen: Vec<u64>,
+        }
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn on_start(&mut self, api: &mut SimApi<u64>) {
+                for i in 1..=5 {
+                    api.send(0, 1, i);
+                }
+            }
+            fn on_message(&mut self, api: &mut SimApi<u64>, node: NodeId, _: NodeId, m: u64) {
+                self.seen.push(m);
+                api.complete(node, m);
+            }
+        }
+        let g = topology::path(2);
+        for seed in 0..20 {
+            let (_, p) = Simulator::new(
+                &g,
+                Burst { seen: vec![] },
+                SimConfig::strict().with_jitter(5, seed),
+            )
+            .run_with_state()
+            .unwrap();
+            assert_eq!(p.seen, vec![1, 2, 3, 4, 5], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let g = topology::path(9);
+        let cfg = SimConfig::strict().with_jitter(4, 1234);
+        let a = crate::run_protocol(&g, Walk { n: 9 }, cfg).unwrap();
+        let b = crate::run_protocol(&g, Walk { n: 9 }, cfg).unwrap();
+        assert_eq!(a.total_delay(), b.total_delay());
+        assert_eq!(a.rounds, b.rounds);
+        // A different seed (usually) lands on a different schedule.
+        let c = crate::run_protocol(&g, Walk { n: 9 }, SimConfig::strict().with_jitter(4, 77))
+            .unwrap();
+        let _ = c; // schedules may coincide; correctness checked above.
+    }
+}

@@ -1,0 +1,57 @@
+//! Synchronous message-passing network simulator implementing the model of
+//! Busch & Tirthapura §2.1:
+//!
+//! * time proceeds in **rounds**; all links are reliable FIFO with delay 1;
+//! * per round, each processor may **send at most `B_s`** messages and
+//!   **receive at most `B_r`** messages (`B_s = B_r = 1` in the strict
+//!   model; `B_s = B_r = c` in the "expanded time step" model the paper uses
+//!   for constant-degree spanning trees, with reported delays scaled by `c`);
+//! * messages that arrive faster than the receive budget queue up at the
+//!   receiver — this measured serialization is exactly the network
+//!   contention that drives the paper's lower bounds (e.g. the star graph's
+//!   `Θ(n²)` in §5).
+//!
+//! Protocols implement [`Protocol`] and are executed by [`Simulator::run`],
+//! which returns a [`SimReport`] with per-operation delays, message counts
+//! and queue statistics.
+//!
+//! ```
+//! use ccq_sim::{run_protocol, Protocol, SimApi, SimConfig};
+//! use ccq_graph::{topology, NodeId};
+//!
+//! /// A token hops along the path, completing at the far end.
+//! struct Relay { n: usize }
+//! impl Protocol for Relay {
+//!     type Msg = ();
+//!     fn on_start(&mut self, api: &mut SimApi<()>) { api.send(0, 1, ()); }
+//!     fn on_message(&mut self, api: &mut SimApi<()>, at: NodeId, _from: NodeId, _m: ()) {
+//!         if at + 1 < self.n { api.send(at, at + 1, ()); } else { api.complete(at, 0); }
+//!     }
+//! }
+//!
+//! let g = topology::path(5);
+//! let report = run_protocol(&g, Relay { n: 5 }, SimConfig::strict()).unwrap();
+//! assert_eq!(report.completions[0].round, 4); // one hop per round
+//! ```
+
+pub mod engine;
+pub mod protocol;
+pub mod report;
+pub mod trace;
+
+pub use engine::{SimError, Simulator};
+pub use protocol::{Protocol, SimApi};
+pub use report::{Completion, SimConfig, SimReport};
+pub use trace::{TraceEvent, TraceKind};
+
+/// Simulation time, in rounds (time steps of the synchronous model).
+pub type Round = u64;
+
+/// Convenience: run `protocol` on `graph` under `config`.
+pub fn run_protocol<P: Protocol>(
+    graph: &ccq_graph::Graph,
+    protocol: P,
+    config: SimConfig,
+) -> Result<SimReport, SimError> {
+    Simulator::new(graph, protocol, config).run()
+}

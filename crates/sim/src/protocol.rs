@@ -1,0 +1,94 @@
+//! The [`Protocol`] trait and the [`SimApi`] handed to its callbacks.
+
+use crate::report::Completion;
+use crate::Round;
+use ccq_graph::NodeId;
+
+/// A distributed protocol executed by the simulator.
+///
+/// One `Protocol` value holds the state of *all* processors (the simulation
+/// is sequential); callbacks receive the acting processor's id. Correctness
+/// of the distributed abstraction — a processor only reads its own state —
+/// is the protocol implementation's responsibility and is what the tests in
+/// `ccq-queuing` / `ccq-counting` exercise.
+pub trait Protocol {
+    /// Message payload carried between processors.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once before round 0. All operations are issued here (the
+    /// paper's one-shot scenario: every requester starts at time 0).
+    /// Sends staged here are transmitted during round 0 and arrive at
+    /// round 1; operations completing without communication may call
+    /// [`SimApi::complete`] with delay 0.
+    fn on_start(&mut self, api: &mut SimApi<Self::Msg>);
+
+    /// Called when `node` dequeues (receives) a message from `from`.
+    fn on_message(&mut self, api: &mut SimApi<Self::Msg>, node: NodeId, from: NodeId, msg: Self::Msg);
+
+    /// Called at the start of every round while the system is live
+    /// (messages queued or in flight). Default: no-op.
+    fn on_round(&mut self, _api: &mut SimApi<Self::Msg>, _round: Round) {}
+
+    /// The next round at which this protocol needs to act even if the
+    /// network is otherwise quiescent (e.g. a scheduled operation arrival
+    /// in the long-lived scenario). The engine fast-forwards to that round
+    /// instead of terminating. Default: `None` (one-shot protocols).
+    fn next_wakeup(&self) -> Option<Round> {
+        None
+    }
+}
+
+/// Callback interface: staging area for sends and operation completions.
+#[derive(Debug)]
+pub struct SimApi<M> {
+    round: Round,
+    pub(crate) outgoing: Vec<(NodeId, NodeId, M)>,
+    pub(crate) completed: Vec<Completion>,
+}
+
+impl<M> SimApi<M> {
+    pub(crate) fn new() -> Self {
+        SimApi { round: 0, outgoing: Vec::new(), completed: Vec::new() }
+    }
+
+    pub(crate) fn set_round(&mut self, r: Round) {
+        self.round = r;
+    }
+
+    /// The current round (0 during [`Protocol::on_start`]).
+    #[inline]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Stage a message from `from` to its neighbour `to`. The message enters
+    /// `from`'s outbox; it is transmitted when the per-round send budget
+    /// allows and arrives one round after transmission.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.outgoing.push((from, to, msg));
+    }
+
+    /// Record that `node`'s operation completed now with result `value`.
+    /// The delay recorded is the current round.
+    pub fn complete(&mut self, node: NodeId, value: u64) {
+        self.completed.push(Completion { node, value, round: self.round });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_staging() {
+        let mut api: SimApi<u8> = SimApi::new();
+        api.set_round(3);
+        assert_eq!(api.round(), 3);
+        api.send(0, 1, 42);
+        api.complete(2, 7);
+        assert_eq!(api.outgoing, vec![(0, 1, 42)]);
+        assert_eq!(api.completed.len(), 1);
+        assert_eq!(api.completed[0].round, 3);
+        assert_eq!(api.completed[0].value, 7);
+    }
+}

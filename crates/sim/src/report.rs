@@ -1,0 +1,236 @@
+//! Simulation configuration and results.
+
+use crate::trace::TraceEvent;
+use crate::Round;
+use ccq_graph::NodeId;
+
+/// Per-round send/receive budgets and accounting options.
+///
+/// * [`SimConfig::strict`] is the paper's base model (§2.1): one send and
+///   one receive per processor per time step.
+/// * [`SimConfig::expanded`] is the paper's constant-factor reduction: a
+///   processor handles up to `c` messages per "expanded" step, and reported
+///   delays are scaled by `c` (simulating each powerful step by `c` base
+///   steps), so complexities remain comparable with the strict model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Maximum messages a processor may transmit per round.
+    pub send_budget: usize,
+    /// Maximum messages a processor may dequeue per round.
+    pub recv_budget: usize,
+    /// Factor by which reported delays/rounds are multiplied.
+    pub delay_scale: u64,
+    /// Abort if quiescence is not reached by this many rounds.
+    pub max_rounds: Round,
+    /// Record a full event trace in the report.
+    pub trace: bool,
+    /// Maximum extra per-message link delay (0 = the synchronous model).
+    /// When positive, each transmission takes `1 + U[0, jitter_max]` rounds
+    /// (deterministic per-message hash), clamped so each directed link
+    /// stays FIFO — the paper's §2.1 "asynchronous" regime, under which its
+    /// lower bounds still apply.
+    pub jitter_max: Round,
+    /// Seed for the per-message jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl SimConfig {
+    /// The strict model: 1 send + 1 receive per round.
+    pub fn strict() -> Self {
+        SimConfig {
+            send_budget: 1,
+            recv_budget: 1,
+            delay_scale: 1,
+            max_rounds: 100_000_000,
+            trace: false,
+            jitter_max: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The expanded-step model for constant `c` (paper §2.1/§4): budgets of
+    /// `c` per round, delays reported ×`c`.
+    pub fn expanded(c: usize) -> Self {
+        assert!(c >= 1);
+        SimConfig { send_budget: c, recv_budget: c, delay_scale: c as u64, ..Self::strict() }
+    }
+
+    /// Builder-style: set the round limit.
+    pub fn with_max_rounds(mut self, r: Round) -> Self {
+        self.max_rounds = r;
+        self
+    }
+
+    /// Builder-style: enable event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style: add asynchronous link jitter of up to `max` extra
+    /// rounds per message (deterministic under `seed`).
+    pub fn with_jitter(mut self, max: Round, seed: u64) -> Self {
+        self.jitter_max = max;
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::strict()
+    }
+}
+
+/// One completed operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Processor whose operation completed.
+    pub node: NodeId,
+    /// Protocol-defined result (a count, or an encoded predecessor id).
+    pub value: u64,
+    /// Round at which the operation completed (unscaled).
+    pub round: Round,
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Rounds executed until quiescence (unscaled).
+    pub rounds: Round,
+    /// Total messages transmitted over links (= message·hops).
+    pub messages_sent: u64,
+    /// Σ over delivered messages of rounds spent waiting in the receiver's
+    /// port queue — the aggregate contention penalty.
+    pub queue_wait_rounds: u64,
+    /// Largest receive-queue depth observed at any processor.
+    pub max_inport_depth: usize,
+    /// Largest send-queue (outbox) depth observed at any processor.
+    pub max_outbox_depth: usize,
+    /// Delay scale applied (from [`SimConfig::delay_scale`]).
+    pub delay_scale: u64,
+    /// All completions, in completion order.
+    pub completions: Vec<Completion>,
+    /// Messages delivered to each processor (length n) — the contention
+    /// profile; on the star this is all hub.
+    pub received_by_node: Vec<u64>,
+    /// Event trace (only when [`SimConfig::trace`] was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Scaled delay of one completion.
+    fn scaled(&self, c: &Completion) -> u64 {
+        c.round * self.delay_scale
+    }
+
+    /// Total delay: Σ of scaled per-operation delays — the paper's
+    /// *concurrent delay complexity* of this execution.
+    pub fn total_delay(&self) -> u64 {
+        self.completions.iter().map(|c| self.scaled(c)).sum()
+    }
+
+    /// Total delay in raw (unscaled) rounds — the quantity Theorem 4.1
+    /// bounds when the expanded-step model is treated as one step per
+    /// round, as in Herlihy–Tirthapura–Wattenhofer's analysis.
+    pub fn total_delay_unscaled(&self) -> u64 {
+        self.completions.iter().map(|c| c.round).sum()
+    }
+
+    /// Maximum scaled per-operation delay.
+    pub fn max_delay(&self) -> u64 {
+        self.completions.iter().map(|c| self.scaled(c)).max().unwrap_or(0)
+    }
+
+    /// Mean scaled per-operation delay (0 when there were no operations).
+    pub fn mean_delay(&self) -> f64 {
+        if self.completions.is_empty() {
+            0.0
+        } else {
+            self.total_delay() as f64 / self.completions.len() as f64
+        }
+    }
+
+    /// Number of completed operations.
+    pub fn ops(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Scaled delay per node (`None` = node completed no operation).
+    pub fn delay_by_node(&self, n: usize) -> Vec<Option<u64>> {
+        let mut d = vec![None; n];
+        for c in &self.completions {
+            d[c.node] = Some(self.scaled(c));
+        }
+        d
+    }
+
+    /// The processor that received the most messages, with its count
+    /// (`None` when nothing was delivered).
+    pub fn busiest_node(&self) -> Option<(NodeId, u64)> {
+        self.received_by_node
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .filter(|&(_, c)| c > 0)
+    }
+
+    /// Fraction of all deliveries that hit the busiest processor (0.0 when
+    /// nothing was delivered).
+    pub fn contention_concentration(&self) -> f64 {
+        let total: u64 = self.received_by_node.iter().sum();
+        match self.busiest_node() {
+            Some((_, c)) if total > 0 => c as f64 / total as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Result value per node (`None` = node completed no operation).
+    pub fn value_by_node(&self, n: usize) -> Vec<Option<u64>> {
+        let mut d = vec![None; n];
+        for c in &self.completions {
+            d[c.node] = Some(c.value);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets() {
+        let s = SimConfig::strict();
+        assert_eq!((s.send_budget, s.recv_budget, s.delay_scale), (1, 1, 1));
+        let e = SimConfig::expanded(3);
+        assert_eq!((e.send_budget, e.recv_budget, e.delay_scale), (3, 3, 3));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let rep = SimReport {
+            delay_scale: 2,
+            completions: vec![
+                Completion { node: 0, value: 1, round: 3 },
+                Completion { node: 2, value: 2, round: 5 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(rep.total_delay(), 16);
+        assert_eq!(rep.max_delay(), 10);
+        assert_eq!(rep.mean_delay(), 8.0);
+        assert_eq!(rep.ops(), 2);
+        assert_eq!(rep.delay_by_node(3), vec![Some(6), None, Some(10)]);
+        assert_eq!(rep.value_by_node(3), vec![Some(1), None, Some(2)]);
+    }
+
+    #[test]
+    fn empty_report() {
+        let rep = SimReport { delay_scale: 1, ..Default::default() };
+        assert_eq!(rep.total_delay(), 0);
+        assert_eq!(rep.max_delay(), 0);
+        assert_eq!(rep.mean_delay(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Optional event tracing for demos and debugging.
+
+use crate::Round;
+use ccq_graph::NodeId;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message left its sender and is on the wire.
+    Transmit,
+    /// A message was dequeued by its receiver and handed to the protocol.
+    Deliver,
+    /// An operation completed.
+    Complete,
+}
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round in which the event occurred.
+    pub round: Round,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Acting node (sender for `Transmit`, receiver for `Deliver`,
+    /// completing node for `Complete`).
+    pub node: NodeId,
+    /// Peer node (receiver for `Transmit`, sender for `Deliver`,
+    /// `node` itself for `Complete`).
+    pub peer: NodeId,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            TraceKind::Transmit => write!(f, "[r{:>4}] {} ──▶ {}", self.round, self.node, self.peer),
+            TraceKind::Deliver => write!(f, "[r{:>4}] {} ◀── {}", self.round, self.node, self.peer),
+            TraceKind::Complete => write!(f, "[r{:>4}] {} ✓ complete", self.round, self.node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent { round: 2, kind: TraceKind::Transmit, node: 1, peer: 3 };
+        assert!(format!("{e}").contains("1 ──▶ 3"));
+        let e = TraceEvent { round: 2, kind: TraceKind::Deliver, node: 3, peer: 1 };
+        assert!(format!("{e}").contains("3 ◀── 1"));
+        let e = TraceEvent { round: 9, kind: TraceKind::Complete, node: 5, peer: 5 };
+        assert!(format!("{e}").contains("complete"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Nearest-neighbour TSP on tree metrics (paper §4).
+//!
+//! Theorem 4.1 (from Herlihy–Tirthapura–Wattenhofer '01) bounds the one-shot
+//! concurrent cost of the arrow protocol by **twice the cost of a
+//! nearest-neighbour TSP** on the spanning tree `T` visiting the request set
+//! `R`. The paper then analyses that tour on specific trees:
+//!
+//! * [`nn`] — the tour itself: starting from a root, repeatedly travel to
+//!   the closest unvisited requester (distances along `T`);
+//! * [`runs`] — the **runs decomposition** on a list (Fig. 2, Lemmas
+//!   4.3/4.4): tour legs between run endpoints grow Fibonacci-fast, giving a
+//!   `3n` bound;
+//! * [`perfect`] — the per-level cost decomposition on perfect binary trees
+//!   (Fig. 3, Lemmas 4.8–4.10): `cost(ℓ) ≤ 4n·2^ℓ/2^d + 2d` and the helper
+//!   recurrence `f(k) = 2f(k−1) + 2k < 2^{k+2}`, giving an `O(n)` bound;
+//! * [`baseline`] — Steiner-subtree and depth-first tour baselines used to
+//!   sanity-check the NN tour's quality (Rosenkrantz et al.'s `log k`
+//!   approximation factor).
+
+//! ```
+//! use ccq_graph::spanning;
+//! use ccq_tsp::nn_tour;
+//!
+//! // NN tour on a 10-vertex list from position 0, visiting {2, 3, 9}.
+//! let tree = spanning::path_tree_from_order(&(0..10).collect::<Vec<_>>());
+//! let tour = nn_tour(&tree, 0, &[9, 3, 2]);
+//! assert_eq!(tour.order, vec![2, 3, 9]); // greedily nearest first
+//! assert_eq!(tour.cost(), 2 + 1 + 6);
+//! ```
+
+pub mod baseline;
+pub mod nn;
+pub mod perfect;
+pub mod runs;
+
+pub use baseline::{dfs_tour, optimal_open_walk_cost, rosenkrantz_bound, steiner_edge_count};
+pub use nn::{nn_tour, NnTour};
+pub use perfect::{check_level_costs, f_recurrence, level_costs};
+pub use runs::{decompose_runs, RunDecomposition};

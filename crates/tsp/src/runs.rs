@@ -1,0 +1,231 @@
+//! Runs decomposition of a NN tour on a list (paper Fig. 2, Lemmas 4.3/4.4).
+//!
+//! On the list, a NN tour's visit order decomposes into maximal monotone
+//! *runs* (all-left or all-right stretches). With `v_j` the last vertex of
+//! run `j` and `x_j = d(v_{j−1}, v_j)` (and `x_1 = d(root, v_1)`), the
+//! paper shows:
+//!
+//! * the tour cost equals `x_1 + x_2 + … + x_m` (each new run starts at a
+//!   vertex *between* the previous run's end and its own end — otherwise a
+//!   closer unvisited vertex would have existed);
+//! * `x_2 ≥ x_1` and `x_i ≥ x_{i−1} + x_{i−2}` for `i ≥ 3` (Lemma 4.4) —
+//!   Fibonacci growth, hence `m = O(log n)` effective runs and cost ≤ `3n`
+//!   (Lemma 4.3).
+
+use ccq_graph::NodeId;
+
+/// Direction of a monotone run along the list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunDir {
+    /// Positions strictly increasing.
+    Right,
+    /// Positions strictly decreasing.
+    Left,
+}
+
+/// One maximal monotone run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// First visited vertex of the run (`u_j` in the paper).
+    pub first: NodeId,
+    /// Last visited vertex of the run (`v_j`).
+    pub last: NodeId,
+    /// Number of visits in the run.
+    pub len: usize,
+    /// Direction (a single-vertex run is labelled `Right` by convention).
+    pub dir: RunDir,
+}
+
+/// The full decomposition of a list tour.
+#[derive(Clone, Debug)]
+pub struct RunDecomposition {
+    /// The runs, in tour order.
+    pub runs: Vec<Run>,
+    /// `x_j` distances: `x_1 = d(root, v_1)`, `x_j = d(v_{j−1}, v_j)`.
+    pub x: Vec<u64>,
+}
+
+impl RunDecomposition {
+    /// Σ x_j — equals the tour cost on a list (checked in tests).
+    pub fn x_sum(&self) -> u64 {
+        self.x.iter().sum()
+    }
+
+    /// Lemma 4.4 audit: `x_2 ≥ x_1` and `x_i ≥ x_{i−1} + x_{i−2}` (i ≥ 3).
+    /// Returns the index of the first violated inequality, if any.
+    pub fn fibonacci_violation(&self) -> Option<usize> {
+        if self.x.len() >= 2 && self.x[1] < self.x[0] {
+            return Some(1);
+        }
+        (2..self.x.len()).find(|&i| self.x[i] < self.x[i - 1] + self.x[i - 2])
+    }
+}
+
+/// Decompose the visit order of a tour on the **list** (vertex ids are
+/// positions) into maximal monotone runs, starting from `root`.
+///
+/// The walk analysed is `root, order[0], order[1], …`: the step from the
+/// root to the first visited vertex *does* set the first run's direction
+/// (this is what makes the paper's identity `c = Σ xⱼ` hold — each new run
+/// begins between the previous run's end and its own end).
+///
+/// # Panics
+/// Panics if `order` revisits a vertex (a tour never does).
+pub fn decompose_runs(root: NodeId, order: &[NodeId]) -> RunDecomposition {
+    let mut runs: Vec<Run> = Vec::new();
+    let mut x: Vec<u64> = Vec::new();
+    if order.is_empty() {
+        return RunDecomposition { runs, x };
+    }
+    let dist = |a: NodeId, b: NodeId| a.abs_diff(b) as u64;
+
+    let mut prev_run_last: NodeId = root; // v_{j−1}; starts as the root
+    let mut prev_pos: NodeId = root; // previous vertex of the walk
+    let mut cur: Option<Run> = None;
+    // `have_dir` is false only while the walk has not yet moved (the root
+    // itself was the first target).
+    let mut have_dir = false;
+    for &b in order {
+        let step = match b.cmp(&prev_pos) {
+            std::cmp::Ordering::Greater => Some(RunDir::Right),
+            std::cmp::Ordering::Less => Some(RunDir::Left),
+            std::cmp::Ordering::Equal => None,
+        };
+        match (&mut cur, step) {
+            (None, d) => {
+                cur = Some(Run { first: b, last: b, len: 1, dir: d.unwrap_or(RunDir::Right) });
+                have_dir = d.is_some();
+            }
+            (Some(_), None) => panic!("tour revisits vertex {b}"),
+            (Some(r), Some(d)) if !have_dir || d == r.dir => {
+                r.dir = d;
+                have_dir = true;
+                r.last = b;
+                r.len += 1;
+            }
+            (Some(r), Some(d)) => {
+                // Direction reversed: close the current run.
+                x.push(dist(prev_run_last, r.last));
+                prev_run_last = r.last;
+                runs.push(*r);
+                cur = Some(Run { first: b, last: b, len: 1, dir: d });
+            }
+        }
+        prev_pos = b;
+    }
+    let last = cur.expect("order is non-empty");
+    x.push(dist(prev_run_last, last.last));
+    runs.push(last);
+    RunDecomposition { runs, x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::nn_tour;
+    use ccq_graph::spanning;
+
+    fn list(n: usize) -> ccq_graph::Tree {
+        spanning::path_tree_from_order(&(0..n).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_order() {
+        let d = decompose_runs(0, &[]);
+        assert!(d.runs.is_empty());
+        assert_eq!(d.x_sum(), 0);
+    }
+
+    #[test]
+    fn single_visit() {
+        let d = decompose_runs(3, &[7]);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.x, vec![4]);
+    }
+
+    #[test]
+    fn monotone_order_is_one_run() {
+        let d = decompose_runs(0, &[1, 4, 6, 9]);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0], Run { first: 1, last: 9, len: 4, dir: RunDir::Right });
+        assert_eq!(d.x, vec![9]);
+    }
+
+    #[test]
+    fn zigzag_splits_runs() {
+        // 5 → 4 (left), then 7 → 9 (right): two runs.
+        let d = decompose_runs(5, &[4, 7, 9]);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].last, 4);
+        assert_eq!(d.runs[1].first, 7);
+        assert_eq!(d.runs[1].last, 9);
+        assert_eq!(d.x, vec![1, 5]); // d(5,4)=1, d(4,9)=5
+    }
+
+    #[test]
+    fn x_sum_equals_tour_cost_for_nn_tours() {
+        use rand::prelude::*;
+        let n = 300;
+        let t = list(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let targets: Vec<NodeId> = (0..n).filter(|_| rng.random::<f64>() < 0.2).collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let start = rng.random_range(0..n);
+            let tour = nn_tour(&t, start, &targets);
+            let d = decompose_runs(start, &tour.order);
+            assert_eq!(d.x_sum(), tour.cost(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn lemma_4_4_holds_for_nn_tours() {
+        use rand::prelude::*;
+        let n = 500;
+        let t = list(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let density = [0.05, 0.2, 0.5, 0.9][trial % 4];
+            let targets: Vec<NodeId> = (0..n).filter(|_| rng.random::<f64>() < density).collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let start = rng.random_range(0..n);
+            let tour = nn_tour(&t, start, &targets);
+            let d = decompose_runs(start, &tour.order);
+            assert_eq!(
+                d.fibonacci_violation(),
+                None,
+                "trial {trial}: x = {:?}",
+                d.x
+            );
+        }
+    }
+
+    #[test]
+    fn fibonacci_violation_detected_for_non_nn_order() {
+        // Hand-built order with shrinking hops: x = [9, 9, 3] violates
+        // x_3 ≥ x_2 + x_1.
+        let d = decompose_runs(0, &[9, 0, 3]);
+        assert_eq!(d.x, vec![9, 9, 3]);
+        assert_eq!(d.fibonacci_violation(), Some(2));
+    }
+
+    #[test]
+    fn lemma_4_3_cost_bound_via_runs() {
+        // cost = Σ x_i ≤ x_{m-1} + 2 x_m ≤ 3n, per Lemma 4.3's argument.
+        let n = 400;
+        let t = list(n);
+        let targets: Vec<NodeId> = (0..n).step_by(3).collect();
+        let tour = nn_tour(&t, n / 2, &targets);
+        let d = decompose_runs(n / 2, &tour.order);
+        assert!(d.x_sum() <= 3 * n as u64);
+        // The telescoped form also holds when there are ≥ 2 runs.
+        if d.x.len() >= 2 {
+            let m = d.x.len();
+            assert!(d.x_sum() <= d.x[m - 2] + 2 * d.x[m - 1]);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Totally-ordered multicast — the paper's §1 motivating application —
+//! solved both ways: with distributed counting (sequence numbers) and with
+//! distributed queuing (predecessor piggybacking, Herlihy et al. [7]).
+//!
+//! Senders multicast messages; the network may deliver them to different
+//! receivers in different orders. Each receiver must hand messages to the
+//! application in one agreed total order. We drive both coordination
+//! protocols on a real simulated network, scramble per-receiver arrival
+//! orders, reconstruct, and check every receiver agrees.
+//!
+//! ```text
+//! cargo run --release --example ordered_multicast
+//! ```
+
+use ccq_repro::prelude::*;
+use ccq_repro::queuing::INITIAL_TOKEN;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// A multicast message tagged by the counting-based solution.
+#[derive(Clone, Debug)]
+struct SeqTagged {
+    sender: usize,
+    seqno: u64,
+}
+
+/// A multicast message tagged by the queuing-based solution.
+#[derive(Clone, Debug)]
+struct PredTagged {
+    sender: usize,
+    pred: u64, // predecessor sender id, or INITIAL_TOKEN
+}
+
+/// Deliver sequence-number-tagged messages: sort by seqno.
+fn deliver_by_seq(mut inbox: Vec<SeqTagged>) -> Vec<usize> {
+    inbox.sort_by_key(|m| m.seqno);
+    inbox.into_iter().map(|m| m.sender).collect()
+}
+
+/// Deliver predecessor-tagged messages: chain from the initial token.
+fn deliver_by_pred(inbox: Vec<PredTagged>) -> Vec<usize> {
+    let succ: HashMap<u64, usize> =
+        inbox.iter().map(|m| (m.pred, m.sender)).collect();
+    let mut order = Vec::with_capacity(inbox.len());
+    let mut cur = INITIAL_TOKEN;
+    while let Some(&next) = succ.get(&cur) {
+        order.push(next);
+        cur = next as u64;
+    }
+    order
+}
+
+fn main() {
+    let scenario = Scenario::build(TopoSpec::Hypercube { dim: 6 }, RequestPattern::All);
+    let n = scenario.n();
+    println!("ordered multicast on {} — {} senders\n", scenario.spec.name(), n);
+
+    // Coordination phase, counting-based: each sender obtains a sequence no.
+    let counting =
+        run_counting(&scenario, CountingAlg::CombiningTree, ModelMode::Strict).expect("verifies");
+    let seqnos = counting.report.value_by_node(n);
+
+    // Coordination phase, queuing-based: each sender obtains its predecessor.
+    let queuing =
+        run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded).expect("verifies");
+    let preds = queuing.report.value_by_node(n);
+
+    // Delivery phase: 5 receivers, each seeing a different arrival order.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut seq_orders = Vec::new();
+    let mut pred_orders = Vec::new();
+    for _ in 0..5 {
+        let mut arrival: Vec<usize> = (0..n).collect();
+        arrival.shuffle(&mut rng);
+        let seq_inbox: Vec<SeqTagged> = arrival
+            .iter()
+            .map(|&s| SeqTagged { sender: s, seqno: seqnos[s].expect("every sender counted") })
+            .collect();
+        let pred_inbox: Vec<PredTagged> = arrival
+            .iter()
+            .map(|&s| PredTagged { sender: s, pred: preds[s].expect("every sender queued") })
+            .collect();
+        seq_orders.push(deliver_by_seq(seq_inbox));
+        pred_orders.push(deliver_by_pred(pred_inbox));
+    }
+
+    let seq_consistent = seq_orders.windows(2).all(|w| w[0] == w[1]);
+    let pred_consistent = pred_orders.windows(2).all(|w| w[0] == w[1]);
+    assert!(seq_consistent && pred_consistent, "receivers disagreed!");
+    assert_eq!(seq_orders[0].len(), n);
+    assert_eq!(pred_orders[0].len(), n);
+
+    println!("counting-based delivery: all 5 receivers agree  = {seq_consistent}");
+    println!("queuing-based delivery:  all 5 receivers agree  = {pred_consistent}");
+    println!();
+    println!("coordination cost (total delay):");
+    println!("  counting (combining tree): {:>8}", counting.report.total_delay());
+    println!("  queuing  (arrow):          {:>8}", queuing.report.total_delay());
+    println!();
+    println!(
+        "the queuing-based solution coordinates {}× cheaper — the gap Herlihy et al. [7]",
+        counting.report.total_delay() / queuing.report.total_delay().max(1)
+    );
+    println!("conjectured and this paper proves (Theorem 4.5 on the hypercube).");
+}

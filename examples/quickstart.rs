@@ -1,0 +1,45 @@
+//! Quickstart: run concurrent queuing and counting on a mesh and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ccq_repro::prelude::*;
+
+fn main() {
+    // A 16×16 mesh; every processor issues an operation at time 0.
+    let scenario = Scenario::build(TopoSpec::Mesh2D { side: 16 }, RequestPattern::All);
+    println!(
+        "topology: {} ({} processors, {} requesters)\n",
+        scenario.spec.name(),
+        scenario.n(),
+        scenario.k()
+    );
+
+    // Queuing via the arrow protocol on the snake (Hamilton-path) tree.
+    let q = run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded)
+        .expect("queuing verifies");
+    println!("queuing  (arrow):          total delay = {:>8}", q.report.total_delay());
+    println!("                           messages    = {:>8}", q.report.messages_sent);
+
+    // Counting, best of the three algorithms.
+    for alg in [
+        CountingAlg::Central,
+        CountingAlg::CombiningTree,
+        CountingAlg::CountingNetwork { width: None },
+    ] {
+        let c = run_counting(&scenario, alg, ModelMode::Strict).expect("counting verifies");
+        println!(
+            "counting ({:<16}): total delay = {:>8}",
+            c.alg,
+            c.report.total_delay()
+        );
+    }
+
+    println!();
+    println!("first five of the queue order:  {:?}", &q.order[..5.min(q.order.len())]);
+    println!(
+        "paper: C_Q = O(n) but C_C = Ω(n log* n) on Hamilton-path graphs (Theorem 4.5) —"
+    );
+    println!("queuing wins, and the gap widens with n. Try larger sides!");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the reproduction of Busch & Tirthapura,
+//! *"Concurrent counting is harder than queuing"* (IPDPS 2006 / TCS 2010).
+//!
+//! Re-exports the public API of [`ccq_core`] (and the substrate crates) so
+//! that examples and integration tests have a single import surface.
+
+pub use ccq_bounds as bounds;
+pub use ccq_core as core;
+pub use ccq_counting as counting;
+pub use ccq_graph as graph;
+pub use ccq_queuing as queuing;
+pub use ccq_sim as sim;
+pub use ccq_tsp as tsp;
+
+pub use ccq_core::prelude;

@@ -1,0 +1,37 @@
+//! Smoke test: every experiment driver runs at quick scale and produces
+//! well-formed tables (this is what guards `cargo run -p ccq-bench --bin
+//! tables` staying green).
+
+use ccq_repro::core::experiments::{registry, Scale};
+
+#[test]
+fn every_experiment_runs_and_produces_tables() {
+    for exp in registry() {
+        let tables = (exp.run)(Scale::Quick);
+        assert!(!tables.is_empty(), "{} produced no tables", exp.id);
+        for t in &tables {
+            assert!(!t.headers.is_empty(), "{}: empty header", exp.id);
+            assert!(!t.rows.is_empty(), "{}: empty rows in '{}'", exp.id, t.title);
+            for row in &t.rows {
+                assert_eq!(
+                    row.len(),
+                    t.headers.len(),
+                    "{}: ragged row in '{}'",
+                    exp.id,
+                    t.title
+                );
+            }
+            // Render without panicking and with content.
+            let rendered = t.to_string();
+            assert!(rendered.contains(&t.title));
+        }
+    }
+}
+
+#[test]
+fn experiment_ids_cover_design_doc_index() {
+    let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+    for expected in ["fig1", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "f2", "t9"] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Exhaustive small-case model check: every increasing tree on ≤ 5 nodes ×
+//! every tail placement × every request subset, under both budget models.
+//!
+//! "Increasing trees" (parent[v] < v, root 0) cover every unlabeled rooted
+//! tree shape at these sizes; combined with all tails and subsets this
+//! exhaustively exercises the arrow path-reversal state machine and the
+//! combining counter far beyond what random testing reaches.
+
+use ccq_repro::counting::{verify_ranks, CombiningTreeProtocol, ToggleTreeProtocol};
+use ccq_repro::graph::{NodeId, Tree};
+use ccq_repro::queuing::{verify_total_order, ArrowProtocol};
+use ccq_repro::sim::{run_protocol, SimConfig};
+
+/// All increasing parent arrays for `n` nodes (root 0).
+fn increasing_trees(n: usize) -> Vec<Tree> {
+    fn rec(n: usize, parent: &mut Vec<NodeId>, out: &mut Vec<Tree>) {
+        let v = parent.len();
+        if v == n {
+            out.push(Tree::from_parents(0, parent.clone()));
+            return;
+        }
+        for p in 0..v {
+            parent.push(p);
+            rec(n, parent, out);
+            parent.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(n, &mut vec![0], &mut out);
+    out
+}
+
+fn subsets(n: usize) -> impl Iterator<Item = Vec<NodeId>> {
+    (0u32..(1 << n)).map(move |mask| (0..n).filter(|&v| mask & (1 << v) != 0).collect())
+}
+
+#[test]
+fn tree_enumeration_counts() {
+    // (n-1)! increasing trees.
+    assert_eq!(increasing_trees(2).len(), 1);
+    assert_eq!(increasing_trees(3).len(), 2);
+    assert_eq!(increasing_trees(4).len(), 6);
+    assert_eq!(increasing_trees(5).len(), 24);
+}
+
+#[test]
+fn arrow_exhaustive_small_cases() {
+    let mut cases = 0u64;
+    for n in 2..=5usize {
+        for tree in increasing_trees(n) {
+            let g = tree.to_graph();
+            for tail in 0..n {
+                for requests in subsets(n) {
+                    for cfg in [SimConfig::strict(), SimConfig::expanded(n)] {
+                        let proto = ArrowProtocol::new(&tree, tail, &requests);
+                        let rep = run_protocol(&g, proto, cfg).expect("sim ok");
+                        let pred_of: Vec<(NodeId, u64)> =
+                            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+                        let order = verify_total_order(&requests, &pred_of)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "n={n} tail={tail} R={requests:?} parents={:?}: {e}",
+                                    (0..n).map(|v| tree.parent(v)).collect::<Vec<_>>()
+                                )
+                            });
+                        assert_eq!(order.len(), requests.len());
+                        cases += 1;
+                    }
+                }
+            }
+        }
+    }
+    // 2·Σ_n (n−1)!·n·2ⁿ scenarios = sanity that the sweep actually ran.
+    assert_eq!(cases, 8560, "expected the full 2·Σ (n−1)!·n·2ⁿ sweep");
+}
+
+#[test]
+fn combining_exhaustive_small_cases() {
+    for n in 2..=5usize {
+        for tree in increasing_trees(n) {
+            let g = tree.to_graph();
+            for requests in subsets(n) {
+                let proto = CombiningTreeProtocol::new(&tree, &requests);
+                let rep = run_protocol(&g, proto, SimConfig::strict()).expect("sim ok");
+                let ranks: Vec<(NodeId, u64)> =
+                    rep.completions.iter().map(|c| (c.node, c.value)).collect();
+                verify_ranks(&requests, &ranks).unwrap_or_else(|e| {
+                    panic!("n={n} R={requests:?}: {e}");
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn toggle_tree_exhaustive_small_cases() {
+    for n in 2..=5usize {
+        for tree in increasing_trees(n).into_iter().step_by(3) {
+            let g = tree.to_graph();
+            for requests in subsets(n) {
+                for leaves in [2usize, 4] {
+                    let proto = ToggleTreeProtocol::new(&g, &tree, &requests, leaves);
+                    let rep = run_protocol(&g, proto, SimConfig::strict()).expect("sim ok");
+                    let ranks: Vec<(NodeId, u64)> =
+                        rep.completions.iter().map(|c| (c.node, c.value)).collect();
+                    verify_ranks(&requests, &ranks).unwrap_or_else(|e| {
+                        panic!("n={n} R={requests:?} leaves={leaves}: {e}");
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn arrow_exhaustive_under_jitter() {
+    // Asynchronous delays on every 4-node shape: correctness must be
+    // schedule-independent.
+    for tree in increasing_trees(4) {
+        let g = tree.to_graph();
+        for tail in 0..4 {
+            for requests in subsets(4) {
+                for seed in 0..4u64 {
+                    let cfg = SimConfig::strict().with_jitter(3, seed);
+                    let proto = ArrowProtocol::new(&tree, tail, &requests);
+                    let rep = run_protocol(&g, proto, cfg).expect("sim ok");
+                    let pred_of: Vec<(NodeId, u64)> =
+                        rep.completions.iter().map(|c| (c.node, c.value)).collect();
+                    verify_total_order(&requests, &pred_of).unwrap_or_else(|e| {
+                        panic!("tail={tail} R={requests:?} seed={seed}: {e}");
+                    });
+                }
+            }
+        }
+    }
+}

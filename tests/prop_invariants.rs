@@ -1,0 +1,164 @@
+//! Property-based tests over the core invariants, driven by random trees,
+//! topologies and request sets.
+
+use ccq_repro::counting::{verify_ranks, CombiningTreeProtocol, CountingNetworkProtocol};
+use ccq_repro::graph::{spanning, topology, NodeId, Tree, TreeRouter};
+use ccq_repro::queuing::{verify_total_order, ArrowProtocol};
+use ccq_repro::sim::{run_protocol, SimConfig};
+use ccq_repro::tsp::{decompose_runs, nn_tour, steiner_edge_count};
+use proptest::prelude::*;
+
+/// Strategy: a random connected graph + a BFS spanning tree + request set.
+fn arb_tree_and_requests() -> impl Strategy<Value = (Tree, Vec<NodeId>, NodeId)> {
+    (2usize..40, any::<u64>()).prop_flat_map(|(n, seed)| {
+        let g = topology::random_connected(n, 0.1, seed);
+        let tree = spanning::bfs_tree(&g, seed as usize % n);
+        (
+            Just(tree),
+            proptest::collection::btree_set(0..n, 0..n).prop_map(|s| s.into_iter().collect()),
+            0..n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arrow protocol always yields a valid total order — any tree, any
+    /// request set, any tail, both budget models.
+    #[test]
+    fn arrow_always_forms_valid_order((tree, requests, tail) in arb_tree_and_requests()) {
+        let g = tree.to_graph();
+        for cfg in [SimConfig::strict(), SimConfig::expanded(tree.max_degree() + 1)] {
+            let proto = ArrowProtocol::new(&tree, tail, &requests);
+            let rep = run_protocol(&g, proto, cfg).expect("sim ok");
+            let pred_of: Vec<(NodeId, u64)> =
+                rep.completions.iter().map(|c| (c.node, c.value)).collect();
+            let order = verify_total_order(&requests, &pred_of).expect("valid order");
+            prop_assert_eq!(order.len(), requests.len());
+        }
+    }
+
+    /// The combining tree always hands out exactly {1..|R|}.
+    #[test]
+    fn combining_always_counts((tree, requests, _tail) in arb_tree_and_requests()) {
+        let g = tree.to_graph();
+        let proto = CombiningTreeProtocol::new(&tree, &requests);
+        let rep = run_protocol(&g, proto, SimConfig::strict()).expect("sim ok");
+        let ranks: Vec<(NodeId, u64)> =
+            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        verify_ranks(&requests, &ranks).expect("valid ranks");
+    }
+
+    /// The counting network always hands out exactly {1..|R|}.
+    #[test]
+    fn counting_network_always_counts(
+        (tree, requests, _tail) in arb_tree_and_requests(),
+        width_pow in 1u32..4,
+    ) {
+        let g = tree.to_graph();
+        let w = 1usize << width_pow;
+        let proto = CountingNetworkProtocol::new(&g, &tree, &requests, w);
+        let rep = run_protocol(&g, proto, SimConfig::strict()).expect("sim ok");
+        let ranks: Vec<(NodeId, u64)> =
+            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        verify_ranks(&requests, &ranks).expect("valid ranks");
+    }
+
+    /// NN tours visit exactly the request set, legs match tree distances,
+    /// and the cost is at least the Steiner floor.
+    #[test]
+    fn nn_tour_invariants((tree, requests, start) in arb_tree_and_requests()) {
+        let tour = nn_tour(&tree, start, &requests);
+        // Visits each target exactly once.
+        let mut visited = tour.order.clone();
+        visited.sort_unstable();
+        let mut expected = requests.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(visited, expected);
+        // Legs are genuine tree distances and greedy-minimal at each step.
+        let lca = ccq_repro::graph::Lca::new(&tree);
+        let mut pos = start;
+        for (i, &v) in tour.order.iter().enumerate() {
+            prop_assert_eq!(tour.leg_costs[i], lca.dist(pos, v) as u64);
+            // No unvisited target was closer.
+            for &other in &tour.order[i..] {
+                prop_assert!(lca.dist(pos, other) as u64 >= tour.leg_costs[i]);
+            }
+            pos = v;
+        }
+        // Steiner subtree lower-bounds every visiting walk.
+        prop_assert!(tour.cost() >= steiner_edge_count(&tree, start, &requests));
+    }
+
+    /// Runs decomposition on a list: Σx equals the tour cost and the
+    /// Fibonacci inequality of Lemma 4.4 holds.
+    #[test]
+    fn list_runs_decomposition_sound(
+        n in 2usize..200,
+        seed in any::<u64>(),
+        density in 0.05f64..1.0,
+    ) {
+        use rand::prelude::*;
+        let tree = spanning::path_tree_from_order(&(0..n).collect::<Vec<_>>());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let targets: Vec<NodeId> = (0..n).filter(|_| rng.random::<f64>() < density).collect();
+        prop_assume!(!targets.is_empty());
+        let start = rng.random_range(0..n);
+        let tour = nn_tour(&tree, start, &targets);
+        let d = decompose_runs(start, &tour.order);
+        prop_assert_eq!(d.x_sum(), tour.cost());
+        prop_assert_eq!(d.fibonacci_violation(), None);
+        prop_assert!(tour.cost() <= 3 * n as u64, "Lemma 4.3");
+    }
+
+    /// TreeRouter's hop-by-hop paths equal the tree paths.
+    #[test]
+    fn tree_router_agrees_with_tree_paths((tree, _r, _t) in arb_tree_and_requests(),
+                                          seed in any::<u64>()) {
+        use rand::prelude::*;
+        let router = TreeRouter::new(&tree);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let u = rng.random_range(0..tree.n());
+            let v = rng.random_range(0..tree.n());
+            prop_assert_eq!(router.path(u, v), tree.path(u, v));
+        }
+    }
+
+    /// Counts handed out by queuing and counting refer to the same
+    /// participants: the two views of one total order.
+    #[test]
+    fn queuing_and_counting_cover_same_participants(
+        (tree, requests, tail) in arb_tree_and_requests()
+    ) {
+        let g = tree.to_graph();
+        let arrow = ArrowProtocol::new(&tree, tail, &requests);
+        let arep = run_protocol(&g, arrow, SimConfig::strict()).expect("ok");
+        let combining = CombiningTreeProtocol::new(&tree, &requests);
+        let crep = run_protocol(&g, combining, SimConfig::strict()).expect("ok");
+        let mut a: Vec<NodeId> = arep.completions.iter().map(|c| c.node).collect();
+        let mut c: Vec<NodeId> = crep.completions.iter().map(|c| c.node).collect();
+        a.sort_unstable();
+        c.sort_unstable();
+        prop_assert_eq!(a, c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 3.4 numerically: a(t), b(t) ≤ tow(2t) at every prefix length.
+    #[test]
+    fn spread_recurrence_respects_tower(rounds in 0u32..12) {
+        for s in ccq_repro::bounds::spread_evolution(rounds) {
+            prop_assert!(s.within_tower_bound());
+        }
+    }
+
+    /// log* inverts tow on the exactly-representable range.
+    #[test]
+    fn log_star_tow_inverse(j in 0u32..5) {
+        prop_assert_eq!(ccq_repro::bounds::log_star(ccq_repro::bounds::tow(j)), j);
+    }
+}
