@@ -16,24 +16,20 @@ fn bench_counting(c: &mut Criterion) {
             ("combining", CountingAlg::CombiningTree),
             ("network", CountingAlg::CountingNetwork { width: None }),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("complete_{label}"), n),
-                &s,
-                |b, s| {
-                    b.iter(|| {
-                        let out = run_counting(s, alg, ModelMode::Strict).expect("ok");
-                        black_box(out.report.total_delay())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("complete_{label}"), n), &s, |b, s| {
+                b.iter(|| {
+                    let out = run_counting(s, alg, ModelMode::Strict).expect("ok");
+                    black_box(out.report.total_delay())
+                })
+            });
         }
     }
     for n in [256usize, 1024] {
         let s = Scenario::build(TopoSpec::List { n }, RequestPattern::All);
         g.bench_with_input(BenchmarkId::new("list_combining", n), &s, |b, s| {
             b.iter(|| {
-                let out = run_counting(s, CountingAlg::CombiningTree, ModelMode::Strict)
-                    .expect("ok");
+                let out =
+                    run_counting(s, CountingAlg::CombiningTree, ModelMode::Strict).expect("ok");
                 black_box(out.report.total_delay())
             })
         });

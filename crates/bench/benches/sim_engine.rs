@@ -56,8 +56,7 @@ fn bench_engine(c: &mut Criterion) {
         let graph = topology::path(n);
         g.bench_with_input(BenchmarkId::new("token_walk", n), &n, |b, &n| {
             b.iter(|| {
-                let rep =
-                    run_protocol(&graph, Walk { n }, SimConfig::strict()).expect("runs");
+                let rep = run_protocol(&graph, Walk { n }, SimConfig::strict()).expect("runs");
                 black_box(rep.rounds)
             })
         });
@@ -66,12 +65,9 @@ fn bench_engine(c: &mut Criterion) {
         let graph = topology::cycle(n);
         g.bench_with_input(BenchmarkId::new("ring_flood", n), &n, |b, &n| {
             b.iter(|| {
-                let rep = run_protocol(
-                    &graph,
-                    FloodOnce { seen: vec![false; n] },
-                    SimConfig::strict(),
-                )
-                .expect("runs");
+                let rep =
+                    run_protocol(&graph, FloodOnce { seen: vec![false; n] }, SimConfig::strict())
+                        .expect("runs");
                 black_box(rep.messages_sent)
             })
         });

@@ -19,16 +19,11 @@ fn main() {
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     let reg = registry();
-    let selected: Vec<_> = reg
-        .into_iter()
-        .filter(|e| wanted.is_empty() || wanted.contains(&e.id))
-        .collect();
+    let selected: Vec<_> =
+        reg.into_iter().filter(|e| wanted.is_empty() || wanted.contains(&e.id)).collect();
     if selected.is_empty() {
         eprintln!("unknown experiment id(s): {wanted:?}");
-        eprintln!(
-            "known ids: {:?}",
-            ccq_bench::experiment_ids()
-        );
+        eprintln!("known ids: {:?}", ccq_bench::experiment_ids());
         std::process::exit(1);
     }
 

@@ -80,9 +80,7 @@ impl Topology {
             Topology::Mesh2D => 2 * ((n as f64).sqrt().ceil() as u64 - 1),
             Topology::Mesh3D => 3 * ((n as f64).cbrt().ceil() as u64 - 1),
             Topology::Hypercube => (usize::BITS - n.max(1).leading_zeros() - 1) as u64,
-            Topology::PerfectBinaryTree => {
-                2 * (usize::BITS - n.max(1).leading_zeros() - 1) as u64
-            }
+            Topology::PerfectBinaryTree => 2 * (usize::BITS - n.max(1).leading_zeros() - 1) as u64,
             Topology::Star => 2,
         }
     }
@@ -102,7 +100,10 @@ impl Topology {
     pub fn queuing_upper_bound(self, n: usize) -> u64 {
         let tsp = match self {
             // Hamilton-path spanning tree: Lemma 4.3.
-            Topology::Complete | Topology::Mesh2D | Topology::Mesh3D | Topology::Hypercube
+            Topology::Complete
+            | Topology::Mesh2D
+            | Topology::Mesh3D
+            | Topology::Hypercube
             | Topology::List => nn_tsp_ub_list(n),
             Topology::PerfectBinaryTree => {
                 let d = (usize::BITS - n.max(1).leading_zeros() - 1).max(1);
@@ -168,9 +169,7 @@ mod tests {
     fn counting_lb_exceeds_queuing_ub_on_list_for_large_n() {
         // The crossover where Ω(n²/8) passes 6n.
         let n = 1 << 12;
-        assert!(
-            Topology::List.counting_lower_bound(n) > Topology::List.queuing_upper_bound(n)
-        );
+        assert!(Topology::List.counting_lower_bound(n) > Topology::List.queuing_upper_bound(n));
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub mod tower;
 
 pub use compare::{verdict, Topology, Verdict};
 pub use counting_lb::{counting_lb_diameter, counting_lb_general, star_serialization_lb};
-pub use queuing_ub::{arrow_ub_from_tsp, nn_tsp_ub_general, nn_tsp_ub_list, nn_tsp_ub_perfect_binary};
+pub use queuing_ub::{
+    arrow_ub_from_tsp, nn_tsp_ub_general, nn_tsp_ub_list, nn_tsp_ub_perfect_binary,
+};
 pub use recurrence::{spread_evolution, SpreadState};
 pub use tower::{log_star, tow};

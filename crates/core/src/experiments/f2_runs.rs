@@ -45,7 +45,6 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let targets = vec![2usize, 3, 8, 14, 19];
     let tour = nn_tour(&t20, 5, &targets);
     let d = decompose_runs(5, &tour.order);
-    let mut t = t;
     t.note(format!(
         "worked example (n=20, start 5, R={targets:?}): order {:?}, runs {:?}, x = {:?}",
         tour.order,

@@ -6,8 +6,8 @@
 //! the arrow protocol and print, per requester, the rank and the
 //! predecessor — the two faces of the same total order.
 
-use crate::prelude::*;
 use crate::experiments::Scale;
+use crate::prelude::*;
 use ccq_graph::{spanning, topology};
 use ccq_queuing::INITIAL_TOKEN;
 

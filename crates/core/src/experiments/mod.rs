@@ -4,6 +4,16 @@
 //! DESIGN.md §4 for the index) and returns printable [`Table`]s pairing
 //! measured total delays with the corresponding closed-form bounds.
 //!
+//! **Drivers run protocols through the registry, not by enum dispatch**:
+//! use [`crate::protocol::run_spec`] with a [`crate::protocol::ProtocolSpec`]
+//! for a single run, [`crate::protocol::registry`] /
+//! [`crate::protocol::registry_of`] to iterate protocol families, and a
+//! [`crate::plan::RunPlan`] for anything shaped like a sweep (topology ×
+//! protocol × mode × pattern cross-products) — it parallelizes across
+//! scenarios, deduplicates scenario construction and hands back both
+//! per-case metrics and queuing-vs-counting summaries
+//! ([`t4_crossover`] and [`t9_ablation`] are the reference ports).
+//!
 //! | id | paper item |
 //! |----|-----------|
 //! | [`fig1`] | Figure 1 — the worked counting/queuing example |
@@ -21,6 +31,7 @@
 
 pub mod f2_runs;
 pub mod fig1;
+pub mod t10_longlived;
 pub mod t1_logstar;
 pub mod t2_diameter;
 pub mod t3_list_arrow;
@@ -29,7 +40,6 @@ pub mod t5_mary;
 pub mod t6_highdiam;
 pub mod t7_star;
 pub mod t8_recurrence;
-pub mod t10_longlived;
 pub mod t9_ablation;
 
 use crate::table::Table;

@@ -36,17 +36,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let requesters = proto.requesters();
         let issue: Vec<Round> = proto.issue_rounds().to_vec();
         let cfg = SimConfig::expanded(s.queuing_tree.max_degree() + 1);
-        let (rep, _) = Simulator::new(&s.graph, proto, cfg)
-            .run_with_state()
-            .expect("long-lived run");
+        let (rep, _) =
+            Simulator::new(&s.graph, proto, cfg).run_with_state().expect("long-lived run");
         let pred_of: Vec<(NodeId, u64)> =
             rep.completions.iter().map(|c| (c.node, c.value)).collect();
         verify_total_order(&requesters, &pred_of).expect("valid total order");
-        let adjusted: u64 = rep
-            .completions
-            .iter()
-            .map(|c| (c.round - issue[c.node]) * rep.delay_scale)
-            .sum();
+        let adjusted: u64 =
+            rep.completions.iter().map(|c| (c.round - issue[c.node]) * rep.delay_scale).sum();
         t.push_row(vec![
             int(gap),
             int(rep.ops() as u64),
@@ -76,9 +72,6 @@ mod tests {
         let mean = |row: &Vec<String>| -> f64 { row[2].parse().unwrap() };
         let first = mean(&t.rows[0]);
         let last = mean(&t.rows[t.rows.len() - 1]);
-        assert!(
-            last >= first,
-            "sequential per-op delay {last} should be ≥ concurrent {first}"
-        );
+        assert!(last >= first, "sequential per-op delay {last} should be ≥ concurrent {first}");
     }
 }

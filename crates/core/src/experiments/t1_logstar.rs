@@ -43,7 +43,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ]);
     }
     t.note("LB = Σ_{k≥⌈n/2⌉} min{t : tow(2t) ≥ k} (exact form of Theorem 3.5)");
-    t.note("every algorithm must satisfy measured ≥ LB; the best/LB ratio shows remaining headroom");
+    t.note(
+        "every algorithm must satisfy measured ≥ LB; the best/LB ratio shows remaining headroom",
+    );
     vec![t]
 }
 
@@ -62,11 +64,8 @@ mod tests {
     #[test]
     fn bound_grows_with_n() {
         let tables = run(Scale::Quick);
-        let lbs: Vec<u64> = tables[0]
-            .rows
-            .iter()
-            .map(|r| r[1].replace('_', "").parse().unwrap())
-            .collect();
+        let lbs: Vec<u64> =
+            tables[0].rows.iter().map(|r| r[1].replace('_', "").parse().unwrap()).collect();
         assert!(lbs.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -30,8 +30,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let s = Scenario::build(spec.clone(), RequestPattern::All);
         let alpha = bfs::diameter_two_sweep(&s.graph, 0) as u64;
         let lb = counting_lb_diameter(alpha);
-        let central =
-            run_counting(&s, CountingAlg::Central, ModelMode::Strict).expect("verifies");
+        let central = run_counting(&s, CountingAlg::Central, ModelMode::Strict).expect("verifies");
         let combining =
             run_counting(&s, CountingAlg::CombiningTree, ModelMode::Strict).expect("verifies");
         let dc = central.report.total_delay();

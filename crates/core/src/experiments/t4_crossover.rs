@@ -2,30 +2,41 @@
 //! graph, d-dimensional mesh, hypercube), concurrent queuing beats
 //! concurrent counting.
 //!
-//! The arrow protocol runs on the Hamilton-path spanning tree (snake order
-//! for meshes, Gray code for hypercubes); counting gets its best shot: the
-//! minimum over central counter, combining tree and counting network. The
-//! `gap` column is `counting / queuing` total delay — the paper predicts
-//! it exceeds 1 everywhere here and grows with `n`.
+//! Driven entirely by the protocol registry through a [`RunPlan`]: the
+//! arrow protocol plus every counting protocol run on each topology under
+//! the paper's mode convention (queuing expanded, counting strict), and the
+//! plan's per-scenario summaries provide the `gap = C_C / C_Q` column the
+//! paper predicts exceeds 1 everywhere here and grows with `n`.
 
 use crate::experiments::Scale;
+use crate::plan::{RunPlan, RunSet};
 use crate::prelude::*;
-use crate::report::{ComparisonRow, DelayReport};
-use crate::run::run_best_counting;
+use crate::protocol;
 use crate::table::fmt_util::{f2, int, tick};
 
-/// Collect one comparison row.
-fn compare(spec: TopoSpec) -> ComparisonRow {
-    let s = Scenario::build(spec.clone(), RequestPattern::All);
-    let q = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).expect("queuing verifies");
-    let c = run_best_counting(&s, ModelMode::Strict).expect("counting verifies");
-    ComparisonRow {
-        topology: spec.name(),
-        n: s.n(),
-        k: s.k(),
-        queuing: DelayReport::from_sim(&q.alg, &q.report),
-        counting: DelayReport::from_sim(&c.alg, &c.report),
+/// Sweep the given topologies (arrow vs all counting) and tabulate.
+fn crossover_table(title: &str, specs: Vec<TopoSpec>) -> (Table, RunSet) {
+    let set = RunPlan::new()
+        .topologies(specs)
+        .protocol(&protocol::Arrow)
+        .protocols(registry_of(ProtocolKind::Counting))
+        .execute();
+    let mut t = Table::new(
+        title,
+        &["topology", "n", "arrow (C_Q)", "best counting", "alg", "gap C_C/C_Q", "queuing wins"],
+    );
+    for s in &set.summaries {
+        t.push_row(vec![
+            s.topology.clone(),
+            int(s.n as u64),
+            s.best_queuing_delay.map(int).unwrap_or_default(),
+            s.best_counting_delay.map(int).unwrap_or_default(),
+            s.best_counting.clone().unwrap_or_default(),
+            s.gap.map(f2).unwrap_or_default(),
+            s.queuing_wins.map(tick).unwrap_or_default(),
+        ]);
     }
+    (t, set)
 }
 
 /// Run the crossover comparison.
@@ -43,33 +54,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for dim in scale.pick(vec![4, 6], vec![6, 8, 10]) {
         specs.push(TopoSpec::Hypercube { dim });
     }
-
-    let mut t = Table::new(
+    let (mut t, _) = crossover_table(
         "t4 — queuing vs counting on Hamilton-path topologies (Theorem 4.5 / Lemma 4.6)",
-        &["topology", "n", "arrow (C_Q)", "best counting", "alg", "gap C_C/C_Q", "queuing wins"],
+        specs,
     );
-    for spec in specs {
-        let row = compare(spec);
-        t.push_row(vec![
-            row.topology.clone(),
-            int(row.n as u64),
-            int(row.queuing.total_delay),
-            int(row.counting.total_delay),
-            row.counting.alg.clone(),
-            f2(row.gap()),
-            tick(row.queuing_won()),
-        ]);
-    }
     t.note("arrow runs on the Hamilton-path spanning tree (expanded steps, delays ×scale)");
-    t.note("counting = min over all five counting algorithms (strict model)");
+    t.note("counting = min over all five registry counting protocols (strict model)");
     t.note("paper verdict: C_Q = O(n) = o(C_C) on all rows (Theorem 4.5)");
 
     // Beyond the paper's list: a torus (Hamilton path inherited from its
     // mesh subgraph) and random regular graphs (BFS tree, Corollary 4.2).
-    let mut t2 = Table::new(
-        "t4b — beyond the paper: torus and random-regular topologies",
-        &["topology", "n", "arrow (C_Q)", "best counting", "alg", "gap C_C/C_Q", "queuing wins"],
-    );
     let mut extra: Vec<TopoSpec> = Vec::new();
     for side in scale.pick(vec![6], vec![8, 16]) {
         extra.push(TopoSpec::Torus2D { side });
@@ -77,18 +71,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for n in scale.pick(vec![32], vec![128, 512]) {
         extra.push(TopoSpec::RandomRegular { n, d: 4, seed: 12 });
     }
-    for spec in extra {
-        let row = compare(spec);
-        t2.push_row(vec![
-            row.topology.clone(),
-            int(row.n as u64),
-            int(row.queuing.total_delay),
-            int(row.counting.total_delay),
-            row.counting.alg.clone(),
-            f2(row.gap()),
-            tick(row.queuing_won()),
-        ]);
-    }
+    let (mut t2, _) =
+        crossover_table("t4b — beyond the paper: torus and random-regular topologies", extra);
     t2.note("the paper's argument extends: any Hamilton-path graph is a Theorem 4.5 case, and");
     t2.note("constant-degree BFS trees put random-regular graphs under Corollary 4.2's ceiling");
     vec![t, t2]
@@ -125,5 +109,15 @@ mod tests {
             .collect();
         assert!(gaps.len() >= 2);
         assert!(gaps[1] > gaps[0], "gap should grow: {gaps:?}");
+    }
+
+    #[test]
+    fn plan_summaries_match_direct_runs() {
+        // The registry-driven sweep must agree with run_best_counting.
+        let (_, set) = crossover_table("check", vec![TopoSpec::Mesh2D { side: 4 }]);
+        let s = Scenario::build(TopoSpec::Mesh2D { side: 4 }, RequestPattern::All);
+        let best = crate::run::run_best_counting(&s, ModelMode::Strict).unwrap();
+        assert_eq!(set.summaries[0].best_counting_delay, Some(best.report.total_delay()));
+        assert_eq!(set.summaries[0].best_counting.as_deref(), Some(best.alg.as_str()));
     }
 }

@@ -20,7 +20,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "t5 — NN-TSP and arrow on perfect m-ary trees (Theorems 4.7/4.12, Fig. 3)",
         &[
-            "m", "depth", "n", "NN-TSP", "TSP/n", "4.7 bound", "lvl ok (L4.9)", "arrow",
+            "m",
+            "depth",
+            "n",
+            "NN-TSP",
+            "TSP/n",
+            "4.7 bound",
+            "lvl ok (L4.9)",
+            "arrow",
             "arrow ≤ 2·TSP",
         ],
     );
@@ -28,11 +35,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let s = Scenario::build(TopoSpec::PerfectTree { m, depth }, RequestPattern::All);
         let tour = nn_tour(&s.queuing_tree, s.tail, &s.requests);
         // Lemma 4.9's statement is for the binary case.
-        let level_ok = if m == 2 {
-            check_level_costs(&s.queuing_tree, &tour).is_none()
-        } else {
-            true
-        };
+        let level_ok =
+            if m == 2 { check_level_costs(&s.queuing_tree, &tour).is_none() } else { true };
         let bound = if m == 2 {
             theorem_4_7_bound(&s.queuing_tree)
         } else {

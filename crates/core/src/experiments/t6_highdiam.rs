@@ -26,8 +26,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "t6 — high-diameter graphs: queuing O(n log n) vs counting Ω(α²) (Theorem 4.13)",
         &[
-            "topology", "n", "α", "arrow", "C_Q ceiling", "arrow ≤ ceil", "counting LB",
-            "counting meas", "gap C_C/C_Q",
+            "topology",
+            "n",
+            "α",
+            "arrow",
+            "C_Q ceiling",
+            "arrow ≤ ceil",
+            "counting LB",
+            "counting meas",
+            "gap C_C/C_Q",
         ],
     );
     for spec in specs {

@@ -43,7 +43,6 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
     let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
         / ratios.iter().cloned().fold(f64::MAX, f64::min);
-    let mut t = t;
     t.note(format!(
         "ratio spread across sizes: ×{:.2} — bounded, i.e. no asymptotic separation (contrast t4/t6)",
         spread

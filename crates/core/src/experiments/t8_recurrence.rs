@@ -33,18 +33,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
             crate::table::fmt_util::tick(s.within_tower_bound()),
         ]);
     }
-    t1.note("a(t+1) = a + a²b, b(t+1) = b(1 + 2^a) — the exact recurrence bodies of Lemmas 3.2/3.3");
+    t1.note(
+        "a(t+1) = a + a²b, b(t+1) = b(1 + 2^a) — the exact recurrence bodies of Lemmas 3.2/3.3",
+    );
 
     let mut t2 = Table::new(
         "t8b — tow / log* / latency floor (Definition 3.4, Theorem 3.5 engine)",
         &["k", "log*(k)", "latency floor min{t: tow(2t) ≥ k}"],
     );
     for k in [1u128, 2, 4, 5, 16, 17, 65_536, 65_537, 1 << 100] {
-        t2.push_row(vec![
-            big(k),
-            log_star(k).to_string(),
-            latency_lb_for_count(k).to_string(),
-        ]);
+        t2.push_row(vec![big(k), log_star(k).to_string(), latency_lb_for_count(k).to_string()]);
     }
     t2.note("a processor outputting count k has delay ≥ the latency floor (Lemmas 3.1 + 3.4)");
     vec![t1, t2]

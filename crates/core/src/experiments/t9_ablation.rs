@@ -9,11 +9,18 @@
 //! * **Request density** (the arrow's cost tracks the NN-TSP of `R`).
 //! * **Asynchronous link jitter** (the §2.1 asynchronous regime).
 //! * **Queuing algorithm choice** (arrow vs combining-queue vs central).
+//!
+//! Every protocol execution goes through the registry: the sweeps use
+//! [`RunPlan`]/[`run_spec`], and only the tree/jitter ablations instantiate
+//! a raw `ArrowProtocol` (they ablate the tree and the simulator config,
+//! which no registry entry parameterizes).
 
 use crate::experiments::Scale;
+use crate::plan::RunPlan;
 use crate::prelude::*;
+use crate::protocol;
 use crate::run::RunOutcome;
-use crate::table::fmt_util::{f2, int};
+use crate::table::fmt_util::{f2, int, tick};
 use ccq_graph::{spanning, NodeId, Tree};
 use ccq_queuing::{verify_total_order, ArrowProtocol};
 use ccq_sim::{run_protocol, SimConfig};
@@ -62,18 +69,22 @@ fn tree_ablation(scale: Scale) -> Table {
 
 fn mode_ablation(scale: Scale) -> Table {
     let n = scale.pick(128, 512);
-    let s = Scenario::build(TopoSpec::List { n }, RequestPattern::All);
+    let set = RunPlan::new()
+        .topologies([TopoSpec::List { n }])
+        .protocol(&protocol::Arrow)
+        .modes([ModelMode::Strict, ModelMode::Expanded])
+        .execute();
     let mut t = Table::new(
         "t9b — strict vs expanded steps for arrow on the list (§2.1 reduction)",
         &["mode", "raw rounds Σ", "scaled Σ", "messages"],
     );
-    for (name, mode) in [("strict", ModelMode::Strict), ("expanded", ModelMode::Expanded)] {
-        let out = run_queuing(&s, QueuingAlg::Arrow, mode).expect("verifies");
+    for case in &set.cases {
+        let m = case.metrics.as_ref().expect("arrow verifies on the list");
         t.push_row(vec![
-            name.into(),
-            int(out.report.total_delay_unscaled()),
-            int(out.report.total_delay()),
-            int(out.report.messages_sent),
+            format!("{:?}", case.mode).to_lowercase(),
+            int(m.total_delay_unscaled),
+            int(m.total_delay),
+            int(m.messages),
         ]);
     }
     t.note("the scaled strict/expanded totals agree within the constant the paper's reduction predicts");
@@ -87,20 +98,20 @@ fn notify_ablation(scale: Scale) -> Table {
         "t9c — completion convention: pairing-at-predecessor vs notify-origin",
         &["convention", "total delay", "messages", "same total order"],
     );
-    let base = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).expect("ok");
-    let notif = run_queuing(&s, QueuingAlg::ArrowNotify, ModelMode::Expanded).expect("ok");
+    let base = run_spec(&protocol::Arrow, &s, ModelMode::Expanded).expect("ok");
+    let notif = run_spec(&protocol::ArrowNotify, &s, ModelMode::Expanded).expect("ok");
     let same = base.order == notif.order;
     t.push_row(vec![
         "pairing (HTW)".into(),
         int(base.report.total_delay()),
         int(base.report.messages_sent),
-        crate::table::fmt_util::tick(same),
+        tick(same),
     ]);
     t.push_row(vec![
         "notify-origin".into(),
         int(notif.report.total_delay()),
         int(notif.report.messages_sent),
-        crate::table::fmt_util::tick(same),
+        tick(same),
     ]);
     t.note("notify-origin roughly doubles cost but cannot change the order — shape unchanged");
     t
@@ -108,26 +119,33 @@ fn notify_ablation(scale: Scale) -> Table {
 
 fn width_ablation(scale: Scale) -> Table {
     let n = scale.pick(64, 256);
-    let s = Scenario::build(TopoSpec::Complete { n }, RequestPattern::All);
+    // A RunPlan over width-parameterized registry specs: three network
+    // constructions × five widths, one scenario, strict model.
+    let mut plan = RunPlan::new().topologies([TopoSpec::Complete { n }]).modes([ModelMode::Strict]);
+    for w in [2usize, 4, 8, 16, 32] {
+        plan = plan
+            .protocol(&protocol::CountingNetwork { width: Some(w) })
+            .protocol(&protocol::PeriodicNetwork { width: Some(w) })
+            .protocol(&protocol::ToggleTree { leaves: Some(w) });
+    }
+    let set = plan.execute();
     let mut t = Table::new(
         "t9d — network-style counters: construction × width (contention vs depth)",
         &["structure", "width", "total delay", "max queue", "messages"],
     );
-    for w in [2usize, 4, 8, 16, 32] {
-        for (label, alg) in [
-            ("bitonic", CountingAlg::CountingNetwork { width: Some(w) }),
-            ("periodic", CountingAlg::PeriodicNetwork { width: Some(w) }),
-            ("toggle-tree", CountingAlg::ToggleTree { leaves: Some(w) }),
-        ] {
-            let out = run_counting(&s, alg, ModelMode::Strict).expect("verifies");
-            t.push_row(vec![
-                label.into(),
-                int(w as u64),
-                int(out.report.total_delay()),
-                int(out.report.max_inport_depth as u64),
-                int(out.report.messages_sent),
-            ]);
-        }
+    for case in &set.cases {
+        let label = match case.protocol.as_str() {
+            "counting-network" => "bitonic",
+            "periodic-network" => "periodic",
+            other => other,
+        };
+        t.push_row(vec![
+            label.into(),
+            int(case.width.expect("network protocols have widths") as u64),
+            int(case.total_delay),
+            int(case.max_contention as u64),
+            int(case.messages),
+        ]);
     }
     t.note("wider networks reduce per-balancer contention but add depth; the toggle tree's root");
     t.note("serializes everything regardless of width — none escapes Ω(n log* n)");
@@ -136,29 +154,41 @@ fn width_ablation(scale: Scale) -> Table {
 
 fn density_ablation(scale: Scale) -> Table {
     let n = scale.pick(128, 512);
+    let patterns: Vec<(f64, RequestPattern)> = [0.1, 0.25, 0.5, 0.75, 1.0]
+        .into_iter()
+        .enumerate()
+        .map(|(i, density)| {
+            let p = if density >= 1.0 {
+                RequestPattern::All
+            } else {
+                RequestPattern::Random { density, seed: 77 + i as u64 }
+            };
+            (density, p)
+        })
+        .collect();
     let mut t = Table::new(
         "t9e — arrow cost tracks the NN-TSP of R, not |R| (density sweep on K_n)",
         &["density", "|R|", "NN-TSP(R)", "total (raw)", "raw/(2·TSP)"],
     );
-    for (i, density) in [0.1, 0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
-        let pattern = if density >= 1.0 {
-            RequestPattern::All
-        } else {
-            RequestPattern::Random { density, seed: 77 + i as u64 }
-        };
-        let s = Scenario::build(TopoSpec::Complete { n }, pattern);
+    for (density, pattern) in &patterns {
+        // One scenario per density serves both the tour (the Theorem 4.1
+        // ceiling) and the registry run.
+        let s = Scenario::build(TopoSpec::Complete { n }, pattern.clone());
         let tour = nn_tour(&s.queuing_tree, s.tail, &s.requests);
-        let out = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).expect("verifies");
-        let d = out.report.total_delay_unscaled();
+        let out = run_spec(&protocol::Arrow, &s, ModelMode::Expanded)
+            .expect("arrow verifies at every density");
+        let raw = out.report.total_delay_unscaled();
         t.push_row(vec![
-            f2(density),
+            f2(*density),
             int(s.k() as u64),
             int(tour.cost()),
-            int(d),
-            f2(d as f64 / (2 * tour.cost()).max(1) as f64),
+            int(raw),
+            f2(raw as f64 / (2 * tour.cost()).max(1) as f64),
         ]);
     }
-    t.note("once R spans the path the TSP (and hence the arrow's cost) is Θ(n) regardless of |R| —");
+    t.note(
+        "once R spans the path the TSP (and hence the arrow's cost) is Θ(n) regardless of |R| —",
+    );
     t.note("Theorem 4.1's 2×TSP ceiling holds at every density");
     t
 }
@@ -182,7 +212,7 @@ fn jitter_ablation(scale: Scale) -> Table {
             int(jmax),
             int(d),
             f2(d as f64 / base.max(1) as f64),
-            crate::table::fmt_util::tick(out.order.len() == s.k()),
+            tick(out.order.len() == s.k()),
         ]);
     }
     t.note("link delays become 1 + U[0, max] per message (FIFO per link preserved);");
@@ -192,19 +222,25 @@ fn jitter_ablation(scale: Scale) -> Table {
 
 fn queuing_alg_ablation(scale: Scale) -> Table {
     let side = scale.pick(8, 16);
-    let s = Scenario::build(TopoSpec::Mesh2D { side }, RequestPattern::All);
+    let set = RunPlan::new()
+        .topologies([TopoSpec::Mesh2D { side }])
+        .protocol(&protocol::Arrow)
+        .protocol(&protocol::CombiningQueue)
+        .protocol(&protocol::CentralQueue)
+        .modes([ModelMode::Expanded])
+        .execute();
     let mut t = Table::new(
         "t9g — queuing algorithms compared on the mesh (the arrow's locality advantage)",
         &["algorithm", "total delay", "max delay", "messages", "max queue"],
     );
-    for alg in [QueuingAlg::Arrow, QueuingAlg::CombiningQueue, QueuingAlg::CentralHome] {
-        let out = run_queuing(&s, alg, ModelMode::Expanded).expect("verifies");
+    for case in &set.cases {
+        let m = case.metrics.as_ref().expect("queuing verifies on the mesh");
         t.push_row(vec![
-            out.alg.clone(),
-            int(out.report.total_delay()),
-            int(out.report.max_delay()),
-            int(out.report.messages_sent),
-            int(out.report.max_inport_depth as u64),
+            case.protocol.clone(),
+            int(m.total_delay),
+            int(m.max_delay),
+            int(m.messages),
+            int(m.max_queue as u64),
         ]);
     }
     t.note("all three produce valid total orders; only the arrow exploits requester locality —");
@@ -301,5 +337,14 @@ mod tests {
         let max = *totals.iter().max().unwrap() as f64;
         let min = *totals.iter().min().unwrap() as f64;
         assert!(max / min < 4.0, "totals not Θ(n)-flat: {totals:?}");
+    }
+
+    #[test]
+    fn width_table_covers_all_constructions() {
+        let t = width_ablation(Scale::Quick);
+        assert_eq!(t.rows.len(), 15, "3 constructions × 5 widths");
+        for label in ["bitonic", "periodic", "toggle-tree"] {
+            assert_eq!(t.rows.iter().filter(|r| r[0] == label).count(), 5);
+        }
     }
 }

@@ -4,9 +4,15 @@
 //!
 //! * [`scenario`] — named topologies with their paper-preferred spanning
 //!   trees, and request-set generators (the sets `R ⊆ V` of §2.2);
-//! * [`run`] — executable protocol selection ([`run::QueuingAlg`],
-//!   [`run::CountingAlg`]) with automatic output verification (total-order /
-//!   rank-set checks) and delay accounting;
+//! * [`protocol`] — the [`protocol::ProtocolSpec`] registry: one uniform
+//!   handle per runnable protocol (name, kind, instantiation, output
+//!   verification), executed via [`protocol::run_spec`];
+//! * [`plan`] — [`plan::RunPlan`] sweep builder: cross-products of
+//!   topologies × protocols × modes × patterns × repeats, executed
+//!   rayon-parallel into a JSON-serializable [`plan::RunSet`];
+//! * [`run`] — the legacy enum façade ([`run::QueuingAlg`],
+//!   [`run::CountingAlg`]) now delegating to the registry, plus
+//!   [`run::run_best_counting`];
 //! * [`report`] — per-run summaries and queuing-vs-counting comparisons;
 //! * [`table`] — plain-text/markdown table rendering for the harness;
 //! * [`experiments`] — one driver per paper table/figure/theorem (see
@@ -17,14 +23,19 @@
 //! ```
 //! use ccq_core::prelude::*;
 //!
-//! // A 4×4 mesh where every processor counts / queues.
+//! // Sweep a 4×4 mesh with every registry protocol; queuing must win.
+//! let set = RunPlan::new().topologies([TopoSpec::Mesh2D { side: 4 }]).execute();
+//! assert!(set.summaries[0].queuing_wins.unwrap());
+//!
+//! // Or drive one protocol directly.
 //! let scenario = Scenario::build(TopoSpec::Mesh2D { side: 4 }, RequestPattern::All);
-//! let q = run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded).unwrap();
-//! let c = run_counting(&scenario, CountingAlg::CombiningTree, ModelMode::Strict).unwrap();
-//! assert!(q.report.total_delay() < c.report.total_delay());
+//! let q = run_spec(&ccq_core::protocol::Arrow, &scenario, ModelMode::Expanded).unwrap();
+//! assert_eq!(q.order.len(), 16);
 //! ```
 
 pub mod experiments;
+pub mod plan;
+pub mod protocol;
 pub mod report;
 pub mod run;
 pub mod scenario;
@@ -32,8 +43,14 @@ pub mod table;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
-    pub use crate::report::{delay_percentile, ComparisonRow, DelayReport};
-    pub use crate::run::{run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome};
+    pub use crate::plan::{CaseResult, GroupSummary, RunPlan, RunSet};
+    pub use crate::protocol::{
+        default_width, registry, registry_of, run_spec, ProtocolKind, ProtocolSpec,
+    };
+    pub use crate::report::{delay_percentile, DelayReport};
+    pub use crate::run::{
+        run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome,
+    };
     pub use crate::scenario::{RequestPattern, Scenario, TopoSpec};
     pub use crate::table::Table;
 }

@@ -1,0 +1,638 @@
+//! Sweep plans: cross-products of topologies × protocols × modes ×
+//! request patterns × repeats, executed in parallel and summarized.
+//!
+//! [`RunPlan`] is the builder; [`RunPlan::execute`] materializes every
+//! [`RunCase`], runs them rayon-parallel (grouped so each scenario is built
+//! once), and returns a [`RunSet`]: per-case [`CaseResult`]s plus
+//! queuing-vs-counting [`GroupSummary`]s. Everything is deterministic under
+//! the plan's seed, and the whole set serializes to JSON.
+//!
+//! ```
+//! use ccq_core::prelude::*;
+//!
+//! let set = RunPlan::new()
+//!     .topologies([TopoSpec::Mesh2D { side: 4 }])
+//!     .protocol(&ccq_core::protocol::Arrow)
+//!     .protocols(registry_of(ProtocolKind::Counting))
+//!     .execute();
+//! assert_eq!(set.cases.len(), 6); // arrow + the five counting protocols
+//! assert!(set.summaries[0].queuing_wins.unwrap());
+//! assert!(serde_json::from_str(&set.to_json()).is_ok());
+//! ```
+
+use crate::protocol::{registry, run_spec, ProtocolKind, ProtocolSpec};
+use crate::report::DelayReport;
+use crate::run::ModelMode;
+use crate::scenario::{RequestPattern, Scenario, TopoSpec};
+use crate::table::fmt_util::{f2, int, tick};
+use crate::table::Table;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// How a plan assigns execution modes to cases.
+#[derive(Clone, Debug)]
+enum ModeSel {
+    /// The paper's convention: queuing protocols run with expanded steps
+    /// (Theorem 4.5 setup), counting protocols in the strict model.
+    Paper,
+    /// An explicit list, cross-producted over every protocol.
+    Explicit(Vec<ModelMode>),
+}
+
+/// Builder for a sweep over scenarios and registry protocols.
+pub struct RunPlan {
+    topologies: Vec<TopoSpec>,
+    protocols: Vec<Box<dyn ProtocolSpec>>,
+    modes: ModeSel,
+    patterns: Vec<RequestPattern>,
+    repeats: usize,
+    seed: u64,
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunPlan {
+    /// Empty plan: no topologies yet, no explicit protocols (meaning *every*
+    /// registry protocol), the paper's mode convention, the `All` request
+    /// pattern, one repeat, seed 0.
+    pub fn new() -> Self {
+        RunPlan {
+            topologies: Vec::new(),
+            protocols: Vec::new(),
+            modes: ModeSel::Paper,
+            patterns: vec![RequestPattern::All],
+            repeats: 1,
+            seed: 0,
+        }
+    }
+
+    /// Set the topologies to sweep.
+    pub fn topologies(mut self, topos: impl IntoIterator<Item = TopoSpec>) -> Self {
+        self.topologies = topos.into_iter().collect();
+        self
+    }
+
+    /// Append protocols to the plan. A plan whose protocol list is never
+    /// touched sweeps the whole [`registry`].
+    pub fn protocols<'a>(mut self, specs: impl IntoIterator<Item = &'a dyn ProtocolSpec>) -> Self {
+        self.protocols.extend(specs.into_iter().map(|p| p.clone_spec()));
+        self
+    }
+
+    /// Append one protocol (accepts width-parameterized spec values, e.g.
+    /// `&CountingNetwork { width: Some(8) }`).
+    pub fn protocol(mut self, spec: &dyn ProtocolSpec) -> Self {
+        self.protocols.push(spec.clone_spec());
+        self
+    }
+
+    /// Keep only protocols of one kind (applies to the registry default
+    /// when no protocols were added explicitly).
+    pub fn only(mut self, kind: ProtocolKind) -> Self {
+        let mut protocols = std::mem::take(&mut self.protocols);
+        if protocols.is_empty() {
+            protocols = registry().iter().map(|p| p.clone_spec()).collect();
+        }
+        protocols.retain(|p| p.kind() == kind);
+        self.protocols = protocols;
+        self
+    }
+
+    /// Explicit mode list, cross-producted over every protocol.
+    pub fn modes(mut self, modes: impl IntoIterator<Item = ModelMode>) -> Self {
+        self.modes = ModeSel::Explicit(modes.into_iter().collect());
+        self
+    }
+
+    /// The paper's convention (default): queuing runs expanded, counting
+    /// strict.
+    pub fn paper_modes(mut self) -> Self {
+        self.modes = ModeSel::Paper;
+        self
+    }
+
+    /// Set the request patterns to sweep.
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = RequestPattern>) -> Self {
+        self.patterns = patterns.into_iter().collect();
+        self
+    }
+
+    /// Repeat every (topology, pattern) cell this many times; random
+    /// patterns are deterministically re-seeded per repeat.
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// Base seed mixed into per-repeat pattern re-seeding.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn modes_for(&self, spec: &dyn ProtocolSpec) -> Vec<ModelMode> {
+        match &self.modes {
+            ModeSel::Paper => vec![match spec.kind() {
+                ProtocolKind::Queuing => ModelMode::Expanded,
+                ProtocolKind::Counting => ModelMode::Strict,
+            }],
+            ModeSel::Explicit(list) => list.clone(),
+        }
+    }
+
+    fn salt(&self, repeat: usize) -> u64 {
+        self.seed.wrapping_mul(0x100_0000_01B3).wrapping_add(repeat as u64)
+    }
+
+    /// The protocol list the plan actually sweeps (registry default when
+    /// none were added).
+    fn effective_protocols(&self) -> Vec<Box<dyn ProtocolSpec>> {
+        if self.protocols.is_empty() {
+            registry().iter().map(|p| p.clone_spec()).collect()
+        } else {
+            self.protocols.iter().map(|p| p.clone_spec()).collect()
+        }
+    }
+
+    /// One scenario's worth of work: all protocol×mode runs sharing it.
+    fn work_groups(&self) -> Vec<WorkGroup> {
+        let protocols = self.effective_protocols();
+        let mut groups = Vec::new();
+        let mut index = 0usize;
+        for topo in &self.topologies {
+            for pattern in &self.patterns {
+                for repeat in 0..self.repeats {
+                    let pat = pattern.reseed(self.salt(repeat));
+                    let mut runs = Vec::new();
+                    for proto in &protocols {
+                        for mode in self.modes_for(proto.as_ref()) {
+                            runs.push((index, proto.clone_spec(), mode));
+                            index += 1;
+                        }
+                    }
+                    groups.push(WorkGroup { topo: topo.clone(), pattern: pat, repeat, runs });
+                }
+            }
+        }
+        groups
+    }
+
+    /// Materialize the full cross-product of cases, in execution order.
+    pub fn cases(&self) -> Vec<RunCase> {
+        self.work_groups()
+            .into_iter()
+            .flat_map(|g| {
+                let (topo, pattern, repeat) = (g.topo, g.pattern, g.repeat);
+                g.runs.into_iter().map(move |(index, protocol, mode)| RunCase {
+                    index,
+                    topo: topo.clone(),
+                    protocol,
+                    mode,
+                    pattern: pattern.clone(),
+                    repeat,
+                })
+            })
+            .collect()
+    }
+
+    /// Execute every case (parallel across scenarios, each scenario built
+    /// once) and summarize. Deterministic under the plan's seed.
+    pub fn execute(&self) -> RunSet {
+        let groups = self.work_groups();
+        let executed: Vec<(Vec<CaseResult>, GroupSummary)> =
+            groups.par_iter().map(run_group).collect();
+
+        let mut cases = Vec::new();
+        let mut summaries = Vec::new();
+        for (group_cases, summary) in executed {
+            cases.extend(group_cases);
+            summaries.push(summary);
+        }
+        cases.sort_by_key(|c| c.case);
+        RunSet { plan: self.describe(), cases, summaries }
+    }
+
+    /// Serializable description of the plan itself.
+    fn describe(&self) -> PlanInfo {
+        PlanInfo {
+            topologies: self.topologies.iter().map(|t| t.name()).collect(),
+            protocols: self.effective_protocols().iter().map(|p| p.name().to_string()).collect(),
+            modes: match &self.modes {
+                ModeSel::Paper => vec!["paper(queuing=Expanded,counting=Strict)".into()],
+                ModeSel::Explicit(list) => list.iter().map(|m| format!("{m:?}")).collect(),
+            },
+            patterns: self.patterns.iter().map(|p| p.name()).collect(),
+            repeats: self.repeats,
+            seed: self.seed,
+        }
+    }
+}
+
+struct WorkGroup {
+    topo: TopoSpec,
+    pattern: RequestPattern,
+    repeat: usize,
+    runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode)>,
+}
+
+fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, GroupSummary) {
+    let scenario = Scenario::build(group.topo.clone(), group.pattern.clone());
+    let mut results = Vec::with_capacity(group.runs.len());
+    for (index, spec, mode) in &group.runs {
+        let base = CaseResult {
+            case: *index,
+            topology: group.topo.name(),
+            n: scenario.n(),
+            k: scenario.k(),
+            protocol: spec.name().to_string(),
+            kind: spec.kind(),
+            mode: *mode,
+            pattern: group.pattern.name(),
+            repeat: group.repeat,
+            width: spec.effective_width(scenario.n()),
+            ok: false,
+            error: None,
+            total_delay: 0,
+            messages: 0,
+            max_contention: 0,
+            metrics: None,
+        };
+        let result = match run_spec(spec.as_ref(), &scenario, *mode) {
+            Ok(out) => CaseResult {
+                ok: true,
+                total_delay: out.report.total_delay(),
+                messages: out.report.messages_sent,
+                max_contention: out.report.max_inport_depth,
+                metrics: Some(DelayReport::from_sim(&out.alg, &out.report)),
+                ..base
+            },
+            Err(e) => CaseResult { error: Some(e.to_string()), ..base },
+        };
+        results.push(result);
+    }
+    let summary = summarize(&scenario, group, &results);
+    (results, summary)
+}
+
+fn summarize(scenario: &Scenario, group: &WorkGroup, results: &[CaseResult]) -> GroupSummary {
+    let best_of = |kind: ProtocolKind| -> Option<&CaseResult> {
+        results.iter().filter(|c| c.ok && c.kind == kind).min_by_key(|c| c.total_delay)
+    };
+    let q = best_of(ProtocolKind::Queuing);
+    let c = best_of(ProtocolKind::Counting);
+    let gap = match (q, c) {
+        (Some(q), Some(c)) => Some(c.total_delay as f64 / q.total_delay.max(1) as f64),
+        _ => None,
+    };
+    GroupSummary {
+        topology: group.topo.name(),
+        pattern: group.pattern.name(),
+        repeat: group.repeat,
+        n: scenario.n(),
+        k: scenario.k(),
+        best_queuing: q.map(|c| c.protocol.clone()),
+        best_queuing_delay: q.map(|c| c.total_delay),
+        best_counting: c.map(|c| c.protocol.clone()),
+        best_counting_delay: c.map(|c| c.total_delay),
+        gap,
+        queuing_wins: match (q, c) {
+            (Some(q), Some(c)) => Some(q.total_delay < c.total_delay),
+            _ => None,
+        },
+    }
+}
+
+/// One materialized run: a protocol on a scenario under a mode.
+pub struct RunCase {
+    /// Position in the plan's cross-product (stable across executions).
+    pub index: usize,
+    /// Topology descriptor.
+    pub topo: TopoSpec,
+    /// The protocol to run.
+    pub protocol: Box<dyn ProtocolSpec>,
+    /// Execution model.
+    pub mode: ModelMode,
+    /// Request pattern (already re-seeded for this repeat).
+    pub pattern: RequestPattern,
+    /// Repeat number within the (topology, pattern) cell.
+    pub repeat: usize,
+}
+
+/// Outcome of one case, flattened for reporting.
+#[derive(Clone, Debug, Serialize)]
+pub struct CaseResult {
+    /// Position in the plan's cross-product.
+    pub case: usize,
+    /// Topology display name.
+    pub topology: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Number of requesters.
+    pub k: usize,
+    /// Protocol display name.
+    pub protocol: String,
+    /// Queuing or counting.
+    pub kind: ProtocolKind,
+    /// Execution model used.
+    pub mode: ModelMode,
+    /// Request pattern display name.
+    pub pattern: String,
+    /// Repeat number.
+    pub repeat: usize,
+    /// Resolved network width (`None` for width-less protocols).
+    pub width: Option<usize>,
+    /// Whether the run executed and verified.
+    pub ok: bool,
+    /// Failure description when `ok` is false.
+    pub error: Option<String>,
+    /// Σ per-operation delays (scaled) — the paper's metric.
+    pub total_delay: u64,
+    /// Messages transmitted over links.
+    pub messages: u64,
+    /// Largest receive-queue depth observed (the contention measure).
+    pub max_contention: usize,
+    /// Full flattened metrics when the run succeeded.
+    pub metrics: Option<DelayReport>,
+}
+
+/// The plan echoed back in serializable form.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlanInfo {
+    /// Topology display names.
+    pub topologies: Vec<String>,
+    /// Protocol display names.
+    pub protocols: Vec<String>,
+    /// Mode selection description.
+    pub modes: Vec<String>,
+    /// Request pattern display names.
+    pub patterns: Vec<String>,
+    /// Repeats per cell.
+    pub repeats: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Best-queuing vs best-counting verdict for one scenario cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct GroupSummary {
+    /// Topology display name.
+    pub topology: String,
+    /// Request pattern display name.
+    pub pattern: String,
+    /// Repeat number.
+    pub repeat: usize,
+    /// Number of processors.
+    pub n: usize,
+    /// Number of requesters.
+    pub k: usize,
+    /// Cheapest verified queuing protocol, if any ran.
+    pub best_queuing: Option<String>,
+    /// Its total delay.
+    pub best_queuing_delay: Option<u64>,
+    /// Cheapest verified counting protocol, if any ran.
+    pub best_counting: Option<String>,
+    /// Its total delay.
+    pub best_counting_delay: Option<u64>,
+    /// `best counting / best queuing` total delay — the paper's gap.
+    pub gap: Option<f64>,
+    /// Whether queuing strictly won this cell.
+    pub queuing_wins: Option<bool>,
+}
+
+/// Executed sweep: per-case results plus per-scenario summaries.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunSet {
+    /// The plan that produced this set.
+    pub plan: PlanInfo,
+    /// Per-case outcomes, in cross-product order.
+    pub cases: Vec<CaseResult>,
+    /// Per-(topology, pattern, repeat) crossover summaries.
+    pub summaries: Vec<GroupSummary>,
+}
+
+impl RunSet {
+    /// Compact JSON encoding of the whole set.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("RunSet serialization is infallible")
+    }
+
+    /// Pretty (2-space indented) JSON encoding.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunSet serialization is infallible")
+    }
+
+    /// First case matching topology and protocol names (repeat 0).
+    pub fn case(&self, topology: &str, protocol: &str) -> Option<&CaseResult> {
+        self.cases.iter().find(|c| c.topology == topology && c.protocol == protocol)
+    }
+
+    /// Cheapest verified case of `kind` on the named topology (repeat 0).
+    pub fn best(&self, topology: &str, kind: ProtocolKind) -> Option<&CaseResult> {
+        self.cases
+            .iter()
+            .filter(|c| c.ok && c.repeat == 0 && c.topology == topology && c.kind == kind)
+            .min_by_key(|c| c.total_delay)
+    }
+
+    /// All cases of one kind, in order.
+    pub fn of_kind(&self, kind: ProtocolKind) -> impl Iterator<Item = &CaseResult> {
+        self.cases.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Human-readable per-case table (the CLI's default sweep output).
+    pub fn case_table(&self) -> Table {
+        let mut t = Table::new(
+            "sweep cases",
+            &[
+                "topology",
+                "protocol",
+                "kind",
+                "mode",
+                "pattern",
+                "rep",
+                "ok",
+                "total delay",
+                "messages",
+                "max cont.",
+            ],
+        );
+        for c in &self.cases {
+            t.push_row(vec![
+                c.topology.clone(),
+                c.protocol.clone(),
+                c.kind.label().into(),
+                format!("{:?}", c.mode),
+                c.pattern.clone(),
+                c.repeat.to_string(),
+                tick(c.ok),
+                int(c.total_delay),
+                int(c.messages),
+                int(c.max_contention as u64),
+            ]);
+        }
+        t
+    }
+
+    /// Human-readable summary table (best queuing vs best counting).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            "queuing vs counting per scenario",
+            &[
+                "topology",
+                "pattern",
+                "rep",
+                "n",
+                "best queuing",
+                "C_Q",
+                "best counting",
+                "C_C",
+                "gap",
+                "queuing wins",
+            ],
+        );
+        for s in &self.summaries {
+            t.push_row(vec![
+                s.topology.clone(),
+                s.pattern.clone(),
+                s.repeat.to_string(),
+                int(s.n as u64),
+                s.best_queuing.clone().unwrap_or_else(|| "-".into()),
+                s.best_queuing_delay.map(int).unwrap_or_else(|| "-".into()),
+                s.best_counting.clone().unwrap_or_else(|| "-".into()),
+                s.best_counting_delay.map(int).unwrap_or_else(|| "-".into()),
+                s.gap.map(f2).unwrap_or_else(|| "-".into()),
+                s.queuing_wins.map(tick).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol;
+
+    #[test]
+    fn cross_product_shape() {
+        let plan = RunPlan::new()
+            .topologies([TopoSpec::Mesh2D { side: 3 }, TopoSpec::List { n: 8 }])
+            .protocols(registry().iter().copied())
+            .modes([ModelMode::Strict, ModelMode::Expanded])
+            .repeats(2);
+        // 2 topologies × 1 pattern × 2 repeats × 9 protocols × 2 modes.
+        assert_eq!(plan.cases().len(), 2 * 2 * 9 * 2);
+    }
+
+    #[test]
+    fn paper_modes_assign_by_kind() {
+        let set = RunPlan::new().topologies([TopoSpec::Mesh2D { side: 3 }]).execute();
+        assert_eq!(set.cases.len(), 9);
+        for c in &set.cases {
+            assert!(c.ok, "{}: {:?}", c.protocol, c.error);
+            match c.kind {
+                ProtocolKind::Queuing => assert_eq!(c.mode, ModelMode::Expanded),
+                ProtocolKind::Counting => assert_eq!(c.mode, ModelMode::Strict),
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_calls_append_and_empty_means_all() {
+        let set = RunPlan::new()
+            .topologies([TopoSpec::List { n: 6 }])
+            .protocol(&protocol::Arrow)
+            .protocol(&protocol::CentralCounter)
+            .execute();
+        let names: Vec<_> = set.cases.iter().map(|c| c.protocol.as_str()).collect();
+        assert_eq!(names, vec!["arrow", "central-counter"]);
+
+        let all = RunPlan::new().topologies([TopoSpec::List { n: 6 }]).execute();
+        assert_eq!(all.cases.len(), registry().len());
+        assert_eq!(all.plan.protocols.len(), registry().len());
+
+        let counting_only =
+            RunPlan::new().topologies([TopoSpec::List { n: 6 }]).only(ProtocolKind::Counting);
+        assert_eq!(counting_only.cases().len(), 5);
+    }
+
+    #[test]
+    fn summaries_report_the_crossover() {
+        let set = RunPlan::new().topologies([TopoSpec::Mesh2D { side: 4 }]).execute();
+        let s = &set.summaries[0];
+        assert_eq!(s.topology, "mesh2d(4x4)");
+        assert!(s.queuing_wins.unwrap(), "queuing must win on the mesh");
+        assert!(s.gap.unwrap() > 1.0);
+        assert_eq!(
+            s.best_queuing_delay,
+            Some(set.best("mesh2d(4x4)", ProtocolKind::Queuing).unwrap().total_delay)
+        );
+    }
+
+    #[test]
+    fn repeats_reseed_random_patterns_only() {
+        let set = RunPlan::new()
+            .topologies([TopoSpec::Complete { n: 12 }])
+            .protocol(&protocol::Arrow)
+            .patterns([RequestPattern::Random { density: 0.5, seed: 1 }])
+            .repeats(3)
+            .execute();
+        assert_eq!(set.cases.len(), 3);
+        let ks: Vec<usize> = set.cases.iter().map(|c| c.k).collect();
+        // Re-seeded repeats draw different request sets (with overwhelming
+        // probability for these seeds).
+        assert!(ks.windows(2).any(|w| w[0] != w[1]), "repeats identical: {ks:?}");
+
+        let fixed = RunPlan::new()
+            .topologies([TopoSpec::Complete { n: 12 }])
+            .protocol(&protocol::Arrow)
+            .repeats(3)
+            .execute();
+        let delays: Vec<u64> = fixed.cases.iter().map(|c| c.total_delay).collect();
+        assert_eq!(delays[0], delays[1], "non-random pattern must repeat identically");
+        assert_eq!(delays[1], delays[2]);
+    }
+
+    #[test]
+    fn json_is_valid_and_complete() {
+        let set = RunPlan::new()
+            .topologies([TopoSpec::Mesh2D { side: 3 }])
+            .protocol(&protocol::Arrow)
+            .protocol(&protocol::CentralCounter)
+            .execute();
+        let doc = serde_json::from_str(&set.to_json()).expect("valid JSON");
+        let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+        assert_eq!(cases.len(), 2);
+        for case in cases {
+            assert!(case.get("total_delay").and_then(|v| v.as_u64()).unwrap() > 0);
+            assert!(case.get("messages").and_then(|v| v.as_u64()).unwrap() > 0);
+            assert!(case.get("max_contention").is_some());
+        }
+        let pretty = serde_json::from_str(&set.to_json_pretty()).expect("valid pretty JSON");
+        assert_eq!(
+            pretty.get("plan").and_then(|p| p.get("repeats")).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_valid_set() {
+        let set = RunPlan::new().execute();
+        assert!(set.cases.is_empty());
+        assert!(set.summaries.is_empty());
+        assert!(serde_json::from_str(&set.to_json()).is_ok());
+    }
+
+    #[test]
+    fn tables_render() {
+        let set = RunPlan::new().topologies([TopoSpec::List { n: 6 }]).execute();
+        let cases = set.case_table().to_string();
+        assert!(cases.contains("arrow"));
+        let summary = set.summary_table().to_string();
+        assert!(summary.contains("list(n=6)"));
+    }
+}

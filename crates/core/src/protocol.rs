@@ -1,0 +1,435 @@
+//! The protocol registry: one uniform handle per runnable protocol.
+//!
+//! A [`ProtocolSpec`] knows its display name, its [`ProtocolKind`] (which
+//! also fixes the output contract — total order for queuing, rank set for
+//! counting), which of a [`Scenario`]'s spanning trees it runs on, how to
+//! instantiate itself on the simulator and how to verify its output. The
+//! global [`registry`] enumerates every protocol, so experiment drivers,
+//! sweeps ([`crate::plan::RunPlan`]) and the `ccq` CLI iterate instead of
+//! enum-matching; [`run_spec`] is the single execution path.
+//!
+//! ```
+//! use ccq_core::prelude::*;
+//!
+//! let s = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
+//! for spec in registry() {
+//!     let out = run_spec(*spec, &s, ModelMode::Strict).unwrap();
+//!     assert_eq!(out.order.len(), s.k(), "{}", spec.name());
+//! }
+//! ```
+
+use crate::run::{config_for, ModelMode, RunError, RunOutcome};
+use crate::scenario::Scenario;
+use ccq_counting::{
+    verify_ranks, CentralCounterProtocol, CombiningTreeProtocol, CountingNetworkProtocol,
+    ToggleTreeProtocol,
+};
+use ccq_graph::{NodeId, Tree};
+use ccq_queuing::{
+    verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol,
+};
+use ccq_sim::{run_protocol, SimConfig, SimError, SimReport};
+use serde::Serialize;
+
+/// What a protocol computes, which also fixes its verification contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum ProtocolKind {
+    /// Distributed queuing: every requester learns its predecessor; the
+    /// execution must form one valid total order.
+    Queuing,
+    /// Distributed counting: every requester learns a rank; the handed-out
+    /// ranks must be exactly `{1, …, |R|}`.
+    Counting,
+}
+
+impl ProtocolKind {
+    /// Lower-case label used in tables and the CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Queuing => "queuing",
+            ProtocolKind::Counting => "counting",
+        }
+    }
+}
+
+/// The paper's default width rule for network-style counters:
+/// `clamp(2^⌈lg √n⌉, 2, 32)`.
+pub fn default_width(n: usize) -> usize {
+    let target = (n as f64).sqrt().ceil() as usize;
+    target.next_power_of_two().clamp(2, 32)
+}
+
+/// A runnable protocol: name, kind, instantiation and verification.
+///
+/// Implementations are cheap value types; the width-parameterized ones
+/// ([`CountingNetwork`], [`PeriodicNetwork`], [`ToggleTree`]) can be
+/// constructed with an explicit width, while the [`registry`] entries use
+/// the [`default_width`] rule.
+pub trait ProtocolSpec: Send + Sync {
+    /// Display name (stable; used for registry lookup and reporting).
+    fn name(&self) -> &'static str;
+
+    /// Queuing or counting.
+    fn kind(&self) -> ProtocolKind;
+
+    /// The width/leaves this spec resolves to on an `n`-processor scenario
+    /// (`None` for protocols without a width parameter).
+    fn effective_width(&self, _n: usize) -> Option<usize> {
+        None
+    }
+
+    /// The spanning tree this protocol runs on.
+    fn tree<'a>(&self, scenario: &'a Scenario) -> &'a Tree {
+        match self.kind() {
+            ProtocolKind::Queuing => &scenario.queuing_tree,
+            ProtocolKind::Counting => &scenario.counting_tree,
+        }
+    }
+
+    /// Instantiate on `scenario` and run to quiescence under `cfg`.
+    fn execute(&self, scenario: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError>;
+
+    /// Verify the report's completions against this protocol's output
+    /// contract; returns the requesters in queue/rank order.
+    fn verify(&self, scenario: &Scenario, report: &SimReport) -> Result<Vec<NodeId>, RunError> {
+        let pairs: Vec<(NodeId, u64)> =
+            report.completions.iter().map(|c| (c.node, c.value)).collect();
+        match self.kind() {
+            ProtocolKind::Queuing => {
+                verify_total_order(&scenario.requests, &pairs).map_err(RunError::Order)
+            }
+            ProtocolKind::Counting => {
+                verify_ranks(&scenario.requests, &pairs).map_err(RunError::Ranks)
+            }
+        }
+    }
+
+    /// Owned copy (specs are cheap value types).
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec>;
+}
+
+/// Run `spec` on `scenario` under `mode` and verify its output — the single
+/// execution path behind every driver, sweep and CLI command.
+pub fn run_spec(
+    spec: &dyn ProtocolSpec,
+    scenario: &Scenario,
+    mode: ModelMode,
+) -> Result<RunOutcome, RunError> {
+    let cfg = config_for(mode, spec.tree(scenario).max_degree());
+    let report = spec.execute(scenario, cfg).map_err(RunError::Sim)?;
+    let order = spec.verify(scenario, &report)?;
+    Ok(RunOutcome { alg: spec.name().to_string(), report, order })
+}
+
+/// The arrow protocol (path reversal on the queuing tree).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Arrow;
+
+/// Arrow with the predecessor identity routed back to the origin.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArrowNotify;
+
+/// Centralized home-node queue (baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CentralQueue;
+
+/// Combining-tree queue (tree-aggregation baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CombiningQueue;
+
+/// Centralized counter at the counting tree's root.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CentralCounter;
+
+/// Software combining tree on the counting tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CombiningTree;
+
+/// Bitonic counting network; `width` of `None` uses [`default_width`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingNetwork {
+    /// Explicit network width (power of two), or `None` for the rule.
+    pub width: Option<usize>,
+}
+
+/// Periodic counting network; `width` of `None` uses [`default_width`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeriodicNetwork {
+    /// Explicit network width (power of two), or `None` for the rule.
+    pub width: Option<usize>,
+}
+
+/// Toggle-tree counter; `leaves` of `None` uses [`default_width`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ToggleTree {
+    /// Explicit leaf count (power of two), or `None` for the rule.
+    pub leaves: Option<usize>,
+}
+
+impl ProtocolSpec for Arrow {
+    fn name(&self) -> &'static str {
+        "arrow"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Queuing
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        run_protocol(&s.graph, ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests), cfg)
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for ArrowNotify {
+    fn name(&self) -> &'static str {
+        "arrow+notify"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Queuing
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        run_protocol(
+            &s.graph,
+            ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests).with_notify_origin(),
+            cfg,
+        )
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for CentralQueue {
+    fn name(&self) -> &'static str {
+        "central-queue"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Queuing
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        run_protocol(&s.graph, CentralQueueProtocol::new(&s.queuing_tree, s.tail, &s.requests), cfg)
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for CombiningQueue {
+    fn name(&self) -> &'static str {
+        "combining-queue"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Queuing
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        run_protocol(&s.graph, CombiningQueueProtocol::new(&s.queuing_tree, &s.requests), cfg)
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for CentralCounter {
+    fn name(&self) -> &'static str {
+        "central-counter"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Counting
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        let tree = &s.counting_tree;
+        run_protocol(&s.graph, CentralCounterProtocol::new(tree, tree.root(), &s.requests), cfg)
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for CombiningTree {
+    fn name(&self) -> &'static str {
+        "combining-tree"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Counting
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        run_protocol(&s.graph, CombiningTreeProtocol::new(&s.counting_tree, &s.requests), cfg)
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for CountingNetwork {
+    fn name(&self) -> &'static str {
+        "counting-network"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Counting
+    }
+    fn effective_width(&self, n: usize) -> Option<usize> {
+        Some(self.width.unwrap_or_else(|| default_width(n)))
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        let w = self.effective_width(s.n()).unwrap();
+        run_protocol(
+            &s.graph,
+            CountingNetworkProtocol::new(&s.graph, &s.counting_tree, &s.requests, w),
+            cfg,
+        )
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for PeriodicNetwork {
+    fn name(&self) -> &'static str {
+        "periodic-network"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Counting
+    }
+    fn effective_width(&self, n: usize) -> Option<usize> {
+        Some(self.width.unwrap_or_else(|| default_width(n)))
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        let w = self.effective_width(s.n()).unwrap();
+        run_protocol(
+            &s.graph,
+            CountingNetworkProtocol::with_network(
+                &s.graph,
+                &s.counting_tree,
+                &s.requests,
+                ccq_counting::network::periodic(w),
+            ),
+            cfg,
+        )
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+impl ProtocolSpec for ToggleTree {
+    fn name(&self) -> &'static str {
+        "toggle-tree"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Counting
+    }
+    fn effective_width(&self, n: usize) -> Option<usize> {
+        Some(self.leaves.unwrap_or_else(|| default_width(n)))
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        let w = self.effective_width(s.n()).unwrap();
+        run_protocol(
+            &s.graph,
+            ToggleTreeProtocol::new(&s.graph, &s.counting_tree, &s.requests, w),
+            cfg,
+        )
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
+/// Every protocol, queuing first, in presentation order. Width-parameterized
+/// entries use the [`default_width`] rule.
+pub fn registry() -> &'static [&'static dyn ProtocolSpec] {
+    static REGISTRY: [&dyn ProtocolSpec; 9] = [
+        &Arrow,
+        &ArrowNotify,
+        &CentralQueue,
+        &CombiningQueue,
+        &CentralCounter,
+        &CombiningTree,
+        &CountingNetwork { width: None },
+        &PeriodicNetwork { width: None },
+        &ToggleTree { leaves: None },
+    ];
+    &REGISTRY
+}
+
+/// Registry entries of one kind, in registry order.
+pub fn registry_of(kind: ProtocolKind) -> impl Iterator<Item = &'static dyn ProtocolSpec> {
+    registry().iter().copied().filter(move |p| p.kind() == kind)
+}
+
+/// Look up a registry entry by display name (`"arrow-notify"` is accepted
+/// as a CLI-friendly alias of `"arrow+notify"`).
+pub fn find(name: &str) -> Option<&'static dyn ProtocolSpec> {
+    let canonical = if name == "arrow-notify" { "arrow+notify" } else { name };
+    registry().iter().copied().find(|p| p.name() == canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{RequestPattern, TopoSpec};
+
+    #[test]
+    fn registry_names_unique_and_findable() {
+        let mut names: Vec<_> = registry().iter().map(|p| p.name()).collect();
+        for n in &names {
+            assert_eq!(find(n).unwrap().name(), *n);
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+        assert!(find("nope").is_none());
+        assert_eq!(find("arrow-notify").unwrap().name(), "arrow+notify");
+    }
+
+    #[test]
+    fn kinds_partition_the_registry() {
+        assert_eq!(registry_of(ProtocolKind::Queuing).count(), 4);
+        assert_eq!(registry_of(ProtocolKind::Counting).count(), 5);
+    }
+
+    #[test]
+    fn every_entry_runs_and_verifies_on_the_mesh() {
+        let s = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
+        for spec in registry() {
+            let out = run_spec(*spec, &s, ModelMode::Strict).unwrap();
+            assert_eq!(out.order.len(), s.k(), "{}", spec.name());
+            assert_eq!(out.alg, spec.name());
+        }
+    }
+
+    #[test]
+    fn width_rule_matches_the_paper() {
+        let net = CountingNetwork { width: None };
+        assert_eq!(net.effective_width(16), Some(4));
+        assert_eq!(net.effective_width(64), Some(8));
+        assert_eq!(net.effective_width(100), Some(16));
+        assert_eq!(net.effective_width(2), Some(2));
+        assert_eq!(net.effective_width(100_000), Some(32));
+        assert_eq!(CountingNetwork { width: Some(8) }.effective_width(100_000), Some(8));
+        assert_eq!(Arrow.effective_width(64), None);
+        assert_eq!(CentralCounter.effective_width(64), None);
+    }
+
+    #[test]
+    fn explicit_width_flows_into_execution() {
+        let s = Scenario::build(TopoSpec::Complete { n: 12 }, RequestPattern::All);
+        for spec in [
+            &CountingNetwork { width: Some(4) } as &dyn ProtocolSpec,
+            &PeriodicNetwork { width: Some(4) },
+            &ToggleTree { leaves: Some(4) },
+        ] {
+            let out = run_spec(spec, &s, ModelMode::Strict).unwrap();
+            assert_eq!(out.order.len(), 12, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn clone_spec_preserves_identity() {
+        for spec in registry() {
+            let cloned = spec.clone_spec();
+            assert_eq!(cloned.name(), spec.name());
+            assert_eq!(cloned.kind(), spec.kind());
+        }
+    }
+}

@@ -1,9 +1,11 @@
-//! Run summaries and queuing-vs-counting comparison rows.
+//! Flattened per-run summaries and latency percentiles (the
+//! queuing-vs-counting comparison lives in [`crate::plan::GroupSummary`]).
 
 use ccq_sim::SimReport;
+use serde::Serialize;
 
 /// Flattened per-run metrics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct DelayReport {
     /// Algorithm display name.
     pub alg: String,
@@ -52,39 +54,10 @@ pub fn delay_percentile(rep: &SimReport, q: f64) -> u64 {
     if rep.completions.is_empty() {
         return 0;
     }
-    let mut d: Vec<u64> =
-        rep.completions.iter().map(|c| c.round * rep.delay_scale).collect();
+    let mut d: Vec<u64> = rep.completions.iter().map(|c| c.round * rep.delay_scale).collect();
     d.sort_unstable();
     let rank = ((q * d.len() as f64).ceil() as usize).clamp(1, d.len());
     d[rank - 1]
-}
-
-/// One row of a queuing-vs-counting comparison.
-#[derive(Clone, Debug)]
-pub struct ComparisonRow {
-    /// Topology display name.
-    pub topology: String,
-    /// Number of processors.
-    pub n: usize,
-    /// Number of requesters.
-    pub k: usize,
-    /// Queuing run.
-    pub queuing: DelayReport,
-    /// Counting run (typically the best of all counting algorithms).
-    pub counting: DelayReport,
-}
-
-impl ComparisonRow {
-    /// `counting total delay / queuing total delay` — the measured gap; the
-    /// paper predicts this grows without bound except on the star.
-    pub fn gap(&self) -> f64 {
-        self.counting.total_delay as f64 / self.queuing.total_delay.max(1) as f64
-    }
-
-    /// Whether queuing won this size.
-    pub fn queuing_won(&self) -> bool {
-        self.queuing.total_delay < self.counting.total_delay
-    }
 }
 
 #[cfg(test)]
@@ -110,19 +83,6 @@ mod tests {
     }
 
     #[test]
-    fn gap_and_winner() {
-        let row = ComparisonRow {
-            topology: "t".into(),
-            n: 4,
-            k: 4,
-            queuing: dummy(10),
-            counting: dummy(30),
-        };
-        assert_eq!(row.gap(), 3.0);
-        assert!(row.queuing_won());
-    }
-
-    #[test]
     fn percentiles_nearest_rank() {
         let rep = SimReport {
             delay_scale: 1,
@@ -137,17 +97,5 @@ mod tests {
         assert_eq!(delay_percentile(&rep, 0.0), 1);
         let empty = SimReport { delay_scale: 1, ..Default::default() };
         assert_eq!(delay_percentile(&empty, 0.5), 0);
-    }
-
-    #[test]
-    fn gap_handles_zero_queuing() {
-        let row = ComparisonRow {
-            topology: "t".into(),
-            n: 1,
-            k: 1,
-            queuing: dummy(0),
-            counting: dummy(5),
-        };
-        assert_eq!(row.gap(), 5.0);
     }
 }

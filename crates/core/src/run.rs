@@ -1,13 +1,15 @@
 //! Protocol runners with automatic output verification.
+//!
+//! Execution is unified behind the [`crate::protocol`] registry: every run
+//! goes through [`crate::protocol::run_spec`]. The [`QueuingAlg`] /
+//! [`CountingAlg`] enums remain as a thin selection façade for existing
+//! call sites; each simply resolves to its [`crate::protocol::ProtocolSpec`].
 
+use crate::protocol::{self, default_width, run_spec, ProtocolKind, ProtocolSpec};
 use crate::scenario::Scenario;
-use ccq_counting::{
-    verify_ranks, CentralCounterProtocol, CombiningTreeProtocol, CountingNetworkProtocol,
-    ToggleTreeProtocol,
-};
 use ccq_graph::NodeId;
-use ccq_queuing::{verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol};
-use ccq_sim::{run_protocol, SimConfig, SimError, SimReport};
+use ccq_sim::{SimConfig, SimError, SimReport};
+use serde::Serialize;
 
 /// Queuing algorithm selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,14 +25,19 @@ pub enum QueuingAlg {
 }
 
 impl QueuingAlg {
+    /// The registry spec this selection resolves to.
+    pub fn spec(self) -> &'static dyn ProtocolSpec {
+        match self {
+            QueuingAlg::Arrow => &protocol::Arrow,
+            QueuingAlg::ArrowNotify => &protocol::ArrowNotify,
+            QueuingAlg::CentralHome => &protocol::CentralQueue,
+            QueuingAlg::CombiningQueue => &protocol::CombiningQueue,
+        }
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
-        match self {
-            QueuingAlg::Arrow => "arrow",
-            QueuingAlg::ArrowNotify => "arrow+notify",
-            QueuingAlg::CentralHome => "central-queue",
-            QueuingAlg::CombiningQueue => "combining-queue",
-        }
+        self.spec().name()
     }
 }
 
@@ -63,26 +70,23 @@ impl CountingAlg {
         }
     }
 
-    /// The default-width rule.
+    /// The width the selection resolves to: the explicit parameter, the
+    /// [`default_width`] rule for network-style counters, and 0 for the
+    /// width-less protocols.
     pub fn effective_width(self, n: usize) -> usize {
-        let default = || {
-            let target = (n as f64).sqrt().ceil() as usize;
-            target.next_power_of_two().clamp(2, 32)
-        };
         match self {
-            CountingAlg::CountingNetwork { width: Some(w) }
-            | CountingAlg::PeriodicNetwork { width: Some(w) }
-            | CountingAlg::ToggleTree { leaves: Some(w) } => w,
-            CountingAlg::CountingNetwork { width: None }
-            | CountingAlg::PeriodicNetwork { width: None }
-            | CountingAlg::ToggleTree { leaves: None } => default(),
-            _ => 0,
+            CountingAlg::CountingNetwork { width }
+            | CountingAlg::PeriodicNetwork { width }
+            | CountingAlg::ToggleTree { leaves: width } => {
+                width.unwrap_or_else(|| default_width(n))
+            }
+            CountingAlg::Central | CountingAlg::CombiningTree => 0,
         }
     }
 }
 
 /// Execution model for a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
 pub enum ModelMode {
     /// 1 send + 1 receive per round (paper's base model §2.1).
     Strict,
@@ -115,6 +119,7 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// A verified run.
+#[derive(Clone, Debug, Serialize)]
 pub struct RunOutcome {
     /// Algorithm display name.
     pub alg: String,
@@ -129,7 +134,8 @@ fn expanded_config(max_degree: usize) -> SimConfig {
     SimConfig::expanded(max_degree.max(1) + 1)
 }
 
-fn config_for(mode: ModelMode, max_degree: usize) -> SimConfig {
+/// The simulator configuration a mode implies on a tree of the given degree.
+pub fn config_for(mode: ModelMode, max_degree: usize) -> SimConfig {
     match mode {
         ModelMode::Strict => SimConfig::strict(),
         ModelMode::Expanded => expanded_config(max_degree),
@@ -142,35 +148,7 @@ pub fn run_queuing(
     alg: QueuingAlg,
     mode: ModelMode,
 ) -> Result<RunOutcome, RunError> {
-    let tree = &scenario.queuing_tree;
-    let cfg = config_for(mode, tree.max_degree());
-    let report = match alg {
-        QueuingAlg::Arrow => run_protocol(
-            &scenario.graph,
-            ArrowProtocol::new(tree, scenario.tail, &scenario.requests),
-            cfg,
-        ),
-        QueuingAlg::ArrowNotify => run_protocol(
-            &scenario.graph,
-            ArrowProtocol::new(tree, scenario.tail, &scenario.requests).with_notify_origin(),
-            cfg,
-        ),
-        QueuingAlg::CentralHome => run_protocol(
-            &scenario.graph,
-            CentralQueueProtocol::new(tree, scenario.tail, &scenario.requests),
-            cfg,
-        ),
-        QueuingAlg::CombiningQueue => run_protocol(
-            &scenario.graph,
-            CombiningQueueProtocol::new(tree, &scenario.requests),
-            cfg,
-        ),
-    }
-    .map_err(RunError::Sim)?;
-    let pred_of: Vec<(NodeId, u64)> =
-        report.completions.iter().map(|c| (c.node, c.value)).collect();
-    let order = verify_total_order(&scenario.requests, &pred_of).map_err(RunError::Order)?;
-    Ok(RunOutcome { alg: alg.name().to_string(), report, order })
+    run_spec(alg.spec(), scenario, mode)
 }
 
 /// Run a counting algorithm on `scenario` and verify the rank set.
@@ -179,77 +157,28 @@ pub fn run_counting(
     alg: CountingAlg,
     mode: ModelMode,
 ) -> Result<RunOutcome, RunError> {
-    let tree = &scenario.counting_tree;
-    let report = match alg {
-        CountingAlg::Central => {
-            let cfg = config_for(mode, tree.max_degree());
-            run_protocol(
-                &scenario.graph,
-                CentralCounterProtocol::new(tree, tree.root(), &scenario.requests),
-                cfg,
-            )
+    match alg {
+        CountingAlg::Central => run_spec(&protocol::CentralCounter, scenario, mode),
+        CountingAlg::CombiningTree => run_spec(&protocol::CombiningTree, scenario, mode),
+        CountingAlg::CountingNetwork { width } => {
+            run_spec(&protocol::CountingNetwork { width }, scenario, mode)
         }
-        CountingAlg::CombiningTree => {
-            let cfg = config_for(mode, tree.max_degree());
-            run_protocol(
-                &scenario.graph,
-                CombiningTreeProtocol::new(tree, &scenario.requests),
-                cfg,
-            )
+        CountingAlg::PeriodicNetwork { width } => {
+            run_spec(&protocol::PeriodicNetwork { width }, scenario, mode)
         }
-        CountingAlg::CountingNetwork { .. } => {
-            let w = alg.effective_width(scenario.n());
-            let cfg = config_for(mode, tree.max_degree());
-            run_protocol(
-                &scenario.graph,
-                CountingNetworkProtocol::new(&scenario.graph, tree, &scenario.requests, w),
-                cfg,
-            )
-        }
-        CountingAlg::PeriodicNetwork { .. } => {
-            let w = alg.effective_width(scenario.n());
-            let cfg = config_for(mode, tree.max_degree());
-            run_protocol(
-                &scenario.graph,
-                CountingNetworkProtocol::with_network(
-                    &scenario.graph,
-                    tree,
-                    &scenario.requests,
-                    ccq_counting::network::periodic(w),
-                ),
-                cfg,
-            )
-        }
-        CountingAlg::ToggleTree { .. } => {
-            let w = alg.effective_width(scenario.n());
-            let cfg = config_for(mode, tree.max_degree());
-            run_protocol(
-                &scenario.graph,
-                ToggleTreeProtocol::new(&scenario.graph, tree, &scenario.requests, w),
-                cfg,
-            )
+        CountingAlg::ToggleTree { leaves } => {
+            run_spec(&protocol::ToggleTree { leaves }, scenario, mode)
         }
     }
-    .map_err(RunError::Sim)?;
-    let ranks: Vec<(NodeId, u64)> =
-        report.completions.iter().map(|c| (c.node, c.value)).collect();
-    let order = verify_ranks(&scenario.requests, &ranks).map_err(RunError::Ranks)?;
-    Ok(RunOutcome { alg: alg.name().to_string(), report, order })
 }
 
-/// Run every counting algorithm and return the outcome with the smallest
-/// total delay — the honest competitor against the `Ω` lower bounds.
+/// Run every counting protocol in the registry and return the outcome with
+/// the smallest total delay — the honest competitor against the `Ω` lower
+/// bounds.
 pub fn run_best_counting(scenario: &Scenario, mode: ModelMode) -> Result<RunOutcome, RunError> {
-    let algs = [
-        CountingAlg::Central,
-        CountingAlg::CombiningTree,
-        CountingAlg::CountingNetwork { width: None },
-        CountingAlg::PeriodicNetwork { width: None },
-        CountingAlg::ToggleTree { leaves: None },
-    ];
     let mut best: Option<RunOutcome> = None;
-    for alg in algs {
-        let out = run_counting(scenario, alg, mode)?;
+    for spec in protocol::registry_of(ProtocolKind::Counting) {
+        let out = run_spec(spec, scenario, mode)?;
         let better = match &best {
             None => true,
             Some(b) => out.report.total_delay() < b.report.total_delay(),
@@ -258,7 +187,7 @@ pub fn run_best_counting(scenario: &Scenario, mode: ModelMode) -> Result<RunOutc
             best = Some(out);
         }
     }
-    Ok(best.expect("at least one algorithm ran"))
+    Ok(best.expect("registry has at least one counting protocol"))
 }
 
 #[cfg(test)]
@@ -320,6 +249,8 @@ mod tests {
         assert_eq!(alg.effective_width(100_000), 32);
         let fixed = CountingAlg::CountingNetwork { width: Some(8) };
         assert_eq!(fixed.effective_width(100_000), 8);
+        assert_eq!(CountingAlg::Central.effective_width(64), 0);
+        assert_eq!(CountingAlg::CombiningTree.effective_width(64), 0);
     }
 
     #[test]
@@ -346,5 +277,16 @@ mod tests {
         let c = run_counting(&s, CountingAlg::CombiningTree, ModelMode::Strict).unwrap();
         assert_eq!(q.order.len(), s.k());
         assert_eq!(c.order.len(), s.k());
+    }
+
+    #[test]
+    fn enum_facade_matches_registry_runs() {
+        // The façade and the registry must be the same execution path.
+        let s = mesh_scenario();
+        let via_enum = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded).unwrap();
+        let via_spec =
+            crate::protocol::run_spec(&crate::protocol::Arrow, &s, ModelMode::Expanded).unwrap();
+        assert_eq!(via_enum.report.total_delay(), via_spec.report.total_delay());
+        assert_eq!(via_enum.order, via_spec.order);
     }
 }

@@ -130,6 +130,31 @@ pub enum RequestPattern {
 }
 
 impl RequestPattern {
+    /// Short display name (used by sweeps and the CLI).
+    pub fn name(&self) -> String {
+        match self {
+            RequestPattern::All => "all".into(),
+            RequestPattern::Random { density, seed } => {
+                format!("random(d={density},seed={seed})")
+            }
+            RequestPattern::TailCluster { count } => format!("tail(count={count})"),
+            RequestPattern::Custom(v) => format!("custom(|R|={})", v.len()),
+        }
+    }
+
+    /// A deterministically re-seeded copy for repeat `salt` of a sweep:
+    /// random patterns draw a fresh request set per repeat, everything else
+    /// is unchanged (`salt` 0 always returns `self` verbatim).
+    pub fn reseed(&self, salt: u64) -> RequestPattern {
+        match self {
+            RequestPattern::Random { density, seed } if salt > 0 => RequestPattern::Random {
+                density: *density,
+                seed: seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            },
+            other => other.clone(),
+        }
+    }
+
     /// Materialize the request set for an `n`-vertex graph (sorted).
     pub fn materialize(&self, n: usize) -> Vec<NodeId> {
         match self {

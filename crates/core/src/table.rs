@@ -1,9 +1,10 @@
 //! Minimal markdown-style table rendering for the experiment harness.
 
+use serde::Serialize;
 use std::fmt;
 
 /// A titled table of strings.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Table {
     /// Table title (experiment id + paper item).
     pub title: String,
@@ -87,7 +88,7 @@ pub mod fmt_util {
         let s = v.to_string();
         let mut out = String::with_capacity(s.len() + s.len() / 3);
         for (i, c) in s.chars().enumerate() {
-            if i > 0 && (s.len() - i) % 3 == 0 {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
                 out.push('_');
             }
             out.push(c);
@@ -102,7 +103,11 @@ pub mod fmt_util {
 
     /// Check-mark / cross for booleans.
     pub fn tick(b: bool) -> String {
-        if b { "yes".into() } else { "NO".into() }
+        if b {
+            "yes".into()
+        } else {
+            "NO".into()
+        }
     }
 }
 

@@ -100,11 +100,11 @@ impl Protocol for CentralCounterProtocol {
                     debug_assert_eq!(node, self.root);
                     let rank = self.next_rank;
                     self.next_rank += 1;
-                    self.hop(api, node, CentralCounterMsg::Rank {
-                        rank,
-                        route: self.from_root[origin],
-                        idx: 0,
-                    });
+                    self.hop(
+                        api,
+                        node,
+                        CentralCounterMsg::Rank { rank, route: self.from_root[origin], idx: 0 },
+                    );
                 } else {
                     self.hop(api, node, CentralCounterMsg::Inc { origin, route, idx });
                 }
@@ -132,8 +132,7 @@ mod tests {
         let g = tree.to_graph();
         let proto = CentralCounterProtocol::new(tree, root, requests);
         let rep = run_protocol(&g, proto, SimConfig::strict()).unwrap();
-        let ranks: Vec<(NodeId, u64)> =
-            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let ranks: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
         verify_ranks(requests, &ranks).unwrap();
         rep
     }

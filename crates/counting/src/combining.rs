@@ -157,8 +157,7 @@ mod tests {
         let g = tree.to_graph();
         let proto = CombiningTreeProtocol::new(tree, requests);
         let rep = run_protocol(&g, proto, cfg).unwrap();
-        let ranks: Vec<(NodeId, u64)> =
-            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let ranks: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
         let order = verify_ranks(requests, &ranks).unwrap();
         (rep, order)
     }

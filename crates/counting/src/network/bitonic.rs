@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn every_wire_has_a_destination() {
         let net = bitonic(16);
-        let mut outputs_seen = vec![false; 16];
+        let mut outputs_seen = [false; 16];
         for w in 0..net.wire_dest.len() {
             match net.wire_dest(w) {
                 WireDest::Balancer(b) => assert!(b < net.balancers().len()),

@@ -69,10 +69,7 @@ mod tests {
     #[test]
     fn deeper_than_bitonic_from_width_8() {
         for w in [8usize, 16, 32] {
-            assert!(
-                periodic(w).depth() > super::super::bitonic::bitonic(w).depth(),
-                "w={w}"
-            );
+            assert!(periodic(w).depth() > super::super::bitonic::bitonic(w).depth(), "w={w}");
         }
     }
 
@@ -116,7 +113,7 @@ mod tests {
             for level in 0..d {
                 let dist = w >> (level + 1);
                 for i in 0..w {
-                    if (i / dist) % 2 == 0 {
+                    if (i / dist).is_multiple_of(2) {
                         let (t, bo) = b.balancer(wires[i], wires[i + dist]);
                         wires[i] = t;
                         wires[i + dist] = bo;

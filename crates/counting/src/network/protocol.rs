@@ -62,8 +62,7 @@ impl CountingNetworkProtocol {
         let width = net.width();
         // Round-robin hosting.
         let host: Vec<NodeId> = (0..net.balancers().len()).map(|b| b % n).collect();
-        let exit_host: Vec<NodeId> =
-            (0..width).map(|j| host[net.output_producer(j)]).collect();
+        let exit_host: Vec<NodeId> = (0..width).map(|j| host[net.output_producer(j)]).collect();
 
         // BFS next-hop tables toward every distinct host.
         let mut host_slot = vec![usize::MAX; n];
@@ -106,7 +105,13 @@ impl CountingNetworkProtocol {
 
     /// Advance a token as far as possible at processor `u`, then either
     /// complete it or send it towards its next host.
-    fn process_token(&mut self, api: &mut SimApi<CnMsg>, u: NodeId, origin: NodeId, mut wire: usize) {
+    fn process_token(
+        &mut self,
+        api: &mut SimApi<CnMsg>,
+        u: NodeId,
+        origin: NodeId,
+        mut wire: usize,
+    ) {
         loop {
             match self.net.wire_dest(wire) {
                 WireDest::Balancer(b) => {
@@ -179,8 +184,7 @@ mod tests {
     ) -> ccq_sim::SimReport {
         let proto = CountingNetworkProtocol::new(graph, tree, requests, width);
         let rep = run_protocol(graph, proto, cfg).unwrap();
-        let ranks: Vec<(NodeId, u64)> =
-            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let ranks: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
         verify_ranks(requests, &ranks).unwrap();
         rep
     }

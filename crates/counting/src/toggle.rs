@@ -83,8 +83,7 @@ impl ToggleTreeProtocol {
         // path equals the LSB-first bits of (i−1), i.e. leaf p receives
         // tokens with (i−1 mod L) = bitrev(p), so its counts start at
         // bitrev(p) + 1.
-        let leaf_base: Vec<u64> =
-            (0..leaves).map(|p| bitrev(p, depth) as u64 + 1).collect();
+        let leaf_base: Vec<u64> = (0..leaves).map(|p| bitrev(p, depth) as u64 + 1).collect();
 
         let mut requests = requests.to_vec();
         requests.sort_unstable();
@@ -146,7 +145,13 @@ impl Protocol for ToggleTreeProtocol {
         }
     }
 
-    fn on_message(&mut self, api: &mut SimApi<ToggleMsg>, node: NodeId, _from: NodeId, msg: ToggleMsg) {
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<ToggleMsg>,
+        node: NodeId,
+        _from: NodeId,
+        msg: ToggleMsg,
+    ) {
         match msg {
             ToggleMsg::Token { origin, node_idx } => self.process(api, node, origin, node_idx),
             ToggleMsg::Result { origin, count } => self.deliver(api, node, origin, count),
@@ -169,8 +174,7 @@ mod tests {
     ) -> ccq_sim::SimReport {
         let proto = ToggleTreeProtocol::new(graph, tree, requests, leaves);
         let rep = run_protocol(graph, proto, SimConfig::strict()).unwrap();
-        let ranks: Vec<(NodeId, u64)> =
-            rep.completions.iter().map(|c| (c.node, c.value)).collect();
+        let ranks: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
         verify_ranks(requests, &ranks).unwrap();
         rep
     }

@@ -94,9 +94,8 @@ pub fn diameter_exact(g: &Graph) -> u32 {
 /// then BFS from the farthest vertex found.
 pub fn diameter_two_sweep(g: &Graph, start: NodeId) -> u32 {
     let d0 = bfs_distances(g, start);
-    let far = (0..g.n())
-        .max_by_key(|&v| if d0[v] == u32::MAX { 0 } else { d0[v] })
-        .unwrap_or(start);
+    let far =
+        (0..g.n()).max_by_key(|&v| if d0[v] == u32::MAX { 0 } else { d0[v] }).unwrap_or(start);
     eccentricity(g, far)
 }
 
@@ -105,21 +104,15 @@ pub fn diameter_two_sweep(g: &Graph, start: NodeId) -> u32 {
 /// `O(n·m)`; intended for `n ≲ 10⁴`. For larger graphs use
 /// [`approx_center`].
 pub fn center_exact(g: &Graph) -> NodeId {
-    (0..g.n())
-        .min_by_key(|&v| eccentricity(g, v))
-        .expect("center of the empty graph")
+    (0..g.n()).min_by_key(|&v| eccentricity(g, v)).expect("center of the empty graph")
 }
 
 /// Approximate center: the midpoint of a two-sweep diameter path.
 pub fn approx_center(g: &Graph, start: NodeId) -> NodeId {
     let d0 = bfs_distances(g, start);
-    let a = (0..g.n())
-        .max_by_key(|&v| if d0[v] == u32::MAX { 0 } else { d0[v] })
-        .unwrap_or(start);
+    let a = (0..g.n()).max_by_key(|&v| if d0[v] == u32::MAX { 0 } else { d0[v] }).unwrap_or(start);
     let (da, pred) = bfs_tree_arrays(g, a);
-    let b = (0..g.n())
-        .max_by_key(|&v| if da[v] == u32::MAX { 0 } else { da[v] })
-        .unwrap_or(a);
+    let b = (0..g.n()).max_by_key(|&v| if da[v] == u32::MAX { 0 } else { da[v] }).unwrap_or(a);
     // Walk half-way back from b towards a.
     let mut cur = b;
     for _ in 0..(da[b] / 2) {

@@ -59,11 +59,7 @@ impl Graph {
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.n).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -72,9 +68,7 @@ impl Graph {
         if self.n == 0 {
             return true;
         }
-        crate::bfs::bfs_distances(self, 0)
-            .iter()
-            .all(|&d| d != u32::MAX)
+        crate::bfs::bfs_distances(self, 0).iter().all(|&d| d != u32::MAX)
     }
 
     /// Sum of degrees; handy sanity value for tests.

@@ -42,8 +42,7 @@ impl TreeRouter {
                 stack.push((c, false));
             }
         }
-        let mut children: Vec<Vec<NodeId>> =
-            (0..n).map(|v| tree.children(v).to_vec()).collect();
+        let mut children: Vec<Vec<NodeId>> = (0..n).map(|v| tree.children(v).to_vec()).collect();
         for ch in children.iter_mut() {
             ch.sort_unstable_by_key(|&c| tin[c]);
         }

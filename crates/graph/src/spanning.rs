@@ -165,7 +165,8 @@ pub fn balanced_binary_tree(n: usize) -> Tree {
 /// of paper §5).
 pub fn star_tree(n: usize, center: NodeId) -> Tree {
     assert!(center < n);
-    let parent: Vec<NodeId> = (0..n).map(|v| if v == center { center } else { center }).collect();
+    // Every vertex (the center included — it is the root) points at center.
+    let parent: Vec<NodeId> = vec![center; n];
     Tree::from_parents(center, parent)
 }
 

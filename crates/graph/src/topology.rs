@@ -227,12 +227,12 @@ pub fn random_connected(n: usize, extra_p: f64, seed: u64) -> Graph {
 /// Random d-regular graph via the pairing model, retrying until simple and
 /// connected. Requires `n·d` even and `d < n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be < n");
     assert!(d >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     'attempt: for _ in 0..1000 {
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
         let mut b = GraphBuilder::new(n);
         let mut seen = std::collections::HashSet::new();

@@ -135,8 +135,7 @@ impl Tree {
     /// Whether every tree edge is an edge of `g` (i.e. `T` is a spanning
     /// tree / subgraph of `g` on the same vertex set).
     pub fn is_spanning_tree_of(&self, g: &Graph) -> bool {
-        self.n() == g.n()
-            && (0..self.n()).all(|v| v == self.root || g.has_edge(v, self.parent[v]))
+        self.n() == g.n() && (0..self.n()).all(|v| v == self.root || g.has_edge(v, self.parent[v]))
     }
 
     /// Distance between `u` and `v` in the tree, walking up by depth —

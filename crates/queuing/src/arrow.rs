@@ -134,7 +134,13 @@ impl Protocol for ArrowProtocol {
         }
     }
 
-    fn on_message(&mut self, api: &mut SimApi<ArrowMsg>, node: NodeId, from: NodeId, msg: ArrowMsg) {
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<ArrowMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: ArrowMsg,
+    ) {
         match msg {
             ArrowMsg::Queue { op, mut path } => {
                 if self.link[node] == node {
@@ -251,12 +257,8 @@ mod tests {
         let t = spanning::path_tree_from_order(&(0..10).collect::<Vec<_>>());
         let requests: Vec<NodeId> = (0..10).collect();
         let g = t.to_graph();
-        let base = run_protocol(
-            &g,
-            ArrowProtocol::new(&t, 0, &requests),
-            SimConfig::expanded(2),
-        )
-        .unwrap();
+        let base =
+            run_protocol(&g, ArrowProtocol::new(&t, 0, &requests), SimConfig::expanded(2)).unwrap();
         let notif = run_protocol(
             &g,
             ArrowProtocol::new(&t, 0, &requests).with_notify_origin(),

@@ -57,12 +57,7 @@ impl CentralQueueProtocol {
         CentralQueueProtocol { home, last: INITIAL_TOKEN, routes, to_home, from_home, requests }
     }
 
-    fn forward(
-        &self,
-        api: &mut SimApi<CentralQueueMsg>,
-        at: NodeId,
-        msg: CentralQueueMsg,
-    ) {
+    fn forward(&self, api: &mut SimApi<CentralQueueMsg>, at: NodeId, msg: CentralQueueMsg) {
         let (route, idx) = match &msg {
             CentralQueueMsg::Req { route, idx, .. } => (*route, *idx),
             CentralQueueMsg::Reply { route, idx, .. } => (*route, *idx),
@@ -116,7 +111,11 @@ impl Protocol for CentralQueueProtocol {
                     if self.routes.get(back).len() == 1 {
                         api.complete(origin, pred);
                     } else {
-                        self.forward(api, node, CentralQueueMsg::Reply { pred, route: back, idx: 0 });
+                        self.forward(
+                            api,
+                            node,
+                            CentralQueueMsg::Reply { pred, route: back, idx: 0 },
+                        );
                     }
                 } else {
                     self.forward(api, node, CentralQueueMsg::Req { origin, route, idx });

@@ -26,8 +26,8 @@ pub mod order;
 pub mod sequential;
 
 pub use arrow::{ArrowMsg, ArrowProtocol};
-pub use longlived::LongLivedArrow;
 pub use central::CentralQueueProtocol;
 pub use combining::CombiningQueueProtocol;
+pub use longlived::LongLivedArrow;
 pub use order::{verify_total_order, OrderError, INITIAL_TOKEN};
 pub use sequential::sequential_arrow_cost;

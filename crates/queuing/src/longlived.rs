@@ -75,7 +75,13 @@ impl Protocol for LongLivedArrow {
         self.issue_due(api, 0);
     }
 
-    fn on_message(&mut self, api: &mut SimApi<ArrowMsg>, node: NodeId, from: NodeId, msg: ArrowMsg) {
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<ArrowMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: ArrowMsg,
+    ) {
         self.arrow.on_message(api, node, from, msg);
     }
 
@@ -147,8 +153,7 @@ mod tests {
     #[test]
     fn overlapping_bursts_still_valid() {
         let t = spanning::balanced_binary_tree(15);
-        let schedule: Vec<(Round, NodeId)> =
-            (0..15).map(|v| ((v % 4) as Round * 2, v)).collect();
+        let schedule: Vec<(Round, NodeId)> = (0..15).map(|v| ((v % 4) as Round * 2, v)).collect();
         let (_, order) = run_schedule(&t, 0, &schedule);
         assert_eq!(order.len(), 15);
     }

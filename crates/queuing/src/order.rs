@@ -83,8 +83,7 @@ pub fn verify_total_order(
             return Err(OrderError::DuplicateCompletion { node });
         }
     }
-    let missing: Vec<NodeId> =
-        requests.iter().copied().filter(|v| !pred.contains_key(v)).collect();
+    let missing: Vec<NodeId> = requests.iter().copied().filter(|v| !pred.contains_key(v)).collect();
     if !missing.is_empty() || !unexpected.is_empty() {
         return Err(OrderError::WrongParticipants { missing, unexpected });
     }
@@ -145,11 +144,7 @@ mod tests {
     #[test]
     fn valid_chain_accepted() {
         // Order: 2, 0, 1.
-        let out = verify_total_order(
-            &[0, 1, 2],
-            &[(2, INITIAL_TOKEN), (0, 2), (1, 0)],
-        )
-        .unwrap();
+        let out = verify_total_order(&[0, 1, 2], &[(2, INITIAL_TOKEN), (0, 2), (1, 0)]).unwrap();
         assert_eq!(out, vec![2, 0, 1]);
     }
 
@@ -172,39 +167,29 @@ mod tests {
 
     #[test]
     fn duplicate_completion_rejected() {
-        let err =
-            verify_total_order(&[0, 1], &[(0, INITIAL_TOKEN), (0, 1), (1, 0)]).unwrap_err();
+        let err = verify_total_order(&[0, 1], &[(0, INITIAL_TOKEN), (0, 1), (1, 0)]).unwrap_err();
         assert_eq!(err, OrderError::DuplicateCompletion { node: 0 });
     }
 
     #[test]
     fn clash_rejected() {
-        let err = verify_total_order(
-            &[0, 1, 2],
-            &[(0, INITIAL_TOKEN), (1, 0), (2, 0)],
-        )
-        .unwrap_err();
+        let err =
+            verify_total_order(&[0, 1, 2], &[(0, INITIAL_TOKEN), (1, 0), (2, 0)]).unwrap_err();
         assert_eq!(err, OrderError::PredecessorClash { pred: 0, a: 1, b: 2 });
     }
 
     #[test]
     fn two_heads_rejected() {
-        let err = verify_total_order(
-            &[0, 1],
-            &[(0, INITIAL_TOKEN), (1, INITIAL_TOKEN)],
-        )
-        .unwrap_err();
+        let err =
+            verify_total_order(&[0, 1], &[(0, INITIAL_TOKEN), (1, INITIAL_TOKEN)]).unwrap_err();
         assert_eq!(err, OrderError::BadHead { heads: vec![0, 1] });
     }
 
     #[test]
     fn cycle_rejected() {
         // 0 ← 1 ← 2 ← 0 plus a proper head 3: heads ok, chain short.
-        let err = verify_total_order(
-            &[0, 1, 2, 3],
-            &[(3, INITIAL_TOKEN), (0, 2), (1, 0), (2, 1)],
-        )
-        .unwrap_err();
+        let err = verify_total_order(&[0, 1, 2, 3], &[(3, INITIAL_TOKEN), (0, 2), (1, 0), (2, 1)])
+            .unwrap_err();
         assert!(matches!(err, OrderError::BrokenChain { .. }));
     }
 

@@ -62,7 +62,8 @@ struct Wire<M> {
 
 /// Deterministic per-message hash (splitmix64) used for link jitter.
 fn jitter_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
-    let mut x = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut x = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
         ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -120,7 +121,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                     }
                 }
 
-                // Deliver phase.
+                // Deliver phase. Indexing (not iter_mut) because the body
+                // re-borrows other per-node state via drain().
+                #[allow(clippy::needless_range_loop)]
                 for v in 0..n {
                     for _ in 0..cfg.recv_budget {
                         let Some(w) = inport[v].pop_front() else { break };
@@ -135,12 +138,20 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                             });
                         }
                         self.protocol.on_message(&mut api, v, w.src, w.msg);
-                        Self::drain(self.graph, &mut api, &mut outbox, &mut report, round, cfg.trace)?;
+                        Self::drain(
+                            self.graph,
+                            &mut api,
+                            &mut outbox,
+                            &mut report,
+                            round,
+                            cfg.trace,
+                        )?;
                     }
                 }
             }
 
-            // Transmit phase.
+            // Transmit phase (same indexing constraint as delivery).
+            #[allow(clippy::needless_range_loop)]
             for v in 0..n {
                 for _ in 0..cfg.send_budget {
                     let Some((dst, msg)) = outbox[v].pop_front() else { break };
@@ -168,12 +179,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                         arrival = arrival.max(*slot);
                         *slot = arrival;
                     }
-                    inflight.entry(arrival).or_default().push(Wire {
-                        src: v,
-                        dst,
-                        arrival,
-                        msg,
-                    });
+                    inflight.entry(arrival).or_default().push(Wire { src: v, dst, arrival, msg });
                 }
             }
 
@@ -276,8 +282,8 @@ mod tests {
         let rep = crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict()).unwrap();
         assert_eq!(rep.ops(), 6);
         let d = rep.delay_by_node(6);
-        for v in 0..6 {
-            assert_eq!(d[v], Some(v as u64), "node {v}");
+        for (v, delay) in d.iter().enumerate() {
+            assert_eq!(*delay, Some(v as u64), "node {v}");
         }
         assert_eq!(rep.rounds, 5);
         assert_eq!(rep.messages_sent, 5);
@@ -312,7 +318,8 @@ mod tests {
     fn star_contention_serializes() {
         let n = 10;
         let g = topology::star(n);
-        let rep = crate::run_protocol(&g, Converge { n, received: 0 }, SimConfig::strict()).unwrap();
+        let rep =
+            crate::run_protocol(&g, Converge { n, received: 0 }, SimConfig::strict()).unwrap();
         assert_eq!(rep.ops(), n - 1);
         // The hub receives one message per round: completions at rounds 1..=9.
         let mut rounds: Vec<u64> = rep.completions.iter().map(|c| c.round).collect();
@@ -452,8 +459,8 @@ mod tests {
 #[cfg(test)]
 mod jitter_tests {
     use super::*;
-    use crate::report::SimConfig;
     use crate::protocol::{Protocol, SimApi};
+    use crate::report::SimConfig;
     use ccq_graph::topology;
 
     /// Token walks the path; completion per hop.
@@ -481,8 +488,8 @@ mod jitter_tests {
     fn jitter_zero_matches_synchronous_model() {
         let g = topology::path(6);
         let a = crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict()).unwrap();
-        let b = crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict().with_jitter(0, 9))
-            .unwrap();
+        let b =
+            crate::run_protocol(&g, Walk { n: 6 }, SimConfig::strict().with_jitter(0, 9)).unwrap();
         assert_eq!(a.total_delay(), b.total_delay());
         assert_eq!(a.rounds, b.rounds);
     }
@@ -492,12 +499,9 @@ mod jitter_tests {
         let g = topology::path(12);
         let base = crate::run_protocol(&g, Walk { n: 12 }, SimConfig::strict()).unwrap();
         for seed in 0..5 {
-            let j = crate::run_protocol(
-                &g,
-                Walk { n: 12 },
-                SimConfig::strict().with_jitter(3, seed),
-            )
-            .unwrap();
+            let j =
+                crate::run_protocol(&g, Walk { n: 12 }, SimConfig::strict().with_jitter(3, seed))
+                    .unwrap();
             assert!(j.total_delay() >= base.total_delay(), "seed {seed}");
             assert_eq!(j.ops(), base.ops());
         }
@@ -543,8 +547,8 @@ mod jitter_tests {
         assert_eq!(a.total_delay(), b.total_delay());
         assert_eq!(a.rounds, b.rounds);
         // A different seed (usually) lands on a different schedule.
-        let c = crate::run_protocol(&g, Walk { n: 9 }, SimConfig::strict().with_jitter(4, 77))
-            .unwrap();
+        let c =
+            crate::run_protocol(&g, Walk { n: 9 }, SimConfig::strict().with_jitter(4, 77)).unwrap();
         let _ = c; // schedules may coincide; correctness checked above.
     }
 }

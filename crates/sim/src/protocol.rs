@@ -23,7 +23,13 @@ pub trait Protocol {
     fn on_start(&mut self, api: &mut SimApi<Self::Msg>);
 
     /// Called when `node` dequeues (receives) a message from `from`.
-    fn on_message(&mut self, api: &mut SimApi<Self::Msg>, node: NodeId, from: NodeId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<Self::Msg>,
+        node: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+    );
 
     /// Called at the start of every round while the system is live
     /// (messages queued or in flight). Default: no-op.

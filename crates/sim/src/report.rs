@@ -3,6 +3,7 @@
 use crate::trace::TraceEvent;
 use crate::Round;
 use ccq_graph::NodeId;
+use serde::Serialize;
 
 /// Per-round send/receive budgets and accounting options.
 ///
@@ -83,7 +84,7 @@ impl Default for SimConfig {
 }
 
 /// One completed operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct Completion {
     /// Processor whose operation completed.
     pub node: NodeId,
@@ -94,7 +95,7 @@ pub struct Completion {
 }
 
 /// Result of a simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct SimReport {
     /// Rounds executed until quiescence (unscaled).
     pub rounds: Round,

@@ -2,9 +2,10 @@
 
 use crate::Round;
 use ccq_graph::NodeId;
+use serde::Serialize;
 
 /// What happened.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum TraceKind {
     /// A message left its sender and is on the wire.
     Transmit,
@@ -15,7 +16,7 @@ pub enum TraceKind {
 }
 
 /// One traced event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct TraceEvent {
     /// Round in which the event occurred.
     pub round: Round,
@@ -32,7 +33,9 @@ pub struct TraceEvent {
 impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
-            TraceKind::Transmit => write!(f, "[r{:>4}] {} ──▶ {}", self.round, self.node, self.peer),
+            TraceKind::Transmit => {
+                write!(f, "[r{:>4}] {} ──▶ {}", self.round, self.node, self.peer)
+            }
             TraceKind::Deliver => write!(f, "[r{:>4}] {} ◀── {}", self.round, self.node, self.peer),
             TraceKind::Complete => write!(f, "[r{:>4}] {} ✓ complete", self.round, self.node),
         }

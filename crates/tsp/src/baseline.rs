@@ -35,11 +35,7 @@ pub fn steiner_edge_count(tree: &Tree, start: NodeId, targets: &[NodeId]) -> u64
             cnt[tree.parent(v)] += cnt[v];
         }
     }
-    (0..n)
-        .filter(|&v| v != tree.root())
-        .filter(|&v| cnt[v] >= 1 && cnt[v] < total)
-        .count() as u64
-        + u64::from(total == 0) * 0
+    (0..n).filter(|&v| v != tree.root()).filter(|&v| cnt[v] >= 1 && cnt[v] < total).count() as u64
 }
 
 /// Depth-first tour: visit `targets` in DFS preorder of `tree` re-rooted at
@@ -225,8 +221,7 @@ mod tests {
         for n in [50usize, 120] {
             let t = list(n);
             for _ in 0..15 {
-                let targets: Vec<NodeId> =
-                    (0..n).filter(|_| rng.random::<f64>() < 0.3).collect();
+                let targets: Vec<NodeId> = (0..n).filter(|_| rng.random::<f64>() < 0.3).collect();
                 if targets.len() < 2 {
                     continue;
                 }

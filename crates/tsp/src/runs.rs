@@ -195,12 +195,7 @@ mod tests {
             let start = rng.random_range(0..n);
             let tour = nn_tour(&t, start, &targets);
             let d = decompose_runs(start, &tour.order);
-            assert_eq!(
-                d.fibonacci_violation(),
-                None,
-                "trial {trial}: x = {:?}",
-                d.x
-            );
+            assert_eq!(d.fibonacci_violation(), None, "trial {trial}: x = {:?}", d.x);
         }
     }
 

@@ -42,19 +42,21 @@ fn main() {
     let arrows: Vec<String> = (0..n)
         .map(|v| {
             let l = proto.link(v);
-            if l == v { format!("{v}:•") } else { format!("{v}→{l}") }
+            if l == v {
+                format!("{v}:•")
+            } else {
+                format!("{v}→{l}")
+            }
         })
         .collect();
     println!("  {}", arrows.join("  "));
 
-    let pred_of: Vec<(usize, u64)> =
-        report.completions.iter().map(|c| (c.node, c.value)).collect();
+    let pred_of: Vec<(usize, u64)> = report.completions.iter().map(|c| (c.node, c.value)).collect();
     let order = verify_total_order(&requests, &pred_of).expect("valid total order");
-    println!("\ntotal order formed: t0 ← {}", order
-        .iter()
-        .map(|v| v.to_string())
-        .collect::<Vec<_>>()
-        .join(" ← "));
+    println!(
+        "\ntotal order formed: t0 ← {}",
+        order.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ← ")
+    );
     for (node, pred) in pred_of {
         if pred == INITIAL_TOKEN {
             println!("  node {node}: predecessor = initial token");

@@ -40,8 +40,7 @@ fn deliver_by_seq(mut inbox: Vec<SeqTagged>) -> Vec<usize> {
 
 /// Deliver predecessor-tagged messages: chain from the initial token.
 fn deliver_by_pred(inbox: Vec<PredTagged>) -> Vec<usize> {
-    let succ: HashMap<u64, usize> =
-        inbox.iter().map(|m| (m.pred, m.sender)).collect();
+    let succ: HashMap<u64, usize> = inbox.iter().map(|m| (m.pred, m.sender)).collect();
     let mut order = Vec::with_capacity(inbox.len());
     let mut cur = INITIAL_TOKEN;
     while let Some(&next) = succ.get(&cur) {
@@ -62,8 +61,7 @@ fn main() {
     let seqnos = counting.report.value_by_node(n);
 
     // Coordination phase, queuing-based: each sender obtains its predecessor.
-    let queuing =
-        run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded).expect("verifies");
+    let queuing = run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded).expect("verifies");
     let preds = queuing.report.value_by_node(n);
 
     // Delivery phase: 5 receivers, each seeing a different arrival order.

@@ -1,45 +1,48 @@
-//! Quickstart: run concurrent queuing and counting on a mesh and compare.
+//! Quickstart: sweep queuing vs counting on a mesh through the registry.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use ccq_repro::core::protocol;
 use ccq_repro::prelude::*;
 
 fn main() {
-    // A 16×16 mesh; every processor issues an operation at time 0.
-    let scenario = Scenario::build(TopoSpec::Mesh2D { side: 16 }, RequestPattern::All);
+    // A 16×16 mesh; every processor issues an operation at time 0. One
+    // RunPlan drives the arrow protocol plus every counting protocol in
+    // the registry under the paper's mode convention (queuing expanded,
+    // counting strict).
+    let set = RunPlan::new()
+        .topologies([TopoSpec::Mesh2D { side: 16 }])
+        .protocol(&protocol::Arrow)
+        .protocols(registry_of(ProtocolKind::Counting))
+        .execute();
+
+    let summary = &set.summaries[0];
     println!(
         "topology: {} ({} processors, {} requesters)\n",
-        scenario.spec.name(),
-        scenario.n(),
-        scenario.k()
+        summary.topology, summary.n, summary.k
     );
-
-    // Queuing via the arrow protocol on the snake (Hamilton-path) tree.
-    let q = run_queuing(&scenario, QueuingAlg::Arrow, ModelMode::Expanded)
-        .expect("queuing verifies");
-    println!("queuing  (arrow):          total delay = {:>8}", q.report.total_delay());
-    println!("                           messages    = {:>8}", q.report.messages_sent);
-
-    // Counting, best of the three algorithms.
-    for alg in [
-        CountingAlg::Central,
-        CountingAlg::CombiningTree,
-        CountingAlg::CountingNetwork { width: None },
-    ] {
-        let c = run_counting(&scenario, alg, ModelMode::Strict).expect("counting verifies");
+    for case in &set.cases {
         println!(
-            "counting ({:<16}): total delay = {:>8}",
-            c.alg,
-            c.report.total_delay()
+            "{:<8} ({:<16}): total delay = {:>8}  messages = {:>8}",
+            case.kind.label(),
+            case.protocol,
+            case.total_delay,
+            case.messages
         );
     }
 
     println!();
-    println!("first five of the queue order:  {:?}", &q.order[..5.min(q.order.len())]);
     println!(
-        "paper: C_Q = O(n) but C_C = Ω(n log* n) on Hamilton-path graphs (Theorem 4.5) —"
+        "best counting ({}) / arrow gap: {:.2}×",
+        summary.best_counting.as_deref().unwrap_or("-"),
+        summary.gap.unwrap_or(f64::NAN)
     );
+    println!("paper: C_Q = O(n) but C_C = Ω(n log* n) on Hamilton-path graphs (Theorem 4.5) —");
     println!("queuing wins, and the gap widens with n. Try larger sides!");
+    println!();
+    println!("the same sweep as machine-readable JSON (ccq sweep --json -):");
+    let json = set.to_json();
+    println!("  {} bytes; first 120: {}…", json.len(), &json[..120.min(json.len())]);
 }

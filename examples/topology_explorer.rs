@@ -1,5 +1,9 @@
 //! Explore the counting-vs-queuing gap on a chosen topology.
 //!
+//! Every protocol in the registry runs on the chosen topology (queuing in
+//! the expanded-step model, counting strict, as in the paper), with the
+//! per-operation latency distribution next to the totals.
+//!
 //! ```text
 //! cargo run --release --example topology_explorer -- <topology> [size]
 //!
@@ -16,9 +20,7 @@ fn spec_from_args(name: &str, size: Option<usize>) -> (TopoSpec, Option<Topology
         "list" => (TopoSpec::List { n: size.unwrap_or(64) }, Some(Topology::List)),
         "mesh2d" => (TopoSpec::Mesh2D { side: size.unwrap_or(8) }, Some(Topology::Mesh2D)),
         "mesh3d" => (TopoSpec::Mesh3D { side: size.unwrap_or(4) }, Some(Topology::Mesh3D)),
-        "hypercube" => {
-            (TopoSpec::Hypercube { dim: size.unwrap_or(6) }, Some(Topology::Hypercube))
-        }
+        "hypercube" => (TopoSpec::Hypercube { dim: size.unwrap_or(6) }, Some(Topology::Hypercube)),
         "tree" => (
             TopoSpec::PerfectTree { m: 2, depth: size.unwrap_or(5) },
             Some(Topology::PerfectBinaryTree),
@@ -45,34 +47,15 @@ fn main() {
         format!("measured total delays on {}", s.spec.name()),
         &["kind", "algorithm", "total delay", "p50", "p95", "max", "messages", "max queue"],
     );
-    for alg in [
-        QueuingAlg::Arrow,
-        QueuingAlg::ArrowNotify,
-        QueuingAlg::CombiningQueue,
-        QueuingAlg::CentralHome,
-    ] {
-        let out = run_queuing(&s, alg, ModelMode::Expanded).expect("queuing verifies");
+    // One row per registry entry — no per-algorithm dispatch.
+    for proto in registry() {
+        let mode = match proto.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let out = run_spec(*proto, &s, mode).expect("registry protocol verifies");
         table.push_row(vec![
-            "queuing".into(),
-            out.alg.clone(),
-            out.report.total_delay().to_string(),
-            delay_percentile(&out.report, 0.5).to_string(),
-            delay_percentile(&out.report, 0.95).to_string(),
-            out.report.max_delay().to_string(),
-            out.report.messages_sent.to_string(),
-            out.report.max_inport_depth.to_string(),
-        ]);
-    }
-    for alg in [
-        CountingAlg::Central,
-        CountingAlg::CombiningTree,
-        CountingAlg::CountingNetwork { width: None },
-        CountingAlg::PeriodicNetwork { width: None },
-        CountingAlg::ToggleTree { leaves: None },
-    ] {
-        let out = run_counting(&s, alg, ModelMode::Strict).expect("counting verifies");
-        table.push_row(vec![
-            "counting".into(),
+            proto.kind().label().into(),
             out.alg.clone(),
             out.report.total_delay().to_string(),
             delay_percentile(&out.report, 0.5).to_string(),

@@ -1,0 +1,409 @@
+//! `ccq` — the command-line harness over the protocol registry.
+//!
+//! ```text
+//! ccq list
+//!     Show every experiment, protocol and topology the harness knows.
+//!
+//! ccq run --exp t4[,t9,...]|all [--full]
+//!     Run experiment drivers and print their tables.
+//!
+//! ccq sweep --topo <topos> [--proto <protos>] [--modes <modes>]
+//!           [--pattern <patterns>] [--repeats N] [--seed S]
+//!           [--json -|PATH] [--pretty]
+//!     Build a RunPlan, execute it, and print tables — or JSON with
+//!     `--json` (`-` writes JSON to stdout and nothing else).
+//!
+//! Topologies:  name[:param[:param...]] — e.g. mesh2d:8, complete:256,
+//!              tree:2:5, random-regular:64:4:7. Bare names use defaults.
+//! Protocols:   registry names (ccq list), width overrides like
+//!              counting-network:8, and the groups all|queuing|counting.
+//! Modes:       paper (default: queuing expanded, counting strict) or a
+//!              list from strict,expanded.
+//! Patterns:    all | random:<density>[:seed] | tail:<count>
+//! ```
+
+use ccq_repro::core::experiments::{self, Scale};
+use ccq_repro::core::plan::RunPlan;
+use ccq_repro::core::protocol::{self, registry, ProtocolKind, ProtocolSpec};
+use ccq_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("ccq: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+ccq — counting vs queuing harness
+
+usage:
+  ccq list                          show experiments, protocols, topologies
+  ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
+  ccq sweep --topo <topos> [--proto <protos>] [--modes paper|strict,expanded]
+            [--pattern <patterns>] [--repeats N] [--seed S]
+            [--json -|PATH] [--pretty]
+
+examples:
+  ccq run --exp t4
+  ccq sweep --topo mesh2d --proto arrow,central-counter --json -
+  ccq sweep --topo complete:256,hypercube:8 --proto queuing --repeats 3
+";
+
+fn cmd_list() -> i32 {
+    println!("experiments (ccq run --exp <id>):");
+    for e in experiments::registry() {
+        println!("  {:<5} {}", e.id, e.paper_item);
+    }
+    println!("\nprotocols (ccq sweep --proto <name>):");
+    for p in registry() {
+        let width = match p.effective_width(64) {
+            Some(_) => "  [accepts :width]",
+            None => "",
+        };
+        println!("  {:<17} {}{}", p.name(), p.kind().label(), width);
+    }
+    println!("\nprotocol groups: all, queuing, counting");
+    println!("\ntopologies (ccq sweep --topo <name[:params]>):");
+    for (syntax, desc) in TOPOLOGIES {
+        println!("  {syntax:<38} {desc}");
+    }
+    println!("\npatterns: all | random:<density>[:seed] | tail:<count>");
+    0
+}
+
+const TOPOLOGIES: &[(&str, &str)] = &[
+    ("complete[:n=64]", "complete graph K_n"),
+    ("list[:n=64]", "path on n vertices"),
+    ("mesh2d[:side=8]", "side x side mesh"),
+    ("mesh3d[:side=4]", "side^3 mesh"),
+    ("hypercube[:dim=6]", "2^dim-vertex hypercube"),
+    ("tree[:m=2[:depth=5]]", "perfect m-ary tree"),
+    ("star[:n=64]", "star, hub = 0"),
+    ("caterpillar[:spine=32[:legs=2]]", "spine with legs leaves each"),
+    ("figure1", "the paper's 6-node Figure 1 graph"),
+    ("torus2d[:side=8]", "side x side torus"),
+    ("random-regular[:n=64[:d=4[:seed=1]]]", "random d-regular graph"),
+];
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut exp_ids: Option<Vec<String>> = None;
+    let mut scale = Scale::Quick;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => match it.next() {
+                Some(v) => exp_ids = Some(v.split(',').map(str::to_string).collect()),
+                None => return fail("--exp needs a value (e.g. t4 or all)"),
+            },
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            other => return fail(&format!("unknown `ccq run` flag `{other}`")),
+        }
+    }
+    let Some(ids) = exp_ids else {
+        return fail("ccq run requires --exp <ids>|all");
+    };
+    let reg = experiments::registry();
+    let selected: Vec<_> = if ids.iter().any(|i| i == "all") {
+        reg
+    } else {
+        let known: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        for id in &ids {
+            if !known.contains(&id.as_str()) {
+                return fail(&format!("unknown experiment `{id}` (known: {})", known.join(", ")));
+            }
+        }
+        reg.into_iter().filter(|e| ids.iter().any(|i| i == e.id)).collect()
+    };
+    for e in selected {
+        println!("## {} — {}\n", e.id, e.paper_item);
+        for t in (e.run)(scale) {
+            println!("{t}");
+        }
+    }
+    0
+}
+
+struct SweepArgs {
+    topos: Vec<TopoSpec>,
+    protos: Vec<Box<dyn ProtocolSpec>>,
+    modes: Option<Vec<ModelMode>>,
+    patterns: Vec<RequestPattern>,
+    repeats: usize,
+    seed: u64,
+    json: Option<String>,
+    pretty: bool,
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let parsed = match parse_sweep(args) {
+        Ok(p) => p,
+        Err(msg) => return fail(&msg),
+    };
+    let mut plan = RunPlan::new()
+        .topologies(parsed.topos)
+        .patterns(parsed.patterns)
+        .repeats(parsed.repeats)
+        .seed(parsed.seed);
+    for p in &parsed.protos {
+        plan = plan.protocol(p.as_ref());
+    }
+    if let Some(modes) = parsed.modes {
+        plan = plan.modes(modes);
+    }
+    let set = plan.execute();
+
+    let failed = set.cases.iter().filter(|c| !c.ok).count();
+    match parsed.json.as_deref() {
+        Some("-") => {
+            // JSON only on stdout so the output pipes into other tools.
+            let json = if parsed.pretty { set.to_json_pretty() } else { set.to_json() };
+            println!("{json}");
+        }
+        Some(path) => {
+            let json = if parsed.pretty { set.to_json_pretty() } else { set.to_json() };
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                return fail(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+            println!("{}", set.case_table());
+            println!("{}", set.summary_table());
+        }
+        None => {
+            println!("{}", set.case_table());
+            println!("{}", set.summary_table());
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} case(s) failed verification");
+        1
+    } else {
+        0
+    }
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
+    let mut out = SweepArgs {
+        topos: Vec::new(),
+        protos: Vec::new(),
+        modes: None,
+        patterns: Vec::new(),
+        repeats: 1,
+        seed: 0,
+        json: None,
+        pretty: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--topo" => {
+                for tok in value("--topo")?.split(',') {
+                    out.topos.push(parse_topo(tok)?);
+                }
+            }
+            "--proto" => {
+                for tok in value("--proto")?.split(',') {
+                    parse_proto(tok, &mut out.protos)?;
+                }
+            }
+            "--modes" => {
+                let v = value("--modes")?;
+                if v != "paper" {
+                    let mut modes = Vec::new();
+                    for tok in v.split(',') {
+                        modes.push(match tok {
+                            "strict" => ModelMode::Strict,
+                            "expanded" => ModelMode::Expanded,
+                            other => return Err(format!("unknown mode `{other}`")),
+                        });
+                    }
+                    out.modes = Some(modes);
+                }
+            }
+            "--pattern" => {
+                for tok in value("--pattern")?.split(',') {
+                    out.patterns.push(parse_pattern(tok)?);
+                }
+            }
+            "--repeats" => {
+                out.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|_| "--repeats needs an integer".to_string())?;
+            }
+            "--seed" => {
+                out.seed =
+                    value("--seed")?.parse().map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--json" => out.json = Some(value("--json")?.to_string()),
+            "--pretty" => out.pretty = true,
+            other => return Err(format!("unknown `ccq sweep` flag `{other}`")),
+        }
+    }
+    if out.topos.is_empty() {
+        return Err("ccq sweep requires --topo (see `ccq list`)".into());
+    }
+    if out.patterns.is_empty() {
+        out.patterns.push(RequestPattern::All);
+    }
+    Ok(out)
+}
+
+/// Largest processor count the CLI will build — keeps typos like
+/// `hypercube:40` from attempting terabyte allocations.
+const MAX_CLI_N: usize = 1 << 22;
+
+fn parse_topo(token: &str) -> Result<TopoSpec, String> {
+    let mut parts = token.split(':');
+    let name = parts.next().unwrap_or_default();
+    let params: Vec<usize> = parts
+        .map(|p| p.parse().map_err(|_| format!("bad numeric parameter in `{token}`")))
+        .collect::<Result<_, _>>()?;
+    if params.contains(&0) {
+        return Err(format!("topology parameters must be ≥ 1 in `{token}`"));
+    }
+    let p = |i: usize, default: usize| params.get(i).copied().unwrap_or(default);
+    let spec = match name {
+        "complete" => TopoSpec::Complete { n: p(0, 64) },
+        "list" => TopoSpec::List { n: p(0, 64) },
+        "mesh2d" => TopoSpec::Mesh2D { side: p(0, 8) },
+        "mesh3d" => TopoSpec::Mesh3D { side: p(0, 4) },
+        "hypercube" => TopoSpec::Hypercube { dim: p(0, 6) },
+        "tree" => TopoSpec::PerfectTree { m: p(0, 2), depth: p(1, 5) },
+        "star" => TopoSpec::Star { n: p(0, 64) },
+        "caterpillar" => TopoSpec::Caterpillar { spine: p(0, 32), legs: p(1, 2) },
+        "figure1" => TopoSpec::Figure1,
+        "torus2d" => TopoSpec::Torus2D { side: p(0, 8) },
+        "random-regular" => {
+            let (n, d) = (p(0, 64), p(1, 4));
+            if d >= n || !(n * d).is_multiple_of(2) {
+                return Err(format!(
+                    "random-regular needs d < n and n·d even, got n={n} d={d} in `{token}`"
+                ));
+            }
+            TopoSpec::RandomRegular { n, d, seed: p(2, 1) as u64 }
+        }
+        other => return Err(format!("unknown topology `{other}` (see `ccq list`)")),
+    };
+    let n = approx_size(&spec);
+    if n > MAX_CLI_N {
+        return Err(format!("`{token}` would build {n} processors (limit {MAX_CLI_N})"));
+    }
+    Ok(spec)
+}
+
+/// Processor count a spec resolves to, saturating (pre-build sanity check).
+fn approx_size(spec: &TopoSpec) -> usize {
+    match *spec {
+        TopoSpec::Complete { n } | TopoSpec::List { n } | TopoSpec::Star { n } => n,
+        TopoSpec::Mesh2D { side } | TopoSpec::Torus2D { side } => side.saturating_mul(side),
+        TopoSpec::Mesh3D { side } => side.saturating_mul(side).saturating_mul(side),
+        TopoSpec::Hypercube { dim } => 1usize.checked_shl(dim as u32).unwrap_or(usize::MAX),
+        TopoSpec::PerfectTree { m, depth } => {
+            let mut n = 1usize;
+            let mut level = 1usize;
+            for _ in 0..depth {
+                level = level.saturating_mul(m);
+                n = n.saturating_add(level);
+            }
+            n
+        }
+        TopoSpec::Caterpillar { spine, legs } => spine.saturating_mul(legs.saturating_add(1)),
+        TopoSpec::Figure1 => 6,
+        TopoSpec::RandomRegular { n, .. } => n,
+    }
+}
+
+fn parse_proto(token: &str, into: &mut Vec<Box<dyn ProtocolSpec>>) -> Result<(), String> {
+    match token {
+        "all" => {
+            into.extend(registry().iter().map(|p| p.clone_spec()));
+            return Ok(());
+        }
+        "queuing" => {
+            into.extend(protocol::registry_of(ProtocolKind::Queuing).map(|p| p.clone_spec()));
+            return Ok(());
+        }
+        "counting" => {
+            into.extend(protocol::registry_of(ProtocolKind::Counting).map(|p| p.clone_spec()));
+            return Ok(());
+        }
+        _ => {}
+    }
+    let (name, width) = match token.split_once(':') {
+        Some((name, w)) => {
+            let w: usize =
+                w.parse().map_err(|_| format!("bad width in `{token}` (want name:width)"))?;
+            (name, Some(w))
+        }
+        None => (token, None),
+    };
+    if let Some(w) = width {
+        let spec: Box<dyn ProtocolSpec> = match name {
+            "counting-network" => Box::new(protocol::CountingNetwork { width: Some(w) }),
+            "periodic-network" => Box::new(protocol::PeriodicNetwork { width: Some(w) }),
+            "toggle-tree" => Box::new(protocol::ToggleTree { leaves: Some(w) }),
+            other => return Err(format!("protocol `{other}` does not take a width")),
+        };
+        into.push(spec);
+        return Ok(());
+    }
+    match protocol::find(name) {
+        Some(spec) => {
+            into.push(spec.clone_spec());
+            Ok(())
+        }
+        None => {
+            let known: Vec<&str> = registry().iter().map(|p| p.name()).collect();
+            Err(format!("unknown protocol `{name}` (known: {})", known.join(", ")))
+        }
+    }
+}
+
+fn parse_pattern(token: &str) -> Result<RequestPattern, String> {
+    let parts: Vec<&str> = token.split(':').collect();
+    match parts[0] {
+        "all" => Ok(RequestPattern::All),
+        "random" => {
+            let density: f64 = parts
+                .get(1)
+                .ok_or("random pattern needs a density (random:<density>[:seed])")?
+                .parse()
+                .map_err(|_| format!("bad density in `{token}`"))?;
+            let seed: u64 = match parts.get(2) {
+                Some(s) => s.parse().map_err(|_| format!("bad seed in `{token}`"))?,
+                None => 1,
+            };
+            Ok(RequestPattern::Random { density, seed })
+        }
+        "tail" => {
+            let count: usize = parts
+                .get(1)
+                .ok_or("tail pattern needs a count (tail:<count>)")?
+                .parse()
+                .map_err(|_| format!("bad count in `{token}`"))?;
+            Ok(RequestPattern::TailCluster { count })
+        }
+        other => Err(format!("unknown pattern `{other}` (all | random:<d>[:seed] | tail:<n>)")),
+    }
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("ccq: {msg}");
+    2
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `ccq` binary: the acceptance sweep emits valid
+//! JSON on stdout (and nothing else), `list` and `run` work, and bad input
+//! fails with a helpful message.
+
+use std::process::Command;
+
+fn ccq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ccq")).args(args).output().expect("ccq runs")
+}
+
+#[test]
+fn sweep_json_stdout_is_pure_valid_json() {
+    let out =
+        ccq(&["sweep", "--topo", "mesh2d", "--proto", "arrow,central-counter", "--json", "-"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc = serde_json::from_str(stdout.trim()).expect("stdout must be exactly one JSON value");
+    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    assert_eq!(cases.len(), 2);
+    let names: Vec<&str> =
+        cases.iter().map(|c| c.get("protocol").unwrap().as_str().unwrap()).collect();
+    assert_eq!(names, vec!["arrow", "central-counter"]);
+    for case in cases {
+        assert!(case.get("total_delay").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(case.get("messages").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(case.get("max_contention").and_then(|v| v.as_u64()).is_some());
+    }
+}
+
+#[test]
+fn sweep_supports_width_params_topology_params_and_groups() {
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "mesh2d:4,complete:16",
+        "--proto",
+        "queuing,counting-network:4",
+        "--repeats",
+        "2",
+        "--seed",
+        "5",
+        "--json",
+        "-",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let doc = serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    // 2 topologies × 2 repeats × (4 queuing + 1 width-pinned network).
+    assert_eq!(cases.len(), 2 * 2 * 5);
+    assert!(cases.iter().any(|c| {
+        c.get("protocol").unwrap().as_str() == Some("counting-network")
+            && c.get("width").unwrap().as_u64() == Some(4)
+    }));
+}
+
+#[test]
+fn list_names_every_registry_protocol() {
+    let out = ccq(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["arrow", "central-counter", "counting-network", "toggle-tree", "t4"] {
+        assert!(stdout.contains(name), "missing {name} in ccq list");
+    }
+}
+
+#[test]
+fn run_executes_an_experiment_driver() {
+    let out = ccq(&["run", "--exp", "fig1"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Figure 1"), "driver output missing: {stdout}");
+}
+
+#[test]
+fn unknown_inputs_fail_loudly() {
+    let bad_proto = ccq(&["sweep", "--topo", "mesh2d", "--proto", "nope"]);
+    assert_eq!(bad_proto.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_proto.stderr).contains("unknown protocol"));
+
+    let bad_topo = ccq(&["sweep", "--topo", "klein-bottle"]);
+    assert_eq!(bad_topo.status.code(), Some(2));
+
+    let bad_exp = ccq(&["run", "--exp", "t99"]);
+    assert_eq!(bad_exp.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_exp.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn sweep_writes_json_files() {
+    let dir = std::env::temp_dir().join("ccq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.json");
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "list:8",
+        "--proto",
+        "arrow",
+        "--json",
+        path.to_str().unwrap(),
+        "--pretty",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(serde_json::from_str(written.trim()).is_ok(), "file must hold valid JSON");
+    // Human tables still go to stdout in file mode.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sweep cases"));
+    std::fs::remove_file(&path).ok();
+}

@@ -13,13 +13,7 @@ fn every_experiment_runs_and_produces_tables() {
             assert!(!t.headers.is_empty(), "{}: empty header", exp.id);
             assert!(!t.rows.is_empty(), "{}: empty rows in '{}'", exp.id, t.title);
             for row in &t.rows {
-                assert_eq!(
-                    row.len(),
-                    t.headers.len(),
-                    "{}: ragged row in '{}'",
-                    exp.id,
-                    t.title
-                );
+                assert_eq!(row.len(), t.headers.len(), "{}: ragged row in '{}'", exp.id, t.title);
             }
             // Render without panicking and with content.
             let rendered = t.to_string();

@@ -44,10 +44,7 @@ fn every_algorithm_counts_correctly_everywhere() {
 fn sparse_requests_count_correctly() {
     for spec in all_specs() {
         for seed in [5u64, 6] {
-            let s = Scenario::build(
-                spec.clone(),
-                RequestPattern::Random { density: 0.4, seed },
-            );
+            let s = Scenario::build(spec.clone(), RequestPattern::Random { density: 0.4, seed });
             for alg in all_algs() {
                 let out = run_counting(&s, alg, ModelMode::Strict)
                     .unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name(), alg.name()));
@@ -62,11 +59,9 @@ fn theorem_3_5_floor_holds_for_every_algorithm() {
     // Ω(n log* n): no algorithm dips below the exact bound on any topology
     // (we check the strongest case, R = V on the complete graph, plus two
     // others for good measure).
-    for spec in [
-        TopoSpec::Complete { n: 64 },
-        TopoSpec::Hypercube { dim: 6 },
-        TopoSpec::Mesh2D { side: 8 },
-    ] {
+    for spec in
+        [TopoSpec::Complete { n: 64 }, TopoSpec::Hypercube { dim: 6 }, TopoSpec::Mesh2D { side: 8 }]
+    {
         let s = Scenario::build(spec.clone(), RequestPattern::All);
         let lb = counting_lb_general(s.n());
         for alg in all_algs() {

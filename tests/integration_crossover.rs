@@ -83,11 +83,8 @@ fn verdicts_match_theory_module() {
     ];
     for (spec, topo) in cases {
         let s = Scenario::build(spec.clone(), RequestPattern::All);
-        let mode = if matches!(topo, Topology::Star) {
-            ModelMode::Strict
-        } else {
-            ModelMode::Expanded
-        };
+        let mode =
+            if matches!(topo, Topology::Star) { ModelMode::Strict } else { ModelMode::Expanded };
         let q = run_queuing(&s, QueuingAlg::Arrow, mode).unwrap();
         let c = run_best_counting(&s, ModelMode::Strict).unwrap();
         match verdict(topo) {

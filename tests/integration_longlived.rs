@@ -20,8 +20,7 @@ fn run_longlived(
     let requesters = proto.requesters();
     let issue = proto.issue_rounds().to_vec();
     let rep = run_protocol(&g, proto, cfg).unwrap();
-    let pred_of: Vec<(NodeId, u64)> =
-        rep.completions.iter().map(|c| (c.node, c.value)).collect();
+    let pred_of: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
     verify_total_order(&requesters, &pred_of).unwrap();
     (rep, issue)
 }
@@ -58,10 +57,8 @@ fn random_schedules_on_every_topology() {
 #[test]
 fn completions_never_precede_issues() {
     let s = Scenario::build(TopoSpec::Mesh2D { side: 6 }, RequestPattern::All);
-    let schedule: Vec<(Round, NodeId)> =
-        (0..s.n()).map(|v| ((v as u64 * 7) % 40, v)).collect();
-    let (rep, issue) =
-        run_longlived(&s.queuing_tree, s.tail, &schedule, SimConfig::strict());
+    let schedule: Vec<(Round, NodeId)> = (0..s.n()).map(|v| ((v as u64 * 7) % 40, v)).collect();
+    let (rep, issue) = run_longlived(&s.queuing_tree, s.tail, &schedule, SimConfig::strict());
     for c in &rep.completions {
         assert!(c.round >= issue[c.node], "node {} completed before issuing", c.node);
     }
@@ -71,8 +68,7 @@ fn completions_never_precede_issues() {
 fn longlived_under_jitter_still_valid() {
     let s = Scenario::build(TopoSpec::List { n: 30 }, RequestPattern::All);
     for seed in 0..5u64 {
-        let schedule: Vec<(Round, NodeId)> =
-            (0..30).map(|v| ((v as u64 * 3) % 20, v)).collect();
+        let schedule: Vec<(Round, NodeId)> = (0..30).map(|v| ((v as u64 * 3) % 20, v)).collect();
         let cfg = SimConfig::strict().with_jitter(4, seed);
         let (rep, _) = run_longlived(&s.queuing_tree, s.tail, &schedule, cfg);
         assert_eq!(rep.ops(), 30, "seed {seed}");
@@ -81,20 +77,15 @@ fn longlived_under_jitter_still_valid() {
 
 #[test]
 fn one_shot_protocols_correct_under_jitter_everywhere() {
-    for spec in [
-        TopoSpec::Complete { n: 20 },
-        TopoSpec::Mesh2D { side: 5 },
-        TopoSpec::Star { n: 20 },
-    ] {
+    for spec in
+        [TopoSpec::Complete { n: 20 }, TopoSpec::Mesh2D { side: 5 }, TopoSpec::Star { n: 20 }]
+    {
         let s = Scenario::build(spec.clone(), RequestPattern::All);
         for seed in [3u64, 11] {
             // Arrow.
             let cfg = SimConfig::strict().with_jitter(3, seed);
-            let proto = ccq_repro::queuing::ArrowProtocol::new(
-                &s.queuing_tree,
-                s.tail,
-                &s.requests,
-            );
+            let proto =
+                ccq_repro::queuing::ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests);
             let rep = run_protocol(&s.graph, proto, cfg).unwrap();
             let pred_of: Vec<(NodeId, u64)> =
                 rep.completions.iter().map(|c| (c.node, c.value)).collect();
@@ -117,15 +108,13 @@ fn far_future_schedule_fast_forwards() {
     // A schedule whose last arrival is at round 10⁷ must still run quickly
     // (wall time) because quiescent gaps are skipped.
     let s = Scenario::build(TopoSpec::List { n: 16 }, RequestPattern::All);
-    let schedule: Vec<(Round, NodeId)> =
-        (0..16).map(|v| (v as u64 * 700_000, v)).collect();
+    let schedule: Vec<(Round, NodeId)> = (0..16).map(|v| (v as u64 * 700_000, v)).collect();
     let start = std::time::Instant::now();
     let g = s.queuing_tree.to_graph();
     let proto = LongLivedArrow::new(&s.queuing_tree, s.tail, &schedule);
     let requesters = proto.requesters();
     let rep = Simulator::new(&g, proto, SimConfig::strict()).run().unwrap();
-    let pred_of: Vec<(NodeId, u64)> =
-        rep.completions.iter().map(|c| (c.node, c.value)).collect();
+    let pred_of: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
     verify_total_order(&requesters, &pred_of).unwrap();
     assert!(rep.rounds >= 10_000_000);
     assert!(start.elapsed().as_secs() < 10, "fast-forward failed: {:?}", start.elapsed());
@@ -137,26 +126,14 @@ fn sequential_schedule_reproduces_nn_style_costs() {
     let s = Scenario::build(TopoSpec::List { n: 40 }, RequestPattern::All);
     let tour = ccq_repro::tsp::nn_tour(&s.queuing_tree, s.tail, &s.requests);
     let gap = 1000u64;
-    let schedule: Vec<(Round, NodeId)> = tour
-        .order
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (i as u64 * gap, v))
-        .collect();
-    let (rep, issue) =
-        run_longlived(&s.queuing_tree, s.tail, &schedule, SimConfig::strict());
-    let mut adjusted: Vec<(NodeId, u64)> = rep
-        .completions
-        .iter()
-        .map(|c| (c.node, c.round - issue[c.node]))
-        .collect();
+    let schedule: Vec<(Round, NodeId)> =
+        tour.order.iter().enumerate().map(|(i, &v)| (i as u64 * gap, v)).collect();
+    let (rep, issue) = run_longlived(&s.queuing_tree, s.tail, &schedule, SimConfig::strict());
+    let mut adjusted: Vec<(NodeId, u64)> =
+        rep.completions.iter().map(|c| (c.node, c.round - issue[c.node])).collect();
     adjusted.sort_unstable();
-    let mut expected: Vec<(NodeId, u64)> = tour
-        .order
-        .iter()
-        .zip(&tour.leg_costs)
-        .map(|(&v, &c)| (v, c))
-        .collect();
+    let mut expected: Vec<(NodeId, u64)> =
+        tour.order.iter().zip(&tour.leg_costs).map(|(&v, &c)| (v, c)).collect();
     expected.sort_unstable();
     assert_eq!(adjusted, expected);
 }

@@ -45,10 +45,7 @@ fn arrow_valid_under_strict_contention_on_every_topology() {
 fn arrow_valid_for_sparse_requests() {
     for spec in all_specs() {
         for seed in [1u64, 2, 3] {
-            let s = Scenario::build(
-                spec.clone(),
-                RequestPattern::Random { density: 0.3, seed },
-            );
+            let s = Scenario::build(spec.clone(), RequestPattern::Random { density: 0.3, seed });
             let out = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Expanded)
                 .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", spec.name()));
             assert_eq!(out.order.len(), s.k(), "{} seed {seed}", spec.name());
@@ -119,10 +116,7 @@ fn central_queue_matches_arrow_semantics() {
 
 #[test]
 fn single_requester_delay_equals_distance_to_tail() {
-    let s = Scenario::build(
-        TopoSpec::List { n: 33 },
-        RequestPattern::Custom(vec![32]),
-    );
+    let s = Scenario::build(TopoSpec::List { n: 33 }, RequestPattern::Custom(vec![32]));
     // tail is node 0 on the list tree.
     let out = run_queuing(&s, QueuingAlg::Arrow, ModelMode::Strict).unwrap();
     assert_eq!(out.report.completions[0].round, 32);

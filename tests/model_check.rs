@@ -56,13 +56,12 @@ fn arrow_exhaustive_small_cases() {
                         let rep = run_protocol(&g, proto, cfg).expect("sim ok");
                         let pred_of: Vec<(NodeId, u64)> =
                             rep.completions.iter().map(|c| (c.node, c.value)).collect();
-                        let order = verify_total_order(&requests, &pred_of)
-                            .unwrap_or_else(|e| {
-                                panic!(
-                                    "n={n} tail={tail} R={requests:?} parents={:?}: {e}",
-                                    (0..n).map(|v| tree.parent(v)).collect::<Vec<_>>()
-                                )
-                            });
+                        let order = verify_total_order(&requests, &pred_of).unwrap_or_else(|e| {
+                            panic!(
+                                "n={n} tail={tail} R={requests:?} parents={:?}: {e}",
+                                (0..n).map(|v| tree.parent(v)).collect::<Vec<_>>()
+                            )
+                        });
                         assert_eq!(order.len(), requests.len());
                         cases += 1;
                     }

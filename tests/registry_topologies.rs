@@ -1,0 +1,63 @@
+//! Every registry protocol must run and verify on the two beyond-paper
+//! topologies (torus, random-regular) in both execution models — the
+//! registry's contract is that an entry works on *any* connected scenario.
+
+use ccq_repro::prelude::*;
+
+fn beyond_paper_topologies() -> Vec<TopoSpec> {
+    vec![TopoSpec::Torus2D { side: 4 }, TopoSpec::RandomRegular { n: 20, d: 3, seed: 5 }]
+}
+
+#[test]
+fn every_registry_entry_verifies_on_torus_and_random_regular() {
+    for spec in beyond_paper_topologies() {
+        let s = Scenario::build(spec.clone(), RequestPattern::All);
+        for proto in registry() {
+            for mode in [ModelMode::Strict, ModelMode::Expanded] {
+                let out = run_spec(*proto, &s, mode).unwrap_or_else(|e| {
+                    panic!("{} on {} ({mode:?}): {e}", proto.name(), spec.name())
+                });
+                assert_eq!(
+                    out.order.len(),
+                    s.k(),
+                    "{} on {} ({mode:?}): wrong order length",
+                    proto.name(),
+                    spec.name()
+                );
+                assert_eq!(out.alg, proto.name());
+                assert!(out.report.total_delay() > 0, "{}", proto.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_covers_both_kinds_on_extended_topologies() {
+    // The crossover verdict also holds beyond the paper's topology list.
+    let set = RunPlan::new().topologies(beyond_paper_topologies()).execute();
+    assert_eq!(set.cases.len(), 2 * registry().len());
+    for case in &set.cases {
+        assert!(case.ok, "{} on {}: {:?}", case.protocol, case.topology, case.error);
+    }
+    for summary in &set.summaries {
+        assert!(
+            summary.queuing_wins.unwrap(),
+            "queuing lost on {}: gap {:?}",
+            summary.topology,
+            summary.gap
+        );
+    }
+}
+
+#[test]
+fn subset_requests_verify_on_extended_topologies() {
+    // Partial request sets exercise the rank/order checks differently.
+    for spec in beyond_paper_topologies() {
+        let s = Scenario::build(spec.clone(), RequestPattern::Random { density: 0.5, seed: 9 });
+        for proto in registry() {
+            let out = run_spec(*proto, &s, ModelMode::Strict)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", proto.name(), spec.name()));
+            assert_eq!(out.order.len(), s.k(), "{} on {}", proto.name(), spec.name());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline subset of the `criterion` API (see `vendor/README.md`).
+//!
+//! Keeps the workspace's benchmark sources compiling and runnable without
+//! the real statistics engine: each benchmark body is executed once and its
+//! wall time printed. `CCQ_BENCH_ITERS` (default 1) repeats the body and
+//! reports the mean, for quick local comparisons.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark driver handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _crit: self, name }
+    }
+
+    /// Register a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _crit: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs
+    /// `CCQ_BENCH_ITERS` iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Run an unparameterized benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn iters() -> u32 {
+    std::env::var("CCQ_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { elapsed: std::time::Duration::ZERO, rounds: 0 };
+    let n = iters();
+    for _ in 0..n {
+        f(&mut b);
+    }
+    if b.rounds > 0 {
+        println!("  bench {label}: {:.3?}/iter ({} iters)", b.elapsed / b.rounds, b.rounds);
+    } else {
+        println!("  bench {label}: body never called iter()");
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    elapsed: std::time::Duration,
+    rounds: u32,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (the stub runs it exactly once per call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.rounds += 1;
+        drop(out);
+    }
+}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name` plus a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{param}", name.into()) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { label: format!("{param}") }
+    }
+}
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the workspace already uses).
+pub use std::hint::black_box;
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut ran = 0;
+        g.sample_size(10).bench_with_input(BenchmarkId::new("case", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

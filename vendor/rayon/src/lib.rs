@@ -1,0 +1,206 @@
+//! Offline subset of the `rayon` API (see `vendor/README.md`).
+//!
+//! Covers the data-parallel surface this workspace uses — `par_iter` /
+//! `into_par_iter`, `map`, `enumerate`, `collect`, `for_each` — executed on
+//! real OS threads (`std::thread::scope`), one work queue shared by
+//! `available_parallelism()` workers. Results are returned in input order,
+//! so pipelines stay deterministic regardless of scheduling.
+
+use std::sync::Mutex;
+
+/// Convert an owned collection into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrow a collection as a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec { items: self.iter().collect() }
+    }
+}
+
+/// Eager parallel iterator over a materialized item list.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// Index-tagging parallel iterator.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+/// The parallel-iterator operations this workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Execute the pipeline, returning items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Tag items with their input index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Execute and collect into any `FromIterator` collection.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Execute for side effects.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        par_apply(self.run(), &|item| f(item));
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<P: ParallelIterator, R: Send, F: Fn(P::Item) -> R + Sync> ParallelIterator for Map<P, F> {
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn run(self) -> Vec<(usize, P::Item)> {
+        self.base.run().into_iter().enumerate().collect()
+    }
+}
+
+/// Apply `f` to every item on a pool of scoped threads; output preserves
+/// input order.
+fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the queue lock only while popping.
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        done.lock().unwrap().push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut out = done.into_inner().unwrap();
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_and_enumerate() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let tagged: Vec<(usize, String)> = v.into_par_iter().enumerate().collect();
+        assert_eq!(tagged[0], (0, "a".to_string()));
+        assert_eq!(tagged[2], (2, "c".to_string()));
+    }
+
+    #[test]
+    fn actually_runs_on_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..256).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x
+            })
+            .collect();
+        // With >1 hardware threads the pool must have used more than one.
+        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1 {
+            assert!(ids.lock().unwrap().len() > 1);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline subset of the `serde` API (see `vendor/README.md`).
+//!
+//! One trait, one output format: [`Serialize`] writes JSON straight into a
+//! `String`. `#[derive(Serialize)]` (from the vendored `serde_derive`)
+//! covers named-field structs and unit-variant enums; everything else
+//! implements the trait by hand. `serde_json::to_string` is a thin wrapper
+//! over this trait.
+
+// Let the derive's generated `::serde::...` paths resolve inside this
+// crate's own tests too.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+use std::collections::BTreeMap;
+
+/// Serialize `self` as JSON appended to `out`.
+///
+/// The contract: what is appended must be exactly one valid JSON value.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer formatting without allocation (i128 covers every int above).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).unwrap()
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        let mut s = String::new();
+        42u64.serialize_json(&mut s);
+        (-7i32).serialize_json(&mut s);
+        true.serialize_json(&mut s);
+        1.5f64.serialize_json(&mut s);
+        assert_eq!(s, "42-7true1.5");
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        let mut s = String::new();
+        f64::NAN.serialize_json(&mut s);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut s = String::new();
+        "a\"b\\c\nd\u{1}".serialize_json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn containers() {
+        let mut s = String::new();
+        vec![1u8, 2, 3].serialize_json(&mut s);
+        assert_eq!(s, "[1,2,3]");
+        s.clear();
+        (Some(1u8), Option::<u8>::None).serialize_json(&mut s);
+        assert_eq!(s, "[1,null]");
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        id: u32,
+        name: String,
+        tags: Vec<u8>,
+    }
+
+    #[derive(Serialize, Clone, Copy)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+
+    #[derive(Serialize)]
+    struct Outer {
+        mode: Mode,
+        inner: Demo,
+        opt: Option<u8>,
+    }
+
+    #[test]
+    fn derived_struct_and_enum() {
+        let v = Outer {
+            mode: Mode::Slow,
+            inner: Demo { id: 7, name: "x\"y".into(), tags: vec![1, 2] },
+            opt: None,
+        };
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        assert_eq!(s, r#"{"mode":"Slow","inner":{"id":7,"name":"x\"y","tags":[1,2]},"opt":null}"#);
+        let mut f = String::new();
+        Mode::Fast.serialize_json(&mut f);
+        assert_eq!(f, "\"Fast\"");
+    }
+}

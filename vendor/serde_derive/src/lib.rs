@@ -1,0 +1,186 @@
+//! Offline `#[derive(Serialize)]` (see `vendor/README.md`).
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote` in
+//! the offline build). Supports the shapes this workspace serializes:
+//!
+//! * structs with named fields → JSON objects, fields in declaration order;
+//! * enums whose variants are all unit variants → JSON strings.
+//!
+//! Anything else (tuple structs, data-carrying variants, generics) is a
+//! compile error naming the limitation, so misuse fails loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(src) => src.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility ahead of `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("derive(Serialize): unexpected `{s}`"));
+            }
+            other => return Err(format!("derive(Serialize): unexpected input {other:?}")),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive(Serialize): expected type name, got {other:?}")),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive(Serialize): generic type `{name}` not supported by the vendored stub"
+            ))
+        }
+        _ => {
+            return Err(format!(
+                "derive(Serialize): `{name}` must have a brace-delimited body (tuple/unit \
+                 structs are not supported by the vendored stub)"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        expand_struct(&name, body)
+    } else {
+        expand_enum(&name, body)
+    }
+}
+
+/// `struct S { a: T, b: U }` → object with fields in declaration order.
+fn expand_struct(name: &str, body: TokenStream) -> Result<String, String> {
+    let fields = named_fields(body)?;
+    if fields.is_empty() {
+        return Err(format!("derive(Serialize): `{name}` has no named fields"));
+    }
+    let mut writes = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            writes.push_str("out.push(',');\n");
+        }
+        writes.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json(&self.{f}, out);\n"
+        ));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+             out.push('{{');\n{writes}out.push('}}');\n\
+           }}\n\
+         }}"
+    ))
+}
+
+/// `enum E { A, B }` → the variant name as a JSON string.
+fn expand_enum(name: &str, body: TokenStream) -> Result<String, String> {
+    let mut arms = String::new();
+    let mut tokens = body.into_iter().peekable();
+    let mut any = false;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    return Err(format!(
+                        "derive(Serialize): variant `{name}::{variant}` carries data — only \
+                         unit variants are supported by the vendored stub"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{variant} => out.push_str(\"\\\"{variant}\\\"\"),\n"
+                ));
+                any = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => return Err(format!("derive(Serialize): unexpected enum token {other:?}")),
+        }
+    }
+    if !any {
+        return Err(format!("derive(Serialize): `{name}` has no variants"));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}"
+    ))
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        let field = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("derive(Serialize): unexpected field token {other:?}"))
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "derive(Serialize): expected `:` after field `{field}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}

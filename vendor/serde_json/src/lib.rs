@@ -1,0 +1,428 @@
+//! Offline subset of the `serde_json` API (see `vendor/README.md`).
+//!
+//! * [`to_string`] / [`to_string_pretty`] — encode any [`serde::Serialize`];
+//! * [`from_str`] — a strict JSON parser into [`Value`], used by tests to
+//!   prove emitted output is genuinely valid JSON;
+//! * [`Value`] — an order-preserving JSON document model with the usual
+//!   `get` / `as_*` accessors.
+
+use serde::Serialize;
+use std::fmt;
+
+/// JSON encode/decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encode a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Encode a value as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let doc = from_str(&compact)
+        .map_err(|e| Error::new(format!("serializer emitted invalid JSON: {e}")))?;
+    let mut out = String::new();
+    doc.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// A parsed JSON document. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (kept as the source text to stay lossless).
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, members in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member by key (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element by index.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Number as `u64` (only when it is a non-negative integer literal).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload (members in source order).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(n),
+            Value::String(s) => serde::write_json_string(s, out),
+            Value::Array(items) if items.is_empty() => out.push_str("[]"),
+            Value::Array(items) => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Object(members) if members.is_empty() => out.push_str("{}"),
+            Value::Object(members) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, indent + 1);
+                    serde::write_json_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing non-whitespace is an error).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(Error::new(format!("unexpected byte {c:?} at {pos}", pos = *pos))),
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}", pos = *pos))),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // {
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected object key at byte {pos}", pos = *pos)));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, ":")?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}", pos = *pos))),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("non-ASCII \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::new("invalid \\u escape"))?;
+                        // Surrogate pairs are not emitted by our serializer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error::new(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(Error::new("raw control character in string"));
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(Error::new(format!("expected digits at byte {pos}", pos = *pos)));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(Error::new("expected digits after decimal point"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(Error::new("expected digits in exponent"));
+        }
+    }
+    Ok(Value::Number(std::str::from_utf8(&b[start..*pos]).unwrap().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let src = r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":null},"e":true}"#;
+        let v = from_str(src).unwrap();
+        assert_eq!(v.get("e").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(|a| a.index(1)).and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Value::as_str), Some("x\ny"));
+        assert!(v.get("b").unwrap().get("d").unwrap() == &Value::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("01x").is_err());
+        assert!(from_str("{\"a\":1} extra").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn pretty_is_reparseable_and_stable() {
+        let src = r#"{"name":"t","rows":[[1,2],[3,4]],"empty":[],"obj":{}}"#;
+        let pretty = to_string_pretty(&from_str(src).map(JsonText).unwrap()).unwrap();
+        let reparsed = from_str(&pretty).unwrap();
+        assert_eq!(reparsed, from_str(src).unwrap());
+        assert!(pretty.contains("\n  \"rows\""));
+    }
+
+    /// Serialize a parsed Value back out (test helper).
+    struct JsonText(Value);
+    impl serde::Serialize for JsonText {
+        fn serialize_json(&self, out: &mut String) {
+            fn go(v: &Value, out: &mut String) {
+                match v {
+                    Value::Null => out.push_str("null"),
+                    Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                    Value::Number(n) => out.push_str(n),
+                    Value::String(s) => serde::write_json_string(s, out),
+                    Value::Array(items) => {
+                        out.push('[');
+                        for (i, v) in items.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            go(v, out);
+                        }
+                        out.push(']');
+                    }
+                    Value::Object(members) => {
+                        out.push('{');
+                        for (i, (k, v)) in members.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            serde::write_json_string(k, out);
+                            out.push(':');
+                            go(v, out);
+                        }
+                        out.push('}');
+                    }
+                }
+            }
+            go(&self.0, out);
+        }
+    }
+}
