@@ -23,6 +23,8 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         counting_tree: tree,
         requests: requests.clone(),
         tail: 0,
+        arrival: ArrivalSpec::OneShot,
+        schedule: ArrivalSpec::OneShot.materialize(&requests),
     };
 
     let counting = run_counting(&scenario, CountingAlg::CombiningTree, ModelMode::Strict)

@@ -1,0 +1,125 @@
+//! Extension: the **open-system** workload — requests arriving over time
+//! on delayed links, instead of the paper's one-shot batch.
+//!
+//! Quantitative quiescent consistency (Jagadeesan–Riely) motivates asking
+//! *how far* behaviour drifts under load, not only whether quiescence is
+//! reached: we sweep the Poisson arrival rate on a mesh (plus a hotspot
+//! mix, the skewed regime of "power of choice" priority scheduling) and
+//! report throughput, completion-latency percentiles and the backlog
+//! high-water mark per protocol. The expected shape: per-request protocols
+//! (arrow, central) degrade gracefully as the rate falls — each arrival
+//! finds a settled system — while the single-wave combining protocols hold
+//! every early requester hostage to the last straggler, so their tail
+//! latency *grows* as arrivals spread out.
+
+use crate::experiments::Scale;
+use crate::plan::RunPlan;
+use crate::prelude::*;
+use crate::protocol;
+use crate::table::fmt_util::{f2, int, tick};
+
+fn openload_table(title: &str, topo: TopoSpec, arrivals: Vec<ArrivalSpec>) -> Table {
+    let set = RunPlan::new()
+        .topologies([topo])
+        .protocol(&protocol::Arrow)
+        .protocol(&protocol::CentralQueue)
+        .protocol(&protocol::CombiningQueue)
+        .protocol(&protocol::CentralCounter)
+        .protocol(&protocol::CombiningTree)
+        .protocol(&protocol::ToggleTree { leaves: None })
+        .arrivals(arrivals)
+        .delays([LinkDelay::Unit])
+        .execute();
+    let mut t = Table::new(
+        title,
+        &["arrival", "protocol", "kind", "ok", "thr/round", "p50", "p95", "p99", "backlog"],
+    );
+    for c in &set.cases {
+        t.push_row(vec![
+            c.arrival.clone(),
+            c.protocol.clone(),
+            c.kind.label().into(),
+            tick(c.ok),
+            f2(c.throughput),
+            int(c.latency_p50),
+            int(c.latency_p95),
+            int(c.latency_p99),
+            int(c.backlog as u64),
+        ]);
+    }
+    t
+}
+
+/// Run the open-system load sweep.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let side = scale.pick(6, 12);
+    let rates = scale.pick(vec![1.0, 0.3, 0.1], vec![1.0, 0.5, 0.2, 0.05]);
+    let arrivals: Vec<ArrivalSpec> =
+        rates.into_iter().map(|rate| ArrivalSpec::Poisson { rate, seed: 7 }).collect();
+    let mut t = openload_table(
+        "t11 — open-system load: Poisson arrival rate vs latency percentiles (extension)",
+        TopoSpec::Mesh2D { side },
+        arrivals,
+    );
+    t.note("latency = (completion − issue) × expanded-step scale; backlog = peak open ops");
+    t.note("rate 1.0 ≈ the paper's one-shot batch; lower rates = sparser open-system load");
+    t.note("combining protocols run one wave: early arrivals wait for stragglers (p95 grows)");
+
+    let mut t2 = openload_table(
+        "t11b — skewed open-system mixes: bursts and hotspot arrival order",
+        TopoSpec::Mesh2D { side },
+        vec![
+            ArrivalSpec::Bursty { rate: 0.8, on: 8, off: 24, seed: 7 },
+            ArrivalSpec::Hotspot { rate: 0.3, s: 1.5, seed: 7 },
+        ],
+    );
+    t2.note("bursty = on/off arrival windows; hotspot = Zipf-skewed arrival order over nodes");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_rows_and_all_cases_verify() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 3 * 6, "3 rates × 6 protocols");
+        assert_eq!(tables[1].rows.len(), 2 * 6, "2 mixes × 6 protocols");
+        for t in &tables {
+            for row in &t.rows {
+                assert_eq!(row[3], "yes", "case failed verification: {row:?}");
+            }
+        }
+    }
+
+    /// Parse an `int()`-formatted cell (undo the `_` group separators).
+    fn cell(s: &str) -> u64 {
+        s.replace('_', "").parse().unwrap()
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        for t in &run(Scale::Quick) {
+            for row in &t.rows {
+                let (p50, p95, p99) = (cell(&row[5]), cell(&row[6]), cell(&row[7]));
+                assert!(p50 <= p95 && p95 <= p99, "unordered percentiles: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_arrivals_shrink_arrow_backlog() {
+        // At rate 1.0 nearly everything is open at once; at the sparsest
+        // rate the arrow protocol drains between arrivals.
+        let t = &run(Scale::Quick)[0];
+        let arrow_backlog: Vec<u64> =
+            t.rows.iter().filter(|r| r[1] == "arrow").map(|r| cell(&r[8])).collect();
+        assert_eq!(arrow_backlog.len(), 3);
+        assert!(
+            arrow_backlog.last().unwrap() < arrow_backlog.first().unwrap(),
+            "backlog should fall with the rate: {arrow_backlog:?}"
+        );
+    }
+}

@@ -45,14 +45,15 @@ pub mod table;
 pub mod prelude {
     pub use crate::plan::{CaseResult, GroupSummary, RunPlan, RunSet};
     pub use crate::protocol::{
-        default_width, registry, registry_of, run_spec, ProtocolKind, ProtocolSpec,
+        default_width, registry, registry_of, run_spec, run_spec_with, ProtocolKind, ProtocolSpec,
     };
     pub use crate::report::{delay_percentile, DelayReport};
     pub use crate::run::{
         run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome,
     };
-    pub use crate::scenario::{RequestPattern, Scenario, TopoSpec};
+    pub use crate::scenario::{ArrivalSpec, RequestPattern, Scenario, TopoSpec};
     pub use crate::table::Table;
+    pub use ccq_sim::LinkDelay;
 }
 
 pub use prelude::*;

@@ -1,11 +1,15 @@
 //! Sweep plans: cross-products of topologies × protocols × modes ×
-//! request patterns × repeats, executed in parallel and summarized.
+//! request patterns × arrivals × link delays × repeats, executed in
+//! parallel and summarized.
 //!
 //! [`RunPlan`] is the builder; [`RunPlan::execute`] materializes every
 //! [`RunCase`], runs them rayon-parallel (grouped so each scenario is built
 //! once), and returns a [`RunSet`]: per-case [`CaseResult`]s plus
 //! queuing-vs-counting [`GroupSummary`]s. Everything is deterministic under
-//! the plan's seed, and the whole set serializes to JSON.
+//! the plan's seed, and the whole set serializes to JSON. Open-system
+//! dimensions ([`RunPlan::arrivals`], [`RunPlan::delays`]) default to the
+//! paper's one-shot batch on unit-delay wires, so existing plans reproduce
+//! the pre-open-system reports exactly.
 //!
 //! ```
 //! use ccq_core::prelude::*;
@@ -20,12 +24,13 @@
 //! assert!(serde_json::from_str(&set.to_json()).is_ok());
 //! ```
 
-use crate::protocol::{registry, run_spec, ProtocolKind, ProtocolSpec};
+use crate::protocol::{registry, run_spec_with, ProtocolKind, ProtocolSpec};
 use crate::report::DelayReport;
 use crate::run::ModelMode;
-use crate::scenario::{RequestPattern, Scenario, TopoSpec};
+use crate::scenario::{ArrivalSpec, RequestPattern, Scenario, TopoSpec};
 use crate::table::fmt_util::{f2, int, tick};
 use crate::table::Table;
+use ccq_sim::LinkDelay;
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -45,6 +50,8 @@ pub struct RunPlan {
     protocols: Vec<Box<dyn ProtocolSpec>>,
     modes: ModeSel,
     patterns: Vec<RequestPattern>,
+    arrivals: Vec<ArrivalSpec>,
+    delays: Vec<LinkDelay>,
     repeats: usize,
     seed: u64,
 }
@@ -58,13 +65,16 @@ impl Default for RunPlan {
 impl RunPlan {
     /// Empty plan: no topologies yet, no explicit protocols (meaning *every*
     /// registry protocol), the paper's mode convention, the `All` request
-    /// pattern, one repeat, seed 0.
+    /// pattern, the one-shot arrival batch on unit-delay wires, one repeat,
+    /// seed 0.
     pub fn new() -> Self {
         RunPlan {
             topologies: Vec::new(),
             protocols: Vec::new(),
             modes: ModeSel::Paper,
             patterns: vec![RequestPattern::All],
+            arrivals: vec![ArrivalSpec::OneShot],
+            delays: vec![LinkDelay::Unit],
             repeats: 1,
             seed: 0,
         }
@@ -121,6 +131,20 @@ impl RunPlan {
         self
     }
 
+    /// Set the arrival processes to sweep (default: the one-shot batch).
+    /// Open arrivals are deterministically re-seeded per repeat, like
+    /// random request patterns.
+    pub fn arrivals(mut self, arrivals: impl IntoIterator<Item = ArrivalSpec>) -> Self {
+        self.arrivals = arrivals.into_iter().collect();
+        self
+    }
+
+    /// Set the per-link delay policies to sweep (default: unit delay).
+    pub fn delays(mut self, delays: impl IntoIterator<Item = LinkDelay>) -> Self {
+        self.delays = delays.into_iter().collect();
+        self
+    }
+
     /// Repeat every (topology, pattern) cell this many times; random
     /// patterns are deterministically re-seeded per repeat.
     pub fn repeats(mut self, repeats: usize) -> Self {
@@ -158,23 +182,36 @@ impl RunPlan {
         }
     }
 
-    /// One scenario's worth of work: all protocol×mode runs sharing it.
+    /// One scenario's worth of work: all protocol×mode×delay runs sharing
+    /// the (topology, pattern, arrival, repeat) scenario.
     fn work_groups(&self) -> Vec<WorkGroup> {
         let protocols = self.effective_protocols();
         let mut groups = Vec::new();
         let mut index = 0usize;
         for topo in &self.topologies {
             for pattern in &self.patterns {
-                for repeat in 0..self.repeats {
-                    let pat = pattern.reseed(self.salt(repeat));
-                    let mut runs = Vec::new();
-                    for proto in &protocols {
-                        for mode in self.modes_for(proto.as_ref()) {
-                            runs.push((index, proto.clone_spec(), mode));
-                            index += 1;
+                for arrival in &self.arrivals {
+                    for repeat in 0..self.repeats {
+                        let salt = self.salt(repeat);
+                        let pat = pattern.reseed(salt);
+                        let arr = arrival.reseed(salt);
+                        let mut runs = Vec::new();
+                        for proto in &protocols {
+                            for mode in self.modes_for(proto.as_ref()) {
+                                for delay in &self.delays {
+                                    runs.push((index, proto.clone_spec(), mode, *delay));
+                                    index += 1;
+                                }
+                            }
                         }
+                        groups.push(WorkGroup {
+                            topo: topo.clone(),
+                            pattern: pat,
+                            arrival: arr,
+                            repeat,
+                            runs,
+                        });
                     }
-                    groups.push(WorkGroup { topo: topo.clone(), pattern: pat, repeat, runs });
                 }
             }
         }
@@ -186,13 +223,15 @@ impl RunPlan {
         self.work_groups()
             .into_iter()
             .flat_map(|g| {
-                let (topo, pattern, repeat) = (g.topo, g.pattern, g.repeat);
-                g.runs.into_iter().map(move |(index, protocol, mode)| RunCase {
+                let (topo, pattern, arrival, repeat) = (g.topo, g.pattern, g.arrival, g.repeat);
+                g.runs.into_iter().map(move |(index, protocol, mode, delay)| RunCase {
                     index,
                     topo: topo.clone(),
                     protocol,
                     mode,
                     pattern: pattern.clone(),
+                    arrival: arrival.clone(),
+                    delay,
                     repeat,
                 })
             })
@@ -203,14 +242,14 @@ impl RunPlan {
     /// once) and summarize. Deterministic under the plan's seed.
     pub fn execute(&self) -> RunSet {
         let groups = self.work_groups();
-        let executed: Vec<(Vec<CaseResult>, GroupSummary)> =
+        let executed: Vec<(Vec<CaseResult>, Vec<GroupSummary>)> =
             groups.par_iter().map(run_group).collect();
 
         let mut cases = Vec::new();
         let mut summaries = Vec::new();
-        for (group_cases, summary) in executed {
+        for (group_cases, group_summaries) in executed {
             cases.extend(group_cases);
-            summaries.push(summary);
+            summaries.extend(group_summaries);
         }
         cases.sort_by_key(|c| c.case);
         RunSet { plan: self.describe(), cases, summaries }
@@ -226,6 +265,8 @@ impl RunPlan {
                 ModeSel::Explicit(list) => list.iter().map(|m| format!("{m:?}")).collect(),
             },
             patterns: self.patterns.iter().map(|p| p.name()).collect(),
+            arrivals: self.arrivals.iter().map(|a| a.name()).collect(),
+            delays: self.delays.iter().map(|d| d.name()).collect(),
             repeats: self.repeats,
             seed: self.seed,
         }
@@ -235,14 +276,16 @@ impl RunPlan {
 struct WorkGroup {
     topo: TopoSpec,
     pattern: RequestPattern,
+    arrival: ArrivalSpec,
     repeat: usize,
-    runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode)>,
+    runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
 }
 
-fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, GroupSummary) {
-    let scenario = Scenario::build(group.topo.clone(), group.pattern.clone());
+fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
+    let scenario =
+        Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone());
     let mut results = Vec::with_capacity(group.runs.len());
-    for (index, spec, mode) in &group.runs {
+    for (index, spec, mode, delay) in &group.runs {
         let base = CaseResult {
             case: *index,
             topology: group.topo.name(),
@@ -252,6 +295,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, GroupSummary) {
             kind: spec.kind(),
             mode: *mode,
             pattern: group.pattern.name(),
+            arrival: group.arrival.name(),
+            delay: delay.name(),
             repeat: group.repeat,
             width: spec.effective_width(scenario.n()),
             ok: false,
@@ -259,28 +304,61 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, GroupSummary) {
             total_delay: 0,
             messages: 0,
             max_contention: 0,
+            throughput: 0.0,
+            latency_p50: 0,
+            latency_p95: 0,
+            latency_p99: 0,
+            backlog: 0,
             metrics: None,
         };
-        let result = match run_spec(spec.as_ref(), &scenario, *mode) {
-            Ok(out) => CaseResult {
-                ok: true,
-                total_delay: out.report.total_delay(),
-                messages: out.report.messages_sent,
-                max_contention: out.report.max_inport_depth,
-                metrics: Some(DelayReport::from_sim(&out.alg, &out.report)),
-                ..base
-            },
+        let result = match run_spec_with(spec.as_ref(), &scenario, *mode, *delay) {
+            Ok(out) => {
+                // One flattening pass: the percentile fields echo `metrics`
+                // (the latency distribution is computed once in from_sim).
+                let m = DelayReport::from_sim(&out.alg, &out.report);
+                CaseResult {
+                    ok: true,
+                    total_delay: m.total_delay,
+                    messages: m.messages,
+                    max_contention: m.max_queue,
+                    throughput: m.throughput,
+                    latency_p50: m.latency_p50,
+                    latency_p95: m.latency_p95,
+                    latency_p99: m.latency_p99,
+                    backlog: m.backlog_high_water,
+                    metrics: Some(m),
+                    ..base
+                }
+            }
             Err(e) => CaseResult { error: Some(e.to_string()), ..base },
         };
         results.push(result);
     }
-    let summary = summarize(&scenario, group, &results);
-    (results, summary)
+    // One crossover summary per delay policy — pooling across delay
+    // regimes would let the fastest wires decide the verdict.
+    let mut delays: Vec<LinkDelay> = Vec::new();
+    for &(_, _, _, d) in &group.runs {
+        if !delays.contains(&d) {
+            delays.push(d);
+        }
+    }
+    let summaries =
+        delays.into_iter().map(|delay| summarize(&scenario, group, delay, &results)).collect();
+    (results, summaries)
 }
 
-fn summarize(scenario: &Scenario, group: &WorkGroup, results: &[CaseResult]) -> GroupSummary {
+fn summarize(
+    scenario: &Scenario,
+    group: &WorkGroup,
+    delay: LinkDelay,
+    results: &[CaseResult],
+) -> GroupSummary {
+    let delay_name = delay.name();
     let best_of = |kind: ProtocolKind| -> Option<&CaseResult> {
-        results.iter().filter(|c| c.ok && c.kind == kind).min_by_key(|c| c.total_delay)
+        results
+            .iter()
+            .filter(|c| c.ok && c.kind == kind && c.delay == delay_name)
+            .min_by_key(|c| c.total_delay)
     };
     let q = best_of(ProtocolKind::Queuing);
     let c = best_of(ProtocolKind::Counting);
@@ -291,6 +369,8 @@ fn summarize(scenario: &Scenario, group: &WorkGroup, results: &[CaseResult]) -> 
     GroupSummary {
         topology: group.topo.name(),
         pattern: group.pattern.name(),
+        arrival: group.arrival.name(),
+        delay: delay_name,
         repeat: group.repeat,
         n: scenario.n(),
         k: scenario.k(),
@@ -306,7 +386,8 @@ fn summarize(scenario: &Scenario, group: &WorkGroup, results: &[CaseResult]) -> 
     }
 }
 
-/// One materialized run: a protocol on a scenario under a mode.
+/// One materialized run: a protocol on a scenario under a mode and a
+/// per-link delay policy.
 pub struct RunCase {
     /// Position in the plan's cross-product (stable across executions).
     pub index: usize,
@@ -318,7 +399,11 @@ pub struct RunCase {
     pub mode: ModelMode,
     /// Request pattern (already re-seeded for this repeat).
     pub pattern: RequestPattern,
-    /// Repeat number within the (topology, pattern) cell.
+    /// Arrival process (already re-seeded for this repeat).
+    pub arrival: ArrivalSpec,
+    /// Per-link delay policy.
+    pub delay: LinkDelay,
+    /// Repeat number within the (topology, pattern, arrival) cell.
     pub repeat: usize,
 }
 
@@ -341,6 +426,10 @@ pub struct CaseResult {
     pub mode: ModelMode,
     /// Request pattern display name.
     pub pattern: String,
+    /// Arrival process display name.
+    pub arrival: String,
+    /// Per-link delay policy display name.
+    pub delay: String,
     /// Repeat number.
     pub repeat: usize,
     /// Resolved network width (`None` for width-less protocols).
@@ -355,6 +444,16 @@ pub struct CaseResult {
     pub messages: u64,
     /// Largest receive-queue depth observed (the contention measure).
     pub max_contention: usize,
+    /// Completed operations per round over the whole execution.
+    pub throughput: f64,
+    /// Median scaled completion latency (completion − issue).
+    pub latency_p50: u64,
+    /// 95th-percentile scaled completion latency.
+    pub latency_p95: u64,
+    /// 99th-percentile scaled completion latency.
+    pub latency_p99: u64,
+    /// Open-operation backlog high-water mark (0 for one-shot runs).
+    pub backlog: usize,
     /// Full flattened metrics when the run succeeded.
     pub metrics: Option<DelayReport>,
 }
@@ -370,6 +469,10 @@ pub struct PlanInfo {
     pub modes: Vec<String>,
     /// Request pattern display names.
     pub patterns: Vec<String>,
+    /// Arrival process display names.
+    pub arrivals: Vec<String>,
+    /// Per-link delay policy display names.
+    pub delays: Vec<String>,
     /// Repeats per cell.
     pub repeats: usize,
     /// Base seed.
@@ -383,6 +486,11 @@ pub struct GroupSummary {
     pub topology: String,
     /// Request pattern display name.
     pub pattern: String,
+    /// Arrival process display name.
+    pub arrival: String,
+    /// Per-link delay policy this summary covers (summaries never pool
+    /// across delay regimes).
+    pub delay: String,
     /// Repeat number.
     pub repeat: usize,
     /// Number of processors.
@@ -453,11 +561,17 @@ impl RunSet {
                 "kind",
                 "mode",
                 "pattern",
+                "arrival",
+                "delay",
                 "rep",
                 "ok",
                 "total delay",
                 "messages",
                 "max cont.",
+                "thr/round",
+                "p50",
+                "p95",
+                "p99",
             ],
         );
         for c in &self.cases {
@@ -467,11 +581,17 @@ impl RunSet {
                 c.kind.label().into(),
                 format!("{:?}", c.mode),
                 c.pattern.clone(),
+                c.arrival.clone(),
+                c.delay.clone(),
                 c.repeat.to_string(),
                 tick(c.ok),
                 int(c.total_delay),
                 int(c.messages),
                 int(c.max_contention as u64),
+                f2(c.throughput),
+                int(c.latency_p50),
+                int(c.latency_p95),
+                int(c.latency_p99),
             ]);
         }
         t
@@ -484,6 +604,8 @@ impl RunSet {
             &[
                 "topology",
                 "pattern",
+                "arrival",
+                "delay",
                 "rep",
                 "n",
                 "best queuing",
@@ -498,6 +620,8 @@ impl RunSet {
             t.push_row(vec![
                 s.topology.clone(),
                 s.pattern.clone(),
+                s.arrival.clone(),
+                s.delay.clone(),
                 s.repeat.to_string(),
                 int(s.n as u64),
                 s.best_queuing.clone().unwrap_or_else(|| "-".into()),
@@ -634,5 +758,87 @@ mod tests {
         assert!(cases.contains("arrow"));
         let summary = set.summary_table().to_string();
         assert!(summary.contains("list(n=6)"));
+    }
+
+    #[test]
+    fn arrival_and_delay_dimensions_cross_product() {
+        let plan = RunPlan::new()
+            .topologies([TopoSpec::Mesh2D { side: 3 }])
+            .protocol(&protocol::Arrow)
+            .arrivals([ArrivalSpec::OneShot, ArrivalSpec::Poisson { rate: 0.5, seed: 1 }])
+            .delays([LinkDelay::Unit, LinkDelay::Jitter { max: 3, seed: 9 }]);
+        // 1 topology × 1 pattern × 2 arrivals × 1 protocol × 1 mode × 2 delays.
+        assert_eq!(plan.cases().len(), 4);
+        let set = plan.execute();
+        assert_eq!(set.cases.len(), 4);
+        assert_eq!(set.summaries.len(), 4, "one summary per (scenario group, delay)");
+        // Summaries never pool across delay regimes.
+        for s in &set.summaries {
+            let expected = set
+                .cases
+                .iter()
+                .filter(|c| {
+                    c.ok && c.arrival == s.arrival
+                        && c.delay == s.delay
+                        && c.kind.label() == "queuing"
+                })
+                .map(|c| c.total_delay)
+                .min();
+            assert_eq!(s.best_queuing_delay, expected, "summary pooled across delays: {s:?}");
+        }
+        for c in &set.cases {
+            assert!(c.ok, "{} under {}: {:?}", c.protocol, c.arrival, c.error);
+            assert!(c.latency_p50 <= c.latency_p95 && c.latency_p95 <= c.latency_p99);
+            assert!(c.throughput > 0.0);
+        }
+        assert_eq!(set.plan.arrivals.len(), 2);
+        assert_eq!(set.plan.delays.len(), 2);
+        // Open-system cases track backlog; one-shot cases report 0.
+        let open: Vec<_> = set.cases.iter().filter(|c| c.arrival.starts_with("poisson")).collect();
+        assert_eq!(open.len(), 2);
+        assert!(open.iter().all(|c| c.backlog > 0), "open cases must observe a backlog");
+        assert!(set
+            .cases
+            .iter()
+            .filter(|c| c.arrival == "oneshot")
+            .all(|c| c.backlog == 0 && c.latency_p99 == c.metrics.as_ref().unwrap().latency_p99));
+    }
+
+    #[test]
+    fn open_arrivals_reseed_per_repeat() {
+        let delays = |seed: u64| -> Vec<u64> {
+            RunPlan::new()
+                .topologies([TopoSpec::Complete { n: 10 }])
+                .protocol(&protocol::Arrow)
+                .arrivals([ArrivalSpec::Poisson { rate: 0.4, seed: 1 }])
+                .repeats(3)
+                .seed(seed)
+                .execute()
+                .cases
+                .iter()
+                .map(|c| c.total_delay)
+                .collect()
+        };
+        let a = delays(42);
+        // Repeats draw fresh schedules (overwhelmingly different delays).
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "repeats identical: {a:?}");
+        // Deterministic under the same plan seed.
+        assert_eq!(a, delays(42));
+    }
+
+    #[test]
+    fn one_shot_default_reproduces_the_batch_reports() {
+        // Adding the open-system dimensions must not change what default
+        // plans measure: an explicit oneshot+unit sweep equals the default.
+        let base = RunPlan::new().topologies([TopoSpec::Mesh2D { side: 3 }]).execute();
+        let explicit = RunPlan::new()
+            .topologies([TopoSpec::Mesh2D { side: 3 }])
+            .arrivals([ArrivalSpec::OneShot])
+            .delays([LinkDelay::Unit])
+            .execute();
+        let key = |s: &RunSet| -> Vec<(String, u64, u64)> {
+            s.cases.iter().map(|c| (c.protocol.clone(), c.total_delay, c.messages)).collect()
+        };
+        assert_eq!(key(&base), key(&explicit));
     }
 }

@@ -28,8 +28,30 @@ use ccq_graph::{NodeId, Tree};
 use ccq_queuing::{
     verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol,
 };
-use ccq_sim::{run_protocol, SimConfig, SimError, SimReport};
+use ccq_sim::{run_protocol, LinkDelay, OnlineProtocol, Paced, SimConfig, SimError, SimReport};
 use serde::Serialize;
+
+/// Run a protocol on `scenario`, honouring its arrival specification: the
+/// one-shot batch executes the protocol unchanged (bit-identical to the
+/// pre-open-system engine), while open arrivals build the protocol in
+/// deferred mode (`build(true)`) and drive it through [`Paced`] on the
+/// scenario's schedule.
+fn run_arrival_aware<P, F>(
+    scenario: &Scenario,
+    cfg: SimConfig,
+    build: F,
+) -> Result<SimReport, SimError>
+where
+    P: OnlineProtocol,
+    F: FnOnce(bool) -> P,
+{
+    match scenario.open_schedule() {
+        None => run_protocol(&scenario.graph, build(false), cfg),
+        Some(schedule) => {
+            run_protocol(&scenario.graph, Paced::new(build(true), schedule.to_vec()), cfg)
+        }
+    }
+}
 
 /// What a protocol computes, which also fixes its verification contract.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
@@ -115,7 +137,18 @@ pub fn run_spec(
     scenario: &Scenario,
     mode: ModelMode,
 ) -> Result<RunOutcome, RunError> {
-    let cfg = config_for(mode, spec.tree(scenario).max_degree());
+    run_spec_with(spec, scenario, mode, LinkDelay::Unit)
+}
+
+/// [`run_spec`] with an explicit per-link delay policy (the open-system
+/// sweep dimension; `LinkDelay::Unit` reproduces the paper's wires).
+pub fn run_spec_with(
+    spec: &dyn ProtocolSpec,
+    scenario: &Scenario,
+    mode: ModelMode,
+    delay: LinkDelay,
+) -> Result<RunOutcome, RunError> {
+    let cfg = config_for(mode, spec.tree(scenario).max_degree()).with_link_delay(delay);
     let report = spec.execute(scenario, cfg).map_err(RunError::Sim)?;
     let order = spec.verify(scenario, &report)?;
     Ok(RunOutcome { alg: spec.name().to_string(), report, order })
@@ -174,7 +207,9 @@ impl ProtocolSpec for Arrow {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_protocol(&s.graph, ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests), cfg)
+        run_arrival_aware(s, cfg, |d| {
+            ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -189,11 +224,11 @@ impl ProtocolSpec for ArrowNotify {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_protocol(
-            &s.graph,
-            ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests).with_notify_origin(),
-            cfg,
-        )
+        run_arrival_aware(s, cfg, |d| {
+            ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests)
+                .with_notify_origin()
+                .deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -208,7 +243,9 @@ impl ProtocolSpec for CentralQueue {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_protocol(&s.graph, CentralQueueProtocol::new(&s.queuing_tree, s.tail, &s.requests), cfg)
+        run_arrival_aware(s, cfg, |d| {
+            CentralQueueProtocol::new(&s.queuing_tree, s.tail, &s.requests).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -223,7 +260,9 @@ impl ProtocolSpec for CombiningQueue {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_protocol(&s.graph, CombiningQueueProtocol::new(&s.queuing_tree, &s.requests), cfg)
+        run_arrival_aware(s, cfg, |d| {
+            CombiningQueueProtocol::new(&s.queuing_tree, &s.requests).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -239,7 +278,9 @@ impl ProtocolSpec for CentralCounter {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let tree = &s.counting_tree;
-        run_protocol(&s.graph, CentralCounterProtocol::new(tree, tree.root(), &s.requests), cfg)
+        run_arrival_aware(s, cfg, |d| {
+            CentralCounterProtocol::new(tree, tree.root(), &s.requests).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -254,7 +295,9 @@ impl ProtocolSpec for CombiningTree {
         ProtocolKind::Counting
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_protocol(&s.graph, CombiningTreeProtocol::new(&s.counting_tree, &s.requests), cfg)
+        run_arrival_aware(s, cfg, |d| {
+            CombiningTreeProtocol::new(&s.counting_tree, &s.requests).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -273,11 +316,9 @@ impl ProtocolSpec for CountingNetwork {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let w = self.effective_width(s.n()).unwrap();
-        run_protocol(
-            &s.graph,
-            CountingNetworkProtocol::new(&s.graph, &s.counting_tree, &s.requests, w),
-            cfg,
-        )
+        run_arrival_aware(s, cfg, |d| {
+            CountingNetworkProtocol::new(&s.graph, &s.counting_tree, &s.requests, w).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -296,16 +337,15 @@ impl ProtocolSpec for PeriodicNetwork {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let w = self.effective_width(s.n()).unwrap();
-        run_protocol(
-            &s.graph,
+        run_arrival_aware(s, cfg, |d| {
             CountingNetworkProtocol::with_network(
                 &s.graph,
                 &s.counting_tree,
                 &s.requests,
                 ccq_counting::network::periodic(w),
-            ),
-            cfg,
-        )
+            )
+            .deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)
@@ -324,11 +364,9 @@ impl ProtocolSpec for ToggleTree {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let w = self.effective_width(s.n()).unwrap();
-        run_protocol(
-            &s.graph,
-            ToggleTreeProtocol::new(&s.graph, &s.counting_tree, &s.requests, w),
-            cfg,
-        )
+        run_arrival_aware(s, cfg, |d| {
+            ToggleTreeProtocol::new(&s.graph, &s.counting_tree, &s.requests, w).deferred(d)
+        })
     }
     fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
         Box::new(*self)

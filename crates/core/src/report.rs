@@ -27,11 +27,33 @@ pub struct DelayReport {
     pub queue_wait: u64,
     /// Deepest receive queue observed.
     pub max_queue: usize,
+    /// Completed operations per round over the whole execution.
+    pub throughput: f64,
+    /// Median scaled completion latency (`completion − issue`; equals the
+    /// per-operation delay for one-shot runs).
+    pub latency_p50: u64,
+    /// 95th-percentile scaled completion latency.
+    pub latency_p95: u64,
+    /// 99th-percentile scaled completion latency.
+    pub latency_p99: u64,
+    /// Open-operation backlog high-water mark (0 for one-shot runs).
+    pub backlog_high_water: usize,
 }
 
 impl DelayReport {
     /// Extract from a simulator report.
     pub fn from_sim(alg: impl Into<String>, rep: &SimReport) -> Self {
+        // Materialize and sort the latency distribution once; the three
+        // percentiles are then plain nearest-rank index lookups.
+        let mut lat = rep.latencies();
+        lat.sort_unstable();
+        let pick = |q: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1]
+            }
+        };
         DelayReport {
             alg: alg.into(),
             ops: rep.ops(),
@@ -43,6 +65,11 @@ impl DelayReport {
             messages: rep.messages_sent,
             queue_wait: rep.queue_wait_rounds,
             max_queue: rep.max_inport_depth,
+            throughput: rep.throughput(),
+            latency_p50: pick(0.50),
+            latency_p95: pick(0.95),
+            latency_p99: pick(0.99),
+            backlog_high_water: rep.backlog_high_water,
         }
     }
 }
@@ -80,6 +107,10 @@ mod tests {
         assert_eq!(d.total_delay, 7);
         assert_eq!(d.ops, 1);
         assert_eq!(d.mean_delay, 7.0);
+        // One-shot: latency percentiles collapse onto the delay.
+        assert_eq!((d.latency_p50, d.latency_p95, d.latency_p99), (7, 7, 7));
+        assert_eq!(d.backlog_high_water, 0);
+        assert!(d.throughput > 0.0);
     }
 
     #[test]

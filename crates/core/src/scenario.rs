@@ -1,6 +1,7 @@
-//! Scenarios: topology + spanning tree + request set.
+//! Scenarios: topology + spanning tree + request set + arrival schedule.
 
 use ccq_graph::{spanning, topology, Graph, NodeId, Tree};
+use ccq_sim::{ArrivalProcess, Round};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -183,6 +184,107 @@ impl RequestPattern {
     }
 }
 
+/// *When* the request set issues its operations.
+///
+/// `OneShot` is the paper's batch scenario (everything at round 0) and
+/// executes on the unchanged one-shot protocol path, so its reports are
+/// bit-identical to the pre-open-system engine. The open variants wrap each
+/// protocol in [`ccq_sim::Paced`] driven by a deterministic
+/// [`ArrivalProcess`] schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalSpec {
+    /// Every request at round 0 — the paper's one-shot batch.
+    OneShot,
+    /// Per-round Bernoulli arrivals at `rate` requests/round.
+    Poisson {
+        /// Expected arrivals per round, in `(0, 1]`.
+        rate: f64,
+        /// Schedule seed.
+        seed: u64,
+    },
+    /// On/off bursts: Poisson at `rate` during `on`-round bursts separated
+    /// by `off` silent rounds.
+    Bursty {
+        /// Expected arrivals per active round, in `(0, 1]`.
+        rate: f64,
+        /// Burst length in rounds (≥ 1).
+        on: Round,
+        /// Gap between bursts in rounds.
+        off: Round,
+        /// Schedule seed.
+        seed: u64,
+    },
+    /// Hotspot skew: Zipf(`s`)-weighted arrival order over the request set
+    /// (low ids cluster early), geometric gaps at `rate`.
+    Hotspot {
+        /// Expected arrivals per round, in `(0, 1]`.
+        rate: f64,
+        /// Zipf exponent (> 0; larger = more skew).
+        s: f64,
+        /// Schedule seed.
+        seed: u64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Short display name (used by sweeps and the CLI).
+    pub fn name(&self) -> String {
+        match self {
+            ArrivalSpec::OneShot => "oneshot".into(),
+            ArrivalSpec::Poisson { rate, seed } => format!("poisson(rate={rate},seed={seed})"),
+            ArrivalSpec::Bursty { rate, on, off, seed } => {
+                format!("bursty(rate={rate},on={on},off={off},seed={seed})")
+            }
+            ArrivalSpec::Hotspot { rate, s, seed } => {
+                format!("hotspot(rate={rate},s={s},seed={seed})")
+            }
+        }
+    }
+
+    /// Whether this is an open-system arrival (anything but the batch).
+    pub fn is_open(&self) -> bool {
+        !matches!(self, ArrivalSpec::OneShot)
+    }
+
+    /// A deterministically re-seeded copy for repeat `salt` of a sweep
+    /// (`salt` 0 always returns `self` verbatim; `OneShot` is unchanged).
+    pub fn reseed(&self, salt: u64) -> ArrivalSpec {
+        if salt == 0 {
+            return self.clone();
+        }
+        let mix = |seed: u64| seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match *self {
+            ArrivalSpec::OneShot => ArrivalSpec::OneShot,
+            ArrivalSpec::Poisson { rate, seed } => ArrivalSpec::Poisson { rate, seed: mix(seed) },
+            ArrivalSpec::Bursty { rate, on, off, seed } => {
+                ArrivalSpec::Bursty { rate, on, off, seed: mix(seed) }
+            }
+            ArrivalSpec::Hotspot { rate, s, seed } => {
+                ArrivalSpec::Hotspot { rate, s, seed: mix(seed) }
+            }
+        }
+    }
+
+    /// The underlying sampler and its seed.
+    fn process(&self) -> (ArrivalProcess, u64) {
+        match *self {
+            ArrivalSpec::OneShot => (ArrivalProcess::Batch, 0),
+            ArrivalSpec::Poisson { rate, seed } => (ArrivalProcess::Poisson { rate }, seed),
+            ArrivalSpec::Bursty { rate, on, off, seed } => {
+                (ArrivalProcess::Bursty { rate, on, off }, seed)
+            }
+            ArrivalSpec::Hotspot { rate, s, seed } => (ArrivalProcess::Zipf { rate, s }, seed),
+        }
+    }
+
+    /// Materialize the issue schedule for `requests`: one `(round, node)`
+    /// entry per requester, sorted by round. Deterministic.
+    pub fn materialize(&self, requests: &[NodeId]) -> Vec<(Round, NodeId)> {
+        let (process, seed) = self.process();
+        process.schedule(requests, seed)
+    }
+}
+
 /// A fully-materialized experiment input.
 pub struct Scenario {
     /// Topology descriptor (for reporting).
@@ -197,18 +299,39 @@ pub struct Scenario {
     pub requests: Vec<NodeId>,
     /// Initial token / counter-root placement.
     pub tail: NodeId,
+    /// When the requests issue (defaults to the one-shot batch).
+    pub arrival: ArrivalSpec,
+    /// Materialized issue schedule (`(round, node)` sorted by round; all
+    /// zeros for `OneShot`).
+    pub schedule: Vec<(Round, NodeId)>,
 }
 
 impl Scenario {
-    /// Build a scenario with the paper-preferred trees and the tail at the
-    /// queuing tree's root.
+    /// Build a scenario with the paper-preferred trees, the tail at the
+    /// queuing tree's root and the one-shot arrival batch.
     pub fn build(spec: TopoSpec, pattern: RequestPattern) -> Scenario {
+        Self::build_with(spec, pattern, ArrivalSpec::OneShot)
+    }
+
+    /// Build a scenario with an explicit arrival specification.
+    pub fn build_with(spec: TopoSpec, pattern: RequestPattern, arrival: ArrivalSpec) -> Scenario {
         let graph = spec.graph();
         let queuing_tree = spec.preferred_tree(&graph);
         let counting_tree = spec.counting_tree(&graph);
         let requests = pattern.materialize(graph.n());
         let tail = queuing_tree.root();
-        Scenario { spec, graph, queuing_tree, counting_tree, requests, tail }
+        let schedule = arrival.materialize(&requests);
+        Scenario { spec, graph, queuing_tree, counting_tree, requests, tail, arrival, schedule }
+    }
+
+    /// The issue schedule when this is an open-system scenario, `None` for
+    /// the one-shot batch (which runs on the unchanged protocol path).
+    pub fn open_schedule(&self) -> Option<&[(Round, NodeId)]> {
+        if self.arrival.is_open() {
+            Some(&self.schedule)
+        } else {
+            None
+        }
     }
 
     /// Number of processors.
@@ -301,5 +424,55 @@ mod tests {
     fn custom_dedups_and_sorts() {
         let r = RequestPattern::Custom(vec![5, 1, 5, 3]).materialize(10);
         assert_eq!(r, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn one_shot_scenarios_have_zero_schedule_and_no_open_view() {
+        let s = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
+        assert_eq!(s.arrival, ArrivalSpec::OneShot);
+        assert!(s.open_schedule().is_none());
+        assert_eq!(s.schedule.len(), s.k());
+        assert!(s.schedule.iter().all(|&(r, _)| r == 0));
+    }
+
+    #[test]
+    fn open_scenarios_expose_a_complete_schedule() {
+        let arrival = ArrivalSpec::Poisson { rate: 0.3, seed: 5 };
+        let s = Scenario::build_with(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All, arrival);
+        let sched = s.open_schedule().expect("open");
+        assert_eq!(sched.len(), s.k());
+        let mut nodes: Vec<NodeId> = sched.iter().map(|&(_, v)| v).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, s.requests);
+        // Deterministic rebuild.
+        let s2 = Scenario::build_with(
+            TopoSpec::Mesh2D { side: 3 },
+            RequestPattern::All,
+            ArrivalSpec::Poisson { rate: 0.3, seed: 5 },
+        );
+        assert_eq!(s.schedule, s2.schedule);
+    }
+
+    #[test]
+    fn arrival_specs_name_and_reseed() {
+        let p = ArrivalSpec::Poisson { rate: 0.2, seed: 1 };
+        assert_eq!(p.name(), "poisson(rate=0.2,seed=1)");
+        assert!(p.is_open());
+        assert!(!ArrivalSpec::OneShot.is_open());
+        assert_eq!(p.reseed(0), p);
+        assert_ne!(p.reseed(1), p);
+        assert_eq!(ArrivalSpec::OneShot.reseed(7), ArrivalSpec::OneShot);
+        let b = ArrivalSpec::Bursty { rate: 0.5, on: 4, off: 8, seed: 2 };
+        assert_eq!(b.name(), "bursty(rate=0.5,on=4,off=8,seed=2)");
+        let h = ArrivalSpec::Hotspot { rate: 0.2, s: 1.1, seed: 3 };
+        assert_eq!(h.name(), "hotspot(rate=0.2,s=1.1,seed=3)");
+        // Reseeding keeps the shape, changes only the schedule seed.
+        match h.reseed(2) {
+            ArrivalSpec::Hotspot { rate, s, seed } => {
+                assert_eq!((rate, s), (0.2, 1.1));
+                assert_ne!(seed, 3);
+            }
+            other => panic!("reseed changed variant: {other:?}"),
+        }
     }
 }

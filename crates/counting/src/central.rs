@@ -27,6 +27,7 @@ pub struct CentralCounterProtocol {
     to_root: Vec<usize>,
     from_root: Vec<usize>,
     requests: Vec<NodeId>,
+    defer_issue: bool,
 }
 
 impl CentralCounterProtocol {
@@ -46,7 +47,35 @@ impl CentralCounterProtocol {
             to_root[v] = routes.push(p);
             from_root[v] = routes.push(rp);
         }
-        CentralCounterProtocol { root, next_rank: 1, routes, to_root, from_root, requests }
+        CentralCounterProtocol {
+            root,
+            next_rank: 1,
+            routes,
+            to_root,
+            from_root,
+            requests,
+            defer_issue: false,
+        }
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` injects nothing and
+    /// increments are driven via [`ccq_sim::OnlineProtocol::issue`].
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
+        self
+    }
+
+    /// Issue `v`'s increment now (`v` must be in the request set).
+    fn issue_one(&mut self, api: &mut SimApi<CentralCounterMsg>, v: NodeId) {
+        if v == self.root {
+            let rank = self.next_rank;
+            self.next_rank += 1;
+            api.complete(v, rank);
+        } else {
+            let route = self.to_root[v];
+            debug_assert_ne!(route, usize::MAX, "node {v} is not a requester");
+            self.hop(api, v, CentralCounterMsg::Inc { origin: v, route, idx: 0 });
+        }
     }
 
     fn hop(&self, api: &mut SimApi<CentralCounterMsg>, at: NodeId, msg: CentralCounterMsg) {
@@ -69,20 +98,22 @@ impl CentralCounterProtocol {
     }
 }
 
+impl ccq_sim::OnlineProtocol for CentralCounterProtocol {
+    fn issue(&mut self, api: &mut SimApi<CentralCounterMsg>, node: NodeId) {
+        self.issue_one(api, node);
+    }
+}
+
 impl Protocol for CentralCounterProtocol {
     type Msg = CentralCounterMsg;
 
     fn on_start(&mut self, api: &mut SimApi<CentralCounterMsg>) {
+        if self.defer_issue {
+            return;
+        }
         let requests = self.requests.clone();
         for v in requests {
-            if v == self.root {
-                let rank = self.next_rank;
-                self.next_rank += 1;
-                api.complete(v, rank);
-            } else {
-                let route = self.to_root[v];
-                self.hop(api, v, CentralCounterMsg::Inc { origin: v, route, idx: 0 });
-            }
+            self.issue_one(api, v);
         }
     }
 

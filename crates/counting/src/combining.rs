@@ -44,6 +44,10 @@ pub struct CombiningTreeProtocol {
     children: Vec<Vec<NodeId>>,
     root: NodeId,
     nodes: Vec<NodeState>,
+    /// Deferred-issue mode: a requester holds its subtree's Up report until
+    /// its own operation has been injected.
+    defer_issue: bool,
+    issued: Vec<bool>,
 }
 
 impl CombiningTreeProtocol {
@@ -67,7 +71,27 @@ impl CombiningTreeProtocol {
             children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
             root: tree.root(),
             nodes,
+            defer_issue: false,
+            issued: vec![false; n],
         }
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` starts the up phase
+    /// only at non-requesting leaves; a requester joins the wave when its
+    /// operation is injected via [`ccq_sim::OnlineProtocol::issue`]. The
+    /// single combining wave completes once every scheduled request has
+    /// arrived — the batch protocol's honest behaviour under open arrivals
+    /// (early requesters wait for stragglers).
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
+        self
+    }
+
+    /// Whether `v` may report upward: all children in, and (in deferred
+    /// mode) its own request — if any — already injected.
+    fn ready(&self, v: NodeId) -> bool {
+        self.nodes[v].waiting == 0
+            && (!self.defer_issue || !self.nodes[v].requesting || self.issued[v])
     }
 
     fn subtree_count(&self, v: NodeId) -> u64 {
@@ -104,13 +128,24 @@ impl CombiningTreeProtocol {
     }
 }
 
+impl ccq_sim::OnlineProtocol for CombiningTreeProtocol {
+    fn issue(&mut self, api: &mut SimApi<CombiningMsg>, node: NodeId) {
+        debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
+        self.issued[node] = true;
+        if self.ready(node) {
+            self.aggregated(api, node);
+        }
+    }
+}
+
 impl Protocol for CombiningTreeProtocol {
     type Msg = CombiningMsg;
 
     fn on_start(&mut self, api: &mut SimApi<CombiningMsg>) {
-        // Leaves (and a childless root) aggregate immediately.
+        // Leaves (and a childless root) aggregate immediately; in deferred
+        // mode, requesters hold until their operation is injected.
         for v in 0..self.parent.len() {
-            if self.nodes[v].waiting == 0 {
+            if self.ready(v) {
                 self.aggregated(api, v);
             }
         }
@@ -131,7 +166,7 @@ impl Protocol for CombiningTreeProtocol {
                     .expect("Up message from a non-child");
                 self.nodes[node].child_counts[slot] = count;
                 self.nodes[node].waiting -= 1;
-                if self.nodes[node].waiting == 0 {
+                if self.ready(node) {
                     self.aggregated(api, node);
                 }
             }

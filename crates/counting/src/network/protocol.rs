@@ -41,6 +41,7 @@ pub struct CountingNetworkProtocol {
     toggles: Vec<bool>,
     exit_counts: Vec<u64>,
     requests: Vec<NodeId>,
+    defer_issue: bool,
 }
 
 impl CountingNetworkProtocol {
@@ -89,7 +90,21 @@ impl CountingNetworkProtocol {
             router: TreeRouter::new(tree),
             net,
             requests,
+            defer_issue: false,
         }
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` injects nothing and
+    /// tokens are driven via [`ccq_sim::OnlineProtocol::issue`].
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
+        self
+    }
+
+    /// Inject `v`'s token at its input wire now.
+    fn issue_one(&mut self, api: &mut SimApi<CnMsg>, v: NodeId) {
+        let wire = self.net.input_wire(v % self.net.width());
+        self.process_token(api, v, v, wire);
     }
 
     /// The network being executed.
@@ -148,15 +163,22 @@ impl CountingNetworkProtocol {
     }
 }
 
+impl ccq_sim::OnlineProtocol for CountingNetworkProtocol {
+    fn issue(&mut self, api: &mut SimApi<CnMsg>, node: NodeId) {
+        self.issue_one(api, node);
+    }
+}
+
 impl Protocol for CountingNetworkProtocol {
     type Msg = CnMsg;
 
     fn on_start(&mut self, api: &mut SimApi<CnMsg>) {
-        let w = self.net.width();
+        if self.defer_issue {
+            return;
+        }
         let requests = self.requests.clone();
         for v in requests {
-            let wire = self.net.input_wire(v % w);
-            self.process_token(api, v, v, wire);
+            self.issue_one(api, v);
         }
     }
 

@@ -46,6 +46,7 @@ pub struct ToggleTreeProtocol {
     next_to_host: Vec<Vec<NodeId>>,
     router: TreeRouter,
     requests: Vec<NodeId>,
+    defer_issue: bool,
 }
 
 fn bitrev(mut x: usize, bits: u32) -> usize {
@@ -97,7 +98,15 @@ impl ToggleTreeProtocol {
             next_to_host,
             router: TreeRouter::new(tree),
             requests,
+            defer_issue: false,
         }
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` injects nothing and
+    /// tokens are driven via [`ccq_sim::OnlineProtocol::issue`].
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
+        self
     }
 
     fn send_towards(&self, api: &mut SimApi<ToggleMsg>, at: NodeId, host: NodeId, msg: ToggleMsg) {
@@ -135,10 +144,19 @@ impl ToggleTreeProtocol {
     }
 }
 
+impl ccq_sim::OnlineProtocol for ToggleTreeProtocol {
+    fn issue(&mut self, api: &mut SimApi<ToggleMsg>, node: NodeId) {
+        self.process(api, node, node, 0);
+    }
+}
+
 impl Protocol for ToggleTreeProtocol {
     type Msg = ToggleMsg;
 
     fn on_start(&mut self, api: &mut SimApi<ToggleMsg>) {
+        if self.defer_issue {
+            return;
+        }
         let requests = self.requests.clone();
         for v in requests {
             self.process(api, v, v, 0);

@@ -47,6 +47,7 @@ pub struct ArrowProtocol {
     id: Vec<u64>,
     requests: Vec<NodeId>,
     notify_origin: bool,
+    defer_issue: bool,
 }
 
 impl ArrowProtocol {
@@ -73,7 +74,13 @@ impl ArrowProtocol {
         }
         let mut requests = requests.to_vec();
         requests.sort_unstable();
-        ArrowProtocol { link, id: vec![INITIAL_TOKEN; n], requests, notify_origin: false }
+        ArrowProtocol {
+            link,
+            id: vec![INITIAL_TOKEN; n],
+            requests,
+            notify_origin: false,
+            defer_issue: false,
+        }
     }
 
     /// Enable notify-origin mode: completions are recorded when the
@@ -81,6 +88,15 @@ impl ArrowProtocol {
     /// forms at the predecessor's node.
     pub fn with_notify_origin(mut self) -> Self {
         self.notify_origin = true;
+        self
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` injects nothing and
+    /// operations are driven one at a time through
+    /// [`ccq_sim::OnlineProtocol::issue`] — the open-system regime of
+    /// [`ccq_sim::Paced`].
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
         self
     }
 
@@ -124,10 +140,19 @@ impl ArrowProtocol {
     }
 }
 
+impl ccq_sim::OnlineProtocol for ArrowProtocol {
+    fn issue(&mut self, api: &mut SimApi<ArrowMsg>, node: NodeId) {
+        ArrowProtocol::issue(self, api, node);
+    }
+}
+
 impl Protocol for ArrowProtocol {
     type Msg = ArrowMsg;
 
     fn on_start(&mut self, api: &mut SimApi<ArrowMsg>) {
+        if self.defer_issue {
+            return;
+        }
         let requests = self.requests.clone();
         for v in requests {
             self.issue(api, v);

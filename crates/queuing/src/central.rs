@@ -33,6 +33,7 @@ pub struct CentralQueueProtocol {
     /// Route id from home back to each requester.
     from_home: Vec<usize>,
     requests: Vec<NodeId>,
+    defer_issue: bool,
 }
 
 impl CentralQueueProtocol {
@@ -54,7 +55,36 @@ impl CentralQueueProtocol {
             to_home[v] = routes.push(p);
             from_home[v] = routes.push(rp);
         }
-        CentralQueueProtocol { home, last: INITIAL_TOKEN, routes, to_home, from_home, requests }
+        CentralQueueProtocol {
+            home,
+            last: INITIAL_TOKEN,
+            routes,
+            to_home,
+            from_home,
+            requests,
+            defer_issue: false,
+        }
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` injects nothing and
+    /// operations are driven via [`ccq_sim::OnlineProtocol::issue`].
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
+        self
+    }
+
+    /// Issue `v`'s enqueue now (`v` must be in the request set).
+    fn issue_one(&mut self, api: &mut SimApi<CentralQueueMsg>, v: NodeId) {
+        if v == self.home {
+            // Local enqueue: no messages needed.
+            let pred = self.last;
+            self.last = v as u64;
+            api.complete(v, pred);
+        } else {
+            let route = self.to_home[v];
+            debug_assert_ne!(route, usize::MAX, "node {v} is not a requester");
+            self.forward(api, v, CentralQueueMsg::Req { origin: v, route, idx: 0 });
+        }
     }
 
     fn forward(&self, api: &mut SimApi<CentralQueueMsg>, at: NodeId, msg: CentralQueueMsg) {
@@ -75,21 +105,22 @@ fn msg_with_idx(msg: CentralQueueMsg, idx: usize) -> CentralQueueMsg {
     }
 }
 
+impl ccq_sim::OnlineProtocol for CentralQueueProtocol {
+    fn issue(&mut self, api: &mut SimApi<CentralQueueMsg>, node: NodeId) {
+        self.issue_one(api, node);
+    }
+}
+
 impl Protocol for CentralQueueProtocol {
     type Msg = CentralQueueMsg;
 
     fn on_start(&mut self, api: &mut SimApi<CentralQueueMsg>) {
+        if self.defer_issue {
+            return;
+        }
         let requests = self.requests.clone();
         for v in requests {
-            if v == self.home {
-                // Local enqueue: no messages needed.
-                let pred = self.last;
-                self.last = v as u64;
-                api.complete(v, pred);
-            } else {
-                let route = self.to_home[v];
-                self.forward(api, v, CentralQueueMsg::Req { origin: v, route, idx: 0 });
-            }
+            self.issue_one(api, v);
         }
     }
 

@@ -34,6 +34,10 @@ pub struct CombiningQueueProtocol {
     children: Vec<Vec<NodeId>>,
     root: NodeId,
     nodes: Vec<NodeState>,
+    /// Deferred-issue mode: a requester holds its subtree's Up report until
+    /// its own operation has been injected.
+    defer_issue: bool,
+    issued: Vec<bool>,
 }
 
 impl CombiningQueueProtocol {
@@ -57,7 +61,27 @@ impl CombiningQueueProtocol {
             children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
             root: tree.root(),
             nodes,
+            defer_issue: false,
+            issued: vec![false; n],
         }
+    }
+
+    /// Deferred-issue mode (`on` = true): `on_start` starts the up phase
+    /// only at non-requesting leaves; a requester joins the wave when its
+    /// operation is injected via [`ccq_sim::OnlineProtocol::issue`]. The
+    /// single combining wave then completes once every scheduled request
+    /// has arrived — the batch protocol's honest behaviour under open
+    /// arrivals (early requesters wait for stragglers).
+    pub fn deferred(mut self, on: bool) -> Self {
+        self.defer_issue = on;
+        self
+    }
+
+    /// Whether `v` may report upward: all children in, and (in deferred
+    /// mode) its own request — if any — already injected.
+    fn ready(&self, v: NodeId) -> bool {
+        self.nodes[v].waiting == 0
+            && (!self.defer_issue || !self.nodes[v].requesting || self.issued[v])
     }
 
     /// Preorder requester list of `v`'s subtree (own request first).
@@ -117,12 +141,22 @@ impl CombiningQueueProtocol {
     }
 }
 
+impl ccq_sim::OnlineProtocol for CombiningQueueProtocol {
+    fn issue(&mut self, api: &mut SimApi<CombiningQueueMsg>, node: NodeId) {
+        debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
+        self.issued[node] = true;
+        if self.ready(node) {
+            self.aggregated(api, node);
+        }
+    }
+}
+
 impl Protocol for CombiningQueueProtocol {
     type Msg = CombiningQueueMsg;
 
     fn on_start(&mut self, api: &mut SimApi<CombiningQueueMsg>) {
         for v in 0..self.parent.len() {
-            if self.nodes[v].waiting == 0 {
+            if self.ready(v) {
                 self.aggregated(api, v);
             }
         }
@@ -143,7 +177,7 @@ impl Protocol for CombiningQueueProtocol {
                     .expect("Up from a non-child");
                 self.nodes[node].child_lists[slot] = list;
                 self.nodes[node].waiting -= 1;
-                if self.nodes[node].waiting == 0 {
+                if self.ready(node) {
                     self.aggregated(api, node);
                 }
             }

@@ -1,0 +1,362 @@
+//! Open-system arrivals: request-injection processes and the [`Paced`]
+//! wrapper that drives any [`OnlineProtocol`] from a schedule.
+//!
+//! The paper's one-shot scenario injects every request at round 0. An
+//! [`ArrivalProcess`] generalizes that to requests arriving *over time*:
+//! given the request set and a seed it produces a deterministic schedule
+//! `(issue round, node)` — one entry per requester, sorted by round. The
+//! sampling uses a private splitmix64 stream, so schedules are identical
+//! across runs, platforms and thread counts (rayon-safe by construction).
+//!
+//! [`Paced`] adapts a protocol that supports per-node injection
+//! ([`OnlineProtocol::issue`]) to such a schedule: it records each issue in
+//! the report (via [`SimApi::issue`], feeding completion-latency and
+//! backlog metrics) and wakes the otherwise-quiescent engine for future
+//! arrivals through [`Protocol::next_wakeup`].
+
+use crate::protocol::{Protocol, SimApi};
+use crate::report::mix64;
+use crate::Round;
+use ccq_graph::NodeId;
+
+/// A protocol whose operations can be injected one node at a time, after
+/// construction — the open-system counterpart of issuing everything in
+/// [`Protocol::on_start`].
+///
+/// Implementations are constructed with the *full* request set (routing
+/// tables and combining structure may depend on it) but in a deferred mode
+/// where `on_start` injects nothing; [`OnlineProtocol::issue`] then injects
+/// `node`'s operation at the current round.
+pub trait OnlineProtocol: Protocol {
+    /// Inject `node`'s operation now. `node` must belong to the request set
+    /// the protocol was constructed with, and must be issued at most once.
+    fn issue(&mut self, api: &mut SimApi<Self::Msg>, node: NodeId);
+}
+
+/// How requests arrive over time.
+///
+/// Every variant is a *closed-form deterministic sampler*: `schedule`
+/// maps (request set, seed) to issue rounds without shared state, so the
+/// same inputs give byte-identical schedules everywhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// All requests at round 0 — the paper's one-shot batch.
+    Batch,
+    /// Per-round Bernoulli thinning at `rate` arrivals/round (geometric
+    /// inter-arrival gaps — the discrete Poisson process). Requesters are
+    /// deterministically shuffled, then spaced by sampled gaps.
+    Poisson {
+        /// Expected arrivals per round, in `(0, 1]`.
+        rate: f64,
+    },
+    /// On/off bursts: arrivals follow the Poisson process at `rate` during
+    /// `on`-round bursts separated by `off` silent rounds.
+    Bursty {
+        /// Expected arrivals per active round, in `(0, 1]`.
+        rate: f64,
+        /// Burst length in rounds (≥ 1).
+        on: Round,
+        /// Gap between bursts in rounds.
+        off: Round,
+    },
+    /// Hotspot skew: arrival *order* is drawn without replacement with
+    /// Zipf(`s`) weights over the sorted request set (low-index requesters
+    /// cluster at the front), gaps are geometric at `rate` — the skewed
+    /// stress regime of priority-scheduling workloads.
+    Zipf {
+        /// Expected arrivals per round, in `(0, 1]`.
+        rate: f64,
+        /// Zipf exponent (> 0; larger = more skew).
+        s: f64,
+    },
+}
+
+/// Private deterministic RNG stream for arrival sampling.
+struct Stream {
+    state: u64,
+}
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        // Decorrelate nearby seeds before drawing.
+        Stream { state: mix64(seed, 0x6A09_E667_F3BC_C909, 0, 0) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state, 1, 2, 3)
+    }
+
+    /// Uniform in the open interval (0, 1).
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Geometric number of failure rounds before a success at probability
+    /// `p` — the inter-arrival gap of a per-round Bernoulli process.
+    fn next_gap(&mut self, p: f64) -> Round {
+        let p = p.clamp(1e-9, 1.0);
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.next_f64();
+        (u.ln() / (1.0 - p).ln()).floor() as Round
+    }
+
+    /// Deterministic Fisher–Yates shuffle.
+    fn shuffle(&mut self, v: &mut [NodeId]) {
+        for i in (1..v.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+    }
+}
+
+impl ArrivalProcess {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            ArrivalProcess::Batch => "batch".into(),
+            ArrivalProcess::Poisson { rate } => format!("poisson(rate={rate})"),
+            ArrivalProcess::Bursty { rate, on, off } => {
+                format!("bursty(rate={rate},on={on},off={off})")
+            }
+            ArrivalProcess::Zipf { rate, s } => format!("zipf(rate={rate},s={s})"),
+        }
+    }
+
+    /// Materialize the arrival schedule for `nodes` under `seed`: exactly
+    /// one `(issue round, node)` entry per requester, sorted by round
+    /// (ties keep arrival order). Deterministic in `(self, nodes, seed)`.
+    pub fn schedule(&self, nodes: &[NodeId], seed: u64) -> Vec<(Round, NodeId)> {
+        match *self {
+            ArrivalProcess::Batch => nodes.iter().map(|&v| (0, v)).collect(),
+            ArrivalProcess::Poisson { rate } => {
+                let mut order = nodes.to_vec();
+                let mut st = Stream::new(seed);
+                st.shuffle(&mut order);
+                Self::space_out(order, rate, &mut st, |t| t)
+            }
+            ArrivalProcess::Bursty { rate, on, off } => {
+                let on = on.max(1);
+                let mut order = nodes.to_vec();
+                let mut st = Stream::new(seed);
+                st.shuffle(&mut order);
+                // Gaps are sampled in *active* time, then mapped onto the
+                // on/off window structure.
+                Self::space_out(order, rate, &mut st, |t| (t / on) * (on + off) + (t % on))
+            }
+            ArrivalProcess::Zipf { rate, s } => {
+                let mut st = Stream::new(seed);
+                // Efraimidis–Spirakis weighted sampling without
+                // replacement: sort ascending by −ln(u)/w, weight of the
+                // i-th smallest node id ∝ 1/(i+1)^s.
+                let mut sorted = nodes.to_vec();
+                sorted.sort_unstable();
+                let mut keyed: Vec<(f64, NodeId)> = sorted
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let w = 1.0 / ((i + 1) as f64).powf(s.max(1e-6));
+                        (-st.next_f64().ln() / w, v)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let order: Vec<NodeId> = keyed.into_iter().map(|(_, v)| v).collect();
+                Self::space_out(order, rate, &mut st, |t| t)
+            }
+        }
+    }
+
+    /// Assign cumulative geometric gaps at `rate` to `order`, mapping each
+    /// cumulative active round through `warp` (identity for Poisson, the
+    /// on/off window for bursts).
+    fn space_out(
+        order: Vec<NodeId>,
+        rate: f64,
+        st: &mut Stream,
+        warp: impl Fn(Round) -> Round,
+    ) -> Vec<(Round, NodeId)> {
+        let mut t: Round = 0;
+        let mut out = Vec::with_capacity(order.len());
+        for (i, v) in order.into_iter().enumerate() {
+            if i > 0 {
+                t += st.next_gap(rate);
+            }
+            out.push((warp(t), v));
+        }
+        out
+    }
+}
+
+/// Drives an [`OnlineProtocol`] from an arrival schedule: each scheduled
+/// node is issued at its round (recorded via [`SimApi::issue`] so the
+/// report can compute completion latencies and backlog), and the engine is
+/// woken for arrivals past quiescence.
+pub struct Paced<P: OnlineProtocol> {
+    inner: P,
+    /// `(round, node)` sorted by round (ties keep schedule order).
+    schedule: Vec<(Round, NodeId)>,
+    next: usize,
+}
+
+impl<P: OnlineProtocol> Paced<P> {
+    /// Wrap `inner` (constructed in deferred mode) with `schedule`.
+    ///
+    /// # Panics
+    /// Panics if a node is scheduled twice.
+    pub fn new(inner: P, mut schedule: Vec<(Round, NodeId)>) -> Self {
+        schedule.sort_by_key(|&(r, _)| r);
+        let mut seen = std::collections::HashSet::new();
+        for &(_, v) in &schedule {
+            assert!(seen.insert(v), "node {v} scheduled twice");
+        }
+        Paced { inner, schedule, next: 0 }
+    }
+
+    /// The scheduled requesters, sorted by node id.
+    pub fn requesters(&self) -> Vec<NodeId> {
+        let mut r: Vec<NodeId> = self.schedule.iter().map(|&(_, v)| v).collect();
+        r.sort_unstable();
+        r
+    }
+
+    /// The wrapped protocol (for post-run state inspection).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn issue_due(&mut self, api: &mut SimApi<P::Msg>, now: Round) {
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= now {
+            let (_, v) = self.schedule[self.next];
+            self.next += 1;
+            api.issue(v);
+            self.inner.issue(api, v);
+        }
+    }
+}
+
+impl<P: OnlineProtocol> Protocol for Paced<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, api: &mut SimApi<P::Msg>) {
+        self.inner.on_start(api);
+        self.issue_due(api, 0);
+    }
+
+    fn on_message(&mut self, api: &mut SimApi<P::Msg>, node: NodeId, from: NodeId, msg: P::Msg) {
+        self.inner.on_message(api, node, from, msg);
+    }
+
+    fn on_round(&mut self, api: &mut SimApi<P::Msg>, round: Round) {
+        self.inner.on_round(api, round);
+        self.issue_due(api, round);
+    }
+
+    fn next_wakeup(&self) -> Option<Round> {
+        let scheduled = self.schedule.get(self.next).map(|&(r, _)| r);
+        match (scheduled, self.inner.next_wakeup()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n).collect()
+    }
+
+    fn check_complete(sched: &[(Round, NodeId)], n: usize) {
+        assert_eq!(sched.len(), n);
+        let mut seen: Vec<NodeId> = sched.iter().map(|&(_, v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, nodes(n));
+        assert!(sched.windows(2).all(|w| w[0].0 <= w[1].0), "rounds must be sorted");
+    }
+
+    #[test]
+    fn batch_is_all_zero() {
+        let s = ArrivalProcess::Batch.schedule(&nodes(7), 3);
+        check_complete(&s, 7);
+        assert!(s.iter().all(|&(r, _)| r == 0));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_complete() {
+        let p = ArrivalProcess::Poisson { rate: 0.25 };
+        let a = p.schedule(&nodes(40), 11);
+        let b = p.schedule(&nodes(40), 11);
+        assert_eq!(a, b);
+        check_complete(&a, 40);
+        // A different seed (almost surely) yields a different schedule.
+        let c = p.schedule(&nodes(40), 12);
+        assert_ne!(a, c);
+        // rate 1 ⇒ everything lands at round 0 (the batch special case).
+        let dense = ArrivalProcess::Poisson { rate: 1.0 }.schedule(&nodes(10), 5);
+        assert!(dense.iter().all(|&(r, _)| r == 0));
+    }
+
+    #[test]
+    fn poisson_rate_controls_spread() {
+        let slow = ArrivalProcess::Poisson { rate: 0.05 }.schedule(&nodes(50), 7);
+        let fast = ArrivalProcess::Poisson { rate: 0.9 }.schedule(&nodes(50), 7);
+        assert!(slow.last().unwrap().0 > fast.last().unwrap().0);
+    }
+
+    #[test]
+    fn bursty_respects_windows() {
+        let p = ArrivalProcess::Bursty { rate: 1.0, on: 3, off: 10 };
+        let s = p.schedule(&nodes(9), 1);
+        check_complete(&s, 9);
+        // rate 1 on 3-on/10-off: arrivals at rounds 0,1,2, 13,14,15, 26,…
+        for &(r, _) in &s {
+            assert!(r % 13 < 3, "round {r} falls in an off window");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_early_arrivals_to_low_ids() {
+        let p = ArrivalProcess::Zipf { rate: 0.5, s: 2.5 };
+        let mut early_front = 0usize;
+        for seed in 0..40 {
+            let s = p.schedule(&nodes(30), seed);
+            check_complete(&s, 30);
+            if s[0].1 < 5 {
+                early_front += 1;
+            }
+        }
+        // With s = 2.5 the first arrival is one of the 5 lowest ids far
+        // more often than the uniform 1/6 chance.
+        assert!(early_front > 20, "only {early_front}/40 skewed fronts");
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(ArrivalProcess::Batch.name(), "batch");
+        assert_eq!(ArrivalProcess::Poisson { rate: 0.2 }.name(), "poisson(rate=0.2)");
+        assert_eq!(
+            ArrivalProcess::Bursty { rate: 0.5, on: 4, off: 8 }.name(),
+            "bursty(rate=0.5,on=4,off=8)"
+        );
+        assert_eq!(ArrivalProcess::Zipf { rate: 0.2, s: 1.1 }.name(), "zipf(rate=0.2,s=1.1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled twice")]
+    fn paced_rejects_duplicates() {
+        struct Noop;
+        impl Protocol for Noop {
+            type Msg = ();
+            fn on_start(&mut self, _: &mut SimApi<()>) {}
+            fn on_message(&mut self, _: &mut SimApi<()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        impl OnlineProtocol for Noop {
+            fn issue(&mut self, _: &mut SimApi<()>, _: NodeId) {}
+        }
+        Paced::new(Noop, vec![(0, 1), (4, 1)]);
+    }
+}

@@ -1,19 +1,29 @@
 //! The round-based simulation engine.
 //!
 //! Execution of one round `t`:
-//! 1. **deliver** — each processor (in ascending id order) dequeues up to
+//! 1. **arrivals** — open-system protocols ([`crate::arrival::Paced`]) may
+//!    inject operations scheduled for round `t` via [`Protocol::on_round`];
+//! 2. **deliver** — each processor (in ascending id order) dequeues up to
 //!    `recv_budget` messages whose arrival round is ≤ `t` from its FIFO
 //!    in-port and hands each to [`Protocol::on_message`]; handlers may stage
 //!    new sends (into the processor's outbox) and completions;
-//! 2. **transmit** — each processor dequeues up to `send_budget` staged
+//! 3. **transmit** — each processor dequeues up to `send_budget` staged
 //!    messages from its outbox; each is placed on the wire and arrives at
-//!    the destination's in-port at round `t + 1`.
+//!    the destination's in-port at round `t + d`, where `d ≥ 1` is chosen
+//!    by the configured [`crate::LinkDelay`] policy.
 //!
-//! A message handled at round `t` can therefore be answered by a message
-//! that arrives at round `t + 1`: information travels at one hop per round,
-//! matching the paper's unit-delay links (Theorem 3.6's latency argument).
-//! Messages exceeding a budget wait in FIFO order — that waiting is the
-//! measured contention.
+//! **Generalized delivery rule.** Under [`crate::LinkDelay::Unit`] (the
+//! paper's model) `d = 1`: a message handled at round `t` can be answered
+//! by a message that arrives at round `t + 1`, so information travels one
+//! hop per round (Theorem 3.6's latency argument). `Fixed` and `PerLink`
+//! stretch `d` to a per-link constant — heterogeneous wires that remain
+//! FIFO by construction. `Jitter` draws `d` per message and the engine
+//! clamps each arrival to be no earlier than the previous arrival scheduled
+//! on the same directed link, so every wire stays a reliable FIFO channel
+//! (the §2.1 asynchronous regime, under which the paper's lower bounds
+//! still apply). Messages exceeding a budget wait in FIFO order — that
+//! waiting is the measured contention, and the engine records the deepest
+//! in-port/outbox queues plus the open-operation backlog high-water mark.
 
 use crate::protocol::{Protocol, SimApi};
 use crate::report::{SimConfig, SimReport};
@@ -58,17 +68,6 @@ struct Wire<M> {
     dst: NodeId,
     arrival: Round,
     msg: M,
-}
-
-/// Deterministic per-message hash (splitmix64) used for link jitter.
-fn jitter_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
-    let mut x = seed
-        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -164,15 +163,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                             peer: dst,
                         });
                     }
-                    let mut arrival = round + 1;
-                    if cfg.jitter_max > 0 {
-                        let extra = jitter_hash(
-                            cfg.jitter_seed,
-                            v as u64,
-                            dst as u64,
-                            report.messages_sent,
-                        ) % (cfg.jitter_max + 1);
-                        arrival += extra;
+                    let mut arrival = round + cfg.link_delay.delay_of(v, dst, report.messages_sent);
+                    if cfg.link_delay.varies_per_message() {
                         // FIFO per directed link: never overtake an earlier
                         // message on the same link.
                         let slot = link_last.entry((v, dst)).or_insert(0);
@@ -230,6 +222,18 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             outbox[from].push_back((to, msg));
             report.max_outbox_depth = report.max_outbox_depth.max(outbox[from].len());
         }
+        for i in api.issued.drain(..) {
+            debug_assert_eq!(i.round, round, "issue round mismatch");
+            report.issues.push(i);
+            if trace {
+                report.trace.push(TraceEvent {
+                    round,
+                    kind: TraceKind::Issue,
+                    node: i.node,
+                    peer: i.node,
+                });
+            }
+        }
         for c in api.completed.drain(..) {
             debug_assert_eq!(c.round, round, "completion round mismatch");
             report.completions.push(c);
@@ -242,6 +246,11 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 });
             }
         }
+        // Open-system backlog: operations issued but not yet completed
+        // (one-shot runs record no issues, so this stays 0 there).
+        report.backlog_high_water = report
+            .backlog_high_water
+            .max(report.issues.len().saturating_sub(report.completions.len()));
         Ok(())
     }
 }

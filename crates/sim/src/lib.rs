@@ -1,7 +1,12 @@
 //! Synchronous message-passing network simulator implementing the model of
-//! Busch & Tirthapura §2.1:
+//! Busch & Tirthapura §2.1, generalized to open-system workloads:
 //!
-//! * time proceeds in **rounds**; all links are reliable FIFO with delay 1;
+//! * time proceeds in **rounds**; all links are reliable FIFO, with delay 1
+//!   by default or a [`LinkDelay`] policy (per-link constants, seeded
+//!   per-message jitter — the §2.1 asynchronous regime);
+//! * requests may all start at round 0 (the paper's one-shot batch) or
+//!   arrive over time via an [`ArrivalProcess`] schedule driving a
+//!   [`Paced`] protocol;
 //! * per round, each processor may **send at most `B_s`** messages and
 //!   **receive at most `B_r`** messages (`B_s = B_r = 1` in the strict
 //!   model; `B_s = B_r = c` in the "expanded time step" model the paper uses
@@ -34,14 +39,16 @@
 //! assert_eq!(report.completions[0].round, 4); // one hop per round
 //! ```
 
+pub mod arrival;
 pub mod engine;
 pub mod protocol;
 pub mod report;
 pub mod trace;
 
+pub use arrival::{ArrivalProcess, OnlineProtocol, Paced};
 pub use engine::{SimError, Simulator};
 pub use protocol::{Protocol, SimApi};
-pub use report::{Completion, SimConfig, SimReport};
+pub use report::{Completion, Issue, LinkDelay, SimConfig, SimReport};
 pub use trace::{TraceEvent, TraceKind};
 
 /// Simulation time, in rounds (time steps of the synchronous model).

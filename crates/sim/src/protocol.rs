@@ -1,6 +1,6 @@
 //! The [`Protocol`] trait and the [`SimApi`] handed to its callbacks.
 
-use crate::report::Completion;
+use crate::report::{Completion, Issue};
 use crate::Round;
 use ccq_graph::NodeId;
 
@@ -50,11 +50,12 @@ pub struct SimApi<M> {
     round: Round,
     pub(crate) outgoing: Vec<(NodeId, NodeId, M)>,
     pub(crate) completed: Vec<Completion>,
+    pub(crate) issued: Vec<Issue>,
 }
 
 impl<M> SimApi<M> {
     pub(crate) fn new() -> Self {
-        SimApi { round: 0, outgoing: Vec::new(), completed: Vec::new() }
+        SimApi { round: 0, outgoing: Vec::new(), completed: Vec::new(), issued: Vec::new() }
     }
 
     pub(crate) fn set_round(&mut self, r: Round) {
@@ -78,6 +79,15 @@ impl<M> SimApi<M> {
     /// The delay recorded is the current round.
     pub fn complete(&mut self, node: NodeId, value: u64) {
         self.completed.push(Completion { node, value, round: self.round });
+    }
+
+    /// Record that `node` issued its operation now (open-system runs:
+    /// called by [`crate::arrival::Paced`] alongside
+    /// [`crate::arrival::OnlineProtocol::issue`]). Feeds the report's
+    /// completion-latency and backlog metrics; one-shot protocols never
+    /// call this and their operations implicitly issue at round 0.
+    pub fn issue(&mut self, node: NodeId) {
+        self.issued.push(Issue { node, round: self.round });
     }
 }
 

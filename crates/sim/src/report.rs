@@ -5,6 +5,99 @@ use crate::Round;
 use ccq_graph::NodeId;
 use serde::Serialize;
 
+/// Deterministic splitmix64-style mix used for link delays (and by
+/// [`crate::arrival`] for arrival sampling): three inputs, one well-mixed
+/// 64-bit output. Stable across runs, platforms and thread counts.
+pub(crate) fn mix64(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-link message delivery delay policy.
+///
+/// The paper's base model has unit-delay wires: a message transmitted at
+/// round `t` arrives at round `t + 1`. `LinkDelay` generalizes that rule
+/// while keeping every directed link a reliable FIFO channel (the regime
+/// under which the paper's lower bounds still apply):
+///
+/// * [`LinkDelay::Unit`] — the paper's synchronous model, delay 1;
+/// * [`LinkDelay::Fixed`] — every link takes the same constant `delay`;
+/// * [`LinkDelay::PerLink`] — each directed link draws a constant delay in
+///   `1..=max` (deterministic hash of the endpoints under `seed`):
+///   heterogeneous wires, still trivially FIFO;
+/// * [`LinkDelay::Jitter`] — each *message* takes `1 + U[0, max]` rounds
+///   (deterministic per-message hash), clamped so no message overtakes an
+///   earlier one on the same directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LinkDelay {
+    /// Every transmission takes exactly one round (the paper's model).
+    #[default]
+    Unit,
+    /// Every transmission takes `delay` rounds (`delay ≥ 1`).
+    Fixed {
+        /// Rounds per hop on every link.
+        delay: Round,
+    },
+    /// Each directed link has a constant delay drawn from `1..=max` by a
+    /// deterministic hash of its endpoints under `seed`.
+    PerLink {
+        /// Largest per-link delay (`≥ 1`).
+        max: Round,
+        /// Seed for the per-link draw.
+        seed: u64,
+    },
+    /// Each message takes `1 + U[0, max]` rounds, FIFO-clamped per link.
+    Jitter {
+        /// Maximum extra per-message delay.
+        max: Round,
+        /// Seed for the per-message hash.
+        seed: u64,
+    },
+}
+
+impl LinkDelay {
+    /// Delay (≥ 1) of the `msg_idx`-th transmission over `src → dst`.
+    pub fn delay_of(&self, src: NodeId, dst: NodeId, msg_idx: u64) -> Round {
+        match *self {
+            LinkDelay::Unit => 1,
+            LinkDelay::Fixed { delay } => delay.max(1),
+            LinkDelay::PerLink { max, seed } => {
+                if max <= 1 {
+                    1
+                } else {
+                    1 + mix64(seed, src as u64, dst as u64, 0) % max
+                }
+            }
+            LinkDelay::Jitter { max, seed } => {
+                // saturating_add keeps `max = u64::MAX` from wrapping the
+                // modulus to zero.
+                1 + mix64(seed, src as u64, dst as u64, msg_idx) % max.saturating_add(1).max(1)
+            }
+        }
+    }
+
+    /// Whether delays vary per message on one link, requiring the engine's
+    /// FIFO clamp (constant-per-link policies are FIFO by construction).
+    pub fn varies_per_message(&self) -> bool {
+        matches!(self, LinkDelay::Jitter { max, .. } if *max > 0)
+    }
+
+    /// Display name, used by sweeps and the CLI.
+    pub fn name(&self) -> String {
+        match *self {
+            LinkDelay::Unit => "unit".into(),
+            LinkDelay::Fixed { delay } => format!("fixed(d={delay})"),
+            LinkDelay::PerLink { max, seed } => format!("perlink(max={max},seed={seed})"),
+            LinkDelay::Jitter { max, seed } => format!("jitter(max={max},seed={seed})"),
+        }
+    }
+}
+
 /// Per-round send/receive budgets and accounting options.
 ///
 /// * [`SimConfig::strict`] is the paper's base model (§2.1): one send and
@@ -25,14 +118,10 @@ pub struct SimConfig {
     pub max_rounds: Round,
     /// Record a full event trace in the report.
     pub trace: bool,
-    /// Maximum extra per-message link delay (0 = the synchronous model).
-    /// When positive, each transmission takes `1 + U[0, jitter_max]` rounds
-    /// (deterministic per-message hash), clamped so each directed link
-    /// stays FIFO — the paper's §2.1 "asynchronous" regime, under which its
-    /// lower bounds still apply.
-    pub jitter_max: Round,
-    /// Seed for the per-message jitter hash.
-    pub jitter_seed: u64,
+    /// Per-link delivery delay policy ([`LinkDelay::Unit`] = the paper's
+    /// synchronous model; the other policies are the §2.1 "asynchronous"
+    /// regime, under which the paper's lower bounds still apply).
+    pub link_delay: LinkDelay,
 }
 
 impl SimConfig {
@@ -44,8 +133,7 @@ impl SimConfig {
             delay_scale: 1,
             max_rounds: 100_000_000,
             trace: false,
-            jitter_max: 0,
-            jitter_seed: 0,
+            link_delay: LinkDelay::Unit,
         }
     }
 
@@ -69,10 +157,15 @@ impl SimConfig {
     }
 
     /// Builder-style: add asynchronous link jitter of up to `max` extra
-    /// rounds per message (deterministic under `seed`).
-    pub fn with_jitter(mut self, max: Round, seed: u64) -> Self {
-        self.jitter_max = max;
-        self.jitter_seed = seed;
+    /// rounds per message (deterministic under `seed`). Shorthand for
+    /// [`SimConfig::with_link_delay`] with [`LinkDelay::Jitter`].
+    pub fn with_jitter(self, max: Round, seed: u64) -> Self {
+        self.with_link_delay(LinkDelay::Jitter { max, seed })
+    }
+
+    /// Builder-style: set the per-link delivery delay policy.
+    pub fn with_link_delay(mut self, delay: LinkDelay) -> Self {
+        self.link_delay = delay;
         self
     }
 }
@@ -91,6 +184,17 @@ pub struct Completion {
     /// Protocol-defined result (a count, or an encoded predecessor id).
     pub value: u64,
     /// Round at which the operation completed (unscaled).
+    pub round: Round,
+}
+
+/// One issued operation (recorded by open-system pacing via
+/// [`crate::SimApi::issue`]; one-shot protocols record none — their
+/// operations implicitly issue at round 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Issue {
+    /// Processor that issued the operation.
+    pub node: NodeId,
+    /// Round at which it issued (unscaled).
     pub round: Round,
 }
 
@@ -115,6 +219,13 @@ pub struct SimReport {
     /// Messages delivered to each processor (length n) — the contention
     /// profile; on the star this is all hub.
     pub received_by_node: Vec<u64>,
+    /// Operation issue events, in issue order (empty for one-shot runs:
+    /// every operation then implicitly issues at round 0).
+    pub issues: Vec<Issue>,
+    /// Largest number of simultaneously open operations (issued, not yet
+    /// completed) observed — the open-system backlog high-water mark.
+    /// 0 for one-shot runs (no issue events are recorded).
+    pub backlog_high_water: usize,
     /// Event trace (only when [`SimConfig::trace`] was set).
     pub trace: Vec<TraceEvent>,
 }
@@ -195,6 +306,43 @@ impl SimReport {
         }
         d
     }
+
+    /// Round at which `node` issued its operation (0 when no issue event
+    /// was recorded — the one-shot convention).
+    pub fn issue_round(&self, node: NodeId) -> Round {
+        self.issues.iter().find(|i| i.node == node).map_or(0, |i| i.round)
+    }
+
+    /// Scaled completion latency of each completed operation, in completion
+    /// order: `(completion round − issue round) × delay_scale`. For
+    /// one-shot runs (no issue events) this equals the per-operation delay.
+    pub fn latencies(&self) -> Vec<u64> {
+        let issue: std::collections::HashMap<NodeId, Round> =
+            self.issues.iter().map(|i| (i.node, i.round)).collect();
+        self.completions
+            .iter()
+            .map(|c| (c.round - issue.get(&c.node).copied().unwrap_or(0)) * self.delay_scale)
+            .collect()
+    }
+
+    /// Nearest-rank percentile of the scaled completion latencies (`q` in
+    /// `[0, 1]`; 0 when no operation completed).
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let mut l = self.latencies();
+        if l.is_empty() {
+            return 0;
+        }
+        l.sort_unstable();
+        let rank = ((q * l.len() as f64).ceil() as usize).clamp(1, l.len());
+        l[rank - 1]
+    }
+
+    /// Completed operations per (unscaled) round over the whole execution
+    /// (`rounds + 1` counts round 0) — the steady-state throughput measure.
+    pub fn throughput(&self) -> f64 {
+        self.completions.len() as f64 / (self.rounds + 1) as f64
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +381,73 @@ mod tests {
         assert_eq!(rep.total_delay(), 0);
         assert_eq!(rep.max_delay(), 0);
         assert_eq!(rep.mean_delay(), 0.0);
+        assert_eq!(rep.latency_percentile(0.99), 0);
+        assert_eq!(rep.throughput(), 0.0);
+    }
+
+    #[test]
+    fn link_delay_policies() {
+        assert_eq!(LinkDelay::Unit.delay_of(0, 1, 7), 1);
+        assert_eq!(LinkDelay::Fixed { delay: 3 }.delay_of(5, 6, 1), 3);
+        assert_eq!(LinkDelay::Fixed { delay: 0 }.delay_of(5, 6, 1), 1);
+        let pl = LinkDelay::PerLink { max: 4, seed: 9 };
+        for (a, b) in [(0, 1), (1, 0), (3, 7)] {
+            let d = pl.delay_of(a, b, 0);
+            assert!((1..=4).contains(&d));
+            // Constant per link: independent of the message index.
+            assert_eq!(d, pl.delay_of(a, b, 99));
+        }
+        let j = LinkDelay::Jitter { max: 5, seed: 2 };
+        for i in 0..20 {
+            assert!((1..=6).contains(&j.delay_of(0, 1, i)));
+        }
+        assert!(j.varies_per_message());
+        assert!(!LinkDelay::Jitter { max: 0, seed: 2 }.varies_per_message());
+        assert!(!pl.varies_per_message());
+        assert!(!LinkDelay::Unit.varies_per_message());
+        assert_eq!(LinkDelay::Unit.name(), "unit");
+        assert_eq!(LinkDelay::Fixed { delay: 2 }.name(), "fixed(d=2)");
+        assert_eq!(pl.name(), "perlink(max=4,seed=9)");
+        assert_eq!(j.name(), "jitter(max=5,seed=2)");
+    }
+
+    #[test]
+    fn latency_uses_issue_rounds() {
+        let rep = SimReport {
+            delay_scale: 2,
+            completions: vec![
+                Completion { node: 0, value: 1, round: 10 },
+                Completion { node: 1, value: 2, round: 12 },
+                Completion { node: 2, value: 3, round: 30 },
+            ],
+            issues: vec![
+                Issue { node: 0, round: 4 },
+                Issue { node: 1, round: 10 },
+                Issue { node: 2, round: 10 },
+            ],
+            rounds: 30,
+            ..Default::default()
+        };
+        // Latencies: (10−4)·2 = 12, (12−10)·2 = 4, (30−10)·2 = 40.
+        assert_eq!(rep.latencies(), vec![12, 4, 40]);
+        assert_eq!(rep.latency_percentile(0.5), 12);
+        assert_eq!(rep.latency_percentile(0.99), 40);
+        assert_eq!(rep.issue_round(1), 10);
+        assert_eq!(rep.issue_round(9), 0);
+        assert!((rep.throughput() - 3.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_shot_latency_equals_delay() {
+        let rep = SimReport {
+            delay_scale: 1,
+            completions: vec![
+                Completion { node: 0, value: 1, round: 3 },
+                Completion { node: 1, value: 2, round: 7 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(rep.latencies(), vec![3, 7]);
+        assert_eq!(rep.latency_percentile(1.0), rep.max_delay());
     }
 }

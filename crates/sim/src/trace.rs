@@ -7,6 +7,8 @@ use serde::Serialize;
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum TraceKind {
+    /// An operation was injected (open-system arrivals only).
+    Issue,
     /// A message left its sender and is on the wire.
     Transmit,
     /// A message was dequeued by its receiver and handed to the protocol.
@@ -33,6 +35,7 @@ pub struct TraceEvent {
 impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
+            TraceKind::Issue => write!(f, "[r{:>4}] {} ⊕ issue", self.round, self.node),
             TraceKind::Transmit => {
                 write!(f, "[r{:>4}] {} ──▶ {}", self.round, self.node, self.peer)
             }

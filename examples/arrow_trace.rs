@@ -32,6 +32,7 @@ fn main() {
             last_round = ev.round;
         }
         match ev.kind {
+            TraceKind::Issue => println!("  ⊕ node {} issues its operation", ev.node),
             TraceKind::Transmit => println!("  queue() message {} ──▶ {}", ev.node, ev.peer),
             TraceKind::Deliver => println!("  node {} receives from {}", ev.node, ev.peer),
             TraceKind::Complete => println!("  ✓ operation of node {} completes", ev.node),

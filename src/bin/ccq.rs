@@ -7,11 +7,12 @@
 //! ccq run --exp t4[,t9,...]|all [--full]
 //!     Run experiment drivers and print their tables.
 //!
-//! ccq sweep --topo <topos> [--proto <protos>] [--modes <modes>]
-//!           [--pattern <patterns>] [--repeats N] [--seed S]
-//!           [--json -|PATH] [--pretty]
+//! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
+//!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
+//!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
-//!     `--json` (`-` writes JSON to stdout and nothing else).
+//!     `--json` (`-` writes JSON to stdout and nothing else). Without
+//!     `--topo` the sweep runs on the default pair mesh2d:8 + torus2d:4.
 //!
 //! Topologies:  name[:param[:param...]] — e.g. mesh2d:8, complete:256,
 //!              tree:2:5, random-regular:64:4:7. Bare names use defaults.
@@ -20,6 +21,11 @@
 //! Modes:       paper (default: queuing expanded, counting strict) or a
 //!              list from strict,expanded.
 //! Patterns:    all | random:<density>[:seed] | tail:<count>
+//! Arrivals:    oneshot | poisson:rate=R[:seed=S]
+//!              | bursty:rate=R:on=N:off=N[:seed=S]
+//!              | hotspot:rate=R[:s=E][:seed=S]
+//! Delays:      unit | fixed:d=N | perlink:max=N[:seed=S]
+//!              | jitter:max=N[:seed=S]
 //! ```
 
 use ccq_repro::core::experiments::{self, Scale};
@@ -52,14 +58,15 @@ ccq — counting vs queuing harness
 usage:
   ccq list                          show experiments, protocols, topologies
   ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
-  ccq sweep --topo <topos> [--proto <protos>] [--modes paper|strict,expanded]
-            [--pattern <patterns>] [--repeats N] [--seed S]
-            [--json -|PATH] [--pretty]
+  ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
+            [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
+            [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 
 examples:
   ccq run --exp t4
   ccq sweep --topo mesh2d --proto arrow,central-counter --json -
   ccq sweep --topo complete:256,hypercube:8 --proto queuing --repeats 3
+  ccq sweep --arrival poisson:rate=0.2 --delay jitter:max=3 --json -
 ";
 
 fn cmd_list() -> i32 {
@@ -81,6 +88,14 @@ fn cmd_list() -> i32 {
         println!("  {syntax:<38} {desc}");
     }
     println!("\npatterns: all | random:<density>[:seed] | tail:<count>");
+    println!(
+        "\narrivals (ccq sweep --arrival): oneshot | poisson:rate=R[:seed=S] | \
+         bursty:rate=R:on=N:off=N[:seed=S] | hotspot:rate=R[:s=E][:seed=S]"
+    );
+    println!(
+        "delays (ccq sweep --delay): unit | fixed:d=N | perlink:max=N[:seed=S] | \
+         jitter:max=N[:seed=S]"
+    );
     0
 }
 
@@ -142,6 +157,8 @@ struct SweepArgs {
     protos: Vec<Box<dyn ProtocolSpec>>,
     modes: Option<Vec<ModelMode>>,
     patterns: Vec<RequestPattern>,
+    arrivals: Vec<ArrivalSpec>,
+    delays: Vec<LinkDelay>,
     repeats: usize,
     seed: u64,
     json: Option<String>,
@@ -156,6 +173,8 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let mut plan = RunPlan::new()
         .topologies(parsed.topos)
         .patterns(parsed.patterns)
+        .arrivals(parsed.arrivals)
+        .delays(parsed.delays)
         .repeats(parsed.repeats)
         .seed(parsed.seed);
     for p in &parsed.protos {
@@ -201,6 +220,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         protos: Vec::new(),
         modes: None,
         patterns: Vec::new(),
+        arrivals: Vec::new(),
+        delays: Vec::new(),
         repeats: 1,
         seed: 0,
         json: None,
@@ -241,6 +262,16 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                     out.patterns.push(parse_pattern(tok)?);
                 }
             }
+            "--arrival" => {
+                for tok in value("--arrival")?.split(',') {
+                    out.arrivals.push(parse_arrival(tok)?);
+                }
+            }
+            "--delay" => {
+                for tok in value("--delay")?.split(',') {
+                    out.delays.push(parse_delay(tok)?);
+                }
+            }
             "--repeats" => {
                 out.repeats = value("--repeats")?
                     .parse()
@@ -256,12 +287,151 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         }
     }
     if out.topos.is_empty() {
-        return Err("ccq sweep requires --topo (see `ccq list`)".into());
+        // Default pair: one mesh, one beyond-paper torus — so open-system
+        // sweeps exercise at least two topologies out of the box.
+        out.topos.push(TopoSpec::Mesh2D { side: 8 });
+        out.topos.push(TopoSpec::Torus2D { side: 4 });
     }
     if out.patterns.is_empty() {
         out.patterns.push(RequestPattern::All);
     }
+    if out.arrivals.is_empty() {
+        out.arrivals.push(ArrivalSpec::OneShot);
+    }
+    if out.delays.is_empty() {
+        out.delays.push(LinkDelay::Unit);
+    }
     Ok(out)
+}
+
+/// Split `key=value` parameters of a spec token, validating keys against
+/// `allowed` so error messages can name the offending field.
+fn kv_params<'a>(
+    token: &'a str,
+    parts: &[&'a str],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out = Vec::new();
+    for part in parts {
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(format!("expected key=value, got `{part}` in `{token}`"));
+        };
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown field `{key}` in `{token}` (expected one of: {})",
+                allowed.join(", ")
+            ));
+        }
+        if out.iter().any(|&(k, _)| k == key) {
+            return Err(format!("field `{key}` given twice in `{token}`"));
+        }
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+/// Parse one field of a key=value spec, naming the field on failure.
+fn field<T: std::str::FromStr>(
+    token: &str,
+    params: &[(&str, &str)],
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match params.iter().find(|&&(k, _)| k == key) {
+        Some(&(_, raw)) => {
+            raw.parse().map_err(|_| format!("bad value `{raw}` for field `{key}` in `{token}`"))
+        }
+        None => default.ok_or_else(|| format!("missing required field `{key}` in `{token}`")),
+    }
+}
+
+fn check_rate(token: &str, rate: f64) -> Result<f64, String> {
+    if rate > 0.0 && rate <= 1.0 {
+        Ok(rate)
+    } else {
+        Err(format!("field `rate` must be in (0, 1], got {rate} in `{token}`"))
+    }
+}
+
+fn parse_arrival(token: &str) -> Result<ArrivalSpec, String> {
+    let parts: Vec<&str> = token.split(':').collect();
+    match parts[0] {
+        "oneshot" | "batch" => {
+            kv_params(token, &parts[1..], &[])?;
+            Ok(ArrivalSpec::OneShot)
+        }
+        "poisson" => {
+            let p = kv_params(token, &parts[1..], &["rate", "seed"])?;
+            Ok(ArrivalSpec::Poisson {
+                rate: check_rate(token, field(token, &p, "rate", None)?)?,
+                seed: field(token, &p, "seed", Some(1))?,
+            })
+        }
+        "bursty" => {
+            let p = kv_params(token, &parts[1..], &["rate", "on", "off", "seed"])?;
+            Ok(ArrivalSpec::Bursty {
+                rate: check_rate(token, field(token, &p, "rate", None)?)?,
+                on: check_bound(token, "on", field(token, &p, "on", None)?, 1)?,
+                off: check_bound(token, "off", field(token, &p, "off", None)?, 0)?,
+                seed: field(token, &p, "seed", Some(1))?,
+            })
+        }
+        "hotspot" | "zipf" => {
+            let p = kv_params(token, &parts[1..], &["rate", "s", "seed"])?;
+            Ok(ArrivalSpec::Hotspot {
+                rate: check_rate(token, field(token, &p, "rate", None)?)?,
+                s: field(token, &p, "s", Some(1.1))?,
+                seed: field(token, &p, "seed", Some(1))?,
+            })
+        }
+        other => Err(format!(
+            "unknown arrival `{other}` (oneshot | poisson:rate=R[:seed=S] | \
+             bursty:rate=R:on=N:off=N[:seed=S] | hotspot:rate=R[:s=E][:seed=S])"
+        )),
+    }
+}
+
+/// Largest per-hop delay the CLI accepts — big enough for any plausible
+/// heterogeneity study, small enough that round arithmetic cannot overflow.
+const MAX_CLI_DELAY: u64 = 1_000_000;
+
+fn check_bound(token: &str, key: &str, v: u64, min: u64) -> Result<u64, String> {
+    if v < min {
+        Err(format!("field `{key}` must be ≥ {min} in `{token}`"))
+    } else if v > MAX_CLI_DELAY {
+        Err(format!("field `{key}` must be ≤ {MAX_CLI_DELAY} in `{token}`"))
+    } else {
+        Ok(v)
+    }
+}
+
+fn parse_delay(token: &str) -> Result<LinkDelay, String> {
+    let parts: Vec<&str> = token.split(':').collect();
+    match parts[0] {
+        "unit" => {
+            kv_params(token, &parts[1..], &[])?;
+            Ok(LinkDelay::Unit)
+        }
+        "fixed" => {
+            let p = kv_params(token, &parts[1..], &["d"])?;
+            let d = check_bound(token, "d", field(token, &p, "d", None)?, 1)?;
+            Ok(LinkDelay::Fixed { delay: d })
+        }
+        "perlink" => {
+            let p = kv_params(token, &parts[1..], &["max", "seed"])?;
+            let max = check_bound(token, "max", field(token, &p, "max", None)?, 1)?;
+            Ok(LinkDelay::PerLink { max, seed: field(token, &p, "seed", Some(1))? })
+        }
+        "jitter" => {
+            let p = kv_params(token, &parts[1..], &["max", "seed"])?;
+            let max = check_bound(token, "max", field(token, &p, "max", None)?, 0)?;
+            Ok(LinkDelay::Jitter { max, seed: field(token, &p, "seed", Some(1))? })
+        }
+        other => Err(format!(
+            "unknown delay `{other}` (unit | fixed:d=N | perlink:max=N[:seed=S] | \
+             jitter:max=N[:seed=S])"
+        )),
+    }
 }
 
 /// Largest processor count the CLI will build — keeps typos like

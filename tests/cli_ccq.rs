@@ -72,6 +72,62 @@ fn run_executes_an_experiment_driver() {
 }
 
 #[test]
+fn open_system_sweep_reports_latency_percentiles() {
+    // The acceptance command: no --topo (defaults to two topologies), all
+    // registry protocols, Poisson arrivals on jittered links, JSON out.
+    let out =
+        ccq(&["sweep", "--arrival", "poisson:rate=0.2", "--delay", "jitter:max=3", "--json", "-"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(stdout.trim()).expect("pure JSON stdout");
+    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    // All 9 registry protocols on the 2 default topologies.
+    assert_eq!(cases.len(), 18);
+    let topologies: std::collections::BTreeSet<&str> =
+        cases.iter().map(|c| c.get("topology").unwrap().as_str().unwrap()).collect();
+    assert!(topologies.len() >= 2, "expected ≥ 2 topologies, got {topologies:?}");
+    let protocols: std::collections::BTreeSet<&str> =
+        cases.iter().map(|c| c.get("protocol").unwrap().as_str().unwrap()).collect();
+    assert_eq!(protocols.len(), 9, "expected all registry protocols, got {protocols:?}");
+    for case in cases {
+        assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true));
+        assert!(case.get("arrival").unwrap().as_str().unwrap().starts_with("poisson"));
+        assert!(case.get("delay").unwrap().as_str().unwrap().starts_with("jitter"));
+        assert!(case.get("throughput").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let p50 = case.get("latency_p50").and_then(|v| v.as_u64()).unwrap();
+        let p95 = case.get("latency_p95").and_then(|v| v.as_u64()).unwrap();
+        let p99 = case.get("latency_p99").and_then(|v| v.as_u64()).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "unordered percentiles: {case:?}");
+        assert!(case.get("backlog").and_then(|v| v.as_u64()).unwrap() > 0);
+    }
+}
+
+#[test]
+fn malformed_arrival_and_delay_specs_fail_loudly() {
+    // Every bad spec must exit non-zero with a message naming the bad field.
+    let checks = [
+        (vec!["sweep", "--arrival", "poisson:rate=oops"], "rate"),
+        (vec!["sweep", "--arrival", "poisson"], "rate"),
+        (vec!["sweep", "--arrival", "poisson:rate=7"], "rate"),
+        (vec!["sweep", "--arrival", "bursty:rate=0.5:on=4"], "off"),
+        (vec!["sweep", "--arrival", "hotspot:rate=0.2:zipf=2"], "zipf"),
+        (vec!["sweep", "--arrival", "warp-drive"], "unknown arrival"),
+        (vec!["sweep", "--delay", "jitter:max="], "max"),
+        (vec!["sweep", "--delay", "jitter:max=18446744073709551615"], "max"),
+        (vec!["sweep", "--delay", "jitter:wobble=3"], "wobble"),
+        (vec!["sweep", "--delay", "fixed:d=0"], "d"),
+        (vec!["sweep", "--delay", "molasses"], "unknown delay"),
+        (vec!["sweep", "--arrival", "bursty:rate=0.5:on=0:off=4"], "on"),
+    ];
+    for (args, needle) in checks {
+        let out = ccq(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
+    }
+}
+
+#[test]
 fn unknown_inputs_fail_loudly() {
     let bad_proto = ccq(&["sweep", "--topo", "mesh2d", "--proto", "nope"]);
     assert_eq!(bad_proto.status.code(), Some(2));

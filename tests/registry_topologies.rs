@@ -50,6 +50,66 @@ fn registry_covers_both_kinds_on_extended_topologies() {
 }
 
 #[test]
+fn every_registry_entry_verifies_under_open_arrivals() {
+    // One open-system arrival case per protocol: cycle through the three
+    // open processes so each protocol faces at least one of them on each
+    // beyond-paper topology, with outputs checked by the existing verify
+    // hooks inside run_spec.
+    let arrivals = [
+        ArrivalSpec::Poisson { rate: 0.3, seed: 11 },
+        ArrivalSpec::Bursty { rate: 0.7, on: 6, off: 12, seed: 11 },
+        ArrivalSpec::Hotspot { rate: 0.3, s: 1.4, seed: 11 },
+    ];
+    for spec in beyond_paper_topologies() {
+        for (i, proto) in registry().iter().enumerate() {
+            let arrival = arrivals[i % arrivals.len()].clone();
+            let s = Scenario::build_with(spec.clone(), RequestPattern::All, arrival.clone());
+            let out = run_spec(*proto, &s, ModelMode::Strict).unwrap_or_else(|e| {
+                panic!("{} on {} under {}: {e}", proto.name(), spec.name(), arrival.name())
+            });
+            let ctx = format!("{} on {} under {}", proto.name(), spec.name(), arrival.name());
+            assert_eq!(out.order.len(), s.k(), "{ctx}: wrong order length");
+            // Open-system accounting: one issue event per requester, a
+            // positive backlog, and ordered latency percentiles.
+            assert_eq!(out.report.issues.len(), s.k(), "{ctx}: missing issue events");
+            assert!(out.report.backlog_high_water > 0, "{ctx}: no backlog observed");
+            let (p50, p95, p99) = (
+                out.report.latency_percentile(0.50),
+                out.report.latency_percentile(0.95),
+                out.report.latency_percentile(0.99),
+            );
+            assert!(p50 <= p95 && p95 <= p99, "{ctx}: unordered percentiles");
+            assert!(out.report.throughput() > 0.0, "{ctx}: zero throughput");
+        }
+    }
+}
+
+#[test]
+fn open_arrivals_with_delayed_links_still_verify() {
+    // The full open-system matrix in miniature: every protocol, one open
+    // arrival, every delay policy, via the sweep API.
+    let set = RunPlan::new()
+        .topologies(beyond_paper_topologies())
+        .arrivals([ArrivalSpec::Poisson { rate: 0.4, seed: 3 }])
+        .delays([
+            LinkDelay::Unit,
+            LinkDelay::Fixed { delay: 2 },
+            LinkDelay::PerLink { max: 3, seed: 5 },
+            LinkDelay::Jitter { max: 3, seed: 5 },
+        ])
+        .execute();
+    assert_eq!(set.cases.len(), 2 * registry().len() * 4);
+    for case in &set.cases {
+        assert!(
+            case.ok,
+            "{} on {} ({} / {}): {:?}",
+            case.protocol, case.topology, case.arrival, case.delay, case.error
+        );
+        assert!(case.latency_p50 <= case.latency_p95 && case.latency_p95 <= case.latency_p99);
+    }
+}
+
+#[test]
 fn subset_requests_verify_on_extended_topologies() {
     // Partial request sets exercise the rank/order checks differently.
     for spec in beyond_paper_topologies() {

@@ -66,6 +66,65 @@ fn json_documents_every_case_with_metrics() {
     assert_eq!(summaries.len(), 12, "one summary per (topology, pattern, repeat)");
 }
 
+fn open_plan() -> RunPlan {
+    RunPlan::new()
+        .topologies([TopoSpec::Mesh2D { side: 4 }, TopoSpec::Torus2D { side: 3 }])
+        .protocol(&protocol::Arrow)
+        .protocol(&protocol::CentralCounter)
+        .protocol(&protocol::CombiningTree)
+        .arrivals([
+            ArrivalSpec::Poisson { rate: 0.3, seed: 2 },
+            ArrivalSpec::Hotspot { rate: 0.4, s: 1.2, seed: 2 },
+        ])
+        .delays([LinkDelay::Unit, LinkDelay::Jitter { max: 3, seed: 8 }])
+        .repeats(2)
+        .seed(42)
+}
+
+#[test]
+fn open_system_sweeps_are_byte_identical_at_fixed_seed() {
+    let first = open_plan().execute().to_json();
+    let second = open_plan().execute().to_json();
+    assert_eq!(first, second, "same open-system plan, same seed → byte-identical JSON");
+    // The new percentile fields are part of the stable document.
+    for field in ["latency_p50", "latency_p95", "latency_p99", "throughput", "backlog"] {
+        assert!(first.contains(field), "JSON misses `{field}`");
+    }
+    let pretty_a = open_plan().execute().to_json_pretty();
+    let pretty_b = open_plan().execute().to_json_pretty();
+    assert_eq!(pretty_a, pretty_b);
+}
+
+#[test]
+fn open_system_sweeps_react_to_the_plan_seed() {
+    let case_data = |set: &RunSet| -> Vec<(usize, u64, u64)> {
+        set.cases.iter().map(|c| (c.k, c.total_delay, c.latency_p99)).collect()
+    };
+    let a = case_data(&open_plan().execute());
+    let b = case_data(&open_plan().seed(43).execute());
+    assert!(!a.is_empty());
+    assert_ne!(a, b, "open-system repeats must react to the plan seed");
+}
+
+#[test]
+fn open_system_json_documents_every_case() {
+    let set = open_plan().execute();
+    // 2 topologies × 2 arrivals × 2 repeats × 3 protocols (paper mode) × 2 delays.
+    assert_eq!(set.cases.len(), 48);
+    let doc = serde_json::from_str(&set.to_json()).expect("valid JSON");
+    let cases = doc.get("cases").and_then(|c| c.as_array()).expect("cases array");
+    assert_eq!(cases.len(), 48);
+    for case in cases {
+        assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true), "{case:?}");
+        let p50 = case.get("latency_p50").and_then(|v| v.as_u64()).unwrap();
+        let p99 = case.get("latency_p99").and_then(|v| v.as_u64()).unwrap();
+        assert!(p50 <= p99);
+        assert!(case.get("metrics").unwrap().get("backlog_high_water").is_some());
+    }
+    let summaries = doc.get("summaries").and_then(|s| s.as_array()).unwrap();
+    assert_eq!(summaries.len(), 16, "one summary per (topology, arrival, repeat, delay)");
+}
+
 #[test]
 fn repeats_rerun_identically_for_fixed_patterns() {
     let set = RunPlan::new()
