@@ -1,0 +1,106 @@
+//! Criterion: engine hot loop — single-fabric vs sharded executor on a
+//! large torus, for both a queuing and a counting protocol.
+//!
+//! Besides the criterion console output, this bench writes a machine-
+//! readable `BENCH_engine.json` (path override: `CCQ_BENCH_OUT`) with one
+//! mean wall time per configuration, so CI can archive engine-throughput
+//! trends next to the sweep artifacts.
+
+use ccq_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured configuration, serialized into `BENCH_engine.json`.
+#[derive(Serialize)]
+struct Sample {
+    bench: String,
+    protocol: String,
+    topology: String,
+    shards: String,
+    iters: u32,
+    mean_seconds: f64,
+    total_delay: u64,
+    cross_shard_messages: u64,
+}
+
+fn iters() -> u32 {
+    std::env::var("CCQ_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+fn mode_for(spec: &dyn ProtocolSpec) -> ModelMode {
+    match spec.kind() {
+        ProtocolKind::Queuing => ModelMode::Expanded,
+        ProtocolKind::Counting => ModelMode::Strict,
+    }
+}
+
+/// Time one (protocol, shard plan) cell: `iters()` executions, one sample.
+fn measure(spec: &dyn ProtocolSpec, topo: &TopoSpec, shards: ShardSpec) -> Sample {
+    let scenario = Scenario::build(topo.clone(), RequestPattern::All).with_shards(shards);
+    let mode = mode_for(spec);
+    let n = iters();
+    let start = Instant::now();
+    let mut out = None;
+    for _ in 0..n {
+        out = Some(run_spec(spec, &scenario, mode).expect("bench run verifies"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let out = out.expect("at least one iteration");
+    Sample {
+        bench: "engine_hot_loop".into(),
+        protocol: spec.name().to_string(),
+        topology: topo.name(),
+        shards: shards.name(),
+        iters: n,
+        mean_seconds: elapsed / n as f64,
+        total_delay: out.report.total_delay(),
+        cross_shard_messages: out.report.cross_shard_messages,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let topo = TopoSpec::Torus2D { side: 24 }; // 576 processors
+    let protocols: Vec<&dyn ProtocolSpec> =
+        vec![&ccq_core::protocol::Arrow, &ccq_core::protocol::CombiningTree];
+    let plans = [
+        ShardSpec::single(),
+        ShardSpec::new(4, ShardStrategy::Contiguous),
+        ShardSpec::new(4, ShardStrategy::EdgeCut),
+        ShardSpec::new(8, ShardStrategy::EdgeCut),
+    ];
+
+    let mut g = c.benchmark_group("engine_hot_loop");
+    g.sample_size(10);
+    for spec in &protocols {
+        for plan in plans {
+            // Scenario construction stays outside the timed body.
+            let scenario = Scenario::build(topo.clone(), RequestPattern::All).with_shards(plan);
+            let mode = mode_for(*spec);
+            let label = format!("{}/shards={}", spec.name(), plan.name());
+            g.bench_with_input(BenchmarkId::from_parameter(&label), &plan, |b, _| {
+                b.iter(|| {
+                    let out = run_spec(*spec, &scenario, mode).expect("bench run verifies");
+                    black_box(out.report.total_delay())
+                })
+            });
+        }
+    }
+    g.finish();
+
+    // The JSON artifact: exactly one sample per configuration, measured
+    // outside criterion so its shape is stable run to run.
+    let samples: Vec<Sample> = protocols
+        .iter()
+        .flat_map(|spec| plans.iter().map(|&plan| measure(*spec, &topo, plan)))
+        .collect();
+    let out_path =
+        std::env::var("CCQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    let json = serde_json::to_string_pretty(&samples).expect("samples serialize");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_engine.json");
+    println!("wrote {out_path} ({} samples)", samples.len());
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

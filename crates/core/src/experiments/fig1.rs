@@ -25,6 +25,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         tail: 0,
         arrival: ArrivalSpec::OneShot,
         schedule: ArrivalSpec::OneShot.materialize(&requests),
+        shards: ShardSpec::single(),
     };
 
     let counting = run_counting(&scenario, CountingAlg::CombiningTree, ModelMode::Strict)

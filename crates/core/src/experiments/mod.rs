@@ -29,11 +29,13 @@
 //! | [`t9_ablation`] | design ablations (trees, modes, widths, densities) |
 //! | [`t10_longlived`] | extension: long-lived arrivals (§1.2 related work) |
 //! | [`t11_openload`] | extension: open-system load (arrival processes × latency percentiles) |
+//! | [`t12_sharded`] | extension: multi-shard executor (cross-shard traffic × federated ferry) |
 
 pub mod f2_runs;
 pub mod fig1;
 pub mod t10_longlived;
 pub mod t11_openload;
+pub mod t12_sharded;
 pub mod t1_logstar;
 pub mod t2_diameter;
 pub mod t3_list_arrow;
@@ -92,6 +94,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "t9", paper_item: "ablations", run: t9_ablation::run },
         Experiment { id: "t10", paper_item: "long-lived extension", run: t10_longlived::run },
         Experiment { id: "t11", paper_item: "open-system load extension", run: t11_openload::run },
+        Experiment { id: "t12", paper_item: "multi-shard extension", run: t12_sharded::run },
     ]
 }
 

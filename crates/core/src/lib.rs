@@ -51,7 +51,9 @@ pub mod prelude {
     pub use crate::run::{
         run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome,
     };
-    pub use crate::scenario::{ArrivalSpec, RequestPattern, Scenario, TopoSpec};
+    pub use crate::scenario::{
+        ArrivalSpec, RequestPattern, Scenario, ShardSpec, ShardStrategy, TopoSpec,
+    };
     pub use crate::table::Table;
     pub use ccq_sim::LinkDelay;
 }

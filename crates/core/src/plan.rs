@@ -27,7 +27,7 @@
 use crate::protocol::{registry, run_spec_with, ProtocolKind, ProtocolSpec};
 use crate::report::DelayReport;
 use crate::run::ModelMode;
-use crate::scenario::{ArrivalSpec, RequestPattern, Scenario, TopoSpec};
+use crate::scenario::{ArrivalSpec, RequestPattern, Scenario, ShardSpec, TopoSpec};
 use crate::table::fmt_util::{f2, int, tick};
 use crate::table::Table;
 use ccq_sim::LinkDelay;
@@ -52,6 +52,7 @@ pub struct RunPlan {
     patterns: Vec<RequestPattern>,
     arrivals: Vec<ArrivalSpec>,
     delays: Vec<LinkDelay>,
+    shards: Vec<ShardSpec>,
     repeats: usize,
     seed: u64,
 }
@@ -75,6 +76,7 @@ impl RunPlan {
             patterns: vec![RequestPattern::All],
             arrivals: vec![ArrivalSpec::OneShot],
             delays: vec![LinkDelay::Unit],
+            shards: vec![ShardSpec::single()],
             repeats: 1,
             seed: 0,
         }
@@ -145,6 +147,14 @@ impl RunPlan {
         self
     }
 
+    /// Set the shard plans to sweep (default: the unsharded single shard).
+    /// Each shard plan gets its own scenario group and its own crossover
+    /// summaries, so per-shard-count verdicts never pool across `k`.
+    pub fn shards(mut self, shards: impl IntoIterator<Item = ShardSpec>) -> Self {
+        self.shards = shards.into_iter().collect();
+        self
+    }
+
     /// Repeat every (topology, pattern) cell this many times; random
     /// patterns are deterministically re-seeded per repeat.
     pub fn repeats(mut self, repeats: usize) -> Self {
@@ -191,26 +201,29 @@ impl RunPlan {
         for topo in &self.topologies {
             for pattern in &self.patterns {
                 for arrival in &self.arrivals {
-                    for repeat in 0..self.repeats {
-                        let salt = self.salt(repeat);
-                        let pat = pattern.reseed(salt);
-                        let arr = arrival.reseed(salt);
-                        let mut runs = Vec::new();
-                        for proto in &protocols {
-                            for mode in self.modes_for(proto.as_ref()) {
-                                for delay in &self.delays {
-                                    runs.push((index, proto.clone_spec(), mode, *delay));
-                                    index += 1;
+                    for shards in &self.shards {
+                        for repeat in 0..self.repeats {
+                            let salt = self.salt(repeat);
+                            let pat = pattern.reseed(salt);
+                            let arr = arrival.reseed(salt);
+                            let mut runs = Vec::new();
+                            for proto in &protocols {
+                                for mode in self.modes_for(proto.as_ref()) {
+                                    for delay in &self.delays {
+                                        runs.push((index, proto.clone_spec(), mode, *delay));
+                                        index += 1;
+                                    }
                                 }
                             }
+                            groups.push(WorkGroup {
+                                topo: topo.clone(),
+                                pattern: pat,
+                                arrival: arr,
+                                shards: *shards,
+                                repeat,
+                                runs,
+                            });
                         }
-                        groups.push(WorkGroup {
-                            topo: topo.clone(),
-                            pattern: pat,
-                            arrival: arr,
-                            repeat,
-                            runs,
-                        });
                     }
                 }
             }
@@ -223,7 +236,8 @@ impl RunPlan {
         self.work_groups()
             .into_iter()
             .flat_map(|g| {
-                let (topo, pattern, arrival, repeat) = (g.topo, g.pattern, g.arrival, g.repeat);
+                let (topo, pattern, arrival, shards, repeat) =
+                    (g.topo, g.pattern, g.arrival, g.shards, g.repeat);
                 g.runs.into_iter().map(move |(index, protocol, mode, delay)| RunCase {
                     index,
                     topo: topo.clone(),
@@ -232,6 +246,7 @@ impl RunPlan {
                     pattern: pattern.clone(),
                     arrival: arrival.clone(),
                     delay,
+                    shards,
                     repeat,
                 })
             })
@@ -267,6 +282,7 @@ impl RunPlan {
             patterns: self.patterns.iter().map(|p| p.name()).collect(),
             arrivals: self.arrivals.iter().map(|a| a.name()).collect(),
             delays: self.delays.iter().map(|d| d.name()).collect(),
+            shards: self.shards.iter().map(|s| s.name()).collect(),
             repeats: self.repeats,
             seed: self.seed,
         }
@@ -277,13 +293,15 @@ struct WorkGroup {
     topo: TopoSpec,
     pattern: RequestPattern,
     arrival: ArrivalSpec,
+    shards: ShardSpec,
     repeat: usize,
     runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
 }
 
 fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
     let scenario =
-        Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone());
+        Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone())
+            .with_shards(group.shards);
     let mut results = Vec::with_capacity(group.runs.len());
     for (index, spec, mode, delay) in &group.runs {
         let base = CaseResult {
@@ -297,6 +315,7 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             pattern: group.pattern.name(),
             arrival: group.arrival.name(),
             delay: delay.name(),
+            shards: group.shards.name(),
             repeat: group.repeat,
             width: spec.effective_width(scenario.n()),
             ok: false,
@@ -309,6 +328,7 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             latency_p95: 0,
             latency_p99: 0,
             backlog: 0,
+            cross_shard_messages: 0,
             metrics: None,
         };
         let result = match run_spec_with(spec.as_ref(), &scenario, *mode, *delay) {
@@ -326,6 +346,7 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
                     latency_p95: m.latency_p95,
                     latency_p99: m.latency_p99,
                     backlog: m.backlog_high_water,
+                    cross_shard_messages: m.cross_shard_messages,
                     metrics: Some(m),
                     ..base
                 }
@@ -371,6 +392,7 @@ fn summarize(
         pattern: group.pattern.name(),
         arrival: group.arrival.name(),
         delay: delay_name,
+        shards: group.shards.name(),
         repeat: group.repeat,
         n: scenario.n(),
         k: scenario.k(),
@@ -403,7 +425,9 @@ pub struct RunCase {
     pub arrival: ArrivalSpec,
     /// Per-link delay policy.
     pub delay: LinkDelay,
-    /// Repeat number within the (topology, pattern, arrival) cell.
+    /// Shard plan.
+    pub shards: ShardSpec,
+    /// Repeat number within the (topology, pattern, arrival, shards) cell.
     pub repeat: usize,
 }
 
@@ -430,6 +454,8 @@ pub struct CaseResult {
     pub arrival: String,
     /// Per-link delay policy display name.
     pub delay: String,
+    /// Shard plan display name (`"1"` = unsharded).
+    pub shards: String,
     /// Repeat number.
     pub repeat: usize,
     /// Resolved network width (`None` for width-less protocols).
@@ -454,6 +480,8 @@ pub struct CaseResult {
     pub latency_p99: u64,
     /// Open-operation backlog high-water mark (0 for one-shot runs).
     pub backlog: usize,
+    /// Messages ferried across shard boundaries (0 when unsharded).
+    pub cross_shard_messages: u64,
     /// Full flattened metrics when the run succeeded.
     pub metrics: Option<DelayReport>,
 }
@@ -473,6 +501,8 @@ pub struct PlanInfo {
     pub arrivals: Vec<String>,
     /// Per-link delay policy display names.
     pub delays: Vec<String>,
+    /// Shard plan display names.
+    pub shards: Vec<String>,
     /// Repeats per cell.
     pub repeats: usize,
     /// Base seed.
@@ -491,6 +521,9 @@ pub struct GroupSummary {
     /// Per-link delay policy this summary covers (summaries never pool
     /// across delay regimes).
     pub delay: String,
+    /// Shard plan this summary covers (summaries never pool across shard
+    /// counts either — the per-shard-count crossover verdicts).
+    pub shards: String,
     /// Repeat number.
     pub repeat: usize,
     /// Number of processors.
@@ -563,10 +596,12 @@ impl RunSet {
                 "pattern",
                 "arrival",
                 "delay",
+                "shards",
                 "rep",
                 "ok",
                 "total delay",
                 "messages",
+                "x-shard",
                 "max cont.",
                 "thr/round",
                 "p50",
@@ -583,10 +618,12 @@ impl RunSet {
                 c.pattern.clone(),
                 c.arrival.clone(),
                 c.delay.clone(),
+                c.shards.clone(),
                 c.repeat.to_string(),
                 tick(c.ok),
                 int(c.total_delay),
                 int(c.messages),
+                int(c.cross_shard_messages),
                 int(c.max_contention as u64),
                 f2(c.throughput),
                 int(c.latency_p50),
@@ -606,6 +643,7 @@ impl RunSet {
                 "pattern",
                 "arrival",
                 "delay",
+                "shards",
                 "rep",
                 "n",
                 "best queuing",
@@ -622,6 +660,7 @@ impl RunSet {
                 s.pattern.clone(),
                 s.arrival.clone(),
                 s.delay.clone(),
+                s.shards.clone(),
                 s.repeat.to_string(),
                 int(s.n as u64),
                 s.best_queuing.clone().unwrap_or_else(|| "-".into()),
@@ -824,6 +863,62 @@ mod tests {
         assert!(a.windows(2).any(|w| w[0] != w[1]), "repeats identical: {a:?}");
         // Deterministic under the same plan seed.
         assert_eq!(a, delays(42));
+    }
+
+    #[test]
+    fn shard_dimension_cross_products_and_matches_unsharded() {
+        use crate::scenario::{ShardSpec, ShardStrategy};
+        let plan = RunPlan::new()
+            .topologies([TopoSpec::Torus2D { side: 4 }])
+            .shards([ShardSpec::single(), ShardSpec::new(4, ShardStrategy::EdgeCut)]);
+        // 1 topology × 1 pattern × 1 arrival × 2 shard plans × 9 protocols.
+        assert_eq!(plan.cases().len(), 18);
+        let set = plan.execute();
+        assert_eq!(set.summaries.len(), 2, "one crossover summary per shard plan");
+        for c in &set.cases {
+            assert!(c.ok, "{} under shards={}: {:?}", c.protocol, c.shards, c.error);
+        }
+        // With the default ferry (= intra-shard policy) the sharded runs
+        // reproduce the unsharded metrics; only cross-shard traffic differs.
+        for c in set.cases.iter().filter(|c| c.shards == "1") {
+            let sharded = set
+                .cases
+                .iter()
+                .find(|o| o.shards != "1" && o.protocol == c.protocol && o.mode == c.mode)
+                .unwrap();
+            assert_eq!(sharded.total_delay, c.total_delay, "{}", c.protocol);
+            assert_eq!(sharded.messages, c.messages, "{}", c.protocol);
+            assert_eq!(c.cross_shard_messages, 0);
+            assert!(sharded.cross_shard_messages > 0, "{}", c.protocol);
+        }
+        // Per-shard-count summaries agree on the verdict here, and the
+        // plan echo lists both shard plans.
+        assert_eq!(set.plan.shards, vec!["1".to_string(), "4:edgecut".to_string()]);
+        assert_eq!(set.summaries[0].queuing_wins, set.summaries[1].queuing_wins);
+    }
+
+    #[test]
+    fn slow_ferry_changes_the_execution() {
+        use crate::scenario::{ShardSpec, ShardStrategy};
+        let base = RunPlan::new()
+            .topologies([TopoSpec::Torus2D { side: 4 }])
+            .protocol(&protocol::Arrow)
+            .shards([ShardSpec::new(4, ShardStrategy::Contiguous)])
+            .execute();
+        let federated = RunPlan::new()
+            .topologies([TopoSpec::Torus2D { side: 4 }])
+            .protocol(&protocol::Arrow)
+            .shards([ShardSpec::new(4, ShardStrategy::Contiguous)
+                .with_inter_delay(LinkDelay::Fixed { delay: 6 })])
+            .execute();
+        assert!(base.cases[0].ok && federated.cases[0].ok);
+        assert!(
+            federated.cases[0].total_delay > base.cases[0].total_delay,
+            "a slow ferry must stretch delays: {} vs {}",
+            federated.cases[0].total_delay,
+            base.cases[0].total_delay
+        );
+        assert!(federated.plan.shards[0].contains("inter=fixed(d=6)"));
     }
 
     #[test]

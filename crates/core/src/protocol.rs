@@ -28,14 +28,19 @@ use ccq_graph::{NodeId, Tree};
 use ccq_queuing::{
     verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol,
 };
-use ccq_sim::{run_protocol, LinkDelay, OnlineProtocol, Paced, SimConfig, SimError, SimReport};
+use ccq_sim::{
+    run_protocol, LinkDelay, OnlineProtocol, Paced, Protocol, ShardedSimulator, SimConfig,
+    SimError, SimReport,
+};
 use serde::Serialize;
 
-/// Run a protocol on `scenario`, honouring its arrival specification: the
-/// one-shot batch executes the protocol unchanged (bit-identical to the
-/// pre-open-system engine), while open arrivals build the protocol in
-/// deferred mode (`build(true)`) and drive it through [`Paced`] on the
-/// scenario's schedule.
+/// Run a protocol on `scenario`, honouring its arrival specification and
+/// shard plan: the one-shot batch executes the protocol unchanged
+/// (bit-identical to the pre-open-system engine), while open arrivals
+/// build the protocol in deferred mode (`build(true)`) and drive it
+/// through [`Paced`] on the scenario's schedule. A shard plan with `k > 1`
+/// routes the run through [`ShardedSimulator`] — the protocol itself is
+/// identical on either executor.
 fn run_arrival_aware<P, F>(
     scenario: &Scenario,
     cfg: SimConfig,
@@ -43,14 +48,29 @@ fn run_arrival_aware<P, F>(
 ) -> Result<SimReport, SimError>
 where
     P: OnlineProtocol,
+    P::Msg: Send,
     F: FnOnce(bool) -> P,
 {
     match scenario.open_schedule() {
-        None => run_protocol(&scenario.graph, build(false), cfg),
-        Some(schedule) => {
-            run_protocol(&scenario.graph, Paced::new(build(true), schedule.to_vec()), cfg)
-        }
+        None => dispatch(scenario, cfg, build(false)),
+        Some(schedule) => dispatch(scenario, cfg, Paced::new(build(true), schedule.to_vec())),
     }
+}
+
+/// Execute on the scenario's shard plan: the single-fabric engine for
+/// `k = 1`, the sharded executor otherwise.
+fn dispatch<P>(scenario: &Scenario, cfg: SimConfig, protocol: P) -> Result<SimReport, SimError>
+where
+    P: Protocol,
+    P::Msg: Send,
+{
+    let shards = &scenario.shards;
+    if !shards.is_sharded() {
+        return run_protocol(&scenario.graph, protocol, cfg);
+    }
+    let partition = shards.partition(&scenario.graph);
+    let inter = shards.inter_delay.unwrap_or(cfg.link_delay);
+    ShardedSimulator::new(&scenario.graph, partition, protocol, cfg).with_inter_delay(inter).run()
 }
 
 /// What a protocol computes, which also fixes its verification contract.

@@ -38,6 +38,8 @@ pub struct DelayReport {
     pub latency_p99: u64,
     /// Open-operation backlog high-water mark (0 for one-shot runs).
     pub backlog_high_water: usize,
+    /// Messages ferried across shard boundaries (0 when unsharded).
+    pub cross_shard_messages: u64,
 }
 
 impl DelayReport {
@@ -70,6 +72,7 @@ impl DelayReport {
             latency_p95: pick(0.95),
             latency_p99: pick(0.99),
             backlog_high_water: rep.backlog_high_water,
+            cross_shard_messages: rep.cross_shard_messages,
         }
     }
 }

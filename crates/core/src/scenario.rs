@@ -1,7 +1,8 @@
-//! Scenarios: topology + spanning tree + request set + arrival schedule.
+//! Scenarios: topology + spanning tree + request set + arrival schedule
+//! + shard plan.
 
-use ccq_graph::{spanning, topology, Graph, NodeId, Tree};
-use ccq_sim::{ArrivalProcess, Round};
+use ccq_graph::{spanning, topology, Graph, NodeId, Partition, Tree};
+use ccq_sim::{ArrivalProcess, LinkDelay, Round};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -285,6 +286,99 @@ impl ArrivalSpec {
     }
 }
 
+/// How a scenario's graph is split across shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Contiguous id blocks (optimal for path/snake-ordered topologies).
+    Contiguous,
+    /// Round-robin by `v mod k` (maximal-cut baseline).
+    Striped,
+    /// METIS-style greedy edge-cut minimization
+    /// ([`Partition::greedy_edge_cut`]).
+    EdgeCut,
+}
+
+impl ShardStrategy {
+    /// Short display name (the CLI token).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardStrategy::Contiguous => "contig",
+            ShardStrategy::Striped => "stripe",
+            ShardStrategy::EdgeCut => "edgecut",
+        }
+    }
+}
+
+/// Shard plan of a scenario: how many shards, how vertices are assigned,
+/// and how fast the inter-shard ferry is.
+///
+/// `k = 1` (the default, [`ShardSpec::single`]) runs on the single-fabric
+/// executor and reproduces unsharded reports exactly. For `k > 1` the run
+/// uses [`ccq_sim::ShardedSimulator`]; with `inter_delay` of `None` the
+/// ferry inherits the run's intra-shard delay policy, under which the
+/// execution is operationally identical to the unsharded one (the sharding
+/// only adds the cross-shard traffic measurement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards (≥ 1).
+    pub k: usize,
+    /// Vertex-assignment strategy.
+    pub strategy: ShardStrategy,
+    /// Ferry delay policy (`None` = same as the intra-shard policy).
+    pub inter_delay: Option<LinkDelay>,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl ShardSpec {
+    /// The unsharded plan: one shard, everything local.
+    pub fn single() -> Self {
+        ShardSpec { k: 1, strategy: ShardStrategy::Contiguous, inter_delay: None }
+    }
+
+    /// A `k`-shard plan under `strategy` with the default ferry.
+    pub fn new(k: usize, strategy: ShardStrategy) -> Self {
+        ShardSpec { k: k.max(1), strategy, inter_delay: None }
+    }
+
+    /// Builder-style: give the inter-shard ferry its own delay policy.
+    pub fn with_inter_delay(mut self, delay: LinkDelay) -> Self {
+        self.inter_delay = Some(delay);
+        self
+    }
+
+    /// Whether this plan actually splits the graph (`k > 1`).
+    pub fn is_sharded(&self) -> bool {
+        self.k > 1
+    }
+
+    /// Short display name (used by sweeps and the CLI): `"1"`, `"4"`,
+    /// `"4:stripe"`, `"4:edgecut+inter=fixed(d=8)"`.
+    pub fn name(&self) -> String {
+        let mut s = match self.strategy {
+            ShardStrategy::Contiguous => self.k.to_string(),
+            other => format!("{}:{}", self.k, other.label()),
+        };
+        if let Some(d) = self.inter_delay {
+            s.push_str(&format!("+inter={}", d.name()));
+        }
+        s
+    }
+
+    /// Materialize the vertex partition for `graph`.
+    pub fn partition(&self, graph: &Graph) -> Partition {
+        match self.strategy {
+            ShardStrategy::Contiguous => Partition::contiguous(graph.n(), self.k),
+            ShardStrategy::Striped => Partition::striped(graph.n(), self.k),
+            ShardStrategy::EdgeCut => Partition::greedy_edge_cut(graph, self.k),
+        }
+    }
+}
+
 /// A fully-materialized experiment input.
 pub struct Scenario {
     /// Topology descriptor (for reporting).
@@ -304,6 +398,8 @@ pub struct Scenario {
     /// Materialized issue schedule (`(round, node)` sorted by round; all
     /// zeros for `OneShot`).
     pub schedule: Vec<(Round, NodeId)>,
+    /// Shard plan ([`ShardSpec::single`] = the unsharded executor).
+    pub shards: ShardSpec,
 }
 
 impl Scenario {
@@ -321,7 +417,23 @@ impl Scenario {
         let requests = pattern.materialize(graph.n());
         let tail = queuing_tree.root();
         let schedule = arrival.materialize(&requests);
-        Scenario { spec, graph, queuing_tree, counting_tree, requests, tail, arrival, schedule }
+        Scenario {
+            spec,
+            graph,
+            queuing_tree,
+            counting_tree,
+            requests,
+            tail,
+            arrival,
+            schedule,
+            shards: ShardSpec::single(),
+        }
+    }
+
+    /// Builder-style: run this scenario under a shard plan.
+    pub fn with_shards(mut self, shards: ShardSpec) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The issue schedule when this is an open-system scenario, `None` for
@@ -451,6 +563,32 @@ mod tests {
             ArrivalSpec::Poisson { rate: 0.3, seed: 5 },
         );
         assert_eq!(s.schedule, s2.schedule);
+    }
+
+    #[test]
+    fn shard_specs_name_partition_and_default() {
+        let s = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
+        assert_eq!(s.shards, ShardSpec::single());
+        assert!(!s.shards.is_sharded());
+        assert_eq!(ShardSpec::single().name(), "1");
+        assert_eq!(ShardSpec::new(4, ShardStrategy::Contiguous).name(), "4");
+        assert_eq!(ShardSpec::new(4, ShardStrategy::Striped).name(), "4:stripe");
+        assert_eq!(
+            ShardSpec::new(2, ShardStrategy::EdgeCut)
+                .with_inter_delay(LinkDelay::Fixed { delay: 8 })
+                .name(),
+            "2:edgecut+inter=fixed(d=8)"
+        );
+        // k is clamped to ≥ 1 and the partition covers the graph.
+        assert_eq!(ShardSpec::new(0, ShardStrategy::Striped).k, 1);
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::Striped, ShardStrategy::EdgeCut]
+        {
+            let part = ShardSpec::new(3, strategy).partition(&s.graph);
+            assert_eq!(part.n(), s.n(), "{}", strategy.label());
+            assert_eq!(part.k(), 3);
+        }
+        let sharded = s.with_shards(ShardSpec::new(2, ShardStrategy::EdgeCut));
+        assert!(sharded.shards.is_sharded());
     }
 
     #[test]

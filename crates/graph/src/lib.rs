@@ -15,7 +15,9 @@
 //! * [`spanning`] — spanning-tree constructions, most importantly the
 //!   Hamilton-path trees of Lemma 4.6 (complete graph, mesh, hypercube) and
 //!   constant-degree trees required by Theorem 4.1,
-//! * [`path`] — explicit path extraction used for source-routed messages.
+//! * [`path`] — explicit path extraction used for source-routed messages,
+//! * [`partition`] — vertex partitions (contiguous, striped, greedy
+//!   edge-cut) for the multi-shard executor.
 //!
 //! ```
 //! use ccq_graph::{topology, spanning};
@@ -32,6 +34,7 @@
 pub mod bfs;
 pub mod graph;
 pub mod lca;
+pub mod partition;
 pub mod path;
 pub mod routing;
 pub mod spanning;
@@ -40,6 +43,7 @@ pub mod tree;
 
 pub use graph::{Graph, GraphBuilder};
 pub use lca::Lca;
+pub use partition::Partition;
 pub use routing::TreeRouter;
 pub use tree::Tree;
 

@@ -1,0 +1,218 @@
+//! Vertex partitions for the multi-shard executor.
+//!
+//! A [`Partition`] assigns every vertex of an `n`-vertex graph to one of
+//! `k` shards. The sharded simulator runs one message fabric per shard and
+//! ferries messages crossing shard boundaries through a separate inter-shard
+//! transport, so the quality measure of a partition is its **edge cut**
+//! ([`Partition::cut_edges`]): every cut edge is a potential cross-shard
+//! message per round.
+//!
+//! Three deterministic strategies are provided:
+//!
+//! * [`Partition::contiguous`] — id-range blocks (optimal for path/snake
+//!   orders, where consecutive ids are adjacent);
+//! * [`Partition::striped`] — round-robin by `v mod k` (the worst
+//!   reasonable baseline: nearly every edge is cut);
+//! * [`Partition::greedy_edge_cut`] — METIS-style greedy region growing:
+//!   each shard grows from the smallest unassigned seed, repeatedly
+//!   absorbing the frontier vertex with the most edges into the region
+//!   (ties to the smallest id), until it reaches its balanced target size.
+
+use crate::{Graph, NodeId};
+
+/// An assignment of `n` vertices to `k` shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    k: usize,
+    assignment: Vec<usize>,
+    /// Vertices of each shard, ascending (precomputed for iteration).
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Build from an explicit assignment (`assignment[v]` = shard of `v`).
+    ///
+    /// # Panics
+    /// Panics if any shard id is `≥ k` — assignments are produced by
+    /// deterministic strategies, so an out-of-range id is a programming
+    /// error. (The sharded simulator additionally validates shape against
+    /// its graph and reports a constructive `InvalidConfig` error.)
+    pub fn from_assignment(k: usize, assignment: Vec<usize>) -> Self {
+        let k = k.max(1);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (v, &s) in assignment.iter().enumerate() {
+            assert!(s < k, "vertex {v} assigned to shard {s} ≥ k = {k}");
+            members[s].push(v);
+        }
+        Partition { k, assignment, members }
+    }
+
+    /// Contiguous id blocks: shard `s` holds ids `[s·⌈n/k⌉, (s+1)·⌈n/k⌉)`.
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        let k = k.max(1);
+        let block = n.div_ceil(k).max(1);
+        Self::from_assignment(k, (0..n).map(|v| (v / block).min(k - 1)).collect())
+    }
+
+    /// Round-robin striping: shard of `v` is `v mod k`.
+    pub fn striped(n: usize, k: usize) -> Self {
+        let k = k.max(1);
+        Self::from_assignment(k, (0..n).map(|v| v % k).collect())
+    }
+
+    /// METIS-style greedy edge-cut minimization: grow each shard from the
+    /// smallest unassigned seed by repeatedly absorbing the unassigned
+    /// vertex with the most edges into the region (ties to the smallest
+    /// id). Deterministic; balanced to `⌈unassigned/remaining⌉` per shard.
+    pub fn greedy_edge_cut(graph: &Graph, k: usize) -> Self {
+        let n = graph.n();
+        let k = k.max(1);
+        let mut assignment = vec![usize::MAX; n];
+        // Edges from each unassigned vertex into the region being grown.
+        let mut gain = vec![0usize; n];
+        let mut unassigned = n;
+        for shard in 0..k {
+            let target = unassigned.div_ceil(k - shard);
+            gain.fill(0);
+            let mut size = 0;
+            while size < target && unassigned > 0 {
+                // Best frontier vertex: max gain, then smallest id; a fresh
+                // seed (gain 0) is picked the same way, which restarts the
+                // growth in the smallest untouched component.
+                let pick = (0..n)
+                    .filter(|&v| assignment[v] == usize::MAX)
+                    .max_by(|&a, &b| gain[a].cmp(&gain[b]).then(b.cmp(&a)))
+                    .expect("unassigned > 0");
+                assignment[pick] = shard;
+                size += 1;
+                unassigned -= 1;
+                for &w in graph.neighbors(pick) {
+                    if assignment[w] == usize::MAX {
+                        gain[w] += 1;
+                    }
+                }
+            }
+        }
+        Self::from_assignment(k, assignment)
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices partitioned.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Shard of vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.assignment[v]
+    }
+
+    /// Vertices of `shard`, ascending (empty when `k > n` leaves it bare).
+    #[inline]
+    pub fn members(&self, shard: usize) -> &[NodeId] {
+        &self.members[shard]
+    }
+
+    /// The raw assignment vector.
+    #[inline]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Number of graph edges whose endpoints live in different shards —
+    /// the cross-shard traffic surface.
+    pub fn cut_edges(&self, graph: &Graph) -> usize {
+        graph.edges().filter(|&(u, v)| self.assignment[u] != self.assignment[v]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn contiguous_blocks() {
+        let p = Partition::contiguous(10, 3);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.assignment(), &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        assert_eq!(p.members(0), &[0, 1, 2, 3]);
+        assert_eq!(p.members(2), &[8, 9]);
+    }
+
+    #[test]
+    fn striped_round_robin() {
+        let p = Partition::striped(7, 3);
+        assert_eq!(p.assignment(), &[0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(p.members(0), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn single_shard_holds_everything() {
+        for p in [
+            Partition::contiguous(6, 1),
+            Partition::striped(6, 1),
+            Partition::greedy_edge_cut(&topology::path(6), 1),
+        ] {
+            assert_eq!(p.k(), 1);
+            assert_eq!(p.members(0).len(), 6);
+            assert_eq!(p.cut_edges(&topology::path(6)), 0);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_empty_shards() {
+        let p = Partition::contiguous(3, 5);
+        assert_eq!(p.k(), 5);
+        let total: usize = (0..5).map(|s| p.members(s).len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn greedy_is_balanced_and_complete() {
+        let g = topology::torus(&[6, 6]);
+        let p = Partition::greedy_edge_cut(&g, 4);
+        for s in 0..4 {
+            assert_eq!(p.members(s).len(), 9, "shard {s} unbalanced");
+        }
+        let mut all: Vec<NodeId> = (0..4).flat_map(|s| p.members(s).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn greedy_cut_beats_striping_on_meshes() {
+        let g = topology::mesh(&[8, 8]);
+        let greedy = Partition::greedy_edge_cut(&g, 4).cut_edges(&g);
+        let striped = Partition::striped(64, 4).cut_edges(&g);
+        assert!(greedy < striped, "greedy {greedy} vs striped {striped}");
+    }
+
+    #[test]
+    fn contiguous_is_optimal_on_the_path() {
+        let g = topology::path(12);
+        // A path split into 4 blocks cuts exactly the 3 block boundaries.
+        assert_eq!(Partition::contiguous(12, 4).cut_edges(&g), 3);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let g = topology::torus(&[5, 5]);
+        let a = Partition::greedy_edge_cut(&g, 3);
+        let b = Partition::greedy_edge_cut(&g, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to shard")]
+    fn out_of_range_assignment_rejected() {
+        Partition::from_assignment(2, vec![0, 2]);
+    }
+}

@@ -106,8 +106,8 @@ impl ArrowProtocol {
     }
 
     /// Issue node `v`'s operation now (paper step 1). Used by `on_start`
-    /// for the one-shot scenario and by [`crate::longlived::LongLivedArrow`]
-    /// for scheduled arrivals.
+    /// for the one-shot scenario and by the [`OnlineProtocol`] impl for
+    /// scheduled (long-lived / open-system) arrivals.
     pub(crate) fn issue(&mut self, api: &mut SimApi<ArrowMsg>, v: NodeId) {
         let a = v as u64;
         if self.link[v] == v {

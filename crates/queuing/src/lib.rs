@@ -9,6 +9,8 @@
 //!   bounded by twice the nearest-neighbour TSP cost (Theorem 4.1, from
 //!   Herlihy–Tirthapura–Wattenhofer '01);
 //! * [`central`] — a centralized-home baseline that serializes at one node;
+//!   (long-lived arrivals are handled generically by [`ccq_sim::Paced`]
+//!   driving any of these protocols in deferred mode);
 //! * [`sequential`] — a sequential reference executor used to validate the
 //!   concurrent implementation and to connect to the TSP analysis;
 //! * [`order`] — verification that an execution produced a valid total
@@ -21,13 +23,11 @@
 pub mod arrow;
 pub mod central;
 pub mod combining;
-pub mod longlived;
 pub mod order;
 pub mod sequential;
 
 pub use arrow::{ArrowMsg, ArrowProtocol};
 pub use central::CentralQueueProtocol;
 pub use combining::CombiningQueueProtocol;
-pub use longlived::LongLivedArrow;
 pub use order::{verify_total_order, OrderError, INITIAL_TOKEN};
 pub use sequential::sequential_arrow_cost;

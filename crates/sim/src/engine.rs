@@ -1,36 +1,40 @@
-//! The round-based simulation engine.
+//! The round-based simulation engine: the [`Simulator`] façade and
+//! [`SimError`].
 //!
-//! Execution of one round `t`:
-//! 1. **arrivals** — open-system protocols ([`crate::arrival::Paced`]) may
-//!    inject operations scheduled for round `t` via [`Protocol::on_round`];
-//! 2. **deliver** — each processor (in ascending id order) dequeues up to
-//!    `recv_budget` messages whose arrival round is ≤ `t` from its FIFO
-//!    in-port and hands each to [`Protocol::on_message`]; handlers may stage
-//!    new sends (into the processor's outbox) and completions;
-//! 3. **transmit** — each processor dequeues up to `send_budget` staged
-//!    messages from its outbox; each is placed on the wire and arrives at
-//!    the destination's in-port at round `t + d`, where `d ≥ 1` is chosen
-//!    by the configured [`crate::LinkDelay`] policy.
+//! The engine is composed of three layers, each owning one set of
+//! invariants (see the module docs of each):
+//!
+//! * [`crate::state`] — per-processor FIFO in-ports and outboxes
+//!   ([`crate::state::NodeStore`]);
+//! * [`crate::transport`] — wire scheduling: [`crate::LinkDelay`]
+//!   policies, the per-link FIFO clamp and the timing wheel
+//!   ([`crate::transport::Transport`]);
+//! * [`crate::scheduler`] — the phase ordering of one round (arrivals →
+//!   mature → deliver → transmit → quiescence/wakeup) and the generalized
+//!   delivery rule.
 //!
 //! **Generalized delivery rule.** Under [`crate::LinkDelay::Unit`] (the
 //! paper's model) `d = 1`: a message handled at round `t` can be answered
 //! by a message that arrives at round `t + 1`, so information travels one
 //! hop per round (Theorem 3.6's latency argument). `Fixed` and `PerLink`
 //! stretch `d` to a per-link constant — heterogeneous wires that remain
-//! FIFO by construction. `Jitter` draws `d` per message and the engine
+//! FIFO by construction. `Jitter` draws `d` per message and the transport
 //! clamps each arrival to be no earlier than the previous arrival scheduled
 //! on the same directed link, so every wire stays a reliable FIFO channel
 //! (the §2.1 asynchronous regime, under which the paper's lower bounds
 //! still apply). Messages exceeding a budget wait in FIFO order — that
 //! waiting is the measured contention, and the engine records the deepest
 //! in-port/outbox queues plus the open-operation backlog high-water mark.
+//!
+//! [`crate::shard::ShardedSimulator`] runs the same scheduler phases over
+//! per-shard state/transport instances; protocols run unmodified on either
+//! executor.
 
-use crate::protocol::{Protocol, SimApi};
+use crate::protocol::Protocol;
 use crate::report::{SimConfig, SimReport};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::scheduler;
 use crate::Round;
 use ccq_graph::{Graph, NodeId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Simulation failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +43,8 @@ pub enum SimError {
     InvalidSend { from: NodeId, to: NodeId, round: Round },
     /// Quiescence was not reached within [`SimConfig::max_rounds`].
     MaxRoundsExceeded { limit: Round },
+    /// The configuration (budgets, scale, shard plan) cannot be executed.
+    InvalidConfig { what: &'static str },
 }
 
 impl std::fmt::Display for SimError {
@@ -49,6 +55,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::MaxRoundsExceeded { limit } => {
                 write!(f, "no quiescence within {limit} rounds")
+            }
+            SimError::InvalidConfig { what } => {
+                write!(f, "invalid simulation config: {what}")
             }
         }
     }
@@ -63,201 +72,30 @@ pub struct Simulator<'g, P: Protocol> {
     config: SimConfig,
 }
 
-struct Wire<M> {
-    src: NodeId,
-    dst: NodeId,
-    arrival: Round,
-    msg: M,
-}
-
 impl<'g, P: Protocol> Simulator<'g, P> {
-    /// Create a simulator. `config.send_budget`/`recv_budget` must be ≥ 1.
+    /// Create a simulator. Configuration is validated at run time:
+    /// `config.send_budget`/`recv_budget` of 0 make the run return
+    /// [`SimError::InvalidConfig`] instead of executing.
     pub fn new(graph: &'g Graph, protocol: P, config: SimConfig) -> Self {
-        assert!(config.send_budget >= 1 && config.recv_budget >= 1);
         Simulator { graph, protocol, config }
     }
 
     /// Run to quiescence (no queued or in-flight messages), returning the
     /// report and the final protocol state.
-    pub fn run_with_state(mut self) -> Result<(SimReport, P), SimError> {
-        let n = self.graph.n();
-        let cfg = self.config;
-        let mut report = SimReport {
-            delay_scale: cfg.delay_scale,
-            received_by_node: vec![0; n],
-            ..Default::default()
-        };
-        let mut outbox: Vec<VecDeque<(NodeId, P::Msg)>> = (0..n).map(|_| VecDeque::new()).collect();
-        let mut inport: Vec<VecDeque<Wire<P::Msg>>> = (0..n).map(|_| VecDeque::new()).collect();
-        // Timing wheel: messages in flight, keyed by arrival round.
-        let mut inflight: BTreeMap<Round, Vec<Wire<P::Msg>>> = BTreeMap::new();
-        // Per-directed-link last scheduled arrival (FIFO clamp under jitter).
-        let mut link_last: HashMap<(NodeId, NodeId), Round> = HashMap::new();
-        let mut api: SimApi<P::Msg> = SimApi::new();
-
-        // Time 0: every requester issues its operation.
-        self.protocol.on_start(&mut api);
-        Self::drain(self.graph, &mut api, &mut outbox, &mut report, 0, cfg.trace)?;
-
-        let mut round: Round = 0;
-        loop {
-            if round > 0 {
-                api.set_round(round);
-                self.protocol.on_round(&mut api, round);
-                Self::drain(self.graph, &mut api, &mut outbox, &mut report, round, cfg.trace)?;
-
-                // Maturity phase: messages whose arrival round is due move
-                // from the wheel into their destination's FIFO port queue.
-                while let Some((&r, _)) = inflight.first_key_value() {
-                    if r > round {
-                        break;
-                    }
-                    let batch = inflight.remove(&r).expect("checked key");
-                    for w in batch {
-                        let dst = w.dst;
-                        inport[dst].push_back(w);
-                        report.max_inport_depth = report.max_inport_depth.max(inport[dst].len());
-                    }
-                }
-
-                // Deliver phase. Indexing (not iter_mut) because the body
-                // re-borrows other per-node state via drain().
-                #[allow(clippy::needless_range_loop)]
-                for v in 0..n {
-                    for _ in 0..cfg.recv_budget {
-                        let Some(w) = inport[v].pop_front() else { break };
-                        report.queue_wait_rounds += round - w.arrival;
-                        report.received_by_node[v] += 1;
-                        if cfg.trace {
-                            report.trace.push(TraceEvent {
-                                round,
-                                kind: TraceKind::Deliver,
-                                node: v,
-                                peer: w.src,
-                            });
-                        }
-                        self.protocol.on_message(&mut api, v, w.src, w.msg);
-                        Self::drain(
-                            self.graph,
-                            &mut api,
-                            &mut outbox,
-                            &mut report,
-                            round,
-                            cfg.trace,
-                        )?;
-                    }
-                }
-            }
-
-            // Transmit phase (same indexing constraint as delivery).
-            #[allow(clippy::needless_range_loop)]
-            for v in 0..n {
-                for _ in 0..cfg.send_budget {
-                    let Some((dst, msg)) = outbox[v].pop_front() else { break };
-                    report.messages_sent += 1;
-                    if cfg.trace {
-                        report.trace.push(TraceEvent {
-                            round,
-                            kind: TraceKind::Transmit,
-                            node: v,
-                            peer: dst,
-                        });
-                    }
-                    let mut arrival = round + cfg.link_delay.delay_of(v, dst, report.messages_sent);
-                    if cfg.link_delay.varies_per_message() {
-                        // FIFO per directed link: never overtake an earlier
-                        // message on the same link.
-                        let slot = link_last.entry((v, dst)).or_insert(0);
-                        arrival = arrival.max(*slot);
-                        *slot = arrival;
-                    }
-                    inflight.entry(arrival).or_default().push(Wire { src: v, dst, arrival, msg });
-                }
-            }
-
-            let quiescent = outbox.iter().all(VecDeque::is_empty)
-                && inport.iter().all(VecDeque::is_empty)
-                && inflight.is_empty();
-            if quiescent {
-                // Long-lived protocols may have future scheduled work:
-                // fast-forward to their next wakeup instead of terminating.
-                match self.protocol.next_wakeup() {
-                    Some(r) if r > round => {
-                        round = r;
-                        if round > cfg.max_rounds {
-                            return Err(SimError::MaxRoundsExceeded { limit: cfg.max_rounds });
-                        }
-                        continue;
-                    }
-                    _ => break,
-                }
-            }
-            round += 1;
-            if round > cfg.max_rounds {
-                return Err(SimError::MaxRoundsExceeded { limit: cfg.max_rounds });
-            }
-        }
-        report.rounds = round;
-        Ok((report, self.protocol))
+    pub fn run_with_state(self) -> Result<(SimReport, P), SimError> {
+        scheduler::run_single(self.graph, self.protocol, self.config)
     }
 
     /// Run to quiescence, returning only the report.
     pub fn run(self) -> Result<SimReport, SimError> {
         self.run_with_state().map(|(r, _)| r)
     }
-
-    /// Move staged sends/completions from the API buffers into the engine.
-    fn drain(
-        graph: &Graph,
-        api: &mut SimApi<P::Msg>,
-        outbox: &mut [VecDeque<(NodeId, P::Msg)>],
-        report: &mut SimReport,
-        round: Round,
-        trace: bool,
-    ) -> Result<(), SimError> {
-        for (from, to, msg) in api.outgoing.drain(..) {
-            if from >= graph.n() || to >= graph.n() || !graph.has_edge(from, to) {
-                return Err(SimError::InvalidSend { from, to, round });
-            }
-            outbox[from].push_back((to, msg));
-            report.max_outbox_depth = report.max_outbox_depth.max(outbox[from].len());
-        }
-        for i in api.issued.drain(..) {
-            debug_assert_eq!(i.round, round, "issue round mismatch");
-            report.issues.push(i);
-            if trace {
-                report.trace.push(TraceEvent {
-                    round,
-                    kind: TraceKind::Issue,
-                    node: i.node,
-                    peer: i.node,
-                });
-            }
-        }
-        for c in api.completed.drain(..) {
-            debug_assert_eq!(c.round, round, "completion round mismatch");
-            report.completions.push(c);
-            if trace {
-                report.trace.push(TraceEvent {
-                    round,
-                    kind: TraceKind::Complete,
-                    node: c.node,
-                    peer: c.node,
-                });
-            }
-        }
-        // Open-system backlog: operations issued but not yet completed
-        // (one-shot runs record no issues, so this stays 0 there).
-        report.backlog_high_water = report
-            .backlog_high_water
-            .max(report.issues.len().saturating_sub(report.completions.len()));
-        Ok(())
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::SimApi;
     use crate::report::SimConfig;
     use ccq_graph::topology;
 
@@ -367,6 +205,24 @@ mod tests {
     }
 
     #[test]
+    fn invalid_budgets_are_reported_not_panicked() {
+        let g = topology::path(3);
+        for cfg in [
+            SimConfig { send_budget: 0, ..SimConfig::strict() },
+            SimConfig { recv_budget: 0, ..SimConfig::strict() },
+            SimConfig { delay_scale: 0, ..SimConfig::strict() },
+        ] {
+            let err = crate::run_protocol(&g, Walk { n: 3 }, cfg).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidConfig { .. }),
+                "expected InvalidConfig, got {err}"
+            );
+            // The message names the offending field.
+            assert!(err.to_string().contains("must be ≥ 1"), "{err}");
+        }
+    }
+
+    #[test]
     fn max_rounds_detected() {
         /// Two nodes ping-pong forever.
         struct PingPong;
@@ -459,9 +315,9 @@ mod tests {
         let g = topology::path(3);
         let cfg = SimConfig::strict().with_trace();
         let rep = crate::run_protocol(&g, Walk { n: 3 }, cfg).unwrap();
-        assert!(rep.trace.iter().any(|e| e.kind == TraceKind::Transmit));
-        assert!(rep.trace.iter().any(|e| e.kind == TraceKind::Deliver));
-        assert!(rep.trace.iter().any(|e| e.kind == TraceKind::Complete));
+        assert!(rep.trace.iter().any(|e| e.kind == crate::TraceKind::Transmit));
+        assert!(rep.trace.iter().any(|e| e.kind == crate::TraceKind::Deliver));
+        assert!(rep.trace.iter().any(|e| e.kind == crate::TraceKind::Complete));
     }
 }
 

@@ -43,12 +43,17 @@ pub mod arrival;
 pub mod engine;
 pub mod protocol;
 pub mod report;
+pub mod scheduler;
+pub mod shard;
+pub mod state;
 pub mod trace;
+pub mod transport;
 
 pub use arrival::{ArrivalProcess, OnlineProtocol, Paced};
 pub use engine::{SimError, Simulator};
 pub use protocol::{Protocol, SimApi};
 pub use report::{Completion, Issue, LinkDelay, SimConfig, SimReport};
+pub use shard::{run_protocol_sharded, ShardedSimulator};
 pub use trace::{TraceEvent, TraceKind};
 
 /// Simulation time, in rounds (time steps of the synchronous model).

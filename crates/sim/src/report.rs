@@ -138,9 +138,10 @@ impl SimConfig {
     }
 
     /// The expanded-step model for constant `c` (paper §2.1/§4): budgets of
-    /// `c` per round, delays reported ×`c`.
+    /// `c` per round, delays reported ×`c`. A `c` of 0 is not rejected
+    /// here: the engine reports it as [`crate::SimError::InvalidConfig`]
+    /// when the configuration is run.
     pub fn expanded(c: usize) -> Self {
-        assert!(c >= 1);
         SimConfig { send_budget: c, recv_budget: c, delay_scale: c as u64, ..Self::strict() }
     }
 
@@ -210,6 +211,9 @@ pub struct SimReport {
     pub queue_wait_rounds: u64,
     /// Largest receive-queue depth observed at any processor.
     pub max_inport_depth: usize,
+    /// Messages that crossed a shard boundary (ferried by the inter-shard
+    /// transport). 0 on the single-fabric executor.
+    pub cross_shard_messages: u64,
     /// Largest send-queue (outbox) depth observed at any processor.
     pub max_outbox_depth: usize,
     /// Delay scale applied (from [`SimConfig::delay_scale`]).

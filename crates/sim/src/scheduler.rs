@@ -1,0 +1,216 @@
+//! The round scheduler: phase ordering over the state and transport layers.
+//!
+//! One round `t` of the synchronous model executes phases in this fixed
+//! order, each owned by a layer below:
+//!
+//! 1. **arrivals** — [`crate::Protocol::on_round`] runs (open-system
+//!    pacing injects operations due at `t`); staged effects are drained;
+//! 2. **mature** — the [`crate::transport::Transport`] releases every wire
+//!    due at `t` into its destination's in-port
+//!    ([`crate::state::NodeStore`]), in (arrival, sequence) order;
+//! 3. **deliver** — each processor (ascending id) dequeues up to
+//!    `recv_budget` in-port messages and hands them to
+//!    [`crate::Protocol::on_message`]; handler effects drain after every
+//!    message;
+//! 4. **transmit** — each processor (ascending id) dequeues up to
+//!    `send_budget` outbox messages; each receives the next global
+//!    sequence number and is scheduled on the transport;
+//! 5. **quiescence / wakeup** — when every queue and wheel is empty the
+//!    run either ends or fast-forwards to
+//!    [`crate::Protocol::next_wakeup`].
+//!
+//! The invariant this layer owns is the *delivery rule*: a message handled
+//! at round `t` can be answered no earlier than round `t + 1` (handler
+//! sends enter the outbox, transmit in phase 4, and mature at `t + d`,
+//! `d ≥ 1`). The layers below own FIFO; the scheduler owns *when* each
+//! FIFO advances. The sharded executor ([`crate::shard`]) reuses these
+//! phases with per-shard state/transport instances and the same global
+//! sequence numbering, which is why its executions are operationally
+//! identical to this single-fabric loop whenever the inter-shard delay
+//! policy matches the intra-shard one.
+
+use crate::protocol::{Protocol, SimApi};
+use crate::report::{SimConfig, SimReport};
+use crate::state::NodeStore;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::transport::Transport;
+use crate::{Round, SimError};
+use ccq_graph::{Graph, NodeId};
+
+/// Reject configurations the engine cannot execute, constructively.
+pub(crate) fn validate_config(cfg: &SimConfig) -> Result<(), SimError> {
+    if cfg.send_budget < 1 {
+        return Err(SimError::InvalidConfig { what: "send_budget must be ≥ 1" });
+    }
+    if cfg.recv_budget < 1 {
+        return Err(SimError::InvalidConfig { what: "recv_budget must be ≥ 1" });
+    }
+    if cfg.delay_scale < 1 {
+        return Err(SimError::InvalidConfig { what: "delay_scale must be ≥ 1" });
+    }
+    Ok(())
+}
+
+/// Move staged sends/completions/issues from the API buffers into the
+/// engine: sends are validated against the graph and pushed through
+/// `stage` (which returns the new outbox depth), completions and issues
+/// are recorded in the report.
+pub(crate) fn drain_api<M>(
+    graph: &Graph,
+    api: &mut SimApi<M>,
+    report: &mut SimReport,
+    round: Round,
+    trace: bool,
+    mut stage: impl FnMut(NodeId, NodeId, M) -> usize,
+) -> Result<(), SimError> {
+    for (from, to, msg) in api.outgoing.drain(..) {
+        if from >= graph.n() || to >= graph.n() || !graph.has_edge(from, to) {
+            return Err(SimError::InvalidSend { from, to, round });
+        }
+        let depth = stage(from, to, msg);
+        report.max_outbox_depth = report.max_outbox_depth.max(depth);
+    }
+    for i in api.issued.drain(..) {
+        debug_assert_eq!(i.round, round, "issue round mismatch");
+        report.issues.push(i);
+        if trace {
+            report.trace.push(TraceEvent {
+                round,
+                kind: TraceKind::Issue,
+                node: i.node,
+                peer: i.node,
+            });
+        }
+    }
+    for c in api.completed.drain(..) {
+        debug_assert_eq!(c.round, round, "completion round mismatch");
+        report.completions.push(c);
+        if trace {
+            report.trace.push(TraceEvent {
+                round,
+                kind: TraceKind::Complete,
+                node: c.node,
+                peer: c.node,
+            });
+        }
+    }
+    // Open-system backlog: operations issued but not yet completed
+    // (one-shot runs record no issues, so this stays 0 there).
+    report.backlog_high_water =
+        report.backlog_high_water.max(report.issues.len().saturating_sub(report.completions.len()));
+    Ok(())
+}
+
+/// The quiescence / wakeup phase, shared by both executors: given whether
+/// every queue and wheel is idle, decide the next round — `None` ends the
+/// run, otherwise the clock advances by one or fast-forwards to the
+/// protocol's next scheduled wakeup. The `max_rounds` guard applies to
+/// both kinds of advance.
+pub(crate) fn advance_round<P: Protocol>(
+    protocol: &P,
+    idle: bool,
+    round: Round,
+    max_rounds: Round,
+) -> Result<Option<Round>, SimError> {
+    let next = if idle {
+        match protocol.next_wakeup() {
+            Some(r) if r > round => r,
+            _ => return Ok(None),
+        }
+    } else {
+        round + 1
+    };
+    if next > max_rounds {
+        return Err(SimError::MaxRoundsExceeded { limit: max_rounds });
+    }
+    Ok(Some(next))
+}
+
+/// Run `protocol` on `graph` to quiescence over a single state store and a
+/// single transport — the monolithic executor behind [`crate::Simulator`].
+pub(crate) fn run_single<P: Protocol>(
+    graph: &Graph,
+    mut protocol: P,
+    cfg: SimConfig,
+) -> Result<(SimReport, P), SimError> {
+    validate_config(&cfg)?;
+    let n = graph.n();
+    let mut report = SimReport {
+        delay_scale: cfg.delay_scale,
+        received_by_node: vec![0; n],
+        ..Default::default()
+    };
+    let mut store: NodeStore<P::Msg> = NodeStore::new(n);
+    let mut transport: Transport<P::Msg> = Transport::new(cfg.link_delay);
+    let mut api: SimApi<P::Msg> = SimApi::new();
+
+    // Time 0: every requester issues its operation.
+    protocol.on_start(&mut api);
+    drain_api(graph, &mut api, &mut report, 0, cfg.trace, |f, t, m| store.stage(f, t, m))?;
+
+    let mut round: Round = 0;
+    loop {
+        if round > 0 {
+            // Arrivals phase.
+            api.set_round(round);
+            protocol.on_round(&mut api, round);
+            drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
+                store.stage(f, t, m)
+            })?;
+
+            // Maturity phase: due wires move into in-port FIFOs.
+            transport.drain_due(round, |w| {
+                let inbound = crate::state::Inbound { src: w.src, arrival: w.arrival, msg: w.msg };
+                let depth = store.enqueue(w.dst, inbound);
+                report.max_inport_depth = report.max_inport_depth.max(depth);
+            });
+
+            // Delivery phase.
+            for v in 0..n {
+                for _ in 0..cfg.recv_budget {
+                    let Some(inb) = store.pop_inport(v) else { break };
+                    report.queue_wait_rounds += round - inb.arrival;
+                    report.received_by_node[v] += 1;
+                    if cfg.trace {
+                        report.trace.push(TraceEvent {
+                            round,
+                            kind: TraceKind::Deliver,
+                            node: v,
+                            peer: inb.src,
+                        });
+                    }
+                    protocol.on_message(&mut api, v, inb.src, inb.msg);
+                    drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
+                        store.stage(f, t, m)
+                    })?;
+                }
+            }
+        }
+
+        // Transmit phase.
+        for v in 0..n {
+            for _ in 0..cfg.send_budget {
+                let Some((dst, msg)) = store.pop_outbox(v) else { break };
+                report.messages_sent += 1;
+                if cfg.trace {
+                    report.trace.push(TraceEvent {
+                        round,
+                        kind: TraceKind::Transmit,
+                        node: v,
+                        peer: dst,
+                    });
+                }
+                transport.transmit(v, dst, msg, round, report.messages_sent);
+            }
+        }
+
+        // Quiescence / wakeup phase.
+        let idle = store.is_idle() && transport.is_idle();
+        match advance_round(&protocol, idle, round, cfg.max_rounds)? {
+            Some(next) => round = next,
+            None => break,
+        }
+    }
+    report.rounds = round;
+    Ok((report, protocol))
+}

@@ -1,0 +1,383 @@
+//! The multi-shard executor: K fabrics, one protocol, one clock.
+//!
+//! [`ShardedSimulator`] partitions the interconnection graph into `K`
+//! shards (a [`ccq_graph::Partition`]) and gives each shard its own
+//! [`crate::state::NodeStore`] and [`crate::transport::Transport`].
+//! Messages whose endpoints live in different shards travel through an
+//! **inter-shard ferry transport** with its own [`crate::LinkDelay`]
+//! policy — the knob that models federated clusters where crossing a shard
+//! boundary is slower than staying inside one.
+//!
+//! Rounds follow the exact phase order of [`crate::scheduler`]. The
+//! shard-parallel part (via rayon) is the message fabric: wire maturation,
+//! in-port enqueueing and budget-limited harvesting run concurrently per
+//! shard. Protocol-state application and transmission are serialized in
+//! ascending node order, because one [`crate::Protocol`] value holds every
+//! processor's state — this is what lets protocols run **unmodified** on
+//! either executor.
+//!
+//! **Equivalence invariant.** Transmissions carry a run-global sequence
+//! number and maturation merges local + ferry wires in (arrival, sequence)
+//! order, so whenever the ferry's delay policy equals the intra-shard one,
+//! a K-shard execution is operationally identical to the single-fabric
+//! [`crate::Simulator`] — same completions, same rounds, same queue
+//! statistics — for *every* delay policy including per-message jitter.
+//! The only new observable is [`crate::SimReport::cross_shard_messages`].
+//! A divergent ferry policy (e.g. `Fixed { delay: 8 }` between shards)
+//! changes the execution — deliberately.
+
+use crate::protocol::{Protocol, SimApi};
+use crate::report::{LinkDelay, SimConfig, SimReport};
+use crate::scheduler::{advance_round, drain_api, validate_config};
+use crate::state::{Inbound, NodeStore};
+use crate::trace::{TraceEvent, TraceKind};
+use crate::transport::{Transport, Wire};
+use crate::{Round, SimError};
+use ccq_graph::{Graph, NodeId, Partition};
+use rayon::prelude::*;
+
+/// One shard's private message fabric.
+struct ShardState<M> {
+    store: NodeStore<M>,
+    transport: Transport<M>,
+}
+
+/// Deliveries harvested from one shard in one round.
+struct Harvest<M> {
+    /// Per-node FIFO batches, nodes ascending within the shard.
+    batches: Vec<(NodeId, Vec<Inbound<M>>)>,
+    queue_wait: u64,
+    max_inport_depth: usize,
+}
+
+/// One shard's work item for the parallel mature + harvest phase.
+struct ShardTask<M> {
+    shard: usize,
+    state: ShardState<M>,
+    /// Cross-shard wires due this round at this shard's nodes.
+    ferry_due: Vec<Wire<M>>,
+}
+
+/// What the parallel phase hands back per shard.
+struct ShardOutcome<M> {
+    state: ShardState<M>,
+    harvest: Harvest<M>,
+}
+
+/// An executable sharded simulation: graph + partition + protocol + config.
+pub struct ShardedSimulator<'g, P: Protocol> {
+    graph: &'g Graph,
+    partition: Partition,
+    protocol: P,
+    config: SimConfig,
+    inter_delay: LinkDelay,
+}
+
+impl<'g, P: Protocol> ShardedSimulator<'g, P>
+where
+    P::Msg: Send,
+{
+    /// Create a sharded simulator. The inter-shard ferry defaults to the
+    /// intra-shard delay policy (`config.link_delay`), under which the
+    /// execution reproduces the single-fabric [`crate::Simulator`] exactly.
+    pub fn new(graph: &'g Graph, partition: Partition, protocol: P, config: SimConfig) -> Self {
+        let inter_delay = config.link_delay;
+        ShardedSimulator { graph, partition, protocol, config, inter_delay }
+    }
+
+    /// Builder-style: set the delay policy of the inter-shard ferry.
+    pub fn with_inter_delay(mut self, delay: LinkDelay) -> Self {
+        self.inter_delay = delay;
+        self
+    }
+
+    /// Run to quiescence, returning the report and final protocol state.
+    pub fn run_with_state(self) -> Result<(SimReport, P), SimError> {
+        let ShardedSimulator { graph, partition, mut protocol, config: cfg, inter_delay } = self;
+        validate_config(&cfg)?;
+        if partition.n() != graph.n() {
+            return Err(SimError::InvalidConfig {
+                what: "shard partition does not cover the graph's vertex set",
+            });
+        }
+        let n = graph.n();
+        let k = partition.k();
+        let mut report = SimReport {
+            delay_scale: cfg.delay_scale,
+            received_by_node: vec![0; n],
+            ..Default::default()
+        };
+        let mut shards: Vec<ShardState<P::Msg>> = (0..k)
+            .map(|_| ShardState {
+                store: NodeStore::new(n),
+                transport: Transport::new(cfg.link_delay),
+            })
+            .collect();
+        let mut ferry: Transport<P::Msg> = Transport::new(inter_delay);
+        let mut api: SimApi<P::Msg> = SimApi::new();
+
+        // Time 0: every requester issues its operation.
+        protocol.on_start(&mut api);
+        drain_api(graph, &mut api, &mut report, 0, cfg.trace, |f, t, m| {
+            shards[partition.shard_of(f)].store.stage(f, t, m)
+        })?;
+
+        let mut round: Round = 0;
+        loop {
+            if round > 0 {
+                // Arrivals phase (global: the protocol is one value).
+                api.set_round(round);
+                protocol.on_round(&mut api, round);
+                drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
+                    shards[partition.shard_of(f)].store.stage(f, t, m)
+                })?;
+
+                // Ferry maturity: bucket due cross-shard wires by their
+                // destination shard (sequentially — the ferry is shared).
+                let mut buckets: Vec<Vec<Wire<P::Msg>>> = (0..k).map(|_| Vec::new()).collect();
+                ferry.drain_due(round, |w| buckets[partition.shard_of(w.dst)].push(w));
+
+                // Shard-parallel phase: each shard matures its local wheel,
+                // merges the ferry bucket in (arrival, sequence) order,
+                // enqueues into in-ports, and harvests up to `recv_budget`
+                // messages per local node.
+                let work: Vec<ShardTask<P::Msg>> = std::mem::take(&mut shards)
+                    .into_iter()
+                    .zip(buckets)
+                    .enumerate()
+                    .map(|(shard, (state, ferry_due))| ShardTask { shard, state, ferry_due })
+                    .collect();
+                let done: Vec<ShardOutcome<P::Msg>> = work
+                    .into_par_iter()
+                    .map(|task| {
+                        let ShardTask { shard, mut state, ferry_due: mut due } = task;
+                        state.transport.drain_due(round, |w| due.push(w));
+                        due.sort_unstable_by_key(|w| (w.arrival, w.seq));
+                        let mut max_inport_depth = 0usize;
+                        for w in due {
+                            let inbound = Inbound { src: w.src, arrival: w.arrival, msg: w.msg };
+                            max_inport_depth =
+                                max_inport_depth.max(state.store.enqueue(w.dst, inbound));
+                        }
+                        let mut batches = Vec::new();
+                        let mut queue_wait = 0u64;
+                        for &v in partition.members(shard) {
+                            let mut batch = Vec::new();
+                            for _ in 0..cfg.recv_budget {
+                                let Some(inb) = state.store.pop_inport(v) else { break };
+                                queue_wait += round - inb.arrival;
+                                batch.push(inb);
+                            }
+                            if !batch.is_empty() {
+                                batches.push((v, batch));
+                            }
+                        }
+                        let harvest = Harvest { batches, queue_wait, max_inport_depth };
+                        ShardOutcome { state, harvest }
+                    })
+                    .collect();
+
+                let mut all_batches: Vec<(NodeId, Vec<Inbound<P::Msg>>)> = Vec::new();
+                for out in done {
+                    shards.push(out.state);
+                    report.queue_wait_rounds += out.harvest.queue_wait;
+                    report.max_inport_depth =
+                        report.max_inport_depth.max(out.harvest.max_inport_depth);
+                    all_batches.extend(out.harvest.batches);
+                }
+                // Shards hold disjoint nodes; a stable sort by node id
+                // recovers the monolith's global delivery order.
+                all_batches.sort_by_key(|&(v, _)| v);
+
+                // Delivery phase (sequential: protocol state is global).
+                for (v, batch) in all_batches {
+                    for inb in batch {
+                        report.received_by_node[v] += 1;
+                        if cfg.trace {
+                            report.trace.push(TraceEvent {
+                                round,
+                                kind: TraceKind::Deliver,
+                                node: v,
+                                peer: inb.src,
+                            });
+                        }
+                        protocol.on_message(&mut api, v, inb.src, inb.msg);
+                        drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
+                            shards[partition.shard_of(f)].store.stage(f, t, m)
+                        })?;
+                    }
+                }
+            }
+
+            // Transmit phase: global ascending node order assigns the
+            // run-global sequence numbers; cross-shard messages ride the
+            // ferry, everything else stays on the shard's own transport.
+            for v in 0..n {
+                let sv = partition.shard_of(v);
+                for _ in 0..cfg.send_budget {
+                    let Some((dst, msg)) = shards[sv].store.pop_outbox(v) else { break };
+                    report.messages_sent += 1;
+                    if cfg.trace {
+                        report.trace.push(TraceEvent {
+                            round,
+                            kind: TraceKind::Transmit,
+                            node: v,
+                            peer: dst,
+                        });
+                    }
+                    if partition.shard_of(dst) == sv {
+                        shards[sv].transport.transmit(v, dst, msg, round, report.messages_sent);
+                    } else {
+                        report.cross_shard_messages += 1;
+                        ferry.transmit(v, dst, msg, round, report.messages_sent);
+                    }
+                }
+            }
+
+            // Quiescence / wakeup phase (shared with the single executor).
+            let idle = ferry.is_idle()
+                && shards.iter().all(|s| s.store.is_idle() && s.transport.is_idle());
+            match advance_round(&protocol, idle, round, cfg.max_rounds)? {
+                Some(next) => round = next,
+                None => break,
+            }
+        }
+        report.rounds = round;
+        Ok((report, protocol))
+    }
+
+    /// Run to quiescence, returning only the report.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_with_state().map(|(r, _)| r)
+    }
+}
+
+/// Convenience: run `protocol` on `graph` under `config`, sharded by
+/// `partition` (ferry delay = the intra-shard policy).
+pub fn run_protocol_sharded<P: Protocol>(
+    graph: &Graph,
+    partition: Partition,
+    protocol: P,
+    config: SimConfig,
+) -> Result<SimReport, SimError>
+where
+    P::Msg: Send,
+{
+    ShardedSimulator::new(graph, partition, protocol, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccq_graph::topology;
+
+    /// Token walks the path 0→1→…→n−1, completing at each hop.
+    struct Walk {
+        n: usize,
+    }
+
+    impl Protocol for Walk {
+        type Msg = ();
+        fn on_start(&mut self, api: &mut SimApi<()>) {
+            api.complete(0, 0);
+            if self.n > 1 {
+                api.send(0, 1, ());
+            }
+        }
+        fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, _: NodeId, _: ()) {
+            api.complete(node, node as u64);
+            if node + 1 < self.n {
+                api.send(node, node + 1, ());
+            }
+        }
+    }
+
+    fn reports_equal_modulo_cross_shard(a: &SimReport, b: &SimReport) -> bool {
+        let strip = |r: &SimReport| {
+            let mut r = r.clone();
+            r.cross_shard_messages = 0;
+            serde_json::to_string(&r).unwrap()
+        };
+        strip(a) == strip(b)
+    }
+
+    #[test]
+    fn one_shard_reproduces_the_monolith_exactly() {
+        let g = topology::path(9);
+        let single = crate::run_protocol(&g, Walk { n: 9 }, SimConfig::strict()).unwrap();
+        let sharded = run_protocol_sharded(
+            &g,
+            Partition::contiguous(9, 1),
+            Walk { n: 9 },
+            SimConfig::strict(),
+        )
+        .unwrap();
+        assert_eq!(sharded.cross_shard_messages, 0);
+        assert!(reports_equal_modulo_cross_shard(&single, &sharded));
+    }
+
+    #[test]
+    fn k_shards_match_the_monolith_and_count_crossings() {
+        let g = topology::path(12);
+        let single = crate::run_protocol(&g, Walk { n: 12 }, SimConfig::strict()).unwrap();
+        for k in [2, 3, 4] {
+            let part = Partition::contiguous(12, k);
+            let sharded =
+                run_protocol_sharded(&g, part, Walk { n: 12 }, SimConfig::strict()).unwrap();
+            // The token crosses each of the k−1 shard boundaries once.
+            assert_eq!(sharded.cross_shard_messages, k as u64 - 1);
+            assert!(
+                reports_equal_modulo_cross_shard(&single, &sharded),
+                "k = {k} diverged from the single-fabric run"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_equivalence_holds_via_global_sequencing() {
+        let g = topology::path(16);
+        let cfg = SimConfig::strict().with_jitter(4, 99);
+        let single = crate::run_protocol(&g, Walk { n: 16 }, cfg).unwrap();
+        let sharded =
+            run_protocol_sharded(&g, Partition::striped(16, 4), Walk { n: 16 }, cfg).unwrap();
+        assert!(reports_equal_modulo_cross_shard(&single, &sharded));
+        assert!(sharded.cross_shard_messages > 0);
+    }
+
+    #[test]
+    fn slow_ferry_stretches_the_walk() {
+        let g = topology::path(8);
+        let fast = run_protocol_sharded(
+            &g,
+            Partition::contiguous(8, 2),
+            Walk { n: 8 },
+            SimConfig::strict(),
+        )
+        .unwrap();
+        let slow = ShardedSimulator::new(
+            &g,
+            Partition::contiguous(8, 2),
+            Walk { n: 8 },
+            SimConfig::strict(),
+        )
+        .with_inter_delay(LinkDelay::Fixed { delay: 10 })
+        .run()
+        .unwrap();
+        // One boundary crossing at 10 rounds instead of 1.
+        assert_eq!(slow.rounds, fast.rounds + 9);
+        assert_eq!(slow.ops(), fast.ops());
+    }
+
+    #[test]
+    fn partition_shape_mismatch_is_invalid_config() {
+        let g = topology::path(5);
+        let err = run_protocol_sharded(
+            &g,
+            Partition::contiguous(4, 2),
+            Walk { n: 5 },
+            SimConfig::strict(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-processor queue state: FIFO in-ports and outboxes.
+//!
+//! [`NodeStore`] owns the two budget-limited queues of every processor and
+//! nothing else — no wire scheduling (that is [`crate::transport`]) and no
+//! phase ordering (that is [`crate::scheduler`]). The invariants this layer
+//! owns:
+//!
+//! * **outbox FIFO** — sends staged by a protocol leave the processor in
+//!   staging order, at most `send_budget` per round;
+//! * **in-port FIFO** — matured messages are handed to the protocol in the
+//!   order the transport enqueued them, at most `recv_budget` per round;
+//! * messages beyond a budget *wait in place*; that waiting is the measured
+//!   contention ([`crate::SimReport::queue_wait_rounds`] and the depth
+//!   high-water marks).
+
+use crate::Round;
+use ccq_graph::NodeId;
+use std::collections::VecDeque;
+
+/// A message sitting in a destination's in-port, ready for delivery.
+#[derive(Debug)]
+pub struct Inbound<M> {
+    /// Sender.
+    pub src: NodeId,
+    /// Round at which it reached the in-port (for queue-wait accounting).
+    pub arrival: Round,
+    /// Payload.
+    pub msg: M,
+}
+
+/// In-ports and outboxes for `n` processors.
+#[derive(Debug)]
+pub struct NodeStore<M> {
+    outbox: Vec<VecDeque<(NodeId, M)>>,
+    inport: Vec<VecDeque<Inbound<M>>>,
+}
+
+impl<M> NodeStore<M> {
+    /// Empty queues for `n` processors.
+    pub fn new(n: usize) -> Self {
+        NodeStore {
+            outbox: (0..n).map(|_| VecDeque::new()).collect(),
+            inport: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Stage a send in `from`'s outbox; returns the new outbox depth.
+    pub fn stage(&mut self, from: NodeId, to: NodeId, msg: M) -> usize {
+        self.outbox[from].push_back((to, msg));
+        self.outbox[from].len()
+    }
+
+    /// Enqueue a matured message at `dst`'s in-port; returns the new depth.
+    pub fn enqueue(&mut self, dst: NodeId, inbound: Inbound<M>) -> usize {
+        self.inport[dst].push_back(inbound);
+        self.inport[dst].len()
+    }
+
+    /// Dequeue the oldest in-port message of `v`, if any.
+    pub fn pop_inport(&mut self, v: NodeId) -> Option<Inbound<M>> {
+        self.inport[v].pop_front()
+    }
+
+    /// Dequeue the oldest staged send of `v`, if any.
+    pub fn pop_outbox(&mut self, v: NodeId) -> Option<(NodeId, M)> {
+        self.outbox[v].pop_front()
+    }
+
+    /// Whether every queue (in-port and outbox) is empty.
+    pub fn is_idle(&self) -> bool {
+        self.outbox.iter().all(VecDeque::is_empty) && self.inport.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_are_fifo_and_idle_tracks_both_sides() {
+        let mut s: NodeStore<u32> = NodeStore::new(3);
+        assert!(s.is_idle());
+        assert_eq!(s.stage(0, 1, 10), 1);
+        assert_eq!(s.stage(0, 2, 20), 2);
+        assert!(!s.is_idle());
+        assert_eq!(s.pop_outbox(0), Some((1, 10)));
+        assert_eq!(s.pop_outbox(0), Some((2, 20)));
+        assert_eq!(s.pop_outbox(0), None);
+        assert!(s.is_idle());
+
+        assert_eq!(s.enqueue(2, Inbound { src: 0, arrival: 4, msg: 7 }), 1);
+        assert_eq!(s.enqueue(2, Inbound { src: 1, arrival: 5, msg: 8 }), 2);
+        assert!(!s.is_idle());
+        assert_eq!(s.pop_inport(2).unwrap().msg, 7);
+        assert_eq!(s.pop_inport(2).unwrap().msg, 8);
+        assert!(s.pop_inport(2).is_none());
+        assert!(s.is_idle());
+    }
+}

@@ -9,7 +9,8 @@
 //!
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-//!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
+//!           [--shards <plans>] [--repeats N] [--seed S] [--json -|PATH]
+//!           [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
 //!     `--json` (`-` writes JSON to stdout and nothing else). Without
 //!     `--topo` the sweep runs on the default pair mesh2d:8 + torus2d:4.
@@ -26,6 +27,9 @@
 //!              | hotspot:rate=R[:s=E][:seed=S]
 //! Delays:      unit | fixed:d=N | perlink:max=N[:seed=S]
 //!              | jitter:max=N[:seed=S]
+//! Shards:      k[:strategy] with strategy one of contig (default),
+//!              stripe, edgecut — e.g. 4, 4:edgecut. `--shards 1` runs
+//!              the same plan as no flag (byte-identical JSON).
 //! ```
 
 use ccq_repro::core::experiments::{self, Scale};
@@ -60,13 +64,15 @@ usage:
   ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-            [--repeats N] [--seed S] [--json -|PATH] [--pretty]
+            [--shards <k[:strategy]>] [--repeats N] [--seed S]
+            [--json -|PATH] [--pretty]
 
 examples:
   ccq run --exp t4
   ccq sweep --topo mesh2d --proto arrow,central-counter --json -
   ccq sweep --topo complete:256,hypercube:8 --proto queuing --repeats 3
   ccq sweep --arrival poisson:rate=0.2 --delay jitter:max=3 --json -
+  ccq sweep --topo torus2d:6 --shards 4:edgecut --json -
 ";
 
 fn cmd_list() -> i32 {
@@ -96,6 +102,7 @@ fn cmd_list() -> i32 {
         "delays (ccq sweep --delay): unit | fixed:d=N | perlink:max=N[:seed=S] | \
          jitter:max=N[:seed=S]"
     );
+    println!("shards (ccq sweep --shards): k[:strategy], strategy = contig | stripe | edgecut");
     0
 }
 
@@ -159,6 +166,7 @@ struct SweepArgs {
     patterns: Vec<RequestPattern>,
     arrivals: Vec<ArrivalSpec>,
     delays: Vec<LinkDelay>,
+    shards: Vec<ShardSpec>,
     repeats: usize,
     seed: u64,
     json: Option<String>,
@@ -175,6 +183,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
         .patterns(parsed.patterns)
         .arrivals(parsed.arrivals)
         .delays(parsed.delays)
+        .shards(parsed.shards)
         .repeats(parsed.repeats)
         .seed(parsed.seed);
     for p in &parsed.protos {
@@ -222,6 +231,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         patterns: Vec::new(),
         arrivals: Vec::new(),
         delays: Vec::new(),
+        shards: Vec::new(),
         repeats: 1,
         seed: 0,
         json: None,
@@ -272,6 +282,11 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                     out.delays.push(parse_delay(tok)?);
                 }
             }
+            "--shards" => {
+                for tok in value("--shards")?.split(',') {
+                    out.shards.push(parse_shards(tok)?);
+                }
+            }
             "--repeats" => {
                 out.repeats = value("--repeats")?
                     .parse()
@@ -301,7 +316,40 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
     if out.delays.is_empty() {
         out.delays.push(LinkDelay::Unit);
     }
+    if out.shards.is_empty() {
+        out.shards.push(ShardSpec::single());
+    }
     Ok(out)
+}
+
+/// Largest shard count the CLI accepts — every shard carries per-node
+/// state, so a typo like `--shards 40000000` should fail fast.
+const MAX_CLI_SHARDS: usize = 4096;
+
+fn parse_shards(token: &str) -> Result<ShardSpec, String> {
+    let (k_raw, strategy_raw) = match token.split_once(':') {
+        Some((k, s)) => (k, Some(s)),
+        None => (token, None),
+    };
+    let k: usize =
+        k_raw.parse().map_err(|_| format!("bad shard count in `{token}` (want k[:strategy])"))?;
+    if k < 1 {
+        return Err(format!("shard count must be ≥ 1 in `{token}`"));
+    }
+    if k > MAX_CLI_SHARDS {
+        return Err(format!("shard count must be ≤ {MAX_CLI_SHARDS} in `{token}`"));
+    }
+    let strategy = match strategy_raw {
+        None | Some("contig") | Some("contiguous") => ShardStrategy::Contiguous,
+        Some("stripe") | Some("striped") => ShardStrategy::Striped,
+        Some("edgecut") => ShardStrategy::EdgeCut,
+        Some(other) => {
+            return Err(format!(
+                "unknown shard strategy `{other}` in `{token}` (contig | stripe | edgecut)"
+            ))
+        }
+    };
+    Ok(ShardSpec::new(k, strategy))
 }
 
 /// Split `key=value` parameters of a spec token, validating keys against

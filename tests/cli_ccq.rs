@@ -163,3 +163,80 @@ fn sweep_writes_json_files() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("sweep cases"));
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn shards_one_is_byte_identical_to_no_flag() {
+    // The acceptance criterion: `--shards 1` must not perturb a sweep's
+    // JSON in any way.
+    let base = ccq(&["sweep", "--topo", "torus2d:6", "--json", "-"]);
+    let sharded = ccq(&["sweep", "--topo", "torus2d:6", "--shards", "1", "--json", "-"]);
+    assert!(base.status.success() && sharded.status.success());
+    assert_eq!(base.stdout, sharded.stdout, "--shards 1 changed the JSON bytes");
+}
+
+#[test]
+fn shards_four_completes_every_protocol_with_cross_shard_counts() {
+    let out = ccq(&["sweep", "--topo", "torus2d:6", "--shards", "4", "--json", "-"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let doc: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    assert_eq!(cases.len(), 9, "all registry protocols");
+    for case in cases {
+        assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true), "{case:?}");
+        assert_eq!(case.get("shards").and_then(|v| v.as_str()), Some("4"));
+        assert!(
+            case.get("cross_shard_messages").and_then(|v| v.as_u64()).unwrap() > 0,
+            "no cross-shard traffic: {case:?}"
+        );
+    }
+    let plan_shards = doc.get("plan").and_then(|p| p.get("shards")).and_then(|v| v.as_array());
+    let plan_shards: Vec<&str> = plan_shards.unwrap().iter().map(|v| v.as_str().unwrap()).collect();
+    assert_eq!(plan_shards, vec!["4"]);
+}
+
+#[test]
+fn shards_accepts_strategies_and_lists() {
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "mesh2d:4",
+        "--proto",
+        "arrow",
+        "--shards",
+        "1,2:stripe,4:edgecut",
+        "--json",
+        "-",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let doc: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    assert_eq!(cases.len(), 3, "one arrow case per shard plan");
+    let shard_names: Vec<&str> =
+        cases.iter().map(|c| c.get("shards").unwrap().as_str().unwrap()).collect();
+    assert_eq!(shard_names, vec!["1", "2:stripe", "4:edgecut"]);
+    // Identical totals across plans (default ferry), distinct traffic.
+    let totals: std::collections::BTreeSet<u64> =
+        cases.iter().map(|c| c.get("total_delay").unwrap().as_u64().unwrap()).collect();
+    assert_eq!(totals.len(), 1, "default-ferry shard plans must agree on delays");
+    assert_eq!(cases[0].get("cross_shard_messages").and_then(|v| v.as_u64()), Some(0));
+    // Summaries are per shard plan.
+    assert_eq!(doc.get("summaries").and_then(|s| s.as_array()).unwrap().len(), 3);
+}
+
+#[test]
+fn malformed_shards_specs_fail_loudly() {
+    let checks = [
+        (vec!["sweep", "--shards", "0"], "shard count"),
+        (vec!["sweep", "--shards", "many"], "bad shard count"),
+        (vec!["sweep", "--shards", "4:mitosis"], "unknown shard strategy"),
+        (vec!["sweep", "--shards", "9999999"], "shard count"),
+    ];
+    for (args, needle) in checks {
+        let out = ccq(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
+    }
+}

@@ -1,13 +1,32 @@
 //! Integration tests for the long-lived extension and the asynchronous
 //! (jittered) model across topologies — correctness must be independent of
-//! arrival schedules and link-delay schedules.
+//! arrival schedules and link-delay schedules. Long-lived arrivals run the
+//! plain [`ArrowProtocol`] (deferred mode) through the generic
+//! [`ccq_repro::sim::Paced`] wrapper — the bespoke long-lived shim is gone.
 
 use ccq_repro::graph::{NodeId, Tree};
 use ccq_repro::prelude::*;
-use ccq_repro::queuing::{verify_total_order, LongLivedArrow};
-use ccq_repro::sim::{run_protocol, Round, SimConfig, Simulator};
+use ccq_repro::queuing::{verify_total_order, ArrowProtocol};
+use ccq_repro::sim::{run_protocol, Paced, Round, SimConfig, Simulator};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+
+/// The arrow protocol under an arrival schedule, via [`Paced`].
+fn paced_arrow(tree: &Tree, tail: NodeId, schedule: &[(Round, NodeId)]) -> Paced<ArrowProtocol> {
+    let mut requesters: Vec<NodeId> = schedule.iter().map(|&(_, v)| v).collect();
+    requesters.sort_unstable();
+    let arrow = ArrowProtocol::new(tree, tail, &requesters).deferred(true);
+    Paced::new(arrow, schedule.to_vec())
+}
+
+/// Issue round per node (`Round::MAX` = never requests).
+fn issue_rounds(n: usize, schedule: &[(Round, NodeId)]) -> Vec<Round> {
+    let mut issue = vec![Round::MAX; n];
+    for &(r, v) in schedule {
+        issue[v] = r;
+    }
+    issue
+}
 
 fn run_longlived(
     tree: &Tree,
@@ -16,9 +35,9 @@ fn run_longlived(
     cfg: SimConfig,
 ) -> (ccq_repro::sim::SimReport, Vec<Round>) {
     let g = tree.to_graph();
-    let proto = LongLivedArrow::new(tree, tail, schedule);
+    let proto = paced_arrow(tree, tail, schedule);
     let requesters = proto.requesters();
-    let issue = proto.issue_rounds().to_vec();
+    let issue = issue_rounds(tree.n(), schedule);
     let rep = run_protocol(&g, proto, cfg).unwrap();
     let pred_of: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();
     verify_total_order(&requesters, &pred_of).unwrap();
@@ -111,7 +130,7 @@ fn far_future_schedule_fast_forwards() {
     let schedule: Vec<(Round, NodeId)> = (0..16).map(|v| (v as u64 * 700_000, v)).collect();
     let start = std::time::Instant::now();
     let g = s.queuing_tree.to_graph();
-    let proto = LongLivedArrow::new(&s.queuing_tree, s.tail, &schedule);
+    let proto = paced_arrow(&s.queuing_tree, s.tail, &schedule);
     let requesters = proto.requesters();
     let rep = Simulator::new(&g, proto, SimConfig::strict()).run().unwrap();
     let pred_of: Vec<(NodeId, u64)> = rep.completions.iter().map(|c| (c.node, c.value)).collect();

@@ -1,0 +1,216 @@
+//! Shard-equivalence guarantees of the multi-shard executor.
+//!
+//! Two layers of proof that the transport/scheduler boundaries are real:
+//!
+//! * **property tests** — on random connected graphs, a
+//!   [`ShardedSimulator`] with `shards = 1` produces a [`SimReport`] that
+//!   is *identical* (field for field, via JSON) to the single-fabric
+//!   [`Simulator`], for every delay policy;
+//! * **registry sweeps** — for every registry protocol on mesh2d and
+//!   torus2d, K-shard runs complete the same operations in the same order
+//!   with the same delays as the single-shard run (the default ferry
+//!   inherits the intra-shard delay policy, so only the cross-shard
+//!   traffic counter may differ).
+
+use ccq_repro::graph::{spanning, topology, NodeId, Partition};
+use ccq_repro::prelude::*;
+use ccq_repro::queuing::ArrowProtocol;
+use ccq_repro::sim::{
+    run_protocol, run_protocol_sharded, LinkDelay, SimConfig, SimReport, Simulator,
+};
+use proptest::prelude::*;
+
+/// JSON encoding with the sharding-only counter zeroed, so single- and
+/// multi-fabric reports can be compared for operational identity.
+fn fingerprint(rep: &SimReport) -> String {
+    let mut rep = rep.clone();
+    rep.cross_shard_messages = 0;
+    serde_json::to_string(&rep).expect("reports serialize")
+}
+
+fn partition_for(graph: &ccq_repro::graph::Graph, k: usize, strategy: u8) -> Partition {
+    match strategy % 3 {
+        0 => Partition::contiguous(graph.n(), k),
+        1 => Partition::striped(graph.n(), k),
+        _ => Partition::greedy_edge_cut(graph, k),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `shards = 1` through the sharded executor is byte-identical to the
+    /// unsharded engine — on random trees, under every delay policy.
+    #[test]
+    fn one_shard_equals_unsharded(
+        n in 2usize..32,
+        seed in any::<u64>(),
+        delay_kind in 0u8..4,
+    ) {
+        let g = topology::random_connected(n, 0.15, seed);
+        let tree = spanning::bfs_tree(&g, seed as usize % n);
+        let requests: Vec<NodeId> = (0..n).collect();
+        let delay = match delay_kind {
+            0 => LinkDelay::Unit,
+            1 => LinkDelay::Fixed { delay: 3 },
+            2 => LinkDelay::PerLink { max: 4, seed },
+            _ => LinkDelay::Jitter { max: 4, seed },
+        };
+        let cfg = SimConfig::strict().with_link_delay(delay);
+        let single = run_protocol(&g, ArrowProtocol::new(&tree, 0, &requests), cfg).unwrap();
+        let sharded = run_protocol_sharded(
+            &g,
+            Partition::contiguous(n, 1),
+            ArrowProtocol::new(&tree, 0, &requests),
+            cfg,
+        )
+        .unwrap();
+        prop_assert_eq!(sharded.cross_shard_messages, 0);
+        prop_assert_eq!(fingerprint(&single), fingerprint(&sharded));
+    }
+
+    /// K shards with the default ferry are operationally identical to the
+    /// single fabric — any partition strategy, any delay policy (global
+    /// transmission sequencing makes even per-message jitter agree).
+    #[test]
+    fn k_shards_equal_unsharded(
+        n in 2usize..32,
+        seed in any::<u64>(),
+        k in 2usize..6,
+        strategy in 0u8..3,
+        delay_kind in 0u8..4,
+    ) {
+        let g = topology::random_connected(n, 0.15, seed);
+        let tree = spanning::bfs_tree(&g, seed as usize % n);
+        let requests: Vec<NodeId> = (0..n).collect();
+        let delay = match delay_kind {
+            0 => LinkDelay::Unit,
+            1 => LinkDelay::Fixed { delay: 2 },
+            2 => LinkDelay::PerLink { max: 3, seed },
+            _ => LinkDelay::Jitter { max: 3, seed },
+        };
+        let cfg = SimConfig::strict().with_link_delay(delay);
+        let single = run_protocol(&g, ArrowProtocol::new(&tree, 0, &requests), cfg).unwrap();
+        let part = partition_for(&g, k, strategy);
+        let sharded =
+            run_protocol_sharded(&g, part, ArrowProtocol::new(&tree, 0, &requests), cfg).unwrap();
+        prop_assert_eq!(fingerprint(&single), fingerprint(&sharded));
+    }
+}
+
+/// Every registry protocol, on mesh2d and torus2d, across shard counts and
+/// strategies: completion counts, orders and all metrics match the
+/// single-shard run, and sharded runs actually ferry messages.
+#[test]
+fn registry_protocols_match_single_shard_on_mesh_and_torus() {
+    for topo in [TopoSpec::Mesh2D { side: 4 }, TopoSpec::Torus2D { side: 4 }] {
+        let baseline = Scenario::build(topo.clone(), RequestPattern::All);
+        for spec in registry() {
+            let mode = match spec.kind() {
+                ProtocolKind::Queuing => ModelMode::Expanded,
+                ProtocolKind::Counting => ModelMode::Strict,
+            };
+            let single = run_spec(*spec, &baseline, mode).unwrap();
+            for k in [2, 4] {
+                for strategy in
+                    [ShardStrategy::Contiguous, ShardStrategy::Striped, ShardStrategy::EdgeCut]
+                {
+                    let scenario = Scenario::build(topo.clone(), RequestPattern::All)
+                        .with_shards(ShardSpec::new(k, strategy));
+                    let sharded = run_spec(*spec, &scenario, mode).unwrap();
+                    let ctx = format!(
+                        "{} on {} with k={k} {}",
+                        spec.name(),
+                        topo.name(),
+                        strategy.label()
+                    );
+                    // Same operations in the same order with the same delays.
+                    assert_eq!(sharded.order, single.order, "{ctx}: order diverged");
+                    assert_eq!(
+                        fingerprint(&sharded.report),
+                        fingerprint(&single.report),
+                        "{ctx}: report diverged"
+                    );
+                    assert!(
+                        sharded.report.cross_shard_messages > 0,
+                        "{ctx}: no cross-shard traffic measured"
+                    );
+                    assert_eq!(single.report.cross_shard_messages, 0);
+                }
+            }
+        }
+    }
+}
+
+/// Open-system arrivals survive sharding too: the Paced wrapper drives the
+/// same schedule on either executor.
+#[test]
+fn open_arrivals_match_across_executors() {
+    let arrival = ArrivalSpec::Poisson { rate: 0.3, seed: 9 };
+    let single = Scenario::build_with(TopoSpec::Torus2D { side: 4 }, RequestPattern::All, arrival);
+    for spec in registry() {
+        let base = run_spec(*spec, &single, ModelMode::Strict).unwrap();
+        let sharded_scenario = Scenario::build_with(
+            TopoSpec::Torus2D { side: 4 },
+            RequestPattern::All,
+            ArrivalSpec::Poisson { rate: 0.3, seed: 9 },
+        )
+        .with_shards(ShardSpec::new(3, ShardStrategy::EdgeCut));
+        let sharded = run_spec(*spec, &sharded_scenario, ModelMode::Strict).unwrap();
+        assert_eq!(
+            fingerprint(&base.report),
+            fingerprint(&sharded.report),
+            "{} open-system run diverged under sharding",
+            spec.name()
+        );
+    }
+}
+
+/// A deliberately slower ferry is the one thing that *should* change the
+/// execution — and it must still verify.
+#[test]
+fn slow_ferry_diverges_but_verifies() {
+    let scenario = Scenario::build(TopoSpec::Torus2D { side: 4 }, RequestPattern::All).with_shards(
+        ShardSpec::new(4, ShardStrategy::EdgeCut).with_inter_delay(LinkDelay::Fixed { delay: 7 }),
+    );
+    let baseline = Scenario::build(TopoSpec::Torus2D { side: 4 }, RequestPattern::All);
+    for spec in registry() {
+        let fed = run_spec(*spec, &scenario, ModelMode::Strict).unwrap();
+        let base = run_spec(*spec, &baseline, ModelMode::Strict).unwrap();
+        assert_eq!(fed.order.len(), base.order.len(), "{}", spec.name());
+        assert!(
+            fed.report.total_delay() > base.report.total_delay(),
+            "{}: ferry toll did not register ({} vs {})",
+            spec.name(),
+            fed.report.total_delay(),
+            base.report.total_delay()
+        );
+    }
+}
+
+/// The sharded executor reports invalid configuration constructively
+/// (satellite: no panicking config validation anywhere on the run path).
+#[test]
+fn sharded_invalid_config_is_an_error_not_a_panic() {
+    let g = topology::path(6);
+    let tree = spanning::bfs_tree(&g, 0);
+    let requests: Vec<NodeId> = (0..6).collect();
+    // Partition shape mismatch.
+    let err = run_protocol_sharded(
+        &g,
+        Partition::contiguous(5, 2),
+        ArrowProtocol::new(&tree, 0, &requests),
+        SimConfig::strict(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("partition"), "{err}");
+    // Zero budgets through the plain engine.
+    let err = Simulator::new(
+        &g,
+        ArrowProtocol::new(&tree, 0, &requests),
+        SimConfig { send_budget: 0, ..SimConfig::strict() },
+    )
+    .run()
+    .unwrap_err();
+    assert!(err.to_string().contains("send_budget"), "{err}");
+}
