@@ -25,6 +25,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         tail: 0,
         arrival: ArrivalSpec::OneShot,
         schedule: ArrivalSpec::OneShot.materialize(&requests),
+        admission: AdmissionSpec::Open,
         shards: ShardSpec::single(),
     };
 

@@ -30,12 +30,14 @@
 //! | [`t10_longlived`] | extension: long-lived arrivals (§1.2 related work) |
 //! | [`t11_openload`] | extension: open-system load (arrival processes × latency percentiles) |
 //! | [`t12_sharded`] | extension: multi-shard executor (cross-shard traffic × federated ferry) |
+//! | [`t13_backpressure`] | extension: admission control (drop/delay/AIMD × throughput-latency trade) |
 
 pub mod f2_runs;
 pub mod fig1;
 pub mod t10_longlived;
 pub mod t11_openload;
 pub mod t12_sharded;
+pub mod t13_backpressure;
 pub mod t1_logstar;
 pub mod t2_diameter;
 pub mod t3_list_arrow;
@@ -95,6 +97,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "t10", paper_item: "long-lived extension", run: t10_longlived::run },
         Experiment { id: "t11", paper_item: "open-system load extension", run: t11_openload::run },
         Experiment { id: "t12", paper_item: "multi-shard extension", run: t12_sharded::run },
+        Experiment { id: "t13", paper_item: "backpressure extension", run: t13_backpressure::run },
     ]
 }
 

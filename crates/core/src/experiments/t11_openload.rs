@@ -74,7 +74,65 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     t2.note("bursty = on/off arrival windows; hotspot = Zipf-skewed arrival order over nodes");
-    vec![t, t2]
+
+    let mut t3 = crossover_table(scale);
+    t3.note("gap = best counting p95 latency / best queuing p95 latency; > 1 = queuing wins");
+    t3.note("the batch end (rate 1.0) is the paper's regime: queuing wins; sparse arrivals");
+    t3.note("invert it — a lone central counter beats the token walk when nothing contends");
+    vec![t, t2, t3]
+}
+
+/// The open-system crossover: arrival rate × topology, best queuing vs
+/// best counting per cell (the ROADMAP "crossover under load" item — t11's
+/// original tables fix one mesh; this sweeps the load on two topologies).
+/// The open-system comparison is by **p95 completion latency** (completion
+/// − issue), not total delay: under spread-out arrivals, total delay is
+/// dominated by the arrival times themselves, while latency measures what
+/// each requester actually waited.
+fn crossover_table(scale: Scale) -> Table {
+    let topos = [
+        TopoSpec::Mesh2D { side: scale.pick(5, 10) },
+        TopoSpec::Torus2D { side: scale.pick(4, 8) },
+    ];
+    let rates = scale.pick(vec![1.0, 0.5, 0.1], vec![1.0, 0.6, 0.3, 0.1, 0.02]);
+    let arrivals: Vec<ArrivalSpec> =
+        rates.iter().map(|&rate| ArrivalSpec::Poisson { rate, seed: 7 }).collect();
+    let set = RunPlan::new().topologies(topos.clone()).arrivals(arrivals.clone()).execute();
+    let mut t = Table::new(
+        "t11c — crossover under load: arrival rate × topology (all registry protocols)",
+        &["topology", "arrival", "best queuing", "p95_Q", "best counting", "p95_C", "gap", "wins"],
+    );
+    for topo in &topos {
+        for arrival in &arrivals {
+            let best_of = |kind: ProtocolKind| -> Option<&CaseResult> {
+                set.cases
+                    .iter()
+                    .filter(|c| {
+                        c.ok && c.kind == kind
+                            && c.topology == topo.name()
+                            && c.arrival == arrival.name()
+                    })
+                    .min_by_key(|c| c.latency_p95)
+            };
+            let (Some(q), Some(c)) =
+                (best_of(ProtocolKind::Queuing), best_of(ProtocolKind::Counting))
+            else {
+                continue;
+            };
+            let gap = c.latency_p95 as f64 / q.latency_p95.max(1) as f64;
+            t.push_row(vec![
+                topo.name(),
+                arrival.name(),
+                q.protocol.clone(),
+                int(q.latency_p95),
+                c.protocol.clone(),
+                int(c.latency_p95),
+                f2(gap),
+                tick(gap > 1.0),
+            ]);
+        }
+    }
+    t
 }
 
 #[cfg(test)]
@@ -84,13 +142,39 @@ mod tests {
     #[test]
     fn produces_rows_and_all_cases_verify() {
         let tables = run(Scale::Quick);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert_eq!(tables[0].rows.len(), 3 * 6, "3 rates × 6 protocols");
         assert_eq!(tables[1].rows.len(), 2 * 6, "2 mixes × 6 protocols");
-        for t in &tables {
+        assert_eq!(tables[2].rows.len(), 2 * 3, "2 topologies × 3 rates");
+        for t in &tables[..2] {
             for row in &t.rows {
                 assert_eq!(row[3], "yes", "case failed verification: {row:?}");
             }
+        }
+    }
+
+    #[test]
+    fn crossover_rate_ordering_is_pinned() {
+        // The ROADMAP regression, pinned on both topologies: the p95
+        // latency gap (counting / queuing) falls monotonically as the
+        // arrival rate falls — queuing wins the paper's batch regime
+        // (gap > 1 at rate 1.0) and *loses* the sparse open-system regime
+        // (gap < 1 at rate 0.1), where a lone central counter serves
+        // uncontended arrivals faster than the arrow's token walk.
+        let t = &run(Scale::Quick)[2];
+        for topo_prefix in ["mesh2d", "torus2d"] {
+            let rows: Vec<_> = t.rows.iter().filter(|r| r[0].starts_with(topo_prefix)).collect();
+            assert_eq!(rows.len(), 3, "{topo_prefix}: expected 3 rate rows");
+            // Rows are emitted in declared rate order: 1.0, 0.5, 0.1.
+            let gaps: Vec<f64> = rows.iter().map(|r| r[6].parse().unwrap()).collect();
+            assert!(
+                gaps.windows(2).all(|w| w[0] > w[1]),
+                "{topo_prefix}: gap must fall with the rate: {gaps:?}"
+            );
+            assert!(gaps[0] > 1.0, "{topo_prefix}: queuing must win the batch: {gaps:?}");
+            assert!(gaps[2] < 1.0, "{topo_prefix}: counting must win the sparse regime: {gaps:?}");
+            assert_eq!(rows[0][7], "yes");
+            assert_eq!(rows[2][7], "NO");
         }
     }
 
@@ -101,7 +185,9 @@ mod tests {
 
     #[test]
     fn percentiles_are_ordered() {
-        for t in &run(Scale::Quick) {
+        // Only t11/t11b carry the p50/p95/p99 columns (t11c is the gap
+        // table).
+        for t in &run(Scale::Quick)[..2] {
             for row in &t.rows {
                 let (p50, p95, p99) = (cell(&row[5]), cell(&row[6]), cell(&row[7]));
                 assert!(p50 <= p95 && p95 <= p99, "unordered percentiles: {row:?}");

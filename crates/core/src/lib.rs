@@ -52,10 +52,10 @@ pub mod prelude {
         run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome,
     };
     pub use crate::scenario::{
-        ArrivalSpec, RequestPattern, Scenario, ShardSpec, ShardStrategy, TopoSpec,
+        AdmissionSpec, ArrivalSpec, RequestPattern, Scenario, ShardSpec, ShardStrategy, TopoSpec,
     };
     pub use crate::table::Table;
-    pub use ccq_sim::LinkDelay;
+    pub use ccq_sim::{AdmissionPolicy, LinkDelay};
 }
 
 pub use prelude::*;

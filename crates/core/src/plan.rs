@@ -27,7 +27,7 @@
 use crate::protocol::{registry, run_spec_with, ProtocolKind, ProtocolSpec};
 use crate::report::DelayReport;
 use crate::run::ModelMode;
-use crate::scenario::{ArrivalSpec, RequestPattern, Scenario, ShardSpec, TopoSpec};
+use crate::scenario::{AdmissionSpec, ArrivalSpec, RequestPattern, Scenario, ShardSpec, TopoSpec};
 use crate::table::fmt_util::{f2, int, tick};
 use crate::table::Table;
 use ccq_sim::LinkDelay;
@@ -52,6 +52,7 @@ pub struct RunPlan {
     patterns: Vec<RequestPattern>,
     arrivals: Vec<ArrivalSpec>,
     delays: Vec<LinkDelay>,
+    admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
     repeats: usize,
     seed: u64,
@@ -76,6 +77,7 @@ impl RunPlan {
             patterns: vec![RequestPattern::All],
             arrivals: vec![ArrivalSpec::OneShot],
             delays: vec![LinkDelay::Unit],
+            admissions: vec![AdmissionSpec::Open],
             shards: vec![ShardSpec::single()],
             repeats: 1,
             seed: 0,
@@ -147,6 +149,15 @@ impl RunPlan {
         self
     }
 
+    /// Set the admission policies to sweep (default: open admission, the
+    /// pre-backpressure behaviour). Each admission policy gets its own
+    /// scenario group and its own crossover summaries, with drop and
+    /// goodput columns, so shedding verdicts never pool across policies.
+    pub fn admissions(mut self, admissions: impl IntoIterator<Item = AdmissionSpec>) -> Self {
+        self.admissions = admissions.into_iter().collect();
+        self
+    }
+
     /// Set the shard plans to sweep (default: the unsharded single shard).
     /// Each shard plan gets its own scenario group and its own crossover
     /// summaries, so per-shard-count verdicts never pool across `k`.
@@ -201,28 +212,31 @@ impl RunPlan {
         for topo in &self.topologies {
             for pattern in &self.patterns {
                 for arrival in &self.arrivals {
-                    for shards in &self.shards {
-                        for repeat in 0..self.repeats {
-                            let salt = self.salt(repeat);
-                            let pat = pattern.reseed(salt);
-                            let arr = arrival.reseed(salt);
-                            let mut runs = Vec::new();
-                            for proto in &protocols {
-                                for mode in self.modes_for(proto.as_ref()) {
-                                    for delay in &self.delays {
-                                        runs.push((index, proto.clone_spec(), mode, *delay));
-                                        index += 1;
+                    for admission in &self.admissions {
+                        for shards in &self.shards {
+                            for repeat in 0..self.repeats {
+                                let salt = self.salt(repeat);
+                                let pat = pattern.reseed(salt);
+                                let arr = arrival.reseed(salt);
+                                let mut runs = Vec::new();
+                                for proto in &protocols {
+                                    for mode in self.modes_for(proto.as_ref()) {
+                                        for delay in &self.delays {
+                                            runs.push((index, proto.clone_spec(), mode, *delay));
+                                            index += 1;
+                                        }
                                     }
                                 }
+                                groups.push(WorkGroup {
+                                    topo: topo.clone(),
+                                    pattern: pat,
+                                    arrival: arr,
+                                    admission: *admission,
+                                    shards: *shards,
+                                    repeat,
+                                    runs,
+                                });
                             }
-                            groups.push(WorkGroup {
-                                topo: topo.clone(),
-                                pattern: pat,
-                                arrival: arr,
-                                shards: *shards,
-                                repeat,
-                                runs,
-                            });
                         }
                     }
                 }
@@ -236,8 +250,8 @@ impl RunPlan {
         self.work_groups()
             .into_iter()
             .flat_map(|g| {
-                let (topo, pattern, arrival, shards, repeat) =
-                    (g.topo, g.pattern, g.arrival, g.shards, g.repeat);
+                let (topo, pattern, arrival, admission, shards, repeat) =
+                    (g.topo, g.pattern, g.arrival, g.admission, g.shards, g.repeat);
                 g.runs.into_iter().map(move |(index, protocol, mode, delay)| RunCase {
                     index,
                     topo: topo.clone(),
@@ -246,6 +260,7 @@ impl RunPlan {
                     pattern: pattern.clone(),
                     arrival: arrival.clone(),
                     delay,
+                    admission,
                     shards,
                     repeat,
                 })
@@ -282,6 +297,7 @@ impl RunPlan {
             patterns: self.patterns.iter().map(|p| p.name()).collect(),
             arrivals: self.arrivals.iter().map(|a| a.name()).collect(),
             delays: self.delays.iter().map(|d| d.name()).collect(),
+            admissions: self.admissions.iter().map(|a| a.name()).collect(),
             shards: self.shards.iter().map(|s| s.name()).collect(),
             repeats: self.repeats,
             seed: self.seed,
@@ -293,6 +309,7 @@ struct WorkGroup {
     topo: TopoSpec,
     pattern: RequestPattern,
     arrival: ArrivalSpec,
+    admission: AdmissionSpec,
     shards: ShardSpec,
     repeat: usize,
     runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
@@ -301,6 +318,7 @@ struct WorkGroup {
 fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
     let scenario =
         Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone())
+            .with_admission(group.admission)
             .with_shards(group.shards);
     let mut results = Vec::with_capacity(group.runs.len());
     for (index, spec, mode, delay) in &group.runs {
@@ -315,6 +333,7 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             pattern: group.pattern.name(),
             arrival: group.arrival.name(),
             delay: delay.name(),
+            admission: group.admission.name(),
             shards: group.shards.name(),
             repeat: group.repeat,
             width: spec.effective_width(scenario.n()),
@@ -324,10 +343,13 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             messages: 0,
             max_contention: 0,
             throughput: 0.0,
+            goodput: 0.0,
             latency_p50: 0,
             latency_p95: 0,
             latency_p99: 0,
             backlog: 0,
+            dropped: 0,
+            delayed_admissions: 0,
             cross_shard_messages: 0,
             metrics: None,
         };
@@ -342,10 +364,13 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
                     messages: m.messages,
                     max_contention: m.max_queue,
                     throughput: m.throughput,
+                    goodput: m.goodput,
                     latency_p50: m.latency_p50,
                     latency_p95: m.latency_p95,
                     latency_p99: m.latency_p99,
                     backlog: m.backlog_high_water,
+                    dropped: m.dropped,
+                    delayed_admissions: m.delayed_admissions,
                     cross_shard_messages: m.cross_shard_messages,
                     metrics: Some(m),
                     ..base
@@ -387,19 +412,24 @@ fn summarize(
         (Some(q), Some(c)) => Some(c.total_delay as f64 / q.total_delay.max(1) as f64),
         _ => None,
     };
+    let dropped = results.iter().filter(|c| c.ok && c.delay == delay_name).map(|c| c.dropped).sum();
     GroupSummary {
         topology: group.topo.name(),
         pattern: group.pattern.name(),
         arrival: group.arrival.name(),
         delay: delay_name,
+        admission: group.admission.name(),
         shards: group.shards.name(),
         repeat: group.repeat,
         n: scenario.n(),
         k: scenario.k(),
         best_queuing: q.map(|c| c.protocol.clone()),
         best_queuing_delay: q.map(|c| c.total_delay),
+        best_queuing_goodput: q.map(|c| c.goodput),
         best_counting: c.map(|c| c.protocol.clone()),
         best_counting_delay: c.map(|c| c.total_delay),
+        best_counting_goodput: c.map(|c| c.goodput),
+        dropped,
         gap,
         queuing_wins: match (q, c) {
             (Some(q), Some(c)) => Some(q.total_delay < c.total_delay),
@@ -425,9 +455,12 @@ pub struct RunCase {
     pub arrival: ArrivalSpec,
     /// Per-link delay policy.
     pub delay: LinkDelay,
+    /// Admission policy gating the arrivals.
+    pub admission: AdmissionSpec,
     /// Shard plan.
     pub shards: ShardSpec,
-    /// Repeat number within the (topology, pattern, arrival, shards) cell.
+    /// Repeat number within the (topology, pattern, arrival, admission,
+    /// shards) cell.
     pub repeat: usize,
 }
 
@@ -454,6 +487,8 @@ pub struct CaseResult {
     pub arrival: String,
     /// Per-link delay policy display name.
     pub delay: String,
+    /// Admission policy display name (`"open"` = no backpressure).
+    pub admission: String,
     /// Shard plan display name (`"1"` = unsharded).
     pub shards: String,
     /// Repeat number.
@@ -472,6 +507,9 @@ pub struct CaseResult {
     pub max_contention: usize,
     /// Completed operations per round over the whole execution.
     pub throughput: f64,
+    /// Throughput discounted by the shed fraction of the offered load
+    /// (`≤ throughput`; equal when nothing was dropped).
+    pub goodput: f64,
     /// Median scaled completion latency (completion − issue).
     pub latency_p50: u64,
     /// 95th-percentile scaled completion latency.
@@ -480,6 +518,10 @@ pub struct CaseResult {
     pub latency_p99: u64,
     /// Open-operation backlog high-water mark (0 for one-shot runs).
     pub backlog: usize,
+    /// Arrivals shed by admission control.
+    pub dropped: u64,
+    /// Admission deferrals recorded by a delaying policy.
+    pub delayed_admissions: u64,
     /// Messages ferried across shard boundaries (0 when unsharded).
     pub cross_shard_messages: u64,
     /// Full flattened metrics when the run succeeded.
@@ -501,6 +543,8 @@ pub struct PlanInfo {
     pub arrivals: Vec<String>,
     /// Per-link delay policy display names.
     pub delays: Vec<String>,
+    /// Admission policy display names.
+    pub admissions: Vec<String>,
     /// Shard plan display names.
     pub shards: Vec<String>,
     /// Repeats per cell.
@@ -521,6 +565,9 @@ pub struct GroupSummary {
     /// Per-link delay policy this summary covers (summaries never pool
     /// across delay regimes).
     pub delay: String,
+    /// Admission policy this summary covers (summaries never pool across
+    /// admission policies either — each gets its own shedding verdict).
+    pub admission: String,
     /// Shard plan this summary covers (summaries never pool across shard
     /// counts either — the per-shard-count crossover verdicts).
     pub shards: String,
@@ -534,10 +581,16 @@ pub struct GroupSummary {
     pub best_queuing: Option<String>,
     /// Its total delay.
     pub best_queuing_delay: Option<u64>,
+    /// Its goodput (useful completions per round net of shed load).
+    pub best_queuing_goodput: Option<f64>,
     /// Cheapest verified counting protocol, if any ran.
     pub best_counting: Option<String>,
     /// Its total delay.
     pub best_counting_delay: Option<u64>,
+    /// Its goodput.
+    pub best_counting_goodput: Option<f64>,
+    /// Arrivals shed across every verified case of this cell.
+    pub dropped: u64,
     /// `best counting / best queuing` total delay — the paper's gap.
     pub gap: Option<f64>,
     /// Whether queuing strictly won this cell.
@@ -596,6 +649,7 @@ impl RunSet {
                 "pattern",
                 "arrival",
                 "delay",
+                "admission",
                 "shards",
                 "rep",
                 "ok",
@@ -604,6 +658,8 @@ impl RunSet {
                 "x-shard",
                 "max cont.",
                 "thr/round",
+                "goodput",
+                "dropped",
                 "p50",
                 "p95",
                 "p99",
@@ -618,6 +674,7 @@ impl RunSet {
                 c.pattern.clone(),
                 c.arrival.clone(),
                 c.delay.clone(),
+                c.admission.clone(),
                 c.shards.clone(),
                 c.repeat.to_string(),
                 tick(c.ok),
@@ -626,6 +683,8 @@ impl RunSet {
                 int(c.cross_shard_messages),
                 int(c.max_contention as u64),
                 f2(c.throughput),
+                f2(c.goodput),
+                int(c.dropped),
                 int(c.latency_p50),
                 int(c.latency_p95),
                 int(c.latency_p99),
@@ -643,6 +702,7 @@ impl RunSet {
                 "pattern",
                 "arrival",
                 "delay",
+                "admission",
                 "shards",
                 "rep",
                 "n",
@@ -651,6 +711,7 @@ impl RunSet {
                 "best counting",
                 "C_C",
                 "gap",
+                "dropped",
                 "queuing wins",
             ],
         );
@@ -660,6 +721,7 @@ impl RunSet {
                 s.pattern.clone(),
                 s.arrival.clone(),
                 s.delay.clone(),
+                s.admission.clone(),
                 s.shards.clone(),
                 s.repeat.to_string(),
                 int(s.n as u64),
@@ -668,6 +730,7 @@ impl RunSet {
                 s.best_counting.clone().unwrap_or_else(|| "-".into()),
                 s.best_counting_delay.map(int).unwrap_or_else(|| "-".into()),
                 s.gap.map(f2).unwrap_or_else(|| "-".into()),
+                int(s.dropped),
                 s.queuing_wins.map(tick).unwrap_or_else(|| "-".into()),
             ]);
         }

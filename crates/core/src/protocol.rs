@@ -34,13 +34,16 @@ use ccq_sim::{
 };
 use serde::Serialize;
 
-/// Run a protocol on `scenario`, honouring its arrival specification and
-/// shard plan: the one-shot batch executes the protocol unchanged
-/// (bit-identical to the pre-open-system engine), while open arrivals
-/// build the protocol in deferred mode (`build(true)`) and drive it
-/// through [`Paced`] on the scenario's schedule. A shard plan with `k > 1`
-/// routes the run through [`ShardedSimulator`] — the protocol itself is
-/// identical on either executor.
+/// Run a protocol on `scenario`, honouring its arrival specification,
+/// admission policy and shard plan: the one-shot batch executes the
+/// protocol unchanged (bit-identical to the pre-open-system engine), while
+/// open arrivals — or an active admission policy — build the protocol in
+/// deferred mode (`build(true)`) and drive it through [`Paced`] on the
+/// scenario's schedule, gated by the scenario's
+/// [`crate::scenario::AdmissionSpec`]. A shard plan with `k > 1` routes
+/// the run through [`ShardedSimulator`] — the protocol itself is identical
+/// on either executor, and admission is evaluated against the *global*
+/// backlog either way.
 fn run_arrival_aware<P, F>(
     scenario: &Scenario,
     cfg: SimConfig,
@@ -53,7 +56,11 @@ where
 {
     match scenario.open_schedule() {
         None => dispatch(scenario, cfg, build(false)),
-        Some(schedule) => dispatch(scenario, cfg, Paced::new(build(true), schedule.to_vec())),
+        Some(schedule) => {
+            let paced = Paced::new(build(true), schedule.to_vec())
+                .with_admission(scenario.admission.policy());
+            dispatch(scenario, cfg, paced)
+        }
     }
 }
 
@@ -132,17 +139,28 @@ pub trait ProtocolSpec: Send + Sync {
     fn execute(&self, scenario: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError>;
 
     /// Verify the report's completions against this protocol's output
-    /// contract; returns the requesters in queue/rank order.
+    /// contract; returns the requesters in queue/rank order. Arrivals the
+    /// run's admission policy shed never issued, so the contract is
+    /// checked over the *retained* request set (requests minus drops): a
+    /// backpressured run must still form one valid total order / rank set
+    /// over everything it actually admitted.
     fn verify(&self, scenario: &Scenario, report: &SimReport) -> Result<Vec<NodeId>, RunError> {
         let pairs: Vec<(NodeId, u64)> =
             report.completions.iter().map(|c| (c.node, c.value)).collect();
+        let retained: Vec<NodeId> = if report.dropped.is_empty() {
+            scenario.requests.clone()
+        } else {
+            let dropped = report.dropped_nodes();
+            scenario
+                .requests
+                .iter()
+                .copied()
+                .filter(|v| dropped.binary_search(v).is_err())
+                .collect()
+        };
         match self.kind() {
-            ProtocolKind::Queuing => {
-                verify_total_order(&scenario.requests, &pairs).map_err(RunError::Order)
-            }
-            ProtocolKind::Counting => {
-                verify_ranks(&scenario.requests, &pairs).map_err(RunError::Ranks)
-            }
+            ProtocolKind::Queuing => verify_total_order(&retained, &pairs).map_err(RunError::Order),
+            ProtocolKind::Counting => verify_ranks(&retained, &pairs).map_err(RunError::Ranks),
         }
     }
 

@@ -40,6 +40,13 @@ pub struct DelayReport {
     pub backlog_high_water: usize,
     /// Messages ferried across shard boundaries (0 when unsharded).
     pub cross_shard_messages: u64,
+    /// Arrivals shed by admission control (0 under the open policy).
+    pub dropped: u64,
+    /// Admission deferrals recorded by a delaying policy.
+    pub delayed_admissions: u64,
+    /// Useful work per round: throughput discounted by the shed fraction
+    /// of the offered load (equals `throughput` when nothing was shed).
+    pub goodput: f64,
 }
 
 impl DelayReport {
@@ -73,6 +80,9 @@ impl DelayReport {
             latency_p99: pick(0.99),
             backlog_high_water: rep.backlog_high_water,
             cross_shard_messages: rep.cross_shard_messages,
+            dropped: rep.dropped.len() as u64,
+            delayed_admissions: rep.delayed_admissions,
+            goodput: rep.goodput(),
         }
     }
 }

@@ -1,8 +1,8 @@
 //! Scenarios: topology + spanning tree + request set + arrival schedule
-//! + shard plan.
+//! + admission policy + shard plan.
 
 use ccq_graph::{spanning, topology, Graph, NodeId, Partition, Tree};
-use ccq_sim::{ArrivalProcess, LinkDelay, Round};
+use ccq_sim::{AdmissionPolicy, ArrivalProcess, LinkDelay, Round};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -286,6 +286,68 @@ impl ArrivalSpec {
     }
 }
 
+/// How arrivals are admitted against the live backlog — the scenario-level
+/// handle on [`ccq_sim::AdmissionPolicy`] (backpressure).
+///
+/// `Open` is the default and admits everything: runs are byte-identical to
+/// scenarios built before admission control existed. The active policies
+/// only engage on the paced (open-system) execution path; a scenario whose
+/// arrival is [`ArrivalSpec::OneShot`] but whose admission is active is
+/// routed through pacing too (with an all-zeros schedule), so the policy
+/// can shed or defer even a round-0 batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionSpec {
+    /// Admit every arrival immediately (no backpressure).
+    #[default]
+    Open,
+    /// Shed arrivals that find the backlog at or above `bound`.
+    DropTail {
+        /// Largest backlog that still admits.
+        bound: usize,
+    },
+    /// Defer arrivals over `bound`, retrying every `backoff` rounds.
+    DelayRetry {
+        /// Largest backlog that still admits.
+        bound: usize,
+        /// Rounds between retries.
+        backoff: Round,
+    },
+    /// AIMD throttle steering the backlog towards `target_backlog`
+    /// (see [`ccq_sim::AdmissionPolicy::Adaptive`]).
+    Adaptive {
+        /// Backlog the controller steers towards.
+        target_backlog: usize,
+        /// Additive recovery of the admission rate per admission.
+        gain: Round,
+    },
+}
+
+impl AdmissionSpec {
+    /// Short display name (used by sweeps and the CLI).
+    pub fn name(&self) -> String {
+        self.policy().name()
+    }
+
+    /// Whether this policy can ever refuse or defer an arrival.
+    pub fn is_active(&self) -> bool {
+        self.policy().is_active()
+    }
+
+    /// The simulator-level policy this spec resolves to.
+    pub fn policy(&self) -> AdmissionPolicy {
+        match *self {
+            AdmissionSpec::Open => AdmissionPolicy::Open,
+            AdmissionSpec::DropTail { bound } => AdmissionPolicy::DropTail { bound },
+            AdmissionSpec::DelayRetry { bound, backoff } => {
+                AdmissionPolicy::DelayRetry { bound, backoff }
+            }
+            AdmissionSpec::Adaptive { target_backlog, gain } => {
+                AdmissionPolicy::Adaptive { target_backlog, gain }
+            }
+        }
+    }
+}
+
 /// How a scenario's graph is split across shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShardStrategy {
@@ -398,6 +460,9 @@ pub struct Scenario {
     /// Materialized issue schedule (`(round, node)` sorted by round; all
     /// zeros for `OneShot`).
     pub schedule: Vec<(Round, NodeId)>,
+    /// Admission policy gating the schedule ([`AdmissionSpec::Open`] =
+    /// everything admitted, the pre-backpressure behaviour).
+    pub admission: AdmissionSpec,
     /// Shard plan ([`ShardSpec::single`] = the unsharded executor).
     pub shards: ShardSpec,
 }
@@ -426,6 +491,7 @@ impl Scenario {
             tail,
             arrival,
             schedule,
+            admission: AdmissionSpec::Open,
             shards: ShardSpec::single(),
         }
     }
@@ -436,10 +502,19 @@ impl Scenario {
         self
     }
 
-    /// The issue schedule when this is an open-system scenario, `None` for
-    /// the one-shot batch (which runs on the unchanged protocol path).
+    /// Builder-style: gate arrivals through an admission policy.
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// The issue schedule when this scenario executes on the paced
+    /// (open-system) path: open arrivals always do; a one-shot batch does
+    /// too when an *active* admission policy must gate it. `None` means
+    /// the unchanged one-shot protocol path (byte-identical to the
+    /// pre-open-system engine).
     pub fn open_schedule(&self) -> Option<&[(Round, NodeId)]> {
-        if self.arrival.is_open() {
+        if self.arrival.is_open() || self.admission.is_active() {
             Some(&self.schedule)
         } else {
             None

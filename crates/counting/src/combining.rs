@@ -136,6 +136,17 @@ impl ccq_sim::OnlineProtocol for CombiningTreeProtocol {
             self.aggregated(api, node);
         }
     }
+
+    fn cancel(&mut self, api: &mut SimApi<CombiningMsg>, node: NodeId) {
+        debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
+        debug_assert!(!self.issued[node], "cancel after issue");
+        // Strike the requester from the wave (its subtree count no longer
+        // includes it); release the subtree's Up if it was the last hold.
+        self.nodes[node].requesting = false;
+        if self.ready(node) {
+            self.aggregated(api, node);
+        }
+    }
 }
 
 impl Protocol for CombiningTreeProtocol {

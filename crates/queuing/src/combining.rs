@@ -149,6 +149,17 @@ impl ccq_sim::OnlineProtocol for CombiningQueueProtocol {
             self.aggregated(api, node);
         }
     }
+
+    fn cancel(&mut self, api: &mut SimApi<CombiningQueueMsg>, node: NodeId) {
+        debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
+        debug_assert!(!self.issued[node], "cancel after issue");
+        // Strike the requester from the wave; if its Up report was the
+        // last thing the subtree waited for, release it now.
+        self.nodes[node].requesting = false;
+        if self.ready(node) {
+            self.aggregated(api, node);
+        }
+    }
 }
 
 impl Protocol for CombiningQueueProtocol {

@@ -1,0 +1,278 @@
+//! Admission control: backpressure policies gating open-system arrivals.
+//!
+//! The open-system engine (see [`crate::arrival`]) measures the backlog —
+//! operations issued but not yet completed — and, before this module, only
+//! *observed* it. An [`AdmissionPolicy`] lets a run *act* on it: each
+//! scheduled arrival passes through an [`AdmissionController`] that admits,
+//! sheds, or delays it against the **live global backlog**, trading
+//! completeness (drops) or admission latency (delays) for a bounded number
+//! of in-flight operations.
+//!
+//! # Per-phase invariant
+//!
+//! Admission for round `t` is decided in the scheduler's **arrivals phase**
+//! (phase 1 of [`crate::scheduler`]): every message matured and delivered
+//! up to round `t − 1` has already updated the backlog the controller
+//! reads, and no round-`t` transport transmission has happened yet. In
+//! other words, an admission decision at `t` observes exactly the
+//! post-maturation state of `t − 1` and strictly precedes the transmit
+//! phase of `t`. The backlog is the *global* issued-minus-completed count
+//! held by [`crate::SimApi`], shared by every shard of the sharded
+//! executor — which is why a `k = 1` sharded run admits byte-identically
+//! to the monolith.
+//!
+//! # Liveness
+//!
+//! Delaying policies ([`AdmissionPolicy::DelayRetry`],
+//! [`AdmissionPolicy::Adaptive`]) could starve single-wave combining
+//! protocols forever: such a protocol completes nothing until every
+//! retained requester has arrived, but a backlog-gated controller would
+//! never let the stragglers in. The controller therefore **ages** delayed
+//! arrivals: once one has waited [`AGE_LIMIT`] rounds past its scheduled
+//! round it is admitted unconditionally. Shedding ([`AdmissionPolicy::
+//! DropTail`]) needs no aging — a drop resolves the arrival immediately
+//! (and the protocol is told via
+//! [`crate::arrival::OnlineProtocol::cancel`]).
+
+use crate::Round;
+
+/// Rounds a delayed arrival may wait before it is admitted unconditionally
+/// — the starvation bound of the delaying policies (see the module docs).
+pub const AGE_LIMIT: Round = 4096;
+
+/// Cap on the adaptive controller's pacing interval: multiplicative
+/// increase stops doubling here, bounding the gap between retries.
+pub const INTERVAL_CAP: Round = 256;
+
+/// How arrivals are admitted against the live backlog.
+///
+/// Every policy is deterministic: the decision depends only on the policy
+/// state, the current round and the backlog — no randomness — so admission
+/// composes with the engine's byte-reproducibility guarantees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything immediately (the pre-backpressure behaviour; a
+    /// `Paced` run under `Open` is byte-identical to one with no
+    /// controller at all).
+    Open,
+    /// Shed load: an arrival finding `backlog ≥ bound` is dropped — it
+    /// never issues, never completes, and the protocol releases anything
+    /// waiting on it.
+    DropTail {
+        /// Largest backlog that still admits (`≥ 1` to admit anything).
+        bound: usize,
+    },
+    /// Defer load: an arrival finding `backlog ≥ bound` retries `backoff`
+    /// rounds later (repeatedly, until admitted or aged out).
+    DelayRetry {
+        /// Largest backlog that still admits (clamped to `≥ 1`).
+        bound: usize,
+        /// Rounds between retries (clamped to `≥ 1`).
+        backoff: Round,
+    },
+    /// AIMD throttle: the controller keeps a pacing interval that
+    /// **doubles** (multiplicative decrease of the admission rate, capped
+    /// at [`INTERVAL_CAP`]) whenever an arrival finds
+    /// `backlog ≥ target_backlog`, and **shrinks by `gain`** (additive
+    /// increase of the rate, floored at 1) on every admission. Arrivals
+    /// over target retry one interval later; nothing is ever dropped.
+    Adaptive {
+        /// Backlog the controller steers towards (clamped to `≥ 1`).
+        target_backlog: usize,
+        /// Rounds subtracted from the pacing interval per admission.
+        gain: Round,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short display name, used by sweeps and the CLI.
+    pub fn name(&self) -> String {
+        match *self {
+            AdmissionPolicy::Open => "open".into(),
+            AdmissionPolicy::DropTail { bound } => format!("droptail(bound={bound})"),
+            AdmissionPolicy::DelayRetry { bound, backoff } => {
+                format!("delayretry(bound={bound},backoff={backoff})")
+            }
+            AdmissionPolicy::Adaptive { target_backlog, gain } => {
+                format!("adaptive(target={target_backlog},gain={gain})")
+            }
+        }
+    }
+
+    /// Whether this policy can ever refuse or defer an arrival.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, AdmissionPolicy::Open)
+    }
+}
+
+/// Outcome of one admission decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Issue the operation now.
+    Admit,
+    /// Refuse the operation permanently (shed load).
+    Drop,
+    /// Re-evaluate at the given (strictly later) round.
+    Retry {
+        /// Round at which to retry.
+        at: Round,
+    },
+}
+
+/// Stateful evaluator of an [`AdmissionPolicy`] (the AIMD interval is the
+/// only mutable state; the stateless policies ignore it).
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    /// Current adaptive pacing interval, in rounds.
+    interval: Round,
+}
+
+impl AdmissionController {
+    /// A controller at its initial state (interval 1).
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionController { policy, interval: 1 }
+    }
+
+    /// The policy this controller evaluates.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Decide the fate of an arrival at round `now` that was first due at
+    /// `first_due`, given the live backlog (issued − completed).
+    pub fn decide(&mut self, now: Round, first_due: Round, backlog: usize) -> Admission {
+        match self.policy {
+            AdmissionPolicy::Open => Admission::Admit,
+            AdmissionPolicy::DropTail { bound } => {
+                if backlog >= bound {
+                    Admission::Drop
+                } else {
+                    Admission::Admit
+                }
+            }
+            AdmissionPolicy::DelayRetry { bound, backoff } => {
+                if backlog >= bound.max(1) && now.saturating_sub(first_due) < AGE_LIMIT {
+                    Admission::Retry { at: now + backoff.max(1) }
+                } else {
+                    Admission::Admit
+                }
+            }
+            AdmissionPolicy::Adaptive { target_backlog, gain } => {
+                if backlog < target_backlog.max(1) {
+                    // Additive increase of the admission rate.
+                    self.interval = self.interval.saturating_sub(gain).max(1);
+                    Admission::Admit
+                } else if now.saturating_sub(first_due) >= AGE_LIMIT {
+                    // Aged out: admit unconditionally (liveness).
+                    Admission::Admit
+                } else {
+                    // Multiplicative decrease of the admission rate.
+                    self.interval = (self.interval * 2).min(INTERVAL_CAP);
+                    Admission::Retry { at: now + self.interval }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_always_admits() {
+        let mut c = AdmissionController::new(AdmissionPolicy::Open);
+        for backlog in [0, 1, 1_000_000] {
+            assert_eq!(c.decide(0, 0, backlog), Admission::Admit);
+        }
+        assert!(!AdmissionPolicy::Open.is_active());
+    }
+
+    #[test]
+    fn droptail_sheds_at_the_bound() {
+        let mut c = AdmissionController::new(AdmissionPolicy::DropTail { bound: 4 });
+        assert_eq!(c.decide(0, 0, 3), Admission::Admit);
+        assert_eq!(c.decide(0, 0, 4), Admission::Drop);
+        assert_eq!(c.decide(0, 0, 100), Admission::Drop);
+        assert!(AdmissionPolicy::DropTail { bound: 4 }.is_active());
+    }
+
+    #[test]
+    fn delayretry_defers_then_ages_out() {
+        let p = AdmissionPolicy::DelayRetry { bound: 2, backoff: 5 };
+        let mut c = AdmissionController::new(p);
+        assert_eq!(c.decide(10, 10, 1), Admission::Admit);
+        assert_eq!(c.decide(10, 10, 2), Admission::Retry { at: 15 });
+        // Past the aging bound the arrival is admitted regardless.
+        assert_eq!(c.decide(10 + AGE_LIMIT, 10, 99), Admission::Admit);
+    }
+
+    #[test]
+    fn adaptive_is_aimd_on_the_interval() {
+        let p = AdmissionPolicy::Adaptive { target_backlog: 8, gain: 1 };
+        let mut c = AdmissionController::new(p);
+        // Over target: interval doubles 1 → 2 → 4, retries pushed out.
+        assert_eq!(c.decide(0, 0, 8), Admission::Retry { at: 2 });
+        assert_eq!(c.decide(2, 0, 9), Admission::Retry { at: 6 });
+        // Under target: admit, interval decays additively (4 → 3); the
+        // next refusal doubles the decayed interval (3 → 6).
+        assert_eq!(c.decide(6, 0, 7), Admission::Admit);
+        assert_eq!(c.decide(7, 0, 8), Admission::Retry { at: 13 });
+    }
+
+    #[test]
+    fn adaptive_interval_is_capped_and_floored() {
+        let p = AdmissionPolicy::Adaptive { target_backlog: 1, gain: 1_000 };
+        let mut c = AdmissionController::new(p);
+        let mut at = 0;
+        for _ in 0..20 {
+            match c.decide(at, at, 5) {
+                Admission::Retry { at: next } => {
+                    assert!(next - at <= INTERVAL_CAP, "interval exceeded the cap");
+                    at = next;
+                }
+                other => panic!("expected retry, got {other:?}"),
+            }
+        }
+        // A huge gain floors the interval at 1, it never hits 0.
+        assert_eq!(c.decide(at, at, 0), Admission::Admit);
+        assert_eq!(c.decide(at + 1, at + 1, 5), Admission::Retry { at: at + 3 });
+    }
+
+    #[test]
+    fn adaptive_ages_out() {
+        let p = AdmissionPolicy::Adaptive { target_backlog: 1, gain: 1 };
+        let mut c = AdmissionController::new(p);
+        assert_eq!(c.decide(AGE_LIMIT + 7, 7, 99), Admission::Admit);
+    }
+
+    #[test]
+    fn zero_parameters_are_clamped_live() {
+        // bound 0 with DelayRetry and target 0 with Adaptive clamp to 1
+        // (an unclamped 0 would defer forever even on an empty system).
+        let mut d = AdmissionController::new(AdmissionPolicy::DelayRetry { bound: 0, backoff: 0 });
+        assert_eq!(d.decide(0, 0, 0), Admission::Admit);
+        assert_eq!(d.decide(0, 0, 1), Admission::Retry { at: 1 });
+        let mut a =
+            AdmissionController::new(AdmissionPolicy::Adaptive { target_backlog: 0, gain: 0 });
+        assert_eq!(a.decide(0, 0, 0), Admission::Admit);
+        // DropTail keeps bound 0 literal: it means "shed everything".
+        let mut t = AdmissionController::new(AdmissionPolicy::DropTail { bound: 0 });
+        assert_eq!(t.decide(0, 0, 0), Admission::Drop);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(AdmissionPolicy::Open.name(), "open");
+        assert_eq!(AdmissionPolicy::DropTail { bound: 64 }.name(), "droptail(bound=64)");
+        assert_eq!(
+            AdmissionPolicy::DelayRetry { bound: 8, backoff: 4 }.name(),
+            "delayretry(bound=8,backoff=4)"
+        );
+        assert_eq!(
+            AdmissionPolicy::Adaptive { target_backlog: 32, gain: 2 }.name(),
+            "adaptive(target=32,gain=2)"
+        );
+    }
+}

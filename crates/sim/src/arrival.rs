@@ -14,6 +14,7 @@
 //! backlog metrics) and wakes the otherwise-quiescent engine for future
 //! arrivals through [`Protocol::next_wakeup`].
 
+use crate::admission::{Admission, AdmissionController, AdmissionPolicy};
 use crate::protocol::{Protocol, SimApi};
 use crate::report::mix64;
 use crate::Round;
@@ -31,6 +32,16 @@ pub trait OnlineProtocol: Protocol {
     /// Inject `node`'s operation now. `node` must belong to the request set
     /// the protocol was constructed with, and must be issued at most once.
     fn issue(&mut self, api: &mut SimApi<Self::Msg>, node: NodeId);
+
+    /// `node`'s scheduled operation was refused admission and will never
+    /// be issued: release anything the protocol holds waiting on it.
+    /// Per-request protocols (arrow, central queue/counter, network
+    /// counters) hold nothing — a dropped requester simply never injects —
+    /// so the default is a no-op. Single-wave combining protocols **must**
+    /// override this: their waves wait for every scheduled requester, and
+    /// a cancelled one has to be struck from the wave or it never closes.
+    /// Called at most once per node, and never after `issue`.
+    fn cancel(&mut self, _api: &mut SimApi<Self::Msg>, _node: NodeId) {}
 }
 
 /// How requests arrive over time.
@@ -193,11 +204,23 @@ impl ArrivalProcess {
 /// node is issued at its round (recorded via [`SimApi::issue`] so the
 /// report can compute completion latencies and backlog), and the engine is
 /// woken for arrivals past quiescence.
+///
+/// With an [`AdmissionPolicy`] attached ([`Paced::with_admission`]) each
+/// due arrival first passes through an [`AdmissionController`] evaluated
+/// against the live global backlog ([`SimApi::backlog`]): admitted
+/// arrivals issue as before, shed ones are recorded as drops and cancelled
+/// on the protocol, delayed ones are re-queued for a later round. The
+/// default [`AdmissionPolicy::Open`] controller admits everything and
+/// leaves the execution byte-identical to a `Paced` without one.
 pub struct Paced<P: OnlineProtocol> {
     inner: P,
     /// `(round, node)` sorted by round (ties keep schedule order).
     schedule: Vec<(Round, NodeId)>,
     next: usize,
+    admission: AdmissionController,
+    /// Deferred arrivals awaiting retry: `(retry round, first-due round,
+    /// node)`, kept sorted by retry round (ties keep deferral order).
+    retries: Vec<(Round, Round, NodeId)>,
 }
 
 impl<P: OnlineProtocol> Paced<P> {
@@ -211,7 +234,19 @@ impl<P: OnlineProtocol> Paced<P> {
         for &(_, v) in &schedule {
             assert!(seen.insert(v), "node {v} scheduled twice");
         }
-        Paced { inner, schedule, next: 0 }
+        Paced {
+            inner,
+            schedule,
+            next: 0,
+            admission: AdmissionController::new(AdmissionPolicy::Open),
+            retries: Vec::new(),
+        }
+    }
+
+    /// Builder-style: gate arrivals through an admission policy.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = AdmissionController::new(policy);
+        self
     }
 
     /// The scheduled requesters, sorted by node id.
@@ -226,12 +261,49 @@ impl<P: OnlineProtocol> Paced<P> {
         &self.inner
     }
 
+    /// Decide one due arrival's fate against the live backlog.
+    fn admit_or_defer(
+        &mut self,
+        api: &mut SimApi<P::Msg>,
+        now: Round,
+        first_due: Round,
+        v: NodeId,
+    ) {
+        match self.admission.decide(now, first_due, api.backlog()) {
+            Admission::Admit => {
+                api.issue(v);
+                self.inner.issue(api, v);
+            }
+            Admission::Drop => {
+                api.shed(v);
+                self.inner.cancel(api, v);
+            }
+            Admission::Retry { at } => {
+                debug_assert!(at > now, "retry must be strictly later");
+                api.note_delayed();
+                // Insert keeping (retry round, deferral order) sorted.
+                let pos = self.retries.partition_point(|&(r, _, _)| r <= at);
+                self.retries.insert(pos, (at, first_due, v));
+            }
+        }
+    }
+
     fn issue_due(&mut self, api: &mut SimApi<P::Msg>, now: Round) {
+        // Deferred arrivals first (they were due before anything newly
+        // scheduled this round), then the schedule tail. The due prefix is
+        // drained in one pass; re-deferrals land strictly after `now`, so
+        // they never re-enter this round's batch.
+        let due_retries = self.retries.partition_point(|&(r, _, _)| r <= now);
+        if due_retries > 0 {
+            let due: Vec<(Round, Round, NodeId)> = self.retries.drain(..due_retries).collect();
+            for (_, first_due, v) in due {
+                self.admit_or_defer(api, now, first_due, v);
+            }
+        }
         while self.next < self.schedule.len() && self.schedule[self.next].0 <= now {
-            let (_, v) = self.schedule[self.next];
+            let (due, v) = self.schedule[self.next];
             self.next += 1;
-            api.issue(v);
-            self.inner.issue(api, v);
+            self.admit_or_defer(api, now, due, v);
         }
     }
 }
@@ -255,10 +327,8 @@ impl<P: OnlineProtocol> Protocol for Paced<P> {
 
     fn next_wakeup(&self) -> Option<Round> {
         let scheduled = self.schedule.get(self.next).map(|&(r, _)| r);
-        match (scheduled, self.inner.next_wakeup()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let retry = self.retries.first().map(|&(r, _, _)| r);
+        [scheduled, retry, self.inner.next_wakeup()].into_iter().flatten().min()
     }
 }
 

@@ -6,7 +6,9 @@
 //!   per-message jitter — the §2.1 asynchronous regime);
 //! * requests may all start at round 0 (the paper's one-shot batch) or
 //!   arrive over time via an [`ArrivalProcess`] schedule driving a
-//!   [`Paced`] protocol;
+//!   [`Paced`] protocol, optionally gated by an [`AdmissionPolicy`]
+//!   (backpressure: drop, delay or AIMD-throttle arrivals against the
+//!   live backlog — see [`admission`]);
 //! * per round, each processor may **send at most `B_s`** messages and
 //!   **receive at most `B_r`** messages (`B_s = B_r = 1` in the strict
 //!   model; `B_s = B_r = c` in the "expanded time step" model the paper uses
@@ -39,6 +41,7 @@
 //! assert_eq!(report.completions[0].round, 4); // one hop per round
 //! ```
 
+pub mod admission;
 pub mod arrival;
 pub mod engine;
 pub mod protocol;
@@ -49,10 +52,11 @@ pub mod state;
 pub mod trace;
 pub mod transport;
 
+pub use admission::{Admission, AdmissionController, AdmissionPolicy};
 pub use arrival::{ArrivalProcess, OnlineProtocol, Paced};
 pub use engine::{SimError, Simulator};
 pub use protocol::{Protocol, SimApi};
-pub use report::{Completion, Issue, LinkDelay, SimConfig, SimReport};
+pub use report::{Completion, Dropped, Issue, LinkDelay, SimConfig, SimReport};
 pub use shard::{run_protocol_sharded, ShardedSimulator};
 pub use trace::{TraceEvent, TraceKind};
 

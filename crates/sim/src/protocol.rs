@@ -1,6 +1,6 @@
 //! The [`Protocol`] trait and the [`SimApi`] handed to its callbacks.
 
-use crate::report::{Completion, Issue};
+use crate::report::{Completion, Dropped, Issue};
 use crate::Round;
 use ccq_graph::NodeId;
 
@@ -51,11 +51,26 @@ pub struct SimApi<M> {
     pub(crate) outgoing: Vec<(NodeId, NodeId, M)>,
     pub(crate) completed: Vec<Completion>,
     pub(crate) issued: Vec<Issue>,
+    pub(crate) dropped: Vec<Dropped>,
+    pub(crate) delayed: u64,
+    /// Cumulative issue count over the whole run (never drained).
+    issued_total: u64,
+    /// Cumulative completion count over the whole run (never drained).
+    completed_total: u64,
 }
 
 impl<M> SimApi<M> {
     pub(crate) fn new() -> Self {
-        SimApi { round: 0, outgoing: Vec::new(), completed: Vec::new(), issued: Vec::new() }
+        SimApi {
+            round: 0,
+            outgoing: Vec::new(),
+            completed: Vec::new(),
+            issued: Vec::new(),
+            dropped: Vec::new(),
+            delayed: 0,
+            issued_total: 0,
+            completed_total: 0,
+        }
     }
 
     pub(crate) fn set_round(&mut self, r: Round) {
@@ -78,6 +93,7 @@ impl<M> SimApi<M> {
     /// Record that `node`'s operation completed now with result `value`.
     /// The delay recorded is the current round.
     pub fn complete(&mut self, node: NodeId, value: u64) {
+        self.completed_total += 1;
         self.completed.push(Completion { node, value, round: self.round });
     }
 
@@ -87,7 +103,30 @@ impl<M> SimApi<M> {
     /// completion-latency and backlog metrics; one-shot protocols never
     /// call this and their operations implicitly issue at round 0.
     pub fn issue(&mut self, node: NodeId) {
+        self.issued_total += 1;
         self.issued.push(Issue { node, round: self.round });
+    }
+
+    /// The live global backlog: operations issued but not yet completed,
+    /// over the whole run so far. This is the quantity admission control
+    /// ([`crate::admission`]) gates on — it is one run-wide counter, so the
+    /// sharded executor admits against the *global* backlog, not a
+    /// per-shard view. 0 for one-shot runs (which record no issues).
+    #[inline]
+    pub fn backlog(&self) -> usize {
+        self.issued_total.saturating_sub(self.completed_total) as usize
+    }
+
+    /// Record that `node`'s scheduled arrival was refused admission (the
+    /// operation will never issue). Called by [`crate::arrival::Paced`]
+    /// alongside [`crate::arrival::OnlineProtocol::cancel`].
+    pub(crate) fn shed(&mut self, node: NodeId) {
+        self.dropped.push(Dropped { node, round: self.round });
+    }
+
+    /// Record that an arrival's admission was deferred to a later round.
+    pub(crate) fn note_delayed(&mut self) {
+        self.delayed += 1;
     }
 }
 

@@ -199,6 +199,19 @@ pub struct Issue {
     pub round: Round,
 }
 
+/// One shed arrival: a scheduled operation that admission control
+/// ([`crate::admission::AdmissionPolicy::DropTail`]) refused. The
+/// operation never issues and never completes; the protocol released
+/// anything waiting on it via
+/// [`crate::arrival::OnlineProtocol::cancel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Dropped {
+    /// Processor whose arrival was refused.
+    pub node: NodeId,
+    /// Round at which it was refused (unscaled).
+    pub round: Round,
+}
+
 /// Result of a simulation run.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct SimReport {
@@ -230,6 +243,12 @@ pub struct SimReport {
     /// completed) observed — the open-system backlog high-water mark.
     /// 0 for one-shot runs (no issue events are recorded).
     pub backlog_high_water: usize,
+    /// Arrivals refused by admission control, in drop order (empty unless
+    /// a shedding policy was active).
+    pub dropped: Vec<Dropped>,
+    /// Admission deferrals: how many times a delaying policy pushed an
+    /// arrival to a later round (one arrival retried `r` times counts `r`).
+    pub delayed_admissions: u64,
     /// Event trace (only when [`SimConfig::trace`] was set).
     pub trace: Vec<TraceEvent>,
 }
@@ -346,6 +365,37 @@ impl SimReport {
     /// (`rounds + 1` counts round 0) — the steady-state throughput measure.
     pub fn throughput(&self) -> f64 {
         self.completions.len() as f64 / (self.rounds + 1) as f64
+    }
+
+    /// The nodes whose arrivals were shed, sorted ascending.
+    pub fn dropped_nodes(&self) -> Vec<NodeId> {
+        let mut d: Vec<NodeId> = self.dropped.iter().map(|e| e.node).collect();
+        d.sort_unstable();
+        d
+    }
+
+    /// Useful work per round: [`SimReport::throughput`] discounted by the
+    /// shed fraction of the offered load,
+    /// `throughput × completed / (completed + dropped)`. Always
+    /// `≤ throughput()`, with equality when nothing was shed — the
+    /// backpressure trade-off measure (a policy that sheds half the
+    /// offered arrivals halves the goodput even if the survivors fly).
+    pub fn goodput(&self) -> f64 {
+        let completed = self.completions.len();
+        let offered = completed + self.dropped.len();
+        if offered == 0 {
+            return self.throughput();
+        }
+        self.throughput() * completed as f64 / offered as f64
+    }
+
+    /// Nearest-rank percentile of the *retained* (admitted-and-completed)
+    /// scaled completion latencies. Shed arrivals never issue, so they are
+    /// excluded by construction — this is [`SimReport::latency_percentile`]
+    /// under its honest backpressure name: percentiles of the operations
+    /// the system actually served.
+    pub fn retained_latency_percentile(&self, q: f64) -> u64 {
+        self.latency_percentile(q)
     }
 }
 

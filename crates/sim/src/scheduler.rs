@@ -94,6 +94,22 @@ pub(crate) fn drain_api<M>(
             });
         }
     }
+    // Admission-control accounting: shed arrivals and deferral counts
+    // (recorded by `Paced` during the arrivals phase; empty under the
+    // `Open` policy and for one-shot runs).
+    for d in api.dropped.drain(..) {
+        debug_assert_eq!(d.round, round, "drop round mismatch");
+        report.dropped.push(d);
+        if trace {
+            report.trace.push(TraceEvent {
+                round,
+                kind: TraceKind::Drop,
+                node: d.node,
+                peer: d.node,
+            });
+        }
+    }
+    report.delayed_admissions += std::mem::take(&mut api.delayed);
     // Open-system backlog: operations issued but not yet completed
     // (one-shot runs record no issues, so this stays 0 there).
     report.backlog_high_water =

@@ -9,6 +9,9 @@ use serde::Serialize;
 pub enum TraceKind {
     /// An operation was injected (open-system arrivals only).
     Issue,
+    /// A scheduled arrival was refused by admission control and will never
+    /// issue (open-system arrivals under a shedding policy only).
+    Drop,
     /// A message left its sender and is on the wire.
     Transmit,
     /// A message was dequeued by its receiver and handed to the protocol.
@@ -36,6 +39,7 @@ impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
             TraceKind::Issue => write!(f, "[r{:>4}] {} ⊕ issue", self.round, self.node),
+            TraceKind::Drop => write!(f, "[r{:>4}] {} ⊘ dropped", self.round, self.node),
             TraceKind::Transmit => {
                 write!(f, "[r{:>4}] {} ──▶ {}", self.round, self.node, self.peer)
             }

@@ -33,6 +33,7 @@ fn main() {
         }
         match ev.kind {
             TraceKind::Issue => println!("  ⊕ node {} issues its operation", ev.node),
+            TraceKind::Drop => println!("  ⊘ node {}'s arrival is shed by admission", ev.node),
             TraceKind::Transmit => println!("  queue() message {} ──▶ {}", ev.node, ev.peer),
             TraceKind::Deliver => println!("  node {} receives from {}", ev.node, ev.peer),
             TraceKind::Complete => println!("  ✓ operation of node {} completes", ev.node),

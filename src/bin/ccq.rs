@@ -9,8 +9,8 @@
 //!
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-//!           [--shards <plans>] [--repeats N] [--seed S] [--json -|PATH]
-//!           [--pretty]
+//!           [--admission <policies>] [--shards <plans>] [--repeats N]
+//!           [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
 //!     `--json` (`-` writes JSON to stdout and nothing else). Without
 //!     `--topo` the sweep runs on the default pair mesh2d:8 + torus2d:4.
@@ -27,6 +27,10 @@
 //!              | hotspot:rate=R[:s=E][:seed=S]
 //! Delays:      unit | fixed:d=N | perlink:max=N[:seed=S]
 //!              | jitter:max=N[:seed=S]
+//! Admissions:  open | droptail:bound=N | delayretry:bound=N[:backoff=N]
+//!              | adaptive:target=N[:gain=N] — backpressure against the
+//!              live backlog. `--admission open` runs the same plan as no
+//!              flag (byte-identical JSON).
 //! Shards:      k[:strategy] with strategy one of contig (default),
 //!              stripe, edgecut — e.g. 4, 4:edgecut. `--shards 1` runs
 //!              the same plan as no flag (byte-identical JSON).
@@ -64,14 +68,15 @@ usage:
   ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-            [--shards <k[:strategy]>] [--repeats N] [--seed S]
-            [--json -|PATH] [--pretty]
+            [--admission <policies>] [--shards <k[:strategy]>] [--repeats N]
+            [--seed S] [--json -|PATH] [--pretty]
 
 examples:
   ccq run --exp t4
   ccq sweep --topo mesh2d --proto arrow,central-counter --json -
   ccq sweep --topo complete:256,hypercube:8 --proto queuing --repeats 3
   ccq sweep --arrival poisson:rate=0.2 --delay jitter:max=3 --json -
+  ccq sweep --arrival poisson:rate=0.8 --admission droptail:bound=16 --json -
   ccq sweep --topo torus2d:6 --shards 4:edgecut --json -
 ";
 
@@ -101,6 +106,10 @@ fn cmd_list() -> i32 {
     println!(
         "delays (ccq sweep --delay): unit | fixed:d=N | perlink:max=N[:seed=S] | \
          jitter:max=N[:seed=S]"
+    );
+    println!(
+        "admissions (ccq sweep --admission): open | droptail:bound=N | \
+         delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N]"
     );
     println!("shards (ccq sweep --shards): k[:strategy], strategy = contig | stripe | edgecut");
     0
@@ -166,6 +175,7 @@ struct SweepArgs {
     patterns: Vec<RequestPattern>,
     arrivals: Vec<ArrivalSpec>,
     delays: Vec<LinkDelay>,
+    admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
     repeats: usize,
     seed: u64,
@@ -183,6 +193,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
         .patterns(parsed.patterns)
         .arrivals(parsed.arrivals)
         .delays(parsed.delays)
+        .admissions(parsed.admissions)
         .shards(parsed.shards)
         .repeats(parsed.repeats)
         .seed(parsed.seed);
@@ -231,6 +242,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         patterns: Vec::new(),
         arrivals: Vec::new(),
         delays: Vec::new(),
+        admissions: Vec::new(),
         shards: Vec::new(),
         repeats: 1,
         seed: 0,
@@ -282,6 +294,11 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                     out.delays.push(parse_delay(tok)?);
                 }
             }
+            "--admission" => {
+                for tok in value("--admission")?.split(',') {
+                    out.admissions.push(parse_admission(tok)?);
+                }
+            }
             "--shards" => {
                 for tok in value("--shards")?.split(',') {
                     out.shards.push(parse_shards(tok)?);
@@ -315,6 +332,9 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
     }
     if out.delays.is_empty() {
         out.delays.push(LinkDelay::Unit);
+    }
+    if out.admissions.is_empty() {
+        out.admissions.push(AdmissionSpec::Open);
     }
     if out.shards.is_empty() {
         out.shards.push(ShardSpec::single());
@@ -442,6 +462,52 @@ fn parse_arrival(token: &str) -> Result<ArrivalSpec, String> {
 /// Largest per-hop delay the CLI accepts — big enough for any plausible
 /// heterogeneity study, small enough that round arithmetic cannot overflow.
 const MAX_CLI_DELAY: u64 = 1_000_000;
+
+/// Largest admission bound/target the CLI accepts (a backlog can never
+/// exceed the processor count, itself capped at `MAX_CLI_N`).
+const MAX_CLI_BOUND: u64 = MAX_CLI_N as u64;
+
+fn parse_admission(token: &str) -> Result<AdmissionSpec, String> {
+    let parts: Vec<&str> = token.split(':').collect();
+    let bound_field = |p: &[(&str, &str)], key: &str| -> Result<usize, String> {
+        let v: u64 = field(token, p, key, None)?;
+        if v < 1 {
+            Err(format!("field `{key}` must be ≥ 1 in `{token}`"))
+        } else if v > MAX_CLI_BOUND {
+            Err(format!("field `{key}` must be ≤ {MAX_CLI_BOUND} in `{token}`"))
+        } else {
+            Ok(v as usize)
+        }
+    };
+    match parts[0] {
+        "open" => {
+            kv_params(token, &parts[1..], &[])?;
+            Ok(AdmissionSpec::Open)
+        }
+        "droptail" => {
+            let p = kv_params(token, &parts[1..], &["bound"])?;
+            Ok(AdmissionSpec::DropTail { bound: bound_field(&p, "bound")? })
+        }
+        "delayretry" => {
+            let p = kv_params(token, &parts[1..], &["bound", "backoff"])?;
+            Ok(AdmissionSpec::DelayRetry {
+                bound: bound_field(&p, "bound")?,
+                backoff: check_bound(token, "backoff", field(token, &p, "backoff", Some(4))?, 1)?,
+            })
+        }
+        "adaptive" => {
+            let p = kv_params(token, &parts[1..], &["target", "gain"])?;
+            Ok(AdmissionSpec::Adaptive {
+                target_backlog: bound_field(&p, "target")?,
+                gain: check_bound(token, "gain", field(token, &p, "gain", Some(1))?, 1)?,
+            })
+        }
+        other => Err(format!(
+            "unknown admission `{other}` (open | droptail:bound=N | \
+             delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N])"
+        )),
+    }
+}
 
 fn check_bound(token: &str, key: &str, v: u64, min: u64) -> Result<u64, String> {
     if v < min {

@@ -1,28 +1,23 @@
-//! End-to-end tests of the `ccq` binary: the acceptance sweep emits valid
+//! End-to-end tests of the `ccq` binary: the acceptance sweeps emit valid
 //! JSON on stdout (and nothing else), `list` and `run` work, and bad input
 //! fails with a helpful message.
 
-use std::process::Command;
+mod common;
 
-fn ccq(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_ccq")).args(args).output().expect("ccq runs")
-}
+use common::{assert_all_ok, case_str, case_u64, cases, ccq, json_stdout};
 
 #[test]
 fn sweep_json_stdout_is_pure_valid_json() {
     let out =
         ccq(&["sweep", "--topo", "mesh2d", "--proto", "arrow,central-counter", "--json", "-"]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let stdout = String::from_utf8(out.stdout).unwrap();
-    let doc = serde_json::from_str(stdout.trim()).expect("stdout must be exactly one JSON value");
-    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
-    assert_eq!(cases.len(), 2);
-    let names: Vec<&str> =
-        cases.iter().map(|c| c.get("protocol").unwrap().as_str().unwrap()).collect();
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 2);
+    let names: Vec<&str> = cs.iter().map(|c| case_str(c, "protocol")).collect();
     assert_eq!(names, vec!["arrow", "central-counter"]);
-    for case in cases {
-        assert!(case.get("total_delay").and_then(|v| v.as_u64()).unwrap() > 0);
-        assert!(case.get("messages").and_then(|v| v.as_u64()).unwrap() > 0);
+    for case in cs {
+        assert!(case_u64(case, "total_delay") > 0);
+        assert!(case_u64(case, "messages") > 0);
         assert!(case.get("max_contention").and_then(|v| v.as_u64()).is_some());
     }
 }
@@ -42,14 +37,12 @@ fn sweep_supports_width_params_topology_params_and_groups() {
         "--json",
         "-",
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let doc = serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
-    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
     // 2 topologies × 2 repeats × (4 queuing + 1 width-pinned network).
-    assert_eq!(cases.len(), 2 * 2 * 5);
-    assert!(cases.iter().any(|c| {
-        c.get("protocol").unwrap().as_str() == Some("counting-network")
-            && c.get("width").unwrap().as_u64() == Some(4)
+    assert_eq!(cs.len(), 2 * 2 * 5);
+    assert!(cs.iter().any(|c| {
+        case_str(c, "protocol") == "counting-network" && c.get("width").unwrap().as_u64() == Some(4)
     }));
 }
 
@@ -58,7 +51,9 @@ fn list_names_every_registry_protocol() {
     let out = ccq(&["list"]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for name in ["arrow", "central-counter", "counting-network", "toggle-tree", "t4"] {
+    for name in
+        ["arrow", "central-counter", "counting-network", "toggle-tree", "t4", "t13", "droptail"]
+    {
         assert!(stdout.contains(name), "missing {name} in ccq list");
     }
 }
@@ -73,37 +68,120 @@ fn run_executes_an_experiment_driver() {
 
 #[test]
 fn open_system_sweep_reports_latency_percentiles() {
-    // The acceptance command: no --topo (defaults to two topologies), all
-    // registry protocols, Poisson arrivals on jittered links, JSON out.
+    // The PR-2 acceptance command: no --topo (defaults to two topologies),
+    // all registry protocols, Poisson arrivals on jittered links.
     let out =
         ccq(&["sweep", "--arrival", "poisson:rate=0.2", "--delay", "jitter:max=3", "--json", "-"]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let stdout = String::from_utf8(out.stdout).unwrap();
-    let doc: serde_json::Value = serde_json::from_str(stdout.trim()).expect("pure JSON stdout");
-    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
     // All 9 registry protocols on the 2 default topologies.
-    assert_eq!(cases.len(), 18);
+    assert_eq!(cs.len(), 18);
     let topologies: std::collections::BTreeSet<&str> =
-        cases.iter().map(|c| c.get("topology").unwrap().as_str().unwrap()).collect();
+        cs.iter().map(|c| case_str(c, "topology")).collect();
     assert!(topologies.len() >= 2, "expected ≥ 2 topologies, got {topologies:?}");
     let protocols: std::collections::BTreeSet<&str> =
-        cases.iter().map(|c| c.get("protocol").unwrap().as_str().unwrap()).collect();
+        cs.iter().map(|c| case_str(c, "protocol")).collect();
     assert_eq!(protocols.len(), 9, "expected all registry protocols, got {protocols:?}");
-    for case in cases {
-        assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true));
-        assert!(case.get("arrival").unwrap().as_str().unwrap().starts_with("poisson"));
-        assert!(case.get("delay").unwrap().as_str().unwrap().starts_with("jitter"));
+    assert_all_ok(&doc);
+    for case in cs {
+        assert!(case_str(case, "arrival").starts_with("poisson"));
+        assert!(case_str(case, "delay").starts_with("jitter"));
         assert!(case.get("throughput").and_then(|v| v.as_f64()).unwrap() > 0.0);
-        let p50 = case.get("latency_p50").and_then(|v| v.as_u64()).unwrap();
-        let p95 = case.get("latency_p95").and_then(|v| v.as_u64()).unwrap();
-        let p99 = case.get("latency_p99").and_then(|v| v.as_u64()).unwrap();
+        let (p50, p95, p99) = (
+            case_u64(case, "latency_p50"),
+            case_u64(case, "latency_p95"),
+            case_u64(case, "latency_p99"),
+        );
         assert!(p50 <= p95 && p95 <= p99, "unordered percentiles: {case:?}");
-        assert!(case.get("backlog").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(case_u64(case, "backlog") > 0);
     }
 }
 
 #[test]
-fn malformed_arrival_and_delay_specs_fail_loudly() {
+fn backpressure_acceptance_sweep_reports_goodput_and_drops() {
+    // The PR-4 acceptance command: all 9 protocols × default topologies
+    // under the AIMD throttle — ordered percentiles, goodput ≤ throughput,
+    // and (a delaying policy) zero drops.
+    let out = ccq(&[
+        "sweep",
+        "--arrival",
+        "poisson:rate=0.8",
+        "--admission",
+        "adaptive:target=32",
+        "--json",
+        "-",
+    ]);
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 18, "9 protocols × 2 default topologies");
+    assert_all_ok(&doc);
+    let protocols: std::collections::BTreeSet<&str> =
+        cs.iter().map(|c| case_str(c, "protocol")).collect();
+    assert_eq!(protocols.len(), 9);
+    for case in cs {
+        assert_eq!(case_str(case, "admission"), "adaptive(target=32,gain=1)");
+        let (p50, p95, p99) = (
+            case_u64(case, "latency_p50"),
+            case_u64(case, "latency_p95"),
+            case_u64(case, "latency_p99"),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "unordered percentiles: {case:?}");
+        let thr = case.get("throughput").and_then(|v| v.as_f64()).unwrap();
+        let goodput = case.get("goodput").and_then(|v| v.as_f64()).unwrap();
+        assert!(goodput <= thr + 1e-12, "goodput > throughput: {case:?}");
+        assert_eq!(case_u64(case, "dropped"), 0, "adaptive must not shed: {case:?}");
+    }
+    let plan = doc.get("plan").unwrap();
+    assert_eq!(
+        plan.get("admissions").and_then(|v| v.as_array()).unwrap().len(),
+        1,
+        "plan echoes the admission dimension"
+    );
+}
+
+#[test]
+fn admission_open_is_byte_identical_to_no_flag() {
+    // The acceptance criterion: `--admission open` must not perturb a
+    // sweep's JSON in any way.
+    let base = ccq(&["sweep", "--arrival", "poisson:rate=0.8", "--json", "-"]);
+    let open =
+        ccq(&["sweep", "--arrival", "poisson:rate=0.8", "--admission", "open", "--json", "-"]);
+    assert!(base.status.success() && open.status.success());
+    assert_eq!(base.stdout, open.stdout, "--admission open changed the JSON bytes");
+    // And under the open policy nothing is ever dropped.
+    for case in cases(&json_stdout(&open)) {
+        assert_eq!(case_u64(case, "dropped"), 0);
+        assert_eq!(case_u64(case, "delayed_admissions"), 0);
+    }
+}
+
+#[test]
+fn droptail_sweep_sheds_and_reports_drop_counters() {
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "mesh2d:6",
+        "--arrival",
+        "poisson:rate=0.9",
+        "--admission",
+        "droptail:bound=8",
+        "--json",
+        "-",
+    ]);
+    let doc = json_stdout(&out);
+    assert_all_ok(&doc);
+    for case in cases(&doc) {
+        assert_eq!(case_str(case, "admission"), "droptail(bound=8)");
+        assert!(case_u64(case, "dropped") > 0, "high load over bound 8 must shed: {case:?}");
+        assert!(case_u64(case, "backlog") <= 8, "backlog above the drop bound: {case:?}");
+        let thr = case.get("throughput").and_then(|v| v.as_f64()).unwrap();
+        let goodput = case.get("goodput").and_then(|v| v.as_f64()).unwrap();
+        assert!(goodput < thr, "shedding must open a goodput gap: {case:?}");
+    }
+}
+
+#[test]
+fn malformed_arrival_delay_and_admission_specs_fail_loudly() {
     // Every bad spec must exit non-zero with a message naming the bad field.
     let checks = [
         (vec!["sweep", "--arrival", "poisson:rate=oops"], "rate"),
@@ -118,6 +196,13 @@ fn malformed_arrival_and_delay_specs_fail_loudly() {
         (vec!["sweep", "--delay", "fixed:d=0"], "d"),
         (vec!["sweep", "--delay", "molasses"], "unknown delay"),
         (vec!["sweep", "--arrival", "bursty:rate=0.5:on=0:off=4"], "on"),
+        (vec!["sweep", "--admission", "droptail"], "bound"),
+        (vec!["sweep", "--admission", "droptail:bound=0"], "bound"),
+        (vec!["sweep", "--admission", "droptail:bound=oops"], "bound"),
+        (vec!["sweep", "--admission", "adaptive:bound=4"], "bound"),
+        (vec!["sweep", "--admission", "delayretry:bound=4:backoff=0"], "backoff"),
+        (vec!["sweep", "--admission", "open:bound=4"], "bound"),
+        (vec!["sweep", "--admission", "clairvoyant"], "unknown admission"),
     ];
     for (args, needle) in checks {
         let out = ccq(&args);
@@ -166,8 +251,8 @@ fn sweep_writes_json_files() {
 
 #[test]
 fn shards_one_is_byte_identical_to_no_flag() {
-    // The acceptance criterion: `--shards 1` must not perturb a sweep's
-    // JSON in any way.
+    // The PR-3 acceptance criterion: `--shards 1` must not perturb a
+    // sweep's JSON in any way.
     let base = ccq(&["sweep", "--topo", "torus2d:6", "--json", "-"]);
     let sharded = ccq(&["sweep", "--topo", "torus2d:6", "--shards", "1", "--json", "-"]);
     assert!(base.status.success() && sharded.status.success());
@@ -177,18 +262,13 @@ fn shards_one_is_byte_identical_to_no_flag() {
 #[test]
 fn shards_four_completes_every_protocol_with_cross_shard_counts() {
     let out = ccq(&["sweep", "--topo", "torus2d:6", "--shards", "4", "--json", "-"]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let doc: serde_json::Value =
-        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
-    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
-    assert_eq!(cases.len(), 9, "all registry protocols");
-    for case in cases {
-        assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true), "{case:?}");
-        assert_eq!(case.get("shards").and_then(|v| v.as_str()), Some("4"));
-        assert!(
-            case.get("cross_shard_messages").and_then(|v| v.as_u64()).unwrap() > 0,
-            "no cross-shard traffic: {case:?}"
-        );
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 9, "all registry protocols");
+    assert_all_ok(&doc);
+    for case in cs {
+        assert_eq!(case_str(case, "shards"), "4");
+        assert!(case_u64(case, "cross_shard_messages") > 0, "no cross-shard traffic: {case:?}");
     }
     let plan_shards = doc.get("plan").and_then(|p| p.get("shards")).and_then(|v| v.as_array());
     let plan_shards: Vec<&str> = plan_shards.unwrap().iter().map(|v| v.as_str().unwrap()).collect();
@@ -208,21 +288,57 @@ fn shards_accepts_strategies_and_lists() {
         "--json",
         "-",
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let doc: serde_json::Value =
-        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
-    let cases = doc.get("cases").and_then(|c| c.as_array()).unwrap();
-    assert_eq!(cases.len(), 3, "one arrow case per shard plan");
-    let shard_names: Vec<&str> =
-        cases.iter().map(|c| c.get("shards").unwrap().as_str().unwrap()).collect();
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 3, "one arrow case per shard plan");
+    let shard_names: Vec<&str> = cs.iter().map(|c| case_str(c, "shards")).collect();
     assert_eq!(shard_names, vec!["1", "2:stripe", "4:edgecut"]);
     // Identical totals across plans (default ferry), distinct traffic.
     let totals: std::collections::BTreeSet<u64> =
-        cases.iter().map(|c| c.get("total_delay").unwrap().as_u64().unwrap()).collect();
+        cs.iter().map(|c| case_u64(c, "total_delay")).collect();
     assert_eq!(totals.len(), 1, "default-ferry shard plans must agree on delays");
-    assert_eq!(cases[0].get("cross_shard_messages").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(case_u64(&cs[0], "cross_shard_messages"), 0);
     // Summaries are per shard plan.
     assert_eq!(doc.get("summaries").and_then(|s| s.as_array()).unwrap().len(), 3);
+}
+
+#[test]
+fn backpressure_composes_with_shards() {
+    // The tentpole's sharding criterion: admission is evaluated against
+    // the global backlog, so a sharded backpressured sweep reproduces the
+    // unsharded drop pattern exactly (default ferry).
+    let flags = [
+        "sweep",
+        "--topo",
+        "torus2d:4",
+        "--arrival",
+        "poisson:rate=0.9",
+        "--admission",
+        "droptail:bound=6",
+        "--json",
+        "-",
+    ];
+    let base = ccq(&flags);
+    let mut sharded_flags = flags[..flags.len() - 2].to_vec();
+    sharded_flags.extend(["--shards", "2", "--json", "-"]);
+    let sharded = ccq(&sharded_flags);
+    let (bdoc, sdoc) = (json_stdout(&base), json_stdout(&sharded));
+    assert_all_ok(&bdoc);
+    assert_all_ok(&sdoc);
+    let key = |doc: &serde_json::Value| -> Vec<(String, u64, u64)> {
+        cases(doc)
+            .iter()
+            .map(|c| {
+                (
+                    case_str(c, "protocol").to_string(),
+                    case_u64(c, "dropped"),
+                    case_u64(c, "total_delay"),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(key(&bdoc), key(&sdoc), "sharding changed the admission outcome");
+    assert!(cases(&bdoc).iter().any(|c| case_u64(c, "dropped") > 0), "no shedding to compare");
 }
 
 #[test]

@@ -1,8 +1,11 @@
 //! Property-based tests over the core invariants, driven by random trees,
 //! topologies and request sets.
 
+mod common;
+
 use ccq_repro::counting::{verify_ranks, CombiningTreeProtocol, CountingNetworkProtocol};
 use ccq_repro::graph::{spanning, topology, NodeId, Tree, TreeRouter};
+use ccq_repro::prelude::*;
 use ccq_repro::queuing::{verify_total_order, ArrowProtocol};
 use ccq_repro::sim::{run_protocol, ArrivalProcess, Paced, Round, SimConfig};
 use ccq_repro::tsp::{decompose_runs, nn_tour, steiner_edge_count};
@@ -268,6 +271,132 @@ impl ccq_repro::sim::OnlineProtocol for Burst {
     fn issue(&mut self, api: &mut ccq_repro::sim::SimApi<u64>, node: NodeId) {
         for i in 1..=self.burst {
             api.send(node, 1, i);
+        }
+    }
+}
+
+/// The four protocol shapes the admission invariants are checked on: a
+/// per-request queuing protocol, the single-wave queuing and counting
+/// combiners (the cancel/aging paths), and the per-request counter.
+fn admission_protocols() -> [&'static dyn ProtocolSpec; 4] {
+    use ccq_repro::core::protocol;
+    [
+        &protocol::Arrow,
+        &protocol::CombiningQueue,
+        &protocol::CentralCounter,
+        &protocol::CombiningTree,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation under backpressure, for every policy × arrival × delay:
+    /// completed + dropped + still-open == scheduled arrivals. (At
+    /// quiescence still-open is 0 — everything admitted completes, waves
+    /// included, thanks to the aging escape — so the identity also pins
+    /// `issues + dropped == |R|`: no arrival is ever lost or double-
+    /// counted.)
+    #[test]
+    fn admission_conserves_arrivals(
+        seed in any::<u64>(),
+        bound in 1usize..8,
+        policy_idx in 0usize..4,
+        arrival_idx in 0usize..3,
+        jitter in 0u64..4,
+    ) {
+        let policy = match policy_idx {
+            0 => AdmissionSpec::Open,
+            1 => AdmissionSpec::DropTail { bound },
+            2 => AdmissionSpec::DelayRetry { bound, backoff: 3 },
+            _ => AdmissionSpec::Adaptive { target_backlog: bound, gain: 1 },
+        };
+        let arrival = common::open_arrivals(seed)[arrival_idx].clone();
+        let delay = if jitter == 0 { LinkDelay::Unit } else { LinkDelay::Jitter { max: jitter, seed } };
+        for proto in admission_protocols() {
+            let s = Scenario::build_with(
+                TopoSpec::Mesh2D { side: 4 }, RequestPattern::All, arrival.clone(),
+            ).with_admission(policy);
+            let out = run_spec_with(proto, &s, ModelMode::Strict, delay)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", proto.name(), policy.name()));
+            let r = &out.report;
+            let still_open = r.issues.len() - r.completions.len();
+            prop_assert_eq!(
+                r.completions.len() + r.dropped.len() + still_open, s.k(),
+                "{} under {}: arrivals not conserved", proto.name(), policy.name()
+            );
+            prop_assert_eq!(still_open, 0, "{}: admitted ops left open at quiescence", proto.name());
+            prop_assert!(r.goodput() <= r.throughput() + 1e-12, "{}: goodput > throughput", proto.name());
+            match policy {
+                AdmissionSpec::Open => {
+                    prop_assert!(r.dropped.is_empty(), "open policy shed");
+                    prop_assert_eq!(r.delayed_admissions, 0, "open policy deferred");
+                }
+                AdmissionSpec::DropTail { .. } =>
+                    prop_assert_eq!(r.delayed_admissions, 0, "droptail deferred"),
+                _ => prop_assert!(r.dropped.is_empty(), "delaying policy shed"),
+            }
+        }
+    }
+
+    /// The `Open` admission policy is byte-identical to not configuring
+    /// admission at all: same serialized report, event for event.
+    #[test]
+    fn open_admission_reports_are_byte_identical(
+        seed in any::<u64>(),
+        rate in 0.1f64..1.0,
+    ) {
+        let arrival = ArrivalSpec::Poisson { rate, seed };
+        for proto in admission_protocols() {
+            let plain = Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 }, RequestPattern::All, arrival.clone(),
+            );
+            let gated = Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 }, RequestPattern::All, arrival.clone(),
+            ).with_admission(AdmissionSpec::Open);
+            let a = run_spec(proto, &plain, ModelMode::Strict).expect("plain run");
+            let b = run_spec(proto, &gated, ModelMode::Strict).expect("gated run");
+            prop_assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap(),
+                "{}: Open admission changed the report bytes", proto.name()
+            );
+        }
+    }
+
+    /// The AIMD controller's contract: on protocols that drain (per-request
+    /// service, no wave barrier) the backlog never exceeds the target plus
+    /// one burst (the arrivals sharing a single round, each admitted
+    /// against the live backlog before it could re-drain).
+    #[test]
+    fn adaptive_backlog_never_exceeds_target_plus_one_burst(
+        seed in any::<u64>(),
+        target in 1usize..10,
+        rate in 0.1f64..1.0,
+    ) {
+        use ccq_repro::core::protocol;
+        let arrival = ArrivalSpec::Poisson { rate, seed };
+        let s = Scenario::build_with(
+            TopoSpec::Mesh2D { side: 4 }, RequestPattern::All, arrival,
+        ).with_admission(AdmissionSpec::Adaptive { target_backlog: target, gain: 1 });
+        let burst = {
+            let mut max_per_round = 0usize;
+            let mut i = 0;
+            while i < s.schedule.len() {
+                let j = s.schedule[i..].iter().take_while(|&&(r, _)| r == s.schedule[i].0).count();
+                max_per_round = max_per_round.max(j);
+                i += j;
+            }
+            max_per_round
+        };
+        for proto in [&protocol::Arrow as &dyn ProtocolSpec, &protocol::CentralCounter] {
+            let out = run_spec(proto, &s, ModelMode::Strict).expect("adaptive run");
+            prop_assert!(
+                out.report.backlog_high_water <= target + burst,
+                "{}: backlog {} exceeded target {} + burst {}",
+                proto.name(), out.report.backlog_high_water, target, burst
+            );
+            prop_assert!(out.report.dropped.is_empty(), "adaptive never sheds");
         }
     }
 }

@@ -2,31 +2,27 @@
 //! topologies (torus, random-regular) in both execution models — the
 //! registry's contract is that an entry works on *any* connected scenario.
 
-use ccq_repro::prelude::*;
+mod common;
 
-fn beyond_paper_topologies() -> Vec<TopoSpec> {
-    vec![TopoSpec::Torus2D { side: 4 }, TopoSpec::RandomRegular { n: 20, d: 3, seed: 5 }]
-}
+use ccq_repro::prelude::*;
+use common::{beyond_paper_topologies, open_arrivals, registry_matrix};
 
 #[test]
 fn every_registry_entry_verifies_on_torus_and_random_regular() {
-    for spec in beyond_paper_topologies() {
+    for (spec, proto) in registry_matrix(beyond_paper_topologies()) {
         let s = Scenario::build(spec.clone(), RequestPattern::All);
-        for proto in registry() {
-            for mode in [ModelMode::Strict, ModelMode::Expanded] {
-                let out = run_spec(*proto, &s, mode).unwrap_or_else(|e| {
-                    panic!("{} on {} ({mode:?}): {e}", proto.name(), spec.name())
-                });
-                assert_eq!(
-                    out.order.len(),
-                    s.k(),
-                    "{} on {} ({mode:?}): wrong order length",
-                    proto.name(),
-                    spec.name()
-                );
-                assert_eq!(out.alg, proto.name());
-                assert!(out.report.total_delay() > 0, "{}", proto.name());
-            }
+        for mode in [ModelMode::Strict, ModelMode::Expanded] {
+            let out = run_spec(proto, &s, mode)
+                .unwrap_or_else(|e| panic!("{} on {} ({mode:?}): {e}", proto.name(), spec.name()));
+            assert_eq!(
+                out.order.len(),
+                s.k(),
+                "{} on {} ({mode:?}): wrong order length",
+                proto.name(),
+                spec.name()
+            );
+            assert_eq!(out.alg, proto.name());
+            assert!(out.report.total_delay() > 0, "{}", proto.name());
         }
     }
 }
@@ -55,31 +51,69 @@ fn every_registry_entry_verifies_under_open_arrivals() {
     // open processes so each protocol faces at least one of them on each
     // beyond-paper topology, with outputs checked by the existing verify
     // hooks inside run_spec.
-    let arrivals = [
-        ArrivalSpec::Poisson { rate: 0.3, seed: 11 },
-        ArrivalSpec::Bursty { rate: 0.7, on: 6, off: 12, seed: 11 },
-        ArrivalSpec::Hotspot { rate: 0.3, s: 1.4, seed: 11 },
+    let arrivals = open_arrivals(11);
+    for (i, (spec, proto)) in registry_matrix(beyond_paper_topologies()).enumerate() {
+        let arrival = arrivals[i % arrivals.len()].clone();
+        let s = Scenario::build_with(spec.clone(), RequestPattern::All, arrival.clone());
+        let out = run_spec(proto, &s, ModelMode::Strict).unwrap_or_else(|e| {
+            panic!("{} on {} under {}: {e}", proto.name(), spec.name(), arrival.name())
+        });
+        let ctx = format!("{} on {} under {}", proto.name(), spec.name(), arrival.name());
+        assert_eq!(out.order.len(), s.k(), "{ctx}: wrong order length");
+        // Open-system accounting: one issue event per requester, a
+        // positive backlog, and ordered latency percentiles.
+        assert_eq!(out.report.issues.len(), s.k(), "{ctx}: missing issue events");
+        assert!(out.report.backlog_high_water > 0, "{ctx}: no backlog observed");
+        let (p50, p95, p99) = (
+            out.report.latency_percentile(0.50),
+            out.report.latency_percentile(0.95),
+            out.report.latency_percentile(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{ctx}: unordered percentiles");
+        assert!(out.report.throughput() > 0.0, "{ctx}: zero throughput");
+        // No admission policy was set: nothing may be shed or deferred.
+        assert!(out.report.dropped.is_empty(), "{ctx}: drops without admission control");
+        assert_eq!(out.report.delayed_admissions, 0, "{ctx}: deferrals without admission");
+    }
+}
+
+#[test]
+fn every_registry_entry_verifies_under_backpressure() {
+    // The admission matrix: every protocol, each active policy, on each
+    // beyond-paper topology — all must verify over the retained set, and
+    // the accounting must conserve arrivals.
+    let admissions = [
+        AdmissionSpec::DropTail { bound: 5 },
+        AdmissionSpec::DelayRetry { bound: 5, backoff: 3 },
+        AdmissionSpec::Adaptive { target_backlog: 5, gain: 1 },
     ];
-    for spec in beyond_paper_topologies() {
-        for (i, proto) in registry().iter().enumerate() {
-            let arrival = arrivals[i % arrivals.len()].clone();
-            let s = Scenario::build_with(spec.clone(), RequestPattern::All, arrival.clone());
-            let out = run_spec(*proto, &s, ModelMode::Strict).unwrap_or_else(|e| {
-                panic!("{} on {} under {}: {e}", proto.name(), spec.name(), arrival.name())
-            });
-            let ctx = format!("{} on {} under {}", proto.name(), spec.name(), arrival.name());
-            assert_eq!(out.order.len(), s.k(), "{ctx}: wrong order length");
-            // Open-system accounting: one issue event per requester, a
-            // positive backlog, and ordered latency percentiles.
-            assert_eq!(out.report.issues.len(), s.k(), "{ctx}: missing issue events");
-            assert!(out.report.backlog_high_water > 0, "{ctx}: no backlog observed");
-            let (p50, p95, p99) = (
-                out.report.latency_percentile(0.50),
-                out.report.latency_percentile(0.95),
-                out.report.latency_percentile(0.99),
-            );
-            assert!(p50 <= p95 && p95 <= p99, "{ctx}: unordered percentiles");
-            assert!(out.report.throughput() > 0.0, "{ctx}: zero throughput");
+    for (i, (spec, proto)) in registry_matrix(beyond_paper_topologies()).enumerate() {
+        let admission = admissions[i % admissions.len()];
+        let s = Scenario::build_with(
+            spec.clone(),
+            RequestPattern::All,
+            ArrivalSpec::Poisson { rate: 0.6, seed: 11 },
+        )
+        .with_admission(admission);
+        let out = run_spec(proto, &s, ModelMode::Strict).unwrap_or_else(|e| {
+            panic!("{} on {} under {}: {e}", proto.name(), spec.name(), admission.name())
+        });
+        let ctx = format!("{} on {} under {}", proto.name(), spec.name(), admission.name());
+        let r = &out.report;
+        // Conservation: every scheduled arrival is admitted or dropped.
+        assert_eq!(r.issues.len() + r.dropped.len(), s.k(), "{ctx}: arrivals lost");
+        assert_eq!(out.order.len(), r.issues.len(), "{ctx}: retained order length");
+        assert!(r.goodput() <= r.throughput() + 1e-12, "{ctx}: goodput > throughput");
+        // Retained-latency percentiles cover exactly the admitted ops
+        // (shed arrivals never issue) and stay ordered under every policy.
+        let (p50, p95) = (r.retained_latency_percentile(0.50), r.retained_latency_percentile(0.95));
+        assert!(p50 <= p95, "{ctx}: unordered retained percentiles");
+        assert_eq!(p95, r.latency_percentile(0.95), "{ctx}: retained ≠ completed percentile");
+        match admission {
+            AdmissionSpec::DropTail { .. } => {
+                assert_eq!(r.delayed_admissions, 0, "{ctx}: droptail never defers")
+            }
+            _ => assert!(r.dropped.is_empty(), "{ctx}: delaying policies never drop"),
         }
     }
 }
@@ -112,12 +146,10 @@ fn open_arrivals_with_delayed_links_still_verify() {
 #[test]
 fn subset_requests_verify_on_extended_topologies() {
     // Partial request sets exercise the rank/order checks differently.
-    for spec in beyond_paper_topologies() {
+    for (spec, proto) in registry_matrix(beyond_paper_topologies()) {
         let s = Scenario::build(spec.clone(), RequestPattern::Random { density: 0.5, seed: 9 });
-        for proto in registry() {
-            let out = run_spec(*proto, &s, ModelMode::Strict)
-                .unwrap_or_else(|e| panic!("{} on {}: {e}", proto.name(), spec.name()));
-            assert_eq!(out.order.len(), s.k(), "{} on {}", proto.name(), spec.name());
-        }
+        let out = run_spec(proto, &s, ModelMode::Strict)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", proto.name(), spec.name()));
+        assert_eq!(out.order.len(), s.k(), "{} on {}", proto.name(), spec.name());
     }
 }

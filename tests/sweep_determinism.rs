@@ -4,8 +4,11 @@
 //! also be *valid* (it parses) and complete (per-case delay, messages,
 //! contention).
 
+mod common;
+
 use ccq_repro::core::protocol;
 use ccq_repro::prelude::*;
+use common::{cases, json};
 
 fn plan() -> RunPlan {
     RunPlan::new()
@@ -52,13 +55,13 @@ fn json_documents_every_case_with_metrics() {
     let set = plan().execute();
     // 2 topologies × 2 patterns × 3 repeats × 3 protocols.
     assert_eq!(set.cases.len(), 36);
-    let doc = serde_json::from_str(&set.to_json()).expect("valid JSON");
-    let cases = doc.get("cases").and_then(|c| c.as_array()).expect("cases array");
-    assert_eq!(cases.len(), 36);
-    for case in cases {
+    let doc = json(&set.to_json());
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 36);
+    for case in cs {
         assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true));
-        assert!(case.get("total_delay").and_then(|v| v.as_u64()).unwrap() > 0);
-        assert!(case.get("messages").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(common::case_u64(case, "total_delay") > 0);
+        assert!(common::case_u64(case, "messages") > 0);
         assert!(case.get("max_contention").and_then(|v| v.as_u64()).is_some());
         assert!(case.get("metrics").unwrap().get("mean_delay").is_some());
     }
@@ -86,8 +89,11 @@ fn open_system_sweeps_are_byte_identical_at_fixed_seed() {
     let first = open_plan().execute().to_json();
     let second = open_plan().execute().to_json();
     assert_eq!(first, second, "same open-system plan, same seed → byte-identical JSON");
-    // The new percentile fields are part of the stable document.
-    for field in ["latency_p50", "latency_p95", "latency_p99", "throughput", "backlog"] {
+    // The open-system and backpressure fields are part of the stable
+    // document.
+    for field in
+        ["latency_p50", "latency_p95", "latency_p99", "throughput", "backlog", "goodput", "dropped"]
+    {
         assert!(first.contains(field), "JSON misses `{field}`");
     }
     let pretty_a = open_plan().execute().to_json_pretty();
@@ -111,18 +117,88 @@ fn open_system_json_documents_every_case() {
     let set = open_plan().execute();
     // 2 topologies × 2 arrivals × 2 repeats × 3 protocols (paper mode) × 2 delays.
     assert_eq!(set.cases.len(), 48);
-    let doc = serde_json::from_str(&set.to_json()).expect("valid JSON");
-    let cases = doc.get("cases").and_then(|c| c.as_array()).expect("cases array");
-    assert_eq!(cases.len(), 48);
-    for case in cases {
+    let doc = json(&set.to_json());
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 48);
+    for case in cs {
         assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true), "{case:?}");
-        let p50 = case.get("latency_p50").and_then(|v| v.as_u64()).unwrap();
-        let p99 = case.get("latency_p99").and_then(|v| v.as_u64()).unwrap();
+        let p50 = common::case_u64(case, "latency_p50");
+        let p99 = common::case_u64(case, "latency_p99");
         assert!(p50 <= p99);
         assert!(case.get("metrics").unwrap().get("backlog_high_water").is_some());
+        // No admission dimension was set: open accounting everywhere.
+        assert_eq!(common::case_str(case, "admission"), "open");
+        assert_eq!(common::case_u64(case, "dropped"), 0);
     }
     let summaries = doc.get("summaries").and_then(|s| s.as_array()).unwrap();
     assert_eq!(summaries.len(), 16, "one summary per (topology, arrival, repeat, delay)");
+}
+
+fn backpressure_plan() -> RunPlan {
+    RunPlan::new()
+        .topologies([TopoSpec::Mesh2D { side: 4 }, TopoSpec::Torus2D { side: 3 }])
+        .protocol(&protocol::Arrow)
+        .protocol(&protocol::CombiningQueue)
+        .protocol(&protocol::CentralCounter)
+        .protocol(&protocol::CombiningTree)
+        .arrivals([ArrivalSpec::Poisson { rate: 0.7, seed: 2 }])
+        .admissions([
+            AdmissionSpec::Open,
+            AdmissionSpec::DropTail { bound: 4 },
+            AdmissionSpec::DelayRetry { bound: 4, backoff: 3 },
+            AdmissionSpec::Adaptive { target_backlog: 4, gain: 1 },
+        ])
+        .repeats(2)
+        .seed(42)
+}
+
+#[test]
+fn backpressure_sweeps_are_byte_identical_at_fixed_seed() {
+    // Admission control is deterministic: AIMD state, retry queues and
+    // drop decisions replay exactly under a fixed seed.
+    let first = backpressure_plan().execute().to_json();
+    let second = backpressure_plan().execute().to_json();
+    assert_eq!(first, second, "same backpressure plan, same seed → byte-identical JSON");
+}
+
+#[test]
+fn backpressure_json_documents_drops_and_goodput() {
+    let set = backpressure_plan().execute();
+    // 2 topologies × 1 arrival × 4 admissions × 2 repeats × 4 protocols.
+    assert_eq!(set.cases.len(), 64);
+    let doc = json(&set.to_json());
+    for case in cases(&doc) {
+        assert_eq!(case.get("ok").and_then(|v| v.as_bool()), Some(true), "{case:?}");
+        let thr = case.get("throughput").and_then(|v| v.as_f64()).unwrap();
+        let goodput = case.get("goodput").and_then(|v| v.as_f64()).unwrap();
+        assert!(goodput <= thr + 1e-12, "goodput exceeds throughput: {case:?}");
+        if common::case_str(case, "admission") == "open" {
+            assert_eq!(common::case_u64(case, "dropped"), 0, "{case:?}");
+            assert_eq!(common::case_u64(case, "delayed_admissions"), 0, "{case:?}");
+        }
+    }
+    // Summaries never pool across admission policies.
+    assert_eq!(set.summaries.len(), 2 * 4 * 2, "one summary per (topo, admission, repeat)");
+    let shedding: Vec<_> =
+        set.summaries.iter().filter(|s| s.admission.starts_with("droptail")).collect();
+    assert!(!shedding.is_empty());
+    assert!(
+        shedding.iter().all(|s| s.dropped > 0),
+        "droptail cells must record sheds in their summaries"
+    );
+    assert!(
+        set.summaries.iter().filter(|s| s.admission == "open").all(|s| s.dropped == 0),
+        "open cells must not shed"
+    );
+}
+
+#[test]
+fn open_admission_is_byte_identical_to_no_admission_dimension() {
+    // The acceptance criterion at the API layer: adding the admission
+    // dimension with only `Open` must not change a sweep's JSON at all.
+    let without = open_plan().execute().to_json();
+    let with_open = open_plan().admissions([AdmissionSpec::Open]).execute().to_json();
+    assert_eq!(without, with_open, "AdmissionSpec::Open changed the JSON bytes");
 }
 
 #[test]
