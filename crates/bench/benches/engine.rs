@@ -1,5 +1,8 @@
 //! Criterion: engine hot loop — single-fabric vs sharded executor on a
-//! large torus, for both a queuing and a counting protocol.
+//! large torus, for both a queuing and a counting protocol, with each
+//! shard plan measured on **both apply paths** (serialized global-order
+//! handler application vs the sliced shard-parallel path on 4/8-shard
+//! tori) — the apply-path comparison behind the `--parallel-apply` flag.
 //!
 //! Besides the criterion console output, this bench writes a machine-
 //! readable `BENCH_engine.json` (path override: `CCQ_BENCH_OUT`) with one
@@ -19,6 +22,8 @@ struct Sample {
     protocol: String,
     topology: String,
     shards: String,
+    /// Whether handlers applied on the sliced shard-parallel path.
+    parallel_apply: bool,
     iters: u32,
     mean_seconds: f64,
     total_delay: u64,
@@ -36,9 +41,17 @@ fn mode_for(spec: &dyn ProtocolSpec) -> ModelMode {
     }
 }
 
-/// Time one (protocol, shard plan) cell: `iters()` executions, one sample.
-fn measure(spec: &dyn ProtocolSpec, topo: &TopoSpec, shards: ShardSpec) -> Sample {
-    let scenario = Scenario::build(topo.clone(), RequestPattern::All).with_shards(shards);
+/// Time one (protocol, shard plan, apply path) cell: `iters()` executions,
+/// one sample.
+fn measure(
+    spec: &dyn ProtocolSpec,
+    topo: &TopoSpec,
+    shards: ShardSpec,
+    parallel_apply: bool,
+) -> Sample {
+    let scenario = Scenario::build(topo.clone(), RequestPattern::All)
+        .with_shards(shards)
+        .with_parallel_apply(parallel_apply);
     let mode = mode_for(spec);
     let n = iters();
     let start = Instant::now();
@@ -53,6 +66,7 @@ fn measure(spec: &dyn ProtocolSpec, topo: &TopoSpec, shards: ShardSpec) -> Sampl
         protocol: spec.name().to_string(),
         topology: topo.name(),
         shards: shards.name(),
+        parallel_apply,
         iters: n,
         mean_seconds: elapsed / n as f64,
         total_delay: out.report.total_delay(),
@@ -62,39 +76,65 @@ fn measure(spec: &dyn ProtocolSpec, topo: &TopoSpec, shards: ShardSpec) -> Sampl
 
 fn bench_engine(c: &mut Criterion) {
     let topo = TopoSpec::Torus2D { side: 24 }; // 576 processors
-    let protocols: Vec<&dyn ProtocolSpec> =
-        vec![&ccq_core::protocol::Arrow, &ccq_core::protocol::CombiningTree];
+
+    // counting-network is the apply-heavy case: hundreds of tokens stay in
+    // flight at once, so each round delivers ~n/6 messages whose balancer
+    // walks the sliced path runs shard-parallel.
+    let protocols: Vec<&dyn ProtocolSpec> = vec![
+        &ccq_core::protocol::Arrow,
+        &ccq_core::protocol::CombiningTree,
+        &ccq_core::protocol::CountingNetwork { width: None },
+    ];
     let plans = [
         ShardSpec::single(),
         ShardSpec::new(4, ShardStrategy::Contiguous),
         ShardSpec::new(4, ShardStrategy::EdgeCut),
         ShardSpec::new(8, ShardStrategy::EdgeCut),
     ];
+    // Apply-path comparison: the single-shard plan only has a serialized
+    // order to apply in, so the sliced path is measured on the 4/8-shard
+    // tori where shards actually run handlers concurrently.
+    let apply_paths = |plan: ShardSpec| {
+        if plan.is_sharded() {
+            &[false, true][..]
+        } else {
+            &[false][..]
+        }
+    };
 
     let mut g = c.benchmark_group("engine_hot_loop");
     g.sample_size(10);
     for spec in &protocols {
         for plan in plans {
-            // Scenario construction stays outside the timed body.
-            let scenario = Scenario::build(topo.clone(), RequestPattern::All).with_shards(plan);
-            let mode = mode_for(*spec);
-            let label = format!("{}/shards={}", spec.name(), plan.name());
-            g.bench_with_input(BenchmarkId::from_parameter(&label), &plan, |b, _| {
-                b.iter(|| {
-                    let out = run_spec(*spec, &scenario, mode).expect("bench run verifies");
-                    black_box(out.report.total_delay())
-                })
-            });
+            for &parallel in apply_paths(plan) {
+                // Scenario construction stays outside the timed body.
+                let scenario = Scenario::build(topo.clone(), RequestPattern::All)
+                    .with_shards(plan)
+                    .with_parallel_apply(parallel);
+                let mode = mode_for(*spec);
+                let apply = if parallel { "sliced" } else { "serialized" };
+                let label = format!("{}/shards={}/apply={apply}", spec.name(), plan.name());
+                g.bench_with_input(BenchmarkId::from_parameter(&label), &plan, |b, _| {
+                    b.iter(|| {
+                        let out = run_spec(*spec, &scenario, mode).expect("bench run verifies");
+                        black_box(out.report.total_delay())
+                    })
+                });
+            }
         }
     }
     g.finish();
 
     // The JSON artifact: exactly one sample per configuration, measured
     // outside criterion so its shape is stable run to run.
-    let samples: Vec<Sample> = protocols
-        .iter()
-        .flat_map(|spec| plans.iter().map(|&plan| measure(*spec, &topo, plan)))
-        .collect();
+    let mut samples: Vec<Sample> = Vec::new();
+    for spec in &protocols {
+        for plan in plans {
+            for &parallel in apply_paths(plan) {
+                samples.push(measure(*spec, &topo, plan, parallel));
+            }
+        }
+    }
     let out_path =
         std::env::var("CCQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
     let json = serde_json::to_string_pretty(&samples).expect("samples serialize");

@@ -27,6 +27,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         schedule: ArrivalSpec::OneShot.materialize(&requests),
         admission: AdmissionSpec::Open,
         shards: ShardSpec::single(),
+        parallel_apply: false,
     };
 
     let counting = run_counting(&scenario, CountingAlg::CombiningTree, ModelMode::Strict)

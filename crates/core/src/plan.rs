@@ -54,6 +54,7 @@ pub struct RunPlan {
     delays: Vec<LinkDelay>,
     admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
+    parallel_apply: bool,
     repeats: usize,
     seed: u64,
 }
@@ -79,6 +80,7 @@ impl RunPlan {
             delays: vec![LinkDelay::Unit],
             admissions: vec![AdmissionSpec::Open],
             shards: vec![ShardSpec::single()],
+            parallel_apply: false,
             repeats: 1,
             seed: 0,
         }
@@ -161,8 +163,48 @@ impl RunPlan {
     /// Set the shard plans to sweep (default: the unsharded single shard).
     /// Each shard plan gets its own scenario group and its own crossover
     /// summaries, so per-shard-count verdicts never pool across `k`.
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let set = RunPlan::new()
+    ///     .topologies([TopoSpec::Torus2D { side: 3 }])
+    ///     .protocol(&ccq_core::protocol::Arrow)
+    ///     .shards([ShardSpec::single(), ShardSpec::new(3, ShardStrategy::EdgeCut)])
+    ///     .execute();
+    /// // Default ferry ⇒ identical delays; only cross-shard traffic differs.
+    /// assert_eq!(set.cases[0].total_delay, set.cases[1].total_delay);
+    /// assert!(set.cases[1].cross_shard_messages > set.cases[0].cross_shard_messages);
+    /// ```
     pub fn shards(mut self, shards: impl IntoIterator<Item = ShardSpec>) -> Self {
         self.shards = shards.into_iter().collect();
+        self
+    }
+
+    /// Execute every case on the shard-parallel apply path (the sliced
+    /// executor; see [`Scenario::with_parallel_apply`]). Not a sweep
+    /// dimension and deliberately absent from [`PlanInfo`]: the sliced
+    /// apply path is an execution strategy whose reports are byte-identical
+    /// to the serialized path, and keeping it out of the plan echo is what
+    /// lets CI `cmp` a `--parallel-apply` sweep against its serialized
+    /// twin. Protocols that do not implement [`ccq_sim::NodeSliced`] fail
+    /// their cases with an `InvalidConfig` error naming them.
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let plan = |parallel: bool| {
+    ///     RunPlan::new()
+    ///         .topologies([TopoSpec::Mesh2D { side: 3 }])
+    ///         .shards([ShardSpec::new(2, ShardStrategy::Contiguous)])
+    ///         .parallel_apply(parallel)
+    ///         .execute()
+    /// };
+    /// // The sliced apply path changes no output byte.
+    /// assert_eq!(plan(false).to_json(), plan(true).to_json());
+    /// ```
+    pub fn parallel_apply(mut self, on: bool) -> Self {
+        self.parallel_apply = on;
         self
     }
 
@@ -233,6 +275,7 @@ impl RunPlan {
                                     arrival: arr,
                                     admission: *admission,
                                     shards: *shards,
+                                    parallel_apply: self.parallel_apply,
                                     repeat,
                                     runs,
                                 });
@@ -311,6 +354,7 @@ struct WorkGroup {
     arrival: ArrivalSpec,
     admission: AdmissionSpec,
     shards: ShardSpec,
+    parallel_apply: bool,
     repeat: usize,
     runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
 }
@@ -319,7 +363,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
     let scenario =
         Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone())
             .with_admission(group.admission)
-            .with_shards(group.shards);
+            .with_shards(group.shards)
+            .with_parallel_apply(group.parallel_apply);
     let mut results = Vec::with_capacity(group.runs.len());
     for (index, spec, mode, delay) in &group.runs {
         let base = CaseResult {

@@ -29,8 +29,8 @@ use ccq_queuing::{
     verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol,
 };
 use ccq_sim::{
-    run_protocol, LinkDelay, OnlineProtocol, Paced, Protocol, ShardedSimulator, SimConfig,
-    SimError, SimReport,
+    run_protocol, LinkDelay, NodeSliced, OnlineProtocol, Paced, Protocol, ShardedSimulator,
+    SimConfig, SimError, SimReport,
 };
 use serde::Serialize;
 
@@ -44,8 +44,15 @@ use serde::Serialize;
 /// the run through [`ShardedSimulator`] — the protocol itself is identical
 /// on either executor, and admission is evaluated against the *global*
 /// backlog either way.
-fn run_arrival_aware<P, F>(
+///
+/// This is the entry point for protocols that do **not** implement
+/// [`NodeSliced`]: a scenario requesting [`Scenario::parallel_apply`] is
+/// rejected with a [`SimError::InvalidConfig`] naming the protocol —
+/// never a silent serialized fallback. Sliced protocols use
+/// [`run_arrival_aware_sliced`].
+pub fn run_arrival_aware<P, F>(
     scenario: &Scenario,
+    name: &str,
     cfg: SimConfig,
     build: F,
 ) -> Result<SimReport, SimError>
@@ -54,12 +61,49 @@ where
     P::Msg: Send,
     F: FnOnce(bool) -> P,
 {
+    if scenario.parallel_apply || cfg.parallel_apply {
+        return Err(SimError::invalid_config(format!(
+            "protocol `{name}` does not implement NodeSliced, so it cannot run with \
+             parallel apply; drop --parallel-apply or pick a sliced protocol"
+        )));
+    }
     match scenario.open_schedule() {
         None => dispatch(scenario, cfg, build(false)),
         Some(schedule) => {
             let paced = Paced::new(build(true), schedule.to_vec())
                 .with_admission(scenario.admission.policy());
             dispatch(scenario, cfg, paced)
+        }
+    }
+}
+
+/// [`run_arrival_aware`] for [`NodeSliced`] protocols: additionally
+/// honours [`Scenario::parallel_apply`] by routing the run through the
+/// sharded executor's sliced apply path (for any shard count, including
+/// `k = 1`). With the flag off this is exactly [`run_arrival_aware`] —
+/// and with it on, reports stay byte-identical by the sliced executor's
+/// replay guarantee.
+pub fn run_arrival_aware_sliced<P, F>(
+    scenario: &Scenario,
+    cfg: SimConfig,
+    build: F,
+) -> Result<SimReport, SimError>
+where
+    P: OnlineProtocol + NodeSliced,
+    P::Msg: Send,
+    P::Slice: Send,
+    P::Shared: Sync,
+    F: FnOnce(bool) -> P,
+{
+    // The scenario's flag routes the run onto the sliced path; a flag a
+    // caller already set on the config is honoured too, never clobbered.
+    let cfg = cfg.with_parallel_apply(cfg.parallel_apply || scenario.parallel_apply);
+    match scenario.open_schedule() {
+        None => dispatch_sliced(scenario, cfg, build(false)),
+        Some(schedule) => {
+            let paced = Paced::new(build(true), schedule.to_vec())
+                .with_admission(scenario.admission.policy());
+            dispatch_sliced(scenario, cfg, paced)
         }
     }
 }
@@ -78,6 +122,32 @@ where
     let partition = shards.partition(&scenario.graph);
     let inter = shards.inter_delay.unwrap_or(cfg.link_delay);
     ShardedSimulator::new(&scenario.graph, partition, protocol, cfg).with_inter_delay(inter).run()
+}
+
+/// [`dispatch`] for sliced protocols: with `cfg.parallel_apply` set, the
+/// run goes through [`ShardedSimulator::run_sliced`] whatever the shard
+/// count (`k = 1` degenerates to one shard applying its own slices);
+/// otherwise it takes the exact serialized route of [`dispatch`].
+fn dispatch_sliced<P>(
+    scenario: &Scenario,
+    cfg: SimConfig,
+    protocol: P,
+) -> Result<SimReport, SimError>
+where
+    P: NodeSliced,
+    P::Msg: Send,
+    P::Slice: Send,
+    P::Shared: Sync,
+{
+    if !cfg.parallel_apply {
+        return dispatch(scenario, cfg, protocol);
+    }
+    let shards = &scenario.shards;
+    let partition = shards.partition(&scenario.graph);
+    let inter = shards.inter_delay.unwrap_or(cfg.link_delay);
+    ShardedSimulator::new(&scenario.graph, partition, protocol, cfg)
+        .with_inter_delay(inter)
+        .run_sliced()
 }
 
 /// What a protocol computes, which also fixes its verification contract.
@@ -245,7 +315,7 @@ impl ProtocolSpec for Arrow {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests).deferred(d)
         })
     }
@@ -262,7 +332,7 @@ impl ProtocolSpec for ArrowNotify {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             ArrowProtocol::new(&s.queuing_tree, s.tail, &s.requests)
                 .with_notify_origin()
                 .deferred(d)
@@ -281,7 +351,7 @@ impl ProtocolSpec for CentralQueue {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             CentralQueueProtocol::new(&s.queuing_tree, s.tail, &s.requests).deferred(d)
         })
     }
@@ -298,7 +368,7 @@ impl ProtocolSpec for CombiningQueue {
         ProtocolKind::Queuing
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             CombiningQueueProtocol::new(&s.queuing_tree, &s.requests).deferred(d)
         })
     }
@@ -316,7 +386,7 @@ impl ProtocolSpec for CentralCounter {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let tree = &s.counting_tree;
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             CentralCounterProtocol::new(tree, tree.root(), &s.requests).deferred(d)
         })
     }
@@ -333,7 +403,7 @@ impl ProtocolSpec for CombiningTree {
         ProtocolKind::Counting
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             CombiningTreeProtocol::new(&s.counting_tree, &s.requests).deferred(d)
         })
     }
@@ -354,7 +424,7 @@ impl ProtocolSpec for CountingNetwork {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let w = self.effective_width(s.n()).unwrap();
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             CountingNetworkProtocol::new(&s.graph, &s.counting_tree, &s.requests, w).deferred(d)
         })
     }
@@ -375,7 +445,7 @@ impl ProtocolSpec for PeriodicNetwork {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let w = self.effective_width(s.n()).unwrap();
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             CountingNetworkProtocol::with_network(
                 &s.graph,
                 &s.counting_tree,
@@ -402,7 +472,7 @@ impl ProtocolSpec for ToggleTree {
     }
     fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
         let w = self.effective_width(s.n()).unwrap();
-        run_arrival_aware(s, cfg, |d| {
+        run_arrival_aware_sliced(s, cfg, |d| {
             ToggleTreeProtocol::new(&s.graph, &s.counting_tree, &s.requests, w).deferred(d)
         })
     }

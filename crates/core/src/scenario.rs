@@ -465,6 +465,12 @@ pub struct Scenario {
     pub admission: AdmissionSpec,
     /// Shard plan ([`ShardSpec::single`] = the unsharded executor).
     pub shards: ShardSpec,
+    /// Apply protocol handlers shard-parallel via the sliced executor
+    /// (requires every protocol run on this scenario to implement
+    /// [`ccq_sim::NodeSliced`]; others fail with a named
+    /// `InvalidConfig`). An execution strategy, not a model knob —
+    /// results are byte-identical to the serialized apply path.
+    pub parallel_apply: bool,
 }
 
 impl Scenario {
@@ -493,12 +499,31 @@ impl Scenario {
             schedule,
             admission: AdmissionSpec::Open,
             shards: ShardSpec::single(),
+            parallel_apply: false,
         }
     }
 
     /// Builder-style: run this scenario under a shard plan.
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let s = Scenario::build(TopoSpec::Torus2D { side: 4 }, RequestPattern::All)
+    ///     .with_shards(ShardSpec::new(4, ShardStrategy::EdgeCut))
+    ///     .with_parallel_apply(true);
+    /// let out = run_spec(&ccq_core::protocol::Arrow, &s, ModelMode::Expanded).unwrap();
+    /// assert_eq!(out.order.len(), 16);
+    /// assert!(out.report.cross_shard_messages > 0);
+    /// ```
     pub fn with_shards(mut self, shards: ShardSpec) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Builder-style: run protocol handlers shard-parallel (the sliced
+    /// apply path; see [`Scenario::parallel_apply`]).
+    pub fn with_parallel_apply(mut self, on: bool) -> Self {
+        self.parallel_apply = on;
         self
     }
 

@@ -8,7 +8,7 @@
 //! and counting networks improve upon elsewhere.
 
 use ccq_graph::{path::RouteTable, NodeId, Tree};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages: increment request towards the root, rank reply back.
 #[derive(Clone, Debug)]
@@ -19,13 +19,28 @@ pub enum CentralCounterMsg {
     Rank { rank: u64, route: usize, idx: usize },
 }
 
+/// Read-only routing state every central-counter handler shares.
+#[derive(Debug)]
+pub struct CentralCounterShared {
+    root: NodeId,
+    routes: RouteTable,
+    from_root: Vec<usize>,
+}
+
+/// One node's central-counter state. Only the root's slice is live — the
+/// next rank to hand out — but every node gets one so [`NodeSliced`]
+/// indexing stays uniform.
+#[derive(Debug)]
+pub struct CentralCounterSlice {
+    /// Next rank to assign (meaningful at the root only).
+    next_rank: u64,
+}
+
 /// Centralized counter protocol state.
 pub struct CentralCounterProtocol {
-    root: NodeId,
-    next_rank: u64,
-    routes: RouteTable,
+    shared: CentralCounterShared,
+    slices: Vec<CentralCounterSlice>,
     to_root: Vec<usize>,
-    from_root: Vec<usize>,
     requests: Vec<NodeId>,
     defer_issue: bool,
 }
@@ -48,11 +63,9 @@ impl CentralCounterProtocol {
             from_root[v] = routes.push(rp);
         }
         CentralCounterProtocol {
-            root,
-            next_rank: 1,
-            routes,
+            shared: CentralCounterShared { root, routes, from_root },
+            slices: (0..n).map(|_| CentralCounterSlice { next_rank: 1 }).collect(),
             to_root,
-            from_root,
             requests,
             defer_issue: false,
         }
@@ -67,23 +80,30 @@ impl CentralCounterProtocol {
 
     /// Issue `v`'s increment now (`v` must be in the request set).
     fn issue_one(&mut self, api: &mut SimApi<CentralCounterMsg>, v: NodeId) {
-        if v == self.root {
-            let rank = self.next_rank;
-            self.next_rank += 1;
-            api.complete(v, rank);
-        } else {
-            let route = self.to_root[v];
-            debug_assert_ne!(route, usize::MAX, "node {v} is not a requester");
-            self.hop(api, v, CentralCounterMsg::Inc { origin: v, route, idx: 0 });
-        }
+        let route = self.to_root[v];
+        ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+            if v == shared.root {
+                let rank = slice.next_rank;
+                slice.next_rank += 1;
+                sapi.complete(v, rank);
+            } else {
+                debug_assert_ne!(route, usize::MAX, "node {v} is not a requester");
+                Self::hop(shared, sapi, v, CentralCounterMsg::Inc { origin: v, route, idx: 0 });
+            }
+        });
     }
 
-    fn hop(&self, api: &mut SimApi<CentralCounterMsg>, at: NodeId, msg: CentralCounterMsg) {
+    fn hop(
+        shared: &CentralCounterShared,
+        api: &mut SliceApi<CentralCounterMsg>,
+        at: NodeId,
+        msg: CentralCounterMsg,
+    ) {
         let (route, idx) = match &msg {
             CentralCounterMsg::Inc { route, idx, .. } => (*route, *idx),
             CentralCounterMsg::Rank { route, idx, .. } => (*route, *idx),
         };
-        let path = self.routes.get(route);
+        let path = shared.routes.get(route);
         debug_assert_eq!(path[idx], at);
         let next = path[idx + 1];
         let bumped = match msg {
@@ -94,7 +114,7 @@ impl CentralCounterProtocol {
                 CentralCounterMsg::Rank { rank, route, idx: idx + 1 }
             }
         };
-        api.send(at, next, bumped);
+        api.send(next, bumped);
     }
 }
 
@@ -121,31 +141,52 @@ impl Protocol for CentralCounterProtocol {
         &mut self,
         api: &mut SimApi<CentralCounterMsg>,
         node: NodeId,
+        from: NodeId,
+        msg: CentralCounterMsg,
+    ) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for CentralCounterProtocol {
+    type Slice = CentralCounterSlice;
+    type Shared = CentralCounterShared;
+
+    fn split(&mut self) -> (&CentralCounterShared, &mut [CentralCounterSlice]) {
+        (&self.shared, &mut self.slices)
+    }
+
+    fn on_message_sliced(
+        shared: &CentralCounterShared,
+        slice: &mut CentralCounterSlice,
+        api: &mut SliceApi<CentralCounterMsg>,
+        node: NodeId,
         _from: NodeId,
         msg: CentralCounterMsg,
     ) {
         match msg {
             CentralCounterMsg::Inc { origin, route, idx } => {
-                let path_len = self.routes.get(route).len();
+                let path_len = shared.routes.get(route).len();
                 if idx + 1 == path_len {
-                    debug_assert_eq!(node, self.root);
-                    let rank = self.next_rank;
-                    self.next_rank += 1;
-                    self.hop(
+                    debug_assert_eq!(node, shared.root);
+                    let rank = slice.next_rank;
+                    slice.next_rank += 1;
+                    Self::hop(
+                        shared,
                         api,
                         node,
-                        CentralCounterMsg::Rank { rank, route: self.from_root[origin], idx: 0 },
+                        CentralCounterMsg::Rank { rank, route: shared.from_root[origin], idx: 0 },
                     );
                 } else {
-                    self.hop(api, node, CentralCounterMsg::Inc { origin, route, idx });
+                    Self::hop(shared, api, node, CentralCounterMsg::Inc { origin, route, idx });
                 }
             }
             CentralCounterMsg::Rank { rank, route, idx } => {
-                let path_len = self.routes.get(route).len();
+                let path_len = shared.routes.get(route).len();
                 if idx + 1 == path_len {
                     api.complete(node, rank);
                 } else {
-                    self.hop(api, node, CentralCounterMsg::Rank { rank, route, idx });
+                    Self::hop(shared, api, node, CentralCounterMsg::Rank { rank, route, idx });
                 }
             }
         }

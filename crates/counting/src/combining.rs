@@ -18,7 +18,7 @@
 //! protocol's `O(n)` on Hamilton-path topologies.
 
 use ccq_graph::{NodeId, Tree};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages of the combining protocol.
 #[derive(Clone, Copy, Debug)]
@@ -29,25 +29,35 @@ pub enum CombiningMsg {
     Down { base: u64 },
 }
 
-struct NodeState {
+/// One node's combining-wave state — everything a handler at the node
+/// touches, making the protocol [`NodeSliced`].
+#[derive(Debug)]
+pub struct CombiningTreeSlice {
     /// Children still expected to report in the up phase.
     waiting: usize,
     /// Request counts reported by children (indexed like `tree.children`).
     child_counts: Vec<u64>,
     /// Whether this node itself requested.
     requesting: bool,
+    /// Whether the node's own operation has been injected (deferred mode).
+    issued: bool,
+}
+
+/// Read-only tree shape every combining-tree handler shares.
+#[derive(Debug)]
+pub struct CombiningTreeShared {
+    parent: Vec<NodeId>,
+    children: Vec<Vec<NodeId>>,
+    root: NodeId,
+    /// Deferred-issue mode: a requester holds its subtree's Up report until
+    /// its own operation has been injected.
+    defer_issue: bool,
 }
 
 /// Combining-tree counter protocol state.
 pub struct CombiningTreeProtocol {
-    parent: Vec<NodeId>,
-    children: Vec<Vec<NodeId>>,
-    root: NodeId,
-    nodes: Vec<NodeState>,
-    /// Deferred-issue mode: a requester holds its subtree's Up report until
-    /// its own operation has been injected.
-    defer_issue: bool,
-    issued: Vec<bool>,
+    shared: CombiningTreeShared,
+    nodes: Vec<CombiningTreeSlice>,
 }
 
 impl CombiningTreeProtocol {
@@ -60,19 +70,21 @@ impl CombiningTreeProtocol {
             requesting[r] = true;
         }
         let nodes = (0..n)
-            .map(|v| NodeState {
+            .map(|v| CombiningTreeSlice {
                 waiting: tree.children(v).len(),
                 child_counts: vec![0; tree.children(v).len()],
                 requesting: requesting[v],
+                issued: false,
             })
             .collect();
         CombiningTreeProtocol {
-            parent: (0..n).map(|v| tree.parent(v)).collect(),
-            children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
-            root: tree.root(),
+            shared: CombiningTreeShared {
+                parent: (0..n).map(|v| tree.parent(v)).collect(),
+                children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
+                root: tree.root(),
+                defer_issue: false,
+            },
             nodes,
-            defer_issue: false,
-            issued: vec![false; n],
         }
     }
 
@@ -83,34 +95,38 @@ impl CombiningTreeProtocol {
     /// arrived — the batch protocol's honest behaviour under open arrivals
     /// (early requesters wait for stragglers).
     pub fn deferred(mut self, on: bool) -> Self {
-        self.defer_issue = on;
+        self.shared.defer_issue = on;
         self
     }
 
     /// Whether `v` may report upward: all children in, and (in deferred
     /// mode) its own request — if any — already injected.
-    fn ready(&self, v: NodeId) -> bool {
-        self.nodes[v].waiting == 0
-            && (!self.defer_issue || !self.nodes[v].requesting || self.issued[v])
+    fn ready(shared: &CombiningTreeShared, slice: &CombiningTreeSlice) -> bool {
+        slice.waiting == 0 && (!shared.defer_issue || !slice.requesting || slice.issued)
     }
 
-    fn subtree_count(&self, v: NodeId) -> u64 {
-        self.nodes[v].child_counts.iter().sum::<u64>() + u64::from(self.nodes[v].requesting)
+    fn subtree_count(slice: &CombiningTreeSlice) -> u64 {
+        slice.child_counts.iter().sum::<u64>() + u64::from(slice.requesting)
     }
 
     /// Node `v` learned its interval base: take own rank (if requesting) and
     /// forward sub-interval bases to children with non-empty counts.
-    fn distribute(&mut self, api: &mut SimApi<CombiningMsg>, v: NodeId, base: u64) {
+    fn distribute(
+        shared: &CombiningTreeShared,
+        slice: &CombiningTreeSlice,
+        api: &mut SliceApi<CombiningMsg>,
+        v: NodeId,
+        base: u64,
+    ) {
         let mut next = base;
-        if self.nodes[v].requesting {
+        if slice.requesting {
             api.complete(v, next);
             next += 1;
         }
-        let children = self.children[v].clone();
-        for (i, c) in children.iter().enumerate() {
-            let cnt = self.nodes[v].child_counts[i];
+        for (i, c) in shared.children[v].iter().enumerate() {
+            let cnt = slice.child_counts[i];
             if cnt > 0 {
-                api.send(v, *c, CombiningMsg::Down { base: next });
+                api.send(*c, CombiningMsg::Down { base: next });
                 next += cnt;
             }
         }
@@ -118,12 +134,17 @@ impl CombiningTreeProtocol {
 
     /// `v`'s subtree is fully aggregated: report up, or start distribution
     /// if `v` is the root.
-    fn aggregated(&mut self, api: &mut SimApi<CombiningMsg>, v: NodeId) {
-        let total = self.subtree_count(v);
-        if v == self.root {
-            self.distribute(api, v, 1);
+    fn aggregated(
+        shared: &CombiningTreeShared,
+        slice: &mut CombiningTreeSlice,
+        api: &mut SliceApi<CombiningMsg>,
+        v: NodeId,
+    ) {
+        let total = Self::subtree_count(slice);
+        if v == shared.root {
+            Self::distribute(shared, slice, api, v, 1);
         } else {
-            api.send(v, self.parent[v], CombiningMsg::Up { count: total });
+            api.send(shared.parent[v], CombiningMsg::Up { count: total });
         }
     }
 }
@@ -131,21 +152,25 @@ impl CombiningTreeProtocol {
 impl ccq_sim::OnlineProtocol for CombiningTreeProtocol {
     fn issue(&mut self, api: &mut SimApi<CombiningMsg>, node: NodeId) {
         debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
-        self.issued[node] = true;
-        if self.ready(node) {
-            self.aggregated(api, node);
-        }
+        ccq_sim::with_slice(self, api, node, |shared, slice, sapi| {
+            slice.issued = true;
+            if Self::ready(shared, slice) {
+                Self::aggregated(shared, slice, sapi, node);
+            }
+        });
     }
 
     fn cancel(&mut self, api: &mut SimApi<CombiningMsg>, node: NodeId) {
         debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
-        debug_assert!(!self.issued[node], "cancel after issue");
+        debug_assert!(!self.nodes[node].issued, "cancel after issue");
         // Strike the requester from the wave (its subtree count no longer
         // includes it); release the subtree's Up if it was the last hold.
-        self.nodes[node].requesting = false;
-        if self.ready(node) {
-            self.aggregated(api, node);
-        }
+        ccq_sim::with_slice(self, api, node, |shared, slice, sapi| {
+            slice.requesting = false;
+            if Self::ready(shared, slice) {
+                Self::aggregated(shared, slice, sapi, node);
+            }
+        });
     }
 }
 
@@ -155,10 +180,12 @@ impl Protocol for CombiningTreeProtocol {
     fn on_start(&mut self, api: &mut SimApi<CombiningMsg>) {
         // Leaves (and a childless root) aggregate immediately; in deferred
         // mode, requesters hold until their operation is injected.
-        for v in 0..self.parent.len() {
-            if self.ready(v) {
-                self.aggregated(api, v);
-            }
+        for v in 0..self.nodes.len() {
+            ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+                if Self::ready(shared, slice) {
+                    Self::aggregated(shared, slice, sapi, v);
+                }
+            });
         }
     }
 
@@ -169,20 +196,40 @@ impl Protocol for CombiningTreeProtocol {
         from: NodeId,
         msg: CombiningMsg,
     ) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for CombiningTreeProtocol {
+    type Slice = CombiningTreeSlice;
+    type Shared = CombiningTreeShared;
+
+    fn split(&mut self) -> (&CombiningTreeShared, &mut [CombiningTreeSlice]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn on_message_sliced(
+        shared: &CombiningTreeShared,
+        slice: &mut CombiningTreeSlice,
+        api: &mut SliceApi<CombiningMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: CombiningMsg,
+    ) {
         match msg {
             CombiningMsg::Up { count } => {
-                let slot = self.children[node]
+                let slot = shared.children[node]
                     .iter()
                     .position(|&c| c == from)
                     .expect("Up message from a non-child");
-                self.nodes[node].child_counts[slot] = count;
-                self.nodes[node].waiting -= 1;
-                if self.ready(node) {
-                    self.aggregated(api, node);
+                slice.child_counts[slot] = count;
+                slice.waiting -= 1;
+                if Self::ready(shared, slice) {
+                    Self::aggregated(shared, slice, api, node);
                 }
             }
             CombiningMsg::Down { base } => {
-                self.distribute(api, node, base);
+                Self::distribute(shared, slice, api, node, base);
             }
         }
     }

@@ -14,7 +14,7 @@
 //!   up a spanning tree, rank intervals split back down — `O(depth)` per
 //!   operation, `O(n·depth)` total;
 //! * [`network`] — **counting networks** (Aspnes–Herlihy–Shavit '94, the
-//!   paper's reference [1]): bitonic and periodic balancing networks
+//!   paper's reference \[1\]): bitonic and periodic balancing networks
 //!   embedded onto the processors, tokens acquiring ranks at output wires;
 //! * [`toggle`] — the toggle-tree counter (diffracting-tree skeleton): an
 //!   exact distributed sequencer with a measured root bottleneck;

@@ -1,5 +1,5 @@
 //! Counting networks (Aspnes–Herlihy–Shavit, JACM '94 — the paper's
-//! reference [1] and the most prominent distributed counting solution).
+//! reference \[1\] and the most prominent distributed counting solution).
 //!
 //! A *balancing network* is a DAG of 2-input/2-output **balancers**; each
 //! balancer forwards its 1st, 3rd, 5th… token to its top output and the
@@ -12,8 +12,8 @@
 //!
 //! * [`net`] — the shared representation, sequential token semantics and
 //!   the step-property checker;
-//! * [`bitonic`] — the `Bitonic[w]` construction (depth `½·lg w·(lg w+1)`);
-//! * [`periodic`] — the `Periodic[w]` construction (depth `lg² w`);
+//! * [`bitonic()`](bitonic()) — the `Bitonic[w]` construction (depth `½·lg w·(lg w+1)`);
+//! * [`periodic()`](periodic()) — the `Periodic[w]` construction (depth `lg² w`);
 //! * [`protocol`] — either network embedded onto the processors of `G`:
 //!   balancers are hosted round-robin, tokens travel as messages (BFS
 //!   next-hop routing towards hosts; Euler-tour tree routing for the rank

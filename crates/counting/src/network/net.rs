@@ -27,8 +27,8 @@ pub enum WireDest {
 /// input wires and `width` output wires (in step-property order).
 ///
 /// Wires are immutable segments: each balancer consumes two wire ids and
-/// produces two fresh ones. Constructions live in [`super::bitonic`] and
-/// [`super::periodic`].
+/// produces two fresh ones. Constructions live in [`super::bitonic()`](super::bitonic()) and
+/// [`super::periodic()`](super::periodic()).
 #[derive(Clone, Debug)]
 pub struct BalancingNetwork {
     pub(crate) width: usize,

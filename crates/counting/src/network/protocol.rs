@@ -15,7 +15,7 @@
 
 use super::net::{BalancingNetwork, WireDest};
 use ccq_graph::{bfs, Graph, NodeId, Tree, TreeRouter};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages of the counting-network protocol.
 #[derive(Clone, Copy, Debug)]
@@ -26,20 +26,38 @@ pub enum CnMsg {
     Result { origin: NodeId, count: u64 },
 }
 
-/// Counting-network protocol state.
-pub struct CountingNetworkProtocol {
+/// Read-only embedding every counting-network handler shares.
+pub struct CountingNetworkShared {
     net: BalancingNetwork,
     /// Balancer index → hosting processor.
     host: Vec<NodeId>,
     /// Output position → processor holding that exit counter.
     exit_host: Vec<NodeId>,
+    /// Balancer index → slot within its host's `toggles`.
+    local_toggle: Vec<usize>,
+    /// Output position → slot within its exit host's `exit_counts`.
+    local_exit: Vec<usize>,
     /// Dense host indexing: node → slot in `next_to_host` (usize::MAX = not a host).
     host_slot: Vec<usize>,
     /// `next_to_host[s][u]` = next hop from `u` towards host with slot `s`.
     next_to_host: Vec<Vec<NodeId>>,
     router: TreeRouter,
+}
+
+/// One processor's counting-network state: the toggles and exit counters
+/// of the balancers it hosts (each is mutated only by its host — the
+/// module-level distributed-abstraction claim — which makes the protocol
+/// [`NodeSliced`]).
+#[derive(Debug, Default)]
+pub struct CountingNetworkSlice {
     toggles: Vec<bool>,
     exit_counts: Vec<u64>,
+}
+
+/// Counting-network protocol state.
+pub struct CountingNetworkProtocol {
+    shared: CountingNetworkShared,
+    slices: Vec<CountingNetworkSlice>,
     requests: Vec<NodeId>,
     defer_issue: bool,
 }
@@ -51,7 +69,7 @@ impl CountingNetworkProtocol {
         Self::with_network(graph, tree, requests, super::bitonic::bitonic(width))
     }
 
-    /// Embed an arbitrary counting network (e.g. [`super::periodic`]).
+    /// Embed an arbitrary counting network (e.g. [`super::periodic()`](super::periodic())).
     pub fn with_network(
         graph: &Graph,
         tree: &Tree,
@@ -78,17 +96,35 @@ impl CountingNetworkProtocol {
             }
         }
 
+        // Group balancer toggles and exit counters under their hosting
+        // processors; local slots are assigned in balancer/output order.
+        let mut slices: Vec<CountingNetworkSlice> =
+            (0..n).map(|_| CountingNetworkSlice::default()).collect();
+        let mut local_toggle = vec![usize::MAX; net.balancers().len()];
+        for (b, &h) in host.iter().enumerate() {
+            local_toggle[b] = slices[h].toggles.len();
+            slices[h].toggles.push(false);
+        }
+        let mut local_exit = vec![usize::MAX; width];
+        for (j, &h) in exit_host.iter().enumerate() {
+            local_exit[j] = slices[h].exit_counts.len();
+            slices[h].exit_counts.push(0);
+        }
+
         let mut requests = requests.to_vec();
         requests.sort_unstable();
         CountingNetworkProtocol {
-            toggles: vec![false; net.balancers().len()],
-            exit_counts: vec![0; width],
-            host,
-            exit_host,
-            host_slot,
-            next_to_host,
-            router: TreeRouter::new(tree),
-            net,
+            shared: CountingNetworkShared {
+                host,
+                exit_host,
+                local_toggle,
+                local_exit,
+                host_slot,
+                next_to_host,
+                router: TreeRouter::new(tree),
+                net,
+            },
+            slices,
             requests,
             defer_issue: false,
         }
@@ -103,62 +139,81 @@ impl CountingNetworkProtocol {
 
     /// Inject `v`'s token at its input wire now.
     fn issue_one(&mut self, api: &mut SimApi<CnMsg>, v: NodeId) {
-        let wire = self.net.input_wire(v % self.net.width());
-        self.process_token(api, v, v, wire);
+        let wire = self.shared.net.input_wire(v % self.shared.net.width());
+        ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+            Self::process_token(shared, slice, sapi, v, v, wire)
+        });
     }
 
     /// The network being executed.
     pub fn network(&self) -> &BalancingNetwork {
-        &self.net
+        &self.shared.net
     }
 
-    fn send_towards(&self, api: &mut SimApi<CnMsg>, at: NodeId, host: NodeId, msg: CnMsg) {
-        let slot = self.host_slot[host];
-        let next = self.next_to_host[slot][at];
-        api.send(at, next, msg);
+    fn send_towards(
+        shared: &CountingNetworkShared,
+        api: &mut SliceApi<CnMsg>,
+        at: NodeId,
+        host: NodeId,
+        msg: CnMsg,
+    ) {
+        let slot = shared.host_slot[host];
+        let next = shared.next_to_host[slot][at];
+        api.send(next, msg);
     }
 
     /// Advance a token as far as possible at processor `u`, then either
-    /// complete it or send it towards its next host.
+    /// complete it or send it towards its next host. Every toggle and exit
+    /// counter the walk touches is hosted at `u`, hence lives in `u`'s
+    /// slice.
     fn process_token(
-        &mut self,
-        api: &mut SimApi<CnMsg>,
+        shared: &CountingNetworkShared,
+        slice: &mut CountingNetworkSlice,
+        api: &mut SliceApi<CnMsg>,
         u: NodeId,
         origin: NodeId,
         mut wire: usize,
     ) {
         loop {
-            match self.net.wire_dest(wire) {
+            match shared.net.wire_dest(wire) {
                 WireDest::Balancer(b) => {
-                    let h = self.host[b];
+                    let h = shared.host[b];
                     if h != u {
-                        self.send_towards(api, u, h, CnMsg::Token { origin, wire });
+                        Self::send_towards(shared, api, u, h, CnMsg::Token { origin, wire });
                         return;
                     }
-                    let bal = self.net.balancers()[b];
-                    wire = if self.toggles[b] { bal.out_bot } else { bal.out_top };
-                    self.toggles[b] = !self.toggles[b];
+                    let bal = shared.net.balancers()[b];
+                    let slot = shared.local_toggle[b];
+                    wire = if slice.toggles[slot] { bal.out_bot } else { bal.out_top };
+                    slice.toggles[slot] = !slice.toggles[slot];
                 }
                 WireDest::Output(j) => {
-                    let h = self.exit_host[j];
+                    let h = shared.exit_host[j];
                     if h != u {
-                        self.send_towards(api, u, h, CnMsg::Token { origin, wire });
+                        Self::send_towards(shared, api, u, h, CnMsg::Token { origin, wire });
                         return;
                     }
-                    self.exit_counts[j] += 1;
+                    let slot = shared.local_exit[j];
+                    slice.exit_counts[slot] += 1;
                     let count =
-                        (j as u64 + 1) + (self.exit_counts[j] - 1) * self.net.width() as u64;
-                    self.deliver_result(api, u, origin, count);
+                        (j as u64 + 1) + (slice.exit_counts[slot] - 1) * shared.net.width() as u64;
+                    Self::deliver_result(shared, api, u, origin, count);
                     return;
                 }
             }
         }
     }
 
-    fn deliver_result(&self, api: &mut SimApi<CnMsg>, at: NodeId, origin: NodeId, count: u64) {
-        match self.router.next_hop(at, origin) {
+    fn deliver_result(
+        shared: &CountingNetworkShared,
+        api: &mut SliceApi<CnMsg>,
+        at: NodeId,
+        origin: NodeId,
+        count: u64,
+    ) {
+        match shared.router.next_hop(at, origin) {
             None => api.complete(origin, count),
-            Some(next) => api.send(at, next, CnMsg::Result { origin, count }),
+            Some(next) => api.send(next, CnMsg::Result { origin, count }),
         }
     }
 }
@@ -182,10 +237,34 @@ impl Protocol for CountingNetworkProtocol {
         }
     }
 
-    fn on_message(&mut self, api: &mut SimApi<CnMsg>, node: NodeId, _from: NodeId, msg: CnMsg) {
+    fn on_message(&mut self, api: &mut SimApi<CnMsg>, node: NodeId, from: NodeId, msg: CnMsg) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for CountingNetworkProtocol {
+    type Slice = CountingNetworkSlice;
+    type Shared = CountingNetworkShared;
+
+    fn split(&mut self) -> (&CountingNetworkShared, &mut [CountingNetworkSlice]) {
+        (&self.shared, &mut self.slices)
+    }
+
+    fn on_message_sliced(
+        shared: &CountingNetworkShared,
+        slice: &mut CountingNetworkSlice,
+        api: &mut SliceApi<CnMsg>,
+        node: NodeId,
+        _from: NodeId,
+        msg: CnMsg,
+    ) {
         match msg {
-            CnMsg::Token { origin, wire } => self.process_token(api, node, origin, wire),
-            CnMsg::Result { origin, count } => self.deliver_result(api, node, origin, count),
+            CnMsg::Token { origin, wire } => {
+                Self::process_token(shared, slice, api, node, origin, wire)
+            }
+            CnMsg::Result { origin, count } => {
+                Self::deliver_result(shared, api, node, origin, count)
+            }
         }
     }
 }

@@ -19,7 +19,7 @@
 //! the spanning tree.
 
 use ccq_graph::{bfs, Graph, NodeId, Tree, TreeRouter};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages of the toggle-tree protocol.
 #[derive(Clone, Copy, Debug)]
@@ -30,21 +30,35 @@ pub enum ToggleMsg {
     Result { origin: NodeId, count: u64 },
 }
 
-/// Toggle-tree counter protocol state.
-pub struct ToggleTreeProtocol {
+/// Read-only embedding every toggle-tree handler shares.
+pub struct ToggleTreeShared {
     /// Number of leaves (`2^depth`).
     leaves: usize,
-    /// Internal toggle states, heap-indexed (`leaves − 1` toggles).
-    toggles: Vec<bool>,
-    /// Tokens seen per leaf (heap positions `leaves−1 .. 2·leaves−1`).
-    leaf_counts: Vec<u64>,
     /// Count offset of each leaf: `bitrev(leaf position) + 1`.
     leaf_base: Vec<u64>,
     /// Toggle-tree node (heap index) → hosting processor.
     host: Vec<NodeId>,
+    /// Heap index → slot within its host's slice (`toggles` for internal
+    /// nodes, `leaf_counts` for leaves).
+    local_slot: Vec<usize>,
     host_slot: Vec<usize>,
     next_to_host: Vec<Vec<NodeId>>,
     router: TreeRouter,
+}
+
+/// One processor's toggle-tree state: the toggles and leaf counters of the
+/// heap nodes it hosts (every heap node is mutated only by its host, which
+/// is what makes the protocol [`NodeSliced`]).
+#[derive(Debug, Default)]
+pub struct ToggleTreeSlice {
+    toggles: Vec<bool>,
+    leaf_counts: Vec<u64>,
+}
+
+/// Toggle-tree counter protocol state.
+pub struct ToggleTreeProtocol {
+    shared: ToggleTreeShared,
+    slices: Vec<ToggleTreeSlice>,
     requests: Vec<NodeId>,
     defer_issue: bool,
 }
@@ -86,17 +100,33 @@ impl ToggleTreeProtocol {
         // bitrev(p) + 1.
         let leaf_base: Vec<u64> = (0..leaves).map(|p| bitrev(p, depth) as u64 + 1).collect();
 
+        // Group each heap node's state under its hosting processor: slice
+        // membership is by host, local slots are assigned in heap order.
+        let mut slices: Vec<ToggleTreeSlice> = (0..n).map(|_| ToggleTreeSlice::default()).collect();
+        let mut local_slot = vec![usize::MAX; total_nodes];
+        for (idx, &h) in host.iter().enumerate() {
+            if idx < leaves - 1 {
+                local_slot[idx] = slices[h].toggles.len();
+                slices[h].toggles.push(false);
+            } else {
+                local_slot[idx] = slices[h].leaf_counts.len();
+                slices[h].leaf_counts.push(0);
+            }
+        }
+
         let mut requests = requests.to_vec();
         requests.sort_unstable();
         ToggleTreeProtocol {
-            leaves,
-            toggles: vec![false; leaves - 1],
-            leaf_counts: vec![0; leaves],
-            leaf_base,
-            host,
-            host_slot,
-            next_to_host,
-            router: TreeRouter::new(tree),
+            shared: ToggleTreeShared {
+                leaves,
+                leaf_base,
+                host,
+                local_slot,
+                host_slot,
+                next_to_host,
+                router: TreeRouter::new(tree),
+            },
+            slices,
             requests,
             defer_issue: false,
         }
@@ -109,44 +139,70 @@ impl ToggleTreeProtocol {
         self
     }
 
-    fn send_towards(&self, api: &mut SimApi<ToggleMsg>, at: NodeId, host: NodeId, msg: ToggleMsg) {
-        let next = self.next_to_host[self.host_slot[host]][at];
-        api.send(at, next, msg);
+    fn send_towards(
+        shared: &ToggleTreeShared,
+        api: &mut SliceApi<ToggleMsg>,
+        at: NodeId,
+        host: NodeId,
+        msg: ToggleMsg,
+    ) {
+        let next = shared.next_to_host[shared.host_slot[host]][at];
+        debug_assert_ne!(next, at);
+        api.send(next, msg);
     }
 
-    /// Advance a token through every toggle hosted at `u`.
-    fn process(&mut self, api: &mut SimApi<ToggleMsg>, u: NodeId, origin: NodeId, mut idx: usize) {
+    /// Advance a token through every toggle hosted at `u` — all state the
+    /// walk touches lives in `u`'s slice, because the loop exits as soon as
+    /// the next heap node is hosted elsewhere.
+    fn process(
+        shared: &ToggleTreeShared,
+        slice: &mut ToggleTreeSlice,
+        api: &mut SliceApi<ToggleMsg>,
+        u: NodeId,
+        origin: NodeId,
+        mut idx: usize,
+    ) {
         loop {
-            let h = self.host[idx];
+            let h = shared.host[idx];
             if h != u {
-                self.send_towards(api, u, h, ToggleMsg::Token { origin, node_idx: idx });
+                Self::send_towards(shared, api, u, h, ToggleMsg::Token { origin, node_idx: idx });
                 return;
             }
-            if idx >= self.leaves - 1 {
+            let slot = shared.local_slot[idx];
+            if idx >= shared.leaves - 1 {
                 // Leaf: assign the count.
-                let p = idx - (self.leaves - 1);
-                self.leaf_counts[p] += 1;
-                let count = self.leaf_base[p] + (self.leaf_counts[p] - 1) * self.leaves as u64;
-                self.deliver(api, u, origin, count);
+                let p = idx - (shared.leaves - 1);
+                slice.leaf_counts[slot] += 1;
+                let count =
+                    shared.leaf_base[p] + (slice.leaf_counts[slot] - 1) * shared.leaves as u64;
+                Self::deliver(shared, api, u, origin, count);
                 return;
             }
-            let right = self.toggles[idx];
-            self.toggles[idx] = !right;
+            let right = slice.toggles[slot];
+            slice.toggles[slot] = !right;
             idx = 2 * idx + 1 + usize::from(right);
         }
     }
 
-    fn deliver(&self, api: &mut SimApi<ToggleMsg>, at: NodeId, origin: NodeId, count: u64) {
-        match self.router.next_hop(at, origin) {
+    fn deliver(
+        shared: &ToggleTreeShared,
+        api: &mut SliceApi<ToggleMsg>,
+        at: NodeId,
+        origin: NodeId,
+        count: u64,
+    ) {
+        match shared.router.next_hop(at, origin) {
             None => api.complete(origin, count),
-            Some(next) => api.send(at, next, ToggleMsg::Result { origin, count }),
+            Some(next) => api.send(next, ToggleMsg::Result { origin, count }),
         }
     }
 }
 
 impl ccq_sim::OnlineProtocol for ToggleTreeProtocol {
     fn issue(&mut self, api: &mut SimApi<ToggleMsg>, node: NodeId) {
-        self.process(api, node, node, 0);
+        ccq_sim::with_slice(self, api, node, |shared, slice, sapi| {
+            Self::process(shared, slice, sapi, node, node, 0)
+        });
     }
 }
 
@@ -159,7 +215,9 @@ impl Protocol for ToggleTreeProtocol {
         }
         let requests = self.requests.clone();
         for v in requests {
-            self.process(api, v, v, 0);
+            ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+                Self::process(shared, slice, sapi, v, v, 0)
+            });
         }
     }
 
@@ -167,12 +225,34 @@ impl Protocol for ToggleTreeProtocol {
         &mut self,
         api: &mut SimApi<ToggleMsg>,
         node: NodeId,
+        from: NodeId,
+        msg: ToggleMsg,
+    ) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for ToggleTreeProtocol {
+    type Slice = ToggleTreeSlice;
+    type Shared = ToggleTreeShared;
+
+    fn split(&mut self) -> (&ToggleTreeShared, &mut [ToggleTreeSlice]) {
+        (&self.shared, &mut self.slices)
+    }
+
+    fn on_message_sliced(
+        shared: &ToggleTreeShared,
+        slice: &mut ToggleTreeSlice,
+        api: &mut SliceApi<ToggleMsg>,
+        node: NodeId,
         _from: NodeId,
         msg: ToggleMsg,
     ) {
         match msg {
-            ToggleMsg::Token { origin, node_idx } => self.process(api, node, origin, node_idx),
-            ToggleMsg::Result { origin, count } => self.deliver(api, node, origin, count),
+            ToggleMsg::Token { origin, node_idx } => {
+                Self::process(shared, slice, api, node, origin, node_idx)
+            }
+            ToggleMsg::Result { origin, count } => Self::deliver(shared, api, node, origin, count),
         }
     }
 }

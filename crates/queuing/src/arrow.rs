@@ -28,7 +28,7 @@
 
 use crate::order::INITIAL_TOKEN;
 use ccq_graph::{bfs, NodeId, Tree};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages of the arrow protocol.
 #[derive(Clone, Debug)]
@@ -41,12 +41,26 @@ pub enum ArrowMsg {
     Reply { pred: u64, path: Vec<NodeId>, idx: usize },
 }
 
+/// Read-only configuration every arrow handler shares.
+#[derive(Debug)]
+pub struct ArrowShared {
+    notify_origin: bool,
+}
+
+/// One node's arrow state: its link arrow and the id of the last operation
+/// that matters at the node — the only state a handler at that node
+/// touches, which is what makes the protocol [`NodeSliced`].
+#[derive(Debug)]
+pub struct ArrowSlice {
+    link: NodeId,
+    id: u64,
+}
+
 /// Arrow protocol state for all nodes (see module docs).
 pub struct ArrowProtocol {
-    link: Vec<NodeId>,
-    id: Vec<u64>,
+    shared: ArrowShared,
+    slices: Vec<ArrowSlice>,
     requests: Vec<NodeId>,
-    notify_origin: bool,
     defer_issue: bool,
 }
 
@@ -65,7 +79,8 @@ impl ArrowProtocol {
         assert!(tail < n, "tail out of range");
         let tg = tree.to_graph();
         let (_, pred) = bfs::bfs_tree_arrays(&tg, tail);
-        let link: Vec<NodeId> = (0..n).map(|v| pred[v]).collect();
+        let slices: Vec<ArrowSlice> =
+            (0..n).map(|v| ArrowSlice { link: pred[v], id: INITIAL_TOKEN }).collect();
         let mut seen = vec![false; n];
         for &r in requests {
             assert!(r < n, "request {r} out of range");
@@ -75,10 +90,9 @@ impl ArrowProtocol {
         let mut requests = requests.to_vec();
         requests.sort_unstable();
         ArrowProtocol {
-            link,
-            id: vec![INITIAL_TOKEN; n],
+            shared: ArrowShared { notify_origin: false },
+            slices,
             requests,
-            notify_origin: false,
             defer_issue: false,
         }
     }
@@ -87,7 +101,7 @@ impl ArrowProtocol {
     /// predecessor identity reaches the requester, not when the pairing
     /// forms at the predecessor's node.
     pub fn with_notify_origin(mut self) -> Self {
-        self.notify_origin = true;
+        self.shared.notify_origin = true;
         self
     }
 
@@ -102,38 +116,58 @@ impl ArrowProtocol {
 
     /// Current arrow of `v` (exposed for traces and tests).
     pub fn link(&self, v: NodeId) -> NodeId {
-        self.link[v]
+        self.slices[v].link
     }
 
     /// Issue node `v`'s operation now (paper step 1). Used by `on_start`
     /// for the one-shot scenario and by the [`OnlineProtocol`] impl for
     /// scheduled (long-lived / open-system) arrivals.
     pub(crate) fn issue(&mut self, api: &mut SimApi<ArrowMsg>, v: NodeId) {
+        ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+            Self::issue_at(shared, slice, sapi, v)
+        });
+    }
+
+    /// Paper step 1 against `v`'s own slice.
+    fn issue_at(
+        shared: &ArrowShared,
+        slice: &mut ArrowSlice,
+        api: &mut SliceApi<ArrowMsg>,
+        v: NodeId,
+    ) {
         let a = v as u64;
-        if self.link[v] == v {
+        if slice.link == v {
             // v is the sink: queue behind the previous id locally.
-            let pred = self.id[v];
-            self.id[v] = a;
+            let pred = slice.id;
+            slice.id = a;
             api.complete(v, pred);
         } else {
-            let next = self.link[v];
-            self.link[v] = v;
-            self.id[v] = a;
-            let path = if self.notify_origin { vec![v] } else { Vec::new() };
-            api.send(v, next, ArrowMsg::Queue { op: a, path });
+            let next = slice.link;
+            slice.link = v;
+            slice.id = a;
+            let path = if shared.notify_origin { vec![v] } else { Vec::new() };
+            api.send(next, ArrowMsg::Queue { op: a, path });
         }
     }
 
-    fn terminate(&mut self, api: &mut SimApi<ArrowMsg>, at: NodeId, op: u64, path: Vec<NodeId>) {
-        let pred = self.id[at];
-        self.id[at] = op;
-        if self.notify_origin && !path.is_empty() {
+    /// Paper step 2's terminate case at `at`'s own slice.
+    fn terminate(
+        shared: &ArrowShared,
+        slice: &mut ArrowSlice,
+        api: &mut SliceApi<ArrowMsg>,
+        at: NodeId,
+        op: u64,
+        path: Vec<NodeId>,
+    ) {
+        let pred = slice.id;
+        slice.id = op;
+        if shared.notify_origin && !path.is_empty() {
             // Walk the reversed path back to the origin.
             let mut rpath = path;
             rpath.push(at);
             rpath.reverse();
             let next = rpath[1];
-            api.send(at, next, ArrowMsg::Reply { pred, path: rpath, idx: 1 });
+            api.send(next, ArrowMsg::Reply { pred, path: rpath, idx: 1 });
         } else {
             api.complete(op as NodeId, pred);
         }
@@ -166,18 +200,38 @@ impl Protocol for ArrowProtocol {
         from: NodeId,
         msg: ArrowMsg,
     ) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for ArrowProtocol {
+    type Slice = ArrowSlice;
+    type Shared = ArrowShared;
+
+    fn split(&mut self) -> (&ArrowShared, &mut [ArrowSlice]) {
+        (&self.shared, &mut self.slices)
+    }
+
+    fn on_message_sliced(
+        shared: &ArrowShared,
+        slice: &mut ArrowSlice,
+        api: &mut SliceApi<ArrowMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: ArrowMsg,
+    ) {
         match msg {
             ArrowMsg::Queue { op, mut path } => {
-                if self.link[node] == node {
-                    self.link[node] = from;
-                    self.terminate(api, node, op, path);
+                if slice.link == node {
+                    slice.link = from;
+                    Self::terminate(shared, slice, api, node, op, path);
                 } else {
-                    let next = self.link[node];
-                    self.link[node] = from;
-                    if self.notify_origin {
+                    let next = slice.link;
+                    slice.link = from;
+                    if shared.notify_origin {
                         path.push(node);
                     }
-                    api.send(node, next, ArrowMsg::Queue { op, path });
+                    api.send(next, ArrowMsg::Queue { op, path });
                 }
             }
             ArrowMsg::Reply { pred, path, idx } => {
@@ -186,7 +240,7 @@ impl Protocol for ArrowProtocol {
                     debug_assert_eq!(path[idx], node);
                     api.complete(node, pred);
                 } else {
-                    api.send(node, path[idx + 1], ArrowMsg::Reply { pred, path, idx: idx + 1 });
+                    api.send(path[idx + 1], ArrowMsg::Reply { pred, path, idx: idx + 1 });
                 }
             }
         }

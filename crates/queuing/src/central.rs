@@ -10,7 +10,7 @@
 
 use crate::order::INITIAL_TOKEN;
 use ccq_graph::{path::RouteTable, Lca, NodeId, Tree};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages: request towards home, reply back to origin. Both are source
 /// routed (`route` indexes the protocol's [`RouteTable`], `idx` is the
@@ -23,15 +23,30 @@ pub enum CentralQueueMsg {
     Reply { pred: u64, route: usize, idx: usize },
 }
 
-/// Centralized queue protocol state.
-pub struct CentralQueueProtocol {
+/// Read-only routing state every central-queue handler shares.
+#[derive(Debug)]
+pub struct CentralQueueShared {
     home: NodeId,
-    last: u64,
     routes: RouteTable,
-    /// Route id towards home, per requester (usize::MAX = not a requester).
-    to_home: Vec<usize>,
     /// Route id from home back to each requester.
     from_home: Vec<usize>,
+}
+
+/// One node's central-queue state. Only the home node's slice carries
+/// anything — the id of the last enqueued operation — but giving every
+/// node a slice keeps the [`NodeSliced`] indexing uniform.
+#[derive(Debug)]
+pub struct CentralQueueSlice {
+    /// Last enqueued operation (meaningful at the home node only).
+    last: u64,
+}
+
+/// Centralized queue protocol state.
+pub struct CentralQueueProtocol {
+    shared: CentralQueueShared,
+    slices: Vec<CentralQueueSlice>,
+    /// Route id towards home, per requester (usize::MAX = not a requester).
+    to_home: Vec<usize>,
     requests: Vec<NodeId>,
     defer_issue: bool,
 }
@@ -56,11 +71,9 @@ impl CentralQueueProtocol {
             from_home[v] = routes.push(rp);
         }
         CentralQueueProtocol {
-            home,
-            last: INITIAL_TOKEN,
-            routes,
+            shared: CentralQueueShared { home, routes, from_home },
+            slices: (0..n).map(|_| CentralQueueSlice { last: INITIAL_TOKEN }).collect(),
             to_home,
-            from_home,
             requests,
             defer_issue: false,
         }
@@ -75,26 +88,33 @@ impl CentralQueueProtocol {
 
     /// Issue `v`'s enqueue now (`v` must be in the request set).
     fn issue_one(&mut self, api: &mut SimApi<CentralQueueMsg>, v: NodeId) {
-        if v == self.home {
-            // Local enqueue: no messages needed.
-            let pred = self.last;
-            self.last = v as u64;
-            api.complete(v, pred);
-        } else {
-            let route = self.to_home[v];
-            debug_assert_ne!(route, usize::MAX, "node {v} is not a requester");
-            self.forward(api, v, CentralQueueMsg::Req { origin: v, route, idx: 0 });
-        }
+        let route = self.to_home[v];
+        ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+            if v == shared.home {
+                // Local enqueue: no messages needed.
+                let pred = slice.last;
+                slice.last = v as u64;
+                sapi.complete(v, pred);
+            } else {
+                debug_assert_ne!(route, usize::MAX, "node {v} is not a requester");
+                Self::forward(shared, sapi, v, CentralQueueMsg::Req { origin: v, route, idx: 0 });
+            }
+        });
     }
 
-    fn forward(&self, api: &mut SimApi<CentralQueueMsg>, at: NodeId, msg: CentralQueueMsg) {
+    fn forward(
+        shared: &CentralQueueShared,
+        api: &mut SliceApi<CentralQueueMsg>,
+        at: NodeId,
+        msg: CentralQueueMsg,
+    ) {
         let (route, idx) = match &msg {
             CentralQueueMsg::Req { route, idx, .. } => (*route, *idx),
             CentralQueueMsg::Reply { route, idx, .. } => (*route, *idx),
         };
-        let path = self.routes.get(route);
+        let path = shared.routes.get(route);
         debug_assert_eq!(path[idx], at);
-        api.send(at, path[idx + 1], msg_with_idx(msg, idx + 1));
+        api.send(path[idx + 1], msg_with_idx(msg, idx + 1));
     }
 }
 
@@ -128,36 +148,57 @@ impl Protocol for CentralQueueProtocol {
         &mut self,
         api: &mut SimApi<CentralQueueMsg>,
         node: NodeId,
+        from: NodeId,
+        msg: CentralQueueMsg,
+    ) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for CentralQueueProtocol {
+    type Slice = CentralQueueSlice;
+    type Shared = CentralQueueShared;
+
+    fn split(&mut self) -> (&CentralQueueShared, &mut [CentralQueueSlice]) {
+        (&self.shared, &mut self.slices)
+    }
+
+    fn on_message_sliced(
+        shared: &CentralQueueShared,
+        slice: &mut CentralQueueSlice,
+        api: &mut SliceApi<CentralQueueMsg>,
+        node: NodeId,
         _from: NodeId,
         msg: CentralQueueMsg,
     ) {
         match msg {
             CentralQueueMsg::Req { origin, route, idx } => {
-                let path = self.routes.get(route);
+                let path = shared.routes.get(route);
                 if idx + 1 == path.len() {
-                    debug_assert_eq!(node, self.home);
-                    let pred = self.last;
-                    self.last = origin as u64;
-                    let back = self.from_home[origin];
-                    if self.routes.get(back).len() == 1 {
+                    debug_assert_eq!(node, shared.home);
+                    let pred = slice.last;
+                    slice.last = origin as u64;
+                    let back = shared.from_home[origin];
+                    if shared.routes.get(back).len() == 1 {
                         api.complete(origin, pred);
                     } else {
-                        self.forward(
+                        Self::forward(
+                            shared,
                             api,
                             node,
                             CentralQueueMsg::Reply { pred, route: back, idx: 0 },
                         );
                     }
                 } else {
-                    self.forward(api, node, CentralQueueMsg::Req { origin, route, idx });
+                    Self::forward(shared, api, node, CentralQueueMsg::Req { origin, route, idx });
                 }
             }
             CentralQueueMsg::Reply { pred, route, idx } => {
-                let path = self.routes.get(route);
+                let path = shared.routes.get(route);
                 if idx + 1 == path.len() {
                     api.complete(node, pred);
                 } else {
-                    self.forward(api, node, CentralQueueMsg::Reply { pred, route, idx });
+                    Self::forward(shared, api, node, CentralQueueMsg::Reply { pred, route, idx });
                 }
             }
         }

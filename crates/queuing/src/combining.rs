@@ -10,7 +10,7 @@
 
 use crate::order::INITIAL_TOKEN;
 use ccq_graph::{NodeId, Tree};
-use ccq_sim::{Protocol, SimApi};
+use ccq_sim::{NodeSliced, Protocol, SimApi, SliceApi};
 
 /// Messages of the combining queue.
 #[derive(Clone, Debug)]
@@ -21,23 +21,33 @@ pub enum CombiningQueueMsg {
     Down(Vec<(NodeId, u64)>),
 }
 
-struct NodeState {
+/// One node's combining-wave state — everything a handler at the node
+/// touches, making the protocol [`NodeSliced`].
+#[derive(Debug)]
+pub struct CombiningQueueSlice {
     waiting: usize,
     /// Preorder requester lists reported by children, by child slot.
     child_lists: Vec<Vec<NodeId>>,
     requesting: bool,
+    /// Whether the node's own operation has been injected (deferred mode).
+    issued: bool,
+}
+
+/// Read-only tree shape every combining-queue handler shares.
+#[derive(Debug)]
+pub struct CombiningQueueShared {
+    parent: Vec<NodeId>,
+    children: Vec<Vec<NodeId>>,
+    root: NodeId,
+    /// Deferred-issue mode: a requester holds its subtree's Up report until
+    /// its own operation has been injected.
+    defer_issue: bool,
 }
 
 /// Combining-queue protocol state.
 pub struct CombiningQueueProtocol {
-    parent: Vec<NodeId>,
-    children: Vec<Vec<NodeId>>,
-    root: NodeId,
-    nodes: Vec<NodeState>,
-    /// Deferred-issue mode: a requester holds its subtree's Up report until
-    /// its own operation has been injected.
-    defer_issue: bool,
-    issued: Vec<bool>,
+    shared: CombiningQueueShared,
+    nodes: Vec<CombiningQueueSlice>,
 }
 
 impl CombiningQueueProtocol {
@@ -50,19 +60,21 @@ impl CombiningQueueProtocol {
             requesting[r] = true;
         }
         let nodes = (0..n)
-            .map(|v| NodeState {
+            .map(|v| CombiningQueueSlice {
                 waiting: tree.children(v).len(),
                 child_lists: vec![Vec::new(); tree.children(v).len()],
                 requesting: requesting[v],
+                issued: false,
             })
             .collect();
         CombiningQueueProtocol {
-            parent: (0..n).map(|v| tree.parent(v)).collect(),
-            children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
-            root: tree.root(),
+            shared: CombiningQueueShared {
+                parent: (0..n).map(|v| tree.parent(v)).collect(),
+                children: (0..n).map(|v| tree.children(v).to_vec()).collect(),
+                root: tree.root(),
+                defer_issue: false,
+            },
             nodes,
-            defer_issue: false,
-            issued: vec![false; n],
         }
     }
 
@@ -73,32 +85,36 @@ impl CombiningQueueProtocol {
     /// has arrived — the batch protocol's honest behaviour under open
     /// arrivals (early requesters wait for stragglers).
     pub fn deferred(mut self, on: bool) -> Self {
-        self.defer_issue = on;
+        self.shared.defer_issue = on;
         self
     }
 
     /// Whether `v` may report upward: all children in, and (in deferred
     /// mode) its own request — if any — already injected.
-    fn ready(&self, v: NodeId) -> bool {
-        self.nodes[v].waiting == 0
-            && (!self.defer_issue || !self.nodes[v].requesting || self.issued[v])
+    fn ready(shared: &CombiningQueueShared, slice: &CombiningQueueSlice) -> bool {
+        slice.waiting == 0 && (!shared.defer_issue || !slice.requesting || slice.issued)
     }
 
     /// Preorder requester list of `v`'s subtree (own request first).
-    fn subtree_list(&self, v: NodeId) -> Vec<NodeId> {
+    fn subtree_list(slice: &CombiningQueueSlice, v: NodeId) -> Vec<NodeId> {
         let mut list = Vec::new();
-        if self.nodes[v].requesting {
+        if slice.requesting {
             list.push(v);
         }
-        for cl in &self.nodes[v].child_lists {
+        for cl in &slice.child_lists {
             list.extend_from_slice(cl);
         }
         list
     }
 
-    fn aggregated(&mut self, api: &mut SimApi<CombiningQueueMsg>, v: NodeId) {
-        let list = self.subtree_list(v);
-        if v == self.root {
+    fn aggregated(
+        shared: &CombiningQueueShared,
+        slice: &mut CombiningQueueSlice,
+        api: &mut SliceApi<CombiningQueueMsg>,
+        v: NodeId,
+    ) {
+        let list = Self::subtree_list(slice, v);
+        if v == shared.root {
             // Form the total order: initial token, then preorder.
             let assignments: Vec<(NodeId, u64)> = list
                 .iter()
@@ -108,34 +124,32 @@ impl CombiningQueueProtocol {
                     (node, pred)
                 })
                 .collect();
-            self.distribute(api, v, assignments);
+            Self::distribute(shared, slice, api, v, assignments);
         } else {
-            api.send(v, self.parent[v], CombiningQueueMsg::Up(list));
+            api.send(shared.parent[v], CombiningQueueMsg::Up(list));
         }
     }
 
     fn distribute(
-        &mut self,
-        api: &mut SimApi<CombiningQueueMsg>,
+        shared: &CombiningQueueShared,
+        slice: &CombiningQueueSlice,
+        api: &mut SliceApi<CombiningQueueMsg>,
         v: NodeId,
         assignments: Vec<(NodeId, u64)>,
     ) {
         use std::collections::HashMap;
         let by_node: HashMap<NodeId, u64> = assignments.iter().copied().collect();
-        if self.nodes[v].requesting {
+        if slice.requesting {
             let pred = by_node[&v];
             api.complete(v, pred);
         }
         // Split the remaining assignments by child subtree (child lists are
         // exactly the subtree memberships recorded on the way up).
-        let children = self.children[v].clone();
-        for (slot, c) in children.iter().enumerate() {
-            let subtree: Vec<(NodeId, u64)> = self.nodes[v].child_lists[slot]
-                .iter()
-                .map(|&node| (node, by_node[&node]))
-                .collect();
+        for (slot, c) in shared.children[v].iter().enumerate() {
+            let subtree: Vec<(NodeId, u64)> =
+                slice.child_lists[slot].iter().map(|&node| (node, by_node[&node])).collect();
             if !subtree.is_empty() {
-                api.send(v, *c, CombiningQueueMsg::Down(subtree));
+                api.send(*c, CombiningQueueMsg::Down(subtree));
             }
         }
     }
@@ -144,21 +158,25 @@ impl CombiningQueueProtocol {
 impl ccq_sim::OnlineProtocol for CombiningQueueProtocol {
     fn issue(&mut self, api: &mut SimApi<CombiningQueueMsg>, node: NodeId) {
         debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
-        self.issued[node] = true;
-        if self.ready(node) {
-            self.aggregated(api, node);
-        }
+        ccq_sim::with_slice(self, api, node, |shared, slice, sapi| {
+            slice.issued = true;
+            if Self::ready(shared, slice) {
+                Self::aggregated(shared, slice, sapi, node);
+            }
+        });
     }
 
     fn cancel(&mut self, api: &mut SimApi<CombiningQueueMsg>, node: NodeId) {
         debug_assert!(self.nodes[node].requesting, "node {node} is not a requester");
-        debug_assert!(!self.issued[node], "cancel after issue");
+        debug_assert!(!self.nodes[node].issued, "cancel after issue");
         // Strike the requester from the wave; if its Up report was the
         // last thing the subtree waited for, release it now.
-        self.nodes[node].requesting = false;
-        if self.ready(node) {
-            self.aggregated(api, node);
-        }
+        ccq_sim::with_slice(self, api, node, |shared, slice, sapi| {
+            slice.requesting = false;
+            if Self::ready(shared, slice) {
+                Self::aggregated(shared, slice, sapi, node);
+            }
+        });
     }
 }
 
@@ -166,10 +184,12 @@ impl Protocol for CombiningQueueProtocol {
     type Msg = CombiningQueueMsg;
 
     fn on_start(&mut self, api: &mut SimApi<CombiningQueueMsg>) {
-        for v in 0..self.parent.len() {
-            if self.ready(v) {
-                self.aggregated(api, v);
-            }
+        for v in 0..self.nodes.len() {
+            ccq_sim::with_slice(self, api, v, |shared, slice, sapi| {
+                if Self::ready(shared, slice) {
+                    Self::aggregated(shared, slice, sapi, v);
+                }
+            });
         }
     }
 
@@ -180,20 +200,40 @@ impl Protocol for CombiningQueueProtocol {
         from: NodeId,
         msg: CombiningQueueMsg,
     ) {
+        ccq_sim::dispatch_sliced(self, api, node, from, msg);
+    }
+}
+
+impl NodeSliced for CombiningQueueProtocol {
+    type Slice = CombiningQueueSlice;
+    type Shared = CombiningQueueShared;
+
+    fn split(&mut self) -> (&CombiningQueueShared, &mut [CombiningQueueSlice]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn on_message_sliced(
+        shared: &CombiningQueueShared,
+        slice: &mut CombiningQueueSlice,
+        api: &mut SliceApi<CombiningQueueMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: CombiningQueueMsg,
+    ) {
         match msg {
             CombiningQueueMsg::Up(list) => {
-                let slot = self.children[node]
+                let slot = shared.children[node]
                     .iter()
                     .position(|&c| c == from)
                     .expect("Up from a non-child");
-                self.nodes[node].child_lists[slot] = list;
-                self.nodes[node].waiting -= 1;
-                if self.ready(node) {
-                    self.aggregated(api, node);
+                slice.child_lists[slot] = list;
+                slice.waiting -= 1;
+                if Self::ready(shared, slice) {
+                    Self::aggregated(shared, slice, api, node);
                 }
             }
             CombiningQueueMsg::Down(assignments) => {
-                self.distribute(api, node, assignments);
+                Self::distribute(shared, slice, api, node, assignments);
             }
         }
     }

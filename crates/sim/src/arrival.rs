@@ -15,7 +15,7 @@
 //! arrivals through [`Protocol::next_wakeup`].
 
 use crate::admission::{Admission, AdmissionController, AdmissionPolicy};
-use crate::protocol::{Protocol, SimApi};
+use crate::protocol::{NodeSliced, Protocol, SimApi, SliceApi};
 use crate::report::mix64;
 use crate::Round;
 use ccq_graph::NodeId;
@@ -329,6 +329,30 @@ impl<P: OnlineProtocol> Protocol for Paced<P> {
         let scheduled = self.schedule.get(self.next).map(|&(r, _)| r);
         let retry = self.retries.first().map(|&(r, _, _)| r);
         [scheduled, retry, self.inner.next_wakeup()].into_iter().flatten().min()
+    }
+}
+
+/// Pacing is transparent to slicing: arrivals are injected in the
+/// serialized arrivals phase, so the message-handler path delegates
+/// straight to the wrapped protocol's slices. This is what lets open-system
+/// (and admission-gated) runs use the parallel apply path unchanged.
+impl<P: OnlineProtocol + NodeSliced> NodeSliced for Paced<P> {
+    type Slice = P::Slice;
+    type Shared = P::Shared;
+
+    fn split(&mut self) -> (&P::Shared, &mut [P::Slice]) {
+        self.inner.split()
+    }
+
+    fn on_message_sliced(
+        shared: &P::Shared,
+        slice: &mut P::Slice,
+        api: &mut SliceApi<P::Msg>,
+        node: NodeId,
+        from: NodeId,
+        msg: P::Msg,
+    ) {
+        P::on_message_sliced(shared, slice, api, node, from, msg);
     }
 }
 

@@ -28,7 +28,10 @@
 //!
 //! [`crate::shard::ShardedSimulator`] runs the same scheduler phases over
 //! per-shard state/transport instances; protocols run unmodified on either
-//! executor.
+//! executor. Protocols that additionally implement [`crate::NodeSliced`]
+//! can run their delivery-phase handlers shard-parallel
+//! ([`SimConfig::parallel_apply`]) with byte-identical results — see
+//! [`crate::shard`] for the replay argument.
 
 use crate::protocol::Protocol;
 use crate::report::{SimConfig, SimReport};
@@ -37,14 +40,24 @@ use crate::Round;
 use ccq_graph::{Graph, NodeId};
 
 /// Simulation failure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// A protocol staged a message between non-adjacent processors.
     InvalidSend { from: NodeId, to: NodeId, round: Round },
     /// Quiescence was not reached within [`SimConfig::max_rounds`].
     MaxRoundsExceeded { limit: Round },
-    /// The configuration (budgets, scale, shard plan) cannot be executed.
-    InvalidConfig { what: &'static str },
+    /// The configuration (budgets, scale, shard plan, apply path) cannot
+    /// be executed. The message is owned so callers can name the offending
+    /// protocol — e.g. requesting [`SimConfig::parallel_apply`] for a
+    /// protocol that does not implement [`crate::NodeSliced`].
+    InvalidConfig { what: String },
+}
+
+impl SimError {
+    /// Construct an [`SimError::InvalidConfig`] from any message.
+    pub fn invalid_config(what: impl Into<String>) -> Self {
+        SimError::InvalidConfig { what: what.into() }
+    }
 }
 
 impl std::fmt::Display for SimError {

@@ -20,7 +20,12 @@
 //!
 //! Protocols implement [`Protocol`] and are executed by [`Simulator::run`],
 //! which returns a [`SimReport`] with per-operation delays, message counts
-//! and queue statistics.
+//! and queue statistics. [`ShardedSimulator`] executes the same protocols
+//! over K parallel message fabrics joined by an inter-shard ferry, and
+//! protocols that expose disjoint per-node state slices ([`NodeSliced`])
+//! can additionally run their message handlers shard-parallel
+//! ([`SimConfig::parallel_apply`] via [`ShardedSimulator::run_sliced`]) —
+//! with reports byte-identical to the serialized executors in every case.
 //!
 //! ```
 //! use ccq_sim::{run_protocol, Protocol, SimApi, SimConfig};
@@ -55,9 +60,9 @@ pub mod transport;
 pub use admission::{Admission, AdmissionController, AdmissionPolicy};
 pub use arrival::{ArrivalProcess, OnlineProtocol, Paced};
 pub use engine::{SimError, Simulator};
-pub use protocol::{Protocol, SimApi};
+pub use protocol::{dispatch_sliced, with_slice, NodeSliced, Protocol, SimApi, SliceApi};
 pub use report::{Completion, Dropped, Issue, LinkDelay, SimConfig, SimReport};
-pub use shard::{run_protocol_sharded, ShardedSimulator};
+pub use shard::{run_protocol_sharded, run_protocol_sharded_sliced, ShardedSimulator};
 pub use trace::{TraceEvent, TraceKind};
 
 /// Simulation time, in rounds (time steps of the synchronous model).

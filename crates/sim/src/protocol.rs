@@ -1,4 +1,17 @@
-//! The [`Protocol`] trait and the [`SimApi`] handed to its callbacks.
+//! The [`Protocol`] trait, the [`SimApi`] handed to its callbacks, and the
+//! [`NodeSliced`] refinement that lets executors apply message handlers in
+//! parallel.
+//!
+//! [`Protocol`] models the whole distributed system as one value — the
+//! executors call its handlers in a deterministic global order.
+//! [`NodeSliced`] exposes the structure that makes this order *irrelevant*
+//! within a round: the protocol splits into a read-only [`NodeSliced::Shared`]
+//! view plus one disjoint [`NodeSliced::Slice`] per processor, and a handler
+//! at `node` may touch only `node`'s slice (through a [`SliceApi`]). The
+//! sharded executor ([`crate::shard`]) exploits this to run each shard's
+//! handlers inside that shard's parallel task, then replays the staged
+//! effects at the round barrier in the serialized executor's global order —
+//! which is why parallel-apply runs are byte-identical to serialized ones.
 
 use crate::report::{Completion, Dropped, Issue};
 use crate::Round;
@@ -57,6 +70,10 @@ pub struct SimApi<M> {
     issued_total: u64,
     /// Cumulative completion count over the whole run (never drained).
     completed_total: u64,
+    /// Capacity-retaining scratch buffer lent to [`with_slice`], so the
+    /// serialized executors' per-message [`SliceApi`] never allocates in
+    /// steady state.
+    slice_scratch: Vec<SliceEffect<M>>,
 }
 
 impl<M> SimApi<M> {
@@ -70,6 +87,7 @@ impl<M> SimApi<M> {
             delayed: 0,
             issued_total: 0,
             completed_total: 0,
+            slice_scratch: Vec::new(),
         }
     }
 
@@ -130,6 +148,178 @@ impl<M> SimApi<M> {
     }
 }
 
+/// One staged effect of a sliced handler ([`SliceApi`]): the same
+/// operations [`SimApi`] offers, recorded for deterministic replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SliceEffect<M> {
+    /// A message from the handling node to a neighbour.
+    Send {
+        /// Receiver (the sender is always the handling node).
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// An operation completion.
+    Complete {
+        /// Processor whose operation completed (usually, but not
+        /// necessarily, the handling node — e.g. the arrow protocol
+        /// completes the *origin*'s operation where the pairing forms).
+        node: NodeId,
+        /// Protocol-defined result.
+        value: u64,
+    },
+}
+
+/// Callback interface of a [`NodeSliced`] handler: a staging area scoped to
+/// one processor.
+///
+/// Unlike [`SimApi`], sends carry no explicit sender — they always leave
+/// the handling node, which is what keeps every effect of a handler inside
+/// that node's outbox and makes per-shard parallel application sound.
+/// Effects are recorded in call order and replayed into the engine in the
+/// serialized executor's global delivery order, so the two apply paths
+/// produce identical executions.
+#[derive(Debug)]
+pub struct SliceApi<M> {
+    round: Round,
+    node: NodeId,
+    /// Staged effects in call order. The parallel executor reads the
+    /// length after each handled message to segment the stream per
+    /// message for the barrier replay.
+    pub(crate) effects: Vec<SliceEffect<M>>,
+}
+
+impl<M> SliceApi<M> {
+    pub(crate) fn new(round: Round, node: NodeId) -> Self {
+        SliceApi { round, node, effects: Vec::new() }
+    }
+
+    /// Re-point the API at another processor (the parallel executor reuses
+    /// one `SliceApi` for every node of a shard to avoid per-node buffers).
+    pub(crate) fn set_node(&mut self, node: NodeId) {
+        self.node = node;
+    }
+
+    /// The current round.
+    #[inline]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The processor whose slice this handler owns.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Stage a message from the handling node to its neighbour `to`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(SliceEffect::Send { to, msg });
+    }
+
+    /// Record that `node`'s operation completed now with result `value`.
+    pub fn complete(&mut self, node: NodeId, value: u64) {
+        self.effects.push(SliceEffect::Complete { node, value });
+    }
+
+    /// Decompose into the staged effect stream (the parallel executor's
+    /// barrier replay input).
+    pub(crate) fn into_effects(self) -> Vec<SliceEffect<M>> {
+        self.effects
+    }
+
+    /// Drain every staged effect into the full [`SimApi`], in call order
+    /// (the buffer keeps its capacity for reuse).
+    pub(crate) fn replay_into(&mut self, api: &mut SimApi<M>) {
+        let node = self.node;
+        for effect in self.effects.drain(..) {
+            match effect {
+                SliceEffect::Send { to, msg } => api.send(node, to, msg),
+                SliceEffect::Complete { node, value } => api.complete(node, value),
+            }
+        }
+    }
+}
+
+/// A [`Protocol`] whose state decomposes into disjoint per-processor
+/// slices, enabling parallel handler application.
+///
+/// The contract a sliced protocol must honour (and the reason the parallel
+/// apply path can be byte-identical to the serialized one):
+///
+/// * [`NodeSliced::split`] partitions the state into an immutable
+///   [`NodeSliced::Shared`] view (routing tables, tree shape, mode flags)
+///   and one [`NodeSliced::Slice`] per processor, indexed by [`NodeId`];
+/// * [`NodeSliced::on_message_sliced`] handles a message at `node` reading
+///   only `shared` and mutating only `node`'s slice;
+/// * [`Protocol::on_message`] delegates to the sliced handler (use
+///   [`dispatch_sliced`]), so both executors run the *same* handler code.
+///
+/// Construction-time state ([`Protocol::on_start`], the arrivals-phase
+/// [`crate::arrival::OnlineProtocol::issue`]/`cancel` hooks) may keep using
+/// `&mut self` — those phases are serialized on every executor; only the
+/// delivery phase is sliced.
+pub trait NodeSliced: Protocol {
+    /// One processor's private state.
+    type Slice: Send;
+
+    /// Read-only state shared by every handler.
+    type Shared: Sync;
+
+    /// Split into the shared view and the per-node slices (`slices[v]` is
+    /// processor `v`'s state; the returned slice has one entry per
+    /// processor).
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Slice]);
+
+    /// Handle a message at `node`, touching only `node`'s slice.
+    fn on_message_sliced(
+        shared: &Self::Shared,
+        slice: &mut Self::Slice,
+        api: &mut SliceApi<Self::Msg>,
+        node: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+    );
+}
+
+/// Run a closure against `node`'s slice through a scoped [`SliceApi`] and
+/// replay its effects into the full [`SimApi`] — how a sliced protocol's
+/// `&mut self` entry points (issue, start-of-round injection) share one
+/// implementation with the parallel apply path.
+pub fn with_slice<P: NodeSliced>(
+    p: &mut P,
+    api: &mut SimApi<P::Msg>,
+    node: NodeId,
+    f: impl FnOnce(&P::Shared, &mut P::Slice, &mut SliceApi<P::Msg>),
+) {
+    // Borrow the SimApi's scratch buffer so the per-message SliceApi does
+    // not allocate in steady state, and hand it back (drained, capacity
+    // intact) after the replay.
+    let mut sapi = SliceApi::new(api.round(), node);
+    std::mem::swap(&mut sapi.effects, &mut api.slice_scratch);
+    debug_assert!(sapi.effects.is_empty(), "scratch buffer must come back drained");
+    let (shared, slices) = p.split();
+    f(shared, &mut slices[node], &mut sapi);
+    sapi.replay_into(api);
+    std::mem::swap(&mut sapi.effects, &mut api.slice_scratch);
+}
+
+/// The canonical [`Protocol::on_message`] body of a [`NodeSliced`]
+/// protocol: route the message through [`NodeSliced::on_message_sliced`] on
+/// the serialized path, guaranteeing both executors run identical handler
+/// code.
+pub fn dispatch_sliced<P: NodeSliced>(
+    p: &mut P,
+    api: &mut SimApi<P::Msg>,
+    node: NodeId,
+    from: NodeId,
+    msg: P::Msg,
+) {
+    with_slice(p, api, node, |shared, slice, sapi| {
+        P::on_message_sliced(shared, slice, sapi, node, from, msg)
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +335,23 @@ mod tests {
         assert_eq!(api.completed.len(), 1);
         assert_eq!(api.completed[0].round, 3);
         assert_eq!(api.completed[0].value, 7);
+    }
+
+    #[test]
+    fn slice_api_replays_in_call_order() {
+        let mut api: SimApi<u8> = SimApi::new();
+        api.set_round(5);
+        let mut sapi: SliceApi<u8> = SliceApi::new(api.round(), 3);
+        assert_eq!(sapi.round(), 5);
+        assert_eq!(sapi.node(), 3);
+        sapi.send(4, 9);
+        sapi.complete(7, 2);
+        assert_eq!(sapi.effects.len(), 2);
+        sapi.replay_into(&mut api);
+        // Sends leave the handling node; completions keep their target.
+        assert_eq!(api.outgoing, vec![(3, 4, 9)]);
+        assert_eq!(api.completed.len(), 1);
+        assert_eq!(api.completed[0].node, 7);
+        assert_eq!(api.completed[0].round, 5);
     }
 }

@@ -122,6 +122,15 @@ pub struct SimConfig {
     /// synchronous model; the other policies are the §2.1 "asynchronous"
     /// regime, under which the paper's lower bounds still apply).
     pub link_delay: LinkDelay,
+    /// Apply protocol message handlers shard-parallel instead of in the
+    /// serialized global node order. Honoured only by the sharded
+    /// executor's sliced entry points
+    /// ([`crate::ShardedSimulator::run_sliced`]), which require the
+    /// protocol to implement [`crate::NodeSliced`]; the other entry points
+    /// reject the flag with [`crate::SimError::InvalidConfig`] rather than
+    /// silently falling back. An execution strategy, not a model knob:
+    /// reports are byte-identical either way.
+    pub parallel_apply: bool,
 }
 
 impl SimConfig {
@@ -134,6 +143,7 @@ impl SimConfig {
             max_rounds: 100_000_000,
             trace: false,
             link_delay: LinkDelay::Unit,
+            parallel_apply: false,
         }
     }
 
@@ -167,6 +177,13 @@ impl SimConfig {
     /// Builder-style: set the per-link delivery delay policy.
     pub fn with_link_delay(mut self, delay: LinkDelay) -> Self {
         self.link_delay = delay;
+        self
+    }
+
+    /// Builder-style: toggle the shard-parallel apply path (see
+    /// [`SimConfig::parallel_apply`]).
+    pub fn with_parallel_apply(mut self, on: bool) -> Self {
+        self.parallel_apply = on;
         self
     }
 }

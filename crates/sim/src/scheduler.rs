@@ -8,10 +8,15 @@
 //! 2. **mature** — the [`crate::transport::Transport`] releases every wire
 //!    due at `t` into its destination's in-port
 //!    ([`crate::state::NodeStore`]), in (arrival, sequence) order;
-//! 3. **deliver** — each processor (ascending id) dequeues up to
+//! 3. **deliver (apply)** — each processor (ascending id) dequeues up to
 //!    `recv_budget` in-port messages and hands them to
 //!    [`crate::Protocol::on_message`]; handler effects drain after every
-//!    message;
+//!    message. The *apply* step has two implementations sharing this
+//!    bookkeeping (`note_delivery` + `drain_api`): the serialized
+//!    global-order walk below, and the sharded executor's parallel path
+//!    for [`crate::NodeSliced`] protocols, which runs handlers inside each
+//!    shard's task and replays their staged effects here-equivalently at
+//!    the round barrier;
 //! 4. **transmit** — each processor (ascending id) dequeues up to
 //!    `send_budget` outbox messages; each receives the next global
 //!    sequence number and is scheduled on the transport;
@@ -40,13 +45,13 @@ use ccq_graph::{Graph, NodeId};
 /// Reject configurations the engine cannot execute, constructively.
 pub(crate) fn validate_config(cfg: &SimConfig) -> Result<(), SimError> {
     if cfg.send_budget < 1 {
-        return Err(SimError::InvalidConfig { what: "send_budget must be ≥ 1" });
+        return Err(SimError::invalid_config("send_budget must be ≥ 1"));
     }
     if cfg.recv_budget < 1 {
-        return Err(SimError::InvalidConfig { what: "recv_budget must be ≥ 1" });
+        return Err(SimError::invalid_config("recv_budget must be ≥ 1"));
     }
     if cfg.delay_scale < 1 {
-        return Err(SimError::InvalidConfig { what: "delay_scale must be ≥ 1" });
+        return Err(SimError::invalid_config("delay_scale must be ≥ 1"));
     }
     Ok(())
 }
@@ -117,6 +122,23 @@ pub(crate) fn drain_api<M>(
     Ok(())
 }
 
+/// Receive-side bookkeeping of one delivery, shared by every apply path:
+/// the per-node receive counter and the optional `Deliver` trace event.
+/// Called immediately before the handler's effects (direct call or replay)
+/// drain, so traces interleave identically on either path.
+pub(crate) fn note_delivery(
+    report: &mut SimReport,
+    round: Round,
+    trace: bool,
+    node: NodeId,
+    src: NodeId,
+) {
+    report.received_by_node[node] += 1;
+    if trace {
+        report.trace.push(TraceEvent { round, kind: TraceKind::Deliver, node, peer: src });
+    }
+}
+
 /// The quiescence / wakeup phase, shared by both executors: given whether
 /// every queue and wheel is idle, decide the next round — `None` ends the
 /// run, otherwise the clock advances by one or fast-forwards to the
@@ -150,6 +172,14 @@ pub(crate) fn run_single<P: Protocol>(
     cfg: SimConfig,
 ) -> Result<(SimReport, P), SimError> {
     validate_config(&cfg)?;
+    if cfg.parallel_apply {
+        // No silent fallback: the single-fabric executor applies handlers
+        // in serialized global order by construction.
+        return Err(SimError::invalid_config(
+            "parallel_apply requires the sharded executor with a NodeSliced protocol \
+             (ShardedSimulator::run_sliced); the single-fabric Simulator cannot honour it",
+        ));
+    }
     let n = graph.n();
     let mut report = SimReport {
         delay_scale: cfg.delay_scale,
@@ -186,15 +216,7 @@ pub(crate) fn run_single<P: Protocol>(
                 for _ in 0..cfg.recv_budget {
                     let Some(inb) = store.pop_inport(v) else { break };
                     report.queue_wait_rounds += round - inb.arrival;
-                    report.received_by_node[v] += 1;
-                    if cfg.trace {
-                        report.trace.push(TraceEvent {
-                            round,
-                            kind: TraceKind::Deliver,
-                            node: v,
-                            peer: inb.src,
-                        });
-                    }
+                    note_delivery(&mut report, round, cfg.trace, v, inb.src);
                     protocol.on_message(&mut api, v, inb.src, inb.msg);
                     drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
                         store.stage(f, t, m)

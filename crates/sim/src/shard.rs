@@ -11,10 +11,23 @@
 //! Rounds follow the exact phase order of [`crate::scheduler`]. The
 //! shard-parallel part (via rayon) is the message fabric: wire maturation,
 //! in-port enqueueing and budget-limited harvesting run concurrently per
-//! shard. Protocol-state application and transmission are serialized in
-//! ascending node order, because one [`crate::Protocol`] value holds every
-//! processor's state — this is what lets protocols run **unmodified** on
-//! either executor.
+//! shard. Transmission is serialized in ascending node order (it assigns
+//! the run-global sequence numbers). For protocol-state application there
+//! are **two apply paths**:
+//!
+//! * **serialized** ([`ShardedSimulator::run`]) — handlers run in global
+//!   ascending node order against the one shared [`crate::Protocol`]
+//!   value; any protocol works, unmodified;
+//! * **sliced** ([`ShardedSimulator::run_sliced`] with
+//!   [`crate::SimConfig::parallel_apply`]) — for [`crate::NodeSliced`]
+//!   protocols, each shard's task also *applies* its own nodes' handlers
+//!   against their disjoint state slices, staging effects in a
+//!   [`crate::SliceApi`]; at the round barrier the staged effects are
+//!   replayed in the serialized path's exact global order. Queuing
+//!   hand-offs and counting updates thus execute concurrently across
+//!   shards — the parallelism the paper's counting/queuing separation
+//!   says is safe to exploit locally — while the replay step restores the
+//!   global coherence the report needs.
 //!
 //! **Equivalence invariant.** Transmissions carry a run-global sequence
 //! number and maturation merges local + ferry wires in (arrival, sequence)
@@ -23,12 +36,16 @@
 //! [`crate::Simulator`] — same completions, same rounds, same queue
 //! statistics — for *every* delay policy including per-message jitter.
 //! The only new observable is [`crate::SimReport::cross_shard_messages`].
-//! A divergent ferry policy (e.g. `Fixed { delay: 8 }` between shards)
-//! changes the execution — deliberately.
+//! The sliced apply path preserves the invariant *exactly* (a handler at
+//! `v` touches only `v`'s slice, handler sends cannot be delivered before
+//! round `t + 1`, and the barrier replay re-serializes effects in delivery
+//! order), so parallel-apply reports are byte-identical to serialized
+//! ones. A divergent ferry policy (e.g. `Fixed { delay: 8 }` between
+//! shards) changes the execution — deliberately.
 
-use crate::protocol::{Protocol, SimApi};
+use crate::protocol::{NodeSliced, Protocol, SimApi, SliceApi, SliceEffect};
 use crate::report::{LinkDelay, SimConfig, SimReport};
-use crate::scheduler::{advance_round, drain_api, validate_config};
+use crate::scheduler::{advance_round, drain_api, note_delivery, validate_config};
 use crate::state::{Inbound, NodeStore};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::transport::{Transport, Wire};
@@ -40,6 +57,149 @@ use rayon::prelude::*;
 struct ShardState<M> {
     store: NodeStore<M>,
     transport: Transport<M>,
+}
+
+impl<M> ShardState<M> {
+    /// The maturity phase of one shard: drain this shard's wheel, merge
+    /// the due ferry wires in (arrival, sequence) order, and enqueue
+    /// everything into the in-ports; returns the deepest in-port observed.
+    fn mature(&mut self, mut due: Vec<Wire<M>>, round: Round) -> usize {
+        self.transport.drain_due(round, |w| due.push(w));
+        due.sort_unstable_by_key(|w| (w.arrival, w.seq));
+        let mut max_depth = 0usize;
+        for w in due {
+            let inbound = Inbound { src: w.src, arrival: w.arrival, msg: w.msg };
+            max_depth = max_depth.max(self.store.enqueue(w.dst, inbound));
+        }
+        max_depth
+    }
+}
+
+/// The executor state both apply paths share: the report, the per-shard
+/// fabrics, the inter-shard ferry and the protocol's staging API. Every
+/// phase except delivery lives here, so the two round loops differ only
+/// in how handlers are applied.
+struct Fabric<M> {
+    report: SimReport,
+    shards: Vec<ShardState<M>>,
+    ferry: Transport<M>,
+    api: SimApi<M>,
+}
+
+impl<M> Fabric<M> {
+    /// Validate the configuration, build the per-shard fabrics, and run
+    /// the time-0 start phase (serialized on every path).
+    fn setup<P: Protocol<Msg = M>>(
+        graph: &Graph,
+        partition: &Partition,
+        protocol: &mut P,
+        cfg: &SimConfig,
+        inter_delay: LinkDelay,
+    ) -> Result<Self, SimError> {
+        validate_config(cfg)?;
+        if partition.n() != graph.n() {
+            return Err(SimError::invalid_config(
+                "shard partition does not cover the graph's vertex set",
+            ));
+        }
+        let n = graph.n();
+        let mut fabric = Fabric {
+            report: SimReport {
+                delay_scale: cfg.delay_scale,
+                received_by_node: vec![0; n],
+                ..Default::default()
+            },
+            shards: (0..partition.k())
+                .map(|_| ShardState {
+                    store: NodeStore::new(n),
+                    transport: Transport::new(cfg.link_delay),
+                })
+                .collect(),
+            ferry: Transport::new(inter_delay),
+            api: SimApi::new(),
+        };
+        // Time 0: every requester issues its operation.
+        protocol.on_start(&mut fabric.api);
+        fabric.drain(graph, partition, 0, cfg.trace)?;
+        Ok(fabric)
+    }
+
+    /// Drain the staging API into the report and the owning shards'
+    /// outboxes (the per-message effect drain of [`crate::scheduler`]).
+    fn drain(
+        &mut self,
+        graph: &Graph,
+        partition: &Partition,
+        round: Round,
+        trace: bool,
+    ) -> Result<(), SimError> {
+        let shards = &mut self.shards;
+        drain_api(graph, &mut self.api, &mut self.report, round, trace, |f, t, m| {
+            shards[partition.shard_of(f)].store.stage(f, t, m)
+        })
+    }
+
+    /// Arrivals phase (serialized on every path: the protocol is one
+    /// value, and admission reads the run-global backlog).
+    fn arrivals<P: Protocol<Msg = M>>(
+        &mut self,
+        graph: &Graph,
+        partition: &Partition,
+        protocol: &mut P,
+        round: Round,
+        trace: bool,
+    ) -> Result<(), SimError> {
+        self.api.set_round(round);
+        protocol.on_round(&mut self.api, round);
+        self.drain(graph, partition, round, trace)
+    }
+
+    /// Ferry maturity: bucket due cross-shard wires by their destination
+    /// shard (sequentially — the ferry is shared).
+    fn ferry_buckets(&mut self, partition: &Partition, round: Round) -> Vec<Vec<Wire<M>>> {
+        let mut buckets: Vec<Vec<Wire<M>>> = (0..partition.k()).map(|_| Vec::new()).collect();
+        self.ferry.drain_due(round, |w| buckets[partition.shard_of(w.dst)].push(w));
+        buckets
+    }
+
+    /// Transmit phase: global ascending node order assigns the run-global
+    /// sequence numbers; cross-shard messages ride the ferry, everything
+    /// else stays on the shard's own transport.
+    fn transmit(&mut self, partition: &Partition, round: Round, cfg: &SimConfig) {
+        for v in 0..partition.n() {
+            let sv = partition.shard_of(v);
+            for _ in 0..cfg.send_budget {
+                let Some((dst, msg)) = self.shards[sv].store.pop_outbox(v) else { break };
+                self.report.messages_sent += 1;
+                if cfg.trace {
+                    self.report.trace.push(TraceEvent {
+                        round,
+                        kind: TraceKind::Transmit,
+                        node: v,
+                        peer: dst,
+                    });
+                }
+                if partition.shard_of(dst) == sv {
+                    self.shards[sv].transport.transmit(
+                        v,
+                        dst,
+                        msg,
+                        round,
+                        self.report.messages_sent,
+                    );
+                } else {
+                    self.report.cross_shard_messages += 1;
+                    self.ferry.transmit(v, dst, msg, round, self.report.messages_sent);
+                }
+            }
+        }
+    }
+
+    /// Whether every queue, wheel and the ferry are empty.
+    fn idle(&self) -> bool {
+        self.ferry.is_idle()
+            && self.shards.iter().all(|s| s.store.is_idle() && s.transport.is_idle())
+    }
 }
 
 /// Deliveries harvested from one shard in one round.
@@ -92,56 +252,32 @@ where
     }
 
     /// Run to quiescence, returning the report and final protocol state.
+    /// Handlers apply in serialized global node order; requesting
+    /// [`SimConfig::parallel_apply`] here is an error (use
+    /// [`ShardedSimulator::run_sliced`], which requires [`NodeSliced`]) —
+    /// a silent serialized fallback would make the flag a lie.
     pub fn run_with_state(self) -> Result<(SimReport, P), SimError> {
         let ShardedSimulator { graph, partition, mut protocol, config: cfg, inter_delay } = self;
-        validate_config(&cfg)?;
-        if partition.n() != graph.n() {
-            return Err(SimError::InvalidConfig {
-                what: "shard partition does not cover the graph's vertex set",
-            });
+        if cfg.parallel_apply {
+            return Err(SimError::invalid_config(
+                "parallel_apply requires a NodeSliced protocol: \
+                 use ShardedSimulator::run_sliced (run/run_with_state cannot honour it)",
+            ));
         }
-        let n = graph.n();
-        let k = partition.k();
-        let mut report = SimReport {
-            delay_scale: cfg.delay_scale,
-            received_by_node: vec![0; n],
-            ..Default::default()
-        };
-        let mut shards: Vec<ShardState<P::Msg>> = (0..k)
-            .map(|_| ShardState {
-                store: NodeStore::new(n),
-                transport: Transport::new(cfg.link_delay),
-            })
-            .collect();
-        let mut ferry: Transport<P::Msg> = Transport::new(inter_delay);
-        let mut api: SimApi<P::Msg> = SimApi::new();
-
-        // Time 0: every requester issues its operation.
-        protocol.on_start(&mut api);
-        drain_api(graph, &mut api, &mut report, 0, cfg.trace, |f, t, m| {
-            shards[partition.shard_of(f)].store.stage(f, t, m)
-        })?;
+        let mut fab: Fabric<P::Msg> =
+            Fabric::setup(graph, &partition, &mut protocol, &cfg, inter_delay)?;
 
         let mut round: Round = 0;
         loop {
             if round > 0 {
-                // Arrivals phase (global: the protocol is one value).
-                api.set_round(round);
-                protocol.on_round(&mut api, round);
-                drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
-                    shards[partition.shard_of(f)].store.stage(f, t, m)
-                })?;
-
-                // Ferry maturity: bucket due cross-shard wires by their
-                // destination shard (sequentially — the ferry is shared).
-                let mut buckets: Vec<Vec<Wire<P::Msg>>> = (0..k).map(|_| Vec::new()).collect();
-                ferry.drain_due(round, |w| buckets[partition.shard_of(w.dst)].push(w));
+                fab.arrivals(graph, &partition, &mut protocol, round, cfg.trace)?;
+                let buckets = fab.ferry_buckets(&partition, round);
 
                 // Shard-parallel phase: each shard matures its local wheel,
                 // merges the ferry bucket in (arrival, sequence) order,
                 // enqueues into in-ports, and harvests up to `recv_budget`
                 // messages per local node.
-                let work: Vec<ShardTask<P::Msg>> = std::mem::take(&mut shards)
+                let work: Vec<ShardTask<P::Msg>> = std::mem::take(&mut fab.shards)
                     .into_iter()
                     .zip(buckets)
                     .enumerate()
@@ -150,15 +286,8 @@ where
                 let done: Vec<ShardOutcome<P::Msg>> = work
                     .into_par_iter()
                     .map(|task| {
-                        let ShardTask { shard, mut state, ferry_due: mut due } = task;
-                        state.transport.drain_due(round, |w| due.push(w));
-                        due.sort_unstable_by_key(|w| (w.arrival, w.seq));
-                        let mut max_inport_depth = 0usize;
-                        for w in due {
-                            let inbound = Inbound { src: w.src, arrival: w.arrival, msg: w.msg };
-                            max_inport_depth =
-                                max_inport_depth.max(state.store.enqueue(w.dst, inbound));
-                        }
+                        let ShardTask { shard, mut state, ferry_due } = task;
+                        let max_inport_depth = state.mature(ferry_due, round);
                         let mut batches = Vec::new();
                         let mut queue_wait = 0u64;
                         for &v in partition.members(shard) {
@@ -179,10 +308,10 @@ where
 
                 let mut all_batches: Vec<(NodeId, Vec<Inbound<P::Msg>>)> = Vec::new();
                 for out in done {
-                    shards.push(out.state);
-                    report.queue_wait_rounds += out.harvest.queue_wait;
-                    report.max_inport_depth =
-                        report.max_inport_depth.max(out.harvest.max_inport_depth);
+                    fab.shards.push(out.state);
+                    fab.report.queue_wait_rounds += out.harvest.queue_wait;
+                    fab.report.max_inport_depth =
+                        fab.report.max_inport_depth.max(out.harvest.max_inport_depth);
                     all_batches.extend(out.harvest.batches);
                 }
                 // Shards hold disjoint nodes; a stable sort by node id
@@ -192,64 +321,209 @@ where
                 // Delivery phase (sequential: protocol state is global).
                 for (v, batch) in all_batches {
                     for inb in batch {
-                        report.received_by_node[v] += 1;
-                        if cfg.trace {
-                            report.trace.push(TraceEvent {
-                                round,
-                                kind: TraceKind::Deliver,
-                                node: v,
-                                peer: inb.src,
-                            });
-                        }
-                        protocol.on_message(&mut api, v, inb.src, inb.msg);
-                        drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
-                            shards[partition.shard_of(f)].store.stage(f, t, m)
-                        })?;
+                        note_delivery(&mut fab.report, round, cfg.trace, v, inb.src);
+                        protocol.on_message(&mut fab.api, v, inb.src, inb.msg);
+                        fab.drain(graph, &partition, round, cfg.trace)?;
                     }
                 }
             }
 
-            // Transmit phase: global ascending node order assigns the
-            // run-global sequence numbers; cross-shard messages ride the
-            // ferry, everything else stays on the shard's own transport.
-            for v in 0..n {
-                let sv = partition.shard_of(v);
-                for _ in 0..cfg.send_budget {
-                    let Some((dst, msg)) = shards[sv].store.pop_outbox(v) else { break };
-                    report.messages_sent += 1;
-                    if cfg.trace {
-                        report.trace.push(TraceEvent {
-                            round,
-                            kind: TraceKind::Transmit,
-                            node: v,
-                            peer: dst,
-                        });
-                    }
-                    if partition.shard_of(dst) == sv {
-                        shards[sv].transport.transmit(v, dst, msg, round, report.messages_sent);
-                    } else {
-                        report.cross_shard_messages += 1;
-                        ferry.transmit(v, dst, msg, round, report.messages_sent);
-                    }
-                }
-            }
+            fab.transmit(&partition, round, &cfg);
 
             // Quiescence / wakeup phase (shared with the single executor).
-            let idle = ferry.is_idle()
-                && shards.iter().all(|s| s.store.is_idle() && s.transport.is_idle());
-            match advance_round(&protocol, idle, round, cfg.max_rounds)? {
+            match advance_round(&protocol, fab.idle(), round, cfg.max_rounds)? {
                 Some(next) => round = next,
                 None => break,
             }
         }
-        report.rounds = round;
-        Ok((report, protocol))
+        fab.report.rounds = round;
+        Ok((fab.report, protocol))
     }
 
     /// Run to quiescence, returning only the report.
     pub fn run(self) -> Result<SimReport, SimError> {
         self.run_with_state().map(|(r, _)| r)
     }
+}
+
+/// One shard's work item for the parallel mature + harvest + **apply**
+/// phase of the sliced executor: its fabric, its due ferry wires, and the
+/// disjoint `&mut` borrows of its member nodes' protocol slices (ascending
+/// node order, parallel to `partition.members(shard)`).
+struct SlicedTask<'s, M, S> {
+    shard: usize,
+    state: ShardState<M>,
+    ferry_due: Vec<Wire<M>>,
+    slices: Vec<&'s mut S>,
+}
+
+/// What the sliced parallel phase hands back per shard: one effect stream
+/// for the whole shard (a single [`SliceApi`] reused across its nodes —
+/// one allocation per shard per round, not per node) plus one
+/// `(node, src, effects-end)` record per delivered message. Members are
+/// processed in ascending node order, so the stream is consumed in order
+/// by the barrier's node-sorted merge.
+struct SlicedOutcome<M> {
+    state: ShardState<M>,
+    api: SliceApi<M>,
+    deliveries: Vec<(NodeId, NodeId, usize)>,
+    queue_wait: u64,
+    max_inport_depth: usize,
+}
+
+impl<'g, P: NodeSliced> ShardedSimulator<'g, P>
+where
+    P::Msg: Send,
+    P::Slice: Send,
+    P::Shared: Sync,
+{
+    /// Run to quiescence with the sliced apply path enabled by
+    /// [`SimConfig::parallel_apply`]: each shard's rayon task matures its
+    /// fabric **and** applies its own nodes' message handlers against
+    /// their disjoint state slices; staged effects replay at the round
+    /// barrier in the serialized executor's global order, so the report is
+    /// byte-identical to [`ShardedSimulator::run_with_state`] (to which
+    /// this method delegates when the flag is off).
+    pub fn run_sliced_with_state(self) -> Result<(SimReport, P), SimError> {
+        if !self.config.parallel_apply {
+            return self.run_with_state();
+        }
+        let ShardedSimulator { graph, partition, mut protocol, config: cfg, inter_delay } = self;
+        let n = graph.n();
+        let k = partition.k();
+        let mut fab: Fabric<P::Msg> =
+            Fabric::setup(graph, &partition, &mut protocol, &cfg, inter_delay)?;
+        // A short slice vector would silently starve the uncovered members
+        // (their in-ports never drain and the run spins to max_rounds), so
+        // reject the contract violation constructively up front.
+        if protocol.split().1.len() != n {
+            return Err(SimError::invalid_config(
+                "NodeSliced::split() must yield exactly one slice per processor",
+            ));
+        }
+
+        let mut round: Round = 0;
+        loop {
+            if round > 0 {
+                fab.arrivals(graph, &partition, &mut protocol, round, cfg.trace)?;
+                let buckets = fab.ferry_buckets(&partition, round);
+
+                // Distribute disjoint `&mut` slice borrows to their
+                // shards. `iter_mut` yields non-overlapping borrows and
+                // both 0..n and `members(shard)` ascend, so bucket `i` of
+                // a shard is exactly `members(shard)[i]`'s slice.
+                let (shared, slices) = protocol.split();
+                let mut slice_buckets: Vec<Vec<&mut P::Slice>> =
+                    (0..k).map(|_| Vec::new()).collect();
+                for (v, slice) in slices.iter_mut().enumerate() {
+                    slice_buckets[partition.shard_of(v)].push(slice);
+                }
+
+                // Shard-parallel phase: mature + merge + enqueue as in the
+                // serialized executor, then APPLY the harvested messages
+                // against the shard's own slices, staging effects.
+                let work: Vec<SlicedTask<P::Msg, P::Slice>> = std::mem::take(&mut fab.shards)
+                    .into_iter()
+                    .zip(buckets)
+                    .zip(slice_buckets)
+                    .enumerate()
+                    .map(|(shard, ((state, ferry_due), slices))| SlicedTask {
+                        shard,
+                        state,
+                        ferry_due,
+                        slices,
+                    })
+                    .collect();
+                let done: Vec<SlicedOutcome<P::Msg>> = work
+                    .into_par_iter()
+                    .map(|task| {
+                        let SlicedTask { shard, mut state, ferry_due, slices } = task;
+                        let max_inport_depth = state.mature(ferry_due, round);
+                        let mut sapi = SliceApi::new(round, 0);
+                        let mut deliveries = Vec::new();
+                        let mut queue_wait = 0u64;
+                        for (&v, slice) in partition.members(shard).iter().zip(slices) {
+                            sapi.set_node(v);
+                            for _ in 0..cfg.recv_budget {
+                                let Some(inb) = state.store.pop_inport(v) else { break };
+                                queue_wait += round - inb.arrival;
+                                P::on_message_sliced(shared, slice, &mut sapi, v, inb.src, inb.msg);
+                                deliveries.push((v, inb.src, sapi.effects.len()));
+                            }
+                        }
+                        SlicedOutcome { state, api: sapi, deliveries, queue_wait, max_inport_depth }
+                    })
+                    .collect();
+
+                // Barrier merge: shards hold disjoint nodes and each shard
+                // recorded its deliveries in ascending node order, so a
+                // stable sort by node id over the per-shard records
+                // recovers the monolith's global delivery order while each
+                // shard's effect stream is consumed strictly in order.
+                let mut streams = Vec::with_capacity(k);
+                let mut merged: Vec<(NodeId, usize, NodeId, usize)> = Vec::new();
+                for out in done {
+                    fab.shards.push(out.state);
+                    fab.report.queue_wait_rounds += out.queue_wait;
+                    fab.report.max_inport_depth =
+                        fab.report.max_inport_depth.max(out.max_inport_depth);
+                    let s = streams.len();
+                    merged.extend(out.deliveries.iter().map(|&(v, src, end)| (v, s, src, end)));
+                    streams.push(out.api.into_effects().into_iter());
+                }
+                merged.sort_by_key(|&(v, _, _, _)| v);
+
+                // Barrier replay: per message, the delivery bookkeeping,
+                // then its effect segment, then the same per-message drain
+                // the serialized path performs — identical event sequence.
+                let mut consumed = vec![0usize; streams.len()];
+                for (v, s, src, end) in merged {
+                    note_delivery(&mut fab.report, round, cfg.trace, v, src);
+                    while consumed[s] < end {
+                        match streams[s].next().expect("delivery records cover every effect") {
+                            SliceEffect::Send { to, msg } => fab.api.send(v, to, msg),
+                            SliceEffect::Complete { node, value } => fab.api.complete(node, value),
+                        }
+                        consumed[s] += 1;
+                    }
+                    fab.drain(graph, &partition, round, cfg.trace)?;
+                }
+            }
+
+            fab.transmit(&partition, round, &cfg);
+
+            // Quiescence / wakeup phase (shared with the single executor).
+            match advance_round(&protocol, fab.idle(), round, cfg.max_rounds)? {
+                Some(next) => round = next,
+                None => break,
+            }
+        }
+        fab.report.rounds = round;
+        Ok((fab.report, protocol))
+    }
+
+    /// Run to quiescence on the sliced apply path, returning only the
+    /// report.
+    pub fn run_sliced(self) -> Result<SimReport, SimError> {
+        self.run_sliced_with_state().map(|(r, _)| r)
+    }
+}
+
+/// Convenience: run the [`NodeSliced`] protocol on `graph` under `config`,
+/// sharded by `partition`, honouring [`SimConfig::parallel_apply`] (ferry
+/// delay = the intra-shard policy).
+pub fn run_protocol_sharded_sliced<P: NodeSliced>(
+    graph: &Graph,
+    partition: Partition,
+    protocol: P,
+    config: SimConfig,
+) -> Result<SimReport, SimError>
+where
+    P::Msg: Send,
+    P::Slice: Send,
+    P::Shared: Sync,
+{
+    ShardedSimulator::new(graph, partition, protocol, config).run_sliced()
 }
 
 /// Convenience: run `protocol` on `graph` under `config`, sharded by
@@ -366,6 +640,162 @@ mod tests {
         // One boundary crossing at 10 rounds instead of 1.
         assert_eq!(slow.rounds, fast.rounds + 9);
         assert_eq!(slow.ops(), fast.ops());
+    }
+
+    /// Sliced token walk: per-node state is a visit counter; shared state
+    /// is the path length.
+    struct SlicedWalk {
+        shared: usize,
+        visits: Vec<u64>,
+    }
+
+    impl SlicedWalk {
+        fn new(n: usize) -> Self {
+            SlicedWalk { shared: n, visits: vec![0; n] }
+        }
+    }
+
+    impl Protocol for SlicedWalk {
+        type Msg = ();
+        fn on_start(&mut self, api: &mut SimApi<()>) {
+            self.visits[0] += 1;
+            api.complete(0, 0);
+            if self.shared > 1 {
+                api.send(0, 1, ());
+            }
+        }
+        fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, from: NodeId, msg: ()) {
+            crate::protocol::dispatch_sliced(self, api, node, from, msg);
+        }
+    }
+
+    impl NodeSliced for SlicedWalk {
+        type Slice = u64;
+        type Shared = usize;
+        fn split(&mut self) -> (&usize, &mut [u64]) {
+            (&self.shared, &mut self.visits)
+        }
+        fn on_message_sliced(
+            shared: &usize,
+            slice: &mut u64,
+            api: &mut SliceApi<()>,
+            node: NodeId,
+            _from: NodeId,
+            _msg: (),
+        ) {
+            *slice += 1;
+            api.complete(node, node as u64);
+            if node + 1 < *shared {
+                api.send(node + 1, ());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_apply_is_byte_identical_and_updates_slices() {
+        let g = topology::path(12);
+        for delay in [LinkDelay::Unit, LinkDelay::Jitter { max: 3, seed: 5 }] {
+            let cfg = SimConfig::strict().with_link_delay(delay).with_trace();
+            let serial =
+                run_protocol_sharded(&g, Partition::striped(12, 3), SlicedWalk::new(12), cfg)
+                    .unwrap();
+            let (sliced, proto) = ShardedSimulator::new(
+                &g,
+                Partition::striped(12, 3),
+                SlicedWalk::new(12),
+                cfg.with_parallel_apply(true),
+            )
+            .run_sliced_with_state()
+            .unwrap();
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&sliced).unwrap(),
+                "parallel apply diverged under {}",
+                delay.name()
+            );
+            assert_eq!(proto.visits, vec![1; 12], "slices must see every delivery");
+        }
+    }
+
+    #[test]
+    fn run_sliced_without_the_flag_delegates_to_the_serialized_path() {
+        let g = topology::path(9);
+        let serial = run_protocol_sharded(
+            &g,
+            Partition::contiguous(9, 2),
+            SlicedWalk::new(9),
+            SimConfig::strict(),
+        )
+        .unwrap();
+        let sliced = run_protocol_sharded_sliced(
+            &g,
+            Partition::contiguous(9, 2),
+            SlicedWalk::new(9),
+            SimConfig::strict(),
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&sliced).unwrap()
+        );
+    }
+
+    #[test]
+    fn short_slice_vector_is_invalid_config_not_a_hang() {
+        /// Violates the NodeSliced contract: fewer slices than processors.
+        struct Short {
+            n: usize,
+            units: Vec<u64>,
+        }
+        impl Protocol for Short {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut SimApi<()>) {
+                api.send(0, 1, ());
+            }
+            fn on_message(&mut self, api: &mut SimApi<()>, node: NodeId, from: NodeId, msg: ()) {
+                crate::protocol::dispatch_sliced(self, api, node, from, msg);
+            }
+        }
+        impl NodeSliced for Short {
+            type Slice = u64;
+            type Shared = usize;
+            fn split(&mut self) -> (&usize, &mut [u64]) {
+                (&self.n, &mut self.units)
+            }
+            fn on_message_sliced(
+                _: &usize,
+                slice: &mut u64,
+                api: &mut SliceApi<()>,
+                node: NodeId,
+                _: NodeId,
+                _: (),
+            ) {
+                *slice += 1;
+                api.complete(node, *slice);
+            }
+        }
+        let g = topology::path(6);
+        let err = run_protocol_sharded_sliced(
+            &g,
+            Partition::contiguous(6, 2),
+            Short { n: 6, units: vec![0; 2] },
+            SimConfig::strict().with_parallel_apply(true),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("one slice per processor"), "{err}");
+    }
+
+    #[test]
+    fn parallel_apply_is_rejected_off_the_sliced_path() {
+        let g = topology::path(6);
+        let cfg = SimConfig::strict().with_parallel_apply(true);
+        // The plain sharded entry point cannot honour the flag…
+        let err =
+            run_protocol_sharded(&g, Partition::contiguous(6, 2), Walk { n: 6 }, cfg).unwrap_err();
+        assert!(err.to_string().contains("NodeSliced"), "{err}");
+        // …and neither can the single-fabric executor.
+        let err = crate::run_protocol(&g, Walk { n: 6 }, cfg).unwrap_err();
+        assert!(err.to_string().contains("parallel_apply"), "{err}");
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //!
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-//!           [--admission <policies>] [--shards <plans>] [--repeats N]
-//!           [--seed S] [--json -|PATH] [--pretty]
+//!           [--admission <policies>] [--shards <plans>] [--parallel-apply]
+//!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
 //!     `--json` (`-` writes JSON to stdout and nothing else). Without
 //!     `--topo` the sweep runs on the default pair mesh2d:8 + torus2d:4.
@@ -34,6 +34,9 @@
 //! Shards:      k[:strategy] with strategy one of contig (default),
 //!              stripe, edgecut — e.g. 4, 4:edgecut. `--shards 1` runs
 //!              the same plan as no flag (byte-identical JSON).
+//! Apply path:  `--parallel-apply` runs protocol handlers shard-parallel
+//!              on their per-node state slices. Pure execution strategy:
+//!              the JSON is byte-identical to the serialized sweep.
 //! ```
 
 use ccq_repro::core::experiments::{self, Scale};
@@ -68,8 +71,8 @@ usage:
   ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-            [--admission <policies>] [--shards <k[:strategy]>] [--repeats N]
-            [--seed S] [--json -|PATH] [--pretty]
+            [--admission <policies>] [--shards <k[:strategy]>] [--parallel-apply]
+            [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 
 examples:
   ccq run --exp t4
@@ -78,6 +81,7 @@ examples:
   ccq sweep --arrival poisson:rate=0.2 --delay jitter:max=3 --json -
   ccq sweep --arrival poisson:rate=0.8 --admission droptail:bound=16 --json -
   ccq sweep --topo torus2d:6 --shards 4:edgecut --json -
+  ccq sweep --topo torus2d:6 --shards 4 --parallel-apply --json -
 ";
 
 fn cmd_list() -> i32 {
@@ -112,6 +116,10 @@ fn cmd_list() -> i32 {
          delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N]"
     );
     println!("shards (ccq sweep --shards): k[:strategy], strategy = contig | stripe | edgecut");
+    println!(
+        "apply path (ccq sweep --parallel-apply): shard-parallel handler application \
+         on per-node state slices; JSON byte-identical to the serialized path"
+    );
     0
 }
 
@@ -177,6 +185,7 @@ struct SweepArgs {
     delays: Vec<LinkDelay>,
     admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
+    parallel_apply: bool,
     repeats: usize,
     seed: u64,
     json: Option<String>,
@@ -195,6 +204,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
         .delays(parsed.delays)
         .admissions(parsed.admissions)
         .shards(parsed.shards)
+        .parallel_apply(parsed.parallel_apply)
         .repeats(parsed.repeats)
         .seed(parsed.seed);
     for p in &parsed.protos {
@@ -244,6 +254,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         delays: Vec::new(),
         admissions: Vec::new(),
         shards: Vec::new(),
+        parallel_apply: false,
         repeats: 1,
         seed: 0,
         json: None,
@@ -304,6 +315,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                     out.shards.push(parse_shards(tok)?);
                 }
             }
+            "--parallel-apply" => out.parallel_apply = true,
             "--repeats" => {
                 out.repeats = value("--repeats")?
                     .parse()

@@ -303,6 +303,60 @@ fn shards_accepts_strategies_and_lists() {
 }
 
 #[test]
+fn parallel_apply_is_byte_identical_to_the_serialized_sweep() {
+    // The PR-5 acceptance criterion: `--shards 4 --parallel-apply` JSON
+    // must equal the same sweep without the flag, byte for byte — the
+    // sliced apply path is an execution strategy, not a new measurement.
+    let base = ccq(&["sweep", "--shards", "4", "--json", "-"]);
+    let sliced = ccq(&["sweep", "--shards", "4", "--parallel-apply", "--json", "-"]);
+    assert!(base.status.success() && sliced.status.success());
+    assert_eq!(base.stdout, sliced.stdout, "--parallel-apply changed the JSON bytes");
+    // And every one of the 9 × 2 default cases verified on the sliced path.
+    let doc = json_stdout(&sliced);
+    assert_eq!(cases(&doc).len(), 18);
+    assert_all_ok(&doc);
+}
+
+#[test]
+fn parallel_apply_composes_with_shards_arrivals_and_admission() {
+    let flags = |parallel: bool| {
+        let mut f = vec![
+            "sweep",
+            "--topo",
+            "mesh2d:5",
+            "--arrival",
+            "poisson:rate=0.7",
+            "--admission",
+            "droptail:bound=8",
+            "--shards",
+            "3:edgecut",
+            "--json",
+            "-",
+        ];
+        if parallel {
+            f.insert(1, "--parallel-apply");
+        }
+        f
+    };
+    let serial = ccq(&flags(false));
+    let sliced = ccq(&flags(true));
+    assert!(serial.status.success() && sliced.status.success());
+    assert_eq!(
+        serial.stdout, sliced.stdout,
+        "--parallel-apply diverged under open arrivals + backpressure + sharding"
+    );
+    assert_all_ok(&json_stdout(&sliced));
+}
+
+#[test]
+fn usage_and_list_document_parallel_apply() {
+    let help = ccq(&[]);
+    assert!(String::from_utf8_lossy(&help.stdout).contains("--parallel-apply"));
+    let list = ccq(&["list"]);
+    assert!(String::from_utf8_lossy(&list.stdout).contains("--parallel-apply"));
+}
+
+#[test]
 fn backpressure_composes_with_shards() {
     // The tentpole's sharding criterion: admission is evaluated against
     // the global backlog, so a sharded backpressured sweep reproduces the

@@ -10,13 +10,19 @@
 //!   torus2d, K-shard runs complete the same operations in the same order
 //!   with the same delays as the single-shard run (the default ferry
 //!   inherits the intra-shard delay policy, so only the cross-shard
-//!   traffic counter may differ).
+//!   traffic counter may differ);
+//! * **parallel-apply equivalence** — every registry protocol implements
+//!   `NodeSliced`, and a property test sweeps sliced protocols × delay
+//!   policies × open arrivals × shard plans asserting the parallel apply
+//!   path is byte-identical to the serialized one.
 
+use ccq_repro::core::protocol::run_arrival_aware;
 use ccq_repro::graph::{spanning, topology, NodeId, Partition};
 use ccq_repro::prelude::*;
 use ccq_repro::queuing::ArrowProtocol;
 use ccq_repro::sim::{
-    run_protocol, run_protocol_sharded, LinkDelay, SimConfig, SimReport, Simulator,
+    run_protocol, run_protocol_sharded, run_protocol_sharded_sliced, LinkDelay, OnlineProtocol,
+    Protocol, SimApi, SimConfig, SimError, SimReport, Simulator,
 };
 use proptest::prelude::*;
 
@@ -83,19 +89,196 @@ proptest! {
         let g = topology::random_connected(n, 0.15, seed);
         let tree = spanning::bfs_tree(&g, seed as usize % n);
         let requests: Vec<NodeId> = (0..n).collect();
-        let delay = match delay_kind {
-            0 => LinkDelay::Unit,
-            1 => LinkDelay::Fixed { delay: 2 },
-            2 => LinkDelay::PerLink { max: 3, seed },
-            _ => LinkDelay::Jitter { max: 3, seed },
-        };
-        let cfg = SimConfig::strict().with_link_delay(delay);
+        let cfg = SimConfig::strict().with_link_delay(delay_for(delay_kind, seed));
         let single = run_protocol(&g, ArrowProtocol::new(&tree, 0, &requests), cfg).unwrap();
         let part = partition_for(&g, k, strategy);
         let sharded =
             run_protocol_sharded(&g, part, ArrowProtocol::new(&tree, 0, &requests), cfg).unwrap();
         prop_assert_eq!(fingerprint(&single), fingerprint(&sharded));
     }
+}
+
+fn delay_for(kind: u8, seed: u64) -> LinkDelay {
+    match kind % 4 {
+        0 => LinkDelay::Unit,
+        1 => LinkDelay::Fixed { delay: 2 },
+        2 => LinkDelay::PerLink { max: 3, seed },
+        _ => LinkDelay::Jitter { max: 3, seed },
+    }
+}
+
+fn strategy_for(kind: u8) -> ShardStrategy {
+    match kind % 3 {
+        0 => ShardStrategy::Contiguous,
+        1 => ShardStrategy::Striped,
+        _ => ShardStrategy::EdgeCut,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole guarantee: for every sliced registry protocol, under
+    /// every delay policy, open arrival process and shard plan, the
+    /// parallel apply path produces a byte-identical report (including the
+    /// cross-shard counter — the shard plan is the same on both sides) and
+    /// the same verified order as the serialized apply path.
+    #[test]
+    fn parallel_apply_runs_are_byte_identical_to_serialized(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..4,
+        arrival_kind in 0u8..3,
+        k in 1usize..5,
+        strategy in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let arrival = match arrival_kind {
+            0 => ArrivalSpec::OneShot,
+            1 => ArrivalSpec::Poisson { rate: 0.4, seed },
+            _ => ArrivalSpec::Bursty { rate: 0.8, on: 4, off: 7, seed },
+        };
+        let shards = ShardSpec::new(k, strategy_for(strategy));
+        let topo = TopoSpec::Torus2D { side: 3 };
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let build = |parallel: bool| {
+            Scenario::build_with(topo.clone(), RequestPattern::All, arrival.clone())
+                .with_shards(shards)
+                .with_parallel_apply(parallel)
+        };
+        let serial = run_spec_with(spec, &build(false), mode, delay).unwrap();
+        let sliced = run_spec_with(spec, &build(true), mode, delay).unwrap();
+        prop_assert_eq!(sliced.order, serial.order, "{} order diverged", spec.name());
+        prop_assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&sliced.report).unwrap(),
+            "{} report diverged", spec.name()
+        );
+    }
+}
+
+/// Deterministic matrix: every registry protocol × mesh2d/torus2d × shard
+/// counts (including the k = 1 degenerate plan) on the parallel apply path
+/// equals the *unsharded serialized monolith* — the full equivalence chain
+/// monolith ≡ sharded ≡ sharded-parallel-apply.
+#[test]
+fn parallel_apply_matches_the_monolith_for_every_registry_protocol() {
+    for topo in [TopoSpec::Mesh2D { side: 4 }, TopoSpec::Torus2D { side: 4 }] {
+        let baseline = Scenario::build(topo.clone(), RequestPattern::All);
+        for spec in registry() {
+            let mode = match spec.kind() {
+                ProtocolKind::Queuing => ModelMode::Expanded,
+                ProtocolKind::Counting => ModelMode::Strict,
+            };
+            let single = run_spec(*spec, &baseline, mode).unwrap();
+            for k in [1, 3] {
+                let scenario = Scenario::build(topo.clone(), RequestPattern::All)
+                    .with_shards(ShardSpec::new(k, ShardStrategy::EdgeCut))
+                    .with_parallel_apply(true);
+                let sliced = run_spec(*spec, &scenario, mode).unwrap();
+                assert_eq!(
+                    sliced.order,
+                    single.order,
+                    "{} on {} k={k}: order diverged",
+                    spec.name(),
+                    topo.name()
+                );
+                assert_eq!(
+                    fingerprint(&sliced.report),
+                    fingerprint(&single.report),
+                    "{} on {} k={k}: parallel apply diverged from the monolith",
+                    spec.name(),
+                    topo.name()
+                );
+            }
+        }
+    }
+}
+
+/// Admission control composes with the parallel apply path: backpressure
+/// decisions are made in the serialized arrivals phase against the global
+/// backlog, so a shedding run is byte-identical on either apply path.
+#[test]
+fn parallel_apply_composes_with_admission_control() {
+    let arrival = ArrivalSpec::Poisson { rate: 0.9, seed: 3 };
+    let build = |parallel: bool| {
+        Scenario::build_with(TopoSpec::Mesh2D { side: 4 }, RequestPattern::All, arrival.clone())
+            .with_admission(AdmissionSpec::DropTail { bound: 4 })
+            .with_shards(ShardSpec::new(4, ShardStrategy::EdgeCut))
+            .with_parallel_apply(parallel)
+    };
+    for spec in registry() {
+        let serial = run_spec(*spec, &build(false), ModelMode::Strict).unwrap();
+        let sliced = run_spec(*spec, &build(true), ModelMode::Strict).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&sliced.report).unwrap(),
+            "{} diverged under admission control",
+            spec.name()
+        );
+        assert_eq!(serial.report.dropped.len(), sliced.report.dropped.len());
+    }
+}
+
+/// A protocol without a `NodeSliced` implementation must be rejected with
+/// an `InvalidConfig` that names it — never silently fall back to the
+/// serialized path (the bugfix satellite).
+#[test]
+fn parallel_apply_on_an_unsliced_protocol_is_a_named_error() {
+    /// Deliberately unsliced: a do-nothing online protocol.
+    struct Opaque;
+    impl Protocol for Opaque {
+        type Msg = ();
+        fn on_start(&mut self, api: &mut SimApi<()>) {
+            api.complete(0, 1);
+        }
+        fn on_message(&mut self, _: &mut SimApi<()>, _: NodeId, _: NodeId, _: ()) {}
+    }
+    impl OnlineProtocol for Opaque {
+        fn issue(&mut self, api: &mut SimApi<()>, node: NodeId) {
+            api.complete(node, 1 + node as u64);
+        }
+    }
+    let scenario = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All)
+        .with_parallel_apply(true);
+    let err =
+        run_arrival_aware(&scenario, "opaque-proto", SimConfig::strict(), |_| Opaque).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+    let msg = err.to_string();
+    assert!(msg.contains("opaque-proto"), "error must name the protocol: {msg}");
+    assert!(msg.contains("NodeSliced"), "error must explain the trait: {msg}");
+    // Without the flag the same protocol runs fine.
+    let ok = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
+    run_arrival_aware(&ok, "opaque-proto", SimConfig::strict(), |_| Opaque).unwrap();
+}
+
+/// The raw sliced entry point without the config flag simply delegates to
+/// the serialized path — `run_sliced` is never a behaviour fork.
+#[test]
+fn run_sliced_without_flag_equals_run() {
+    let g = topology::path(10);
+    let tree = spanning::bfs_tree(&g, 0);
+    let requests: Vec<NodeId> = (0..10).collect();
+    let cfg = SimConfig::strict();
+    let a = run_protocol_sharded(
+        &g,
+        Partition::striped(10, 3),
+        ArrowProtocol::new(&tree, 0, &requests),
+        cfg,
+    )
+    .unwrap();
+    let b = run_protocol_sharded_sliced(
+        &g,
+        Partition::striped(10, 3),
+        ArrowProtocol::new(&tree, 0, &requests),
+        cfg,
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
 }
 
 /// Every registry protocol, on mesh2d and torus2d, across shard counts and
