@@ -55,7 +55,9 @@ pub mod prelude {
         AdmissionSpec, ArrivalSpec, RequestPattern, Scenario, ShardSpec, ShardStrategy, TopoSpec,
     };
     pub use crate::table::Table;
-    pub use ccq_sim::{AdmissionPolicy, LinkDelay};
+    pub use ccq_sim::{
+        fnv1a, AdmissionPolicy, Checkpoint, LinkDelay, NodeDigest, Phase, PhaseTimings, ProbeSpec,
+    };
 }
 
 pub use prelude::*;

@@ -30,7 +30,7 @@ use crate::run::ModelMode;
 use crate::scenario::{AdmissionSpec, ArrivalSpec, RequestPattern, Scenario, ShardSpec, TopoSpec};
 use crate::table::fmt_util::{f2, int, tick};
 use crate::table::Table;
-use ccq_sim::LinkDelay;
+use ccq_sim::{Checkpoint, LinkDelay, NodeDigest, PhaseTimings, ProbeSpec};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -55,6 +55,7 @@ pub struct RunPlan {
     admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
+    probe: ProbeSpec,
     repeats: usize,
     seed: u64,
 }
@@ -81,6 +82,7 @@ impl RunPlan {
             admissions: vec![AdmissionSpec::Open],
             shards: vec![ShardSpec::single()],
             parallel_apply: false,
+            probe: ProbeSpec::OFF,
             repeats: 1,
             seed: 0,
         }
@@ -208,6 +210,53 @@ impl RunPlan {
         self
     }
 
+    /// Hash engine state every `every` rounds on every case (see
+    /// [`Scenario::with_checkpoint_every`]). Like [`RunPlan::
+    /// parallel_apply`], the probe knobs are not sweep dimensions and are
+    /// deliberately absent from [`PlanInfo`]: probe data rides in the
+    /// dedicated optional per-case fields ([`CaseResult::checkpoints`]
+    /// and friends), and every other output byte is identical to an
+    /// unprobed sweep — which is what lets the replay tooling compare a
+    /// probed re-execution against an unprobed original.
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let set = RunPlan::new()
+    ///     .topologies([TopoSpec::List { n: 6 }])
+    ///     .protocol(&ccq_core::protocol::Arrow)
+    ///     .checkpoint_every(1)
+    ///     .execute();
+    /// assert!(!set.cases[0].checkpoints.as_ref().unwrap().is_empty());
+    /// ```
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.probe = self.probe.with_checkpoint_every(every);
+        self
+    }
+
+    /// Also record per-node digests at every observed barrier (the data
+    /// the divergence bisector uses to localize a mismatch to a node).
+    pub fn node_hashes(mut self, on: bool) -> Self {
+        self.probe = self.probe.with_node_hashes(on);
+        self
+    }
+
+    /// Plant a deterministic perturbation on every case: `node` skips its
+    /// transmit phase at `round` (its staged sends wait one extra round).
+    /// The run stays correct — only its timing shifts — which makes this
+    /// the controlled divergence source for bisection tests.
+    pub fn perturb(mut self, round: u64, node: usize) -> Self {
+        self.probe = self.probe.with_perturbation(round, node);
+        self
+    }
+
+    /// Measure per-phase wall-clock on every case
+    /// ([`CaseResult::phase_timing`]).
+    pub fn timing(mut self, on: bool) -> Self {
+        self.probe = self.probe.with_timing(on);
+        self
+    }
+
     /// Repeat every (topology, pattern) cell this many times; random
     /// patterns are deterministically re-seeded per repeat.
     pub fn repeats(mut self, repeats: usize) -> Self {
@@ -276,6 +325,7 @@ impl RunPlan {
                                     admission: *admission,
                                     shards: *shards,
                                     parallel_apply: self.parallel_apply,
+                                    probe: self.probe,
                                     repeat,
                                     runs,
                                 });
@@ -355,6 +405,7 @@ struct WorkGroup {
     admission: AdmissionSpec,
     shards: ShardSpec,
     parallel_apply: bool,
+    probe: ProbeSpec,
     repeat: usize,
     runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
 }
@@ -364,7 +415,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
         Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone())
             .with_admission(group.admission)
             .with_shards(group.shards)
-            .with_parallel_apply(group.parallel_apply);
+            .with_parallel_apply(group.parallel_apply)
+            .with_probe(group.probe);
     let mut results = Vec::with_capacity(group.runs.len());
     for (index, spec, mode, delay) in &group.runs {
         let base = CaseResult {
@@ -397,6 +449,9 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             delayed_admissions: 0,
             cross_shard_messages: 0,
             metrics: None,
+            phase_timing: None,
+            checkpoints: None,
+            node_digests: None,
         };
         let result = match run_spec_with(spec.as_ref(), &scenario, *mode, *delay) {
             Ok(out) => {
@@ -418,6 +473,11 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
                     delayed_admissions: m.delayed_admissions,
                     cross_shard_messages: m.cross_shard_messages,
                     metrics: Some(m),
+                    phase_timing: out.report.phase_timing,
+                    checkpoints: (!out.report.checkpoints.is_empty())
+                        .then(|| out.report.checkpoints.clone()),
+                    node_digests: (!out.report.node_digests.is_empty())
+                        .then(|| out.report.node_digests.clone()),
                     ..base
                 }
             }
@@ -571,6 +631,14 @@ pub struct CaseResult {
     pub cross_shard_messages: u64,
     /// Full flattened metrics when the run succeeded.
     pub metrics: Option<DelayReport>,
+    /// Per-phase wall-clock, when the plan requested [`RunPlan::timing`].
+    pub phase_timing: Option<PhaseTimings>,
+    /// Per-round phase-barrier digests, when the plan requested
+    /// [`RunPlan::checkpoint_every`].
+    pub checkpoints: Option<Vec<Checkpoint>>,
+    /// Per-node digests at observed barriers, when the plan requested
+    /// [`RunPlan::node_hashes`].
+    pub node_digests: Option<Vec<NodeDigest>>,
 }
 
 /// The plan echoed back in serializable form.

@@ -67,6 +67,9 @@ where
              parallel apply; drop --parallel-apply or pick a sliced protocol"
         )));
     }
+    // Scenario-level probe knobs merge over whatever the caller set on the
+    // config (mirroring the parallel_apply threading below).
+    let cfg = cfg.with_probe(cfg.probe.merged(scenario.probe));
     match scenario.open_schedule() {
         None => dispatch(scenario, cfg, build(false)),
         Some(schedule) => {
@@ -97,7 +100,10 @@ where
 {
     // The scenario's flag routes the run onto the sliced path; a flag a
     // caller already set on the config is honoured too, never clobbered.
-    let cfg = cfg.with_parallel_apply(cfg.parallel_apply || scenario.parallel_apply);
+    // Probe knobs merge the same way.
+    let cfg = cfg
+        .with_parallel_apply(cfg.parallel_apply || scenario.parallel_apply)
+        .with_probe(cfg.probe.merged(scenario.probe));
     match scenario.open_schedule() {
         None => dispatch_sliced(scenario, cfg, build(false)),
         Some(schedule) => {

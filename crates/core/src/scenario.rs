@@ -2,7 +2,7 @@
 //! + admission policy + shard plan.
 
 use ccq_graph::{spanning, topology, Graph, NodeId, Partition, Tree};
-use ccq_sim::{AdmissionPolicy, ArrivalProcess, LinkDelay, Round};
+use ccq_sim::{AdmissionPolicy, ArrivalProcess, LinkDelay, ProbeSpec, Round};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -471,7 +471,17 @@ pub struct Scenario {
     /// `InvalidConfig`). An execution strategy, not a model knob —
     /// results are byte-identical to the serialized apply path.
     pub parallel_apply: bool,
+    /// Execution probe: checkpoint hashing, snapshots, perturbation and
+    /// phase timing ([`ProbeSpec::OFF`] by default — no probe work at
+    /// all, and probe data never reaches the serialized [`ccq_sim::
+    /// SimReport`], so probed runs stay byte-identical to unprobed ones).
+    pub probe: ProbeSpec,
 }
+
+/// Checkpoint interval installed by [`Scenario::with_recording`]: frequent
+/// enough to localize divergence usefully, sparse enough to stay cheap on
+/// long open-system runs.
+pub const DEFAULT_RECORD_EVERY: Round = 64;
 
 impl Scenario {
     /// Build a scenario with the paper-preferred trees, the tail at the
@@ -500,6 +510,7 @@ impl Scenario {
             admission: AdmissionSpec::Open,
             shards: ShardSpec::single(),
             parallel_apply: false,
+            probe: ProbeSpec::OFF,
         }
     }
 
@@ -530,6 +541,56 @@ impl Scenario {
     /// Builder-style: gate arrivals through an admission policy.
     pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Builder-style: install an explicit execution probe.
+    pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Builder-style: record execution checkpoints at the default interval
+    /// ([`DEFAULT_RECORD_EVERY`] rounds); `false` leaves the probe as-is.
+    pub fn with_recording(self, on: bool) -> Self {
+        if on {
+            self.with_checkpoint_every(DEFAULT_RECORD_EVERY)
+        } else {
+            self
+        }
+    }
+
+    /// Builder-style: hash engine state every `every` rounds (clamped to
+    /// ≥ 1), at all four phase barriers of each observed round.
+    pub fn with_checkpoint_every(mut self, every: Round) -> Self {
+        self.probe = self.probe.with_checkpoint_every(every);
+        self
+    }
+
+    /// Builder-style: capture a full canonical state snapshot at the
+    /// transmit barrier of `round`.
+    pub fn with_snapshot_at(mut self, round: Round) -> Self {
+        self.probe = self.probe.with_snapshot_at(round);
+        self
+    }
+
+    /// Builder-style: also record per-node digests at observed barriers
+    /// (what lets the bisector localize a divergence to a node).
+    pub fn with_node_hashes(mut self, on: bool) -> Self {
+        self.probe = self.probe.with_node_hashes(on);
+        self
+    }
+
+    /// Builder-style: plant a deterministic perturbation — `node` skips
+    /// its transmit phase at `round`, holding its staged sends one round.
+    pub fn with_perturbation(mut self, round: Round, node: NodeId) -> Self {
+        self.probe = self.probe.with_perturbation(round, node);
+        self
+    }
+
+    /// Builder-style: measure per-phase wall-clock while running.
+    pub fn with_timing(mut self, on: bool) -> Self {
+        self.probe = self.probe.with_timing(on);
         self
     }
 

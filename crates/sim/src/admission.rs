@@ -139,6 +139,13 @@ impl AdmissionController {
         self.policy
     }
 
+    /// The current adaptive pacing interval (1 for the stateless policies)
+    /// — exposed so the probe layer can include controller state in
+    /// execution hashes.
+    pub fn interval(&self) -> Round {
+        self.interval
+    }
+
     /// Decide the fate of an arrival at round `now` that was first due at
     /// `first_due`, given the live backlog (issued − completed).
     pub fn decide(&mut self, now: Round, first_due: Round, backlog: usize) -> Admission {

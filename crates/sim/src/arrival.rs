@@ -330,6 +330,20 @@ impl<P: OnlineProtocol> Protocol for Paced<P> {
         let retry = self.retries.first().map(|&(r, _, _)| r);
         [scheduled, retry, self.inner.next_wakeup()].into_iter().flatten().min()
     }
+
+    fn state_token(&self) -> String {
+        // Everything that determines future pacing behaviour but is not
+        // visible in queues/wires/counters: the schedule cursor, pending
+        // retries and the AIMD interval — plus whatever the wrapped
+        // protocol reports.
+        format!(
+            "paced(next={},retries={:?},interval={}){}",
+            self.next,
+            self.retries,
+            self.admission.interval(),
+            self.inner.state_token()
+        )
+    }
 }
 
 /// Pacing is transparent to slicing: arrivals are injected in the

@@ -49,6 +49,7 @@
 pub mod admission;
 pub mod arrival;
 pub mod engine;
+pub mod probe;
 pub mod protocol;
 pub mod report;
 pub mod scheduler;
@@ -60,6 +61,7 @@ pub mod transport;
 pub use admission::{Admission, AdmissionController, AdmissionPolicy};
 pub use arrival::{ArrivalProcess, OnlineProtocol, Paced};
 pub use engine::{SimError, Simulator};
+pub use probe::{fnv1a, Checkpoint, NodeDigest, Phase, PhaseTimings, ProbeSpec};
 pub use protocol::{dispatch_sliced, with_slice, NodeSliced, Protocol, SimApi, SliceApi};
 pub use report::{Completion, Dropped, Issue, LinkDelay, SimConfig, SimReport};
 pub use shard::{run_protocol_sharded, run_protocol_sharded_sliced, ShardedSimulator};

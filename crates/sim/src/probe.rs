@@ -1,0 +1,566 @@
+//! Execution probing: per-phase state hashes, checkpoints, snapshots,
+//! per-phase wall-clock timing and the transmit perturbation knob.
+//!
+//! The record/replay layer (`ccq-replay` and the `ccq record/replay/bisect`
+//! subcommands) is built on one primitive: a **canonical rendering** of the
+//! complete engine state — every in-port, every outbox, every in-flight
+//! wire, the report's deterministic counters and the protocol's scheduling
+//! token — digested with FNV-1a 64. The rendering is *executor-independent*
+//! by construction:
+//!
+//! * per-node sections are emitted only when non-empty, so a monolithic
+//!   `NodeStore` and `k` sharded stores (each owning a slice of the nodes,
+//!   empty elsewhere) render the same bytes;
+//! * in-flight wires are collected from **all** transports (per-shard
+//!   wheels plus the inter-shard ferry) and sorted by `(arrival, seq)` —
+//!   the same order [`crate::transport::Transport::drain_due`] matures
+//!   them in, so where a wire is parked is invisible;
+//! * the per-link FIFO clamp's `link_last` map is *excluded*: it is a
+//!   `HashMap` (nondeterministic iteration) and is derived state — its
+//!   effect is already visible in the scheduled arrival rounds.
+//!
+//! Hashes are taken at the **four phase barriers** of one scheduler round
+//! (after arrivals, after maturation, after delivery, after transmission) —
+//! the only points at which all executors are defined to agree. Between
+//! barriers the sliced-apply path is free to reorder work; at a barrier the
+//! replay guarantee of [`crate::shard`] makes the state a pure function of
+//! the transmission history, which is what lets `ccq bisect` run two
+//! executor configurations in hash-lockstep and name the exact first
+//! divergent `(round, phase, node)`.
+
+use crate::report::SimReport;
+use crate::state::NodeStore;
+use crate::transport::Transport;
+use crate::Round;
+use ccq_graph::NodeId;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// FNV-1a 64 offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte string — the probe layer's digest. Stable across
+/// runs, platforms and thread counts.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The four observable phases of one scheduler round, in execution order.
+/// Hashes are taken *after* each phase completes — at the phase barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Phase {
+    /// Open-system arrivals admitted / deferred / shed for this round.
+    Arrivals,
+    /// In-flight wires due this round moved to destination in-ports.
+    Mature,
+    /// In-port messages handed to protocol handlers (budget-limited).
+    Deliver,
+    /// Outbox messages placed on the wire (budget-limited).
+    Transmit,
+}
+
+impl Phase {
+    /// Lower-case label, used by `ccq bisect` output and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Arrivals => "arrivals",
+            Phase::Mature => "mature",
+            Phase::Deliver => "deliver",
+            Phase::Transmit => "transmit",
+        }
+    }
+}
+
+/// Per-round digest record: one FNV-1a 64 of the canonical engine state at
+/// each of the four phase barriers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Checkpoint {
+    /// Round these digests were taken in.
+    pub round: Round,
+    /// Digest after the arrivals phase.
+    pub arrivals: u64,
+    /// Digest after the maturation phase.
+    pub mature: u64,
+    /// Digest after the delivery phase.
+    pub deliver: u64,
+    /// Digest after the transmission phase.
+    pub transmit: u64,
+}
+
+impl Checkpoint {
+    /// The digest taken at `phase`.
+    pub fn digest(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Arrivals => self.arrivals,
+            Phase::Mature => self.mature,
+            Phase::Deliver => self.deliver,
+            Phase::Transmit => self.transmit,
+        }
+    }
+}
+
+/// Digest of one node's canonical section (in-port + outbox) at one phase
+/// barrier — recorded only for nodes with non-empty queues, only when
+/// [`ProbeSpec::node_hashes`] is set. The bisector uses these to localize
+/// a checkpoint divergence to the first differing node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct NodeDigest {
+    /// Round the digest was taken in.
+    pub round: Round,
+    /// Phase barrier it was taken at.
+    pub phase: Phase,
+    /// The node whose section was digested.
+    pub node: NodeId,
+    /// FNV-1a 64 of the node's canonical section.
+    pub digest: u64,
+}
+
+/// Cumulative wall-clock spent in each scheduler phase, in microseconds.
+/// `apply_micros` is filled by the sliced-apply executor (the parallel
+/// handler-application stage); on the serialized paths handler time is
+/// counted under `deliver_micros` and `apply_micros` stays 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct PhaseTimings {
+    /// Total microseconds in the arrivals phase.
+    pub arrivals_micros: u64,
+    /// Total microseconds maturing wires into in-ports.
+    pub mature_micros: u64,
+    /// Total microseconds in the delivery phase (includes handler time on
+    /// serialized paths).
+    pub deliver_micros: u64,
+    /// Total microseconds applying handler slices (sliced path only).
+    pub apply_micros: u64,
+    /// Total microseconds in the transmission phase.
+    pub transmit_micros: u64,
+    /// Largest single-round total, the per-round high-water mark.
+    pub max_round_micros: u64,
+}
+
+/// Probe configuration, embedded in [`crate::SimConfig`]. The default is
+/// fully off: no hashing, no snapshot, no timing, no perturbation — and
+/// the engine does no probe work at all in that state.
+///
+/// `Round::MAX` is the "off" sentinel for the round-valued knobs, keeping
+/// the spec `Copy + Eq` under the vendored serde's derive constraints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// Take a [`Checkpoint`] every this many rounds (round 0 included);
+    /// `Round::MAX` disables checkpointing.
+    pub checkpoint_every: Round,
+    /// Capture a full canonical state dump + digest at the transmit
+    /// barrier of this round; `Round::MAX` disables the snapshot.
+    pub snapshot_at: Round,
+    /// Also record per-node [`NodeDigest`]s at every checkpointed barrier.
+    pub node_hashes: bool,
+    /// Skip the transmit phase of [`ProbeSpec::perturb_node`] at this
+    /// round (its staged sends wait one extra round) — the deliberate
+    /// single-node fault the bisector smoke tests plant; `Round::MAX`
+    /// disables the perturbation.
+    pub perturb_round: Round,
+    /// Node whose transmit phase is skipped at the perturbation round.
+    pub perturb_node: NodeId,
+    /// Record cumulative per-phase wall-clock in the report.
+    pub timing: bool,
+}
+
+/// The fully-off probe (also the `Default`).
+impl ProbeSpec {
+    /// No probing at all.
+    pub const OFF: ProbeSpec = ProbeSpec {
+        checkpoint_every: Round::MAX,
+        snapshot_at: Round::MAX,
+        node_hashes: false,
+        perturb_round: Round::MAX,
+        perturb_node: 0,
+        timing: false,
+    };
+
+    /// Whether this spec is exactly [`ProbeSpec::OFF`].
+    pub fn is_off(&self) -> bool {
+        *self == ProbeSpec::OFF
+    }
+
+    /// Builder-style: checkpoint every `every` rounds (`every` is clamped
+    /// to ≥ 1; pass `Round::MAX` to disable).
+    pub fn with_checkpoint_every(mut self, every: Round) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Builder-style: capture the canonical snapshot at `round`.
+    pub fn with_snapshot_at(mut self, round: Round) -> Self {
+        self.snapshot_at = round;
+        self
+    }
+
+    /// Builder-style: toggle per-node digests.
+    pub fn with_node_hashes(mut self, on: bool) -> Self {
+        self.node_hashes = on;
+        self
+    }
+
+    /// Builder-style: plant the single-node transmit perturbation.
+    pub fn with_perturbation(mut self, round: Round, node: NodeId) -> Self {
+        self.perturb_round = round;
+        self.perturb_node = node;
+        self
+    }
+
+    /// Builder-style: toggle per-phase timing.
+    pub fn with_timing(mut self, on: bool) -> Self {
+        self.timing = on;
+        self
+    }
+
+    /// Whether a checkpoint is due at `round`.
+    pub fn wants_checkpoint(&self, round: Round) -> bool {
+        self.checkpoint_every != Round::MAX && round.is_multiple_of(self.checkpoint_every.max(1))
+    }
+
+    /// Whether the snapshot is due at `round`.
+    pub fn wants_snapshot(&self, round: Round) -> bool {
+        self.snapshot_at != Round::MAX && round == self.snapshot_at
+    }
+
+    /// Whether any state rendering happens at `round` — the cheap gate the
+    /// executors check before paying for canonicalization.
+    pub fn observes(&self, round: Round) -> bool {
+        self.wants_checkpoint(round) || self.wants_snapshot(round)
+    }
+
+    /// Whether the transmit phase of `node` is perturbed away at `round`.
+    pub fn skips_transmit(&self, round: Round, node: NodeId) -> bool {
+        round == self.perturb_round && node == self.perturb_node
+    }
+
+    /// Field-wise merge: every knob of `self` that is still at its default
+    /// is taken from `other` (used to combine a scenario-level probe with
+    /// one a caller already set on the `SimConfig`, never clobbering).
+    pub fn merged(self, other: ProbeSpec) -> ProbeSpec {
+        ProbeSpec {
+            checkpoint_every: if self.checkpoint_every != Round::MAX {
+                self.checkpoint_every
+            } else {
+                other.checkpoint_every
+            },
+            snapshot_at: if self.snapshot_at != Round::MAX {
+                self.snapshot_at
+            } else {
+                other.snapshot_at
+            },
+            node_hashes: self.node_hashes || other.node_hashes,
+            perturb_round: if self.perturb_round != Round::MAX {
+                self.perturb_round
+            } else {
+                other.perturb_round
+            },
+            perturb_node: if self.perturb_round != Round::MAX {
+                self.perturb_node
+            } else {
+                other.perturb_node
+            },
+            timing: self.timing || other.timing,
+        }
+    }
+}
+
+impl Default for ProbeSpec {
+    fn default() -> Self {
+        ProbeSpec::OFF
+    }
+}
+
+/// Wall-clock lap timer for the per-phase timings; a disabled stopwatch
+/// never touches the clock, so timing costs nothing when off.
+pub(crate) struct Stopwatch {
+    enabled: bool,
+    last: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch; laps return 0 unless `enabled`.
+    pub(crate) fn new(enabled: bool) -> Self {
+        Stopwatch { enabled, last: None }
+    }
+
+    /// Restart the lap clock (call at the top of each round).
+    pub(crate) fn reset(&mut self) {
+        if self.enabled {
+            self.last = Some(Instant::now());
+        }
+    }
+
+    /// Microseconds since the previous lap (or reset), advancing the clock.
+    pub(crate) fn lap(&mut self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let now = Instant::now();
+        let micros = match self.last {
+            Some(t) => now.duration_since(t).as_micros() as u64,
+            None => 0,
+        };
+        self.last = Some(now);
+        micros
+    }
+}
+
+/// Render the canonical engine state: node sections (non-empty only),
+/// all in-flight wires sorted by `(arrival, seq)`, the report's
+/// deterministic counters and the protocol token. Returns the canonical
+/// string plus the per-node section digests (one per non-empty node).
+pub(crate) fn canonical_state<M: std::fmt::Debug>(
+    stores: &[&NodeStore<M>],
+    transports: &[&Transport<M>],
+    report: &SimReport,
+    token: &str,
+) -> (String, Vec<(NodeId, u64)>) {
+    let n = stores.iter().map(|s| s.n()).max().unwrap_or(0);
+    let mut buf = String::new();
+    let mut nodes = Vec::new();
+    for v in 0..n {
+        let start = buf.len();
+        let mut any = false;
+        let mut inb = String::new();
+        let mut outb = String::new();
+        for s in stores {
+            if v >= s.n() {
+                continue;
+            }
+            for m in s.inport_of(v) {
+                any = true;
+                let _ = write!(inb, "{}@{}:{:?};", m.src, m.arrival, m.msg);
+            }
+            for (dst, msg) in s.outbox_of(v) {
+                any = true;
+                let _ = write!(outb, "{dst}:{msg:?};");
+            }
+        }
+        if any {
+            let _ = write!(buf, "n{v}:in[{inb}]out[{outb}]");
+            nodes.push((v, fnv1a(&buf.as_bytes()[start..])));
+        }
+    }
+    let mut wires: Vec<(Round, u64, String)> = Vec::new();
+    for t in transports {
+        for w in t.wires() {
+            wires.push((
+                w.arrival,
+                w.seq,
+                format!("{}>{}@{}#{}:{:?};", w.src, w.dst, w.arrival, w.seq, w.msg),
+            ));
+        }
+    }
+    wires.sort_by_key(|w| (w.0, w.1));
+    buf.push_str("w[");
+    for (_, _, s) in &wires {
+        buf.push_str(s);
+    }
+    buf.push(']');
+    let _ = write!(
+        buf,
+        "c[ms={},qw={},ip={},ob={},bh={},da={},cp={:?},is={:?},dr={:?},rb={:?}]",
+        report.messages_sent,
+        report.queue_wait_rounds,
+        report.max_inport_depth,
+        report.max_outbox_depth,
+        report.backlog_high_water,
+        report.delayed_admissions,
+        report.completions,
+        report.issues,
+        report.dropped,
+        report.received_by_node,
+    );
+    if !token.is_empty() {
+        let _ = write!(buf, "p[{token}]");
+    }
+    (buf, nodes)
+}
+
+/// Record one phase-barrier observation into `report`: fold the digest into
+/// this round's [`Checkpoint`] (creating it at the first phase), record
+/// [`NodeDigest`]s when requested, and capture the snapshot at the transmit
+/// barrier of the snapshot round. Call only when
+/// [`ProbeSpec::observes`]`(round)` — the caller gates the canonicalization
+/// cost.
+pub(crate) fn observe_phase<M: std::fmt::Debug>(
+    probe: &ProbeSpec,
+    round: Round,
+    phase: Phase,
+    stores: &[&NodeStore<M>],
+    transports: &[&Transport<M>],
+    token: &str,
+    report: &mut SimReport,
+) {
+    let (canon, nodes) = canonical_state(stores, transports, &*report, token);
+    let digest = fnv1a(canon.as_bytes());
+    if probe.wants_checkpoint(round) {
+        let cp = match report.checkpoints.last_mut() {
+            Some(cp) if cp.round == round => cp,
+            _ => {
+                report.checkpoints.push(Checkpoint { round, ..Checkpoint::default() });
+                report.checkpoints.last_mut().expect("just pushed")
+            }
+        };
+        match phase {
+            Phase::Arrivals => cp.arrivals = digest,
+            Phase::Mature => cp.mature = digest,
+            Phase::Deliver => cp.deliver = digest,
+            Phase::Transmit => cp.transmit = digest,
+        }
+        if probe.node_hashes {
+            for (node, d) in &nodes {
+                report.node_digests.push(NodeDigest { round, phase, node: *node, digest: *d });
+            }
+        }
+    }
+    if phase == Phase::Transmit && probe.wants_snapshot(round) {
+        report.snapshot_digest = Some(digest);
+        report.snapshot_state = Some(canon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LinkDelay;
+    use crate::state::Inbound;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn off_spec_observes_nothing() {
+        let p = ProbeSpec::OFF;
+        assert!(p.is_off());
+        for r in [0, 1, 63, 64, 1_000_000] {
+            assert!(!p.observes(r));
+            assert!(!p.skips_transmit(r, 0));
+        }
+    }
+
+    #[test]
+    fn checkpoint_cadence_includes_round_zero() {
+        let p = ProbeSpec::OFF.with_checkpoint_every(64);
+        assert!(p.wants_checkpoint(0));
+        assert!(!p.wants_checkpoint(63));
+        assert!(p.wants_checkpoint(64));
+        assert!(p.wants_checkpoint(128));
+        // every = 0 clamps to 1 rather than dividing by zero.
+        let q = ProbeSpec::OFF.with_checkpoint_every(0);
+        assert!(q.wants_checkpoint(7));
+    }
+
+    #[test]
+    fn snapshot_and_perturbation_sentinels() {
+        let p = ProbeSpec::OFF.with_snapshot_at(10).with_perturbation(5, 3);
+        assert!(p.wants_snapshot(10) && !p.wants_snapshot(9));
+        assert!(p.observes(10));
+        assert!(p.skips_transmit(5, 3));
+        assert!(!p.skips_transmit(5, 2) && !p.skips_transmit(6, 3));
+    }
+
+    #[test]
+    fn merge_prefers_non_default_side() {
+        let a = ProbeSpec::OFF.with_checkpoint_every(8);
+        let b = ProbeSpec::OFF.with_checkpoint_every(2).with_timing(true).with_snapshot_at(9);
+        let m = a.merged(b);
+        assert_eq!(m.checkpoint_every, 8); // self wins where set
+        assert_eq!(m.snapshot_at, 9); // other fills the default
+        assert!(m.timing);
+    }
+
+    #[test]
+    fn canonical_state_ignores_store_layout() {
+        // A monolithic store and two half-empty stores with the same
+        // content must render identical bytes — the executor-independence
+        // property the bisector relies on.
+        let rep = SimReport::default();
+        let mut mono: NodeStore<u32> = NodeStore::new(4);
+        mono.stage(1, 2, 7);
+        mono.enqueue(3, Inbound { src: 0, arrival: 2, msg: 9 });
+        let mut a: NodeStore<u32> = NodeStore::new(4);
+        let mut b: NodeStore<u32> = NodeStore::new(4);
+        a.stage(1, 2, 7);
+        b.enqueue(3, Inbound { src: 0, arrival: 2, msg: 9 });
+        let t: Transport<u32> = Transport::new(LinkDelay::Unit);
+        let (one, nodes1) = canonical_state(&[&mono], &[&t], &rep, "");
+        let (two, nodes2) = canonical_state(&[&a, &b], &[&t, &t], &rep, "");
+        assert_eq!(one, two);
+        assert_eq!(nodes1, nodes2);
+        assert_eq!(nodes1.len(), 2); // only the two non-empty nodes
+    }
+
+    #[test]
+    fn canonical_state_orders_wires_across_transports() {
+        let rep = SimReport::default();
+        let store: NodeStore<u32> = NodeStore::new(3);
+        let mut t1: Transport<u32> = Transport::new(LinkDelay::Fixed { delay: 2 });
+        let mut t2: Transport<u32> = Transport::new(LinkDelay::Unit);
+        t1.transmit(0, 1, 10, 0, 2); // arrives 2, seq 2
+        t2.transmit(1, 2, 11, 0, 1); // arrives 1, seq 1
+        let (merged, _) = canonical_state(&[&store], &[&t1, &t2], &rep, "");
+        let (flipped, _) = canonical_state(&[&store], &[&t2, &t1], &rep, "");
+        assert_eq!(merged, flipped);
+        let i1 = merged.find("#1").unwrap();
+        let i2 = merged.find("#2").unwrap();
+        assert!(i1 < i2, "wires must sort by (arrival, seq): {merged}");
+    }
+
+    #[test]
+    fn observe_phase_accumulates_one_checkpoint_per_round() {
+        let probe = ProbeSpec::OFF.with_checkpoint_every(1).with_node_hashes(true);
+        let mut rep = SimReport::default();
+        let mut store: NodeStore<u32> = NodeStore::new(2);
+        store.stage(0, 1, 5);
+        let t: Transport<u32> = Transport::new(LinkDelay::Unit);
+        for phase in [Phase::Arrivals, Phase::Mature, Phase::Deliver, Phase::Transmit] {
+            observe_phase(&probe, 3, phase, &[&store], &[&t], "tok", &mut rep);
+        }
+        assert_eq!(rep.checkpoints.len(), 1);
+        let cp = rep.checkpoints[0];
+        assert_eq!(cp.round, 3);
+        // State did not change between phases, so all four digests agree.
+        assert_eq!(cp.arrivals, cp.transmit);
+        assert_ne!(cp.arrivals, 0);
+        assert_eq!(rep.node_digests.len(), 4); // node 0, once per phase
+        assert!(rep.node_digests.iter().all(|d| d.node == 0 && d.round == 3));
+    }
+
+    #[test]
+    fn snapshot_captured_at_transmit_barrier_only() {
+        let probe = ProbeSpec::OFF.with_snapshot_at(2);
+        let mut rep = SimReport::default();
+        let store: NodeStore<u32> = NodeStore::new(1);
+        let t: Transport<u32> = Transport::new(LinkDelay::Unit);
+        observe_phase(&probe, 2, Phase::Deliver, &[&store], &[&t], "", &mut rep);
+        assert!(rep.snapshot_digest.is_none());
+        observe_phase(&probe, 2, Phase::Transmit, &[&store], &[&t], "", &mut rep);
+        let digest = rep.snapshot_digest.expect("snapshot at transmit");
+        assert_eq!(digest, fnv1a(rep.snapshot_state.as_ref().unwrap().as_bytes()));
+        // No checkpoint cadence was configured: snapshot does not imply one.
+        assert!(rep.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(Phase::Arrivals.label(), "arrivals");
+        assert_eq!(Phase::Transmit.label(), "transmit");
+        let cp = Checkpoint { round: 1, arrivals: 10, mature: 20, deliver: 30, transmit: 40 };
+        assert_eq!(cp.digest(Phase::Mature), 20);
+        assert_eq!(cp.digest(Phase::Deliver), 30);
+    }
+}

@@ -55,6 +55,17 @@ pub trait Protocol {
     fn next_wakeup(&self) -> Option<Round> {
         None
     }
+
+    /// Canonical rendering of protocol-internal *scheduling* state for the
+    /// probe layer's state hashes (see [`crate::probe`]): anything that
+    /// determines future behaviour but is not visible in queues, wires or
+    /// report counters. The default (empty) is correct for one-shot
+    /// protocols, whose entire evolution is driven by the message state the
+    /// probe already renders; [`crate::arrival::Paced`] overrides it with
+    /// its arrival cursor, pending retries and admission-controller state.
+    fn state_token(&self) -> String {
+        String::new()
+    }
 }
 
 /// Callback interface: staging area for sends and operation completions.

@@ -1,5 +1,6 @@
 //! Simulation configuration and results.
 
+use crate::probe::{Checkpoint, NodeDigest, PhaseTimings, ProbeSpec};
 use crate::trace::TraceEvent;
 use crate::Round;
 use ccq_graph::NodeId;
@@ -131,6 +132,10 @@ pub struct SimConfig {
     /// silently falling back. An execution strategy, not a model knob:
     /// reports are byte-identical either way.
     pub parallel_apply: bool,
+    /// Execution probing: checkpoints, snapshot, per-phase timing and the
+    /// perturbation knob (see [`crate::probe::ProbeSpec`]). The default is
+    /// fully off and costs nothing.
+    pub probe: ProbeSpec,
 }
 
 impl SimConfig {
@@ -144,6 +149,7 @@ impl SimConfig {
             trace: false,
             link_delay: LinkDelay::Unit,
             parallel_apply: false,
+            probe: ProbeSpec::OFF,
         }
     }
 
@@ -184,6 +190,13 @@ impl SimConfig {
     /// [`SimConfig::parallel_apply`]).
     pub fn with_parallel_apply(mut self, on: bool) -> Self {
         self.parallel_apply = on;
+        self
+    }
+
+    /// Builder-style: set the probe spec (checkpoints, snapshot, timing,
+    /// perturbation — see [`crate::probe::ProbeSpec`]).
+    pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
+        self.probe = probe;
         self
     }
 }
@@ -230,7 +243,15 @@ pub struct Dropped {
 }
 
 /// Result of a simulation run.
-#[derive(Clone, Debug, Default, Serialize)]
+///
+/// **Serialization contract.** The probe fields (`checkpoints`,
+/// `node_digests`, `snapshot_state`, `snapshot_digest`, `phase_timing`)
+/// are *excluded* from the JSON encoding — the hand-written [`Serialize`]
+/// impl below emits exactly the pre-probe field set, so a probed run's
+/// report serializes byte-identically to an unprobed one. Probe data
+/// reaches JSON only through the sweep layer's explicitly opted-in
+/// `CaseResult` fields.
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Rounds executed until quiescence (unscaled).
     pub rounds: Round,
@@ -268,6 +289,55 @@ pub struct SimReport {
     pub delayed_admissions: u64,
     /// Event trace (only when [`SimConfig::trace`] was set).
     pub trace: Vec<TraceEvent>,
+    /// Per-phase state digests at the configured checkpoint cadence
+    /// (empty unless [`crate::probe::ProbeSpec::checkpoint_every`] is set).
+    /// Not serialized — see the struct docs.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Per-node section digests at every checkpointed barrier (empty unless
+    /// [`crate::probe::ProbeSpec::node_hashes`] is set). Not serialized.
+    pub node_digests: Vec<NodeDigest>,
+    /// Canonical state dump captured at the snapshot round's transmit
+    /// barrier (`None` unless [`crate::probe::ProbeSpec::snapshot_at`] is
+    /// set). Not serialized.
+    pub snapshot_state: Option<String>,
+    /// FNV-1a 64 of [`SimReport::snapshot_state`]. Not serialized.
+    pub snapshot_digest: Option<u64>,
+    /// Cumulative per-phase wall-clock (`None` unless
+    /// [`crate::probe::ProbeSpec::timing`] is set). Not serialized.
+    pub phase_timing: Option<PhaseTimings>,
+}
+
+// Hand-written to keep the JSON byte-identical to the pre-probe derive
+// output: exactly the original fields, in declaration order, probe fields
+// omitted. Guarded by `serialize_skips_probe_fields` below.
+impl Serialize for SimReport {
+    fn serialize_json(&self, out: &mut String) {
+        macro_rules! field {
+            ($first:literal, $name:literal, $value:expr) => {
+                out.push_str(if $first {
+                    concat!("{\"", $name, "\":")
+                } else {
+                    concat!(",\"", $name, "\":")
+                });
+                $value.serialize_json(out);
+            };
+        }
+        field!(true, "rounds", self.rounds);
+        field!(false, "messages_sent", self.messages_sent);
+        field!(false, "queue_wait_rounds", self.queue_wait_rounds);
+        field!(false, "max_inport_depth", self.max_inport_depth);
+        field!(false, "cross_shard_messages", self.cross_shard_messages);
+        field!(false, "max_outbox_depth", self.max_outbox_depth);
+        field!(false, "delay_scale", self.delay_scale);
+        field!(false, "completions", self.completions);
+        field!(false, "received_by_node", self.received_by_node);
+        field!(false, "issues", self.issues);
+        field!(false, "backlog_high_water", self.backlog_high_water);
+        field!(false, "dropped", self.dropped);
+        field!(false, "delayed_admissions", self.delayed_admissions);
+        field!(false, "trace", self.trace);
+        out.push('}');
+    }
 }
 
 impl SimReport {
@@ -506,6 +576,35 @@ mod tests {
         assert_eq!(rep.issue_round(1), 10);
         assert_eq!(rep.issue_round(9), 0);
         assert!((rep.throughput() - 3.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialize_skips_probe_fields() {
+        let mut rep = SimReport {
+            rounds: 3,
+            messages_sent: 5,
+            completions: vec![Completion { node: 1, value: 2, round: 3 }],
+            ..Default::default()
+        };
+        let mut before = String::new();
+        rep.serialize_json(&mut before);
+        // Populate every probe field; the JSON must not move a byte.
+        rep.checkpoints.push(crate::probe::Checkpoint { round: 0, ..Default::default() });
+        rep.node_digests.push(crate::probe::NodeDigest {
+            round: 0,
+            phase: crate::probe::Phase::Arrivals,
+            node: 0,
+            digest: 7,
+        });
+        rep.snapshot_state = Some("state".into());
+        rep.snapshot_digest = Some(9);
+        rep.phase_timing = Some(crate::probe::PhaseTimings::default());
+        let mut after = String::new();
+        rep.serialize_json(&mut after);
+        assert_eq!(before, after);
+        assert!(after.starts_with("{\"rounds\":3,\"messages_sent\":5,"));
+        assert!(after.ends_with(",\"trace\":[]}"));
+        assert!(!after.contains("checkpoint") && !after.contains("snapshot"));
     }
 
     #[test]

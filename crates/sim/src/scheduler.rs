@@ -34,6 +34,7 @@
 //! identical to this single-fabric loop whenever the inter-shard delay
 //! policy matches the intra-shard one.
 
+use crate::probe::{self, Phase, PhaseTimings, Stopwatch};
 use crate::protocol::{Protocol, SimApi};
 use crate::report::{SimConfig, SimReport};
 use crate::state::NodeStore;
@@ -190,12 +191,22 @@ pub(crate) fn run_single<P: Protocol>(
     let mut transport: Transport<P::Msg> = Transport::new(cfg.link_delay);
     let mut api: SimApi<P::Msg> = SimApi::new();
 
+    let mut timing = PhaseTimings::default();
+    let mut watch = Stopwatch::new(cfg.probe.timing);
+
     // Time 0: every requester issues its operation.
     protocol.on_start(&mut api);
     drain_api(graph, &mut api, &mut report, 0, cfg.trace, |f, t, m| store.stage(f, t, m))?;
 
     let mut round: Round = 0;
     loop {
+        // Probe observations happen at every phase barrier of an observed
+        // round, outside the `round > 0` gate, so round 0 (whose first
+        // three phases are vacuous) still checkpoints consistently on
+        // every executor.
+        let observe = cfg.probe.observes(round);
+        watch.reset();
+        let mut round_micros = 0u64;
         if round > 0 {
             // Arrivals phase.
             api.set_round(round);
@@ -203,14 +214,42 @@ pub(crate) fn run_single<P: Protocol>(
             drain_api(graph, &mut api, &mut report, round, cfg.trace, |f, t, m| {
                 store.stage(f, t, m)
             })?;
-
+        }
+        round_micros += lap_into(&mut watch, &mut timing.arrivals_micros);
+        if observe {
+            probe::observe_phase(
+                &cfg.probe,
+                round,
+                Phase::Arrivals,
+                &[&store],
+                &[&transport],
+                &protocol.state_token(),
+                &mut report,
+            );
+            watch.reset();
+        }
+        if round > 0 {
             // Maturity phase: due wires move into in-port FIFOs.
             transport.drain_due(round, |w| {
                 let inbound = crate::state::Inbound { src: w.src, arrival: w.arrival, msg: w.msg };
                 let depth = store.enqueue(w.dst, inbound);
                 report.max_inport_depth = report.max_inport_depth.max(depth);
             });
-
+        }
+        round_micros += lap_into(&mut watch, &mut timing.mature_micros);
+        if observe {
+            probe::observe_phase(
+                &cfg.probe,
+                round,
+                Phase::Mature,
+                &[&store],
+                &[&transport],
+                &protocol.state_token(),
+                &mut report,
+            );
+            watch.reset();
+        }
+        if round > 0 {
             // Delivery phase.
             for v in 0..n {
                 for _ in 0..cfg.recv_budget {
@@ -224,9 +263,27 @@ pub(crate) fn run_single<P: Protocol>(
                 }
             }
         }
+        round_micros += lap_into(&mut watch, &mut timing.deliver_micros);
+        if observe {
+            probe::observe_phase(
+                &cfg.probe,
+                round,
+                Phase::Deliver,
+                &[&store],
+                &[&transport],
+                &protocol.state_token(),
+                &mut report,
+            );
+            watch.reset();
+        }
 
         // Transmit phase.
         for v in 0..n {
+            if cfg.probe.skips_transmit(round, v) {
+                // The planted perturbation: this node's staged sends wait
+                // one extra round (see ProbeSpec::perturb_round).
+                continue;
+            }
             for _ in 0..cfg.send_budget {
                 let Some((dst, msg)) = store.pop_outbox(v) else { break };
                 report.messages_sent += 1;
@@ -241,6 +298,19 @@ pub(crate) fn run_single<P: Protocol>(
                 transport.transmit(v, dst, msg, round, report.messages_sent);
             }
         }
+        round_micros += lap_into(&mut watch, &mut timing.transmit_micros);
+        timing.max_round_micros = timing.max_round_micros.max(round_micros);
+        if observe {
+            probe::observe_phase(
+                &cfg.probe,
+                round,
+                Phase::Transmit,
+                &[&store],
+                &[&transport],
+                &protocol.state_token(),
+                &mut report,
+            );
+        }
 
         // Quiescence / wakeup phase.
         let idle = store.is_idle() && transport.is_idle();
@@ -250,5 +320,16 @@ pub(crate) fn run_single<P: Protocol>(
         }
     }
     report.rounds = round;
+    if cfg.probe.timing {
+        report.phase_timing = Some(timing);
+    }
     Ok((report, protocol))
+}
+
+/// Advance `watch` one lap, accumulating into the phase counter and
+/// returning the lap for the per-round total (shared with [`crate::shard`]).
+pub(crate) fn lap_into(watch: &mut Stopwatch, counter: &mut u64) -> u64 {
+    let micros = watch.lap();
+    *counter += micros;
+    micros
 }

@@ -9,9 +9,11 @@
 //! boundary is slower than staying inside one.
 //!
 //! Rounds follow the exact phase order of [`crate::scheduler`]. The
-//! shard-parallel part (via rayon) is the message fabric: wire maturation,
-//! in-port enqueueing and budget-limited harvesting run concurrently per
-//! shard. Transmission is serialized in ascending node order (it assigns
+//! shard-parallel part (via rayon) is the message fabric: wire maturation
+//! and in-port enqueueing run concurrently per shard, complete at their own
+//! barrier (where the probe layer hashes state, phase-aligned with the
+//! monolith), and budget-limited harvesting follows in a second concurrent
+//! pass. Transmission is serialized in ascending node order (it assigns
 //! the run-global sequence numbers). For protocol-state application there
 //! are **two apply paths**:
 //!
@@ -43,9 +45,10 @@
 //! ones. A divergent ferry policy (e.g. `Fixed { delay: 8 }` between
 //! shards) changes the execution — deliberately.
 
+use crate::probe::{self, Phase, PhaseTimings, Stopwatch};
 use crate::protocol::{NodeSliced, Protocol, SimApi, SliceApi, SliceEffect};
 use crate::report::{LinkDelay, SimConfig, SimReport};
-use crate::scheduler::{advance_round, drain_api, note_delivery, validate_config};
+use crate::scheduler::{advance_round, drain_api, lap_into, note_delivery, validate_config};
 use crate::state::{Inbound, NodeStore};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::transport::{Transport, Wire};
@@ -162,11 +165,63 @@ impl<M> Fabric<M> {
         buckets
     }
 
+    /// The maturity phase across every shard: bucket the due ferry wires,
+    /// then mature the shards concurrently, folding the deepest in-port
+    /// into the report at the barrier (where the monolith records it too).
+    fn mature_all(&mut self, partition: &Partition, round: Round)
+    where
+        M: Send,
+    {
+        let buckets = self.ferry_buckets(partition, round);
+        let matured: Vec<(ShardState<M>, usize)> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .zip(buckets)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(mut state, ferry_due)| {
+                let depth = state.mature(ferry_due, round);
+                (state, depth)
+            })
+            .collect();
+        for (state, depth) in matured {
+            self.shards.push(state);
+            self.report.max_inport_depth = self.report.max_inport_depth.max(depth);
+        }
+    }
+
+    /// One probe observation at a phase barrier: hand every shard's store
+    /// and transport plus the ferry to the canonical renderer, which hashes
+    /// them layout-independently (see [`crate::probe`]) — so the digests
+    /// match the monolith's whenever the executions are equivalent.
+    fn observe(&mut self, cfg: &SimConfig, round: Round, phase: Phase, token: &str)
+    where
+        M: std::fmt::Debug,
+    {
+        let stores: Vec<&NodeStore<M>> = self.shards.iter().map(|s| &s.store).collect();
+        let mut transports: Vec<&Transport<M>> = self.shards.iter().map(|s| &s.transport).collect();
+        transports.push(&self.ferry);
+        probe::observe_phase(
+            &cfg.probe,
+            round,
+            phase,
+            &stores,
+            &transports,
+            token,
+            &mut self.report,
+        );
+    }
+
     /// Transmit phase: global ascending node order assigns the run-global
     /// sequence numbers; cross-shard messages ride the ferry, everything
     /// else stays on the shard's own transport.
     fn transmit(&mut self, partition: &Partition, round: Round, cfg: &SimConfig) {
         for v in 0..partition.n() {
+            if cfg.probe.skips_transmit(round, v) {
+                // The planted perturbation: this node's staged sends wait
+                // one extra round (see `ProbeSpec::perturb_round`) — the
+                // same skip on every apply path.
+                continue;
+            }
             let sv = partition.shard_of(v);
             for _ in 0..cfg.send_budget {
                 let Some((dst, msg)) = self.shards[sv].store.pop_outbox(v) else { break };
@@ -202,27 +257,17 @@ impl<M> Fabric<M> {
     }
 }
 
-/// Deliveries harvested from one shard in one round.
+/// Deliveries harvested from one shard in one round (the maturity phase
+/// has already run and folded its depth statistic into the report).
 struct Harvest<M> {
     /// Per-node FIFO batches, nodes ascending within the shard.
     batches: Vec<(NodeId, Vec<Inbound<M>>)>,
     queue_wait: u64,
-    max_inport_depth: usize,
 }
 
-/// One shard's work item for the parallel mature + harvest phase.
-struct ShardTask<M> {
-    shard: usize,
-    state: ShardState<M>,
-    /// Cross-shard wires due this round at this shard's nodes.
-    ferry_due: Vec<Wire<M>>,
-}
-
-/// What the parallel phase hands back per shard.
-struct ShardOutcome<M> {
-    state: ShardState<M>,
-    harvest: Harvest<M>,
-}
+/// The per-round output of the parallel harvest: each shard's state handed
+/// back alongside what it dequeued.
+type Harvested<M> = Vec<(ShardState<M>, Harvest<M>)>;
 
 /// An executable sharded simulation: graph + partition + protocol + config.
 pub struct ShardedSimulator<'g, P: Protocol> {
@@ -267,27 +312,45 @@ where
         let mut fab: Fabric<P::Msg> =
             Fabric::setup(graph, &partition, &mut protocol, &cfg, inter_delay)?;
 
+        let mut timing = PhaseTimings::default();
+        let mut watch = Stopwatch::new(cfg.probe.timing);
+
         let mut round: Round = 0;
         loop {
+            // Probe observations happen at every phase barrier of an
+            // observed round, outside the `round > 0` gates, so the
+            // checkpoint stream lines up with the monolith's (round 0's
+            // first three phases are vacuous on every executor).
+            let observe = cfg.probe.observes(round);
+            watch.reset();
+            let mut round_micros = 0u64;
             if round > 0 {
                 fab.arrivals(graph, &partition, &mut protocol, round, cfg.trace)?;
-                let buckets = fab.ferry_buckets(&partition, round);
+            }
+            round_micros += lap_into(&mut watch, &mut timing.arrivals_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Arrivals, &protocol.state_token());
+                watch.reset();
+            }
 
-                // Shard-parallel phase: each shard matures its local wheel,
-                // merges the ferry bucket in (arrival, sequence) order,
-                // enqueues into in-ports, and harvests up to `recv_budget`
-                // messages per local node.
-                let work: Vec<ShardTask<P::Msg>> = std::mem::take(&mut fab.shards)
-                    .into_iter()
-                    .zip(buckets)
-                    .enumerate()
-                    .map(|(shard, (state, ferry_due))| ShardTask { shard, state, ferry_due })
-                    .collect();
-                let done: Vec<ShardOutcome<P::Msg>> = work
+            // Maturity phase, shard-parallel behind its own barrier.
+            if round > 0 {
+                fab.mature_all(&partition, round);
+            }
+            round_micros += lap_into(&mut watch, &mut timing.mature_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Mature, &protocol.state_token());
+                watch.reset();
+            }
+
+            if round > 0 {
+                // Shard-parallel harvest: up to `recv_budget` messages per
+                // local node, FIFO batches in ascending node order.
+                let work: Vec<(usize, ShardState<P::Msg>)> =
+                    std::mem::take(&mut fab.shards).into_iter().enumerate().collect();
+                let done: Harvested<P::Msg> = work
                     .into_par_iter()
-                    .map(|task| {
-                        let ShardTask { shard, mut state, ferry_due } = task;
-                        let max_inport_depth = state.mature(ferry_due, round);
+                    .map(|(shard, mut state)| {
                         let mut batches = Vec::new();
                         let mut queue_wait = 0u64;
                         for &v in partition.members(shard) {
@@ -301,18 +364,15 @@ where
                                 batches.push((v, batch));
                             }
                         }
-                        let harvest = Harvest { batches, queue_wait, max_inport_depth };
-                        ShardOutcome { state, harvest }
+                        (state, Harvest { batches, queue_wait })
                     })
                     .collect();
 
                 let mut all_batches: Vec<(NodeId, Vec<Inbound<P::Msg>>)> = Vec::new();
-                for out in done {
-                    fab.shards.push(out.state);
-                    fab.report.queue_wait_rounds += out.harvest.queue_wait;
-                    fab.report.max_inport_depth =
-                        fab.report.max_inport_depth.max(out.harvest.max_inport_depth);
-                    all_batches.extend(out.harvest.batches);
+                for (state, harvest) in done {
+                    fab.shards.push(state);
+                    fab.report.queue_wait_rounds += harvest.queue_wait;
+                    all_batches.extend(harvest.batches);
                 }
                 // Shards hold disjoint nodes; a stable sort by node id
                 // recovers the monolith's global delivery order.
@@ -327,8 +387,18 @@ where
                     }
                 }
             }
+            round_micros += lap_into(&mut watch, &mut timing.deliver_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Deliver, &protocol.state_token());
+                watch.reset();
+            }
 
             fab.transmit(&partition, round, &cfg);
+            round_micros += lap_into(&mut watch, &mut timing.transmit_micros);
+            timing.max_round_micros = timing.max_round_micros.max(round_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Transmit, &protocol.state_token());
+            }
 
             // Quiescence / wakeup phase (shared with the single executor).
             match advance_round(&protocol, fab.idle(), round, cfg.max_rounds)? {
@@ -337,6 +407,9 @@ where
             }
         }
         fab.report.rounds = round;
+        if cfg.probe.timing {
+            fab.report.phase_timing = Some(timing);
+        }
         Ok((fab.report, protocol))
     }
 
@@ -346,14 +419,13 @@ where
     }
 }
 
-/// One shard's work item for the parallel mature + harvest + **apply**
-/// phase of the sliced executor: its fabric, its due ferry wires, and the
-/// disjoint `&mut` borrows of its member nodes' protocol slices (ascending
-/// node order, parallel to `partition.members(shard)`).
+/// One shard's work item for the parallel harvest + **apply** phase of the
+/// sliced executor (maturity has already run): its fabric and the disjoint
+/// `&mut` borrows of its member nodes' protocol slices (ascending node
+/// order, parallel to `partition.members(shard)`).
 struct SlicedTask<'s, M, S> {
     shard: usize,
     state: ShardState<M>,
-    ferry_due: Vec<Wire<M>>,
     slices: Vec<&'s mut S>,
 }
 
@@ -368,7 +440,6 @@ struct SlicedOutcome<M> {
     api: SliceApi<M>,
     deliveries: Vec<(NodeId, NodeId, usize)>,
     queue_wait: u64,
-    max_inport_depth: usize,
 }
 
 impl<'g, P: NodeSliced> ShardedSimulator<'g, P>
@@ -402,12 +473,36 @@ where
             ));
         }
 
+        let mut timing = PhaseTimings::default();
+        let mut watch = Stopwatch::new(cfg.probe.timing);
+
         let mut round: Round = 0;
         loop {
+            // Probe observations at every phase barrier of an observed
+            // round, as in the serialized loops (see `run_with_state`).
+            let observe = cfg.probe.observes(round);
+            watch.reset();
+            let mut round_micros = 0u64;
             if round > 0 {
                 fab.arrivals(graph, &partition, &mut protocol, round, cfg.trace)?;
-                let buckets = fab.ferry_buckets(&partition, round);
+            }
+            round_micros += lap_into(&mut watch, &mut timing.arrivals_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Arrivals, &protocol.state_token());
+                watch.reset();
+            }
 
+            // Maturity phase, shard-parallel behind its own barrier.
+            if round > 0 {
+                fab.mature_all(&partition, round);
+            }
+            round_micros += lap_into(&mut watch, &mut timing.mature_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Mature, &protocol.state_token());
+                watch.reset();
+            }
+
+            if round > 0 {
                 // Distribute disjoint `&mut` slice borrows to their
                 // shards. `iter_mut` yields non-overlapping borrows and
                 // both 0..n and `members(shard)` ascend, so bucket `i` of
@@ -419,26 +514,19 @@ where
                     slice_buckets[partition.shard_of(v)].push(slice);
                 }
 
-                // Shard-parallel phase: mature + merge + enqueue as in the
-                // serialized executor, then APPLY the harvested messages
-                // against the shard's own slices, staging effects.
+                // Shard-parallel phase: harvest up to `recv_budget`
+                // messages per local node and APPLY them against the
+                // shard's own slices, staging effects.
                 let work: Vec<SlicedTask<P::Msg, P::Slice>> = std::mem::take(&mut fab.shards)
                     .into_iter()
-                    .zip(buckets)
                     .zip(slice_buckets)
                     .enumerate()
-                    .map(|(shard, ((state, ferry_due), slices))| SlicedTask {
-                        shard,
-                        state,
-                        ferry_due,
-                        slices,
-                    })
+                    .map(|(shard, (state, slices))| SlicedTask { shard, state, slices })
                     .collect();
                 let done: Vec<SlicedOutcome<P::Msg>> = work
                     .into_par_iter()
                     .map(|task| {
-                        let SlicedTask { shard, mut state, ferry_due, slices } = task;
-                        let max_inport_depth = state.mature(ferry_due, round);
+                        let SlicedTask { shard, mut state, slices } = task;
                         let mut sapi = SliceApi::new(round, 0);
                         let mut deliveries = Vec::new();
                         let mut queue_wait = 0u64;
@@ -451,9 +539,10 @@ where
                                 deliveries.push((v, inb.src, sapi.effects.len()));
                             }
                         }
-                        SlicedOutcome { state, api: sapi, deliveries, queue_wait, max_inport_depth }
+                        SlicedOutcome { state, api: sapi, deliveries, queue_wait }
                     })
                     .collect();
+                round_micros += lap_into(&mut watch, &mut timing.apply_micros);
 
                 // Barrier merge: shards hold disjoint nodes and each shard
                 // recorded its deliveries in ascending node order, so a
@@ -465,8 +554,6 @@ where
                 for out in done {
                     fab.shards.push(out.state);
                     fab.report.queue_wait_rounds += out.queue_wait;
-                    fab.report.max_inport_depth =
-                        fab.report.max_inport_depth.max(out.max_inport_depth);
                     let s = streams.len();
                     merged.extend(out.deliveries.iter().map(|&(v, src, end)| (v, s, src, end)));
                     streams.push(out.api.into_effects().into_iter());
@@ -489,8 +576,18 @@ where
                     fab.drain(graph, &partition, round, cfg.trace)?;
                 }
             }
+            round_micros += lap_into(&mut watch, &mut timing.deliver_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Deliver, &protocol.state_token());
+                watch.reset();
+            }
 
             fab.transmit(&partition, round, &cfg);
+            round_micros += lap_into(&mut watch, &mut timing.transmit_micros);
+            timing.max_round_micros = timing.max_round_micros.max(round_micros);
+            if observe {
+                fab.observe(&cfg, round, Phase::Transmit, &protocol.state_token());
+            }
 
             // Quiescence / wakeup phase (shared with the single executor).
             match advance_round(&protocol, fab.idle(), round, cfg.max_rounds)? {
@@ -499,6 +596,9 @@ where
             }
         }
         fab.report.rounds = round;
+        if cfg.probe.timing {
+            fab.report.phase_timing = Some(timing);
+        }
         Ok((fab.report, protocol))
     }
 
@@ -796,6 +896,62 @@ mod tests {
         // …and neither can the single-fabric executor.
         let err = crate::run_protocol(&g, Walk { n: 6 }, cfg).unwrap_err();
         assert!(err.to_string().contains("parallel_apply"), "{err}");
+    }
+
+    #[test]
+    fn probe_checkpoints_are_executor_independent() {
+        use crate::ProbeSpec;
+        let g = topology::path(12);
+        let probe = ProbeSpec::OFF.with_checkpoint_every(1).with_node_hashes(true);
+        let cfg = SimConfig::strict().with_probe(probe);
+        let single = crate::run_protocol(&g, SlicedWalk::new(12), cfg).unwrap();
+        let sharded =
+            run_protocol_sharded(&g, Partition::striped(12, 3), SlicedWalk::new(12), cfg).unwrap();
+        let (sliced, _) = ShardedSimulator::new(
+            &g,
+            Partition::striped(12, 3),
+            SlicedWalk::new(12),
+            cfg.with_parallel_apply(true),
+        )
+        .run_sliced_with_state()
+        .unwrap();
+        assert!(!single.checkpoints.is_empty(), "probe must checkpoint");
+        assert_eq!(single.checkpoints, sharded.checkpoints, "sharded digests diverged");
+        assert_eq!(single.checkpoints, sliced.checkpoints, "sliced digests diverged");
+        assert_eq!(single.node_digests, sharded.node_digests);
+        assert_eq!(single.node_digests, sliced.node_digests);
+    }
+
+    #[test]
+    fn perturbation_diverges_exactly_at_the_planted_transmit() {
+        use crate::ProbeSpec;
+        let g = topology::path(8);
+        let probe = ProbeSpec::OFF.with_checkpoint_every(1);
+        let part = || Partition::contiguous(8, 2);
+        let base =
+            run_protocol_sharded(&g, part(), Walk { n: 8 }, SimConfig::strict().with_probe(probe))
+                .unwrap();
+        let pert = run_protocol_sharded(
+            &g,
+            part(),
+            Walk { n: 8 },
+            SimConfig::strict().with_probe(probe.with_perturbation(2, 2)),
+        )
+        .unwrap();
+        // Identical through round 2's deliver barrier; the held transmit
+        // first shows in round 2's transmit digest.
+        for (b, p) in base.checkpoints.iter().zip(&pert.checkpoints) {
+            assert_eq!(b.round, p.round);
+            if b.round < 2 {
+                assert_eq!(b, p, "diverged before the planted round");
+            } else if b.round == 2 {
+                assert_eq!(b.deliver, p.deliver, "deliver barrier must agree at round 2");
+                assert_ne!(b.transmit, p.transmit, "perturbation must show at transmit");
+            }
+        }
+        // The held message costs exactly one extra round on the walk.
+        assert_eq!(pert.rounds, base.rounds + 1);
+        assert_eq!(pert.ops(), base.ops());
     }
 
     #[test]

@@ -70,6 +70,23 @@ impl<M> NodeStore<M> {
     pub fn is_idle(&self) -> bool {
         self.outbox.iter().all(VecDeque::is_empty) && self.inport.iter().all(VecDeque::is_empty)
     }
+
+    /// Number of processors this store was sized for.
+    pub fn n(&self) -> usize {
+        self.inport.len()
+    }
+
+    /// Read-only view of `v`'s in-port, oldest first (the probe layer's
+    /// canonical-state renderer; delivery still goes through
+    /// [`NodeStore::pop_inport`]).
+    pub fn inport_of(&self, v: NodeId) -> impl Iterator<Item = &Inbound<M>> {
+        self.inport[v].iter()
+    }
+
+    /// Read-only view of `v`'s outbox, oldest first.
+    pub fn outbox_of(&self, v: NodeId) -> impl Iterator<Item = &(NodeId, M)> {
+        self.outbox[v].iter()
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,15 @@ impl<M> Transport<M> {
     pub fn is_idle(&self) -> bool {
         self.inflight.is_empty()
     }
+
+    /// Read-only view of every in-flight wire, in (arrival round, insertion)
+    /// order — deterministic because the wheel is a `BTreeMap` and batches
+    /// are in transmission order. The probe layer's canonical-state
+    /// renderer merges and re-sorts wires across transports, so the
+    /// per-transport order here only needs to be stable.
+    pub fn wires(&self) -> impl Iterator<Item = &Wire<M>> {
+        self.inflight.values().flatten()
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,30 @@
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
 //!           [--admission <policies>] [--shards <plans>] [--parallel-apply]
+//!           [--timing] [--checkpoint-every N] [--node-hashes] [--perturb R:V]
 //!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
 //!     `--json` (`-` writes JSON to stdout and nothing else). Without
 //!     `--topo` the sweep runs on the default pair mesh2d:8 + torus2d:4.
+//!
+//! ccq record [sweep flags] --rec PATH [--json -|PATH]
+//!     Run a sweep and save a `.ccqrec` recording: the run-defining argv
+//!     (all sampling is hash-seeded, so the argv IS the run) plus the
+//!     produced JSON, checkpointed every 64 rounds unless
+//!     `--checkpoint-every` says otherwise.
+//!
+//! ccq replay <file> [--json -|PATH]
+//!     Re-execute a recording's argv and verify the output is
+//!     byte-identical to what was recorded. Exit 0 on a faithful replay,
+//!     3 on mismatch (with the first divergent checkpoint when the
+//!     recording has them), 2 on unreadable/malformed recordings.
+//!
+//! ccq bisect <cfgA> <cfgB> [shared sweep flags]
+//!     Run the same sweep under two configurations (each a quoted string
+//!     of extra sweep flags) in hash-lockstep — per-round checkpoints
+//!     with per-node digests — and report the exact first divergent
+//!     (round, phase, node). Exit 0 when the runs agree everywhere,
+//!     3 on divergence, 2 on errors.
 //!
 //! Topologies:  name[:param[:param...]] — e.g. mesh2d:8, complete:256,
 //!              tree:2:5, random-regular:64:4:7. Bare names use defaults.
@@ -31,18 +51,28 @@
 //!              | adaptive:target=N[:gain=N] — backpressure against the
 //!              live backlog. `--admission open` runs the same plan as no
 //!              flag (byte-identical JSON).
-//! Shards:      k[:strategy] with strategy one of contig (default),
-//!              stripe, edgecut — e.g. 4, 4:edgecut. `--shards 1` runs
-//!              the same plan as no flag (byte-identical JSON).
+//! Shards:      k[:strategy][:ferry=D] with strategy one of contig
+//!              (default), stripe, edgecut — e.g. 4, 4:edgecut,
+//!              2:contig:ferry=10 (fixed D-round inter-shard ferry).
+//!              `--shards 1` runs the same plan as no flag
+//!              (byte-identical JSON).
 //! Apply path:  `--parallel-apply` runs protocol handlers shard-parallel
 //!              on their per-node state slices. Pure execution strategy:
 //!              the JSON is byte-identical to the serialized sweep.
+//! Probes:      `--timing` adds per-phase round timing to each case;
+//!              `--checkpoint-every N` hashes engine state at every phase
+//!              barrier of every Nth round; `--node-hashes` adds per-node
+//!              digests to each checkpointed barrier; `--perturb R:V`
+//!              plants a transmit-skip at round R on node V (the bisect
+//!              test fault).
 //! ```
 
 use ccq_repro::core::experiments::{self, Scale};
 use ccq_repro::core::plan::RunPlan;
 use ccq_repro::core::protocol::{self, registry, ProtocolKind, ProtocolSpec};
+use ccq_repro::core::scenario::DEFAULT_RECORD_EVERY;
 use ccq_repro::prelude::*;
+use ccq_repro::replay::{first_divergence, Recording};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +80,9 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("bisect") => cmd_bisect(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             0
@@ -71,8 +104,16 @@ usage:
   ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-            [--admission <policies>] [--shards <k[:strategy]>] [--parallel-apply]
+            [--admission <policies>] [--shards <k[:strategy][:ferry=D]>]
+            [--parallel-apply] [--timing] [--checkpoint-every N]
+            [--node-hashes] [--perturb R:V]
             [--repeats N] [--seed S] [--json -|PATH] [--pretty]
+  ccq record [sweep flags] --rec PATH [--json -|PATH]
+                                    run a sweep, save a .ccqrec recording
+  ccq replay <file> [--json -|PATH] re-run a recording, verify byte-identity
+  ccq bisect <cfgA> <cfgB> [shared sweep flags]
+                                    find the first divergent (round, phase,
+                                    node) between two configurations
 
 examples:
   ccq run --exp t4
@@ -82,6 +123,11 @@ examples:
   ccq sweep --arrival poisson:rate=0.8 --admission droptail:bound=16 --json -
   ccq sweep --topo torus2d:6 --shards 4:edgecut --json -
   ccq sweep --topo torus2d:6 --shards 4 --parallel-apply --json -
+  ccq sweep --topo list:16 --proto arrow --timing --checkpoint-every 8 --json -
+  ccq record --topo mesh2d --proto arrow --rec arrow.ccqrec
+  ccq replay arrow.ccqrec
+  ccq bisect \"--shards 4\" \"\" --topo torus2d:6 --proto arrow
+  ccq bisect \"--shards 2:contig:ferry=10\" \"--shards 2:contig\" --topo list:8 --proto arrow
 ";
 
 fn cmd_list() -> i32 {
@@ -115,11 +161,16 @@ fn cmd_list() -> i32 {
         "admissions (ccq sweep --admission): open | droptail:bound=N | \
          delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N]"
     );
-    println!("shards (ccq sweep --shards): k[:strategy], strategy = contig | stripe | edgecut");
+    println!(
+        "shards (ccq sweep --shards): k[:strategy][:ferry=D], strategy = contig | stripe | \
+         edgecut, ferry=D a fixed inter-shard delay"
+    );
     println!(
         "apply path (ccq sweep --parallel-apply): shard-parallel handler application \
          on per-node state slices; JSON byte-identical to the serialized path"
     );
+    println!("probes (ccq sweep): --timing | --checkpoint-every N | --node-hashes | --perturb R:V");
+    println!("record/replay: ccq record … --rec PATH, ccq replay PATH, ccq bisect <cfgA> <cfgB> …");
     0
 }
 
@@ -186,10 +237,56 @@ struct SweepArgs {
     admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
+    timing: bool,
+    checkpoint_every: Option<u64>,
+    node_hashes: bool,
+    perturb: Option<(u64, usize)>,
     repeats: usize,
     seed: u64,
     json: Option<String>,
     pretty: bool,
+}
+
+/// Turn parsed sweep arguments into the executable plan — the single
+/// construction point shared by `sweep`, `record`, `replay` and `bisect`,
+/// so a recorded argv re-runs through exactly the path that produced it.
+fn build_plan(parsed: &SweepArgs) -> RunPlan {
+    let mut plan = RunPlan::new()
+        .topologies(parsed.topos.clone())
+        .patterns(parsed.patterns.clone())
+        .arrivals(parsed.arrivals.clone())
+        .delays(parsed.delays.clone())
+        .admissions(parsed.admissions.clone())
+        .shards(parsed.shards.clone())
+        .parallel_apply(parsed.parallel_apply)
+        .repeats(parsed.repeats)
+        .seed(parsed.seed);
+    for p in &parsed.protos {
+        plan = plan.protocol(p.as_ref());
+    }
+    if let Some(modes) = &parsed.modes {
+        plan = plan.modes(modes.clone());
+    }
+    if parsed.timing {
+        plan = plan.timing(true);
+    }
+    if let Some(every) = parsed.checkpoint_every {
+        plan = plan.checkpoint_every(every);
+    }
+    if parsed.node_hashes {
+        plan = plan.node_hashes(true);
+    }
+    if let Some((round, node)) = parsed.perturb {
+        plan = plan.perturb(round, node);
+    }
+    plan
+}
+
+/// Parse and execute a sweep argv, returning the compact [`RunSet`] JSON —
+/// the byte string recordings store and replays compare against.
+fn execute_sweep(args: &[String]) -> Result<String, String> {
+    let parsed = parse_sweep(args)?;
+    Ok(build_plan(&parsed).execute().to_json())
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
@@ -197,23 +294,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
         Ok(p) => p,
         Err(msg) => return fail(&msg),
     };
-    let mut plan = RunPlan::new()
-        .topologies(parsed.topos)
-        .patterns(parsed.patterns)
-        .arrivals(parsed.arrivals)
-        .delays(parsed.delays)
-        .admissions(parsed.admissions)
-        .shards(parsed.shards)
-        .parallel_apply(parsed.parallel_apply)
-        .repeats(parsed.repeats)
-        .seed(parsed.seed);
-    for p in &parsed.protos {
-        plan = plan.protocol(p.as_ref());
-    }
-    if let Some(modes) = parsed.modes {
-        plan = plan.modes(modes);
-    }
-    let set = plan.execute();
+    let set = build_plan(&parsed).execute();
 
     let failed = set.cases.iter().filter(|c| !c.ok).count();
     match parsed.json.as_deref() {
@@ -244,6 +325,162 @@ fn cmd_sweep(args: &[String]) -> i32 {
     }
 }
 
+/// Emit a sweep's JSON to `-` (stdout) or a file, as `--json` asked.
+fn emit_json(target: &str, json: &str) -> Result<(), String> {
+    if target == "-" {
+        println!("{json}");
+        return Ok(());
+    }
+    std::fs::write(target, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {target}: {e}"))?;
+    eprintln!("wrote {target}");
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> i32 {
+    // Split the output flags off; everything else is the run-defining
+    // argv the recording stores.
+    let mut rec_path: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut argv: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rec" => match it.next() {
+                Some(v) => rec_path = Some(v.clone()),
+                None => return fail("--rec needs a path"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.clone()),
+                None => return fail("--json needs `-` or a path"),
+            },
+            other => argv.push(other.to_string()),
+        }
+    }
+    let Some(rec_path) = rec_path else {
+        return fail("ccq record requires --rec <path> (e.g. --rec sweep.ccqrec)");
+    };
+    // Recordings default to checkpointed runs, so replays verify in
+    // hash-lockstep rather than only on final bytes. The flag goes into
+    // the stored argv: replay re-runs with the same interval by
+    // construction, never by convention.
+    if !argv.iter().any(|a| a == "--checkpoint-every") {
+        argv.push("--checkpoint-every".to_string());
+        argv.push(DEFAULT_RECORD_EVERY.to_string());
+    }
+    let every = argv
+        .windows(2)
+        .find(|w| w[0] == "--checkpoint-every")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(0);
+    let output = match execute_sweep(&argv) {
+        Ok(o) => o,
+        Err(msg) => return fail(&msg),
+    };
+    let rec = Recording::new(argv, every, output);
+    if let Err(e) = std::fs::write(&rec_path, rec.to_json() + "\n") {
+        return fail(&format!("cannot write {rec_path}: {e}"));
+    }
+    eprintln!("recorded {} bytes of output to {rec_path}", rec.output.len());
+    if let Some(target) = json.as_deref() {
+        if let Err(msg) = emit_json(target, &rec.output) {
+            return fail(&msg);
+        }
+    }
+    0
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let mut path: Option<&str> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.clone()),
+                None => return fail("--json needs `-` or a path"),
+            },
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return fail(&format!("unknown `ccq replay` argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return fail("ccq replay requires a recording path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let rec = match Recording::parse(&text) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    let replayed = match execute_sweep(&rec.argv) {
+        Ok(o) => o,
+        Err(msg) => return fail(&msg),
+    };
+    if let Some(target) = json.as_deref() {
+        if let Err(msg) = emit_json(target, &replayed) {
+            return fail(&msg);
+        }
+    }
+    if replayed == rec.output {
+        eprintln!("replay ok: {} bytes reproduced from {path}", replayed.len());
+        return 0;
+    }
+    eprintln!(
+        "replay MISMATCH: recorded {} bytes, replayed {} bytes",
+        rec.output.len(),
+        replayed.len()
+    );
+    // When the recording carries checkpoints, localize the drift.
+    match first_divergence(&rec.output, &replayed) {
+        Ok(Some(div)) => eprintln!("first checkpoint divergence: {div}"),
+        Ok(None) => eprintln!("checkpoints agree; the difference is outside probed state"),
+        Err(e) => eprintln!("cannot localize: {e}"),
+    }
+    3
+}
+
+fn cmd_bisect(args: &[String]) -> i32 {
+    if args.len() < 2 {
+        return fail(
+            "ccq bisect requires two configuration strings, e.g. \
+             ccq bisect \"--shards 4\" \"\" --topo torus2d:6 --proto arrow",
+        );
+    }
+    let (cfg_a, cfg_b, shared) = (&args[0], &args[1], &args[2..]);
+    // Each side = shared flags + its own configuration, forced into
+    // hash-lockstep: per-round checkpoints with per-node digests (these
+    // come last, so they win over any user-supplied interval).
+    let argv_for = |cfg: &str| {
+        let mut argv: Vec<String> = shared.to_vec();
+        argv.extend(cfg.split_whitespace().map(str::to_string));
+        argv.extend(["--checkpoint-every".to_string(), "1".to_string()]);
+        argv.push("--node-hashes".to_string());
+        argv
+    };
+    let a = match execute_sweep(&argv_for(cfg_a)) {
+        Ok(v) => v,
+        Err(msg) => return fail(&format!("config A (`{cfg_a}`): {msg}")),
+    };
+    let b = match execute_sweep(&argv_for(cfg_b)) {
+        Ok(v) => v,
+        Err(msg) => return fail(&format!("config B (`{cfg_b}`): {msg}")),
+    };
+    match first_divergence(&a, &b) {
+        Err(e) => fail(&e.to_string()),
+        Ok(None) => {
+            println!("no divergence: both configurations agree on every checkpoint");
+            0
+        }
+        Ok(Some(div)) => {
+            println!("{div}");
+            3
+        }
+    }
+}
+
 fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
     let mut out = SweepArgs {
         topos: Vec::new(),
@@ -255,6 +492,10 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         admissions: Vec::new(),
         shards: Vec::new(),
         parallel_apply: false,
+        timing: false,
+        checkpoint_every: None,
+        node_hashes: false,
+        perturb: None,
         repeats: 1,
         seed: 0,
         json: None,
@@ -316,6 +557,26 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                 }
             }
             "--parallel-apply" => out.parallel_apply = true,
+            "--timing" => out.timing = true,
+            "--checkpoint-every" => {
+                let every: u64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs an integer ≥ 1".to_string())?;
+                if every < 1 {
+                    return Err("--checkpoint-every needs an integer ≥ 1".to_string());
+                }
+                out.checkpoint_every = Some(every);
+            }
+            "--node-hashes" => out.node_hashes = true,
+            "--perturb" => {
+                let v = value("--perturb")?;
+                let (r, n) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--perturb wants round:node, got `{v}`"))?;
+                let round = r.parse().map_err(|_| format!("bad round in `--perturb {v}`"))?;
+                let node = n.parse().map_err(|_| format!("bad node in `--perturb {v}`"))?;
+                out.perturb = Some((round, node));
+            }
             "--repeats" => {
                 out.repeats = value("--repeats")?
                     .parse()
@@ -359,29 +620,51 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
 const MAX_CLI_SHARDS: usize = 4096;
 
 fn parse_shards(token: &str) -> Result<ShardSpec, String> {
-    let (k_raw, strategy_raw) = match token.split_once(':') {
-        Some((k, s)) => (k, Some(s)),
-        None => (token, None),
-    };
-    let k: usize =
-        k_raw.parse().map_err(|_| format!("bad shard count in `{token}` (want k[:strategy])"))?;
+    let mut parts = token.split(':');
+    let k_raw = parts.next().unwrap_or_default();
+    let k: usize = k_raw
+        .parse()
+        .map_err(|_| format!("bad shard count in `{token}` (want k[:strategy][:ferry=D])"))?;
     if k < 1 {
         return Err(format!("shard count must be ≥ 1 in `{token}`"));
     }
     if k > MAX_CLI_SHARDS {
         return Err(format!("shard count must be ≤ {MAX_CLI_SHARDS} in `{token}`"));
     }
-    let strategy = match strategy_raw {
-        None | Some("contig") | Some("contiguous") => ShardStrategy::Contiguous,
-        Some("stripe") | Some("striped") => ShardStrategy::Striped,
-        Some("edgecut") => ShardStrategy::EdgeCut,
-        Some(other) => {
-            return Err(format!(
-                "unknown shard strategy `{other}` in `{token}` (contig | stripe | edgecut)"
-            ))
+    let mut strategy: Option<ShardStrategy> = None;
+    let mut ferry: Option<u64> = None;
+    for part in parts {
+        if let Some(raw) = part.strip_prefix("ferry=") {
+            if ferry.is_some() {
+                return Err(format!("field `ferry` given twice in `{token}`"));
+            }
+            let d: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad value `{raw}` for field `ferry` in `{token}`"))?;
+            ferry = Some(check_bound(token, "ferry", d, 1)?);
+            continue;
         }
-    };
-    Ok(ShardSpec::new(k, strategy))
+        let parsed = match part {
+            "contig" | "contiguous" => ShardStrategy::Contiguous,
+            "stripe" | "striped" => ShardStrategy::Striped,
+            "edgecut" => ShardStrategy::EdgeCut,
+            other => {
+                return Err(format!(
+                    "unknown shard strategy `{other}` in `{token}` \
+                     (contig | stripe | edgecut, or ferry=D)"
+                ))
+            }
+        };
+        if strategy.is_some() {
+            return Err(format!("shard strategy given twice in `{token}`"));
+        }
+        strategy = Some(parsed);
+    }
+    let mut spec = ShardSpec::new(k, strategy.unwrap_or(ShardStrategy::Contiguous));
+    if let Some(d) = ferry {
+        spec = spec.with_inter_delay(LinkDelay::Fixed { delay: d });
+    }
+    Ok(spec)
 }
 
 /// Split `key=value` parameters of a spec token, validating keys against

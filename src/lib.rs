@@ -9,6 +9,7 @@ pub use ccq_core as core;
 pub use ccq_counting as counting;
 pub use ccq_graph as graph;
 pub use ccq_queuing as queuing;
+pub use ccq_replay as replay;
 pub use ccq_sim as sim;
 pub use ccq_tsp as tsp;
 
