@@ -8,6 +8,14 @@
 //! readable `BENCH_engine.json` (path override: `CCQ_BENCH_OUT`) with one
 //! mean wall time per configuration, so CI can archive engine-throughput
 //! trends next to the sweep artifacts.
+//!
+//! The artifact also carries the **sparse-load scaling curve** behind the
+//! dirty-frontier engine: `central-counter` driven by a 64-requester tail
+//! cluster on tori of n ≈ 1e3, 1e4, 1e5 and 1e6 processors. Traffic is
+//! constant while n grows 1000×, so the frontier loop's wall time tracks
+//! traffic, not n — the dense `0..n` reference scan is measured alongside
+//! (up to 1e5; at 1e6 it would dominate the bench's wall-clock budget)
+//! as the curve the frontier escapes.
 
 use ccq_core::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -21,11 +29,17 @@ struct Sample {
     bench: String,
     protocol: String,
     topology: String,
+    /// Processor count of the topology — the scaling curve's x axis.
+    nodes: usize,
     shards: String,
     /// Whether handlers applied on the sliced shard-parallel path.
     parallel_apply: bool,
+    /// Whether the round loop ran the dense `0..n` reference scan
+    /// instead of the default dirty frontier.
+    dense_scan: bool,
     iters: u32,
     mean_seconds: f64,
+    rounds: u64,
     total_delay: u64,
     cross_shard_messages: u64,
 }
@@ -65,10 +79,51 @@ fn measure(
         bench: "engine_hot_loop".into(),
         protocol: spec.name().to_string(),
         topology: topo.name(),
+        nodes: scenario.graph.n(),
         shards: shards.name(),
         parallel_apply,
+        dense_scan: false,
         iters: n,
         mean_seconds: elapsed / n as f64,
+        rounds: out.report.rounds,
+        total_delay: out.report.total_delay(),
+        cross_shard_messages: out.report.cross_shard_messages,
+    }
+}
+
+/// One sparse-load scaling cell: `central-counter` on an n-node torus
+/// with a 64-requester tail cluster arriving Poisson. The request set —
+/// and so the dirty frontier — stays the same size as the torus grows
+/// 1000×; only the travel distance to the counter stretches.
+fn measure_sparse(side: usize, dense: bool) -> Sample {
+    let spec: &dyn ProtocolSpec = &ccq_core::protocol::CentralCounter;
+    let topo = TopoSpec::Torus2D { side };
+    let scenario = Scenario::build_with(
+        topo.clone(),
+        RequestPattern::TailCluster { count: 64 },
+        ArrivalSpec::Poisson { rate: 0.5, seed: 7 },
+    )
+    .with_dense_scan(dense);
+    let mode = mode_for(spec);
+    let n = iters();
+    let start = Instant::now();
+    let mut out = None;
+    for _ in 0..n {
+        out = Some(run_spec(spec, &scenario, mode).expect("scaling run verifies"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let out = out.expect("at least one iteration");
+    Sample {
+        bench: "sparse_scaling".into(),
+        protocol: spec.name().to_string(),
+        topology: topo.name(),
+        nodes: scenario.graph.n(),
+        shards: ShardSpec::single().name(),
+        parallel_apply: false,
+        dense_scan: dense,
+        iters: n,
+        mean_seconds: elapsed / n as f64,
+        rounds: out.report.rounds,
         total_delay: out.report.total_delay(),
         cross_shard_messages: out.report.cross_shard_messages,
     }
@@ -135,6 +190,16 @@ fn bench_engine(c: &mut Criterion) {
             }
         }
     }
+    // The sparse-load scaling curve: frontier loop at n ≈ 1e3..1e6, the
+    // dense reference scan alongside up to 1e5 (at 1e6 the dense scan's
+    // rounds × n node-visits would dominate the bench wall clock).
+    for side in [32usize, 100, 316, 1000] {
+        samples.push(measure_sparse(side, false));
+        if side < 1000 {
+            samples.push(measure_sparse(side, true));
+        }
+    }
+
     let out_path =
         std::env::var("CCQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
     let json = serde_json::to_string_pretty(&samples).expect("samples serialize");

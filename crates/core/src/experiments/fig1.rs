@@ -28,6 +28,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         admission: AdmissionSpec::Open,
         shards: ShardSpec::single(),
         parallel_apply: false,
+        dense_scan: false,
         probe: ProbeSpec::OFF,
     };
 

@@ -55,6 +55,7 @@ pub struct RunPlan {
     admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
+    dense_scan: bool,
     probe: ProbeSpec,
     repeats: usize,
     seed: u64,
@@ -82,6 +83,7 @@ impl RunPlan {
             admissions: vec![AdmissionSpec::Open],
             shards: vec![ShardSpec::single()],
             parallel_apply: false,
+            dense_scan: false,
             probe: ProbeSpec::OFF,
             repeats: 1,
             seed: 0,
@@ -210,6 +212,30 @@ impl RunPlan {
         self
     }
 
+    /// Execute every case on the dense reference scan instead of the
+    /// dirty frontier (see [`Scenario::with_dense_scan`]). Like
+    /// [`RunPlan::parallel_apply`] this is an execution strategy, not a
+    /// sweep dimension, and is deliberately absent from [`PlanInfo`]:
+    /// reports are byte-identical either way, which is what lets CI `cmp`
+    /// a `--dense-scan` sweep against its frontier-driven twin.
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let plan = |dense: bool| {
+    ///     RunPlan::new()
+    ///         .topologies([TopoSpec::Mesh2D { side: 3 }])
+    ///         .dense_scan(dense)
+    ///         .execute()
+    /// };
+    /// // The scan strategy changes no output byte.
+    /// assert_eq!(plan(false).to_json(), plan(true).to_json());
+    /// ```
+    pub fn dense_scan(mut self, on: bool) -> Self {
+        self.dense_scan = on;
+        self
+    }
+
     /// Hash engine state every `every` rounds on every case (see
     /// [`Scenario::with_checkpoint_every`]). Like [`RunPlan::
     /// parallel_apply`], the probe knobs are not sweep dimensions and are
@@ -325,6 +351,7 @@ impl RunPlan {
                                     admission: *admission,
                                     shards: *shards,
                                     parallel_apply: self.parallel_apply,
+                                    dense_scan: self.dense_scan,
                                     probe: self.probe,
                                     repeat,
                                     runs,
@@ -405,6 +432,7 @@ struct WorkGroup {
     admission: AdmissionSpec,
     shards: ShardSpec,
     parallel_apply: bool,
+    dense_scan: bool,
     probe: ProbeSpec,
     repeat: usize,
     runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
@@ -416,6 +444,7 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             .with_admission(group.admission)
             .with_shards(group.shards)
             .with_parallel_apply(group.parallel_apply)
+            .with_dense_scan(group.dense_scan)
             .with_probe(group.probe);
     let mut results = Vec::with_capacity(group.runs.len());
     for (index, spec, mode, delay) in &group.runs {

@@ -67,9 +67,11 @@ where
              parallel apply; drop --parallel-apply or pick a sliced protocol"
         )));
     }
-    // Scenario-level probe knobs merge over whatever the caller set on the
-    // config (mirroring the parallel_apply threading below).
-    let cfg = cfg.with_probe(cfg.probe.merged(scenario.probe));
+    // Scenario-level probe and scan knobs merge over whatever the caller
+    // set on the config (mirroring the parallel_apply threading below).
+    let cfg = cfg
+        .with_dense_scan(cfg.dense_scan || scenario.dense_scan)
+        .with_probe(cfg.probe.merged(scenario.probe));
     match scenario.open_schedule() {
         None => dispatch(scenario, cfg, build(false)),
         Some(schedule) => {
@@ -103,6 +105,7 @@ where
     // Probe knobs merge the same way.
     let cfg = cfg
         .with_parallel_apply(cfg.parallel_apply || scenario.parallel_apply)
+        .with_dense_scan(cfg.dense_scan || scenario.dense_scan)
         .with_probe(cfg.probe.merged(scenario.probe));
     match scenario.open_schedule() {
         None => dispatch_sliced(scenario, cfg, build(false)),

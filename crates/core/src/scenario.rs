@@ -471,6 +471,12 @@ pub struct Scenario {
     /// `InvalidConfig`). An execution strategy, not a model knob —
     /// results are byte-identical to the serialized apply path.
     pub parallel_apply: bool,
+    /// Walk every processor in the deliver/transmit phases instead of the
+    /// dirty frontier (the dense reference scan; see
+    /// [`ccq_sim::SimConfig::dense_scan`]). An execution strategy, not a
+    /// model knob — results are byte-identical either way, which the
+    /// equivalence suites prove by running both.
+    pub dense_scan: bool,
     /// Execution probe: checkpoint hashing, snapshots, perturbation and
     /// phase timing ([`ProbeSpec::OFF`] by default — no probe work at
     /// all, and probe data never reaches the serialized [`ccq_sim::
@@ -510,6 +516,7 @@ impl Scenario {
             admission: AdmissionSpec::Open,
             shards: ShardSpec::single(),
             parallel_apply: false,
+            dense_scan: false,
             probe: ProbeSpec::OFF,
         }
     }
@@ -535,6 +542,13 @@ impl Scenario {
     /// apply path; see [`Scenario::parallel_apply`]).
     pub fn with_parallel_apply(mut self, on: bool) -> Self {
         self.parallel_apply = on;
+        self
+    }
+
+    /// Builder-style: use the dense reference scan instead of the dirty
+    /// frontier (see [`Scenario::dense_scan`]).
+    pub fn with_dense_scan(mut self, on: bool) -> Self {
+        self.dense_scan = on;
         self
     }
 

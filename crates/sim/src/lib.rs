@@ -52,6 +52,7 @@ pub mod engine;
 pub mod probe;
 pub mod protocol;
 pub mod report;
+pub mod ring;
 pub mod scheduler;
 pub mod shard;
 pub mod state;
@@ -64,6 +65,7 @@ pub use engine::{SimError, Simulator};
 pub use probe::{fnv1a, Checkpoint, NodeDigest, Phase, PhaseTimings, ProbeSpec};
 pub use protocol::{dispatch_sliced, with_slice, NodeSliced, Protocol, SimApi, SliceApi};
 pub use report::{Completion, Dropped, Issue, LinkDelay, SimConfig, SimReport};
+pub use ring::EventRing;
 pub use shard::{run_protocol_sharded, run_protocol_sharded_sliced, ShardedSimulator};
 pub use trace::{TraceEvent, TraceKind};
 

@@ -323,10 +323,18 @@ pub(crate) fn canonical_state<M: std::fmt::Debug>(
     report: &SimReport,
     token: &str,
 ) -> (String, Vec<(NodeId, u64)>) {
-    let n = stores.iter().map(|s| s.n()).max().unwrap_or(0);
+    // Visit only processors with a nonempty queue in some store: empty
+    // processors render nothing, so walking the merged occupied sets in
+    // ascending id order emits exactly the bytes the dense `0..n` scan
+    // would. This keeps canonical rendering O(occupied + wires) — and
+    // independent of store layout, so membership-sized shard stores hash
+    // identically to the monolith's full-range store.
+    let mut candidates: Vec<NodeId> = stores.iter().flat_map(|s| s.occupied_nodes()).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
     let mut buf = String::new();
     let mut nodes = Vec::new();
-    for v in 0..n {
+    for v in candidates {
         let start = buf.len();
         let mut any = false;
         let mut inb = String::new();
@@ -502,6 +510,16 @@ mod tests {
         assert_eq!(one, two);
         assert_eq!(nodes1, nodes2);
         assert_eq!(nodes1.len(), 2); // only the two non-empty nodes
+
+        // Membership-sized shard stores render the same bytes as
+        // full-range ones: slot layout is invisible to the probe.
+        let mut ma: NodeStore<u32> = NodeStore::with_members(4, &[0, 1]);
+        let mut mb: NodeStore<u32> = NodeStore::with_members(4, &[2, 3]);
+        ma.stage(1, 2, 7);
+        mb.enqueue(3, Inbound { src: 0, arrival: 2, msg: 9 });
+        let (three, nodes3) = canonical_state(&[&ma, &mb], &[&t, &t], &rep, "");
+        assert_eq!(one, three);
+        assert_eq!(nodes1, nodes3);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! which is why parallel-apply runs are byte-identical to serialized ones.
 
 use crate::report::{Completion, Dropped, Issue};
+use crate::ring::{EventRing, STAGE_CAPACITY};
 use crate::Round;
 use ccq_graph::NodeId;
 
@@ -69,13 +70,16 @@ pub trait Protocol {
 }
 
 /// Callback interface: staging area for sends and operation completions.
+/// The per-kind buffers are preallocated [`EventRing`]s, filled by a phase
+/// and drained at its end with their storage retained, so staging effects
+/// allocates nothing in steady state.
 #[derive(Debug)]
 pub struct SimApi<M> {
     round: Round,
-    pub(crate) outgoing: Vec<(NodeId, NodeId, M)>,
-    pub(crate) completed: Vec<Completion>,
-    pub(crate) issued: Vec<Issue>,
-    pub(crate) dropped: Vec<Dropped>,
+    pub(crate) outgoing: EventRing<(NodeId, NodeId, M)>,
+    pub(crate) completed: EventRing<Completion>,
+    pub(crate) issued: EventRing<Issue>,
+    pub(crate) dropped: EventRing<Dropped>,
     pub(crate) delayed: u64,
     /// Cumulative issue count over the whole run (never drained).
     issued_total: u64,
@@ -91,10 +95,10 @@ impl<M> SimApi<M> {
     pub(crate) fn new() -> Self {
         SimApi {
             round: 0,
-            outgoing: Vec::new(),
-            completed: Vec::new(),
-            issued: Vec::new(),
-            dropped: Vec::new(),
+            outgoing: EventRing::with_capacity(STAGE_CAPACITY),
+            completed: EventRing::with_capacity(STAGE_CAPACITY),
+            issued: EventRing::with_capacity(STAGE_CAPACITY),
+            dropped: EventRing::with_capacity(STAGE_CAPACITY),
             delayed: 0,
             issued_total: 0,
             completed_total: 0,

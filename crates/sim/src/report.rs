@@ -132,6 +132,13 @@ pub struct SimConfig {
     /// silently falling back. An execution strategy, not a model knob:
     /// reports are byte-identical either way.
     pub parallel_apply: bool,
+    /// Walk every processor in the deliver and transmit phases (the
+    /// pre-frontier dense reference scan) instead of only the dirty
+    /// frontier. Like [`SimConfig::parallel_apply`] this is an execution
+    /// strategy, not a model knob: runs are byte-identical either way
+    /// (proven by the equivalence proptests); it exists as the reference
+    /// implementation the sparse engine is checked against.
+    pub dense_scan: bool,
     /// Execution probing: checkpoints, snapshot, per-phase timing and the
     /// perturbation knob (see [`crate::probe::ProbeSpec`]). The default is
     /// fully off and costs nothing.
@@ -149,6 +156,7 @@ impl SimConfig {
             trace: false,
             link_delay: LinkDelay::Unit,
             parallel_apply: false,
+            dense_scan: false,
             probe: ProbeSpec::OFF,
         }
     }
@@ -190,6 +198,13 @@ impl SimConfig {
     /// [`SimConfig::parallel_apply`]).
     pub fn with_parallel_apply(mut self, on: bool) -> Self {
         self.parallel_apply = on;
+        self
+    }
+
+    /// Builder-style: toggle the dense reference scan (see
+    /// [`SimConfig::dense_scan`]).
+    pub fn with_dense_scan(mut self, on: bool) -> Self {
+        self.dense_scan = on;
         self
     }
 
@@ -435,10 +450,12 @@ impl SimReport {
             .collect()
     }
 
-    /// Nearest-rank percentile of the scaled completion latencies (`q` in
-    /// `[0, 1]`; 0 when no operation completed).
+    /// Nearest-rank percentile of the scaled completion latencies. `q` is
+    /// clamped into `[0, 1]` (a NaN quantile reads as 0); 0 when no
+    /// operation completed — a metric read never panics, whatever the run
+    /// or the caller produced.
     pub fn latency_percentile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let mut l = self.latencies();
         if l.is_empty() {
             return 0;
@@ -449,9 +466,11 @@ impl SimReport {
     }
 
     /// Completed operations per (unscaled) round over the whole execution
-    /// (`rounds + 1` counts round 0) — the steady-state throughput measure.
+    /// (`rounds + 1` counts round 0, saturating so a run at the round-count
+    /// ceiling cannot overflow) — the steady-state throughput measure.
+    /// 0 for an empty run; never NaN or infinite.
     pub fn throughput(&self) -> f64 {
-        self.completions.len() as f64 / (self.rounds + 1) as f64
+        self.completions.len() as f64 / (self.rounds.saturating_add(1)) as f64
     }
 
     /// The nodes whose arrivals were shed, sorted ascending.
@@ -524,6 +543,54 @@ mod tests {
         assert_eq!(rep.mean_delay(), 0.0);
         assert_eq!(rep.latency_percentile(0.99), 0);
         assert_eq!(rep.throughput(), 0.0);
+    }
+
+    /// Metric reads are total: zero-completion, zero-round and
+    /// pathological-quantile inputs yield finite, defined values instead
+    /// of NaN, division blow-ups or panics.
+    #[test]
+    fn metrics_survive_empty_and_degenerate_runs() {
+        // Zero rounds, zero completions: everything is exactly 0.
+        let empty = SimReport { delay_scale: 1, ..Default::default() };
+        assert_eq!(empty.throughput(), 0.0);
+        assert_eq!(empty.goodput(), 0.0);
+        assert_eq!(empty.latency_percentile(0.5), 0);
+        // Degenerate quantiles no longer panic: NaN reads as 0, anything
+        // outside [0, 1] clamps to the nearest bound.
+        assert_eq!(empty.latency_percentile(f64::NAN), 0);
+        assert_eq!(empty.latency_percentile(-3.0), 0);
+        assert_eq!(empty.latency_percentile(7.5), 0);
+        let one = SimReport {
+            delay_scale: 1,
+            completions: vec![Completion { node: 0, value: 1, round: 4 }],
+            ..Default::default()
+        };
+        assert_eq!(one.latency_percentile(f64::NAN), 4);
+        assert_eq!(one.latency_percentile(-1.0), 4);
+        assert_eq!(one.latency_percentile(2.0), 4);
+
+        // A run pinned at the round-count ceiling: `rounds + 1` saturates
+        // instead of overflowing, and the ratio stays finite.
+        let ceiling = SimReport {
+            delay_scale: 1,
+            rounds: Round::MAX,
+            completions: vec![Completion { node: 0, value: 1, round: 0 }],
+            ..Default::default()
+        };
+        assert!(ceiling.throughput().is_finite());
+        assert!(ceiling.goodput().is_finite());
+
+        // All offered arrivals shed: goodput collapses to 0 while
+        // throughput stays defined.
+        let shed = SimReport {
+            delay_scale: 1,
+            rounds: 9,
+            dropped: vec![Dropped { node: 3, round: 1 }],
+            ..Default::default()
+        };
+        assert_eq!(shed.throughput(), 0.0);
+        assert_eq!(shed.goodput(), 0.0);
+        assert!(shed.goodput() <= shed.throughput());
     }
 
     #[test]

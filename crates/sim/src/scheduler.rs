@@ -8,20 +8,23 @@
 //! 2. **mature** — the [`crate::transport::Transport`] releases every wire
 //!    due at `t` into its destination's in-port
 //!    ([`crate::state::NodeStore`]), in (arrival, sequence) order;
-//! 3. **deliver (apply)** — each processor (ascending id) dequeues up to
-//!    `recv_budget` in-port messages and hands them to
-//!    [`crate::Protocol::on_message`]; handler effects drain after every
-//!    message. The *apply* step has two implementations sharing this
+//! 3. **deliver (apply)** — each processor with pending in-port work (the
+//!    dirty frontier, walked in ascending id order; under
+//!    [`crate::SimConfig::dense_scan`] the reference executor walks every
+//!    processor) dequeues up to `recv_budget` in-port messages and hands
+//!    them to [`crate::Protocol::on_message`]; handler effects drain after
+//!    every message. The *apply* step has two implementations sharing this
 //!    bookkeeping (`note_delivery` + `drain_api`): the serialized
 //!    global-order walk below, and the sharded executor's parallel path
 //!    for [`crate::NodeSliced`] protocols, which runs handlers inside each
 //!    shard's task and replays their staged effects here-equivalently at
 //!    the round barrier;
-//! 4. **transmit** — each processor (ascending id) dequeues up to
-//!    `send_budget` outbox messages; each receives the next global
-//!    sequence number and is scheduled on the transport;
-//! 5. **quiescence / wakeup** — when every queue and wheel is empty the
-//!    run either ends or fast-forwards to
+//! 4. **transmit** — each processor with staged sends (again the frontier,
+//!    ascending id) dequeues up to `send_budget` outbox messages; each
+//!    receives the next global sequence number and is scheduled on the
+//!    transport;
+//! 5. **quiescence / wakeup** — when every queue and wheel is empty
+//!    (an O(1) counter check) the run either ends or fast-forwards to
 //!    [`crate::Protocol::next_wakeup`].
 //!
 //! The invariant this layer owns is the *delivery rule*: a message handled
@@ -69,14 +72,14 @@ pub(crate) fn drain_api<M>(
     trace: bool,
     mut stage: impl FnMut(NodeId, NodeId, M) -> usize,
 ) -> Result<(), SimError> {
-    for (from, to, msg) in api.outgoing.drain(..) {
+    for (from, to, msg) in api.outgoing.drain() {
         if from >= graph.n() || to >= graph.n() || !graph.has_edge(from, to) {
             return Err(SimError::InvalidSend { from, to, round });
         }
         let depth = stage(from, to, msg);
         report.max_outbox_depth = report.max_outbox_depth.max(depth);
     }
-    for i in api.issued.drain(..) {
+    for i in api.issued.drain() {
         debug_assert_eq!(i.round, round, "issue round mismatch");
         report.issues.push(i);
         if trace {
@@ -88,7 +91,7 @@ pub(crate) fn drain_api<M>(
             });
         }
     }
-    for c in api.completed.drain(..) {
+    for c in api.completed.drain() {
         debug_assert_eq!(c.round, round, "completion round mismatch");
         report.completions.push(c);
         if trace {
@@ -103,7 +106,7 @@ pub(crate) fn drain_api<M>(
     // Admission-control accounting: shed arrivals and deferral counts
     // (recorded by `Paced` during the arrivals phase; empty under the
     // `Open` policy and for one-shot runs).
-    for d in api.dropped.drain(..) {
+    for d in api.dropped.drain() {
         debug_assert_eq!(d.round, round, "drop round mismatch");
         report.dropped.push(d);
         if trace {
@@ -190,6 +193,11 @@ pub(crate) fn run_single<P: Protocol>(
     let mut store: NodeStore<P::Msg> = NodeStore::new(n);
     let mut transport: Transport<P::Msg> = Transport::new(cfg.link_delay);
     let mut api: SimApi<P::Msg> = SimApi::new();
+    // Reusable frontier scratch: the deliver and transmit phases visit
+    // only the nodes with pending work (or all of `0..n` under the dense
+    // reference scan); the buffer's capacity is retained across rounds so
+    // steady state allocates nothing here.
+    let mut frontier: Vec<NodeId> = Vec::new();
 
     let mut timing = PhaseTimings::default();
     let mut watch = Stopwatch::new(cfg.probe.timing);
@@ -250,8 +258,17 @@ pub(crate) fn run_single<P: Protocol>(
             watch.reset();
         }
         if round > 0 {
-            // Delivery phase.
-            for v in 0..n {
+            // Delivery phase: visit the in-port frontier in ascending node
+            // order — byte-identical to the dense scan because every node
+            // off the frontier has an empty in-port and would pop nothing.
+            frontier.clear();
+            if cfg.dense_scan {
+                frontier.extend(0..n);
+            } else {
+                store.take_inport_frontier(&mut frontier);
+                frontier.sort_unstable();
+            }
+            for &v in &frontier {
                 for _ in 0..cfg.recv_budget {
                     let Some(inb) = store.pop_inport(v) else { break };
                     report.queue_wait_rounds += round - inb.arrival;
@@ -277,11 +294,22 @@ pub(crate) fn run_single<P: Protocol>(
             watch.reset();
         }
 
-        // Transmit phase.
-        for v in 0..n {
+        // Transmit phase: visit the outbox frontier in ascending node
+        // order, so the run-global sequence numbers are assigned exactly
+        // as the dense scan would.
+        frontier.clear();
+        if cfg.dense_scan {
+            frontier.extend(0..n);
+        } else {
+            store.take_outbox_frontier(&mut frontier);
+            frontier.sort_unstable();
+        }
+        for &v in &frontier {
             if cfg.probe.skips_transmit(round, v) {
                 // The planted perturbation: this node's staged sends wait
-                // one extra round (see ProbeSpec::perturb_round).
+                // one extra round (see ProbeSpec::perturb_round) — re-list
+                // it so the held sends stay on the frontier.
+                store.relist_outbox(v);
                 continue;
             }
             for _ in 0..cfg.send_budget {

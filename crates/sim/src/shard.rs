@@ -60,6 +60,9 @@ use rayon::prelude::*;
 struct ShardState<M> {
     store: NodeStore<M>,
     transport: Transport<M>,
+    /// Reusable frontier scratch for the harvest phase (capacity retained
+    /// across rounds, so steady state allocates nothing here).
+    frontier: Vec<NodeId>,
 }
 
 impl<M> ShardState<M> {
@@ -87,6 +90,8 @@ struct Fabric<M> {
     shards: Vec<ShardState<M>>,
     ferry: Transport<M>,
     api: SimApi<M>,
+    /// Reusable frontier scratch for the transmit phase.
+    scratch: Vec<NodeId>,
 }
 
 impl<M> Fabric<M> {
@@ -113,13 +118,18 @@ impl<M> Fabric<M> {
                 ..Default::default()
             },
             shards: (0..partition.k())
-                .map(|_| ShardState {
-                    store: NodeStore::new(n),
+                .map(|shard| ShardState {
+                    // Membership-sized: a shard of a large topology holds
+                    // queues for its own members only, behind an id → slot
+                    // index map (not n-wide Vecs).
+                    store: NodeStore::with_members(n, partition.members(shard)),
                     transport: Transport::new(cfg.link_delay),
+                    frontier: Vec::new(),
                 })
                 .collect(),
             ferry: Transport::new(inter_delay),
             api: SimApi::new(),
+            scratch: Vec::new(),
         };
         // Time 0: every requester issues its operation.
         protocol.on_start(&mut fabric.api);
@@ -213,13 +223,28 @@ impl<M> Fabric<M> {
 
     /// Transmit phase: global ascending node order assigns the run-global
     /// sequence numbers; cross-shard messages ride the ferry, everything
-    /// else stays on the shard's own transport.
+    /// else stays on the shard's own transport. Shards hold disjoint
+    /// nodes, so concatenating the per-shard outbox frontiers and sorting
+    /// ascending visits exactly the nodes the dense `0..n` scan would do
+    /// work at, in the same order.
     fn transmit(&mut self, partition: &Partition, round: Round, cfg: &SimConfig) {
-        for v in 0..partition.n() {
+        let mut frontier = std::mem::take(&mut self.scratch);
+        frontier.clear();
+        if cfg.dense_scan {
+            frontier.extend(0..partition.n());
+        } else {
+            for shard in &mut self.shards {
+                shard.store.take_outbox_frontier(&mut frontier);
+            }
+            frontier.sort_unstable();
+        }
+        for &v in &frontier {
             if cfg.probe.skips_transmit(round, v) {
                 // The planted perturbation: this node's staged sends wait
                 // one extra round (see `ProbeSpec::perturb_round`) — the
-                // same skip on every apply path.
+                // same skip on every apply path; re-list the node so its
+                // held sends stay on the frontier.
+                self.shards[partition.shard_of(v)].store.relist_outbox(v);
                 continue;
             }
             let sv = partition.shard_of(v);
@@ -248,6 +273,8 @@ impl<M> Fabric<M> {
                 }
             }
         }
+        frontier.clear();
+        self.scratch = frontier;
     }
 
     /// Whether every queue, wheel and the ferry are empty.
@@ -351,9 +378,21 @@ where
                 let done: Harvested<P::Msg> = work
                     .into_par_iter()
                     .map(|(shard, mut state)| {
+                        // Harvest only the in-port frontier (ascending):
+                        // members off it have empty in-ports and would
+                        // yield empty batches. The dense reference scan
+                        // walks the full membership instead.
+                        let mut frontier = std::mem::take(&mut state.frontier);
+                        frontier.clear();
+                        if cfg.dense_scan {
+                            frontier.extend_from_slice(partition.members(shard));
+                        } else {
+                            state.store.take_inport_frontier(&mut frontier);
+                            frontier.sort_unstable();
+                        }
                         let mut batches = Vec::new();
                         let mut queue_wait = 0u64;
-                        for &v in partition.members(shard) {
+                        for &v in &frontier {
                             let mut batch = Vec::new();
                             for _ in 0..cfg.recv_budget {
                                 let Some(inb) = state.store.pop_inport(v) else { break };
@@ -364,6 +403,8 @@ where
                                 batches.push((v, batch));
                             }
                         }
+                        frontier.clear();
+                        state.frontier = frontier;
                         (state, Harvest { batches, queue_wait })
                     })
                     .collect();
@@ -526,11 +567,28 @@ where
                 let done: Vec<SlicedOutcome<P::Msg>> = work
                     .into_par_iter()
                     .map(|task| {
-                        let SlicedTask { shard, mut state, slices } = task;
+                        let SlicedTask { shard, mut state, mut slices } = task;
                         let mut sapi = SliceApi::new(round, 0);
                         let mut deliveries = Vec::new();
                         let mut queue_wait = 0u64;
-                        for (&v, slice) in partition.members(shard).iter().zip(slices) {
+                        // Visit only the in-port frontier (or the full
+                        // membership under the dense reference scan).
+                        // `members(shard)` ascends, so a binary search
+                        // recovers each frontier node's slice bucket.
+                        let members = partition.members(shard);
+                        let mut frontier = std::mem::take(&mut state.frontier);
+                        frontier.clear();
+                        if cfg.dense_scan {
+                            frontier.extend_from_slice(members);
+                        } else {
+                            state.store.take_inport_frontier(&mut frontier);
+                            frontier.sort_unstable();
+                        }
+                        for &v in &frontier {
+                            let idx = members
+                                .binary_search(&v)
+                                .expect("frontier nodes are shard members");
+                            let slice = &mut *slices[idx];
                             sapi.set_node(v);
                             for _ in 0..cfg.recv_budget {
                                 let Some(inb) = state.store.pop_inport(v) else { break };
@@ -539,6 +597,8 @@ where
                                 deliveries.push((v, inb.src, sapi.effects.len()));
                             }
                         }
+                        frontier.clear();
+                        state.frontier = frontier;
                         SlicedOutcome { state, api: sapi, deliveries, queue_wait }
                     })
                     .collect();

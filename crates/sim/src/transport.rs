@@ -41,6 +41,10 @@ pub struct Wire<M> {
     pub msg: M,
 }
 
+/// Batch `Vec`s kept around for reuse after their wires drained — bounds
+/// the freelist so bursty rounds cannot pin arbitrary memory.
+const SPARE_BATCHES: usize = 8;
+
 /// Scheduler of in-flight messages under one delay policy.
 #[derive(Debug)]
 pub struct Transport<M> {
@@ -50,12 +54,16 @@ pub struct Transport<M> {
     inflight: BTreeMap<Round, Vec<Wire<M>>>,
     /// Per-directed-link last scheduled arrival (FIFO clamp under jitter).
     link_last: HashMap<(NodeId, NodeId), Round>,
+    /// Recycled batch `Vec`s (drained, capacity retained): steady state
+    /// moves batches between the wheel and this freelist without touching
+    /// the allocator.
+    spare: Vec<Vec<Wire<M>>>,
 }
 
 impl<M> Transport<M> {
     /// An idle transport under `delay`.
     pub fn new(delay: LinkDelay) -> Self {
-        Transport { delay, inflight: BTreeMap::new(), link_last: HashMap::new() }
+        Transport { delay, inflight: BTreeMap::new(), link_last: HashMap::new(), spare: Vec::new() }
     }
 
     /// Place a message on the wire at `round`. `seq` is the run-global
@@ -69,7 +77,15 @@ impl<M> Transport<M> {
             arrival = arrival.max(*slot);
             *slot = arrival;
         }
-        self.inflight.entry(arrival).or_default().push(Wire { src, dst, arrival, seq, msg });
+        let wire = Wire { src, dst, arrival, seq, msg };
+        match self.inflight.entry(arrival) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().push(wire),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let mut batch = self.spare.pop().unwrap_or_default();
+                batch.push(wire);
+                e.insert(batch);
+            }
+        }
     }
 
     /// Remove and yield every wire due at or before `round`, in
@@ -79,9 +95,12 @@ impl<M> Transport<M> {
             if r > round {
                 break;
             }
-            let batch = self.inflight.remove(&r).expect("checked key");
-            for w in batch {
+            let mut batch = self.inflight.remove(&r).expect("checked key");
+            for w in batch.drain(..) {
                 sink(w);
+            }
+            if self.spare.len() < SPARE_BATCHES {
+                self.spare.push(batch);
             }
         }
     }

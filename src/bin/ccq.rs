@@ -10,7 +10,8 @@
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
 //!           [--admission <policies>] [--shards <plans>] [--parallel-apply]
-//!           [--timing] [--checkpoint-every N] [--node-hashes] [--perturb R:V]
+//!           [--dense-scan] [--timing] [--checkpoint-every N] [--node-hashes]
+//!           [--perturb R:V]
 //!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
 //!     `--json` (`-` writes JSON to stdout and nothing else). Without
@@ -59,6 +60,9 @@
 //! Apply path:  `--parallel-apply` runs protocol handlers shard-parallel
 //!              on their per-node state slices. Pure execution strategy:
 //!              the JSON is byte-identical to the serialized sweep.
+//! Scan path:   `--dense-scan` replaces the default dirty-frontier round
+//!              loop with the dense 0..n reference scan. Also a pure
+//!              execution strategy: byte-identical JSON either way.
 //! Probes:      `--timing` adds per-phase round timing to each case;
 //!              `--checkpoint-every N` hashes engine state at every phase
 //!              barrier of every Nth round; `--node-hashes` adds per-node
@@ -105,7 +109,7 @@ usage:
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
             [--admission <policies>] [--shards <k[:strategy][:ferry=D]>]
-            [--parallel-apply] [--timing] [--checkpoint-every N]
+            [--parallel-apply] [--dense-scan] [--timing] [--checkpoint-every N]
             [--node-hashes] [--perturb R:V]
             [--repeats N] [--seed S] [--json -|PATH] [--pretty]
   ccq record [sweep flags] --rec PATH [--json -|PATH]
@@ -168,6 +172,10 @@ fn cmd_list() -> i32 {
     println!(
         "apply path (ccq sweep --parallel-apply): shard-parallel handler application \
          on per-node state slices; JSON byte-identical to the serialized path"
+    );
+    println!(
+        "scan path (ccq sweep --dense-scan): dense 0..n reference round loop instead \
+         of the dirty frontier; JSON byte-identical to the frontier path"
     );
     println!("probes (ccq sweep): --timing | --checkpoint-every N | --node-hashes | --perturb R:V");
     println!("record/replay: ccq record … --rec PATH, ccq replay PATH, ccq bisect <cfgA> <cfgB> …");
@@ -237,6 +245,7 @@ struct SweepArgs {
     admissions: Vec<AdmissionSpec>,
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
+    dense_scan: bool,
     timing: bool,
     checkpoint_every: Option<u64>,
     node_hashes: bool,
@@ -259,6 +268,7 @@ fn build_plan(parsed: &SweepArgs) -> RunPlan {
         .admissions(parsed.admissions.clone())
         .shards(parsed.shards.clone())
         .parallel_apply(parsed.parallel_apply)
+        .dense_scan(parsed.dense_scan)
         .repeats(parsed.repeats)
         .seed(parsed.seed);
     for p in &parsed.protos {
@@ -492,6 +502,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         admissions: Vec::new(),
         shards: Vec::new(),
         parallel_apply: false,
+        dense_scan: false,
         timing: false,
         checkpoint_every: None,
         node_hashes: false,
@@ -557,6 +568,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                 }
             }
             "--parallel-apply" => out.parallel_apply = true,
+            "--dense-scan" => out.dense_scan = true,
             "--timing" => out.timing = true,
             "--checkpoint-every" => {
                 let every: u64 = value("--checkpoint-every")?

@@ -11,7 +11,9 @@
 //!   report's JSON);
 //! * **executor independence** — monolith, sharded-serialized and
 //!   sharded-parallel-apply runs of every registry protocol produce
-//!   identical per-round checkpoint and per-node digest streams;
+//!   identical per-round checkpoint and per-node digest streams, and the
+//!   dirty-frontier round loop hashes identically to the dense reference
+//!   scan (snapshots even resume across the two scan strategies);
 //! * **bisection** — a deliberately planted single-node transmit skip is
 //!   localized to its exact `(round, phase, node)` by
 //!   [`first_divergence`], and unperturbed runs show no divergence.
@@ -156,6 +158,90 @@ fn checkpoints_are_executor_independent_for_every_registry_protocol() {
                 spec.name()
             );
         }
+    }
+}
+
+/// Checkpoint and node-digest streams are also *scan-strategy*
+/// independent: the dirty-frontier loop hashes through exactly the same
+/// canonical states as the dense `0..n` reference scan at every barrier
+/// — on the monolith and on sharded executors — so replay artifacts
+/// recorded before the sparse engine stay valid after it.
+#[test]
+fn checkpoints_are_scan_strategy_independent_for_every_registry_protocol() {
+    let probe = ProbeSpec::OFF.with_checkpoint_every(1).with_node_hashes(true);
+    for spec in registry() {
+        let mode = mode_for(*spec);
+        let build = |k: usize, dense: bool| {
+            Scenario::build(TopoSpec::Torus2D { side: 3 }, RequestPattern::All)
+                .with_shards(ShardSpec::new(k, ShardStrategy::EdgeCut))
+                .with_dense_scan(dense)
+                .with_probe(probe)
+        };
+        let dense = run_spec_with(*spec, &build(1, true), mode, LinkDelay::Unit).unwrap();
+        assert!(!dense.report.checkpoints.is_empty(), "{}", spec.name());
+        for (label, out) in [
+            ("monolith", run_spec_with(*spec, &build(1, false), mode, LinkDelay::Unit).unwrap()),
+            ("sharded", run_spec_with(*spec, &build(3, false), mode, LinkDelay::Unit).unwrap()),
+        ] {
+            assert_eq!(
+                out.report.checkpoints,
+                dense.report.checkpoints,
+                "{} {label}: frontier checkpoint stream diverged from the dense scan",
+                spec.name()
+            );
+            assert_eq!(
+                out.report.node_digests,
+                dense.report.node_digests,
+                "{} {label}: frontier node digests diverged from the dense scan",
+                spec.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshots cross the scan-strategy boundary: a snapshot taken on
+    /// the dense reference scan resumes on the frontier loop (and vice
+    /// versa) into a report byte-identical to the uninterrupted run —
+    /// because `resume_from` is hash-verified re-execution, not store
+    /// deserialization, the store layout never leaks into the artifact.
+    #[test]
+    fn snapshots_resume_across_scan_strategies(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..4,
+        snap_dense in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let mode = mode_for(spec);
+        let build = |dense: bool| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                ArrivalSpec::Poisson { rate: 0.4, seed },
+            )
+            .with_dense_scan(dense)
+        };
+        let plain = run_spec_with(spec, &build(false), mode, delay).unwrap();
+        let probed =
+            run_spec_with(spec, &build(snap_dense).with_checkpoint_every(1), mode, delay)
+                .unwrap();
+        let rounds: Vec<u64> =
+            probed.report.checkpoints.iter().map(|c| c.round).collect();
+        let round = rounds[rounds.len() / 2];
+        // Snapshot on one strategy, resume on the other.
+        let snap = snapshot_of(spec, build(snap_dense), mode, delay, round).unwrap();
+        let resumed = resume_from(&snap, spec, build(!snap_dense), mode, delay).unwrap();
+        prop_assert_eq!(&resumed.order, &plain.order, "{} order diverged", spec.name());
+        prop_assert_eq!(
+            report_json(&resumed),
+            report_json(&plain),
+            "{}: cross-strategy resume not byte-identical",
+            spec.name()
+        );
     }
 }
 

@@ -14,7 +14,10 @@
 //! * **parallel-apply equivalence** — every registry protocol implements
 //!   `NodeSliced`, and a property test sweeps sliced protocols × delay
 //!   policies × open arrivals × shard plans asserting the parallel apply
-//!   path is byte-identical to the serialized one.
+//!   path is byte-identical to the serialized one;
+//! * **scan equivalence** — the same matrix asserts the default
+//!   dirty-frontier round loop is byte-identical to the dense `0..n`
+//!   reference scan (`dense_scan`), on both apply paths.
 
 use ccq_repro::core::protocol::run_arrival_aware;
 use ccq_repro::graph::{spanning, topology, NodeId, Partition};
@@ -157,6 +160,59 @@ proptest! {
             serde_json::to_string(&serial.report).unwrap(),
             serde_json::to_string(&sliced.report).unwrap(),
             "{} report diverged", spec.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sparse-engine guarantee: for every registry protocol, under
+    /// every delay policy, arrival process and shard plan, the default
+    /// dirty-frontier round loop produces a report byte-identical to the
+    /// dense `0..n` reference scan — the two execution strategies are
+    /// indistinguishable from the outside.
+    #[test]
+    fn frontier_runs_are_byte_identical_to_dense_scan(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..4,
+        arrival_kind in 0u8..3,
+        k in 1usize..5,
+        strategy in 0u8..3,
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let arrival = match arrival_kind {
+            0 => ArrivalSpec::OneShot,
+            1 => ArrivalSpec::Poisson { rate: 0.4, seed },
+            _ => ArrivalSpec::Bursty { rate: 0.8, on: 4, off: 7, seed },
+        };
+        let shards = ShardSpec::new(k, strategy_for(strategy));
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        // The parallel-apply requirement only holds for sliced protocols;
+        // every registry protocol is sliced, so both values are fair game.
+        let build = |dense: bool| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                arrival.clone(),
+            )
+            .with_shards(shards)
+            .with_parallel_apply(parallel)
+            .with_dense_scan(dense)
+        };
+        let frontier = run_spec_with(spec, &build(false), mode, delay).unwrap();
+        let dense = run_spec_with(spec, &build(true), mode, delay).unwrap();
+        prop_assert_eq!(dense.order, frontier.order, "{} order diverged", spec.name());
+        prop_assert_eq!(
+            serde_json::to_string(&frontier.report).unwrap(),
+            serde_json::to_string(&dense.report).unwrap(),
+            "{} report diverged between scan strategies", spec.name()
         );
     }
 }
