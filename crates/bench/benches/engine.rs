@@ -16,6 +16,11 @@
 //! traffic, not n — the dense `0..n` reference scan is measured alongside
 //! (up to 1e5; at 1e6 it would dominate the bench's wall-clock budget)
 //! as the curve the frontier escapes.
+//!
+//! Finally the artifact carries the **wavefront pipeline** comparison on
+//! the slow-ferry federated torus (EdgeCut shards joined by a fixed-delay
+//! inter-shard ferry): lockstep barriers every round vs shards running up
+//! to `lag` rounds ahead. CI gates on the lockstep/wavefront mean ratio.
 
 use ccq_core::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -37,6 +42,9 @@ struct Sample {
     /// Whether the round loop ran the dense `0..n` reference scan
     /// instead of the default dirty frontier.
     dense_scan: bool,
+    /// Wavefront pipeline depth: 0 = lockstep barrier every round,
+    /// d ≥ 1 = shards run up to d rounds ahead of the slowest shard.
+    wavefront_lag: u64,
     iters: u32,
     mean_seconds: f64,
     rounds: u64,
@@ -83,6 +91,7 @@ fn measure(
         shards: shards.name(),
         parallel_apply,
         dense_scan: false,
+        wavefront_lag: 0,
         iters: n,
         mean_seconds: elapsed / n as f64,
         rounds: out.report.rounds,
@@ -121,6 +130,46 @@ fn measure_sparse(side: usize, dense: bool) -> Sample {
         shards: ShardSpec::single().name(),
         parallel_apply: false,
         dense_scan: dense,
+        wavefront_lag: 0,
+        iters: n,
+        mean_seconds: elapsed / n as f64,
+        rounds: out.report.rounds,
+        total_delay: out.report.total_delay(),
+        cross_shard_messages: out.report.cross_shard_messages,
+    }
+}
+
+/// One wavefront cell: the t12-style slow-ferry federation (EdgeCut `k`
+/// shards on the 576-node torus, joined by a fixed `ferry`-round
+/// inter-shard delay). With `lag = 0` the shards synchronize at a
+/// lockstep barrier every round; with `lag ≥ 1` they pipeline up to
+/// `lag` rounds ahead of the slowest shard, so the ferry's dead rounds
+/// amortize over one fork/join instead of `lag` of them.
+fn measure_wavefront(spec: &dyn ProtocolSpec, k: usize, ferry: u64, lag: u64) -> Sample {
+    let topo = TopoSpec::Torus2D { side: 24 };
+    let shards = ShardSpec::new(k, ShardStrategy::EdgeCut)
+        .with_inter_delay(LinkDelay::Fixed { delay: ferry });
+    let scenario = Scenario::build(topo.clone(), RequestPattern::All)
+        .with_shards(shards)
+        .with_wavefront((lag > 0).then_some(lag));
+    let mode = mode_for(spec);
+    let n = iters();
+    let start = Instant::now();
+    let mut out = None;
+    for _ in 0..n {
+        out = Some(run_spec(spec, &scenario, mode).expect("wavefront run verifies"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let out = out.expect("at least one iteration");
+    Sample {
+        bench: "wavefront_pipeline".into(),
+        protocol: spec.name().to_string(),
+        topology: topo.name(),
+        nodes: scenario.graph.n(),
+        shards: shards.name(),
+        parallel_apply: false,
+        dense_scan: false,
+        wavefront_lag: lag,
         iters: n,
         mean_seconds: elapsed / n as f64,
         rounds: out.report.rounds,
@@ -197,6 +246,22 @@ fn bench_engine(c: &mut Criterion) {
         samples.push(measure_sparse(side, false));
         if side < 1000 {
             samples.push(measure_sparse(side, true));
+        }
+    }
+    // Wavefront pipeline on the slow-ferry federation: lag 0 is the
+    // lockstep baseline, lag 6 matches the ferry delay (the deepest lag
+    // the safety check admits). counting-network keeps hundreds of
+    // tokens in flight, so its round count — and the barrier overhead
+    // the wavefront amortizes — dominates; arrow is the traffic-light
+    // contrast. CI's gate reads the counting-network pair.
+    for spec in [
+        &ccq_core::protocol::Arrow as &dyn ProtocolSpec,
+        &ccq_core::protocol::CountingNetwork { width: None },
+    ] {
+        for k in [4usize, 8] {
+            for lag in [0u64, 6] {
+                samples.push(measure_wavefront(spec, k, 6, lag));
+            }
         }
     }
 

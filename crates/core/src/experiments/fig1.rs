@@ -29,6 +29,8 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         shards: ShardSpec::single(),
         parallel_apply: false,
         dense_scan: false,
+        wavefront: None,
+        serial_transmit: false,
         probe: ProbeSpec::OFF,
     };
 

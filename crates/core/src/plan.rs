@@ -56,6 +56,8 @@ pub struct RunPlan {
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
     dense_scan: bool,
+    wavefront: Option<u64>,
+    serial_transmit: bool,
     probe: ProbeSpec,
     repeats: usize,
     seed: u64,
@@ -84,6 +86,8 @@ impl RunPlan {
             shards: vec![ShardSpec::single()],
             parallel_apply: false,
             dense_scan: false,
+            wavefront: None,
+            serial_transmit: false,
             probe: ProbeSpec::OFF,
             repeats: 1,
             seed: 0,
@@ -236,6 +240,60 @@ impl RunPlan {
         self
     }
 
+    /// Execute every case on the wavefront pipeline (see
+    /// [`Scenario::with_wavefront`]): shards run up to `lag` rounds ahead
+    /// of the inter-shard barrier. `Some(0)` resolves the lag from each
+    /// shard plan's ferry minimum delay. Like [`RunPlan::parallel_apply`]
+    /// this is an execution strategy, not a sweep dimension, and is
+    /// deliberately absent from [`PlanInfo`]: reports are byte-identical
+    /// to the lockstep path, which is what lets CI `cmp` a `--wavefront`
+    /// sweep against its lockstep twin. Cases whose scenario cannot
+    /// support the pipeline (unsharded plan, non-sliced protocol, ferry
+    /// too fast for the lag) fail with a named `InvalidConfig`.
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let plan = |wavefront: Option<u64>| {
+    ///     RunPlan::new()
+    ///         .topologies([TopoSpec::Torus2D { side: 4 }])
+    ///         .shards([ShardSpec::new(4, ShardStrategy::Contiguous)
+    ///             .with_inter_delay(LinkDelay::Fixed { delay: 4 })])
+    ///         .wavefront(wavefront)
+    ///         .execute()
+    /// };
+    /// // The wavefront pipeline changes no output byte.
+    /// assert_eq!(plan(None).to_json(), plan(Some(4)).to_json());
+    /// ```
+    pub fn wavefront(mut self, lag: Option<u64>) -> Self {
+        self.wavefront = lag;
+        self
+    }
+
+    /// Execute every case on the serialized reference transmit instead of
+    /// the block-claim parallel transmit (see
+    /// [`Scenario::with_serial_transmit`]). Like [`RunPlan::dense_scan`]
+    /// this is an execution strategy, not a sweep dimension, and is
+    /// deliberately absent from [`PlanInfo`].
+    ///
+    /// ```
+    /// use ccq_core::prelude::*;
+    ///
+    /// let plan = |serial: bool| {
+    ///     RunPlan::new()
+    ///         .topologies([TopoSpec::Mesh2D { side: 3 }])
+    ///         .shards([ShardSpec::new(2, ShardStrategy::Contiguous)])
+    ///         .serial_transmit(serial)
+    ///         .execute()
+    /// };
+    /// // The transmit strategy changes no output byte.
+    /// assert_eq!(plan(false).to_json(), plan(true).to_json());
+    /// ```
+    pub fn serial_transmit(mut self, on: bool) -> Self {
+        self.serial_transmit = on;
+        self
+    }
+
     /// Hash engine state every `every` rounds on every case (see
     /// [`Scenario::with_checkpoint_every`]). Like [`RunPlan::
     /// parallel_apply`], the probe knobs are not sweep dimensions and are
@@ -352,6 +410,8 @@ impl RunPlan {
                                     shards: *shards,
                                     parallel_apply: self.parallel_apply,
                                     dense_scan: self.dense_scan,
+                                    wavefront: self.wavefront,
+                                    serial_transmit: self.serial_transmit,
                                     probe: self.probe,
                                     repeat,
                                     runs,
@@ -433,6 +493,8 @@ struct WorkGroup {
     shards: ShardSpec,
     parallel_apply: bool,
     dense_scan: bool,
+    wavefront: Option<u64>,
+    serial_transmit: bool,
     probe: ProbeSpec,
     repeat: usize,
     runs: Vec<(usize, Box<dyn ProtocolSpec>, ModelMode, LinkDelay)>,
@@ -445,6 +507,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             .with_shards(group.shards)
             .with_parallel_apply(group.parallel_apply)
             .with_dense_scan(group.dense_scan)
+            .with_wavefront(group.wavefront)
+            .with_serial_transmit(group.serial_transmit)
             .with_probe(group.probe);
     let mut results = Vec::with_capacity(group.runs.len());
     for (index, spec, mode, delay) in &group.runs {

@@ -67,10 +67,17 @@ where
              parallel apply; drop --parallel-apply or pick a sliced protocol"
         )));
     }
+    if scenario.wavefront.is_some() || cfg.wavefront_lag > 0 {
+        return Err(SimError::invalid_config(format!(
+            "protocol `{name}` does not implement NodeSliced, so it cannot run with \
+             the wavefront pipeline; drop --wavefront or pick a sliced protocol"
+        )));
+    }
     // Scenario-level probe and scan knobs merge over whatever the caller
     // set on the config (mirroring the parallel_apply threading below).
     let cfg = cfg
         .with_dense_scan(cfg.dense_scan || scenario.dense_scan)
+        .with_serial_transmit(cfg.serial_transmit || scenario.serial_transmit)
         .with_probe(cfg.probe.merged(scenario.probe));
     match scenario.open_schedule() {
         None => dispatch(scenario, cfg, build(false)),
@@ -85,9 +92,11 @@ where
 /// [`run_arrival_aware`] for [`NodeSliced`] protocols: additionally
 /// honours [`Scenario::parallel_apply`] by routing the run through the
 /// sharded executor's sliced apply path (for any shard count, including
-/// `k = 1`). With the flag off this is exactly [`run_arrival_aware`] —
-/// and with it on, reports stay byte-identical by the sliced executor's
-/// replay guarantee.
+/// `k = 1`), and [`Scenario::wavefront`] by resolving the lag against
+/// the shard plan's ferry and routing through the wavefront executor.
+/// With both off this is exactly [`run_arrival_aware`] — and with either
+/// on, reports stay byte-identical by the sliced executor's replay
+/// guarantee.
 pub fn run_arrival_aware_sliced<P, F>(
     scenario: &Scenario,
     cfg: SimConfig,
@@ -106,7 +115,9 @@ where
     let cfg = cfg
         .with_parallel_apply(cfg.parallel_apply || scenario.parallel_apply)
         .with_dense_scan(cfg.dense_scan || scenario.dense_scan)
+        .with_serial_transmit(cfg.serial_transmit || scenario.serial_transmit)
         .with_probe(cfg.probe.merged(scenario.probe));
+    let cfg = resolve_wavefront(scenario, cfg)?;
     match scenario.open_schedule() {
         None => dispatch_sliced(scenario, cfg, build(false)),
         Some(schedule) => {
@@ -115,6 +126,27 @@ where
             dispatch_sliced(scenario, cfg, paced)
         }
     }
+}
+
+/// Resolve [`Scenario::wavefront`] into a concrete lag on the config.
+/// `Some(0)` is auto: the lag becomes the inter-shard ferry's minimum
+/// delay (the deepest pipeline the ferry provably supports). An
+/// unsharded plan has no barrier to overlap, so requesting the pipeline
+/// there is rejected constructively rather than silently ignored.
+fn resolve_wavefront(scenario: &Scenario, cfg: SimConfig) -> Result<SimConfig, SimError> {
+    let Some(lag) = scenario.wavefront else { return Ok(cfg) };
+    let shards = &scenario.shards;
+    if !shards.is_sharded() {
+        return Err(SimError::invalid_config(format!(
+            "wavefront pipelining overlaps the inter-shard barrier, but shard plan `{}` \
+             has k = {} (unsharded); add --shards with k >= 2 or drop --wavefront",
+            shards.name(),
+            shards.k
+        )));
+    }
+    let inter = shards.inter_delay.unwrap_or(cfg.link_delay);
+    let lag = if lag == 0 { inter.min_delay() } else { lag };
+    Ok(cfg.with_wavefront(lag))
 }
 
 /// Execute on the scenario's shard plan: the single-fabric engine for
@@ -133,10 +165,12 @@ where
     ShardedSimulator::new(&scenario.graph, partition, protocol, cfg).with_inter_delay(inter).run()
 }
 
-/// [`dispatch`] for sliced protocols: with `cfg.parallel_apply` set, the
-/// run goes through [`ShardedSimulator::run_sliced`] whatever the shard
-/// count (`k = 1` degenerates to one shard applying its own slices);
-/// otherwise it takes the exact serialized route of [`dispatch`].
+/// [`dispatch`] for sliced protocols: with `cfg.parallel_apply` or a
+/// wavefront lag set, the run goes through
+/// [`ShardedSimulator::run_sliced`] whatever the shard count (`k = 1`
+/// degenerates to one shard applying its own slices; the wavefront
+/// routing happens inside `run_sliced`); otherwise it takes the exact
+/// serialized route of [`dispatch`].
 fn dispatch_sliced<P>(
     scenario: &Scenario,
     cfg: SimConfig,
@@ -148,7 +182,7 @@ where
     P::Slice: Send,
     P::Shared: Sync,
 {
-    if !cfg.parallel_apply {
+    if !cfg.parallel_apply && cfg.wavefront_lag == 0 {
         return dispatch(scenario, cfg, protocol);
     }
     let shards = &scenario.shards;

@@ -477,6 +477,21 @@ pub struct Scenario {
     /// model knob — results are byte-identical either way, which the
     /// equivalence suites prove by running both.
     pub dense_scan: bool,
+    /// Run the sharded executor's wavefront pipeline: shards execute up to
+    /// `lag` rounds ahead of the barrier when the inter-shard ferry's
+    /// minimum delay supports it. `None` = lockstep; `Some(0)` = auto
+    /// (lag = the ferry's minimum delay); `Some(d)` = explicit lag `d`.
+    /// An execution strategy, not a model knob — reports, checkpoints and
+    /// recordings are byte-identical to the lockstep path. Requires a
+    /// sharded plan (`k ≥ 2`) and a [`ccq_sim::NodeSliced`] protocol;
+    /// misconfigurations fail with a named `InvalidConfig`.
+    pub wavefront: Option<Round>,
+    /// Transmit staged sends serially at the barrier instead of through
+    /// the block-claim parallel transmit (the serialized reference path;
+    /// see [`ccq_sim::SimConfig::serial_transmit`]). An execution
+    /// strategy, not a model knob — byte-identical either way, which the
+    /// equivalence suites prove by running both.
+    pub serial_transmit: bool,
     /// Execution probe: checkpoint hashing, snapshots, perturbation and
     /// phase timing ([`ProbeSpec::OFF`] by default — no probe work at
     /// all, and probe data never reaches the serialized [`ccq_sim::
@@ -517,6 +532,8 @@ impl Scenario {
             shards: ShardSpec::single(),
             parallel_apply: false,
             dense_scan: false,
+            wavefront: None,
+            serial_transmit: false,
             probe: ProbeSpec::OFF,
         }
     }
@@ -549,6 +566,21 @@ impl Scenario {
     /// frontier (see [`Scenario::dense_scan`]).
     pub fn with_dense_scan(mut self, on: bool) -> Self {
         self.dense_scan = on;
+        self
+    }
+
+    /// Builder-style: run the wavefront pipeline (see
+    /// [`Scenario::wavefront`]; `Some(0)` = lag from the ferry's minimum
+    /// delay).
+    pub fn with_wavefront(mut self, lag: Option<Round>) -> Self {
+        self.wavefront = lag;
+        self
+    }
+
+    /// Builder-style: use the serialized reference transmit instead of the
+    /// block-claim parallel transmit (see [`Scenario::serial_transmit`]).
+    pub fn with_serial_transmit(mut self, on: bool) -> Self {
+        self.serial_transmit = on;
         self
     }
 

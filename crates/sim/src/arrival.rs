@@ -331,6 +331,16 @@ impl<P: OnlineProtocol> Protocol for Paced<P> {
         [scheduled, retry, self.inner.next_wakeup()].into_iter().flatten().min()
     }
 
+    fn next_active_round(&self) -> Option<Round> {
+        // `on_round` acts exactly when a scheduled arrival or a deferred
+        // admission retry falls due (plus whatever the wrapped protocol
+        // reports) — the bound that lets the wavefront executor skip the
+        // arrivals phase for the quiet rounds in between.
+        let scheduled = self.schedule.get(self.next).map(|&(r, _)| r);
+        let retry = self.retries.first().map(|&(r, _, _)| r);
+        [scheduled, retry, self.inner.next_active_round()].into_iter().flatten().min()
+    }
+
     fn state_token(&self) -> String {
         // Everything that determines future pacing behaviour but is not
         // visible in queues/wires/counters: the schedule cursor, pending

@@ -57,6 +57,20 @@ pub trait Protocol {
         None
     }
 
+    /// The earliest future round at which [`Protocol::on_round`] would do
+    /// anything observable (stage effects, mutate scheduling state).
+    /// `None` means `on_round` is a pure no-op at every remaining round —
+    /// the default, correct for every protocol that does not override
+    /// `on_round`. The wavefront executor skips the arrivals phase for
+    /// rounds strictly before this bound, so **protocols that override
+    /// `on_round` must override this too** (as
+    /// [`crate::arrival::Paced`] does, reporting its next scheduled
+    /// arrival or admission retry); returning a too-late round would
+    /// silently change pipelined executions.
+    fn next_active_round(&self) -> Option<Round> {
+        None
+    }
+
     /// Canonical rendering of protocol-internal *scheduling* state for the
     /// probe layer's state hashes (see [`crate::probe`]): anything that
     /// determines future behaviour but is not visible in queues, wires or
@@ -213,6 +227,12 @@ impl<M> SliceApi<M> {
     /// one `SliceApi` for every node of a shard to avoid per-node buffers).
     pub(crate) fn set_node(&mut self, node: NodeId) {
         self.node = node;
+    }
+
+    /// Advance the API's round (the wavefront executor reuses one
+    /// `SliceApi` across every round of a shard's wave).
+    pub(crate) fn set_round(&mut self, round: Round) {
+        self.round = round;
     }
 
     /// The current round.

@@ -88,6 +88,20 @@ impl LinkDelay {
         matches!(self, LinkDelay::Jitter { max, .. } if *max > 0)
     }
 
+    /// Smallest delay this policy can assign to any transmission — the
+    /// bound the wavefront executor validates its lag against (a shard may
+    /// run up to `min_delay` rounds ahead of the inter-shard ferry without
+    /// a wire ever arriving "from the future"). Conservative for the
+    /// hashed policies: [`LinkDelay::PerLink`] and [`LinkDelay::Jitter`]
+    /// report 1 without inspecting their draws.
+    pub fn min_delay(&self) -> Round {
+        match *self {
+            LinkDelay::Unit => 1,
+            LinkDelay::Fixed { delay } => delay.max(1),
+            LinkDelay::PerLink { .. } | LinkDelay::Jitter { .. } => 1,
+        }
+    }
+
     /// Display name, used by sweeps and the CLI.
     pub fn name(&self) -> String {
         match *self {
@@ -139,6 +153,26 @@ pub struct SimConfig {
     /// (proven by the equivalence proptests); it exists as the reference
     /// implementation the sparse engine is checked against.
     pub dense_scan: bool,
+    /// Force the sharded executor's *serialized* transmit loop (the global
+    /// ascending-node-order reference walk) instead of the default
+    /// block-claimed shard-parallel transmit. Sequence blocks are claimed
+    /// per node at the round barrier, so the parallel path assigns exactly
+    /// the sequence numbers the serialized walk would — an execution
+    /// strategy, not a model knob: runs are byte-identical either way
+    /// (proven by the equivalence proptests). Ignored by the single-fabric
+    /// executor, which has no shard tasks to parallelize over.
+    pub serial_transmit: bool,
+    /// Bounded-lag wavefront pipelining: when > 0, the sharded sliced
+    /// executor batches up to this many rounds into one shard-parallel
+    /// wave between global barriers. Safe only when the lag does not
+    /// exceed the inter-shard ferry's [`LinkDelay::min_delay`] (a wire
+    /// sent during a wave can then never be due within it); the executors
+    /// reject anything else — and any non-sliced entry point — with a
+    /// constructive [`crate::SimError::InvalidConfig`] rather than
+    /// silently falling back. 0 disables pipelining (lockstep rounds).
+    /// An execution strategy, not a model knob: reports, checkpoints and
+    /// recordings are byte-identical to the lockstep executor's.
+    pub wavefront_lag: Round,
     /// Execution probing: checkpoints, snapshot, per-phase timing and the
     /// perturbation knob (see [`crate::probe::ProbeSpec`]). The default is
     /// fully off and costs nothing.
@@ -157,6 +191,8 @@ impl SimConfig {
             link_delay: LinkDelay::Unit,
             parallel_apply: false,
             dense_scan: false,
+            serial_transmit: false,
+            wavefront_lag: 0,
             probe: ProbeSpec::OFF,
         }
     }
@@ -205,6 +241,20 @@ impl SimConfig {
     /// [`SimConfig::dense_scan`]).
     pub fn with_dense_scan(mut self, on: bool) -> Self {
         self.dense_scan = on;
+        self
+    }
+
+    /// Builder-style: toggle the serialized reference transmit loop (see
+    /// [`SimConfig::serial_transmit`]).
+    pub fn with_serial_transmit(mut self, on: bool) -> Self {
+        self.serial_transmit = on;
+        self
+    }
+
+    /// Builder-style: set the wavefront pipelining lag (see
+    /// [`SimConfig::wavefront_lag`]; 0 disables).
+    pub fn with_wavefront(mut self, lag: Round) -> Self {
+        self.wavefront_lag = lag;
         self
     }
 
@@ -513,8 +563,22 @@ mod tests {
     fn config_presets() {
         let s = SimConfig::strict();
         assert_eq!((s.send_budget, s.recv_budget, s.delay_scale), (1, 1, 1));
+        assert!(!s.serial_transmit && s.wavefront_lag == 0);
         let e = SimConfig::expanded(3);
         assert_eq!((e.send_budget, e.recv_budget, e.delay_scale), (3, 3, 3));
+        let w = SimConfig::strict().with_serial_transmit(true).with_wavefront(4);
+        assert!(w.serial_transmit);
+        assert_eq!(w.wavefront_lag, 4);
+    }
+
+    #[test]
+    fn min_delay_matches_each_policy() {
+        assert_eq!(LinkDelay::Unit.min_delay(), 1);
+        assert_eq!(LinkDelay::Fixed { delay: 6 }.min_delay(), 6);
+        assert_eq!(LinkDelay::Fixed { delay: 0 }.min_delay(), 1);
+        // Hashed policies are conservatively 1: some draw may be that low.
+        assert_eq!(LinkDelay::PerLink { max: 9, seed: 1 }.min_delay(), 1);
+        assert_eq!(LinkDelay::Jitter { max: 9, seed: 1 }.min_delay(), 1);
     }
 
     #[test]

@@ -184,6 +184,14 @@ pub(crate) fn run_single<P: Protocol>(
              (ShardedSimulator::run_sliced); the single-fabric Simulator cannot honour it",
         ));
     }
+    if cfg.wavefront_lag > 0 {
+        // Likewise no silent fallback: a wavefront needs per-shard round
+        // clocks, which the single fabric does not have.
+        return Err(SimError::invalid_config(
+            "wavefront pipelining requires the sharded executor with a NodeSliced protocol \
+             (ShardedSimulator::run_sliced); the single-fabric Simulator cannot honour it",
+        ));
+    }
     let n = graph.n();
     let mut report = SimReport {
         delay_scale: cfg.delay_scale,

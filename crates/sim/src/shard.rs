@@ -13,9 +13,14 @@
 //! and in-port enqueueing run concurrently per shard, complete at their own
 //! barrier (where the probe layer hashes state, phase-aligned with the
 //! monolith), and budget-limited harvesting follows in a second concurrent
-//! pass. Transmission is serialized in ascending node order (it assigns
-//! the run-global sequence numbers). For protocol-state application there
-//! are **two apply paths**:
+//! pass. Transmission assigns the run-global sequence numbers: by default
+//! a serial **claim pass** hands every frontier node a contiguous block of
+//! numbers (sized by its staged sends) in ascending node order, and the
+//! shards then pop and schedule their own messages concurrently — the
+//! block arithmetic reproduces the serialized numbering exactly, so the
+//! parallel transmit is byte-identical to the reference loop kept behind
+//! [`crate::SimConfig::serial_transmit`]. For protocol-state application
+//! there are **two apply paths**:
 //!
 //! * **serialized** ([`ShardedSimulator::run`]) — handlers run in global
 //!   ascending node order against the one shared [`crate::Protocol`]
@@ -44,6 +49,20 @@
 //! order), so parallel-apply reports are byte-identical to serialized
 //! ones. A divergent ferry policy (e.g. `Fixed { delay: 8 }` between
 //! shards) changes the execution — deliberately.
+//!
+//! **Wavefront pipelining** ([`SimConfig::wavefront_lag`] = `d` ≥ 1) goes
+//! one step further for slow-ferry federations: when the ferry's minimum
+//! delay is at least `d`, a cross-shard message sent at round `t` cannot
+//! arrive before `t + d`, so the shards can run up to `d` consecutive
+//! rounds in one rayon task each — maturing, applying and transmitting
+//! locally under *provisional* sequence keys — before meeting at a single
+//! **wave commit** that claims the true sequence blocks, remaps the
+//! in-flight keys, ferries the cross-shard sends and replays completions
+//! in the lockstep order. Rounds with a global coupling point (probe
+//! observations, scheduled arrivals per [`Protocol::next_active_round`],
+//! tracing, round 0) fall back to single lockstep rounds, so the wavefront
+//! execution is byte-identical to the lockstep one; see
+//! [`ShardedSimulator::run_wavefront_with_state`] for the argument.
 
 use crate::probe::{self, Phase, PhaseTimings, Stopwatch};
 use crate::protocol::{NodeSliced, Protocol, SimApi, SliceApi, SliceEffect};
@@ -55,6 +74,7 @@ use crate::transport::{Transport, Wire};
 use crate::{Round, SimError};
 use ccq_graph::{Graph, NodeId, Partition};
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// One shard's private message fabric.
 struct ShardState<M> {
@@ -221,13 +241,30 @@ impl<M> Fabric<M> {
         );
     }
 
-    /// Transmit phase: global ascending node order assigns the run-global
-    /// sequence numbers; cross-shard messages ride the ferry, everything
-    /// else stays on the shard's own transport. Shards hold disjoint
-    /// nodes, so concatenating the per-shard outbox frontiers and sorting
-    /// ascending visits exactly the nodes the dense `0..n` scan would do
-    /// work at, in the same order.
-    fn transmit(&mut self, partition: &Partition, round: Round, cfg: &SimConfig) {
+    /// Transmit phase dispatcher: the shard-parallel block-claim transmit
+    /// is the default; the serialized reference loop runs under
+    /// [`SimConfig::serial_transmit`] or when there is only one shard
+    /// (where forking a rayon task per round would be pure overhead).
+    /// Both produce the same sequence numbering, so they are
+    /// byte-equivalent on every report and probe digest.
+    fn transmit(&mut self, partition: &Partition, round: Round, cfg: &SimConfig)
+    where
+        M: Send,
+    {
+        if cfg.serial_transmit || self.shards.len() == 1 {
+            self.transmit_serial(partition, round, cfg);
+        } else {
+            self.transmit_parallel(partition, round, cfg);
+        }
+    }
+
+    /// Serialized transmit reference: global ascending node order assigns
+    /// the run-global sequence numbers; cross-shard messages ride the
+    /// ferry, everything else stays on the shard's own transport. Shards
+    /// hold disjoint nodes, so concatenating the per-shard outbox
+    /// frontiers and sorting ascending visits exactly the nodes the dense
+    /// `0..n` scan would do work at, in the same order.
+    fn transmit_serial(&mut self, partition: &Partition, round: Round, cfg: &SimConfig) {
         let mut frontier = std::mem::take(&mut self.scratch);
         frontier.clear();
         if cfg.dense_scan {
@@ -277,6 +314,130 @@ impl<M> Fabric<M> {
         self.scratch = frontier;
     }
 
+    /// Shard-parallel transmit via per-node sequence blocks. A serial
+    /// **claim pass** walks the global outbox frontier in ascending node
+    /// order and reserves, for every node with staged sends, a contiguous
+    /// block of run-global sequence numbers sized by what it will actually
+    /// transmit (`min(outbox depth, send budget)` — exact, since nothing
+    /// stages between the claim and the pops). The shards then pop and
+    /// schedule their own nodes' messages concurrently, numbering the
+    /// `i`-th popped message of a block `base + i + 1`. Because blocks are
+    /// claimed in the serialized loop's visit order, the numbering stream
+    /// is identical to [`Fabric::transmit_serial`]'s — and with it every
+    /// (arrival, sequence) merge, jitter draw and probe digest.
+    ///
+    /// Intra-shard wires go straight onto the owning shard's transport:
+    /// within a shard the claim order is ascending-node, so per-transport
+    /// calls stay in sequence order (what the timing wheel's batch order
+    /// and the per-link FIFO clamp rely on). Cross-shard sends and trace
+    /// events are collected per shard and merged below by sequence number,
+    /// restoring the serialized ferry call order the shared clamp state
+    /// depends on.
+    fn transmit_parallel(&mut self, partition: &Partition, round: Round, cfg: &SimConfig)
+    where
+        M: Send,
+    {
+        let mut frontier = std::mem::take(&mut self.scratch);
+        frontier.clear();
+        if cfg.dense_scan {
+            frontier.extend(0..partition.n());
+        } else {
+            for shard in &mut self.shards {
+                shard.store.take_outbox_frontier(&mut frontier);
+            }
+            frontier.sort_unstable();
+        }
+        // Claim pass (serial, cheap: one length lookup per frontier node).
+        // One claim per transmitting node: `(node, sequence base, count)`.
+        type Claims = Vec<(NodeId, u64, u64)>;
+        let mut claims: Vec<Claims> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut claimed = 0u64;
+        for &v in &frontier {
+            let sv = partition.shard_of(v);
+            if cfg.probe.skips_transmit(round, v) {
+                // The planted perturbation: this node's staged sends wait
+                // one extra round — same skip as the serial loop, and the
+                // re-list keeps the held sends on the frontier.
+                self.shards[sv].store.relist_outbox(v);
+                continue;
+            }
+            let count = self.shards[sv].store.outbox_len(v).min(cfg.send_budget) as u64;
+            if count == 0 {
+                // Stale frontier entry: the serial loop pops nothing here.
+                continue;
+            }
+            claims[sv].push((v, self.report.messages_sent, count));
+            self.report.messages_sent += count;
+            claimed += count;
+        }
+        frontier.clear();
+        self.scratch = frontier;
+        if claimed == 0 {
+            // Propagation-only round: skip the fork/join entirely.
+            return;
+        }
+
+        struct Sent<M> {
+            state: ShardState<M>,
+            /// Cross-shard sends, `(seq, src, dst, msg)`.
+            ferry: Vec<(u64, NodeId, NodeId, M)>,
+            /// Transmit trace events, `(seq, node, dst)`.
+            trace: Vec<(u64, NodeId, NodeId)>,
+        }
+        let trace = cfg.trace;
+        let work: Vec<(usize, ShardState<M>, Claims)> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .zip(claims)
+            .enumerate()
+            .map(|(shard, (state, claims))| (shard, state, claims))
+            .collect();
+        let done: Vec<Sent<M>> = work
+            .into_par_iter()
+            .map(|(shard, mut state, claims)| {
+                let mut ferry = Vec::new();
+                let mut trace_events = Vec::new();
+                for (v, base, count) in claims {
+                    for i in 0..count {
+                        let (dst, msg) =
+                            state.store.pop_outbox(v).expect("claimed sends are staged");
+                        let seq = base + i + 1;
+                        if trace {
+                            trace_events.push((seq, v, dst));
+                        }
+                        if partition.shard_of(dst) == shard {
+                            state.transport.transmit(v, dst, msg, round, seq);
+                        } else {
+                            ferry.push((seq, v, dst, msg));
+                        }
+                    }
+                }
+                Sent { state, ferry, trace: trace_events }
+            })
+            .collect();
+
+        let mut ferry_sends: Vec<(u64, NodeId, NodeId, M)> = Vec::new();
+        let mut trace_events: Vec<(u64, NodeId, NodeId)> = Vec::new();
+        for sent in done {
+            self.shards.push(sent.state);
+            ferry_sends.extend(sent.ferry);
+            trace_events.extend(sent.trace);
+        }
+        // The ferry is shared state: re-interleave its sends in sequence
+        // order — the serialized call order its per-link FIFO clamp and
+        // per-message delay draws depend on.
+        ferry_sends.sort_unstable_by_key(|e| e.0);
+        for (seq, src, dst, msg) in ferry_sends {
+            self.report.cross_shard_messages += 1;
+            self.ferry.transmit(src, dst, msg, round, seq);
+        }
+        if trace {
+            trace_events.sort_unstable_by_key(|e| e.0);
+            for (_, node, peer) in trace_events {
+                self.report.trace.push(TraceEvent { round, kind: TraceKind::Transmit, node, peer });
+            }
+        }
+    }
+
     /// Whether every queue, wheel and the ferry are empty.
     fn idle(&self) -> bool {
         self.ferry.is_idle()
@@ -295,6 +456,127 @@ struct Harvest<M> {
 /// The per-round output of the parallel harvest: each shard's state handed
 /// back alongside what it dequeued.
 type Harvested<M> = Vec<(ShardState<M>, Harvest<M>)>;
+
+/// One full round of the serialized-apply sharded loop — arrivals through
+/// transmit, with probe observations at every phase barrier of an observed
+/// round and phase timing accrual. This is the loop body of
+/// [`ShardedSimulator::run_with_state`], factored out so the wavefront
+/// executor can run its non-pipelined rounds (round 0, observed rounds,
+/// rounds with scheduled arrivals, traced runs) through the *same* code —
+/// byte-identity there is then inheritance, not reimplementation. The
+/// quiescence / wakeup decision stays with the caller.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_round<P: Protocol>(
+    graph: &Graph,
+    partition: &Partition,
+    fab: &mut Fabric<P::Msg>,
+    protocol: &mut P,
+    round: Round,
+    cfg: &SimConfig,
+    timing: &mut PhaseTimings,
+    watch: &mut Stopwatch,
+) -> Result<(), SimError>
+where
+    P::Msg: Send,
+{
+    // Probe observations happen at every phase barrier of an observed
+    // round, outside the `round > 0` gates, so the checkpoint stream
+    // lines up with the monolith's (round 0's first three phases are
+    // vacuous on every executor).
+    let observe = cfg.probe.observes(round);
+    watch.reset();
+    let mut round_micros = 0u64;
+    if round > 0 {
+        fab.arrivals(graph, partition, protocol, round, cfg.trace)?;
+    }
+    round_micros += lap_into(watch, &mut timing.arrivals_micros);
+    if observe {
+        fab.observe(cfg, round, Phase::Arrivals, &protocol.state_token());
+        watch.reset();
+    }
+
+    // Maturity phase, shard-parallel behind its own barrier.
+    if round > 0 {
+        fab.mature_all(partition, round);
+    }
+    round_micros += lap_into(watch, &mut timing.mature_micros);
+    if observe {
+        fab.observe(cfg, round, Phase::Mature, &protocol.state_token());
+        watch.reset();
+    }
+
+    if round > 0 {
+        // Shard-parallel harvest: up to `recv_budget` messages per
+        // local node, FIFO batches in ascending node order.
+        let work: Vec<(usize, ShardState<P::Msg>)> =
+            std::mem::take(&mut fab.shards).into_iter().enumerate().collect();
+        let done: Harvested<P::Msg> = work
+            .into_par_iter()
+            .map(|(shard, mut state)| {
+                // Harvest only the in-port frontier (ascending):
+                // members off it have empty in-ports and would
+                // yield empty batches. The dense reference scan
+                // walks the full membership instead.
+                let mut frontier = std::mem::take(&mut state.frontier);
+                frontier.clear();
+                if cfg.dense_scan {
+                    frontier.extend_from_slice(partition.members(shard));
+                } else {
+                    state.store.take_inport_frontier(&mut frontier);
+                    frontier.sort_unstable();
+                }
+                let mut batches = Vec::new();
+                let mut queue_wait = 0u64;
+                for &v in &frontier {
+                    let mut batch = Vec::new();
+                    for _ in 0..cfg.recv_budget {
+                        let Some(inb) = state.store.pop_inport(v) else { break };
+                        queue_wait += round - inb.arrival;
+                        batch.push(inb);
+                    }
+                    if !batch.is_empty() {
+                        batches.push((v, batch));
+                    }
+                }
+                frontier.clear();
+                state.frontier = frontier;
+                (state, Harvest { batches, queue_wait })
+            })
+            .collect();
+
+        let mut all_batches: Vec<(NodeId, Vec<Inbound<P::Msg>>)> = Vec::new();
+        for (state, harvest) in done {
+            fab.shards.push(state);
+            fab.report.queue_wait_rounds += harvest.queue_wait;
+            all_batches.extend(harvest.batches);
+        }
+        // Shards hold disjoint nodes; a stable sort by node id
+        // recovers the monolith's global delivery order.
+        all_batches.sort_by_key(|&(v, _)| v);
+
+        // Delivery phase (sequential: protocol state is global).
+        for (v, batch) in all_batches {
+            for inb in batch {
+                note_delivery(&mut fab.report, round, cfg.trace, v, inb.src);
+                protocol.on_message(&mut fab.api, v, inb.src, inb.msg);
+                fab.drain(graph, partition, round, cfg.trace)?;
+            }
+        }
+    }
+    round_micros += lap_into(watch, &mut timing.deliver_micros);
+    if observe {
+        fab.observe(cfg, round, Phase::Deliver, &protocol.state_token());
+        watch.reset();
+    }
+
+    fab.transmit(partition, round, cfg);
+    round_micros += lap_into(watch, &mut timing.transmit_micros);
+    timing.max_round_micros = timing.max_round_micros.max(round_micros);
+    if observe {
+        fab.observe(cfg, round, Phase::Transmit, &protocol.state_token());
+    }
+    Ok(())
+}
 
 /// An executable sharded simulation: graph + partition + protocol + config.
 pub struct ShardedSimulator<'g, P: Protocol> {
@@ -336,6 +618,14 @@ where
                  use ShardedSimulator::run_sliced (run/run_with_state cannot honour it)",
             ));
         }
+        if cfg.wavefront_lag > 0 {
+            // No silent fallback: the wavefront runs handlers inside each
+            // shard's task, which needs per-node state slices.
+            return Err(SimError::invalid_config(
+                "wavefront pipelining requires a NodeSliced protocol: \
+                 use ShardedSimulator::run_sliced (run/run_with_state cannot honour it)",
+            ));
+        }
         let mut fab: Fabric<P::Msg> =
             Fabric::setup(graph, &partition, &mut protocol, &cfg, inter_delay)?;
 
@@ -344,102 +634,16 @@ where
 
         let mut round: Round = 0;
         loop {
-            // Probe observations happen at every phase barrier of an
-            // observed round, outside the `round > 0` gates, so the
-            // checkpoint stream lines up with the monolith's (round 0's
-            // first three phases are vacuous on every executor).
-            let observe = cfg.probe.observes(round);
-            watch.reset();
-            let mut round_micros = 0u64;
-            if round > 0 {
-                fab.arrivals(graph, &partition, &mut protocol, round, cfg.trace)?;
-            }
-            round_micros += lap_into(&mut watch, &mut timing.arrivals_micros);
-            if observe {
-                fab.observe(&cfg, round, Phase::Arrivals, &protocol.state_token());
-                watch.reset();
-            }
-
-            // Maturity phase, shard-parallel behind its own barrier.
-            if round > 0 {
-                fab.mature_all(&partition, round);
-            }
-            round_micros += lap_into(&mut watch, &mut timing.mature_micros);
-            if observe {
-                fab.observe(&cfg, round, Phase::Mature, &protocol.state_token());
-                watch.reset();
-            }
-
-            if round > 0 {
-                // Shard-parallel harvest: up to `recv_budget` messages per
-                // local node, FIFO batches in ascending node order.
-                let work: Vec<(usize, ShardState<P::Msg>)> =
-                    std::mem::take(&mut fab.shards).into_iter().enumerate().collect();
-                let done: Harvested<P::Msg> = work
-                    .into_par_iter()
-                    .map(|(shard, mut state)| {
-                        // Harvest only the in-port frontier (ascending):
-                        // members off it have empty in-ports and would
-                        // yield empty batches. The dense reference scan
-                        // walks the full membership instead.
-                        let mut frontier = std::mem::take(&mut state.frontier);
-                        frontier.clear();
-                        if cfg.dense_scan {
-                            frontier.extend_from_slice(partition.members(shard));
-                        } else {
-                            state.store.take_inport_frontier(&mut frontier);
-                            frontier.sort_unstable();
-                        }
-                        let mut batches = Vec::new();
-                        let mut queue_wait = 0u64;
-                        for &v in &frontier {
-                            let mut batch = Vec::new();
-                            for _ in 0..cfg.recv_budget {
-                                let Some(inb) = state.store.pop_inport(v) else { break };
-                                queue_wait += round - inb.arrival;
-                                batch.push(inb);
-                            }
-                            if !batch.is_empty() {
-                                batches.push((v, batch));
-                            }
-                        }
-                        frontier.clear();
-                        state.frontier = frontier;
-                        (state, Harvest { batches, queue_wait })
-                    })
-                    .collect();
-
-                let mut all_batches: Vec<(NodeId, Vec<Inbound<P::Msg>>)> = Vec::new();
-                for (state, harvest) in done {
-                    fab.shards.push(state);
-                    fab.report.queue_wait_rounds += harvest.queue_wait;
-                    all_batches.extend(harvest.batches);
-                }
-                // Shards hold disjoint nodes; a stable sort by node id
-                // recovers the monolith's global delivery order.
-                all_batches.sort_by_key(|&(v, _)| v);
-
-                // Delivery phase (sequential: protocol state is global).
-                for (v, batch) in all_batches {
-                    for inb in batch {
-                        note_delivery(&mut fab.report, round, cfg.trace, v, inb.src);
-                        protocol.on_message(&mut fab.api, v, inb.src, inb.msg);
-                        fab.drain(graph, &partition, round, cfg.trace)?;
-                    }
-                }
-            }
-            round_micros += lap_into(&mut watch, &mut timing.deliver_micros);
-            if observe {
-                fab.observe(&cfg, round, Phase::Deliver, &protocol.state_token());
-                watch.reset();
-            }
-
-            fab.transmit(&partition, round, &cfg);
-            round_micros += lap_into(&mut watch, &mut timing.transmit_micros);
-            timing.max_round_micros = timing.max_round_micros.max(round_micros);
-            if observe {
-                fab.observe(&cfg, round, Phase::Transmit, &protocol.state_token());
-            }
+            lockstep_round(
+                graph,
+                &partition,
+                &mut fab,
+                &mut protocol,
+                round,
+                &cfg,
+                &mut timing,
+                &mut watch,
+            )?;
 
             // Quiescence / wakeup phase (shared with the single executor).
             match advance_round(&protocol, fab.idle(), round, cfg.max_rounds)? {
@@ -497,6 +701,11 @@ where
     /// byte-identical to [`ShardedSimulator::run_with_state`] (to which
     /// this method delegates when the flag is off).
     pub fn run_sliced_with_state(self) -> Result<(SimReport, P), SimError> {
+        if self.config.wavefront_lag > 0 {
+            // The wavefront subsumes parallel apply (handlers always run
+            // inside the shard tasks during a wave), so it is routed first.
+            return self.run_wavefront_with_state();
+        }
         if !self.config.parallel_apply {
             return self.run_with_state();
         }
@@ -667,6 +876,538 @@ where
     pub fn run_sliced(self) -> Result<SimReport, SimError> {
         self.run_sliced_with_state().map(|(r, _)| r)
     }
+
+    /// Run to quiescence with bounded-lag **wavefront pipelining**
+    /// ([`SimConfig::wavefront_lag`] = `d` ≥ 1). Whenever the next
+    /// `w ≤ d` rounds are provably free of global coupling — no probe
+    /// observation, no scheduled protocol activity
+    /// ([`Protocol::next_active_round`]), no tracing, not round 0 — every
+    /// shard executes all `w` rounds in a single rayon task: maturing its
+    /// own wheel plus the pre-bucketed due ferry wires, applying its
+    /// nodes' handlers against their slices, and transmitting under
+    /// *provisional* sequence keys. The serialized **wave commit** then
+    ///
+    /// 1. claims the true per-node sequence blocks in global
+    ///    (round, node) order — the lockstep assignment order — and
+    ///    remaps every still-in-flight provisional key
+    ///    ([`Transport::remap_seqs`]); the provisional keys pack
+    ///    (round offset, node, index) above a tag bit, so they sort in
+    ///    exactly the final numbering's order even while mixed with
+    ///    pre-wave true sequence numbers;
+    /// 2. ferries the cross-shard sends in true sequence order (the call
+    ///    order the shared ferry's FIFO clamp and per-message delay draws
+    ///    depend on);
+    /// 3. replays completions round by round in ascending handler order,
+    ///    through the same per-round drain as the lockstep path;
+    /// 4. re-derives quiescence: the earliest wave round after which
+    ///    every store, wheel and the ferry were empty is where the
+    ///    lockstep run would have terminated or fast-forwarded, and any
+    ///    wave rounds executed past it were provably no-ops.
+    ///
+    /// Safety rests on the ferry bound `d ≤` minimum inter-shard delay
+    /// (checked constructively): a cross-shard wire sent during a wave
+    /// cannot arrive within it, so shards never observe each other
+    /// mid-wave. Rounds that do couple run through the factored
+    /// `lockstep_round` body, so the whole execution — reports, probe
+    /// digests, recordings — is byte-identical to the lockstep one.
+    pub fn run_wavefront_with_state(self) -> Result<(SimReport, P), SimError> {
+        let ShardedSimulator { graph, partition, mut protocol, config: cfg, inter_delay } = self;
+        let lag = cfg.wavefront_lag;
+        debug_assert!(lag > 0, "routed here only when the wavefront is requested");
+        let ferry_floor = inter_delay.min_delay();
+        if lag > ferry_floor {
+            return Err(SimError::invalid_config(format!(
+                "wavefront lag {lag} exceeds the inter-shard ferry's minimum delay \
+                 {ferry_floor} ({}): a shard could outrun a wire already in flight; \
+                 lower the lag or slow the ferry",
+                inter_delay.name()
+            )));
+        }
+        if cfg.link_delay.varies_per_message() {
+            return Err(SimError::invalid_config(format!(
+                "wavefront pipelining cannot run with per-message intra-shard delays \
+                 ({}): delay draws key off sequence numbers, which in-wave sends \
+                 receive only at the wave commit; use a constant-per-link policy or \
+                 drop the wavefront",
+                cfg.link_delay.name()
+            )));
+        }
+        if cfg.send_budget as u64 >= 1 << SURROGATE_IDX_BITS {
+            return Err(SimError::invalid_config(format!(
+                "wavefront pipelining supports send budgets below {} (got {}): the \
+                 provisional sequence key reserves 23 bits for the per-node index",
+                1u64 << SURROGATE_IDX_BITS,
+                cfg.send_budget
+            )));
+        }
+        if graph.n() as u64 > 1 << SURROGATE_NODE_BITS {
+            return Err(SimError::invalid_config(format!(
+                "wavefront pipelining supports up to {} processors (got {}): the \
+                 provisional sequence key reserves 32 bits for the node id",
+                1u64 << SURROGATE_NODE_BITS,
+                graph.n()
+            )));
+        }
+
+        let n = graph.n();
+        let k = partition.k();
+        let mut fab: Fabric<P::Msg> =
+            Fabric::setup(graph, &partition, &mut protocol, &cfg, inter_delay)?;
+        // Same contract check as the sliced path: a short slice vector
+        // would silently starve the uncovered members.
+        if protocol.split().1.len() != n {
+            return Err(SimError::invalid_config(
+                "NodeSliced::split() must yield exactly one slice per processor",
+            ));
+        }
+
+        let mut timing = PhaseTimings::default();
+        let mut watch = Stopwatch::new(cfg.probe.timing);
+
+        let mut round: Round = 0;
+        loop {
+            let width = wave_width(&protocol, &cfg, round, lag);
+            if width <= 1 {
+                // A coupled round (round 0, observed, scheduled arrivals,
+                // tracing): run it through the shared lockstep body.
+                lockstep_round(
+                    graph,
+                    &partition,
+                    &mut fab,
+                    &mut protocol,
+                    round,
+                    &cfg,
+                    &mut timing,
+                    &mut watch,
+                )?;
+                match advance_round(&protocol, fab.idle(), round, cfg.max_rounds)? {
+                    Some(next) => round = next,
+                    None => break,
+                }
+                continue;
+            }
+
+            // ---- a wave of `width` pipelined rounds [round, round+width) ----
+            watch.reset();
+            let last = round + width - 1;
+            // Pre-bucket every ferry wire due during the wave; the lag
+            // bound guarantees nothing transmitted *during* the wave
+            // could join this set. Buckets inherit the ferry's
+            // (arrival, sequence) drain order.
+            let buckets = fab.ferry_buckets(&partition, last);
+            let residual_ferry = !fab.ferry.is_idle();
+            let max_pending_arrival =
+                buckets.iter().flatten().map(|w| w.arrival).max().unwrap_or(0);
+
+            let done = {
+                let (shared, slices) = protocol.split();
+                // Disjoint `&mut` slice borrows, bucketed per shard
+                // exactly as on the sliced apply path.
+                let mut slice_buckets: Vec<Vec<&mut P::Slice>> =
+                    (0..k).map(|_| Vec::new()).collect();
+                for (v, slice) in slices.iter_mut().enumerate() {
+                    slice_buckets[partition.shard_of(v)].push(slice);
+                }
+                let work: Vec<WaveTask<P::Msg, P::Slice>> = std::mem::take(&mut fab.shards)
+                    .into_iter()
+                    .zip(slice_buckets)
+                    .zip(buckets)
+                    .enumerate()
+                    .map(|(shard, ((state, slices), ferry_due))| WaveTask {
+                        shard,
+                        state,
+                        slices,
+                        ferry_due,
+                    })
+                    .collect();
+                let done: Result<Vec<WaveOutcome<P::Msg>>, SimError> = work
+                    .into_par_iter()
+                    .map(|task| {
+                        run_shard_wave::<P>(graph, &partition, shared, task, round, width, &cfg)
+                    })
+                    .collect();
+                done?
+            };
+            let parallel_micros = watch.lap();
+
+            // ---- wave commit (serialized) ----
+            // (1) True sequence blocks, claimed per round offset in
+            // ascending node order — the lockstep assignment order.
+            let mut bases: HashMap<(Round, NodeId), u64> = HashMap::new();
+            for offset in 0..width {
+                let mut per_round: Vec<(NodeId, u64)> = Vec::new();
+                for out in &done {
+                    per_round.extend(out.transmits[offset as usize].iter().copied());
+                }
+                per_round.sort_unstable_by_key(|&(v, _)| v);
+                for (v, count) in per_round {
+                    bases.insert((offset, v), fab.report.messages_sent);
+                    fab.report.messages_sent += count;
+                }
+            }
+
+            let mut ferry_sends: Vec<(u64, Round, NodeId, NodeId, P::Msg)> = Vec::new();
+            let mut min_ferry_out_round = Round::MAX;
+            let mut all_completions: Vec<Vec<(NodeId, NodeId, u64)>> =
+                (0..width).map(|_| Vec::new()).collect();
+            let mut shard_idle: Vec<Vec<bool>> = Vec::with_capacity(k);
+            let (mut wave_mature, mut wave_apply, mut wave_transmit) = (0u64, 0u64, 0u64);
+            for mut out in done {
+                // (2a) Rewrite the provisional keys on this shard's
+                // still-in-flight wires to the true numbers.
+                out.state.transport.remap_seqs(|seq| {
+                    if seq & SURROGATE_BIT == 0 {
+                        return seq;
+                    }
+                    let (offset, node, idx) = decode_surrogate(seq);
+                    bases[&(offset, node)] + idx + 1
+                });
+                for (offset, src, idx, dst, msg) in out.ferry_out {
+                    let seq = bases[&(offset, src)] + idx + 1;
+                    min_ferry_out_round = min_ferry_out_round.min(round + offset);
+                    ferry_sends.push((seq, round + offset, src, dst, msg));
+                }
+                for (offset, events) in out.completions.into_iter().enumerate() {
+                    all_completions[offset].extend(events);
+                }
+                for (v, c) in out.received {
+                    fab.report.received_by_node[v] += c;
+                }
+                fab.report.queue_wait_rounds += out.queue_wait;
+                fab.report.max_inport_depth = fab.report.max_inport_depth.max(out.max_inport_depth);
+                fab.report.max_outbox_depth = fab.report.max_outbox_depth.max(out.max_outbox_depth);
+                shard_idle.push(out.idle_after);
+                wave_mature = wave_mature.max(out.mature_micros);
+                wave_apply = wave_apply.max(out.apply_micros);
+                wave_transmit = wave_transmit.max(out.transmit_micros);
+                fab.shards.push(out.state);
+            }
+
+            // (2b) Ferry the cross-shard sends in true sequence order —
+            // the serialized call order the shared clamp state and
+            // per-message draws depend on.
+            ferry_sends.sort_unstable_by_key(|e| e.0);
+            for (seq, send_round, src, dst, msg) in ferry_sends {
+                fab.report.cross_shard_messages += 1;
+                fab.ferry.transmit(src, dst, msg, send_round, seq);
+            }
+
+            // (3) Replay completions per round in ascending handler-node
+            // order (shards hold disjoint nodes, so the stable sort
+            // recovers the lockstep delivery order), through the same
+            // per-round drain — round stamps, completion counters and
+            // backlog high-water all accrue exactly as in lockstep.
+            for offset in 0..width {
+                let events = &mut all_completions[offset as usize];
+                if events.is_empty() {
+                    continue;
+                }
+                events.sort_by_key(|&(handler, _, _)| handler);
+                let r = round + offset;
+                fab.api.set_round(r);
+                for &(_, node, value) in events.iter() {
+                    fab.api.complete(node, value);
+                }
+                fab.drain(graph, &partition, r, cfg.trace)?;
+            }
+            let commit_micros = watch.lap();
+
+            if cfg.probe.timing {
+                // Each phase accrues its cross-shard critical path (max
+                // over the per-task laps); the serialized commit counts
+                // as transmit work (it is the sequence/ferry half of the
+                // transmit phase). The per-round maximum treats the wave
+                // as `width` equal slices of its wall clock.
+                timing.mature_micros += wave_mature;
+                timing.apply_micros += wave_apply;
+                timing.transmit_micros += wave_transmit + commit_micros;
+                let per_round = (parallel_micros + commit_micros).div_ceil(width.max(1));
+                timing.max_round_micros = timing.max_round_micros.max(per_round);
+            }
+
+            // (4) Quiescence, re-derived: global idle at wave round `r`
+            // requires every shard idle after `r`, no ferry wire due
+            // beyond the wave, every pre-drained ferry wire matured by
+            // `r`, and no wave send ferried at or before `r` (its arrival
+            // would be pending). Wave rounds past the first idle point
+            // touched nothing (no arrivals in a wave, nothing left to
+            // mature or deliver), so acting on it here reproduces the
+            // lockstep termination or wakeup fast-forward exactly.
+            let mut idle_at: Option<Round> = None;
+            for offset in 0..width {
+                let r = round + offset;
+                let shards_idle = shard_idle.iter().all(|flags| flags[offset as usize]);
+                if shards_idle
+                    && !residual_ferry
+                    && max_pending_arrival <= r
+                    && min_ferry_out_round > r
+                {
+                    idle_at = Some(r);
+                    break;
+                }
+            }
+            match idle_at {
+                Some(idle_round) => {
+                    match advance_round(&protocol, true, idle_round, cfg.max_rounds)? {
+                        Some(next) => round = next,
+                        None => {
+                            round = idle_round;
+                            break;
+                        }
+                    }
+                }
+                None => match advance_round(&protocol, false, last, cfg.max_rounds)? {
+                    Some(next) => round = next,
+                    None => unreachable!("a non-idle round always has a successor"),
+                },
+            }
+        }
+        fab.report.rounds = round;
+        if cfg.probe.timing {
+            fab.report.phase_timing = Some(timing);
+        }
+        Ok((fab.report, protocol))
+    }
+
+    /// Run to quiescence with wavefront pipelining, returning only the
+    /// report.
+    pub fn run_wavefront(self) -> Result<SimReport, SimError> {
+        self.run_wavefront_with_state().map(|(r, _)| r)
+    }
+}
+
+/// Tag bit of a provisional in-wave sequence key. True run-global
+/// sequence numbers count transmissions and stay far below `2^63`, so the
+/// tag also makes every provisional key sort *after* every true one —
+/// matching the final numbering, where in-wave sends are newer than
+/// anything already in flight.
+const SURROGATE_BIT: u64 = 1 << 63;
+/// Node-id bits of a provisional key (below the index bits).
+const SURROGATE_NODE_BITS: u32 = 32;
+/// Per-node message-index bits of a provisional key (lowest).
+const SURROGATE_IDX_BITS: u32 = 23;
+/// Widest wave the provisional key's 8 offset bits can express.
+const MAX_WAVE_WIDTH: Round = 255;
+
+/// Pack a provisional sequence key for the `idx`-th message node `node`
+/// transmits in wave round `offset`. The field order (offset, node, idx)
+/// is the order the wave commit assigns true numbers in, so provisional
+/// keys compare exactly like the true numbers they will become.
+fn surrogate_seq(offset: Round, node: NodeId, idx: u64) -> u64 {
+    debug_assert!(offset <= MAX_WAVE_WIDTH);
+    debug_assert!((node as u64) < 1 << SURROGATE_NODE_BITS);
+    debug_assert!(idx < 1 << SURROGATE_IDX_BITS);
+    SURROGATE_BIT
+        | (offset << (SURROGATE_NODE_BITS + SURROGATE_IDX_BITS))
+        | ((node as u64) << SURROGATE_IDX_BITS)
+        | idx
+}
+
+/// Unpack a provisional sequence key into (wave offset, node, index).
+fn decode_surrogate(seq: u64) -> (Round, NodeId, u64) {
+    let body = seq & !SURROGATE_BIT;
+    (
+        body >> (SURROGATE_NODE_BITS + SURROGATE_IDX_BITS),
+        ((body >> SURROGATE_IDX_BITS) & ((1 << SURROGATE_NODE_BITS) - 1)) as NodeId,
+        body & ((1 << SURROGATE_IDX_BITS) - 1),
+    )
+}
+
+/// Width of the wave starting at `round`: the longest stretch of at most
+/// `lag` rounds free of global coupling. Round 0 (the serialized start
+/// phase), traced runs, probe-observed rounds and rounds with scheduled
+/// protocol activity ([`Protocol::next_active_round`]) all need the
+/// global barrier; a width of 1 means "run a plain lockstep round".
+fn wave_width<P: Protocol>(protocol: &P, cfg: &SimConfig, round: Round, lag: Round) -> Round {
+    if round == 0 || cfg.trace {
+        return 1;
+    }
+    let mut width = lag.min(MAX_WAVE_WIDTH).min(cfg.max_rounds - round + 1);
+    if let Some(active) = protocol.next_active_round() {
+        if active <= round {
+            return 1;
+        }
+        width = width.min(active - round);
+    }
+    for offset in 0..width {
+        if cfg.probe.observes(round + offset) {
+            return offset.max(1);
+        }
+    }
+    width.max(1)
+}
+
+/// One shard's work item for a wavefront wave: its fabric, the disjoint
+/// `&mut` borrows of its member nodes' slices, and the cross-shard wires
+/// due to it during the wave (pre-drained, in (arrival, sequence) order).
+struct WaveTask<'s, M, S> {
+    shard: usize,
+    state: ShardState<M>,
+    slices: Vec<&'s mut S>,
+    ferry_due: Vec<Wire<M>>,
+}
+
+/// What a shard's wave task hands back for the serialized wave commit.
+struct WaveOutcome<M> {
+    state: ShardState<M>,
+    /// Per wave round: `(sender, transmitted count)` in ascending sender
+    /// order — the block sizes the commit turns into true sequence bases.
+    transmits: Vec<Vec<(NodeId, u64)>>,
+    /// Cross-shard sends: `(wave offset, sender, per-sender index,
+    /// destination, payload)`; true sequence numbers attach at commit.
+    ferry_out: Vec<(Round, NodeId, u64, NodeId, M)>,
+    /// Per wave round: `(handler, completing node, value)` in delivery
+    /// order — replayed at commit in global handler order.
+    completions: Vec<Vec<(NodeId, NodeId, u64)>>,
+    /// `(node, delivery count)` pairs for the receive profile.
+    received: Vec<(NodeId, u64)>,
+    queue_wait: u64,
+    max_inport_depth: usize,
+    max_outbox_depth: usize,
+    /// Whether this shard's queues and wheel were empty after each wave
+    /// round (one flag per round offset).
+    idle_after: Vec<bool>,
+    mature_micros: u64,
+    apply_micros: u64,
+    transmit_micros: u64,
+}
+
+/// Execute one shard's side of a wave: `width` rounds of mature → apply →
+/// transmit against the shard's own store, wheel and slices. Handler
+/// effects apply in-task (sends stage into the shard's own outboxes —
+/// a handler's sends always leave the handling node, which is local;
+/// completions are logged for the commit replay), and every transmission
+/// carries a provisional sequence key. The arrivals phase is skipped:
+/// [`wave_width`] only admits rounds where `on_round` is a no-op.
+fn run_shard_wave<P: NodeSliced>(
+    graph: &Graph,
+    partition: &Partition,
+    shared: &P::Shared,
+    task: WaveTask<'_, P::Msg, P::Slice>,
+    start: Round,
+    width: Round,
+    cfg: &SimConfig,
+) -> Result<WaveOutcome<P::Msg>, SimError> {
+    let WaveTask { shard, mut state, mut slices, mut ferry_due } = task;
+    let members = partition.members(shard);
+    let mut sapi: SliceApi<P::Msg> = SliceApi::new(start, 0);
+    let mut transmits = Vec::with_capacity(width as usize);
+    let mut completions = Vec::with_capacity(width as usize);
+    let mut idle_after = Vec::with_capacity(width as usize);
+    let mut received: Vec<(NodeId, u64)> = Vec::new();
+    let mut ferry_out = Vec::new();
+    let mut queue_wait = 0u64;
+    let mut max_inport_depth = 0usize;
+    let mut max_outbox_depth = 0usize;
+    let mut watch = Stopwatch::new(cfg.probe.timing);
+    let (mut mature_micros, mut apply_micros, mut transmit_micros) = (0u64, 0u64, 0u64);
+    let mut frontier = std::mem::take(&mut state.frontier);
+
+    for offset in 0..width {
+        let r = start + offset;
+        watch.reset();
+        // Maturity: own wheel plus the pre-drained ferry wires now due,
+        // merged in (arrival, sequence) order — pre-wave wires carry true
+        // numbers, in-wave wires provisional keys, and the key layout
+        // makes the mixed sort equal the final numbering's order.
+        let due_len = ferry_due.iter().take_while(|w| w.arrival <= r).count();
+        let due: Vec<Wire<P::Msg>> = ferry_due.drain(..due_len).collect();
+        max_inport_depth = max_inport_depth.max(state.mature(due, r));
+        mature_micros += watch.lap();
+
+        // Apply: deliver up to `recv_budget` per frontier node and run
+        // the sliced handlers, draining effects in-task.
+        sapi.set_round(r);
+        let mut round_completions = Vec::new();
+        frontier.clear();
+        if cfg.dense_scan {
+            frontier.extend_from_slice(members);
+        } else {
+            state.store.take_inport_frontier(&mut frontier);
+            frontier.sort_unstable();
+        }
+        for &v in &frontier {
+            let idx = members.binary_search(&v).expect("frontier nodes are shard members");
+            let slice = &mut *slices[idx];
+            sapi.set_node(v);
+            let mut delivered = 0u64;
+            for _ in 0..cfg.recv_budget {
+                let Some(inb) = state.store.pop_inport(v) else { break };
+                queue_wait += r - inb.arrival;
+                delivered += 1;
+                P::on_message_sliced(shared, slice, &mut sapi, v, inb.src, inb.msg);
+                for effect in sapi.effects.drain(..) {
+                    match effect {
+                        SliceEffect::Send { to, msg } => {
+                            if to >= graph.n() || !graph.has_edge(v, to) {
+                                return Err(SimError::InvalidSend { from: v, to, round: r });
+                            }
+                            max_outbox_depth = max_outbox_depth.max(state.store.stage(v, to, msg));
+                        }
+                        SliceEffect::Complete { node, value } => {
+                            round_completions.push((v, node, value));
+                        }
+                    }
+                }
+            }
+            if delivered > 0 {
+                received.push((v, delivered));
+            }
+        }
+        completions.push(round_completions);
+        apply_micros += watch.lap();
+
+        // Transmit under provisional keys, ascending node order — the
+        // per-transport call order stays monotone in the eventual true
+        // numbering, as the timing wheel's batch order requires.
+        let mut round_transmits = Vec::new();
+        frontier.clear();
+        if cfg.dense_scan {
+            frontier.extend_from_slice(members);
+        } else {
+            state.store.take_outbox_frontier(&mut frontier);
+            frontier.sort_unstable();
+        }
+        for &v in &frontier {
+            if cfg.probe.skips_transmit(r, v) {
+                state.store.relist_outbox(v);
+                continue;
+            }
+            let mut count = 0u64;
+            for i in 0..cfg.send_budget as u64 {
+                let Some((dst, msg)) = state.store.pop_outbox(v) else { break };
+                count += 1;
+                if partition.shard_of(dst) == shard {
+                    state.transport.transmit(v, dst, msg, r, surrogate_seq(offset, v, i));
+                } else {
+                    ferry_out.push((offset, v, i, dst, msg));
+                }
+            }
+            if count > 0 {
+                round_transmits.push((v, count));
+            }
+        }
+        transmits.push(round_transmits);
+        transmit_micros += watch.lap();
+
+        idle_after.push(state.store.is_idle() && state.transport.is_idle());
+    }
+    frontier.clear();
+    state.frontier = frontier;
+    Ok(WaveOutcome {
+        state,
+        transmits,
+        ferry_out,
+        completions,
+        received,
+        queue_wait,
+        max_inport_depth,
+        max_outbox_depth,
+        idle_after,
+        mature_micros,
+        apply_micros,
+        transmit_micros,
+    })
 }
 
 /// Convenience: run the [`NodeSliced`] protocol on `graph` under `config`,
@@ -956,6 +1697,118 @@ mod tests {
         // …and neither can the single-fabric executor.
         let err = crate::run_protocol(&g, Walk { n: 6 }, cfg).unwrap_err();
         assert!(err.to_string().contains("parallel_apply"), "{err}");
+    }
+
+    #[test]
+    fn parallel_transmit_is_byte_identical_to_the_serial_reference() {
+        // Across delay policies (including per-message jitter, where the
+        // sequence numbering drives the draws and the FIFO clamp) and with
+        // tracing on, the block-claim transmit must reproduce the serial
+        // loop exactly.
+        let g = topology::path(16);
+        for delay in
+            [LinkDelay::Unit, LinkDelay::Fixed { delay: 3 }, LinkDelay::Jitter { max: 4, seed: 7 }]
+        {
+            let cfg = SimConfig::strict().with_link_delay(delay).with_trace();
+            let parallel =
+                run_protocol_sharded(&g, Partition::striped(16, 4), Walk { n: 16 }, cfg).unwrap();
+            let serial = run_protocol_sharded(
+                &g,
+                Partition::striped(16, 4),
+                Walk { n: 16 },
+                cfg.with_serial_transmit(true),
+            )
+            .unwrap();
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serde_json::to_string(&serial).unwrap(),
+                "parallel transmit diverged under {}",
+                delay.name()
+            );
+        }
+    }
+
+    #[test]
+    fn wavefront_is_byte_identical_to_lockstep_on_a_slow_ferry() {
+        let g = topology::path(12);
+        let part = || Partition::contiguous(12, 3);
+        let run = |cfg: SimConfig| {
+            ShardedSimulator::new(&g, part(), SlicedWalk::new(12), cfg)
+                .with_inter_delay(LinkDelay::Fixed { delay: 6 })
+                .run_sliced_with_state()
+                .unwrap()
+        };
+        let (lockstep, _) = run(SimConfig::strict());
+        let (wave, proto) = run(SimConfig::strict().with_wavefront(4));
+        assert_eq!(
+            serde_json::to_string(&lockstep).unwrap(),
+            serde_json::to_string(&wave).unwrap(),
+            "wavefront diverged from lockstep"
+        );
+        assert_eq!(proto.visits, vec![1; 12], "slices must see every delivery");
+        assert!(wave.cross_shard_messages > 0, "the walk must cross shards");
+    }
+
+    #[test]
+    fn wavefront_checkpoints_match_lockstep_between_observed_rounds() {
+        use crate::ProbeSpec;
+        // Sparse checkpoints force the wave width to adapt around observed
+        // rounds; the digest streams must still agree exactly.
+        let g = topology::path(12);
+        let probe = ProbeSpec::OFF.with_checkpoint_every(3).with_node_hashes(true);
+        let part = || Partition::contiguous(12, 2);
+        let run = |cfg: SimConfig| {
+            ShardedSimulator::new(&g, part(), SlicedWalk::new(12), cfg)
+                .with_inter_delay(LinkDelay::Fixed { delay: 5 })
+                .run_sliced()
+                .unwrap()
+        };
+        let lockstep = run(SimConfig::strict().with_probe(probe));
+        let wave = run(SimConfig::strict().with_probe(probe).with_wavefront(5));
+        assert!(!lockstep.checkpoints.is_empty(), "probe must checkpoint");
+        assert_eq!(lockstep.checkpoints, wave.checkpoints);
+        assert_eq!(lockstep.node_digests, wave.node_digests);
+    }
+
+    #[test]
+    fn wavefront_rejections_are_constructive() {
+        let g = topology::path(8);
+        // Lag beyond the ferry's minimum delay names both values.
+        let err = ShardedSimulator::new(
+            &g,
+            Partition::contiguous(8, 2),
+            SlicedWalk::new(8),
+            SimConfig::strict().with_wavefront(4),
+        )
+        .with_inter_delay(LinkDelay::Fixed { delay: 2 })
+        .run_sliced()
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("lag 4") && msg.contains("minimum delay 2"), "{msg}");
+        // Per-message intra-shard delays cannot be numbered mid-wave.
+        let err = ShardedSimulator::new(
+            &g,
+            Partition::contiguous(8, 2),
+            SlicedWalk::new(8),
+            SimConfig::strict().with_jitter(3, 1).with_wavefront(2),
+        )
+        .with_inter_delay(LinkDelay::Fixed { delay: 6 })
+        .run_sliced()
+        .unwrap_err();
+        assert!(err.to_string().contains("per-message"), "{err}");
+        // The serialized-apply entry point cannot honour the flag…
+        let err = run_protocol_sharded(
+            &g,
+            Partition::contiguous(8, 2),
+            Walk { n: 8 },
+            SimConfig::strict().with_wavefront(2),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("NodeSliced"), "{err}");
+        // …and neither can the single-fabric executor.
+        let err = crate::run_protocol(&g, Walk { n: 8 }, SimConfig::strict().with_wavefront(2))
+            .unwrap_err();
+        assert!(err.to_string().contains("wavefront"), "{err}");
     }
 
     #[test]

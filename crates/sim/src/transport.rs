@@ -105,6 +105,19 @@ impl<M> Transport<M> {
         }
     }
 
+    /// Rewrite the sequence number of every in-flight wire through `f`.
+    /// The wavefront executor uses this at a wave commit to replace the
+    /// provisional in-wave sequence keys with the true run-global numbers;
+    /// the mapping must be order-preserving within each arrival batch
+    /// (batches stay in transmission order and are never re-sorted).
+    pub fn remap_seqs(&mut self, mut f: impl FnMut(u64) -> u64) {
+        for batch in self.inflight.values_mut() {
+            for w in batch.iter_mut() {
+                w.seq = f(w.seq);
+            }
+        }
+    }
+
     /// Whether nothing is in flight.
     pub fn is_idle(&self) -> bool {
         self.inflight.is_empty()

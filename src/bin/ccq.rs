@@ -10,7 +10,8 @@
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
 //!           [--admission <policies>] [--shards <plans>] [--parallel-apply]
-//!           [--dense-scan] [--timing] [--checkpoint-every N] [--node-hashes]
+//!           [--dense-scan] [--wavefront[:lag=d]] [--serial-transmit]
+//!           [--timing] [--checkpoint-every N] [--node-hashes]
 //!           [--perturb R:V]
 //!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
@@ -63,6 +64,16 @@
 //! Scan path:   `--dense-scan` replaces the default dirty-frontier round
 //!              loop with the dense 0..n reference scan. Also a pure
 //!              execution strategy: byte-identical JSON either way.
+//! Wavefront:   `--wavefront[:lag=d]` runs the sharded executor's
+//!              wavefront pipeline — shards execute up to d rounds ahead
+//!              of the inter-shard barrier (bare `--wavefront` takes the
+//!              lag from the ferry's minimum delay). Needs `--shards`
+//!              with k ≥ 2 and a ferry at least as slow as the lag;
+//!              misconfigurations fail with a named error. Byte-identical
+//!              JSON to the lockstep sweep.
+//! Transmit:    `--serial-transmit` uses the serialized reference
+//!              transmit instead of the block-claim parallel transmit.
+//!              Byte-identical JSON either way.
 //! Probes:      `--timing` adds per-phase round timing to each case;
 //!              `--checkpoint-every N` hashes engine state at every phase
 //!              barrier of every Nth round; `--node-hashes` adds per-node
@@ -109,7 +120,8 @@ usage:
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
             [--admission <policies>] [--shards <k[:strategy][:ferry=D]>]
-            [--parallel-apply] [--dense-scan] [--timing] [--checkpoint-every N]
+            [--parallel-apply] [--dense-scan] [--wavefront[:lag=d]]
+            [--serial-transmit] [--timing] [--checkpoint-every N]
             [--node-hashes] [--perturb R:V]
             [--repeats N] [--seed S] [--json -|PATH] [--pretty]
   ccq record [sweep flags] --rec PATH [--json -|PATH]
@@ -127,6 +139,7 @@ examples:
   ccq sweep --arrival poisson:rate=0.8 --admission droptail:bound=16 --json -
   ccq sweep --topo torus2d:6 --shards 4:edgecut --json -
   ccq sweep --topo torus2d:6 --shards 4 --parallel-apply --json -
+  ccq sweep --topo torus2d:6 --shards 4:ferry=6 --wavefront:lag=4 --json -
   ccq sweep --topo list:16 --proto arrow --timing --checkpoint-every 8 --json -
   ccq record --topo mesh2d --proto arrow --rec arrow.ccqrec
   ccq replay arrow.ccqrec
@@ -176,6 +189,15 @@ fn cmd_list() -> i32 {
     println!(
         "scan path (ccq sweep --dense-scan): dense 0..n reference round loop instead \
          of the dirty frontier; JSON byte-identical to the frontier path"
+    );
+    println!(
+        "wavefront (ccq sweep --wavefront[:lag=d]): shards run up to d rounds ahead of \
+         the inter-shard barrier (bare flag: lag = ferry minimum delay); needs --shards \
+         k>=2 and ferry >= lag; JSON byte-identical to the lockstep path"
+    );
+    println!(
+        "transmit (ccq sweep --serial-transmit): serialized reference transmit instead \
+         of the block-claim parallel transmit; JSON byte-identical either way"
     );
     println!("probes (ccq sweep): --timing | --checkpoint-every N | --node-hashes | --perturb R:V");
     println!("record/replay: ccq record … --rec PATH, ccq replay PATH, ccq bisect <cfgA> <cfgB> …");
@@ -246,6 +268,8 @@ struct SweepArgs {
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
     dense_scan: bool,
+    wavefront: Option<u64>,
+    serial_transmit: bool,
     timing: bool,
     checkpoint_every: Option<u64>,
     node_hashes: bool,
@@ -269,6 +293,8 @@ fn build_plan(parsed: &SweepArgs) -> RunPlan {
         .shards(parsed.shards.clone())
         .parallel_apply(parsed.parallel_apply)
         .dense_scan(parsed.dense_scan)
+        .wavefront(parsed.wavefront)
+        .serial_transmit(parsed.serial_transmit)
         .repeats(parsed.repeats)
         .seed(parsed.seed);
     for p in &parsed.protos {
@@ -503,6 +529,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         shards: Vec::new(),
         parallel_apply: false,
         dense_scan: false,
+        wavefront: None,
+        serial_transmit: false,
         timing: false,
         checkpoint_every: None,
         node_hashes: false,
@@ -569,6 +597,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
             }
             "--parallel-apply" => out.parallel_apply = true,
             "--dense-scan" => out.dense_scan = true,
+            "--wavefront" => out.wavefront = Some(0),
+            "--serial-transmit" => out.serial_transmit = true,
             "--timing" => out.timing = true,
             "--checkpoint-every" => {
                 let every: u64 = value("--checkpoint-every")?
@@ -600,6 +630,25 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
             }
             "--json" => out.json = Some(value("--json")?.to_string()),
             "--pretty" => out.pretty = true,
+            other if other.starts_with("--wavefront:") => {
+                let raw = &other["--wavefront:".len()..];
+                let Some(lag) = raw.strip_prefix("lag=") else {
+                    return Err(format!(
+                        "bad `--wavefront` parameter `{raw}` (want --wavefront[:lag=d])"
+                    ));
+                };
+                let lag: u64 = lag
+                    .parse()
+                    .map_err(|_| format!("bad lag in `{other}` (want --wavefront[:lag=d])"))?;
+                if lag < 1 {
+                    return Err(
+                        "--wavefront:lag=d needs d ≥ 1 (bare --wavefront resolves the lag \
+                         from the ferry's minimum delay)"
+                            .to_string(),
+                    );
+                }
+                out.wavefront = Some(lag);
+            }
             other => return Err(format!("unknown `ccq sweep` flag `{other}`")),
         }
     }

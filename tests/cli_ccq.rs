@@ -351,9 +351,157 @@ fn parallel_apply_composes_with_shards_arrivals_and_admission() {
 #[test]
 fn usage_and_list_document_parallel_apply() {
     let help = ccq(&[]);
-    assert!(String::from_utf8_lossy(&help.stdout).contains("--parallel-apply"));
+    let help_text = String::from_utf8_lossy(&help.stdout).to_string();
     let list = ccq(&["list"]);
-    assert!(String::from_utf8_lossy(&list.stdout).contains("--parallel-apply"));
+    let list_text = String::from_utf8_lossy(&list.stdout).to_string();
+    for flag in ["--parallel-apply", "--wavefront", "--serial-transmit"] {
+        assert!(help_text.contains(flag), "usage misses {flag}");
+        assert!(list_text.contains(flag), "ccq list misses {flag}");
+    }
+}
+
+#[test]
+fn wavefront_is_byte_identical_to_the_lockstep_sweep() {
+    // The PR-8 acceptance criterion: a slow-ferry sweep under
+    // `--wavefront` must equal its lockstep twin byte for byte — the
+    // pipeline is an execution strategy, not a new measurement.
+    let base = ccq(&["sweep", "--topo", "torus2d:6", "--shards", "4:ferry=6", "--json", "-"]);
+    let wave = ccq(&[
+        "sweep",
+        "--topo",
+        "torus2d:6",
+        "--shards",
+        "4:ferry=6",
+        "--wavefront:lag=4",
+        "--json",
+        "-",
+    ]);
+    assert!(base.status.success() && wave.status.success());
+    assert_eq!(base.stdout, wave.stdout, "--wavefront changed the JSON bytes");
+    // Bare `--wavefront` (auto lag from the ferry) agrees too.
+    let auto = ccq(&[
+        "sweep",
+        "--topo",
+        "torus2d:6",
+        "--shards",
+        "4:ferry=6",
+        "--wavefront",
+        "--json",
+        "-",
+    ]);
+    assert!(auto.status.success());
+    assert_eq!(base.stdout, auto.stdout, "bare --wavefront changed the JSON bytes");
+    let doc = json_stdout(&wave);
+    assert_eq!(cases(&doc).len(), 9, "all registry protocols");
+    assert_all_ok(&doc);
+}
+
+#[test]
+fn serial_transmit_is_byte_identical_to_the_parallel_sweep() {
+    let base = ccq(&["sweep", "--topo", "torus2d:4", "--shards", "4", "--json", "-"]);
+    let serial =
+        ccq(&["sweep", "--topo", "torus2d:4", "--shards", "4", "--serial-transmit", "--json", "-"]);
+    assert!(base.status.success() && serial.status.success());
+    assert_eq!(base.stdout, serial.stdout, "--serial-transmit changed the JSON bytes");
+}
+
+#[test]
+fn timing_reports_transmit_and_apply_micros_separately_under_wavefront() {
+    // `--timing` keeps the transmit and apply phases distinct even when
+    // waves execute both inside shard tasks (per-shard laps are merged
+    // back into the per-phase totals at the commit).
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "torus2d:6",
+        "--proto",
+        "arrow",
+        "--shards",
+        "4:ferry=6",
+        "--wavefront:lag=4",
+        "--timing",
+        "--json",
+        "-",
+    ]);
+    let doc = json_stdout(&out);
+    assert_all_ok(&doc);
+    for case in cases(&doc) {
+        let timing = case.get("phase_timing").expect("phase_timing field");
+        for f in ["transmit_micros", "apply_micros", "mature_micros", "max_round_micros"] {
+            assert!(timing.get(f).and_then(|v| v.as_u64()).is_some(), "{f} missing: {timing:?}");
+        }
+    }
+}
+
+#[test]
+fn malformed_wavefront_flags_fail_loudly() {
+    let checks = [
+        (vec!["sweep", "--wavefront:lag=0"], "lag"),
+        (vec!["sweep", "--wavefront:lag=oops"], "bad lag"),
+        (vec!["sweep", "--wavefront:depth=3"], "--wavefront"),
+    ];
+    for (args, needle) in checks {
+        let out = ccq(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
+    }
+}
+
+#[test]
+fn wavefront_misconfigured_runs_fail_with_named_errors() {
+    // Config errors that need the resolved scenario surface per-case with
+    // a constructive message naming the offending values.
+    let case_error = |args: &[&str]| -> String {
+        let out = ccq(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?} should fail verification");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let doc: serde_json::Value =
+            serde_json::from_str(stdout.trim()).expect("JSON on stdout even for failing cases");
+        cases(&doc)[0].get("error").and_then(|e| e.as_str()).expect("case error").to_string()
+    };
+    // Unsharded run: the pipeline has no barrier to overlap.
+    let msg = case_error(&[
+        "sweep",
+        "--topo",
+        "torus2d:4",
+        "--proto",
+        "arrow",
+        "--wavefront",
+        "--json",
+        "-",
+    ]);
+    assert!(msg.contains("k = 1") && msg.contains("--shards"), "unhelpful error: {msg}");
+    // Ferry faster than the lag: a shard could outrun an in-flight wire.
+    let msg = case_error(&[
+        "sweep",
+        "--topo",
+        "torus2d:4",
+        "--proto",
+        "arrow",
+        "--shards",
+        "4:ferry=2",
+        "--wavefront:lag=5",
+        "--json",
+        "-",
+    ]);
+    assert!(msg.contains("lag 5") && msg.contains("minimum delay 2"), "unhelpful error: {msg}");
+    // Per-message intra-shard jitter cannot be renumbered mid-wave.
+    let msg = case_error(&[
+        "sweep",
+        "--topo",
+        "torus2d:4",
+        "--proto",
+        "arrow",
+        "--shards",
+        "4:ferry=6",
+        "--wavefront:lag=3",
+        "--delay",
+        "jitter:max=3",
+        "--json",
+        "-",
+    ]);
+    assert!(msg.contains("per-message"), "unhelpful error: {msg}");
 }
 
 #[test]

@@ -16,7 +16,11 @@
 //!   scan (snapshots even resume across the two scan strategies);
 //! * **bisection** — a deliberately planted single-node transmit skip is
 //!   localized to its exact `(round, phase, node)` by
-//!   [`first_divergence`], and unperturbed runs show no divergence.
+//!   [`first_divergence`], and unperturbed runs show no divergence;
+//! * **wavefront independence** — the bounded-lag wavefront executor
+//!   produces checkpoint and node-digest streams identical to the
+//!   lockstep barrier, and snapshots cross the executor boundary (taken
+//!   under one, resumed under the other).
 
 use ccq_repro::prelude::*;
 use ccq_repro::replay::{first_divergence, resume_from, snapshot_of, Snapshot};
@@ -241,6 +245,83 @@ proptest! {
             report_json(&plain),
             "{}: cross-strategy resume not byte-identical",
             spec.name()
+        );
+    }
+}
+
+/// Checkpoint and node-digest streams are *wavefront*-independent too:
+/// with a slow ferry, the bounded-lag pipeline hashes through exactly the
+/// same canonical states as the lockstep barrier at every observed round
+/// — auto-resolved and explicit lags alike — for every registry protocol.
+/// The interval (3) is wider than one round, so waves genuinely form
+/// between observations.
+#[test]
+fn checkpoints_are_wavefront_independent_for_every_registry_protocol() {
+    let probe = ProbeSpec::OFF.with_checkpoint_every(3).with_node_hashes(true);
+    let shards =
+        ShardSpec::new(3, ShardStrategy::EdgeCut).with_inter_delay(LinkDelay::Fixed { delay: 4 });
+    for spec in registry() {
+        let mode = mode_for(*spec);
+        let build = |wavefront: Option<u64>| {
+            Scenario::build(TopoSpec::Torus2D { side: 3 }, RequestPattern::All)
+                .with_shards(shards)
+                .with_wavefront(wavefront)
+                .with_probe(probe)
+        };
+        let lockstep = run_spec_with(*spec, &build(None), mode, LinkDelay::Unit).unwrap();
+        assert!(!lockstep.report.checkpoints.is_empty(), "{}", spec.name());
+        for (label, wavefront) in [("auto", Some(0)), ("lag=3", Some(3))] {
+            let wave = run_spec_with(*spec, &build(wavefront), mode, LinkDelay::Unit).unwrap();
+            assert_eq!(
+                wave.report.checkpoints,
+                lockstep.report.checkpoints,
+                "{} {label}: checkpoint stream diverged from lockstep",
+                spec.name()
+            );
+            assert_eq!(
+                wave.report.node_digests,
+                lockstep.report.node_digests,
+                "{} {label}: node digests diverged from lockstep",
+                spec.name()
+            );
+            assert_eq!(
+                report_json(&wave),
+                report_json(&lockstep),
+                "{} {label}: serialized report diverged from lockstep",
+                spec.name()
+            );
+        }
+    }
+}
+
+/// Snapshots cross the wavefront boundary: a snapshot taken under the
+/// lockstep barrier resumes under the wavefront executor (and vice versa)
+/// into a report byte-identical to the uninterrupted run.
+#[test]
+fn snapshots_resume_across_wavefront_and_lockstep() {
+    let spec = &ccq_repro::core::protocol::Arrow;
+    let mode = ModelMode::Expanded;
+    let delay = LinkDelay::Unit;
+    let shards = ShardSpec::new(3, ShardStrategy::Contiguous)
+        .with_inter_delay(LinkDelay::Fixed { delay: 5 });
+    let build = |wavefront: Option<u64>| {
+        Scenario::build(TopoSpec::Torus2D { side: 4 }, RequestPattern::All)
+            .with_shards(shards)
+            .with_wavefront(wavefront)
+    };
+    let plain = run_spec_with(spec, &build(None), mode, delay).unwrap();
+    let probed =
+        run_spec_with(spec, &build(Some(4)).with_checkpoint_every(2), mode, delay).unwrap();
+    let rounds: Vec<u64> = probed.report.checkpoints.iter().map(|c| c.round).collect();
+    let round = rounds[rounds.len() / 2];
+    for (snap_wf, resume_wf) in [(None, Some(4)), (Some(4), None)] {
+        let snap = snapshot_of(spec, build(snap_wf), mode, delay, round).unwrap();
+        let resumed = resume_from(&snap, spec, build(resume_wf), mode, delay).unwrap();
+        assert_eq!(resumed.order, plain.order, "{snap_wf:?}->{resume_wf:?}: order diverged");
+        assert_eq!(
+            report_json(&resumed),
+            report_json(&plain),
+            "{snap_wf:?}->{resume_wf:?}: cross-executor resume not byte-identical"
         );
     }
 }

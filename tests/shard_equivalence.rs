@@ -17,7 +17,15 @@
 //!   path is byte-identical to the serialized one;
 //! * **scan equivalence** — the same matrix asserts the default
 //!   dirty-frontier round loop is byte-identical to the dense `0..n`
-//!   reference scan (`dense_scan`), on both apply paths.
+//!   reference scan (`dense_scan`), on both apply paths;
+//! * **transmit equivalence** — the block-claim parallel transmit is
+//!   byte-identical to the serialized reference transmit
+//!   (`serial_transmit`), across the same matrix including per-message
+//!   jitter;
+//! * **wavefront equivalence** — with a ferry at least as slow as the
+//!   lag, the bounded-lag wavefront pipeline is byte-identical to the
+//!   lockstep barrier, across protocols × intra-shard delays × arrivals
+//!   × admission × shard plans.
 
 use ccq_repro::core::protocol::run_arrival_aware;
 use ccq_repro::graph::{spanning, topology, NodeId, Partition};
@@ -217,6 +225,157 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel-transmit guarantee: for every sliced registry
+    /// protocol, under every delay policy (including per-message jitter),
+    /// open arrivals, admission policies and multi-shard plans, the
+    /// block-claim parallel transmit produces a report byte-identical to
+    /// the serialized reference transmit — sequence blocks reproduce the
+    /// global transmission numbering exactly.
+    #[test]
+    fn parallel_transmit_runs_are_byte_identical_to_serialized(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..4,
+        arrival_kind in 0u8..3,
+        admission_kind in 0u8..2,
+        k in 2usize..6,
+        strategy in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let arrival = match arrival_kind {
+            0 => ArrivalSpec::OneShot,
+            1 => ArrivalSpec::Poisson { rate: 0.4, seed },
+            _ => ArrivalSpec::Bursty { rate: 0.8, on: 4, off: 7, seed },
+        };
+        let admission = match admission_kind {
+            0 => AdmissionSpec::Open,
+            _ => AdmissionSpec::DropTail { bound: 6 },
+        };
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let build = |serial: bool| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                arrival.clone(),
+            )
+            .with_shards(ShardSpec::new(k, strategy_for(strategy)))
+            .with_admission(admission)
+            .with_serial_transmit(serial)
+        };
+        let parallel = run_spec_with(spec, &build(false), mode, delay).unwrap();
+        let serialized = run_spec_with(spec, &build(true), mode, delay).unwrap();
+        prop_assert_eq!(parallel.order, serialized.order, "{} order diverged", spec.name());
+        prop_assert_eq!(
+            serde_json::to_string(&serialized.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap(),
+            "{} report diverged between transmit strategies", spec.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The wavefront guarantee: for every sliced registry protocol, under
+    /// every constant-per-link intra-shard delay (per-message jitter is
+    /// constructively rejected under the pipeline), open arrivals,
+    /// admission policies and shard plans with a ferry at least as slow
+    /// as the lag, the bounded-lag wavefront run is byte-identical to the
+    /// lockstep run.
+    #[test]
+    fn wavefront_runs_are_byte_identical_to_lockstep(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..3,
+        arrival_kind in 0u8..3,
+        admission_kind in 0u8..2,
+        k in 2usize..5,
+        strategy in 0u8..3,
+        lag in 1u64..5,
+        slack in 0u64..3,
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let arrival = match arrival_kind {
+            0 => ArrivalSpec::OneShot,
+            1 => ArrivalSpec::Poisson { rate: 0.4, seed },
+            _ => ArrivalSpec::Bursty { rate: 0.8, on: 4, off: 7, seed },
+        };
+        let admission = match admission_kind {
+            0 => AdmissionSpec::Open,
+            _ => AdmissionSpec::DropTail { bound: 6 },
+        };
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let shards = ShardSpec::new(k, strategy_for(strategy))
+            .with_inter_delay(LinkDelay::Fixed { delay: lag + slack });
+        let build = |wavefront: Option<u64>| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                arrival.clone(),
+            )
+            .with_shards(shards)
+            .with_admission(admission)
+            .with_wavefront(wavefront)
+        };
+        let lockstep = run_spec_with(spec, &build(None), mode, delay).unwrap();
+        let wave = run_spec_with(spec, &build(Some(lag)), mode, delay).unwrap();
+        prop_assert_eq!(wave.order, lockstep.order, "{} order diverged", spec.name());
+        prop_assert_eq!(
+            serde_json::to_string(&lockstep.report).unwrap(),
+            serde_json::to_string(&wave.report).unwrap(),
+            "{} report diverged between wavefront and lockstep", spec.name()
+        );
+    }
+}
+
+/// Bare `--wavefront` (lag 0 = auto) resolves the lag from the ferry's
+/// minimum delay, and the pipeline composes with the parallel apply path
+/// and the dense scan — all byte-identical to the lockstep run.
+#[test]
+fn wavefront_auto_lag_composes_with_the_other_strategies() {
+    let shards =
+        ShardSpec::new(3, ShardStrategy::EdgeCut).with_inter_delay(LinkDelay::Fixed { delay: 5 });
+    let build = |wavefront: Option<u64>, parallel: bool, dense: bool| {
+        Scenario::build(TopoSpec::Torus2D { side: 4 }, RequestPattern::All)
+            .with_shards(shards)
+            .with_wavefront(wavefront)
+            .with_parallel_apply(parallel)
+            .with_dense_scan(dense)
+    };
+    for spec in registry() {
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let lockstep = run_spec(*spec, &build(None, false, false), mode).unwrap();
+        for (label, scenario) in [
+            ("auto", build(Some(0), false, false)),
+            ("auto + parallel apply", build(Some(0), true, false)),
+            ("lag=4 + dense scan", build(Some(4), false, true)),
+        ] {
+            let wave = run_spec(*spec, &scenario, mode).unwrap();
+            assert_eq!(wave.order, lockstep.order, "{} {label}: order diverged", spec.name());
+            assert_eq!(
+                serde_json::to_string(&wave.report).unwrap(),
+                serde_json::to_string(&lockstep.report).unwrap(),
+                "{} {label}: report diverged from lockstep",
+                spec.name()
+            );
+        }
+    }
+}
+
 /// Deterministic matrix: every registry protocol × mesh2d/torus2d × shard
 /// counts (including the k = 1 degenerate plan) on the parallel apply path
 /// equals the *unsharded serialized monolith* — the full equivalence chain
@@ -307,6 +466,14 @@ fn parallel_apply_on_an_unsliced_protocol_is_a_named_error() {
     let msg = err.to_string();
     assert!(msg.contains("opaque-proto"), "error must name the protocol: {msg}");
     assert!(msg.contains("NodeSliced"), "error must explain the trait: {msg}");
+    // The wavefront pipeline has the same NodeSliced requirement.
+    let wf = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All)
+        .with_shards(ShardSpec::new(2, ShardStrategy::Contiguous))
+        .with_wavefront(Some(1));
+    let err = run_arrival_aware(&wf, "opaque-proto", SimConfig::strict(), |_| Opaque).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("opaque-proto"), "error must name the protocol: {msg}");
+    assert!(msg.contains("wavefront"), "error must name the pipeline: {msg}");
     // Without the flag the same protocol runs fine.
     let ok = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
     run_arrival_aware(&ok, "opaque-proto", SimConfig::strict(), |_| Opaque).unwrap();
