@@ -26,6 +26,8 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         arrival: ArrivalSpec::OneShot,
         schedule: ArrivalSpec::OneShot.materialize(&requests),
         admission: AdmissionSpec::Open,
+        priority: PrioritySpec::Uniform,
+        faults: FaultSpec::none(),
         shards: ShardSpec::single(),
         parallel_apply: false,
         dense_scan: false,

@@ -31,6 +31,7 @@
 //! | [`t11_openload`] | extension: open-system load (arrival processes × latency percentiles) |
 //! | [`t12_sharded`] | extension: multi-shard executor (cross-shard traffic × federated ferry) |
 //! | [`t13_backpressure`] | extension: admission control (drop/delay/AIMD × throughput-latency trade) |
+//! | [`t15_heterogeneous`] | extension: heterogeneous traffic (priority classes × per-node admission × crash/recover) |
 
 pub mod f2_runs;
 pub mod fig1;
@@ -38,6 +39,7 @@ pub mod t10_longlived;
 pub mod t11_openload;
 pub mod t12_sharded;
 pub mod t13_backpressure;
+pub mod t15_heterogeneous;
 pub mod t1_logstar;
 pub mod t2_diameter;
 pub mod t3_list_arrow;
@@ -98,6 +100,11 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "t11", paper_item: "open-system load extension", run: t11_openload::run },
         Experiment { id: "t12", paper_item: "multi-shard extension", run: t12_sharded::run },
         Experiment { id: "t13", paper_item: "backpressure extension", run: t13_backpressure::run },
+        Experiment {
+            id: "t15",
+            paper_item: "heterogeneous traffic extension",
+            run: t15_heterogeneous::run,
+        },
     ]
 }
 

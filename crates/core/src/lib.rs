@@ -52,11 +52,13 @@ pub mod prelude {
         run_counting, run_queuing, CountingAlg, ModelMode, QueuingAlg, RunOutcome,
     };
     pub use crate::scenario::{
-        AdmissionSpec, ArrivalSpec, RequestPattern, Scenario, ShardSpec, ShardStrategy, TopoSpec,
+        AdmissionSpec, ArrivalSpec, FaultSpec, PrioritySpec, RequestPattern, Scenario, ShardSpec,
+        ShardStrategy, TopoSpec,
     };
     pub use crate::table::Table;
     pub use ccq_sim::{
-        fnv1a, AdmissionPolicy, Checkpoint, LinkDelay, NodeDigest, Phase, PhaseTimings, ProbeSpec,
+        fnv1a, AdmissionPolicy, Checkpoint, CrashFault, FaultEvent, FaultKind, FaultPlan,
+        LinkDelay, NodeDigest, Phase, PhaseTimings, ProbeSpec,
     };
 }
 

@@ -25,9 +25,12 @@
 //! ```
 
 use crate::protocol::{registry, run_spec_with, ProtocolKind, ProtocolSpec};
-use crate::report::DelayReport;
+use crate::report::{ClassMetrics, DelayReport, FaultSummary};
 use crate::run::ModelMode;
-use crate::scenario::{AdmissionSpec, ArrivalSpec, RequestPattern, Scenario, ShardSpec, TopoSpec};
+use crate::scenario::{
+    AdmissionSpec, ArrivalSpec, FaultSpec, PrioritySpec, RequestPattern, Scenario, ShardSpec,
+    TopoSpec,
+};
 use crate::table::fmt_util::{f2, int, tick};
 use crate::table::Table;
 use ccq_sim::{Checkpoint, LinkDelay, NodeDigest, PhaseTimings, ProbeSpec};
@@ -53,6 +56,8 @@ pub struct RunPlan {
     arrivals: Vec<ArrivalSpec>,
     delays: Vec<LinkDelay>,
     admissions: Vec<AdmissionSpec>,
+    priorities: Vec<PrioritySpec>,
+    faults: Vec<FaultSpec>,
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
     dense_scan: bool,
@@ -83,6 +88,8 @@ impl RunPlan {
             arrivals: vec![ArrivalSpec::OneShot],
             delays: vec![LinkDelay::Unit],
             admissions: vec![AdmissionSpec::Open],
+            priorities: vec![PrioritySpec::Uniform],
+            faults: vec![FaultSpec::none()],
             shards: vec![ShardSpec::single()],
             parallel_apply: false,
             dense_scan: false,
@@ -165,6 +172,27 @@ impl RunPlan {
     /// goodput columns, so shedding verdicts never pool across policies.
     pub fn admissions(mut self, admissions: impl IntoIterator<Item = AdmissionSpec>) -> Self {
         self.admissions = admissions.into_iter().collect();
+        self
+    }
+
+    /// Set the priority splits to sweep (default: uniform, no classes —
+    /// the pre-priority behaviour). Each split gets its own scenario
+    /// group and its own crossover summaries; cases run under an active
+    /// split carry [`CaseResult::classes`] with per-class admission
+    /// accounting and latency percentiles. Splits are deterministically
+    /// re-seeded per repeat, like random request patterns.
+    pub fn priorities(mut self, priorities: impl IntoIterator<Item = PrioritySpec>) -> Self {
+        self.priorities = priorities.into_iter().collect();
+        self
+    }
+
+    /// Set the fault plans to sweep (default: fault-free). Each plan gets
+    /// its own scenario group; cases run under an active plan carry
+    /// [`CaseResult::fault_summary`] with the crash/recover events that
+    /// fired. Fault plans compose with every executor except the
+    /// wavefront pipeline, which rejects them constructively.
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults = faults.into_iter().collect();
         self
     }
 
@@ -388,34 +416,46 @@ impl RunPlan {
             for pattern in &self.patterns {
                 for arrival in &self.arrivals {
                     for admission in &self.admissions {
-                        for shards in &self.shards {
-                            for repeat in 0..self.repeats {
-                                let salt = self.salt(repeat);
-                                let pat = pattern.reseed(salt);
-                                let arr = arrival.reseed(salt);
-                                let mut runs = Vec::new();
-                                for proto in &protocols {
-                                    for mode in self.modes_for(proto.as_ref()) {
-                                        for delay in &self.delays {
-                                            runs.push((index, proto.clone_spec(), mode, *delay));
-                                            index += 1;
+                        for priority in &self.priorities {
+                            for faults in &self.faults {
+                                for shards in &self.shards {
+                                    for repeat in 0..self.repeats {
+                                        let salt = self.salt(repeat);
+                                        let pat = pattern.reseed(salt);
+                                        let arr = arrival.reseed(salt);
+                                        let prio = priority.reseed(salt);
+                                        let mut runs = Vec::new();
+                                        for proto in &protocols {
+                                            for mode in self.modes_for(proto.as_ref()) {
+                                                for delay in &self.delays {
+                                                    runs.push((
+                                                        index,
+                                                        proto.clone_spec(),
+                                                        mode,
+                                                        *delay,
+                                                    ));
+                                                    index += 1;
+                                                }
+                                            }
                                         }
+                                        groups.push(WorkGroup {
+                                            topo: topo.clone(),
+                                            pattern: pat,
+                                            arrival: arr,
+                                            admission: *admission,
+                                            priority: prio,
+                                            faults: faults.clone(),
+                                            shards: *shards,
+                                            parallel_apply: self.parallel_apply,
+                                            dense_scan: self.dense_scan,
+                                            wavefront: self.wavefront,
+                                            serial_transmit: self.serial_transmit,
+                                            probe: self.probe,
+                                            repeat,
+                                            runs,
+                                        });
                                     }
                                 }
-                                groups.push(WorkGroup {
-                                    topo: topo.clone(),
-                                    pattern: pat,
-                                    arrival: arr,
-                                    admission: *admission,
-                                    shards: *shards,
-                                    parallel_apply: self.parallel_apply,
-                                    dense_scan: self.dense_scan,
-                                    wavefront: self.wavefront,
-                                    serial_transmit: self.serial_transmit,
-                                    probe: self.probe,
-                                    repeat,
-                                    runs,
-                                });
                             }
                         }
                     }
@@ -430,8 +470,16 @@ impl RunPlan {
         self.work_groups()
             .into_iter()
             .flat_map(|g| {
-                let (topo, pattern, arrival, admission, shards, repeat) =
-                    (g.topo, g.pattern, g.arrival, g.admission, g.shards, g.repeat);
+                let (topo, pattern, arrival, admission, priority, faults, shards, repeat) = (
+                    g.topo,
+                    g.pattern,
+                    g.arrival,
+                    g.admission,
+                    g.priority,
+                    g.faults,
+                    g.shards,
+                    g.repeat,
+                );
                 g.runs.into_iter().map(move |(index, protocol, mode, delay)| RunCase {
                     index,
                     topo: topo.clone(),
@@ -441,6 +489,8 @@ impl RunPlan {
                     arrival: arrival.clone(),
                     delay,
                     admission,
+                    priority,
+                    faults: faults.clone(),
                     shards,
                     repeat,
                 })
@@ -478,6 +528,8 @@ impl RunPlan {
             arrivals: self.arrivals.iter().map(|a| a.name()).collect(),
             delays: self.delays.iter().map(|d| d.name()).collect(),
             admissions: self.admissions.iter().map(|a| a.name()).collect(),
+            priorities: self.priorities.iter().map(|p| p.name()).collect(),
+            faults: self.faults.iter().map(|f| f.name()).collect(),
             shards: self.shards.iter().map(|s| s.name()).collect(),
             repeats: self.repeats,
             seed: self.seed,
@@ -490,6 +542,8 @@ struct WorkGroup {
     pattern: RequestPattern,
     arrival: ArrivalSpec,
     admission: AdmissionSpec,
+    priority: PrioritySpec,
+    faults: FaultSpec,
     shards: ShardSpec,
     parallel_apply: bool,
     dense_scan: bool,
@@ -504,6 +558,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
     let scenario =
         Scenario::build_with(group.topo.clone(), group.pattern.clone(), group.arrival.clone())
             .with_admission(group.admission)
+            .with_priority(group.priority)
+            .with_faults(group.faults.clone())
             .with_shards(group.shards)
             .with_parallel_apply(group.parallel_apply)
             .with_dense_scan(group.dense_scan)
@@ -524,6 +580,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             arrival: group.arrival.name(),
             delay: delay.name(),
             admission: group.admission.name(),
+            priority: group.priority.name(),
+            faults: group.faults.name(),
             shards: group.shards.name(),
             repeat: group.repeat,
             width: spec.effective_width(scenario.n()),
@@ -542,6 +600,8 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             delayed_admissions: 0,
             cross_shard_messages: 0,
             metrics: None,
+            classes: None,
+            fault_summary: None,
             phase_timing: None,
             checkpoints: None,
             node_digests: None,
@@ -566,6 +626,11 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
                     delayed_admissions: m.delayed_admissions,
                     cross_shard_messages: m.cross_shard_messages,
                     metrics: Some(m),
+                    classes: {
+                        let cm = ClassMetrics::from_sim(&out.report);
+                        (!cm.is_empty()).then_some(cm)
+                    },
+                    fault_summary: FaultSummary::from_sim(&out.report),
                     phase_timing: out.report.phase_timing,
                     checkpoints: (!out.report.checkpoints.is_empty())
                         .then(|| out.report.checkpoints.clone()),
@@ -617,6 +682,8 @@ fn summarize(
         arrival: group.arrival.name(),
         delay: delay_name,
         admission: group.admission.name(),
+        priority: group.priority.name(),
+        faults: group.faults.name(),
         shards: group.shards.name(),
         repeat: group.repeat,
         n: scenario.n(),
@@ -655,10 +722,15 @@ pub struct RunCase {
     pub delay: LinkDelay,
     /// Admission policy gating the arrivals.
     pub admission: AdmissionSpec,
+    /// Priority split over the requesters (already re-seeded for this
+    /// repeat).
+    pub priority: PrioritySpec,
+    /// Crash/recover fault plan.
+    pub faults: FaultSpec,
     /// Shard plan.
     pub shards: ShardSpec,
     /// Repeat number within the (topology, pattern, arrival, admission,
-    /// shards) cell.
+    /// priority, faults, shards) cell.
     pub repeat: usize,
 }
 
@@ -687,6 +759,10 @@ pub struct CaseResult {
     pub delay: String,
     /// Admission policy display name (`"open"` = no backpressure).
     pub admission: String,
+    /// Priority split display name (`"uniform"` = no classes).
+    pub priority: String,
+    /// Fault plan display name (`"none"` = fault-free).
+    pub faults: String,
     /// Shard plan display name (`"1"` = unsharded).
     pub shards: String,
     /// Repeat number.
@@ -724,6 +800,12 @@ pub struct CaseResult {
     pub cross_shard_messages: u64,
     /// Full flattened metrics when the run succeeded.
     pub metrics: Option<DelayReport>,
+    /// Per-class admission accounting and latency percentiles, when the
+    /// case ran under an active priority split.
+    pub classes: Option<Vec<ClassMetrics>>,
+    /// Crash/recover events that fired, when the case ran under an
+    /// active fault plan.
+    pub fault_summary: Option<FaultSummary>,
     /// Per-phase wall-clock, when the plan requested [`RunPlan::timing`].
     pub phase_timing: Option<PhaseTimings>,
     /// Per-round phase-barrier digests, when the plan requested
@@ -751,6 +833,10 @@ pub struct PlanInfo {
     pub delays: Vec<String>,
     /// Admission policy display names.
     pub admissions: Vec<String>,
+    /// Priority split display names.
+    pub priorities: Vec<String>,
+    /// Fault plan display names.
+    pub faults: Vec<String>,
     /// Shard plan display names.
     pub shards: Vec<String>,
     /// Repeats per cell.
@@ -774,6 +860,10 @@ pub struct GroupSummary {
     /// Admission policy this summary covers (summaries never pool across
     /// admission policies either — each gets its own shedding verdict).
     pub admission: String,
+    /// Priority split this summary covers.
+    pub priority: String,
+    /// Fault plan this summary covers.
+    pub faults: String,
     /// Shard plan this summary covers (summaries never pool across shard
     /// counts either — the per-shard-count crossover verdicts).
     pub shards: String,
@@ -856,6 +946,8 @@ impl RunSet {
                 "arrival",
                 "delay",
                 "admission",
+                "priority",
+                "faults",
                 "shards",
                 "rep",
                 "ok",
@@ -881,6 +973,8 @@ impl RunSet {
                 c.arrival.clone(),
                 c.delay.clone(),
                 c.admission.clone(),
+                c.priority.clone(),
+                c.faults.clone(),
                 c.shards.clone(),
                 c.repeat.to_string(),
                 tick(c.ok),
@@ -1188,6 +1282,57 @@ mod tests {
             base.cases[0].total_delay
         );
         assert!(federated.plan.shards[0].contains("inter=fixed(d=6)"));
+    }
+
+    #[test]
+    fn every_protocol_survives_a_crash_with_per_class_conservation() {
+        // The tentpole acceptance gate: all nine protocols complete a
+        // priority-split crash/recover run, and per-class accounting
+        // conserves every arrival (completed + dropped == issued at
+        // quiescence under open admission — nothing is still open).
+        let set = RunPlan::new()
+            .topologies([TopoSpec::Torus2D { side: 3 }])
+            .arrivals([ArrivalSpec::Poisson { rate: 0.5, seed: 7 }])
+            .priorities([PrioritySpec::Split { frac: 0.25, seed: 11 }])
+            .faults([FaultSpec::none().crash(2, 4, 9)])
+            .execute();
+        assert_eq!(set.cases.len(), 9);
+        for c in &set.cases {
+            assert!(c.ok, "{}: {:?}", c.protocol, c.error);
+            let classes = c.classes.as_ref().expect("active split must attach class metrics");
+            let issued: u64 = classes.iter().map(|m| m.issued).sum();
+            let completed: u64 = classes.iter().map(|m| m.completed).sum();
+            let dropped: u64 = classes.iter().map(|m| m.dropped).sum();
+            assert_eq!(issued, c.k as u64, "{}: every requester must issue", c.protocol);
+            assert_eq!(
+                completed + dropped,
+                issued,
+                "{}: arrivals leaked through the crash",
+                c.protocol
+            );
+            let f = c.fault_summary.as_ref().expect("active plan must attach fault events");
+            assert_eq!((f.crashes, f.recoveries), (1, 1), "{}", c.protocol);
+            assert_eq!(f.events.len(), 2, "{}", c.protocol);
+        }
+        // The dims echo through the plan and the case rows.
+        assert_eq!(set.plan.priorities, vec!["split(frac=0.25,seed=11)".to_string()]);
+        assert_eq!(set.plan.faults, vec!["crash(node=2,at=4,recover=9)".to_string()]);
+        assert!(set.cases.iter().all(|c| c.priority.starts_with("split")));
+        assert!(set.summaries.iter().all(|s| s.faults.starts_with("crash")));
+    }
+
+    #[test]
+    fn uniform_fault_free_plans_attach_no_class_or_fault_payloads() {
+        let set = RunPlan::new()
+            .topologies([TopoSpec::List { n: 6 }])
+            .protocol(&protocol::Arrow)
+            .execute();
+        let c = &set.cases[0];
+        assert!(c.ok);
+        assert!(c.classes.is_none());
+        assert!(c.fault_summary.is_none());
+        assert_eq!(c.priority, "uniform");
+        assert_eq!(c.faults, "none");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use ccq_queuing::{
     verify_total_order, ArrowProtocol, CentralQueueProtocol, CombiningQueueProtocol,
 };
 use ccq_sim::{
-    run_protocol, LinkDelay, NodeSliced, OnlineProtocol, Paced, Protocol, ShardedSimulator,
+    run_protocol, LinkDelay, NodeSliced, OnlineProtocol, Paced, Protocol, Round, ShardedSimulator,
     SimConfig, SimError, SimReport,
 };
 use serde::Serialize;
@@ -79,14 +79,16 @@ where
         .with_dense_scan(cfg.dense_scan || scenario.dense_scan)
         .with_serial_transmit(cfg.serial_transmit || scenario.serial_transmit)
         .with_probe(cfg.probe.merged(scenario.probe));
-    match scenario.open_schedule() {
+    let cfg = resolve_faults(scenario, cfg)?;
+    let mut report = match scenario.open_schedule() {
         None => dispatch(scenario, cfg, build(false)),
         Some(schedule) => {
-            let paced = Paced::new(build(true), schedule.to_vec())
-                .with_admission(scenario.admission.policy());
+            let paced = build_paced(scenario, &cfg, schedule, build(true));
             dispatch(scenario, cfg, paced)
         }
-    }
+    }?;
+    attach_classes(scenario, &mut report);
+    Ok(report)
 }
 
 /// [`run_arrival_aware`] for [`NodeSliced`] protocols: additionally
@@ -118,13 +120,64 @@ where
         .with_serial_transmit(cfg.serial_transmit || scenario.serial_transmit)
         .with_probe(cfg.probe.merged(scenario.probe));
     let cfg = resolve_wavefront(scenario, cfg)?;
-    match scenario.open_schedule() {
+    let cfg = resolve_faults(scenario, cfg)?;
+    let mut report = match scenario.open_schedule() {
         None => dispatch_sliced(scenario, cfg, build(false)),
         Some(schedule) => {
-            let paced = Paced::new(build(true), schedule.to_vec())
-                .with_admission(scenario.admission.policy());
+            let paced = build_paced(scenario, &cfg, schedule, build(true));
             dispatch_sliced(scenario, cfg, paced)
         }
+    }?;
+    attach_classes(scenario, &mut report);
+    Ok(report)
+}
+
+/// Merge the scenario's fault plan onto the config (a plan a caller set
+/// on the config directly is kept when the scenario is fault-free). Errs
+/// constructively when the spec holds more crashes than the engine's
+/// fixed-capacity plan carries.
+fn resolve_faults(scenario: &Scenario, cfg: SimConfig) -> Result<SimConfig, SimError> {
+    let plan = scenario.faults.plan().map_err(SimError::invalid_config)?;
+    if plan.is_active() {
+        Ok(cfg.with_faults(plan))
+    } else {
+        Ok(cfg)
+    }
+}
+
+/// Wrap a deferred-mode protocol in the paced driver carrying every
+/// scenario-level arrival knob: the admission policy, the priority class
+/// map and selection seed, the (already cfg-merged) fault plan, and — for
+/// shard-scoped admission — the shard map that feeds per-shard backlog
+/// accounting.
+fn build_paced<P: OnlineProtocol>(
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    schedule: &[(Round, ccq_graph::NodeId)],
+    inner: P,
+) -> Paced<P> {
+    let mut paced = Paced::new(inner, schedule.to_vec())
+        .with_admission(scenario.admission.policy())
+        .with_faults(cfg.faults);
+    if scenario.priority.is_active() {
+        paced =
+            paced.with_priority(scenario.priority.classes(scenario.n()), scenario.priority.seed());
+    }
+    if scenario.admission.is_shard_scoped() {
+        let part = scenario.shards.partition(&scenario.graph);
+        let map = (0..scenario.n()).map(|v| part.shard_of(v) as u32).collect();
+        paced = paced.with_shard_map(map);
+    }
+    paced
+}
+
+/// Attach the scenario's priority class map to a finished report so the
+/// summary layer can join per-class latency and conservation metrics.
+/// Post-run and never serialized, so probed, recorded and replayed runs
+/// stay byte-identical whether or not classes are in play.
+fn attach_classes(scenario: &Scenario, report: &mut SimReport) {
+    if scenario.priority.is_active() {
+        report.node_class = scenario.priority.classes(scenario.n());
     }
 }
 

@@ -1,7 +1,7 @@
 //! Flattened per-run summaries and latency percentiles (the
 //! queuing-vs-counting comparison lives in [`crate::plan::GroupSummary`]).
 
-use ccq_sim::SimReport;
+use ccq_sim::{FaultEvent, FaultKind, SimReport};
 use serde::Serialize;
 
 /// Flattened per-run metrics.
@@ -84,6 +84,79 @@ impl DelayReport {
             delayed_admissions: rep.delayed_admissions,
             goodput: rep.goodput(),
         }
+    }
+}
+
+/// Per-priority-class slice of one run's metrics: admission accounting
+/// and completion-latency percentiles joined on the report's attached
+/// class map ([`SimReport::node_class`]). Every field is total on
+/// degenerate inputs — an all-shed class reports zero percentiles, never
+/// a panic or a division by zero.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClassMetrics {
+    /// Priority class (0 = highest).
+    pub class: u8,
+    /// Operations issued by requesters of this class.
+    pub issued: u64,
+    /// Operations completed.
+    pub completed: u64,
+    /// Arrivals shed by admission control.
+    pub dropped: u64,
+    /// Median scaled completion latency within the class.
+    pub latency_p50: u64,
+    /// 95th-percentile scaled completion latency within the class.
+    pub latency_p95: u64,
+    /// 99th-percentile scaled completion latency within the class.
+    pub latency_p99: u64,
+}
+
+impl ClassMetrics {
+    /// One entry per distinct class in the report's class map, ascending
+    /// (empty when no class map was attached).
+    pub fn from_sim(rep: &SimReport) -> Vec<ClassMetrics> {
+        rep.classes()
+            .into_iter()
+            .map(|class| {
+                let (issued, completed, dropped) = rep.class_counts(class);
+                ClassMetrics {
+                    class,
+                    issued,
+                    completed,
+                    dropped,
+                    latency_p50: rep.class_latency_percentile(class, 0.50),
+                    latency_p95: rep.class_latency_percentile(class, 0.95),
+                    latency_p99: rep.class_latency_percentile(class, 0.99),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fault-injection accounting for one run: how many crash and recovery
+/// events fired, and the events themselves.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultSummary {
+    /// Crash events that fired.
+    pub crashes: u64,
+    /// Recovery events that fired (≤ `crashes`; a crash whose recovery
+    /// lies past quiescence never recovers within the run).
+    pub recoveries: u64,
+    /// The events, sorted by `(round, node, kind)`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSummary {
+    /// Extract from a report; `None` when no fault fired.
+    pub fn from_sim(rep: &SimReport) -> Option<FaultSummary> {
+        if rep.fault_events.is_empty() {
+            return None;
+        }
+        let crashes = rep.fault_events.iter().filter(|e| e.kind == FaultKind::Crash).count() as u64;
+        Some(FaultSummary {
+            crashes,
+            recoveries: rep.fault_events.len() as u64 - crashes,
+            events: rep.fault_events.clone(),
+        })
     }
 }
 

@@ -2,7 +2,9 @@
 //! + admission policy + shard plan.
 
 use ccq_graph::{spanning, topology, Graph, NodeId, Partition, Tree};
-use ccq_sim::{AdmissionPolicy, ArrivalProcess, LinkDelay, ProbeSpec, Round};
+use ccq_sim::{
+    AdmissionPolicy, ArrivalProcess, CrashFault, FaultPlan, LinkDelay, ProbeSpec, Round,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -320,6 +322,16 @@ pub enum AdmissionSpec {
         /// Additive recovery of the admission rate per admission.
         gain: Round,
     },
+    /// Shed arrivals whose *shard-local* backlog is at or above `bound`,
+    /// except for priority classes below `protect` which always admit
+    /// (see [`ccq_sim::AdmissionPolicy::PerNode`]). On an unsharded plan
+    /// the shard backlog degrades to the global one.
+    PerNode {
+        /// Largest shard-local backlog that still admits.
+        bound: usize,
+        /// Classes `< protect` bypass the bound (0 = protect nothing).
+        protect: u8,
+    },
 }
 
 impl AdmissionSpec {
@@ -344,7 +356,139 @@ impl AdmissionSpec {
             AdmissionSpec::Adaptive { target_backlog, gain } => {
                 AdmissionPolicy::Adaptive { target_backlog, gain }
             }
+            AdmissionSpec::PerNode { bound, protect } => {
+                AdmissionPolicy::PerNode { bound, protect }
+            }
         }
+    }
+
+    /// Whether this policy gates on shard-local backlogs (and therefore
+    /// wants the scenario's shard map installed on the paced driver).
+    pub fn is_shard_scoped(&self) -> bool {
+        matches!(self, AdmissionSpec::PerNode { .. })
+    }
+}
+
+/// How requesters are split into priority classes (0 = highest).
+///
+/// `Uniform` is the default: no classes, and executions are byte-identical
+/// to scenarios built before priorities existed. `Split` tags each node
+/// class 0 with probability `frac` (class 1 otherwise) using a private
+/// seeded stream; the paced driver then orders each same-round due batch
+/// by relaxed power-of-two-choices priority selection
+/// ([`ccq_sim::Paced::with_priority`]), so class-0 arrivals reach the
+/// admission gate — and the combining waves — first with high probability.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum PrioritySpec {
+    /// One class; arrivals keep their schedule order.
+    #[default]
+    Uniform,
+    /// Two classes: node is class 0 (high) with probability `frac`.
+    Split {
+        /// Probability a node is high-priority, in `[0, 1]`.
+        frac: f64,
+        /// Class-assignment and selection seed.
+        seed: u64,
+    },
+}
+
+impl PrioritySpec {
+    /// Short display name (used by sweeps and the CLI).
+    pub fn name(&self) -> String {
+        match self {
+            PrioritySpec::Uniform => "uniform".into(),
+            PrioritySpec::Split { frac, seed } => format!("split(frac={frac},seed={seed})"),
+        }
+    }
+
+    /// Whether any prioritization happens at all.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, PrioritySpec::Uniform)
+    }
+
+    /// A deterministically re-seeded copy for repeat `salt` of a sweep
+    /// (`salt` 0 always returns `self` verbatim).
+    pub fn reseed(&self, salt: u64) -> PrioritySpec {
+        match *self {
+            PrioritySpec::Split { frac, seed } if salt > 0 => PrioritySpec::Split {
+                frac,
+                seed: seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            },
+            other => other,
+        }
+    }
+
+    /// The per-node class map for an `n`-vertex graph (empty when
+    /// inactive, which disables prioritization on the paced driver).
+    pub fn classes(&self, n: usize) -> Vec<u8> {
+        match *self {
+            PrioritySpec::Uniform => Vec::new(),
+            PrioritySpec::Split { frac, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n).map(|_| u8::from(rng.random::<f64>() >= frac)).collect()
+            }
+        }
+    }
+
+    /// The seed feeding the paced driver's selection draws (0 when
+    /// inactive — unused on that path).
+    pub fn seed(&self) -> u64 {
+        match *self {
+            PrioritySpec::Uniform => 0,
+            PrioritySpec::Split { seed, .. } => seed,
+        }
+    }
+}
+
+/// Crash/recover fault injection: each entry takes one node down for the
+/// rounds `[at, recover)` — it neither delivers nor transmits while down,
+/// its queues freeze in place, and on recovery it drains them under the
+/// protocols' self-stabilizing re-ranking (no state is reset). The
+/// scenario-level handle on [`ccq_sim::FaultPlan`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The scheduled crashes, in insertion order.
+    pub crashes: Vec<CrashFault>,
+}
+
+impl FaultSpec {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultSpec { crashes: Vec::new() }
+    }
+
+    /// Builder-style: crash `node` at round `at`, recovering at `recover`.
+    pub fn crash(mut self, node: NodeId, at: Round, recover: Round) -> Self {
+        self.crashes.push(CrashFault { node, at, recover });
+        self
+    }
+
+    /// Whether any crash is scheduled.
+    pub fn is_active(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Short display name (used by sweeps and the CLI).
+    pub fn name(&self) -> String {
+        if self.crashes.is_empty() {
+            return "none".into();
+        }
+        self.crashes
+            .iter()
+            .map(|c| format!("crash(node={},at={},recover={})", c.node, c.at, c.recover))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Resolve into the simulator's fixed-capacity plan. Errs (with the
+    /// offending count) past [`ccq_sim::MAX_FAULTS`] crashes; full
+    /// validation against the topology happens inside the engine.
+    pub fn plan(&self) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for c in &self.crashes {
+            plan.push(*c)?;
+        }
+        Ok(plan)
     }
 }
 
@@ -463,6 +607,11 @@ pub struct Scenario {
     /// Admission policy gating the schedule ([`AdmissionSpec::Open`] =
     /// everything admitted, the pre-backpressure behaviour).
     pub admission: AdmissionSpec,
+    /// Priority classes over the requesters ([`PrioritySpec::Uniform`] =
+    /// no classes, the pre-priority behaviour).
+    pub priority: PrioritySpec,
+    /// Crash/recover fault plan ([`FaultSpec::none`] = fault-free).
+    pub faults: FaultSpec,
     /// Shard plan ([`ShardSpec::single`] = the unsharded executor).
     pub shards: ShardSpec,
     /// Apply protocol handlers shard-parallel via the sliced executor
@@ -529,6 +678,8 @@ impl Scenario {
             arrival,
             schedule,
             admission: AdmissionSpec::Open,
+            priority: PrioritySpec::Uniform,
+            faults: FaultSpec::none(),
             shards: ShardSpec::single(),
             parallel_apply: false,
             dense_scan: false,
@@ -590,6 +741,18 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: split the requesters into priority classes.
+    pub fn with_priority(mut self, priority: PrioritySpec) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder-style: inject crash/recover faults.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Builder-style: install an explicit execution probe.
     pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
         self.probe = probe;
@@ -642,11 +805,17 @@ impl Scenario {
 
     /// The issue schedule when this scenario executes on the paced
     /// (open-system) path: open arrivals always do; a one-shot batch does
-    /// too when an *active* admission policy must gate it. `None` means
-    /// the unchanged one-shot protocol path (byte-identical to the
-    /// pre-open-system engine).
+    /// too when an *active* admission policy must gate it, when priority
+    /// classes must reorder it, or when a fault plan must be able to
+    /// defer arrivals at crashed nodes. `None` means the unchanged
+    /// one-shot protocol path (byte-identical to the pre-open-system
+    /// engine).
     pub fn open_schedule(&self) -> Option<&[(Round, NodeId)]> {
-        if self.arrival.is_open() || self.admission.is_active() {
+        if self.arrival.is_open()
+            || self.admission.is_active()
+            || self.priority.is_active()
+            || self.faults.is_active()
+        {
             Some(&self.schedule)
         } else {
             None
@@ -796,6 +965,68 @@ mod tests {
         }
         let sharded = s.with_shards(ShardSpec::new(2, ShardStrategy::EdgeCut));
         assert!(sharded.shards.is_sharded());
+    }
+
+    #[test]
+    fn priority_specs_name_reseed_and_classify() {
+        assert_eq!(PrioritySpec::Uniform.name(), "uniform");
+        assert!(!PrioritySpec::Uniform.is_active());
+        assert!(PrioritySpec::Uniform.classes(8).is_empty());
+        let p = PrioritySpec::Split { frac: 0.3, seed: 9 };
+        assert_eq!(p.name(), "split(frac=0.3,seed=9)");
+        assert!(p.is_active());
+        assert_eq!(p.reseed(0), p);
+        assert_ne!(p.reseed(2), p);
+        assert_eq!(PrioritySpec::Uniform.reseed(5), PrioritySpec::Uniform);
+        // Deterministic two-class assignment with roughly `frac` zeros.
+        let classes = p.classes(400);
+        assert_eq!(classes, p.classes(400));
+        assert!(classes.iter().all(|&c| c <= 1));
+        let high = classes.iter().filter(|&&c| c == 0).count();
+        assert!((60..=180).contains(&high), "frac=0.3 of 400 gave {high} high-priority nodes");
+        // Everything high / everything low at the extremes.
+        assert!(PrioritySpec::Split { frac: 1.0, seed: 1 }.classes(50).iter().all(|&c| c == 0));
+        assert!(PrioritySpec::Split { frac: 0.0, seed: 1 }.classes(50).iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fault_specs_name_plan_and_cap() {
+        assert_eq!(FaultSpec::none().name(), "none");
+        assert!(!FaultSpec::none().is_active());
+        assert!(FaultSpec::none().plan().unwrap().crashes().next().is_none());
+        let f = FaultSpec::none().crash(3, 8, 16).crash(5, 2, 4);
+        assert!(f.is_active());
+        assert_eq!(f.name(), "crash(node=3,at=8,recover=16)+crash(node=5,at=2,recover=4)");
+        let plan = f.plan().unwrap();
+        assert!(plan.is_down(3, 8) && !plan.is_down(3, 16));
+        // Past the engine's fixed capacity the resolution errs by name.
+        let mut over = FaultSpec::none();
+        for node in 0..5 {
+            over = over.crash(node, 1, 2);
+        }
+        let err = over.plan().unwrap_err();
+        assert!(err.contains("at most"), "{err}");
+    }
+
+    #[test]
+    fn priority_and_faults_route_onto_the_paced_path() {
+        let base = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All);
+        assert!(base.open_schedule().is_none());
+        let prioritized = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All)
+            .with_priority(PrioritySpec::Split { frac: 0.5, seed: 1 });
+        assert!(prioritized.open_schedule().is_some());
+        let faulted = Scenario::build(TopoSpec::Mesh2D { side: 3 }, RequestPattern::All)
+            .with_faults(FaultSpec::none().crash(0, 2, 5));
+        assert!(faulted.open_schedule().is_some());
+    }
+
+    #[test]
+    fn pernode_admission_is_shard_scoped_and_named() {
+        let a = AdmissionSpec::PerNode { bound: 6, protect: 1 };
+        assert!(a.is_active());
+        assert!(a.is_shard_scoped());
+        assert!(!AdmissionSpec::DropTail { bound: 6 }.is_shard_scoped());
+        assert_eq!(a.name(), "pernode(bound=6,protect=1)");
     }
 
     #[test]

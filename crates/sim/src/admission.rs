@@ -82,6 +82,22 @@ pub enum AdmissionPolicy {
         /// Rounds subtracted from the pacing interval per admission.
         gain: Round,
     },
+    /// Per-node budget: shed an arrival when the backlog of the **shard
+    /// its node lives on** reaches `bound`, unless its priority class is
+    /// protected. This closes the loop on *local* congestion: in a
+    /// federated slow-ferry regime the global backlog can look healthy
+    /// while one shard drowns, and the global policies above never see
+    /// it. Classes `< protect` bypass the budget entirely, which is what
+    /// keeps high-priority latency flat while background load saturates.
+    PerNode {
+        /// Largest per-shard open-operation count that still admits
+        /// unprotected traffic (`bound` is literal, like `DropTail`:
+        /// 0 sheds every unprotected arrival).
+        bound: usize,
+        /// Classes strictly below this value are always admitted
+        /// (0 protects nothing; 1 protects class 0, and so on).
+        protect: u8,
+    },
 }
 
 impl AdmissionPolicy {
@@ -95,6 +111,9 @@ impl AdmissionPolicy {
             }
             AdmissionPolicy::Adaptive { target_backlog, gain } => {
                 format!("adaptive(target={target_backlog},gain={gain})")
+            }
+            AdmissionPolicy::PerNode { bound, protect } => {
+                format!("pernode(bound={bound},protect={protect})")
             }
         }
     }
@@ -148,7 +167,36 @@ impl AdmissionController {
 
     /// Decide the fate of an arrival at round `now` that was first due at
     /// `first_due`, given the live backlog (issued − completed).
+    ///
+    /// This is the global-scope entry point: the arrival's shard backlog
+    /// is taken to be the global backlog and its class to be 0. Callers
+    /// with per-shard accounting use [`AdmissionController::decide_scoped`].
     pub fn decide(&mut self, now: Round, first_due: Round, backlog: usize) -> Admission {
+        self.decide_scoped(now, first_due, backlog, backlog, 0)
+    }
+
+    /// Decide the fate of an arrival at round `now`, first due at
+    /// `first_due` and carrying priority class `class`, given both the
+    /// global backlog and the backlog of the shard the arriving node
+    /// lives on. The global policies ignore `shard_backlog` and `class`;
+    /// [`AdmissionPolicy::PerNode`] reads only them.
+    pub fn decide_scoped(
+        &mut self,
+        now: Round,
+        first_due: Round,
+        backlog: usize,
+        shard_backlog: usize,
+        class: u8,
+    ) -> Admission {
+        // A future-scheduled arrival (`first_due > now`) is not waiting:
+        // `now.saturating_sub(first_due)` would clamp its age to 0 and
+        // the aging paths below would treat it as freshly due, deferring
+        // (or shedding) an operation the schedule has not released yet.
+        // Make the pre-due case explicit: an active policy re-evaluates
+        // it at the round it first becomes due.
+        if first_due > now && self.policy.is_active() {
+            return Admission::Retry { at: first_due };
+        }
         match self.policy {
             AdmissionPolicy::Open => Admission::Admit,
             AdmissionPolicy::DropTail { bound } => {
@@ -159,7 +207,7 @@ impl AdmissionController {
                 }
             }
             AdmissionPolicy::DelayRetry { bound, backoff } => {
-                if backlog >= bound.max(1) && now.saturating_sub(first_due) < AGE_LIMIT {
+                if backlog >= bound.max(1) && now - first_due < AGE_LIMIT {
                     Admission::Retry { at: now + backoff.max(1) }
                 } else {
                     Admission::Admit
@@ -170,13 +218,20 @@ impl AdmissionController {
                     // Additive increase of the admission rate.
                     self.interval = self.interval.saturating_sub(gain).max(1);
                     Admission::Admit
-                } else if now.saturating_sub(first_due) >= AGE_LIMIT {
+                } else if now - first_due >= AGE_LIMIT {
                     // Aged out: admit unconditionally (liveness).
                     Admission::Admit
                 } else {
                     // Multiplicative decrease of the admission rate.
                     self.interval = (self.interval * 2).min(INTERVAL_CAP);
                     Admission::Retry { at: now + self.interval }
+                }
+            }
+            AdmissionPolicy::PerNode { bound, protect } => {
+                if class < protect || shard_backlog < bound {
+                    Admission::Admit
+                } else {
+                    Admission::Drop
                 }
             }
         }
@@ -270,6 +325,67 @@ mod tests {
     }
 
     #[test]
+    fn pre_due_arrivals_are_deferred_to_their_due_round() {
+        // Regression: `now.saturating_sub(first_due)` used to clamp a
+        // future-scheduled arrival's age to 0, so the aging paths treated
+        // it as freshly due and deferred it by `backoff`/`interval` from
+        // `now` — or DropTail shed it — before the schedule released it.
+        let mut d = AdmissionController::new(AdmissionPolicy::DelayRetry { bound: 1, backoff: 7 });
+        assert_eq!(d.decide(5, 10, 99), Admission::Retry { at: 10 });
+        let mut a =
+            AdmissionController::new(AdmissionPolicy::Adaptive { target_backlog: 1, gain: 1 });
+        assert_eq!(a.decide(5, 10, 99), Admission::Retry { at: 10 });
+        // No AIMD state moved for a pre-due arrival.
+        assert_eq!(a.interval(), 1);
+        let mut t = AdmissionController::new(AdmissionPolicy::DropTail { bound: 0 });
+        assert_eq!(t.decide(5, 10, 99), Admission::Retry { at: 10 });
+        // Open stays open: nothing to defer against.
+        let mut o = AdmissionController::new(AdmissionPolicy::Open);
+        assert_eq!(o.decide(5, 10, 99), Admission::Admit);
+    }
+
+    #[test]
+    fn aging_admits_exactly_at_the_age_limit() {
+        let p = AdmissionPolicy::DelayRetry { bound: 1, backoff: 3 };
+        let mut c = AdmissionController::new(p);
+        // One round short of the bound: still deferred.
+        let last_deferred = 10 + AGE_LIMIT - 1;
+        assert_eq!(c.decide(last_deferred, 10, 99), Admission::Retry { at: last_deferred + 3 });
+        // Exactly at the bound: admitted unconditionally.
+        assert_eq!(c.decide(10 + AGE_LIMIT, 10, 99), Admission::Admit);
+        let mut a =
+            AdmissionController::new(AdmissionPolicy::Adaptive { target_backlog: 1, gain: 1 });
+        assert_eq!(
+            a.decide(10 + AGE_LIMIT - 1, 10, 99),
+            Admission::Retry { at: 10 + AGE_LIMIT + 1 }
+        );
+        assert_eq!(a.decide(10 + AGE_LIMIT, 10, 99), Admission::Admit);
+    }
+
+    #[test]
+    fn pernode_sheds_on_the_shard_backlog_not_the_global_one() {
+        let p = AdmissionPolicy::PerNode { bound: 4, protect: 1 };
+        let mut c = AdmissionController::new(p);
+        // Global backlog huge, shard under budget: admit.
+        assert_eq!(c.decide_scoped(0, 0, 1_000_000, 3, 1), Admission::Admit);
+        // Shard at budget: unprotected class shed, protected class admitted.
+        assert_eq!(c.decide_scoped(0, 0, 0, 4, 1), Admission::Drop);
+        assert_eq!(c.decide_scoped(0, 0, 0, 4, 0), Admission::Admit);
+        // Pre-due arrivals defer like the other active policies.
+        assert_eq!(c.decide_scoped(2, 9, 0, 99, 1), Admission::Retry { at: 9 });
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn decide_is_the_global_scope_of_decide_scoped() {
+        // The 3-arg entry point feeds the global backlog in as the shard
+        // backlog, so PerNode degrades to droptail-at-bound, class 0.
+        let mut c = AdmissionController::new(AdmissionPolicy::PerNode { bound: 2, protect: 0 });
+        assert_eq!(c.decide(0, 0, 1), Admission::Admit);
+        assert_eq!(c.decide(0, 0, 2), Admission::Drop);
+    }
+
+    #[test]
     fn names_render() {
         assert_eq!(AdmissionPolicy::Open.name(), "open");
         assert_eq!(AdmissionPolicy::DropTail { bound: 64 }.name(), "droptail(bound=64)");
@@ -280,6 +396,10 @@ mod tests {
         assert_eq!(
             AdmissionPolicy::Adaptive { target_backlog: 32, gain: 2 }.name(),
             "adaptive(target=32,gain=2)"
+        );
+        assert_eq!(
+            AdmissionPolicy::PerNode { bound: 16, protect: 1 }.name(),
+            "pernode(bound=16,protect=1)"
         );
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::admission::{Admission, AdmissionController, AdmissionPolicy};
 use crate::protocol::{NodeSliced, Protocol, SimApi, SliceApi};
-use crate::report::mix64;
+use crate::report::{mix64, FaultPlan};
 use crate::Round;
 use ccq_graph::NodeId;
 
@@ -212,6 +212,18 @@ impl ArrivalProcess {
 /// on the protocol, delayed ones are re-queued for a later round. The
 /// default [`AdmissionPolicy::Open`] controller admits everything and
 /// leaves the execution byte-identical to a `Paced` without one.
+///
+/// Three further (all-optional, all byte-identity-preserving when unused)
+/// heterogeneous-traffic hooks:
+///
+/// * [`Paced::with_priority`] tags every node with a class (0 = highest)
+///   and reorders each same-round due batch by deterministic relaxed
+///   power-of-two-choices priority selection, so high classes reach the
+///   admission gate — and the combining wave — first;
+/// * [`Paced::with_faults`] defers arrivals at a crashed node to its
+///   recovery round (the node cannot originate a request while down);
+/// * [`Paced::with_shard_map`] exposes per-shard open-request counts to
+///   [`AdmissionPolicy::PerNode`] via [`SimApi::shard_backlog`].
 pub struct Paced<P: OnlineProtocol> {
     inner: P,
     /// `(round, node)` sorted by round (ties keep schedule order).
@@ -221,6 +233,14 @@ pub struct Paced<P: OnlineProtocol> {
     /// Deferred arrivals awaiting retry: `(retry round, first-due round,
     /// node)`, kept sorted by retry round (ties keep deferral order).
     retries: Vec<(Round, Round, NodeId)>,
+    /// Per-node priority class (0 = highest); empty = uniform (inactive).
+    classes: Vec<u8>,
+    /// Seed for the power-of-two-choices priority draws.
+    prio_seed: u64,
+    /// Crash/recover windows: arrivals at a down node wait for recovery.
+    faults: FaultPlan,
+    /// Node → shard map for shard-scoped admission; empty = disabled.
+    shard_of: Vec<u32>,
 }
 
 impl<P: OnlineProtocol> Paced<P> {
@@ -240,6 +260,10 @@ impl<P: OnlineProtocol> Paced<P> {
             next: 0,
             admission: AdmissionController::new(AdmissionPolicy::Open),
             retries: Vec::new(),
+            classes: Vec::new(),
+            prio_seed: 0,
+            faults: FaultPlan::none(),
+            shard_of: Vec::new(),
         }
     }
 
@@ -247,6 +271,37 @@ impl<P: OnlineProtocol> Paced<P> {
     pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = AdmissionController::new(policy);
         self
+    }
+
+    /// Builder-style: tag node `v` with class `classes[v]` (0 = highest)
+    /// and order each same-round due batch by relaxed power-of-two-choices
+    /// priority selection seeded by `seed`. An empty `classes` disables
+    /// priority entirely (the exact pre-priority issue order).
+    pub fn with_priority(mut self, classes: Vec<u8>, seed: u64) -> Self {
+        self.classes = classes;
+        self.prio_seed = seed;
+        self
+    }
+
+    /// Builder-style: respect a crash/recover plan — a due arrival at a
+    /// node that is down is silently deferred to the node's recovery
+    /// round (its latency clock starts at the original due round).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: install a node → shard map so admission can read
+    /// shard-local backlogs ([`SimApi::shard_backlog`]). Installed on the
+    /// [`SimApi`] at `on_start`.
+    pub fn with_shard_map(mut self, shard_of: Vec<u32>) -> Self {
+        self.shard_of = shard_of;
+        self
+    }
+
+    /// `v`'s priority class (0 — the highest — when unmapped).
+    fn class_of(&self, v: NodeId) -> u8 {
+        self.classes.get(v).copied().unwrap_or(0)
     }
 
     /// The scheduled requesters, sorted by node id.
@@ -269,7 +324,23 @@ impl<P: OnlineProtocol> Paced<P> {
         first_due: Round,
         v: NodeId,
     ) {
-        match self.admission.decide(now, first_due, api.backlog()) {
+        // A crashed node cannot originate its request: hold the arrival
+        // until recovery. Silent (no `note_delayed`) — this is downtime,
+        // not backpressure — but the original due round is preserved so
+        // completion latency still counts the outage.
+        if let Some(recover) = self.faults.down_until(v, now) {
+            let pos = self.retries.partition_point(|&(r, _, _)| r <= recover);
+            self.retries.insert(pos, (recover, first_due, v));
+            return;
+        }
+        let decision = self.admission.decide_scoped(
+            now,
+            first_due,
+            api.backlog(),
+            api.shard_backlog(v),
+            self.class_of(v),
+        );
+        match decision {
             Admission::Admit => {
                 api.issue(v);
                 self.inner.issue(api, v);
@@ -294,16 +365,46 @@ impl<P: OnlineProtocol> Paced<P> {
         // drained in one pass; re-deferrals land strictly after `now`, so
         // they never re-enter this round's batch.
         let due_retries = self.retries.partition_point(|&(r, _, _)| r <= now);
-        if due_retries > 0 {
-            let due: Vec<(Round, Round, NodeId)> = self.retries.drain(..due_retries).collect();
-            for (_, first_due, v) in due {
-                self.admit_or_defer(api, now, first_due, v);
-            }
-        }
+        let mut batch: Vec<(Round, NodeId)> = if due_retries > 0 {
+            self.retries.drain(..due_retries).map(|(_, first_due, v)| (first_due, v)).collect()
+        } else {
+            Vec::new()
+        };
         while self.next < self.schedule.len() && self.schedule[self.next].0 <= now {
             let (due, v) = self.schedule[self.next];
             self.next += 1;
-            self.admit_or_defer(api, now, due, v);
+            batch.push((due, v));
+        }
+        if !self.classes.is_empty() {
+            self.prioritize(&mut batch, now);
+        }
+        for (first_due, v) in batch {
+            self.admit_or_defer(api, now, first_due, v);
+        }
+    }
+
+    /// Reorder a same-round due batch by relaxed priority selection: each
+    /// slot is filled by a power-of-two-choices draw — two candidates are
+    /// sampled from the remaining batch with a stateless [`mix64`] draw and
+    /// the better class wins (tie → earlier batch position). Stateless and
+    /// keyed only on `(seed, round, slot, remaining)`, so every executor
+    /// reorders identically and `state_token` needs no extra fields. The
+    /// relaxation (p2c rather than a full sort) mirrors relaxed-priority
+    /// queue semantics: high classes go early with high probability, but
+    /// strict global order is not promised.
+    fn prioritize(&self, batch: &mut [(Round, NodeId)], now: Round) {
+        for slot in 0..batch.len() {
+            let remaining = (batch.len() - slot) as u64;
+            let h = mix64(self.prio_seed, now, slot as u64, remaining);
+            let i = slot + ((h >> 32) % remaining) as usize;
+            let j = slot + ((h & 0xFFFF_FFFF) % remaining) as usize;
+            let ci = self.class_of(batch[i].1);
+            let cj = self.class_of(batch[j].1);
+            let win = if (cj, j) < (ci, i) { j } else { i };
+            // Bubble the winner into the slot, shifting the skipped-over
+            // entries down one — preserves the relative order of the rest,
+            // so ties keep schedule order.
+            batch[slot..=win].rotate_right(1);
         }
     }
 }
@@ -312,6 +413,9 @@ impl<P: OnlineProtocol> Protocol for Paced<P> {
     type Msg = P::Msg;
 
     fn on_start(&mut self, api: &mut SimApi<P::Msg>) {
+        if !self.shard_of.is_empty() {
+            api.enable_shard_accounting(self.shard_of.clone());
+        }
         self.inner.on_start(api);
         self.issue_due(api, 0);
     }

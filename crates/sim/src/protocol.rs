@@ -99,6 +99,12 @@ pub struct SimApi<M> {
     issued_total: u64,
     /// Cumulative completion count over the whole run (never drained).
     completed_total: u64,
+    /// Shard id per node — empty unless per-shard accounting was enabled
+    /// (see [`SimApi::enable_shard_accounting`]).
+    shard_of: Vec<u32>,
+    /// Open operations (issued − completed) per shard; maintained by
+    /// [`SimApi::issue`] / [`SimApi::complete`] when accounting is on.
+    shard_open: Vec<u64>,
     /// Capacity-retaining scratch buffer lent to [`with_slice`], so the
     /// serialized executors' per-message [`SliceApi`] never allocates in
     /// steady state.
@@ -116,6 +122,8 @@ impl<M> SimApi<M> {
             delayed: 0,
             issued_total: 0,
             completed_total: 0,
+            shard_of: Vec::new(),
+            shard_open: Vec::new(),
             slice_scratch: Vec::new(),
         }
     }
@@ -141,6 +149,9 @@ impl<M> SimApi<M> {
     /// The delay recorded is the current round.
     pub fn complete(&mut self, node: NodeId, value: u64) {
         self.completed_total += 1;
+        if let Some(&s) = self.shard_of.get(node) {
+            self.shard_open[s as usize] = self.shard_open[s as usize].saturating_sub(1);
+        }
         self.completed.push(Completion { node, value, round: self.round });
     }
 
@@ -151,6 +162,9 @@ impl<M> SimApi<M> {
     /// call this and their operations implicitly issue at round 0.
     pub fn issue(&mut self, node: NodeId) {
         self.issued_total += 1;
+        if let Some(&s) = self.shard_of.get(node) {
+            self.shard_open[s as usize] += 1;
+        }
         self.issued.push(Issue { node, round: self.round });
     }
 
@@ -162,6 +176,33 @@ impl<M> SimApi<M> {
     #[inline]
     pub fn backlog(&self) -> usize {
         self.issued_total.saturating_sub(self.completed_total) as usize
+    }
+
+    /// Enable per-shard open-operation accounting: `shard_of[v]` is the
+    /// shard node `v` lives on. Installed by [`crate::arrival::Paced`]
+    /// during `on_start` when a shard-scoped admission policy
+    /// ([`crate::AdmissionPolicy::PerNode`]) is active. Every apply path
+    /// funnels issues and completions through this one API — the sliced
+    /// barrier replay and the wavefront commit both call
+    /// [`SimApi::complete`] — so the per-shard counters are
+    /// executor-independent by construction.
+    pub fn enable_shard_accounting(&mut self, shard_of: Vec<u32>) {
+        let shards = shard_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+        self.shard_open = vec![0; shards];
+        self.shard_of = shard_of;
+    }
+
+    /// The live backlog of the shard `node` lives on — the quantity
+    /// [`crate::AdmissionPolicy::PerNode`] gates on. Falls back to the
+    /// global backlog when per-shard accounting is disabled (or the node
+    /// is out of the installed map's range), so scoped policies degrade
+    /// to their global meaning on unsharded runs.
+    #[inline]
+    pub fn shard_backlog(&self, node: NodeId) -> usize {
+        match self.shard_of.get(node) {
+            Some(&s) => self.shard_open[s as usize] as usize,
+            None => self.backlog(),
+        }
     }
 
     /// Record that `node`'s scheduled arrival was refused admission (the
@@ -370,6 +411,33 @@ mod tests {
         assert_eq!(api.completed.len(), 1);
         assert_eq!(api.completed[0].round, 3);
         assert_eq!(api.completed[0].value, 7);
+    }
+
+    #[test]
+    fn shard_accounting_tracks_per_shard_backlogs() {
+        let mut api: SimApi<u8> = SimApi::new();
+        // Disabled: the shard view is the global backlog.
+        api.issue(0);
+        assert_eq!(api.shard_backlog(0), 1);
+        assert_eq!(api.shard_backlog(0), api.backlog());
+        // Enabled: nodes 0,1 on shard 0; nodes 2,3 on shard 1.
+        let mut api: SimApi<u8> = SimApi::new();
+        api.enable_shard_accounting(vec![0, 0, 1, 1]);
+        api.issue(0);
+        api.issue(2);
+        api.issue(3);
+        assert_eq!(api.backlog(), 3);
+        assert_eq!(api.shard_backlog(1), 1);
+        assert_eq!(api.shard_backlog(2), 2);
+        api.complete(2, 7);
+        assert_eq!(api.shard_backlog(2), 1);
+        assert_eq!(api.shard_backlog(0), 1);
+        // Out-of-map nodes fall back to the global count; stray
+        // completions saturate instead of underflowing.
+        assert_eq!(api.shard_backlog(9), api.backlog());
+        api.complete(3, 1);
+        api.complete(3, 1);
+        assert_eq!(api.shard_backlog(3), 0);
     }
 
     #[test]

@@ -113,6 +113,174 @@ impl LinkDelay {
     }
 }
 
+/// Largest number of crash/recover faults one run may carry. Keeping the
+/// plan a fixed-size array keeps [`SimConfig`] `Copy`, like every other
+/// engine knob; the sweep layer reports a constructive error past the cap.
+pub const MAX_FAULTS: usize = 4;
+
+/// One injected crash: `node` is down for rounds `at ..< recover`.
+///
+/// "Down" is fail-pause at round granularity: while down the node neither
+/// delivers from its in-port nor transmits from its outbox — both queues
+/// freeze in place — and open-system arrivals scheduled at it are deferred
+/// to the recovery round. Wires addressed to it still mature and enqueue
+/// (reliable FIFO links: neighbours keep buffering), so nothing is lost;
+/// on recovery the node drains the accumulated state and the protocol's
+/// rank/ancestor structure re-stabilizes through ordinary message
+/// processing, with no re-initialization step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashFault {
+    /// Processor that crashes.
+    pub node: NodeId,
+    /// First round the node is down (`≥ 1`: round 0 issues the one-shot
+    /// wave and must precede any crash).
+    pub at: Round,
+    /// First round the node is back up (strictly after `at`).
+    pub recover: Round,
+}
+
+/// The crash/recover schedule of a run: up to [`MAX_FAULTS`] crashes,
+/// a pure function of the configuration — every executor sees the same
+/// node down for the same rounds, which is why fault injection composes
+/// with byte-identity and the probe layer without any special casing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    crashes: [Option<CrashFault>; MAX_FAULTS],
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults — the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a crash to the plan. Errors constructively when the plan
+    /// already holds [`MAX_FAULTS`] crashes.
+    pub fn push(&mut self, fault: CrashFault) -> Result<(), String> {
+        for slot in &mut self.crashes {
+            if slot.is_none() {
+                *slot = Some(fault);
+                return Ok(());
+            }
+        }
+        Err(format!("fault plan holds at most {MAX_FAULTS} crashes"))
+    }
+
+    /// Whether any crash is scheduled.
+    pub fn is_active(&self) -> bool {
+        self.crashes.iter().any(|c| c.is_some())
+    }
+
+    /// The scheduled crashes, in insertion order.
+    pub fn crashes(&self) -> impl Iterator<Item = CrashFault> + '_ {
+        self.crashes.iter().filter_map(|c| *c)
+    }
+
+    /// Whether `node` is down at `round` (down for `at ..< recover`).
+    #[inline]
+    pub fn is_down(&self, node: NodeId, round: Round) -> bool {
+        self.down_until(node, round).is_some()
+    }
+
+    /// If `node` is down at `round`, the round it comes back up (the
+    /// latest `recover` among the crash windows covering `round`).
+    #[inline]
+    pub fn down_until(&self, node: NodeId, round: Round) -> Option<Round> {
+        self.crashes
+            .iter()
+            .flatten()
+            .filter(|c| c.node == node && c.at <= round && round < c.recover)
+            .map(|c| c.recover)
+            .max()
+    }
+
+    /// Validate the plan against a run of `n` processors: every crash
+    /// names a real node, starts at round ≥ 1 and recovers strictly
+    /// after it starts.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for c in self.crashes() {
+            if c.node >= n {
+                return Err(format!(
+                    "fault crash names node {} but the topology has {n} nodes",
+                    c.node
+                ));
+            }
+            if c.at == 0 {
+                return Err(format!(
+                    "fault crash at node {} starts at round 0; crashes start at round >= 1 \
+                     (round 0 issues the one-shot wave)",
+                    c.node
+                ));
+            }
+            if c.recover <= c.at {
+                return Err(format!(
+                    "fault crash at node {} recovers at round {} which is not after its \
+                     crash round {}",
+                    c.node, c.recover, c.at
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The crash/recover events that fired by the end of a `rounds`-round
+    /// run, sorted by `(round, node)` — derived purely from the plan, so
+    /// identical across executors by construction.
+    pub fn events_until(&self, rounds: Round) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for c in self.crashes() {
+            if c.at <= rounds {
+                events.push(FaultEvent { node: c.node, round: c.at, kind: FaultKind::Crash });
+            }
+            if c.recover <= rounds {
+                events.push(FaultEvent {
+                    node: c.node,
+                    round: c.recover,
+                    kind: FaultKind::Recover,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.round, e.node, e.kind as u8));
+        events
+    }
+}
+
+/// What happened to a node at a fault event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node went down.
+    Crash,
+    /// The node came back up.
+    Recover,
+}
+
+/// One crash or recovery that fired during a run (see
+/// [`SimReport::fault_events`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Processor affected.
+    pub node: NodeId,
+    /// Round the event fired.
+    pub round: Round,
+    /// Crash or recovery.
+    pub kind: FaultKind,
+}
+
+impl Serialize for FaultEvent {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"node\":");
+        self.node.serialize_json(out);
+        out.push_str(",\"round\":");
+        self.round.serialize_json(out);
+        out.push_str(",\"kind\":\"");
+        out.push_str(match self.kind {
+            FaultKind::Crash => "crash",
+            FaultKind::Recover => "recover",
+        });
+        out.push_str("\"}");
+    }
+}
+
 /// Per-round send/receive budgets and accounting options.
 ///
 /// * [`SimConfig::strict`] is the paper's base model (§2.1): one send and
@@ -177,6 +345,13 @@ pub struct SimConfig {
     /// perturbation knob (see [`crate::probe::ProbeSpec`]). The default is
     /// fully off and costs nothing.
     pub probe: ProbeSpec,
+    /// Crash/recover fault injection (see [`FaultPlan`]; the default is
+    /// empty and costs nothing). A *model* knob, unlike the execution
+    /// strategies above: a faulty run legitimately differs from a
+    /// fault-free one, but is still byte-identical across every executor
+    /// that accepts it (the wavefront executor rejects fault plans
+    /// constructively — a fault round would couple shards mid-wave).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -194,6 +369,7 @@ impl SimConfig {
             serial_transmit: false,
             wavefront_lag: 0,
             probe: ProbeSpec::OFF,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -262,6 +438,13 @@ impl SimConfig {
     /// perturbation — see [`crate::probe::ProbeSpec`]).
     pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Builder-style: set the crash/recover fault plan (see [`FaultPlan`];
+    /// [`FaultPlan::none`] disables).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -352,6 +535,19 @@ pub struct SimReport {
     /// Admission deferrals: how many times a delaying policy pushed an
     /// arrival to a later round (one arrival retried `r` times counts `r`).
     pub delayed_admissions: u64,
+    /// Crash/recover fault events that fired during the run, sorted by
+    /// `(round, node)` — derived purely from [`SimConfig::faults`] and the
+    /// final round count, so identical across executors by construction.
+    /// Serialized as a `faults` section only when non-empty, keeping
+    /// fault-free reports byte-identical to their pre-fault encoding.
+    pub fault_events: Vec<FaultEvent>,
+    /// Priority class per node (length n when the scenario declared
+    /// priority classes; empty otherwise; class 0 is the highest).
+    /// Attached by the sweep layer *after* the run for the per-class
+    /// metric joins below — the engine never consults it and it is not
+    /// serialized (like the probe fields), so classes cannot perturb
+    /// byte-identity or probe hashes.
+    pub node_class: Vec<u8>,
     /// Event trace (only when [`SimConfig::trace`] was set).
     pub trace: Vec<TraceEvent>,
     /// Per-phase state digests at the configured checkpoint cadence
@@ -374,7 +570,8 @@ pub struct SimReport {
 
 // Hand-written to keep the JSON byte-identical to the pre-probe derive
 // output: exactly the original fields, in declaration order, probe fields
-// omitted. Guarded by `serialize_skips_probe_fields` below.
+// and `node_class` omitted, the `faults` section emitted only when a fault
+// actually fired. Guarded by `serialize_skips_probe_fields` below.
 impl Serialize for SimReport {
     fn serialize_json(&self, out: &mut String) {
         macro_rules! field {
@@ -400,6 +597,9 @@ impl Serialize for SimReport {
         field!(false, "backlog_high_water", self.backlog_high_water);
         field!(false, "dropped", self.dropped);
         field!(false, "delayed_admissions", self.delayed_admissions);
+        if !self.fault_events.is_empty() {
+            field!(false, "faults", self.fault_events);
+        }
         field!(false, "trace", self.trace);
         out.push('}');
     }
@@ -505,14 +705,54 @@ impl SimReport {
     /// operation completed — a metric read never panics, whatever the run
     /// or the caller produced.
     pub fn latency_percentile(&self, q: f64) -> u64 {
-        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
-        let mut l = self.latencies();
-        if l.is_empty() {
-            return 0;
-        }
-        l.sort_unstable();
-        let rank = ((q * l.len() as f64).ceil() as usize).clamp(1, l.len());
-        l[rank - 1]
+        percentile_of(self.latencies(), q)
+    }
+
+    /// The priority class of `node` (0 — the highest — when no class map
+    /// was attached or the node is out of range, so every per-class read
+    /// is total).
+    pub fn class_of(&self, node: NodeId) -> u8 {
+        self.node_class.get(node).copied().unwrap_or(0)
+    }
+
+    /// The distinct priority classes present in the attached class map,
+    /// ascending (empty when no map was attached).
+    pub fn classes(&self) -> Vec<u8> {
+        let mut c = self.node_class.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Scaled completion latencies of the operations completed by nodes of
+    /// `class`, in completion order (everything when no class map was
+    /// attached and `class` is 0; empty for a class nothing completed in).
+    pub fn class_latencies(&self, class: u8) -> Vec<u64> {
+        self.completions
+            .iter()
+            .zip(self.latencies())
+            .filter(|(c, _)| self.class_of(c.node) == class)
+            .map(|(_, l)| l)
+            .collect()
+    }
+
+    /// Nearest-rank percentile of one class's scaled completion latencies,
+    /// with the same total-read guarantees as
+    /// [`SimReport::latency_percentile`]: 0 for a class nothing completed
+    /// in (all-shed classes, unknown classes, zero-retained runs), NaN and
+    /// out-of-range quantiles clamped — never a division by zero or panic.
+    pub fn class_latency_percentile(&self, class: u8, q: f64) -> u64 {
+        percentile_of(self.class_latencies(class), q)
+    }
+
+    /// Per-class accounting: `(issued, completed, dropped)` for `class`.
+    /// One-shot runs record no issue events, so `issued` is 0 there by the
+    /// same convention as [`SimReport::issues`].
+    pub fn class_counts(&self, class: u8) -> (u64, u64, u64) {
+        let issued = self.issues.iter().filter(|i| self.class_of(i.node) == class).count();
+        let completed = self.completions.iter().filter(|c| self.class_of(c.node) == class).count();
+        let dropped = self.dropped.iter().filter(|d| self.class_of(d.node) == class).count();
+        (issued as u64, completed as u64, dropped as u64)
     }
 
     /// Completed operations per (unscaled) round over the whole execution
@@ -553,6 +793,28 @@ impl SimReport {
     pub fn retained_latency_percentile(&self, q: f64) -> u64 {
         self.latency_percentile(q)
     }
+
+    /// Derive [`SimReport::fault_events`] from the run's fault plan and
+    /// final round count — called once by every executor after its round
+    /// loop, so the section is executor-independent by construction.
+    pub(crate) fn record_fault_events(&mut self, faults: &FaultPlan) {
+        if faults.is_active() {
+            self.fault_events = faults.events_until(self.rounds);
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample: NaN quantiles
+/// read as 0, anything outside `[0, 1]` clamps, an empty sample reads as
+/// 0 — the shared total-read core of every percentile metric.
+fn percentile_of(mut l: Vec<u64>, q: f64) -> u64 {
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    if l.is_empty() {
+        return 0;
+    }
+    l.sort_unstable();
+    let rank = ((q * l.len() as f64).ceil() as usize).clamp(1, l.len());
+    l[rank - 1]
 }
 
 #[cfg(test)]
@@ -736,6 +998,119 @@ mod tests {
         assert!(after.starts_with("{\"rounds\":3,\"messages_sent\":5,"));
         assert!(after.ends_with(",\"trace\":[]}"));
         assert!(!after.contains("checkpoint") && !after.contains("snapshot"));
+    }
+
+    #[test]
+    fn fault_plan_schedules_and_validates() {
+        let mut plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        plan.push(CrashFault { node: 2, at: 3, recover: 7 }).unwrap();
+        assert!(plan.is_active());
+        assert!(!plan.is_down(2, 2));
+        assert!(plan.is_down(2, 3));
+        assert!(plan.is_down(2, 6));
+        assert!(!plan.is_down(2, 7));
+        assert!(!plan.is_down(1, 4));
+        assert!(plan.validate(3).is_ok());
+        // Node out of range, crash at round 0, recover ≤ at: all named.
+        assert!(plan.validate(2).unwrap_err().contains("node 2"));
+        let mut zero = FaultPlan::none();
+        zero.push(CrashFault { node: 0, at: 0, recover: 5 }).unwrap();
+        assert!(zero.validate(4).unwrap_err().contains("round 0"));
+        let mut rev = FaultPlan::none();
+        rev.push(CrashFault { node: 0, at: 5, recover: 5 }).unwrap();
+        assert!(rev.validate(4).unwrap_err().contains("not after"));
+        // The plan is bounded.
+        let mut full = FaultPlan::none();
+        for i in 0..MAX_FAULTS {
+            full.push(CrashFault { node: i, at: 1, recover: 2 }).unwrap();
+        }
+        assert!(full.push(CrashFault { node: 9, at: 1, recover: 2 }).is_err());
+        // Events stop at the final round.
+        assert_eq!(plan.events_until(2), vec![]);
+        let mid = plan.events_until(4);
+        assert_eq!(mid.len(), 1);
+        assert_eq!((mid[0].node, mid[0].round, mid[0].kind), (2, 3, FaultKind::Crash));
+        let all = plan.events_until(10);
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[1].node, all[1].round, all[1].kind), (2, 7, FaultKind::Recover));
+    }
+
+    #[test]
+    fn fault_section_serializes_only_when_a_fault_fired() {
+        let mut rep = SimReport { rounds: 9, ..Default::default() };
+        let mut clean = String::new();
+        rep.serialize_json(&mut clean);
+        assert!(!clean.contains("faults"));
+        let mut plan = FaultPlan::none();
+        plan.push(CrashFault { node: 1, at: 2, recover: 4 }).unwrap();
+        rep.record_fault_events(&plan);
+        let mut faulty = String::new();
+        rep.serialize_json(&mut faulty);
+        assert!(faulty.contains(
+            "\"faults\":[{\"node\":1,\"round\":2,\"kind\":\"crash\"},\
+             {\"node\":1,\"round\":4,\"kind\":\"recover\"}]"
+        ));
+        assert!(faulty.ends_with(",\"trace\":[]}"));
+    }
+
+    #[test]
+    fn per_class_metrics_join_on_the_class_map() {
+        let rep = SimReport {
+            delay_scale: 1,
+            rounds: 20,
+            node_class: vec![0, 1, 0, 1],
+            completions: vec![
+                Completion { node: 0, value: 1, round: 5 },
+                Completion { node: 1, value: 2, round: 15 },
+            ],
+            issues: vec![
+                Issue { node: 0, round: 2 },
+                Issue { node: 1, round: 2 },
+                Issue { node: 3, round: 4 },
+            ],
+            dropped: vec![Dropped { node: 3, round: 4 }],
+            ..Default::default()
+        };
+        assert_eq!(rep.classes(), vec![0, 1]);
+        assert_eq!(rep.class_latencies(0), vec![3]);
+        assert_eq!(rep.class_latencies(1), vec![13]);
+        assert_eq!(rep.class_latency_percentile(0, 0.99), 3);
+        assert_eq!(rep.class_latency_percentile(1, 0.99), 13);
+        assert_eq!(rep.class_counts(0), (1, 1, 0));
+        assert_eq!(rep.class_counts(1), (2, 1, 1));
+    }
+
+    /// Satellite hardening: per-class reads are total on degenerate runs —
+    /// all-shed classes, unknown classes, zero-retained runs, no class map.
+    #[test]
+    fn per_class_metrics_survive_degenerate_runs() {
+        // No class map: everything is class 0, other classes read empty.
+        let bare = SimReport { delay_scale: 1, ..Default::default() };
+        assert_eq!(bare.classes(), vec![]);
+        assert_eq!(bare.class_latency_percentile(0, 0.99), 0);
+        assert_eq!(bare.class_latency_percentile(7, 0.5), 0);
+        // All arrivals of class 1 shed: its percentile is 0, not a panic,
+        // and its counts still conserve (0 issued+completed, 1 dropped).
+        let shed = SimReport {
+            delay_scale: 1,
+            rounds: 9,
+            node_class: vec![0, 1],
+            dropped: vec![Dropped { node: 1, round: 2 }],
+            ..Default::default()
+        };
+        assert_eq!(shed.class_latency_percentile(1, 0.99), 0);
+        assert_eq!(shed.class_latency_percentile(1, f64::NAN), 0);
+        assert_eq!(shed.class_counts(1), (0, 0, 1));
+        assert_eq!(shed.goodput(), 0.0);
+        // Out-of-range node in a completion record reads as class 0.
+        let stray = SimReport {
+            delay_scale: 1,
+            node_class: vec![0],
+            completions: vec![Completion { node: 5, value: 1, round: 2 }],
+            ..Default::default()
+        };
+        assert_eq!(stray.class_latency_percentile(0, 1.0), 2);
     }
 
     #[test]

@@ -193,6 +193,7 @@ pub(crate) fn run_single<P: Protocol>(
         ));
     }
     let n = graph.n();
+    cfg.faults.validate(n).map_err(SimError::invalid_config)?;
     let mut report = SimReport {
         delay_scale: cfg.delay_scale,
         received_by_node: vec![0; n],
@@ -277,6 +278,13 @@ pub(crate) fn run_single<P: Protocol>(
                 frontier.sort_unstable();
             }
             for &v in &frontier {
+                if cfg.faults.is_down(v, round) {
+                    // Crashed: the in-port freezes in place (neighbours
+                    // keep buffering over reliable FIFO wires) — re-list
+                    // so the pending work survives to the recovery round.
+                    store.relist_inport(v);
+                    continue;
+                }
                 for _ in 0..cfg.recv_budget {
                     let Some(inb) = store.pop_inport(v) else { break };
                     report.queue_wait_rounds += round - inb.arrival;
@@ -313,6 +321,12 @@ pub(crate) fn run_single<P: Protocol>(
             frontier.sort_unstable();
         }
         for &v in &frontier {
+            if cfg.faults.is_down(v, round) {
+                // Crashed: staged sends freeze in the outbox until the
+                // recovery round.
+                store.relist_outbox(v);
+                continue;
+            }
             if cfg.probe.skips_transmit(round, v) {
                 // The planted perturbation: this node's staged sends wait
                 // one extra round (see ProbeSpec::perturb_round) — re-list
@@ -356,6 +370,7 @@ pub(crate) fn run_single<P: Protocol>(
         }
     }
     report.rounds = round;
+    report.record_fault_events(&cfg.faults);
     if cfg.probe.timing {
         report.phase_timing = Some(timing);
     }

@@ -125,6 +125,7 @@ impl<M> Fabric<M> {
         inter_delay: LinkDelay,
     ) -> Result<Self, SimError> {
         validate_config(cfg)?;
+        cfg.faults.validate(graph.n()).map_err(SimError::invalid_config)?;
         if partition.n() != graph.n() {
             return Err(SimError::invalid_config(
                 "shard partition does not cover the graph's vertex set",
@@ -276,6 +277,13 @@ impl<M> Fabric<M> {
             frontier.sort_unstable();
         }
         for &v in &frontier {
+            if cfg.faults.is_down(v, round) {
+                // Crashed: staged sends freeze in the outbox until the
+                // recovery round — the same gate, in the same position,
+                // as the monolith's transmit loop.
+                self.shards[partition.shard_of(v)].store.relist_outbox(v);
+                continue;
+            }
             if cfg.probe.skips_transmit(round, v) {
                 // The planted perturbation: this node's staged sends wait
                 // one extra round (see `ProbeSpec::perturb_round`) — the
@@ -354,6 +362,12 @@ impl<M> Fabric<M> {
         let mut claimed = 0u64;
         for &v in &frontier {
             let sv = partition.shard_of(v);
+            if cfg.faults.is_down(v, round) {
+                // Crashed: no block is claimed, exactly as the serial
+                // loop pops nothing at a down node.
+                self.shards[sv].store.relist_outbox(v);
+                continue;
+            }
             if cfg.probe.skips_transmit(round, v) {
                 // The planted perturbation: this node's staged sends wait
                 // one extra round — same skip as the serial loop, and the
@@ -528,6 +542,12 @@ where
                 let mut batches = Vec::new();
                 let mut queue_wait = 0u64;
                 for &v in &frontier {
+                    if cfg.faults.is_down(v, round) {
+                        // Crashed: the in-port freezes in place until the
+                        // recovery round (same gate as the monolith).
+                        state.store.relist_inport(v);
+                        continue;
+                    }
                     let mut batch = Vec::new();
                     for _ in 0..cfg.recv_budget {
                         let Some(inb) = state.store.pop_inport(v) else { break };
@@ -652,6 +672,7 @@ where
             }
         }
         fab.report.rounds = round;
+        fab.report.record_fault_events(&cfg.faults);
         if cfg.probe.timing {
             fab.report.phase_timing = Some(timing);
         }
@@ -794,6 +815,12 @@ where
                             frontier.sort_unstable();
                         }
                         for &v in &frontier {
+                            if cfg.faults.is_down(v, round) {
+                                // Crashed: the in-port freezes in place
+                                // until the recovery round.
+                                state.store.relist_inport(v);
+                                continue;
+                            }
                             let idx = members
                                 .binary_search(&v)
                                 .expect("frontier nodes are shard members");
@@ -865,6 +892,7 @@ where
             }
         }
         fab.report.rounds = round;
+        fab.report.record_fault_events(&cfg.faults);
         if cfg.probe.timing {
             fab.report.phase_timing = Some(timing);
         }
@@ -931,6 +959,22 @@ where
                  drop the wavefront",
                 cfg.link_delay.name()
             )));
+        }
+        if cfg.faults.is_active() {
+            return Err(SimError::invalid_config(
+                "wavefront pipelining cannot run with fault injection: a crash or \
+                 recovery round couples the shards (every shard must observe the \
+                 frozen node in lockstep, mid-wave a shard would run past it); drop \
+                 --wavefront or the --fault plan",
+            ));
+        }
+        if cfg.serial_transmit {
+            return Err(SimError::invalid_config(
+                "serial_transmit and wavefront pipelining are mutually exclusive: \
+                 in-wave transmit runs inside each shard's task under provisional \
+                 sequence keys and has no serialized global walk to fall back to; \
+                 drop --serial-transmit or --wavefront",
+            ));
         }
         if cfg.send_budget as u64 >= 1 << SURROGATE_IDX_BITS {
             return Err(SimError::invalid_config(format!(

@@ -222,6 +222,19 @@ impl<M> NodeStore<M> {
         }
     }
 
+    /// Put `v` back on the in-port frontier if it still has pending
+    /// deliveries (used when the deliver phase visits a frontier node but
+    /// skips it — a crashed node's in-port freezes in place until its
+    /// recovery round).
+    pub fn relist_inport(&mut self, v: NodeId) {
+        if let Some(s) = self.slot(v) {
+            if !self.inport[s].is_empty() && !self.inport_listed[s] {
+                self.inport_listed[s] = true;
+                self.inport_dirty.push(v);
+            }
+        }
+    }
+
     /// Whether every queue (in-port and outbox) is empty — O(1) via the
     /// nonempty-queue counter.
     pub fn is_idle(&self) -> bool {
@@ -397,5 +410,30 @@ mod tests {
         front.clear();
         s.take_outbox_frontier(&mut front);
         assert!(front.is_empty());
+    }
+
+    /// A deliver-phase skip (crashed node) re-lists the node so its frozen
+    /// in-port stays on the frontier until recovery.
+    #[test]
+    fn relist_inport_keeps_a_frozen_port_on_the_frontier() {
+        let mut s: NodeStore<u32> = NodeStore::new(4);
+        s.enqueue(2, Inbound { src: 0, arrival: 1, msg: 7 });
+        let mut front = Vec::new();
+        s.take_inport_frontier(&mut front);
+        assert_eq!(front, vec![2]);
+        // Crashed: visited but skipped, must reappear next round.
+        s.relist_inport(2);
+        front.clear();
+        s.take_inport_frontier(&mut front);
+        assert_eq!(front, vec![2]);
+        assert!(!s.is_idle(), "a frozen port keeps the store non-idle");
+        assert!(s.pop_inport(2).is_some());
+        // Re-listing an empty in-port is a no-op.
+        s.relist_inport(2);
+        front.clear();
+        s.take_inport_frontier(&mut front);
+        assert!(front.is_empty());
+        // Non-members are ignored, like relist_outbox.
+        s.relist_inport(99);
     }
 }

@@ -9,7 +9,8 @@
 //!
 //! ccq sweep [--topo <topos>] [--proto <protos>] [--modes <modes>]
 //!           [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-//!           [--admission <policies>] [--shards <plans>] [--parallel-apply]
+//!           [--admission <policies>] [--priority <specs>] [--fault <crashes>]
+//!           [--shards <plans>] [--parallel-apply]
 //!           [--dense-scan] [--wavefront[:lag=d]] [--serial-transmit]
 //!           [--timing] [--checkpoint-every N] [--node-hashes]
 //!           [--perturb R:V]
@@ -50,9 +51,24 @@
 //! Delays:      unit | fixed:d=N | perlink:max=N[:seed=S]
 //!              | jitter:max=N[:seed=S]
 //! Admissions:  open | droptail:bound=N | delayretry:bound=N[:backoff=N]
-//!              | adaptive:target=N[:gain=N] — backpressure against the
-//!              live backlog. `--admission open` runs the same plan as no
+//!              | adaptive:target=N[:gain=N]
+//!              | pernode:bound=N[:protect=C] — backpressure against the
+//!              live backlog (pernode reads the requester's shard backlog
+//!              and always admits classes below `protect`). `--admission
+//!              open` runs the same plan as no flag (byte-identical JSON).
+//! Priorities:  uniform | split:frac=F[:seed=S] — tag each node with a
+//!              priority class (0 = high with probability F, else 1) and
+//!              order same-round admissions by relaxed power-of-two-choice
+//!              priority selection. Reports gain per-class latency
+//!              percentiles. `--priority uniform` runs the same plan as no
 //!              flag (byte-identical JSON).
+//! Faults:      crash:at=R:node=N:recover=R2 — node N is down for rounds
+//!              [R, R2): it neither drains its receive queue nor transmits,
+//!              and its own arrivals defer until recovery; protocols
+//!              self-stabilize when the frozen queues drain. Repeat the
+//!              flag (or comma-join) for up to 4 crash windows composed
+//!              into one fault plan. Fault runs refuse `--wavefront` with
+//!              a named error.
 //! Shards:      k[:strategy][:ferry=D] with strategy one of contig
 //!              (default), stripe, edgecut — e.g. 4, 4:edgecut,
 //!              2:contig:ferry=10 (fixed D-round inter-shard ferry).
@@ -119,7 +135,9 @@ usage:
   ccq run --exp <ids>|all [--full]  run experiment drivers, print tables
   ccq sweep [--topo <topos>] [--proto <protos>] [--modes paper|strict,expanded]
             [--pattern <patterns>] [--arrival <arrivals>] [--delay <delays>]
-            [--admission <policies>] [--shards <k[:strategy][:ferry=D]>]
+            [--admission <policies>] [--priority <uniform|split:frac=F[:seed=S]>]
+            [--fault <crash:at=R:node=N:recover=R2>]
+            [--shards <k[:strategy][:ferry=D]>]
             [--parallel-apply] [--dense-scan] [--wavefront[:lag=d]]
             [--serial-transmit] [--timing] [--checkpoint-every N]
             [--node-hashes] [--perturb R:V]
@@ -137,6 +155,9 @@ examples:
   ccq sweep --topo complete:256,hypercube:8 --proto queuing --repeats 3
   ccq sweep --arrival poisson:rate=0.2 --delay jitter:max=3 --json -
   ccq sweep --arrival poisson:rate=0.8 --admission droptail:bound=16 --json -
+  ccq sweep --arrival poisson:rate=0.6 --priority split:frac=0.25 \\
+            --admission pernode:bound=8:protect=1 --json -
+  ccq sweep --arrival poisson:rate=0.4 --fault crash:at=6:node=3:recover=14 --json -
   ccq sweep --topo torus2d:6 --shards 4:edgecut --json -
   ccq sweep --topo torus2d:6 --shards 4 --parallel-apply --json -
   ccq sweep --topo torus2d:6 --shards 4:ferry=6 --wavefront:lag=4 --json -
@@ -176,7 +197,18 @@ fn cmd_list() -> i32 {
     );
     println!(
         "admissions (ccq sweep --admission): open | droptail:bound=N | \
-         delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N]"
+         delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N] | \
+         pernode:bound=N[:protect=C]"
+    );
+    println!(
+        "priorities (ccq sweep --priority): uniform | split:frac=F[:seed=S] — \
+         two-class traffic with relaxed-priority admission ordering and \
+         per-class latency percentiles"
+    );
+    println!(
+        "faults (ccq sweep --fault): crash:at=R:node=N:recover=R2 — node N down \
+         for rounds [R, R2); repeat or comma-join for up to 4 crash windows \
+         (incompatible with --wavefront)"
     );
     println!(
         "shards (ccq sweep --shards): k[:strategy][:ferry=D], strategy = contig | stripe | \
@@ -265,6 +297,8 @@ struct SweepArgs {
     arrivals: Vec<ArrivalSpec>,
     delays: Vec<LinkDelay>,
     admissions: Vec<AdmissionSpec>,
+    priorities: Vec<PrioritySpec>,
+    faults: FaultSpec,
     shards: Vec<ShardSpec>,
     parallel_apply: bool,
     dense_scan: bool,
@@ -290,6 +324,8 @@ fn build_plan(parsed: &SweepArgs) -> RunPlan {
         .arrivals(parsed.arrivals.clone())
         .delays(parsed.delays.clone())
         .admissions(parsed.admissions.clone())
+        .priorities(parsed.priorities.clone())
+        .faults(vec![parsed.faults.clone()])
         .shards(parsed.shards.clone())
         .parallel_apply(parsed.parallel_apply)
         .dense_scan(parsed.dense_scan)
@@ -526,6 +562,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         arrivals: Vec::new(),
         delays: Vec::new(),
         admissions: Vec::new(),
+        priorities: Vec::new(),
+        faults: FaultSpec::none(),
         shards: Vec::new(),
         parallel_apply: false,
         dense_scan: false,
@@ -588,6 +626,18 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
             "--admission" => {
                 for tok in value("--admission")?.split(',') {
                     out.admissions.push(parse_admission(tok)?);
+                }
+            }
+            "--priority" => {
+                for tok in value("--priority")?.split(',') {
+                    out.priorities.push(parse_priority(tok)?);
+                }
+            }
+            "--fault" => {
+                // Each token adds one crash window; repeated flags and
+                // comma-joined tokens compose into a single fault plan.
+                for tok in value("--fault")?.split(',') {
+                    out.faults = parse_fault(tok, out.faults)?;
                 }
             }
             "--shards" => {
@@ -669,6 +719,9 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
     }
     if out.admissions.is_empty() {
         out.admissions.push(AdmissionSpec::Open);
+    }
+    if out.priorities.is_empty() {
+        out.priorities.push(PrioritySpec::Uniform);
     }
     if out.shards.is_empty() {
         out.shards.push(ShardSpec::single());
@@ -858,10 +911,65 @@ fn parse_admission(token: &str) -> Result<AdmissionSpec, String> {
                 gain: check_bound(token, "gain", field(token, &p, "gain", Some(1))?, 1)?,
             })
         }
+        "pernode" => {
+            let p = kv_params(token, &parts[1..], &["bound", "protect"])?;
+            Ok(AdmissionSpec::PerNode {
+                bound: bound_field(&p, "bound")?,
+                protect: field(token, &p, "protect", Some(0))?,
+            })
+        }
         other => Err(format!(
             "unknown admission `{other}` (open | droptail:bound=N | \
-             delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N])"
+             delayretry:bound=N[:backoff=N] | adaptive:target=N[:gain=N] | \
+             pernode:bound=N[:protect=C])"
         )),
+    }
+}
+
+fn parse_priority(token: &str) -> Result<PrioritySpec, String> {
+    let parts: Vec<&str> = token.split(':').collect();
+    match parts[0] {
+        "uniform" => {
+            kv_params(token, &parts[1..], &[])?;
+            Ok(PrioritySpec::Uniform)
+        }
+        "split" => {
+            let p = kv_params(token, &parts[1..], &["frac", "seed"])?;
+            let frac: f64 = field(token, &p, "frac", None)?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("field `frac` must be in [0, 1], got {frac} in `{token}`"));
+            }
+            Ok(PrioritySpec::Split { frac, seed: field(token, &p, "seed", Some(1))? })
+        }
+        other => Err(format!("unknown priority `{other}` (uniform | split:frac=F[:seed=S])")),
+    }
+}
+
+/// Parse one `--fault` token and fold its crash window into `spec`.
+fn parse_fault(token: &str, spec: FaultSpec) -> Result<FaultSpec, String> {
+    let parts: Vec<&str> = token.split(':').collect();
+    match parts[0] {
+        "crash" => {
+            let p = kv_params(token, &parts[1..], &["at", "node", "recover"])?;
+            let at = check_bound(token, "at", field(token, &p, "at", None)?, 1)?;
+            let recover = check_bound(token, "recover", field(token, &p, "recover", None)?, 1)?;
+            if recover <= at {
+                return Err(format!(
+                    "field `recover` must be after field `at` in `{token}` \
+                     (the node is down for rounds [at, recover))"
+                ));
+            }
+            let node: u64 = field(token, &p, "node", None)?;
+            if node >= MAX_CLI_N as u64 {
+                return Err(format!("field `node` must be < {MAX_CLI_N} in `{token}`"));
+            }
+            let spec = spec.crash(node as usize, at, recover);
+            // The engine holds a fixed number of crash windows; surface
+            // its capacity error at parse time (exit 2, not a case error).
+            spec.plan().map_err(|e| format!("`{token}`: {e}"))?;
+            Ok(spec)
+        }
+        other => Err(format!("unknown fault `{other}` (crash:at=R:node=N:recover=R2)")),
     }
 }
 

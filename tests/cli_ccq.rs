@@ -558,3 +558,193 @@ fn malformed_shards_specs_fail_loudly() {
         assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
     }
 }
+
+#[test]
+fn heterogeneous_sweep_reports_classes_and_fault_counters() {
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "torus2d:3",
+        "--proto",
+        "arrow,combining-tree",
+        "--arrival",
+        "poisson:rate=0.5",
+        "--priority",
+        "split:frac=0.25:seed=11",
+        "--fault",
+        "crash:at=4:node=2:recover=9",
+        "--admission",
+        "pernode:bound=8:protect=1",
+        "--json",
+        "-",
+    ]);
+    let doc = json_stdout(&out);
+    assert_all_ok(&doc);
+    for case in cases(&doc) {
+        assert_eq!(case_str(case, "priority"), "split(frac=0.25,seed=11)");
+        assert_eq!(case_str(case, "faults"), "crash(node=2,at=4,recover=9)");
+        assert_eq!(case_str(case, "admission"), "pernode(bound=8,protect=1)");
+        let classes = case.get("classes").and_then(|c| c.as_array()).expect("classes array");
+        assert_eq!(classes.len(), 2, "two priority classes");
+        for m in classes {
+            for field in [
+                "class",
+                "issued",
+                "completed",
+                "dropped",
+                "latency_p50",
+                "latency_p95",
+                "latency_p99",
+            ] {
+                assert!(m.get(field).and_then(|v| v.as_u64()).is_some(), "missing {field}: {m:?}");
+            }
+            // Per-class conservation at quiescence.
+            let get = |f: &str| m.get(f).unwrap().as_u64().unwrap();
+            assert_eq!(get("completed") + get("dropped"), get("issued"), "{m:?}");
+        }
+        let faults = case.get("fault_summary").expect("fault summary");
+        assert_eq!(faults.get("crashes").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(faults.get("recoveries").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(faults.get("events").and_then(|e| e.as_array()).map(|e| e.len()), Some(2));
+    }
+    // The plan echoes both sweep dimensions.
+    let plan = doc.get("plan").expect("plan info");
+    assert_eq!(
+        plan.get("priorities").and_then(|v| v.index(0)).and_then(|v| v.as_str()),
+        Some("split(frac=0.25,seed=11)")
+    );
+    assert_eq!(
+        plan.get("faults").and_then(|v| v.index(0)).and_then(|v| v.as_str()),
+        Some("crash(node=2,at=4,recover=9)")
+    );
+}
+
+#[test]
+fn uniform_priority_and_no_fault_are_byte_identical_to_no_flags() {
+    let plain = ccq(&["sweep", "--topo", "mesh2d:4", "--proto", "arrow", "--json", "-"]);
+    let flagged = ccq(&[
+        "sweep",
+        "--topo",
+        "mesh2d:4",
+        "--proto",
+        "arrow",
+        "--priority",
+        "uniform",
+        "--json",
+        "-",
+    ]);
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&flagged.stdout),
+        "--priority uniform changed the JSON"
+    );
+    // Fault-free heterogeneous payloads stay out of the JSON entirely.
+    let doc = json_stdout(&plain);
+    for case in cases(&doc) {
+        assert!(
+            case.get("classes").is_none_or(|c| c == &serde_json::Value::Null),
+            "classes on a uniform run"
+        );
+        assert!(
+            case.get("fault_summary").is_none_or(|f| f == &serde_json::Value::Null),
+            "fault summary on a fault-free run"
+        );
+    }
+}
+
+#[test]
+fn serial_transmit_with_wavefront_is_a_named_case_error() {
+    // The satellite bugfix: the two transmit strategies are mutually
+    // exclusive, and the error must name both flags — per case, since the
+    // conflict needs the resolved scenario.
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "torus2d:4",
+        "--proto",
+        "arrow",
+        "--shards",
+        "2:ferry=4",
+        "--wavefront:lag=2",
+        "--serial-transmit",
+        "--json",
+        "-",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "conflicting flags should fail verification");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc: serde_json::Value = serde_json::from_str(stdout.trim()).expect("JSON on stdout");
+    let msg = cases(&doc)[0].get("error").and_then(|e| e.as_str()).expect("case error");
+    assert!(msg.contains("wavefront"), "error must name --wavefront: {msg}");
+    assert!(msg.contains("serial"), "error must name --serial-transmit: {msg}");
+}
+
+#[test]
+fn fault_with_wavefront_is_a_named_case_error() {
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "torus2d:4",
+        "--proto",
+        "arrow",
+        "--shards",
+        "2:ferry=4",
+        "--wavefront:lag=2",
+        "--fault",
+        "crash:at=3:node=1:recover=7",
+        "--json",
+        "-",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "fault under wavefront should fail verification");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc: serde_json::Value = serde_json::from_str(stdout.trim()).expect("JSON on stdout");
+    let msg = cases(&doc)[0].get("error").and_then(|e| e.as_str()).expect("case error");
+    assert!(msg.contains("wavefront"), "error must name the pipeline: {msg}");
+    assert!(msg.contains("fault"), "error must name the fault plan: {msg}");
+}
+
+#[test]
+fn malformed_priority_fault_and_pernode_specs_fail_loudly() {
+    let checks = [
+        (vec!["sweep", "--priority", "vip"], "unknown priority"),
+        (vec!["sweep", "--priority", "split"], "missing required field `frac`"),
+        (vec!["sweep", "--priority", "split:frac=1.5"], "field `frac`"),
+        (vec!["sweep", "--priority", "split:frac=0.5:vip=1"], "unknown field `vip`"),
+        (vec!["sweep", "--fault", "meteor:at=3"], "unknown fault"),
+        (vec!["sweep", "--fault", "crash:at=3:node=1"], "missing required field `recover`"),
+        (vec!["sweep", "--fault", "crash:at=0:node=1:recover=4"], "field `at`"),
+        (vec!["sweep", "--fault", "crash:at=9:node=1:recover=4"], "field `recover`"),
+        (
+            vec![
+                "sweep",
+                "--fault",
+                "crash:at=1:node=0:recover=2,crash:at=1:node=1:recover=2,\
+                 crash:at=1:node=2:recover=2,crash:at=1:node=3:recover=2,\
+                 crash:at=1:node=4:recover=2",
+            ],
+            "at most 4",
+        ),
+        (vec!["sweep", "--admission", "pernode"], "missing required field `bound`"),
+        (vec!["sweep", "--admission", "pernode:bound=0"], "field `bound`"),
+        (vec!["sweep", "--admission", "pernode:bound=4:protect=many"], "field `protect`"),
+    ];
+    for (args, needle) in checks {
+        let out = ccq(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
+    }
+}
+
+#[test]
+fn usage_and_list_document_priority_faults_and_pernode() {
+    let usage = ccq(&["--help"]);
+    let text = String::from_utf8(usage.stdout).unwrap();
+    for needle in ["--priority", "--fault", "pernode"] {
+        assert!(text.contains(needle), "usage misses {needle}");
+    }
+    let list = ccq(&["list"]);
+    let text = String::from_utf8(list.stdout).unwrap();
+    for needle in ["split:frac=F", "crash:at=R:node=N:recover=R2", "pernode:bound=N"] {
+        assert!(text.contains(needle), "ccq list misses {needle}");
+    }
+}

@@ -339,6 +339,93 @@ proptest! {
         }
     }
 
+    /// Heterogeneous conservation: with priority classes, per-node
+    /// admission and (sometimes) a crash window all active, every
+    /// scheduled arrival is accounted for *within its class* — admitted
+    /// issues complete by quiescence, and issued + dropped equals the
+    /// class's scheduled arrivals. The degenerate-metrics guard rides
+    /// along: whatever the shed pattern, goodput and the per-class
+    /// percentiles are finite and zero-safe (a class that completed
+    /// nothing reports 0, never a division by zero or a panic).
+    #[test]
+    fn heterogeneous_admission_conserves_per_class(
+        seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+        bound in 1usize..6,
+        protect in 0u8..2,
+        crash in any::<bool>(),
+    ) {
+        let priority = PrioritySpec::Split { frac, seed };
+        let faults = if crash {
+            FaultSpec::none().crash(seed as usize % 16, 2, 8)
+        } else {
+            FaultSpec::none()
+        };
+        let node_classes = priority.classes(16);
+        for proto in admission_protocols() {
+            let s = Scenario::build_with(
+                TopoSpec::Mesh2D { side: 4 },
+                RequestPattern::All,
+                ArrivalSpec::Poisson { rate: 0.6, seed },
+            )
+            .with_priority(priority)
+            .with_faults(faults.clone())
+            .with_admission(AdmissionSpec::PerNode { bound, protect });
+            let out = run_spec_with(proto, &s, ModelMode::Strict, LinkDelay::Unit)
+                .unwrap_or_else(|e| panic!("{}: {e}", proto.name()));
+            let r = &out.report;
+            prop_assert_eq!(
+                r.issues.len(), r.completions.len(),
+                "{}: admitted ops left open at quiescence", proto.name()
+            );
+            prop_assert_eq!(
+                r.completions.len() + r.dropped.len(), s.k(),
+                "{}: arrivals not conserved", proto.name()
+            );
+            // Classwise: issued completes, and issued + dropped covers the
+            // class's share of the schedule.
+            for class in r.classes() {
+                let (issued, completed, dropped) = r.class_counts(class);
+                let scheduled = s
+                    .schedule
+                    .iter()
+                    .filter(|&&(_, v)| node_classes.get(v).copied().unwrap_or(0) == class)
+                    .count() as u64;
+                prop_assert_eq!(
+                    completed, issued,
+                    "{} class {}: issued ops left open", proto.name(), class
+                );
+                prop_assert_eq!(
+                    issued + dropped, scheduled,
+                    "{} class {}: class arrivals not conserved", proto.name(), class
+                );
+                // Classes below `protect` are never shed.
+                if class < protect {
+                    prop_assert_eq!(dropped, 0, "{}: protected class shed", proto.name());
+                }
+                // Degenerate-safe percentiles: zero when nothing completed,
+                // ordered when something did.
+                let (p50, p99) = (
+                    r.class_latency_percentile(class, 0.50),
+                    r.class_latency_percentile(class, 0.99),
+                );
+                if completed == 0 {
+                    prop_assert_eq!(p50, 0, "{}: empty class has a p50", proto.name());
+                    prop_assert_eq!(p99, 0, "{}: empty class has a p99", proto.name());
+                } else {
+                    prop_assert!(p50 <= p99, "{}: p50 > p99", proto.name());
+                }
+            }
+            // Goodput stays a number on every shed pattern.
+            prop_assert!(r.goodput().is_finite(), "{}: goodput not finite", proto.name());
+            prop_assert!(r.goodput() >= 0.0, "{}: negative goodput", proto.name());
+            prop_assert!(
+                r.goodput() <= r.throughput() + 1e-12,
+                "{}: goodput > throughput", proto.name()
+            );
+        }
+    }
+
     /// The `Open` admission policy is byte-identical to not configuring
     /// admission at all: same serialized report, event for event.
     #[test]

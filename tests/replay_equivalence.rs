@@ -326,6 +326,119 @@ fn snapshots_resume_across_wavefront_and_lockstep() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Heterogeneous runs stay replayable: with priority classes, a
+    /// crash/recover window and per-node admission all active, probing is
+    /// still invisible in the serialized report, and a snapshot taken at
+    /// any visited round — including rounds *inside* the crash window,
+    /// where the frozen node's queues are part of the hashed state —
+    /// resumes into a byte-identical report.
+    #[test]
+    fn snapshot_resume_crosses_a_crash_window(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..4,
+        k in 1usize..4,
+        frac in 0.0f64..1.0,
+        crash_node in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let mode = mode_for(spec);
+        let build = || {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                ArrivalSpec::Poisson { rate: 0.4, seed },
+            )
+            .with_priority(PrioritySpec::Split { frac, seed })
+            .with_faults(FaultSpec::none().crash(crash_node, 2, 9))
+            .with_admission(AdmissionSpec::PerNode { bound: 5, protect: 1 })
+            .with_shards(ShardSpec::new(k, ShardStrategy::EdgeCut))
+        };
+        let plain = run_spec_with(spec, &build(), mode, delay).unwrap();
+        prop_assert_eq!(plain.report.fault_events.len(), 2, "{}", spec.name());
+
+        let probed = run_spec_with(
+            spec,
+            &build().with_checkpoint_every(1).with_node_hashes(true),
+            mode,
+            delay,
+        )
+        .unwrap();
+        prop_assert_eq!(
+            report_json(&probed),
+            report_json(&plain),
+            "{}: probe data leaked into the faulty run's report",
+            spec.name()
+        );
+
+        // Pick the visited round closest to mid-outage so the snapshot
+        // regularly lands inside the crash window.
+        let rounds: Vec<u64> = probed.report.checkpoints.iter().map(|c| c.round).collect();
+        let round = rounds
+            .iter()
+            .copied()
+            .min_by_key(|r| r.abs_diff(5))
+            .expect("checkpointed rounds");
+        let snap = snapshot_of(spec, build(), mode, delay, round).unwrap();
+        let resumed = resume_from(&snap, spec, build(), mode, delay).unwrap();
+        prop_assert_eq!(&resumed.order, &plain.order, "{} order diverged", spec.name());
+        prop_assert_eq!(
+            report_json(&resumed),
+            report_json(&plain),
+            "{}: resume through the crash window not byte-identical",
+            spec.name()
+        );
+    }
+}
+
+/// Checkpoint and node-digest streams stay executor-independent under
+/// fault injection: a crashed node's frozen queues hash canonically, so
+/// the monolith, the sharded executor and the parallel apply path agree
+/// at every barrier of a faulty heterogeneous run.
+#[test]
+fn checkpoints_are_executor_independent_under_faults() {
+    let probe = ProbeSpec::OFF.with_checkpoint_every(1).with_node_hashes(true);
+    for spec in registry() {
+        let mode = mode_for(*spec);
+        let build = |k: usize, parallel: bool| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                ArrivalSpec::Poisson { rate: 0.5, seed: 7 },
+            )
+            .with_priority(PrioritySpec::Split { frac: 0.25, seed: 11 })
+            .with_faults(FaultSpec::none().crash(4, 3, 10))
+            .with_shards(ShardSpec::new(k, ShardStrategy::EdgeCut))
+            .with_parallel_apply(parallel)
+            .with_probe(probe)
+        };
+        let mono = run_spec_with(*spec, &build(1, false), mode, LinkDelay::Unit).unwrap();
+        assert!(!mono.report.checkpoints.is_empty(), "{}", spec.name());
+        assert_eq!(mono.report.fault_events.len(), 2, "{}", spec.name());
+        for (label, out) in [
+            ("sharded", run_spec_with(*spec, &build(3, false), mode, LinkDelay::Unit).unwrap()),
+            ("parallel", run_spec_with(*spec, &build(3, true), mode, LinkDelay::Unit).unwrap()),
+        ] {
+            assert_eq!(
+                out.report.checkpoints,
+                mono.report.checkpoints,
+                "{} {label}: faulty checkpoint stream diverged from the monolith",
+                spec.name()
+            );
+            assert_eq!(
+                out.report.node_digests,
+                mono.report.node_digests,
+                "{} {label}: faulty node digests diverged from the monolith",
+                spec.name()
+            );
+        }
+    }
+}
+
 /// The far-cluster list sweep: requests from nodes {6,7,8} travel toward
 /// tail 0, so the find wave crosses node 4 at round 2 — the planted
 /// perturbation target the bisection tests below rely on.

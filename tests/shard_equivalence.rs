@@ -594,6 +594,179 @@ fn slow_ferry_diverges_but_verifies() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The heterogeneous-traffic guarantee: priority classes × crash/recover
+    /// faults × per-node admission produce byte-identical reports across
+    /// every execution strategy of the *same shard plan* — lockstep,
+    /// parallel apply, dense scan and serial transmit. (The monolith is
+    /// deliberately absent: `pernode` admission reads the requester's shard
+    /// backlog, so changing the shard plan legitimately changes which
+    /// arrivals are shed — that plan-dependence is the policy's point.)
+    /// The priority reorder is decided in the serialized arrivals phase,
+    /// the fault freeze is a pure function of the round number, and the
+    /// shard-scoped backlog is tracked on the one shared fabric API.
+    #[test]
+    fn heterogeneous_runs_are_byte_identical_across_executors(
+        proto_idx in 0usize..9,
+        delay_kind in 0u8..4,
+        frac in 0.0f64..1.0,
+        fault_kind in 0u8..3,
+        bound in 2usize..9,
+        protect in 0u8..2,
+        k in 2usize..5,
+        strategy in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let delay = delay_for(delay_kind, seed);
+        let faults = match fault_kind {
+            0 => FaultSpec::none(),
+            1 => FaultSpec::none().crash(seed as usize % 9, 3, 8),
+            _ => FaultSpec::none()
+                .crash(seed as usize % 9, 2, 6)
+                .crash((seed as usize + 4) % 9, 5, 11),
+        };
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let shards = ShardSpec::new(k, strategy_for(strategy));
+        let build = |parallel: bool, dense: bool, serial: bool| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                ArrivalSpec::Poisson { rate: 0.4, seed },
+            )
+            .with_priority(PrioritySpec::Split { frac, seed })
+            .with_faults(faults.clone())
+            .with_admission(AdmissionSpec::PerNode { bound, protect })
+            .with_shards(shards)
+            .with_parallel_apply(parallel)
+            .with_dense_scan(dense)
+            .with_serial_transmit(serial)
+        };
+        let lockstep = run_spec_with(spec, &build(false, false, false), mode, delay).unwrap();
+        for (label, scenario) in [
+            ("parallel apply", build(true, false, false)),
+            ("dense scan", build(false, true, false)),
+            ("serial transmit", build(false, false, true)),
+        ] {
+            let other = run_spec_with(spec, &scenario, mode, delay).unwrap();
+            prop_assert_eq!(
+                &other.order, &lockstep.order,
+                "{} {} order diverged", spec.name(), label
+            );
+            prop_assert_eq!(
+                serde_json::to_string(&lockstep.report).unwrap(),
+                serde_json::to_string(&other.report).unwrap(),
+                "{} {} diverged from lockstep", spec.name(), label
+            );
+        }
+    }
+
+    /// Priority classes and per-node admission (fault-free) also hold under
+    /// the wavefront pipeline: both are arrivals-phase decisions, which the
+    /// pipeline replays at the barrier in global order.
+    #[test]
+    fn wavefront_composes_with_priority_and_pernode_admission(
+        proto_idx in 0usize..9,
+        frac in 0.0f64..1.0,
+        bound in 2usize..9,
+        k in 2usize..5,
+        lag in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = registry()[proto_idx];
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let shards = ShardSpec::new(k, ShardStrategy::EdgeCut)
+            .with_inter_delay(LinkDelay::Fixed { delay: lag + 1 });
+        let build = |wavefront: Option<u64>| {
+            Scenario::build_with(
+                TopoSpec::Torus2D { side: 3 },
+                RequestPattern::All,
+                ArrivalSpec::Poisson { rate: 0.4, seed },
+            )
+            .with_priority(PrioritySpec::Split { frac, seed })
+            .with_admission(AdmissionSpec::PerNode { bound, protect: 1 })
+            .with_shards(shards)
+            .with_wavefront(wavefront)
+        };
+        let lockstep = run_spec(spec, &build(None), mode).unwrap();
+        let wave = run_spec(spec, &build(Some(lag)), mode).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&lockstep.report).unwrap(),
+            serde_json::to_string(&wave.report).unwrap(),
+            "{} heterogeneous wavefront diverged from lockstep", spec.name()
+        );
+    }
+}
+
+/// Fault injection under the wavefront pipeline must fail constructively —
+/// a crash round couples the shards, so the run refuses to start and the
+/// error names the conflict (and `--serial-transmit` gets the same
+/// treatment: the pipeline owns its transmit interleaving).
+#[test]
+fn wavefront_with_faults_or_serial_transmit_is_a_named_error() {
+    let shards = ShardSpec::new(2, ShardStrategy::Contiguous)
+        .with_inter_delay(LinkDelay::Fixed { delay: 3 });
+    let build = || {
+        Scenario::build(TopoSpec::Torus2D { side: 3 }, RequestPattern::All)
+            .with_shards(shards)
+            .with_wavefront(Some(2))
+    };
+    let faulty = build().with_faults(FaultSpec::none().crash(1, 3, 7));
+    let err = run_spec(registry()[0], &faulty, ModelMode::Expanded).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("wavefront"), "error must name the pipeline: {msg}");
+    assert!(msg.contains("fault"), "error must name the fault plan: {msg}");
+
+    let serial = build().with_serial_transmit(true);
+    let err = run_spec(registry()[0], &serial, ModelMode::Expanded).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("wavefront"), "error must name --wavefront: {msg}");
+    assert!(msg.contains("serial"), "error must name --serial-transmit: {msg}");
+
+    // Dropping the conflicting half makes both runs valid.
+    run_spec(registry()[0], &build(), ModelMode::Expanded).unwrap();
+}
+
+/// A crash window covering a node must actually freeze it: the faulty run
+/// differs from the fault-free run (the injection is not a no-op), both
+/// verify, and the report carries the crash/recover event pair.
+#[test]
+fn crash_windows_register_in_the_report_and_perturb_the_execution() {
+    let build = |faults: FaultSpec| {
+        Scenario::build_with(
+            TopoSpec::Torus2D { side: 3 },
+            RequestPattern::All,
+            ArrivalSpec::Poisson { rate: 0.5, seed: 7 },
+        )
+        .with_faults(faults)
+    };
+    for spec in registry() {
+        let mode = match spec.kind() {
+            ProtocolKind::Queuing => ModelMode::Expanded,
+            ProtocolKind::Counting => ModelMode::Strict,
+        };
+        let clean = run_spec(*spec, &build(FaultSpec::none()), mode).unwrap();
+        let faulty = run_spec(*spec, &build(FaultSpec::none().crash(4, 3, 10)), mode).unwrap();
+        assert!(clean.report.fault_events.is_empty());
+        assert_eq!(faulty.report.fault_events.len(), 2, "{}", spec.name());
+        assert_eq!(faulty.order.len(), clean.order.len(), "{}: lost operations", spec.name());
+        assert_ne!(
+            serde_json::to_string(&clean.report).unwrap(),
+            serde_json::to_string(&faulty.report).unwrap(),
+            "{}: the crash window changed nothing",
+            spec.name()
+        );
+    }
+}
+
 /// The sharded executor reports invalid configuration constructively
 /// (satellite: no panicking config validation anywhere on the run path).
 #[test]
