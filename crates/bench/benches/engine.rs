@@ -59,7 +59,7 @@ fn iters() -> u32 {
 fn mode_for(spec: &dyn ProtocolSpec) -> ModelMode {
     match spec.kind() {
         ProtocolKind::Queuing => ModelMode::Expanded,
-        ProtocolKind::Counting => ModelMode::Strict,
+        ProtocolKind::Counting | ProtocolKind::Relaxed => ModelMode::Strict,
     }
 }
 

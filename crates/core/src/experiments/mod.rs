@@ -31,6 +31,7 @@
 //! | [`t11_openload`] | extension: open-system load (arrival processes × latency percentiles) |
 //! | [`t12_sharded`] | extension: multi-shard executor (cross-shard traffic × federated ferry) |
 //! | [`t13_backpressure`] | extension: admission control (drop/delay/AIMD × throughput-latency trade) |
+//! | [`t14_consistency`] | extension: the cost-vs-consistency frontier (QQC lateness × load, CRDT baseline) |
 //! | [`t15_heterogeneous`] | extension: heterogeneous traffic (priority classes × per-node admission × crash/recover) |
 
 pub mod f2_runs;
@@ -39,6 +40,7 @@ pub mod t10_longlived;
 pub mod t11_openload;
 pub mod t12_sharded;
 pub mod t13_backpressure;
+pub mod t14_consistency;
 pub mod t15_heterogeneous;
 pub mod t1_logstar;
 pub mod t2_diameter;
@@ -100,6 +102,11 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "t11", paper_item: "open-system load extension", run: t11_openload::run },
         Experiment { id: "t12", paper_item: "multi-shard extension", run: t12_sharded::run },
         Experiment { id: "t13", paper_item: "backpressure extension", run: t13_backpressure::run },
+        Experiment {
+            id: "t14",
+            paper_item: "consistency-frontier extension",
+            run: t14_consistency::run,
+        },
         Experiment {
             id: "t15",
             paper_item: "heterogeneous traffic extension",

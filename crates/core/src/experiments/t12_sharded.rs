@@ -129,8 +129,8 @@ mod tests {
     fn produces_both_tables_with_all_protocols() {
         let tables = run(Scale::Quick);
         assert_eq!(tables.len(), 2);
-        // Sweep 1: 7 shard specs × 9 protocols.
-        assert_eq!(tables[0].rows.len(), 7 * 9);
+        // Sweep 1: 7 shard specs × 10 protocols.
+        assert_eq!(tables[0].rows.len(), 7 * 10);
         // Sweep 2: one summary row per K.
         assert_eq!(tables[1].rows.len(), 3);
     }

@@ -160,8 +160,8 @@ mod tests {
         let tables = run(Scale::Quick);
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 2 * 6, "2 rates x 6 protocols");
-        // 9 registry protocols x 2 classes through the crash run.
-        assert_eq!(tables[1].rows.len(), 9 * 2);
+        // 10 registry protocols x 2 classes through the crash run.
+        assert_eq!(tables[1].rows.len(), 10 * 2);
         for row in &tables[0].rows {
             assert_eq!(row[3], "yes", "case failed verification: {row:?}");
         }

@@ -386,7 +386,7 @@ impl RunPlan {
         match &self.modes {
             ModeSel::Paper => vec![match spec.kind() {
                 ProtocolKind::Queuing => ModelMode::Expanded,
-                ProtocolKind::Counting => ModelMode::Strict,
+                ProtocolKind::Counting | ProtocolKind::Relaxed => ModelMode::Strict,
             }],
             ModeSel::Explicit(list) => list.clone(),
         }
@@ -595,6 +595,11 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             latency_p50: 0,
             latency_p95: 0,
             latency_p99: 0,
+            qqc_max: 0,
+            qqc_mean: 0.0,
+            qqc_p50: 0,
+            qqc_p95: 0,
+            qqc_p99: 0,
             backlog: 0,
             dropped: 0,
             delayed_admissions: 0,
@@ -610,7 +615,9 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
             Ok(out) => {
                 // One flattening pass: the percentile fields echo `metrics`
                 // (the latency distribution is computed once in from_sim).
-                let m = DelayReport::from_sim(&out.alg, &out.report);
+                // QQC lateness is derived from the verified output order,
+                // which only exists on this success path.
+                let m = DelayReport::from_sim_with_order(&out.alg, &out.report, &out.order);
                 CaseResult {
                     ok: true,
                     total_delay: m.total_delay,
@@ -621,13 +628,18 @@ fn run_group(group: &WorkGroup) -> (Vec<CaseResult>, Vec<GroupSummary>) {
                     latency_p50: m.latency_p50,
                     latency_p95: m.latency_p95,
                     latency_p99: m.latency_p99,
+                    qqc_max: m.qqc_max,
+                    qqc_mean: m.qqc_mean,
+                    qqc_p50: m.qqc_p50,
+                    qqc_p95: m.qqc_p95,
+                    qqc_p99: m.qqc_p99,
                     backlog: m.backlog_high_water,
                     dropped: m.dropped,
                     delayed_admissions: m.delayed_admissions,
                     cross_shard_messages: m.cross_shard_messages,
                     metrics: Some(m),
                     classes: {
-                        let cm = ClassMetrics::from_sim(&out.report);
+                        let cm = ClassMetrics::from_sim_with_order(&out.report, &out.order);
                         (!cm.is_empty()).then_some(cm)
                     },
                     fault_summary: FaultSummary::from_sim(&out.report),
@@ -671,6 +683,7 @@ fn summarize(
     };
     let q = best_of(ProtocolKind::Queuing);
     let c = best_of(ProtocolKind::Counting);
+    let r = best_of(ProtocolKind::Relaxed);
     let gap = match (q, c) {
         (Some(q), Some(c)) => Some(c.total_delay as f64 / q.total_delay.max(1) as f64),
         _ => None,
@@ -694,6 +707,11 @@ fn summarize(
         best_counting: c.map(|c| c.protocol.clone()),
         best_counting_delay: c.map(|c| c.total_delay),
         best_counting_goodput: c.map(|c| c.goodput),
+        best_queuing_qqc_mean: q.map(|c| c.qqc_mean),
+        best_counting_qqc_mean: c.map(|c| c.qqc_mean),
+        best_relaxed: r.map(|c| c.protocol.clone()),
+        best_relaxed_delay: r.map(|c| c.total_delay),
+        best_relaxed_qqc_mean: r.map(|c| c.qqc_mean),
         dropped,
         gap,
         queuing_wins: match (q, c) {
@@ -790,6 +808,17 @@ pub struct CaseResult {
     pub latency_p95: u64,
     /// 99th-percentile scaled completion latency.
     pub latency_p99: u64,
+    /// Largest QQC rank displacement of the verified output order against
+    /// the canonical linearization of issue order (0 for a failed case).
+    pub qqc_max: u64,
+    /// Mean QQC rank displacement.
+    pub qqc_mean: f64,
+    /// Median QQC rank displacement.
+    pub qqc_p50: u64,
+    /// 95th-percentile QQC rank displacement.
+    pub qqc_p95: u64,
+    /// 99th-percentile QQC rank displacement.
+    pub qqc_p99: u64,
     /// Open-operation backlog high-water mark (0 for one-shot runs).
     pub backlog: usize,
     /// Arrivals shed by admission control.
@@ -885,6 +914,18 @@ pub struct GroupSummary {
     pub best_counting_delay: Option<u64>,
     /// Its goodput.
     pub best_counting_goodput: Option<f64>,
+    /// Mean QQC lateness of the best queuing case — the consistency side
+    /// of the cost-vs-consistency frontier.
+    pub best_queuing_qqc_mean: Option<f64>,
+    /// Mean QQC lateness of the best counting case.
+    pub best_counting_qqc_mean: Option<f64>,
+    /// Cheapest verified relaxed (CRDT) protocol, if any ran — kept out
+    /// of `best_counting` so the exact-counting verdicts stay honest.
+    pub best_relaxed: Option<String>,
+    /// Its total delay (0 by construction: completions are local).
+    pub best_relaxed_delay: Option<u64>,
+    /// Its mean QQC lateness — the debt side of the zero-cost endpoint.
+    pub best_relaxed_qqc_mean: Option<f64>,
     /// Arrivals shed across every verified case of this cell.
     pub dropped: u64,
     /// `best counting / best queuing` total delay — the paper's gap.
@@ -1050,19 +1091,21 @@ mod tests {
             .protocols(registry().iter().copied())
             .modes([ModelMode::Strict, ModelMode::Expanded])
             .repeats(2);
-        // 2 topologies × 1 pattern × 2 repeats × 9 protocols × 2 modes.
-        assert_eq!(plan.cases().len(), 2 * 2 * 9 * 2);
+        // 2 topologies × 1 pattern × 2 repeats × 10 protocols × 2 modes.
+        assert_eq!(plan.cases().len(), 2 * 2 * 10 * 2);
     }
 
     #[test]
     fn paper_modes_assign_by_kind() {
         let set = RunPlan::new().topologies([TopoSpec::Mesh2D { side: 3 }]).execute();
-        assert_eq!(set.cases.len(), 9);
+        assert_eq!(set.cases.len(), 10);
         for c in &set.cases {
             assert!(c.ok, "{}: {:?}", c.protocol, c.error);
             match c.kind {
                 ProtocolKind::Queuing => assert_eq!(c.mode, ModelMode::Expanded),
-                ProtocolKind::Counting => assert_eq!(c.mode, ModelMode::Strict),
+                ProtocolKind::Counting | ProtocolKind::Relaxed => {
+                    assert_eq!(c.mode, ModelMode::Strict)
+                }
             }
         }
     }
@@ -1234,8 +1277,8 @@ mod tests {
         let plan = RunPlan::new()
             .topologies([TopoSpec::Torus2D { side: 4 }])
             .shards([ShardSpec::single(), ShardSpec::new(4, ShardStrategy::EdgeCut)]);
-        // 1 topology × 1 pattern × 1 arrival × 2 shard plans × 9 protocols.
-        assert_eq!(plan.cases().len(), 18);
+        // 1 topology × 1 pattern × 1 arrival × 2 shard plans × 10 protocols.
+        assert_eq!(plan.cases().len(), 20);
         let set = plan.execute();
         assert_eq!(set.summaries.len(), 2, "one crossover summary per shard plan");
         for c in &set.cases {
@@ -1286,17 +1329,18 @@ mod tests {
 
     #[test]
     fn every_protocol_survives_a_crash_with_per_class_conservation() {
-        // The tentpole acceptance gate: all nine protocols complete a
-        // priority-split crash/recover run, and per-class accounting
-        // conserves every arrival (completed + dropped == issued at
-        // quiescence under open admission — nothing is still open).
+        // The tentpole acceptance gate: all ten protocols (the CRDT
+        // counter included) complete a priority-split crash/recover run,
+        // and per-class accounting conserves every arrival (completed +
+        // dropped == issued at quiescence under open admission — nothing
+        // is still open).
         let set = RunPlan::new()
             .topologies([TopoSpec::Torus2D { side: 3 }])
             .arrivals([ArrivalSpec::Poisson { rate: 0.5, seed: 7 }])
             .priorities([PrioritySpec::Split { frac: 0.25, seed: 11 }])
             .faults([FaultSpec::none().crash(2, 4, 9)])
             .execute();
-        assert_eq!(set.cases.len(), 9);
+        assert_eq!(set.cases.len(), 10);
         for c in &set.cases {
             assert!(c.ok, "{}: {:?}", c.protocol, c.error);
             let classes = c.classes.as_ref().expect("active split must attach class metrics");

@@ -21,8 +21,8 @@
 use crate::run::{config_for, ModelMode, RunError, RunOutcome};
 use crate::scenario::Scenario;
 use ccq_counting::{
-    verify_ranks, CentralCounterProtocol, CombiningTreeProtocol, CountingNetworkProtocol,
-    ToggleTreeProtocol,
+    verify_ranks, verify_relaxed_ranks, CentralCounterProtocol, CombiningTreeProtocol,
+    CountingNetworkProtocol, CrdtCounterProtocol, ToggleTreeProtocol,
 };
 use ccq_graph::{NodeId, Tree};
 use ccq_queuing::{
@@ -255,6 +255,13 @@ pub enum ProtocolKind {
     /// Distributed counting: every requester learns a rank; the handed-out
     /// ranks must be exactly `{1, …, |R|}`.
     Counting,
+    /// Relaxed (coordination-free) counting: every requester learns a
+    /// locally-merged rank in `1..=|R|`, duplicates legal — the CRDT
+    /// baseline whose consistency debt QQC lateness quantifies. Kept out
+    /// of [`ProtocolKind::Counting`] so exact-counting comparisons
+    /// (`best_counting`, the paper-gap verdicts) never mix in a protocol
+    /// that does not meet the exact contract.
+    Relaxed,
 }
 
 impl ProtocolKind {
@@ -263,6 +270,7 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Queuing => "queuing",
             ProtocolKind::Counting => "counting",
+            ProtocolKind::Relaxed => "relaxed",
         }
     }
 }
@@ -297,7 +305,7 @@ pub trait ProtocolSpec: Send + Sync {
     fn tree<'a>(&self, scenario: &'a Scenario) -> &'a Tree {
         match self.kind() {
             ProtocolKind::Queuing => &scenario.queuing_tree,
-            ProtocolKind::Counting => &scenario.counting_tree,
+            ProtocolKind::Counting | ProtocolKind::Relaxed => &scenario.counting_tree,
         }
     }
 
@@ -327,6 +335,23 @@ pub trait ProtocolSpec: Send + Sync {
         match self.kind() {
             ProtocolKind::Queuing => verify_total_order(&retained, &pairs).map_err(RunError::Order),
             ProtocolKind::Counting => verify_ranks(&retained, &pairs).map_err(RunError::Ranks),
+            ProtocolKind::Relaxed => {
+                let order = verify_relaxed_ranks(&retained, &pairs).map_err(RunError::Ranks)?;
+                // A relaxed counter's equal counts carry no order
+                // information, so the verified linearization charges the
+                // *worst* tie order consistent with the claimed ranks:
+                // latest issuer first (exact protocols have no such
+                // freedom — their outputs are total). Deterministic, and
+                // a pure function of the report, so executor-independent.
+                let issue: std::collections::HashMap<NodeId, u64> =
+                    report.issues.iter().map(|i| (i.node, i.round)).collect();
+                let value: std::collections::HashMap<NodeId, u64> = pairs.into_iter().collect();
+                let mut order = order;
+                order.sort_by_key(|&v| {
+                    (value[&v], std::cmp::Reverse(issue.get(&v).copied().unwrap_or(0)))
+                });
+                Ok(order)
+            }
         }
     }
 
@@ -402,6 +427,10 @@ pub struct ToggleTree {
     /// Explicit leaf count (power of two), or `None` for the rule.
     pub leaves: Option<usize>,
 }
+
+/// Coordination-free CRDT counter on the counting tree (relaxed ranks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrdtCounter;
 
 impl ProtocolSpec for Arrow {
     fn name(&self) -> &'static str {
@@ -577,10 +606,27 @@ impl ProtocolSpec for ToggleTree {
     }
 }
 
+impl ProtocolSpec for CrdtCounter {
+    fn name(&self) -> &'static str {
+        "crdt-counter"
+    }
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Relaxed
+    }
+    fn execute(&self, s: &Scenario, cfg: SimConfig) -> Result<SimReport, SimError> {
+        run_arrival_aware_sliced(s, cfg, |d| {
+            CrdtCounterProtocol::new(&s.counting_tree, &s.requests).deferred(d)
+        })
+    }
+    fn clone_spec(&self) -> Box<dyn ProtocolSpec> {
+        Box::new(*self)
+    }
+}
+
 /// Every protocol, queuing first, in presentation order. Width-parameterized
 /// entries use the [`default_width`] rule.
 pub fn registry() -> &'static [&'static dyn ProtocolSpec] {
-    static REGISTRY: [&dyn ProtocolSpec; 9] = [
+    static REGISTRY: [&dyn ProtocolSpec; 10] = [
         &Arrow,
         &ArrowNotify,
         &CentralQueue,
@@ -590,6 +636,7 @@ pub fn registry() -> &'static [&'static dyn ProtocolSpec] {
         &CountingNetwork { width: None },
         &PeriodicNetwork { width: None },
         &ToggleTree { leaves: None },
+        &CrdtCounter,
     ];
     &REGISTRY
 }
@@ -628,6 +675,12 @@ mod tests {
     fn kinds_partition_the_registry() {
         assert_eq!(registry_of(ProtocolKind::Queuing).count(), 4);
         assert_eq!(registry_of(ProtocolKind::Counting).count(), 5);
+        assert_eq!(registry_of(ProtocolKind::Relaxed).count(), 1);
+        let total: usize = [ProtocolKind::Queuing, ProtocolKind::Counting, ProtocolKind::Relaxed]
+            .iter()
+            .map(|&k| registry_of(k).count())
+            .sum();
+        assert_eq!(total, registry().len());
     }
 
     #[test]

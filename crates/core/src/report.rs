@@ -1,6 +1,7 @@
 //! Flattened per-run summaries and latency percentiles (the
 //! queuing-vs-counting comparison lives in [`crate::plan::GroupSummary`]).
 
+use ccq_graph::NodeId;
 use ccq_sim::{FaultEvent, FaultKind, SimReport};
 use serde::Serialize;
 
@@ -47,11 +48,31 @@ pub struct DelayReport {
     /// Useful work per round: throughput discounted by the shed fraction
     /// of the offered load (equals `throughput` when nothing was shed).
     pub goodput: f64,
+    /// Largest QQC rank displacement (0 without a verified output order).
+    pub qqc_max: u64,
+    /// Mean QQC rank displacement.
+    pub qqc_mean: f64,
+    /// Median QQC rank displacement.
+    pub qqc_p50: u64,
+    /// 95th-percentile QQC rank displacement.
+    pub qqc_p95: u64,
+    /// 99th-percentile QQC rank displacement.
+    pub qqc_p99: u64,
 }
 
 impl DelayReport {
-    /// Extract from a simulator report.
+    /// Extract from a simulator report with no verified output order in
+    /// hand: every QQC lateness field reads 0 (an empty displacement
+    /// sample), all other metrics exactly as
+    /// [`DelayReport::from_sim_with_order`].
     pub fn from_sim(alg: impl Into<String>, rep: &SimReport) -> Self {
+        Self::from_sim_with_order(alg, rep, &[])
+    }
+
+    /// Extract from a simulator report plus the verified output order the
+    /// protocol's contract produced (queue order, rank order, or relaxed
+    /// rank order), from which the QQC lateness distribution is derived.
+    pub fn from_sim_with_order(alg: impl Into<String>, rep: &SimReport, order: &[NodeId]) -> Self {
         // Materialize and sort the latency distribution once; the three
         // percentiles are then plain nearest-rank index lookups.
         let mut lat = rep.latencies();
@@ -63,6 +84,7 @@ impl DelayReport {
                 lat[((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1]
             }
         };
+        let qqc = rep.qqc_lateness(order);
         DelayReport {
             alg: alg.into(),
             ops: rep.ops(),
@@ -83,6 +105,11 @@ impl DelayReport {
             dropped: rep.dropped.len() as u64,
             delayed_admissions: rep.delayed_admissions,
             goodput: rep.goodput(),
+            qqc_max: qqc.max,
+            qqc_mean: qqc.mean,
+            qqc_p50: qqc.p50,
+            qqc_p95: qqc.p95,
+            qqc_p99: qqc.p99,
         }
     }
 }
@@ -108,16 +135,33 @@ pub struct ClassMetrics {
     pub latency_p95: u64,
     /// 99th-percentile scaled completion latency within the class.
     pub latency_p99: u64,
+    /// Largest QQC rank displacement within the class (0 without a
+    /// verified output order — displacement is measured inside the class
+    /// subsequence, so cross-class reordering is never charged here).
+    pub qqc_max: u64,
+    /// Mean QQC rank displacement within the class.
+    pub qqc_mean: f64,
+    /// Median QQC rank displacement within the class.
+    pub qqc_p50: u64,
 }
 
 impl ClassMetrics {
     /// One entry per distinct class in the report's class map, ascending
-    /// (empty when no class map was attached).
+    /// (empty when no class map was attached). QQC fields read 0 — use
+    /// [`ClassMetrics::from_sim_with_order`] when the verified output
+    /// order is in hand.
     pub fn from_sim(rep: &SimReport) -> Vec<ClassMetrics> {
+        Self::from_sim_with_order(rep, &[])
+    }
+
+    /// [`ClassMetrics::from_sim`] plus per-class QQC lateness derived from
+    /// the verified output order.
+    pub fn from_sim_with_order(rep: &SimReport, order: &[NodeId]) -> Vec<ClassMetrics> {
         rep.classes()
             .into_iter()
             .map(|class| {
                 let (issued, completed, dropped) = rep.class_counts(class);
+                let qqc = rep.class_qqc_lateness(class, order);
                 ClassMetrics {
                     class,
                     issued,
@@ -126,6 +170,9 @@ impl ClassMetrics {
                     latency_p50: rep.class_latency_percentile(class, 0.50),
                     latency_p95: rep.class_latency_percentile(class, 0.95),
                     latency_p99: rep.class_latency_percentile(class, 0.99),
+                    qqc_max: qqc.max,
+                    qqc_mean: qqc.mean,
+                    qqc_p50: qqc.p50,
                 }
             })
             .collect()

@@ -18,17 +18,23 @@
 //!   embedded onto the processors, tokens acquiring ranks at output wires;
 //! * [`toggle`] — the toggle-tree counter (diffracting-tree skeleton): an
 //!   exact distributed sequencer with a measured root bottleneck;
+//! * [`crdt`] — the coordination-free CRDT counter: increments complete
+//!   instantly with locally-merged (*relaxed*, duplicable) ranks and
+//!   gossip outward — the zero-cost / maximal-consistency-debt baseline
+//!   the exact protocols are measured against;
 //! * [`ranks`] — verification that an execution handed out exactly
-//!   `{1, …, |R|}`.
+//!   `{1, …, |R|}` (or, relaxed, ranks within `1..=|R|`).
 
 pub mod central;
 pub mod combining;
+pub mod crdt;
 pub mod network;
 pub mod ranks;
 pub mod toggle;
 
 pub use central::CentralCounterProtocol;
 pub use combining::CombiningTreeProtocol;
+pub use crdt::CrdtCounterProtocol;
 pub use network::{BalancingNetwork, BitonicNetwork, CountingNetworkProtocol};
-pub use ranks::{verify_ranks, RankError};
+pub use ranks::{verify_ranks, verify_relaxed_ranks, RankError};
 pub use toggle::ToggleTreeProtocol;

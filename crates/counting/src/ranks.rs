@@ -77,6 +77,50 @@ pub fn verify_ranks(
     Ok((1..=k).map(|r| owner[&r]).collect())
 }
 
+/// Verify *relaxed* counting output: every requester still completes
+/// exactly once with a rank in `1..=|R|`, but duplicate ranks are legal —
+/// a coordination-free counter hands out whatever its local merge has
+/// heard, so distinct requesters may observe the same count.
+///
+/// On success returns the requesters sorted by `(rank, node id)` — the
+/// deterministic relaxed analogue of rank order, with node id breaking
+/// the ties a strict counter could never produce. This order is what QQC
+/// lateness charges the relaxation against.
+pub fn verify_relaxed_ranks(
+    requests: &[NodeId],
+    ranks: &[(NodeId, u64)],
+) -> Result<Vec<NodeId>, RankError> {
+    use std::collections::{HashMap, HashSet};
+    let req_set: HashSet<NodeId> = requests.iter().copied().collect();
+    let k = requests.len() as u64;
+
+    let mut by_node: HashMap<NodeId, u64> = HashMap::with_capacity(ranks.len());
+    let mut unexpected = Vec::new();
+    for &(node, r) in ranks {
+        if !req_set.contains(&node) {
+            unexpected.push(node);
+            continue;
+        }
+        if by_node.insert(node, r).is_some() {
+            return Err(RankError::DuplicateCompletion { node });
+        }
+    }
+    let missing: Vec<NodeId> =
+        requests.iter().copied().filter(|v| !by_node.contains_key(v)).collect();
+    if !missing.is_empty() || !unexpected.is_empty() {
+        return Err(RankError::WrongParticipants { missing, unexpected });
+    }
+
+    for (&node, &r) in &by_node {
+        if r < 1 || r > k {
+            return Err(RankError::RankOutOfRange { node, rank: r, expected_max: k });
+        }
+    }
+    let mut order: Vec<NodeId> = by_node.keys().copied().collect();
+    order.sort_unstable_by_key(|&v| (by_node[&v], v));
+    Ok(order)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +171,28 @@ mod tests {
     fn non_requester_rejected() {
         let err = verify_ranks(&[1], &[(1, 1), (4, 2)]).unwrap_err();
         assert!(matches!(err, RankError::WrongParticipants { .. }));
+    }
+
+    #[test]
+    fn relaxed_accepts_duplicates_sorted_by_rank_then_node() {
+        // A strict verifier rejects this; the relaxed one orders by
+        // (rank, node id).
+        let order = verify_relaxed_ranks(&[3, 5, 9], &[(9, 1), (3, 1), (5, 2)]).unwrap();
+        assert_eq!(order, vec![3, 9, 5]);
+        assert!(verify_relaxed_ranks(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn relaxed_still_rejects_structural_errors() {
+        let err = verify_relaxed_ranks(&[1, 2], &[(1, 1)]).unwrap_err();
+        assert!(matches!(err, RankError::WrongParticipants { .. }));
+        let err = verify_relaxed_ranks(&[1, 2], &[(1, 1), (1, 2), (2, 2)]).unwrap_err();
+        assert_eq!(err, RankError::DuplicateCompletion { node: 1 });
+        let err = verify_relaxed_ranks(&[1], &[(1, 1), (4, 1)]).unwrap_err();
+        assert!(matches!(err, RankError::WrongParticipants { .. }));
+        let err = verify_relaxed_ranks(&[1, 2], &[(1, 0), (2, 1)]).unwrap_err();
+        assert!(matches!(err, RankError::RankOutOfRange { .. }));
+        let err = verify_relaxed_ranks(&[1, 2], &[(1, 3), (2, 1)]).unwrap_err();
+        assert!(matches!(err, RankError::RankOutOfRange { .. }));
     }
 }

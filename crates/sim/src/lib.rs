@@ -65,8 +65,8 @@ pub use engine::{SimError, Simulator};
 pub use probe::{fnv1a, Checkpoint, NodeDigest, Phase, PhaseTimings, ProbeSpec};
 pub use protocol::{dispatch_sliced, with_slice, NodeSliced, Protocol, SimApi, SliceApi};
 pub use report::{
-    Completion, CrashFault, Dropped, FaultEvent, FaultKind, FaultPlan, Issue, LinkDelay, SimConfig,
-    SimReport, MAX_FAULTS,
+    Completion, CrashFault, Dropped, FaultEvent, FaultKind, FaultPlan, Issue, Lateness, LinkDelay,
+    SimConfig, SimReport, MAX_FAULTS,
 };
 pub use ring::EventRing;
 pub use shard::{run_protocol_sharded, run_protocol_sharded_sliced, ShardedSimulator};

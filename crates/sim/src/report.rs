@@ -794,6 +794,53 @@ impl SimReport {
         self.latency_percentile(q)
     }
 
+    /// Per-completion QQC rank displacements of a verified output order
+    /// against the canonical linearization of issue order. The canonical
+    /// order of each priority class is that class's output subsequence
+    /// stably sorted by issue round (ties — including the whole one-shot
+    /// case, where every issue is round 0 — displace nothing), and
+    /// displacements are measured *within* the class subsequence, so
+    /// relaxed-priority reordering across classes is not charged as
+    /// consistency debt. Computed purely from the trace events every
+    /// executor records identically, so the values are byte-identical
+    /// across monolith / sharded / sliced / wavefront / dense-scan paths.
+    /// Total on degenerate inputs: an empty `output_order` (all-shed or
+    /// zero-completion runs) yields an empty sample, and issue rounds are
+    /// only compared, never subtracted, so `Round::MAX` cannot overflow.
+    pub fn qqc_displacements(&self, output_order: &[NodeId]) -> Vec<u64> {
+        let issue: std::collections::HashMap<NodeId, Round> =
+            self.issues.iter().map(|i| (i.node, i.round)).collect();
+        let round_of = |v: NodeId| issue.get(&v).copied().unwrap_or(0);
+        let mut classes: Vec<u8> = output_order.iter().map(|&v| self.class_of(v)).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let mut out = Vec::with_capacity(output_order.len());
+        for class in classes {
+            let sub: Vec<NodeId> =
+                output_order.iter().copied().filter(|&v| self.class_of(v) == class).collect();
+            out.extend(displacements_of(&sub, round_of));
+        }
+        out
+    }
+
+    /// Aggregate [`SimReport::qqc_displacements`] into a [`Lateness`]
+    /// distribution — all zeros for an empty output order.
+    pub fn qqc_lateness(&self, output_order: &[NodeId]) -> Lateness {
+        Lateness::of(self.qqc_displacements(output_order))
+    }
+
+    /// [`SimReport::qqc_lateness`] restricted to the completions of one
+    /// priority class — all zeros for a class nothing completed in, with
+    /// the same total-read guarantees as every other per-class metric.
+    pub fn class_qqc_lateness(&self, class: u8, output_order: &[NodeId]) -> Lateness {
+        let issue: std::collections::HashMap<NodeId, Round> =
+            self.issues.iter().map(|i| (i.node, i.round)).collect();
+        let round_of = |v: NodeId| issue.get(&v).copied().unwrap_or(0);
+        let sub: Vec<NodeId> =
+            output_order.iter().copied().filter(|&v| self.class_of(v) == class).collect();
+        Lateness::of(displacements_of(&sub, round_of))
+    }
+
     /// Derive [`SimReport::fault_events`] from the run's fault plan and
     /// final round count — called once by every executor after its round
     /// loop, so the section is executor-independent by construction.
@@ -802,6 +849,60 @@ impl SimReport {
             self.fault_events = faults.events_until(self.rounds);
         }
     }
+}
+
+/// One run's quantitative-quiescent-consistency lateness distribution:
+/// aggregates of the per-completion rank displacements computed by
+/// [`SimReport::qqc_displacements`] (Jagadeesan–Riely's *lateness* — how
+/// far each output position drifts from a canonical linearization of
+/// issue order). Every field is total on degenerate inputs: an empty
+/// displacement set (all-shed and zero-completion runs) reads as all
+/// zeros, never a panic or a NaN.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Lateness {
+    /// Largest single displacement.
+    pub max: u64,
+    /// Mean displacement (0.0 for an empty sample).
+    pub mean: f64,
+    /// Median displacement (nearest rank).
+    pub p50: u64,
+    /// 95th-percentile displacement.
+    pub p95: u64,
+    /// 99th-percentile displacement.
+    pub p99: u64,
+}
+
+impl Lateness {
+    /// Aggregate a displacement sample; all zeros when it is empty.
+    pub fn of(displacements: Vec<u64>) -> Self {
+        if displacements.is_empty() {
+            return Self::default();
+        }
+        let max = displacements.iter().copied().max().unwrap_or(0);
+        let mean = displacements.iter().sum::<u64>() as f64 / displacements.len() as f64;
+        Lateness {
+            max,
+            mean,
+            p50: percentile_of(displacements.clone(), 0.50),
+            p95: percentile_of(displacements.clone(), 0.95),
+            p99: percentile_of(displacements, 0.99),
+        }
+    }
+}
+
+/// Rank displacements of one output subsequence against its canonical
+/// linearization: the same nodes *stably* sorted by issue round. The
+/// stable sort keeps same-round nodes in their output order, so ties
+/// displace nothing — a one-shot run (every issue at round 0) reads as
+/// displacement 0 at every position, for every protocol.
+fn displacements_of(sub: &[NodeId], round_of: impl Fn(NodeId) -> Round) -> Vec<u64> {
+    let mut canon: Vec<usize> = (0..sub.len()).collect();
+    canon.sort_by_key(|&i| round_of(sub[i]));
+    let mut canon_pos = vec![0usize; sub.len()];
+    for (rank, &i) in canon.iter().enumerate() {
+        canon_pos[i] = rank;
+    }
+    canon_pos.iter().enumerate().map(|(i, &c)| (i as i64 - c as i64).unsigned_abs()).collect()
 }
 
 /// Nearest-rank percentile of an unsorted latency sample: NaN quantiles
@@ -917,6 +1018,91 @@ mod tests {
         assert_eq!(shed.throughput(), 0.0);
         assert_eq!(shed.goodput(), 0.0);
         assert!(shed.goodput() <= shed.throughput());
+    }
+
+    #[test]
+    fn qqc_lateness_survives_degenerate_runs() {
+        // Empty output order (all-shed / zero-completion): all zeros.
+        let empty = SimReport { delay_scale: 1, ..Default::default() };
+        assert_eq!(empty.qqc_displacements(&[]), Vec::<u64>::new());
+        assert_eq!(empty.qqc_lateness(&[]), Lateness::default());
+        assert_eq!(empty.class_qqc_lateness(0, &[]), Lateness::default());
+        assert_eq!(empty.class_qqc_lateness(200, &[]), Lateness::default());
+
+        // A single completion displaces nothing, whatever its issue round.
+        let one = SimReport {
+            delay_scale: 1,
+            issues: vec![Issue { node: 3, round: 7 }],
+            completions: vec![Completion { node: 3, value: 1, round: 9 }],
+            ..Default::default()
+        };
+        assert_eq!(one.qqc_displacements(&[3]), vec![0]);
+        assert_eq!(one.qqc_lateness(&[3]), Lateness::of(vec![0]));
+
+        // Issue rounds at the ceiling are compared, never subtracted —
+        // `Round::MAX` cannot overflow a displacement.
+        let ceiling = SimReport {
+            delay_scale: 1,
+            issues: vec![Issue { node: 0, round: Round::MAX }, Issue { node: 1, round: 0 }],
+            completions: vec![
+                Completion { node: 0, value: 1, round: Round::MAX },
+                Completion { node: 1, value: 2, round: Round::MAX },
+            ],
+            rounds: Round::MAX,
+            ..Default::default()
+        };
+        // Output [0, 1] vs canonical [1, 0]: both positions displace by 1.
+        assert_eq!(ceiling.qqc_displacements(&[0, 1]), vec![1, 1]);
+        let l = ceiling.qqc_lateness(&[0, 1]);
+        assert_eq!((l.max, l.p50, l.p99), (1, 1, 1));
+        assert_eq!(l.mean, 1.0);
+    }
+
+    #[test]
+    fn qqc_lateness_ranks_against_issue_order_per_class() {
+        // One-shot convention: no issue events means every node reads as
+        // issue round 0, the stable sort preserves the output order, and
+        // lateness is exactly 0 at every position.
+        let oneshot = SimReport { delay_scale: 1, ..Default::default() };
+        assert_eq!(oneshot.qqc_displacements(&[4, 2, 0, 3, 1]), vec![0; 5]);
+        assert_eq!(oneshot.qqc_lateness(&[4, 2, 0, 3, 1]), Lateness::default());
+
+        // Staggered issues, reversed output: maximal displacement at the
+        // ends, zero in the middle.
+        let rep = SimReport {
+            delay_scale: 1,
+            issues: (0..5).map(|n| Issue { node: n, round: n as Round }).collect(),
+            completions: (0..5)
+                .map(|n| Completion { node: n, value: n as u64 + 1, round: 10 })
+                .collect(),
+            ..Default::default()
+        };
+        assert_eq!(rep.qqc_displacements(&[4, 3, 2, 1, 0]), vec![4, 2, 0, 2, 4]);
+        let l = rep.qqc_lateness(&[4, 3, 2, 1, 0]);
+        assert_eq!((l.max, l.p50, l.p95, l.p99), (4, 2, 4, 4));
+        assert_eq!(l.mean, 2.4);
+
+        // With a class map, displacement is measured within each class
+        // subsequence — cross-class reordering is not consistency debt.
+        let classed = SimReport {
+            delay_scale: 1,
+            node_class: vec![0, 1, 0, 1],
+            issues: (0..4).map(|n| Issue { node: n, round: n as Round }).collect(),
+            completions: (0..4)
+                .map(|n| Completion { node: n, value: n as u64 + 1, round: 10 })
+                .collect(),
+            ..Default::default()
+        };
+        // Output interleaves the classes out of global issue order, but
+        // each class subsequence ([0, 2] and [1, 3]) is in issue order.
+        assert_eq!(classed.qqc_displacements(&[1, 0, 3, 2]), vec![0; 4]);
+        // Reversing one class charges only that class.
+        assert_eq!(classed.qqc_displacements(&[3, 0, 1, 2]), vec![0, 0, 1, 1]);
+        assert_eq!(classed.class_qqc_lateness(0, &[3, 0, 1, 2]), Lateness::default());
+        let c1 = classed.class_qqc_lateness(1, &[3, 0, 1, 2]);
+        assert_eq!((c1.max, c1.p50), (1, 1));
+        // A class with no completions reads as all zeros.
+        assert_eq!(classed.class_qqc_lateness(9, &[3, 0, 1, 2]), Lateness::default());
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() {
     for proto in registry() {
         let mode = match proto.kind() {
             ProtocolKind::Queuing => ModelMode::Expanded,
-            ProtocolKind::Counting => ModelMode::Strict,
+            ProtocolKind::Counting | ProtocolKind::Relaxed => ModelMode::Strict,
         };
         let out = run_spec(*proto, &s, mode).expect("registry protocol verifies");
         table.push_row(vec![

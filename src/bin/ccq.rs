@@ -13,7 +13,7 @@
 //!           [--shards <plans>] [--parallel-apply]
 //!           [--dense-scan] [--wavefront[:lag=d]] [--serial-transmit]
 //!           [--timing] [--checkpoint-every N] [--node-hashes]
-//!           [--perturb R:V]
+//!           [--perturb R:V] [--qqc <fields>]
 //!           [--repeats N] [--seed S] [--json -|PATH] [--pretty]
 //!     Build a RunPlan, execute it, and print tables — or JSON with
 //!     `--json` (`-` writes JSON to stdout and nothing else). Without
@@ -41,7 +41,8 @@
 //! Topologies:  name[:param[:param...]] — e.g. mesh2d:8, complete:256,
 //!              tree:2:5, random-regular:64:4:7. Bare names use defaults.
 //! Protocols:   registry names (ccq list), width overrides like
-//!              counting-network:8, and the groups all|queuing|counting.
+//!              counting-network:8, and the groups
+//!              all|queuing|counting|relaxed.
 //! Modes:       paper (default: queuing expanded, counting strict) or a
 //!              list from strict,expanded.
 //! Patterns:    all | random:<density>[:seed] | tail:<count>
@@ -96,6 +97,12 @@
 //!              digests to each checkpointed barrier; `--perturb R:V`
 //!              plants a transmit-skip at round R on node V (the bisect
 //!              test fault).
+//! QQC:         `--qqc <fields>` prints a consistency table after the
+//!              sweep: per-case QQC lateness (rank displacement of the
+//!              verified output order against the canonical linearization
+//!              of issue order), one column per requested field from
+//!              max, mean, p50, p95, p99. The JSON always carries all
+//!              five `qqc_*` fields per case, flag or no flag.
 //! ```
 
 use ccq_repro::core::experiments::{self, Scale};
@@ -140,7 +147,7 @@ usage:
             [--shards <k[:strategy][:ferry=D]>]
             [--parallel-apply] [--dense-scan] [--wavefront[:lag=d]]
             [--serial-transmit] [--timing] [--checkpoint-every N]
-            [--node-hashes] [--perturb R:V]
+            [--node-hashes] [--perturb R:V] [--qqc max,mean,p50,p95,p99]
             [--repeats N] [--seed S] [--json -|PATH] [--pretty]
   ccq record [sweep flags] --rec PATH [--json -|PATH]
                                     run a sweep, save a .ccqrec recording
@@ -154,6 +161,7 @@ examples:
   ccq sweep --topo mesh2d --proto arrow,central-counter --json -
   ccq sweep --topo complete:256,hypercube:8 --proto queuing --repeats 3
   ccq sweep --arrival poisson:rate=0.2 --delay jitter:max=3 --json -
+  ccq sweep --topo mesh2d:5 --arrival poisson:rate=0.85 --qqc mean,max,p99
   ccq sweep --arrival poisson:rate=0.8 --admission droptail:bound=16 --json -
   ccq sweep --arrival poisson:rate=0.6 --priority split:frac=0.25 \\
             --admission pernode:bound=8:protect=1 --json -
@@ -181,7 +189,7 @@ fn cmd_list() -> i32 {
         };
         println!("  {:<17} {}{}", p.name(), p.kind().label(), width);
     }
-    println!("\nprotocol groups: all, queuing, counting");
+    println!("\nprotocol groups: all, queuing, counting, relaxed");
     println!("\ntopologies (ccq sweep --topo <name[:params]>):");
     for (syntax, desc) in TOPOLOGIES {
         println!("  {syntax:<38} {desc}");
@@ -232,6 +240,11 @@ fn cmd_list() -> i32 {
          of the block-claim parallel transmit; JSON byte-identical either way"
     );
     println!("probes (ccq sweep): --timing | --checkpoint-every N | --node-hashes | --perturb R:V");
+    println!(
+        "consistency (ccq sweep --qqc max,mean,p50,p95,p99): print per-case QQC lateness \
+         (rank displacement vs the issue-order linearization) for the chosen fields; \
+         the JSON always carries every qqc_* field"
+    );
     println!("record/replay: ccq record … --rec PATH, ccq replay PATH, ccq bisect <cfgA> <cfgB> …");
     0
 }
@@ -308,10 +321,54 @@ struct SweepArgs {
     checkpoint_every: Option<u64>,
     node_hashes: bool,
     perturb: Option<(u64, usize)>,
+    qqc: Option<Vec<String>>,
     repeats: usize,
     seed: u64,
     json: Option<String>,
     pretty: bool,
+}
+
+/// The QQC lateness statistics `--qqc` can select, in display order.
+const QQC_FIELDS: [&str; 5] = ["max", "mean", "p50", "p95", "p99"];
+
+/// The per-case QQC lateness table `--qqc` requests: one row per case,
+/// one column per selected statistic.
+fn qqc_table(set: &RunSet, fields: &[String]) -> Table {
+    use ccq_repro::core::table::fmt_util::{f2, int, tick};
+    let mut headers: Vec<&str> = vec!["topology", "protocol", "kind", "arrival", "ok"];
+    for f in fields {
+        headers.push(match f.as_str() {
+            "max" => "qqc_max",
+            "mean" => "qqc_mean",
+            "p50" => "qqc_p50",
+            "p95" => "qqc_p95",
+            _ => "qqc_p99",
+        });
+    }
+    let mut t =
+        Table::new("QQC lateness (rank displacement vs issue-order linearization)", &headers);
+    for c in &set.cases {
+        let mut row = vec![
+            c.topology.clone(),
+            c.protocol.clone(),
+            c.kind.label().into(),
+            c.arrival.clone(),
+            tick(c.ok),
+        ];
+        for f in fields {
+            row.push(match f.as_str() {
+                "max" => int(c.qqc_max),
+                "mean" => f2(c.qqc_mean),
+                "p50" => int(c.qqc_p50),
+                "p95" => int(c.qqc_p95),
+                _ => int(c.qqc_p99),
+            });
+        }
+        t.push_row(row);
+    }
+    t.note("lateness compares the verified output order to the canonical linearization of");
+    t.note("issue order (stable by issue round), per class when a priority split is active");
+    t
 }
 
 /// Turn parsed sweep arguments into the executable plan — the single
@@ -383,10 +440,16 @@ fn cmd_sweep(args: &[String]) -> i32 {
             eprintln!("wrote {path}");
             println!("{}", set.case_table());
             println!("{}", set.summary_table());
+            if let Some(fields) = &parsed.qqc {
+                println!("{}", qqc_table(&set, fields));
+            }
         }
         None => {
             println!("{}", set.case_table());
             println!("{}", set.summary_table());
+            if let Some(fields) = &parsed.qqc {
+                println!("{}", qqc_table(&set, fields));
+            }
         }
     }
     if failed > 0 {
@@ -573,6 +636,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
         checkpoint_every: None,
         node_hashes: false,
         perturb: None,
+        qqc: None,
         repeats: 1,
         seed: 0,
         json: None,
@@ -660,6 +724,22 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
                 out.checkpoint_every = Some(every);
             }
             "--node-hashes" => out.node_hashes = true,
+            "--qqc" => {
+                let mut fields = Vec::new();
+                for tok in value("--qqc")?.split(',') {
+                    if !QQC_FIELDS.contains(&tok) {
+                        return Err(format!(
+                            "unknown qqc field `{tok}` (expected one of: {})",
+                            QQC_FIELDS.join(", ")
+                        ));
+                    }
+                    if fields.iter().any(|f| f == tok) {
+                        return Err(format!("qqc field `{tok}` given twice"));
+                    }
+                    fields.push(tok.to_string());
+                }
+                out.qqc = Some(fields);
+            }
             "--perturb" => {
                 let v = value("--perturb")?;
                 let (r, n) = v
@@ -1089,6 +1169,10 @@ fn parse_proto(token: &str, into: &mut Vec<Box<dyn ProtocolSpec>>) -> Result<(),
         }
         "counting" => {
             into.extend(protocol::registry_of(ProtocolKind::Counting).map(|p| p.clone_spec()));
+            return Ok(());
+        }
+        "relaxed" => {
+            into.extend(protocol::registry_of(ProtocolKind::Relaxed).map(|p| p.clone_spec()));
             return Ok(());
         }
         _ => {}

@@ -51,10 +51,24 @@ fn list_names_every_registry_protocol() {
     let out = ccq(&["list"]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for name in
-        ["arrow", "central-counter", "counting-network", "toggle-tree", "t4", "t13", "droptail"]
-    {
+    for name in [
+        "arrow",
+        "central-counter",
+        "counting-network",
+        "toggle-tree",
+        "crdt-counter",
+        "relaxed",
+        "t4",
+        "t13",
+        "t14",
+        "droptail",
+    ] {
         assert!(stdout.contains(name), "missing {name} in ccq list");
+    }
+    // Exactly the ten registry protocols are listed (one bullet each).
+    assert_eq!(ccq_repro::core::protocol::registry().len(), 10);
+    for spec in ccq_repro::core::protocol::registry() {
+        assert!(stdout.contains(spec.name()), "missing {} in ccq list", spec.name());
     }
 }
 
@@ -74,14 +88,14 @@ fn open_system_sweep_reports_latency_percentiles() {
         ccq(&["sweep", "--arrival", "poisson:rate=0.2", "--delay", "jitter:max=3", "--json", "-"]);
     let doc = json_stdout(&out);
     let cs = cases(&doc);
-    // All 9 registry protocols on the 2 default topologies.
-    assert_eq!(cs.len(), 18);
+    // All 10 registry protocols on the 2 default topologies.
+    assert_eq!(cs.len(), 20);
     let topologies: std::collections::BTreeSet<&str> =
         cs.iter().map(|c| case_str(c, "topology")).collect();
     assert!(topologies.len() >= 2, "expected ≥ 2 topologies, got {topologies:?}");
     let protocols: std::collections::BTreeSet<&str> =
         cs.iter().map(|c| case_str(c, "protocol")).collect();
-    assert_eq!(protocols.len(), 9, "expected all registry protocols, got {protocols:?}");
+    assert_eq!(protocols.len(), 10, "expected all registry protocols, got {protocols:?}");
     assert_all_ok(&doc);
     for case in cs {
         assert!(case_str(case, "arrival").starts_with("poisson"));
@@ -93,13 +107,18 @@ fn open_system_sweep_reports_latency_percentiles() {
             case_u64(case, "latency_p99"),
         );
         assert!(p50 <= p95 && p95 <= p99, "unordered percentiles: {case:?}");
-        assert!(case_u64(case, "backlog") > 0);
+        if case_str(case, "protocol") == "crdt-counter" {
+            // Coordination-free completion: nothing ever queues.
+            assert_eq!(case_u64(case, "backlog"), 0);
+        } else {
+            assert!(case_u64(case, "backlog") > 0);
+        }
     }
 }
 
 #[test]
 fn backpressure_acceptance_sweep_reports_goodput_and_drops() {
-    // The PR-4 acceptance command: all 9 protocols × default topologies
+    // The PR-4 acceptance command: all 10 protocols × default topologies
     // under the AIMD throttle — ordered percentiles, goodput ≤ throughput,
     // and (a delaying policy) zero drops.
     let out = ccq(&[
@@ -113,11 +132,11 @@ fn backpressure_acceptance_sweep_reports_goodput_and_drops() {
     ]);
     let doc = json_stdout(&out);
     let cs = cases(&doc);
-    assert_eq!(cs.len(), 18, "9 protocols × 2 default topologies");
+    assert_eq!(cs.len(), 20, "10 protocols × 2 default topologies");
     assert_all_ok(&doc);
     let protocols: std::collections::BTreeSet<&str> =
         cs.iter().map(|c| case_str(c, "protocol")).collect();
-    assert_eq!(protocols.len(), 9);
+    assert_eq!(protocols.len(), 10);
     for case in cs {
         assert_eq!(case_str(case, "admission"), "adaptive(target=32,gain=1)");
         let (p50, p95, p99) = (
@@ -172,10 +191,18 @@ fn droptail_sweep_sheds_and_reports_drop_counters() {
     assert_all_ok(&doc);
     for case in cases(&doc) {
         assert_eq!(case_str(case, "admission"), "droptail(bound=8)");
-        assert!(case_u64(case, "dropped") > 0, "high load over bound 8 must shed: {case:?}");
         assert!(case_u64(case, "backlog") <= 8, "backlog above the drop bound: {case:?}");
         let thr = case.get("throughput").and_then(|v| v.as_f64()).unwrap();
         let goodput = case.get("goodput").and_then(|v| v.as_f64()).unwrap();
+        if case_str(case, "protocol") == "crdt-counter" {
+            // Instant completion keeps the backlog at zero, so the bound
+            // never triggers: the relaxed counter sheds nothing even at
+            // high load.
+            assert_eq!(case_u64(case, "dropped"), 0, "crdt-counter shed: {case:?}");
+            assert!((goodput - thr).abs() < 1e-12, "crdt goodput gap: {case:?}");
+            continue;
+        }
+        assert!(case_u64(case, "dropped") > 0, "high load over bound 8 must shed: {case:?}");
         assert!(goodput < thr, "shedding must open a goodput gap: {case:?}");
     }
 }
@@ -264,7 +291,7 @@ fn shards_four_completes_every_protocol_with_cross_shard_counts() {
     let out = ccq(&["sweep", "--topo", "torus2d:6", "--shards", "4", "--json", "-"]);
     let doc = json_stdout(&out);
     let cs = cases(&doc);
-    assert_eq!(cs.len(), 9, "all registry protocols");
+    assert_eq!(cs.len(), 10, "all registry protocols");
     assert_all_ok(&doc);
     for case in cs {
         assert_eq!(case_str(case, "shards"), "4");
@@ -311,9 +338,9 @@ fn parallel_apply_is_byte_identical_to_the_serialized_sweep() {
     let sliced = ccq(&["sweep", "--shards", "4", "--parallel-apply", "--json", "-"]);
     assert!(base.status.success() && sliced.status.success());
     assert_eq!(base.stdout, sliced.stdout, "--parallel-apply changed the JSON bytes");
-    // And every one of the 9 × 2 default cases verified on the sliced path.
+    // And every one of the 10 × 2 default cases verified on the sliced path.
     let doc = json_stdout(&sliced);
-    assert_eq!(cases(&doc).len(), 18);
+    assert_eq!(cases(&doc).len(), 20);
     assert_all_ok(&doc);
 }
 
@@ -392,7 +419,7 @@ fn wavefront_is_byte_identical_to_the_lockstep_sweep() {
     assert!(auto.status.success());
     assert_eq!(base.stdout, auto.stdout, "bare --wavefront changed the JSON bytes");
     let doc = json_stdout(&wave);
-    assert_eq!(cases(&doc).len(), 9, "all registry protocols");
+    assert_eq!(cases(&doc).len(), 10, "all registry protocols");
     assert_all_ok(&doc);
 }
 
@@ -732,6 +759,91 @@ fn malformed_priority_fault_and_pernode_specs_fail_loudly() {
         assert_eq!(out.status.code(), Some(2), "{args:?} should fail");
         let stderr = String::from_utf8_lossy(&out.stderr).to_string();
         assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
+    }
+}
+
+#[test]
+fn sweep_json_always_carries_qqc_fields_and_crdt_tops_the_queuing_family() {
+    // The consistency tentpole's CLI contract: the five qqc_* fields ride
+    // in every case's JSON with no flag required, they are internally
+    // ordered, and at a near-saturation rate the coordination-free
+    // crdt-counter owes at least as much lateness as every queuing
+    // protocol — the debt the paper's messages buy away.
+    let out =
+        ccq(&["sweep", "--topo", "mesh2d:5", "--arrival", "poisson:rate=0.85", "--json", "-"]);
+    let doc = json_stdout(&out);
+    let cs = cases(&doc);
+    assert_eq!(cs.len(), 10, "all registry protocols");
+    assert_all_ok(&doc);
+    let mut crdt_mean = None;
+    let mut queuing_means = Vec::new();
+    for case in cs {
+        let mean = case.get("qqc_mean").and_then(|v| v.as_f64()).expect("qqc_mean");
+        let (max, p50, p95, p99) = (
+            case_u64(case, "qqc_max"),
+            case_u64(case, "qqc_p50"),
+            case_u64(case, "qqc_p95"),
+            case_u64(case, "qqc_p99"),
+        );
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max, "unordered qqc stats: {case:?}");
+        assert!(0.0 <= mean && mean <= max as f64, "mean outside [0, max]: {case:?}");
+        match case_str(case, "kind") {
+            "Relaxed" => crdt_mean = Some(mean),
+            "Queuing" => queuing_means.push((case_str(case, "protocol").to_string(), mean)),
+            _ => {}
+        }
+    }
+    let crdt = crdt_mean.expect("a relaxed case");
+    assert!(crdt > 0.0, "crdt-counter owes no lateness under load");
+    for (name, mean) in queuing_means {
+        assert!(crdt >= mean, "crdt qqc_mean {crdt} below {name}'s {mean}");
+    }
+}
+
+#[test]
+fn qqc_flag_prints_the_selected_lateness_columns() {
+    let out = ccq(&[
+        "sweep",
+        "--topo",
+        "mesh2d:4",
+        "--proto",
+        "arrow,crdt-counter",
+        "--arrival",
+        "poisson:rate=0.6",
+        "--qqc",
+        "mean,max",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["QQC lateness", "qqc_mean", "qqc_max", "crdt-counter"] {
+        assert!(stdout.contains(needle), "missing {needle} in --qqc output");
+    }
+    assert!(!stdout.contains("qqc_p50"), "unselected column printed");
+}
+
+#[test]
+fn malformed_qqc_fields_fail_loudly() {
+    let checks = [
+        (vec!["sweep", "--qqc", "mean,median"], "unknown qqc field `median`"),
+        (vec!["sweep", "--qqc", "mean,median"], "max, mean, p50, p95, p99"),
+        (vec!["sweep", "--qqc", "mean,mean"], "qqc field `mean` given twice"),
+        (vec!["sweep", "--qqc", ""], "unknown qqc field"),
+    ];
+    for (args, needle) in checks {
+        let out = ccq(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(needle), "{args:?}: stderr `{stderr}` misses `{needle}`");
+    }
+}
+
+#[test]
+fn run_executes_the_consistency_experiment() {
+    let out = ccq(&["run", "--exp", "t14"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["cost-vs-consistency frontier", "qqc_mean", "crdt-counter", "one-shot strict"] {
+        assert!(stdout.contains(needle), "t14 output missing {needle}");
     }
 }
 

@@ -7,7 +7,7 @@ use ccq_repro::counting::{verify_ranks, CombiningTreeProtocol, CountingNetworkPr
 use ccq_repro::graph::{spanning, topology, NodeId, Tree, TreeRouter};
 use ccq_repro::prelude::*;
 use ccq_repro::queuing::{verify_total_order, ArrowProtocol};
-use ccq_repro::sim::{run_protocol, ArrivalProcess, Paced, Round, SimConfig};
+use ccq_repro::sim::{run_protocol, ArrivalProcess, Lateness, Paced, Round, SimConfig};
 use ccq_repro::tsp::{decompose_runs, nn_tour, steiner_edge_count};
 use proptest::prelude::*;
 
@@ -484,6 +484,117 @@ proptest! {
                 proto.name(), out.report.backlog_high_water, target, burst
             );
             prop_assert!(out.report.dropped.is_empty(), "adaptive never sheds");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// QQC lateness is zero-safe and internally ordered on every registry
+    /// protocol, load or no load: the percentiles nest (p50 ≤ p95 ≤ p99 ≤
+    /// max), the mean is bounded by the max, and degenerate queries — an
+    /// empty output order, a class nobody belongs to — report exactly zero
+    /// instead of panicking or dividing by zero.
+    #[test]
+    fn qqc_lateness_is_zero_safe_and_ordered(
+        proto_idx in 0usize..10,
+        seed in any::<u64>(),
+        rate in 0.1f64..1.0,
+    ) {
+        use ccq_repro::core::protocol::registry;
+        let proto = registry()[proto_idx];
+        let s = Scenario::build_with(
+            TopoSpec::Mesh2D { side: 4 },
+            RequestPattern::All,
+            ArrivalSpec::Poisson { rate, seed },
+        );
+        let out = run_spec_with(proto, &s, ModelMode::Strict, LinkDelay::Unit)
+            .unwrap_or_else(|e| panic!("{}: {e}", proto.name()));
+        let l = out.report.qqc_lateness(&out.order);
+        prop_assert!(
+            l.p50 <= l.p95 && l.p95 <= l.p99 && l.p99 <= l.max,
+            "{}: percentiles not nested: {l:?}", proto.name()
+        );
+        prop_assert!(l.mean >= 0.0 && l.mean <= l.max as f64, "{}: mean out of range: {l:?}", proto.name());
+        // Zero-safe degenerate queries.
+        prop_assert_eq!(out.report.qqc_lateness(&[]), Lateness::default());
+        prop_assert_eq!(out.report.class_qqc_lateness(u8::MAX, &out.order), Lateness::default());
+    }
+
+    /// The strict-mode queuing protocols serve the one-shot batch in a
+    /// single total order with every issue at round 0, so their QQC
+    /// lateness is exactly 0 under a Unit delay on any topology — the
+    /// linearizable end of the consistency frontier.
+    #[test]
+    fn strict_queuing_one_shot_lateness_is_exactly_zero(
+        topo_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use ccq_repro::core::protocol;
+        let topo = match topo_idx {
+            0 => TopoSpec::Mesh2D { side: 4 },
+            1 => TopoSpec::List { n: 12 },
+            _ => TopoSpec::RandomRegular { n: 12, d: 4, seed },
+        };
+        let s = Scenario::build_with(topo, RequestPattern::All, ArrivalSpec::OneShot);
+        for proto in protocol::registry_of(ProtocolKind::Queuing) {
+            let out = run_spec_with(proto, &s, ModelMode::Strict, LinkDelay::Unit)
+                .unwrap_or_else(|e| panic!("{}: {e}", proto.name()));
+            let l = out.report.qqc_lateness(&out.order);
+            prop_assert_eq!(l.max, 0, "{}: one-shot lateness nonzero: {:?}", proto.name(), l);
+            prop_assert_eq!(l.mean, 0.0, "{}: one-shot mean nonzero: {:?}", proto.name(), l);
+        }
+    }
+
+    /// QQC lateness is a pure function of the (byte-identical) trace, so it
+    /// cannot depend on the executor strategy: the serialized reference
+    /// path, the parallel apply path, the dense scan and the serial
+    /// transmit all report identical qqc_* fields for every protocol ×
+    /// arrival × delay.
+    #[test]
+    fn qqc_is_executor_independent(
+        proto_idx in 0usize..10,
+        seed in any::<u64>(),
+        rate in 0.1f64..1.0,
+        arrival_idx in 0usize..3,
+        delay_idx in 0usize..3,
+    ) {
+        use ccq_repro::core::protocol::registry;
+        let proto = registry()[proto_idx];
+        let arrival = match arrival_idx {
+            0 => ArrivalSpec::OneShot,
+            1 => ArrivalSpec::Poisson { rate, seed },
+            _ => ArrivalSpec::Bursty { rate, on: 4, off: 7, seed },
+        };
+        let delay = match delay_idx {
+            0 => LinkDelay::Unit,
+            1 => LinkDelay::Fixed { delay: 3 },
+            _ => LinkDelay::Jitter { max: 3, seed },
+        };
+        let run = |parallel: bool, dense: bool, serial: bool| -> Vec<(u64, u64, u64, u64, u64)> {
+            RunPlan::new()
+                .topologies([TopoSpec::Mesh2D { side: 4 }])
+                .arrivals([arrival.clone()])
+                .delays([delay])
+                .parallel_apply(parallel)
+                .dense_scan(dense)
+                .serial_transmit(serial)
+                .protocol(proto)
+                .execute()
+                .cases
+                .iter()
+                .map(|c| (c.qqc_max, c.qqc_mean.to_bits(), c.qqc_p50, c.qqc_p95, c.qqc_p99))
+                .collect()
+        };
+        let reference = run(false, false, true);
+        prop_assert!(!reference.is_empty());
+        for (parallel, dense, serial) in [(true, false, false), (false, true, false), (false, false, false)] {
+            prop_assert_eq!(
+                &run(parallel, dense, serial), &reference,
+                "{}: qqc diverged on executor path (parallel={}, dense={}, serial={})",
+                proto.name(), parallel, dense, serial
+            );
         }
     }
 }

@@ -22,7 +22,13 @@ fn every_registry_entry_verifies_on_torus_and_random_regular() {
                 spec.name()
             );
             assert_eq!(out.alg, proto.name());
-            assert!(out.report.total_delay() > 0, "{}", proto.name());
+            if proto.kind() == ProtocolKind::Relaxed {
+                // The relaxed counter completes every operation in its
+                // issue round — zero coordination delay by construction.
+                assert_eq!(out.report.total_delay(), 0, "{}", proto.name());
+            } else {
+                assert!(out.report.total_delay() > 0, "{}", proto.name());
+            }
         }
     }
 }
@@ -63,7 +69,13 @@ fn every_registry_entry_verifies_under_open_arrivals() {
         // Open-system accounting: one issue event per requester, a
         // positive backlog, and ordered latency percentiles.
         assert_eq!(out.report.issues.len(), s.k(), "{ctx}: missing issue events");
-        assert!(out.report.backlog_high_water > 0, "{ctx}: no backlog observed");
+        if proto.kind() == ProtocolKind::Relaxed {
+            // Instant completion: the coordination-free counter never
+            // accumulates a backlog, at any arrival rate.
+            assert_eq!(out.report.backlog_high_water, 0, "{ctx}: relaxed run queued");
+        } else {
+            assert!(out.report.backlog_high_water > 0, "{ctx}: no backlog observed");
+        }
         let (p50, p95, p99) = (
             out.report.latency_percentile(0.50),
             out.report.latency_percentile(0.95),

@@ -54,7 +54,7 @@ fn admission_for(kind: u8) -> AdmissionSpec {
 fn mode_for(spec: &dyn ProtocolSpec) -> ModelMode {
     match spec.kind() {
         ProtocolKind::Queuing => ModelMode::Expanded,
-        ProtocolKind::Counting => ModelMode::Strict,
+        ProtocolKind::Counting | ProtocolKind::Relaxed => ModelMode::Strict,
     }
 }
 
@@ -72,7 +72,7 @@ proptest! {
     /// serialized report.
     #[test]
     fn snapshot_resume_equals_uninterrupted(
-        proto_idx in 0usize..9,
+        proto_idx in 0usize..10,
         delay_kind in 0u8..4,
         k in 1usize..4,
         strategy in 0u8..3,
@@ -213,7 +213,7 @@ proptest! {
     /// deserialization, the store layout never leaks into the artifact.
     #[test]
     fn snapshots_resume_across_scan_strategies(
-        proto_idx in 0usize..9,
+        proto_idx in 0usize..10,
         delay_kind in 0u8..4,
         snap_dense in any::<bool>(),
         seed in any::<u64>(),
@@ -337,7 +337,7 @@ proptest! {
     /// resumes into a byte-identical report.
     #[test]
     fn snapshot_resume_crosses_a_crash_window(
-        proto_idx in 0usize..9,
+        proto_idx in 0usize..10,
         delay_kind in 0u8..4,
         k in 1usize..4,
         frac in 0.0f64..1.0,
